@@ -1,0 +1,77 @@
+"""Ablation — log-space model fitting vs raw-space fitting.
+
+The modeler fits both features and the target in log space because operator
+cost surfaces are multiplicative (t ≈ size/cores · const).  This ablation
+trains the zoo both ways on identical profiling samples and compares the
+*relative* estimation error — the metric the Figure 16 experiments use.
+"""
+
+import numpy as np
+import pytest
+
+from figutil import emit
+from repro.core import Modeler, ProfileSpec, Profiler
+from repro.engines import Resources, Workload, build_default_cloud
+from repro.models import fast_model_zoo
+
+SPEC = ProfileSpec(
+    "wordcount", "MapReduce",
+    counts=[1e5, 3e5, 1e6, 3e6, 1e7], bytes_per_item=1e3,
+    resources=[Resources(c, m) for c in (4, 8, 16, 32) for m in (8, 16, 32)],
+)
+
+
+def relative_errors(modeler, cloud, n=80, seed=11):
+    rng = np.random.default_rng(seed)
+    engine = cloud.engine("MapReduce")
+    grid = SPEC.grid()
+    errors = []
+    for _ in range(n):
+        count, params, res = grid[int(rng.integers(len(grid)))]
+        truth = engine.true_seconds(
+            "wordcount", Workload.of_count(count, 1e3, **params), res)
+        estimate = modeler.estimate("wordcount", "MapReduce", {
+            "input_size": count * 1e3, "input_count": count,
+            "cores": float(res.cores), "memory_gb": res.memory_gb,
+        })
+        errors.append(abs(estimate - truth) / truth)
+    return np.asarray(errors)
+
+
+@pytest.fixture(scope="module")
+def series():
+    cloud = build_default_cloud(seed=8)
+    Profiler(cloud).sample_random_setups(SPEC, n_runs=40, seed=8)
+    rows = []
+    models = {}
+    for log_space in (True, False):
+        modeler = Modeler(cloud.collector, zoo=fast_model_zoo(),
+                          log_space=log_space)
+        modeler.train("wordcount", "MapReduce")
+        errors = relative_errors(modeler, cloud)
+        models[log_space] = modeler.get("wordcount", "MapReduce").model_name
+        rows.append([
+            "log-space" if log_space else "raw-space",
+            models[log_space],
+            float(np.mean(errors)), float(np.median(errors)),
+            float(np.percentile(errors, 90)),
+        ])
+    return rows
+
+
+def test_ablation_logspace(benchmark, series):
+    emit(
+        "ablation_logspace",
+        "Ablation: relative estimation error, log-space vs raw-space models",
+        ["fitting", "winner", "mean", "median", "p90"],
+        series, widths=[11, 22, 9, 9, 9],
+    )
+    log_row, raw_row = series
+    # log-space fitting is what keeps *relative* error low across scales
+    assert log_row[2] < raw_row[2]
+    assert log_row[2] < 0.30
+
+    cloud = build_default_cloud(seed=9)
+    Profiler(cloud).sample_random_setups(SPEC, n_runs=20, seed=9)
+    modeler = Modeler(cloud.collector, zoo=fast_model_zoo())
+    benchmark(lambda: modeler.train("wordcount", "MapReduce"))

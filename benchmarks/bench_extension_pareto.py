@@ -1,0 +1,97 @@
+"""Extension — Pareto-frontier planning (the §2.2.3 'currently investigating').
+
+Not a paper figure: this evaluates the multi-objective planner the paper
+names as future work.  We measure (a) the frontier the planner finds on the
+text-analytics workflow across scales, and (b) the overhead of frontier
+planning relative to single-metric planning on Pegasus graphs.
+"""
+
+import time
+
+import pytest
+
+from figutil import emit
+from repro.core import IReS, Planner
+from repro.core.estimators import OracleEstimator
+from repro.core.pareto import ParetoPlanner, dominates
+from repro.core.planner import MetadataCostEstimator
+from repro.scenarios import setup_text_analytics
+from repro.workflows import generate, synthetic_library
+
+
+@pytest.fixture(scope="module")
+def frontier_series():
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    estimator = OracleEstimator(ires.cloud)
+    planner = ParetoPlanner(ires.library, estimator)
+    rows = []
+    for docs in (1e4, 2.5e4, 1e5):
+        frontier = planner.plan_frontier(make(docs))
+        frontier.sort(key=lambda p: p.metrics["execTime"])
+        for plan in frontier:
+            rows.append([
+                f"{docs:.0f}", plan.metrics["execTime"], plan.metrics["cost"],
+                "+".join(sorted(plan.engines_used())),
+            ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def overhead_series():
+    rows = []
+    for nodes in (30, 100, 300):
+        wf = generate("Epigenomics", nodes, seed=6)
+        lib = synthetic_library(wf, 4, seed=7)
+        est = MetadataCostEstimator()
+        t0 = time.perf_counter()
+        Planner(lib, est).plan(wf)
+        scalar = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        frontier = ParetoPlanner(lib, est, max_frontier=8).plan_frontier(wf)
+        pareto = time.perf_counter() - t0
+        rows.append([nodes, 1000 * scalar, 1000 * pareto,
+                     pareto / max(scalar, 1e-9), len(frontier)])
+    return rows
+
+
+def test_extension_pareto_frontier(benchmark, frontier_series):
+    emit(
+        "extension_pareto_frontier",
+        "Extension: Pareto time/cost frontier of the text workflow",
+        ["docs", "time_s", "cost", "plan"],
+        frontier_series, widths=[9, 10, 12, 16],
+    )
+    # frontier points are mutually non-dominated within each scale
+    by_scale = {}
+    for row in frontier_series:
+        by_scale.setdefault(row[0], []).append((row[1], row[2]))
+    for points in by_scale.values():
+        for a in points:
+            for b in points:
+                assert a == b or not dominates(a, b)
+        assert len(points) >= 2  # a genuine trade-off exists
+
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    planner = ParetoPlanner(ires.library, OracleEstimator(ires.cloud))
+    wf = make(2.5e4)
+    benchmark(lambda: planner.plan_frontier(wf))
+
+
+def test_extension_pareto_overhead(benchmark, overhead_series):
+    emit(
+        "extension_pareto_overhead",
+        "Extension: frontier planning overhead vs scalar planning (ms)",
+        ["nodes", "scalar_ms", "pareto_ms", "ratio", "frontier"],
+        overhead_series, widths=[8, 11, 11, 8, 10],
+    )
+    for row in overhead_series:
+        # frontier planning stays within a small factor of scalar planning
+        assert row[3] < 60.0
+        assert row[4] >= 1
+
+    wf = generate("Epigenomics", 100, seed=6)
+    lib = synthetic_library(wf, 4, seed=7)
+    planner = ParetoPlanner(lib, MetadataCostEstimator(), max_frontier=8)
+    benchmark(lambda: planner.plan_frontier(wf))

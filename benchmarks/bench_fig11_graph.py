@@ -1,0 +1,75 @@
+"""Figure 11 — graph analytics (Pagerank) vs input size, single- vs multi-engine.
+
+Paper's shape: the centralized Java implementation wins small graphs but
+fails past single-node memory; Hama wins medium graphs and fails past
+aggregate memory; Spark scales to the largest inputs.  IReS tracks the
+best engine at every size, plus a small planning/launch overhead.
+"""
+
+import math
+
+import pytest
+
+from figutil import INF, emit
+from repro.core import IReS, PlanningError
+from repro.scenarios import setup_graph_analytics
+
+EDGE_SIZES = [1e4, 1e5, 1e6, 1e7, 1e8]
+ENGINES = ("Java", "Hama", "Spark")
+#: simulated YARN container-launch overhead the paper observes ("a couple
+#: of seconds") on top of the chosen plan
+LAUNCH_OVERHEAD = 2.0
+
+
+def compute_series():
+    ires = IReS()
+    make = setup_graph_analytics(ires)
+    rows = []
+    for edges in EDGE_SIZES:
+        single = {}
+        for engine in ENGINES:
+            try:
+                single[engine] = ires.planner.plan(
+                    make(edges), available_engines={engine}).cost
+            except PlanningError:
+                single[engine] = INF
+        plan = ires.plan(make(edges))
+        choice = plan.steps[-1].engine
+        rows.append([
+            f"{edges:.0e}", single["Java"], single["Hama"], single["Spark"],
+            plan.cost + LAUNCH_OVERHEAD, choice,
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def series():
+    return compute_series()
+
+
+def test_fig11_graph_analytics(benchmark, series):
+    emit(
+        "fig11_graph", "Figure 11: Pagerank execution time (s) vs edges",
+        ["edges", "Java", "Hama", "Spark", "IReS", "choice"],
+        series,
+        note=f"(IReS includes ~{LAUNCH_OVERHEAD:.0f}s planning+YARN overhead)",
+    )
+    by_size = {row[0]: row for row in series}
+    # paper shape: Java wins small, Hama medium, Spark large
+    assert by_size["1e+04"][5] == "Java"
+    assert by_size["1e+06"][5] == "Java"
+    assert by_size["1e+07"][5] == "Hama"
+    assert by_size["1e+08"][5] == "Spark"
+    # memory cliffs: Java and Hama fail at 1e8 edges
+    assert by_size["1e+08"][1] == INF
+    assert by_size["1e+08"][2] == INF
+    # IReS tracks the best single engine within the launch overhead
+    for row in series:
+        best = min(v for v in row[1:4] if v != INF)
+        assert row[4] <= best + LAUNCH_OVERHEAD + 1e-9
+
+    # the benchmarked unit: planning one graph workflow
+    ires = IReS()
+    make = setup_graph_analytics(ires)
+    wf = make(1e6)
+    benchmark(lambda: ires.plan(wf))

@@ -1,0 +1,68 @@
+"""Figure 12 — text analytics (tf-idf → k-means) vs corpus size.
+
+Paper's shape: centralized scikit wins below ~10k documents, Spark wins
+large corpora, and in the 10k–40k band IReS builds a *hybrid* plan (scikit
+tf-idf + Spark k-means + an automatic move) that beats the best single
+engine by up to ~30%.
+"""
+
+import pytest
+
+from figutil import INF, emit
+from repro.core import IReS, PlanningError
+from repro.scenarios import setup_text_analytics
+
+DOC_SIZES = [5e3, 1e4, 2e4, 3e4, 4e4, 6e4, 1e5]
+LAUNCH_OVERHEAD = 2.0
+
+
+def compute_series():
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    rows = []
+    for docs in DOC_SIZES:
+        single = {}
+        for engine in ("scikit", "Spark"):
+            try:
+                single[engine] = ires.planner.plan(
+                    make(docs), available_engines={engine}).cost
+            except PlanningError:
+                single[engine] = INF
+        plan = ires.plan(make(docs))
+        engines = sorted(plan.engines_used())
+        best_single = min(single.values())
+        speedup = (best_single - plan.cost) / best_single if best_single else 0.0
+        rows.append([
+            f"{docs:.0f}", single["scikit"], single["Spark"],
+            plan.cost + LAUNCH_OVERHEAD, "+".join(engines),
+            100.0 * speedup,
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def series():
+    return compute_series()
+
+
+def test_fig12_text_analytics(benchmark, series):
+    emit(
+        "fig12_text", "Figure 12: tf-idf + k-means execution time (s) vs documents",
+        ["docs", "scikit", "Spark", "IReS", "plan", "gain_%"],
+        series, widths=[10, 10, 10, 10, 16, 9],
+        note="(gain_% = IReS plan vs best single engine, before overheads)",
+    )
+    by_docs = {row[0]: row for row in series}
+    # three regimes: scikit-only small, hybrid in the middle, Spark-only large
+    assert by_docs["5000"][4] == "scikit"
+    assert by_docs["20000"][4] == "Spark+scikit"
+    assert by_docs["30000"][4] == "Spark+scikit"
+    assert by_docs["100000"][4] == "Spark"
+    # the hybrid's win over the best single engine peaks in the 10k-40k band
+    hybrid_gains = [row[5] for row in series if "+" in row[4]]
+    assert max(hybrid_gains) >= 10.0  # the paper reports up to 30%
+
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    wf = make(2.5e4)
+    benchmark(lambda: ires.plan(wf))

@@ -1,0 +1,73 @@
+"""Figure 13 — relational analytics (3 TPC-H queries) vs scale.
+
+Paper's shape: PostgreSQL performs acceptably only while data transfer is
+small; MemSQL fails past ~2 GB (intermediates exceed cluster memory); IReS
+runs each query in the engine where its tables reside (q1@PostgreSQL,
+q2@MemSQL, q3@SparkSQL), staying uniformly good and pulling ahead at 50 GB.
+"""
+
+import pytest
+
+from figutil import INF, emit
+from repro.core import IReS, PlanningError
+from repro.scenarios import setup_relational_analytics
+
+SCALES_GB = [1, 5, 10, 20, 50]
+ENGINES = ("PostgreSQL", "MemSQL", "SparkSQL")
+LAUNCH_OVERHEAD = 2.0
+
+
+def compute_series():
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    rows = []
+    for scale in SCALES_GB:
+        single = {}
+        for engine in ENGINES:
+            try:
+                single[engine] = ires.planner.plan(
+                    make(scale), available_engines={engine}).cost
+            except PlanningError:
+                single[engine] = INF
+        plan = ires.plan(make(scale))
+        placement = ",".join(
+            s.engine[:2] for s in plan.steps if not s.is_move
+        )
+        rows.append([
+            scale, single["PostgreSQL"], single["MemSQL"], single["SparkSQL"],
+            plan.cost + LAUNCH_OVERHEAD, placement,
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def series():
+    return compute_series()
+
+
+def test_fig13_relational_analytics(benchmark, series):
+    emit(
+        "fig13_relational",
+        "Figure 13: relational workflow execution time (s) vs TPC-H scale (GB)",
+        ["GB", "PostgreSQL", "MemSQL", "SparkSQL", "IReS", "q1,q2,q3"],
+        series, widths=[6, 12, 12, 12, 10, 12],
+    )
+    by_scale = {row[0]: row for row in series}
+    # MemSQL single-engine OOMs past ~2 GB
+    assert by_scale[1][2] != INF
+    for scale in (5, 10, 20, 50):
+        assert by_scale[scale][2] == INF
+    # at scale, each query runs where its tables reside
+    for scale in (10, 20, 50):
+        assert by_scale[scale][5] == "Po,Me,Sp"
+    # IReS stays at or under every feasible single-engine plan
+    for row in series:
+        best = min(v for v in row[1:4] if v != INF)
+        assert row[4] <= best + LAUNCH_OVERHEAD + 1e-9
+    # PostgreSQL's transfer cost grows much faster than IReS's plan
+    assert by_scale[50][1] > 2.0 * by_scale[50][4]
+
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    wf = make(20)
+    benchmark(lambda: ires.plan(wf))

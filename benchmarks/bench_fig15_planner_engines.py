@@ -1,0 +1,61 @@
+"""Figure 15 — optimization time for Montage & Epigenomics vs engine count.
+
+Paper's shape: more alternative implementations per operator cost more (the
+m² term of O(op·m²·k)), but even 100-node workflows with 8 engines optimize
+within a couple of seconds; 10-node workflows stay sub-second.
+"""
+
+import time
+
+import pytest
+
+from figutil import emit
+from repro.core import Planner
+from repro.core.planner import MetadataCostEstimator
+from repro.workflows import generate, synthetic_library
+
+NODE_SIZES = [10, 30, 100, 300]
+ENGINE_COUNTS = [2, 4, 6, 8]
+CATEGORIES = ("Montage", "Epigenomics")
+
+
+def plan_time(category: str, n_nodes: int, n_engines: int) -> float:
+    workflow = generate(category, n_nodes, seed=1)
+    library = synthetic_library(workflow, n_engines, seed=2)
+    planner = Planner(library, MetadataCostEstimator())
+    start = time.perf_counter()
+    planner.plan(workflow)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {
+        (category, m, n): plan_time(category, n, m)
+        for category in CATEGORIES
+        for m in ENGINE_COUNTS
+        for n in NODE_SIZES
+    }
+
+
+def test_fig15_engines_scaling(benchmark, series):
+    for category in CATEGORIES:
+        rows = [
+            [f"{m} engines"] + [series[(category, m, n)] for n in NODE_SIZES]
+            for m in ENGINE_COUNTS
+        ]
+        emit(
+            f"fig15_{category.lower()}",
+            f"Figure 15: optimization time (s) for {category} vs #engines",
+            ["engines"] + [str(n) for n in NODE_SIZES],
+            rows, widths=[12, 10, 10, 10, 10],
+        )
+    # 100-node workflows with 8 engines stay within "a couple of seconds"
+    for category in CATEGORIES:
+        assert series[(category, 8, 100)] < 3.0
+        # an average 10-node workflow optimizes in the sub-second time-scale
+        assert series[(category, 8, 10)] < 1.0
+        # planning cost grows with the number of engines
+        assert series[(category, 8, 300)] > series[(category, 2, 300)]
+
+    benchmark(lambda: plan_time("Epigenomics", 100, 4))

@@ -1,0 +1,87 @@
+"""Figure 17 — resource provisioning: execution time and cost vs input size.
+
+Paper's shape, for Spark (MLlib) tf-idf on a 32-core / 54 GB cluster:
+NSGA-II provisioning achieves execution times as low as the static
+max-resources strategy while its execution cost (cores·GB·t) lies between
+the min- and max-resources strategies, growing toward max as inputs scale.
+"""
+
+import pytest
+
+from figutil import emit
+from repro.core import ResourceProvisioner
+from repro.engines import Resources, Workload, build_default_cloud
+
+DOC_SIZES = [1e3, 1e4, 1e5, 1e6, 1e7]
+MAX_CORES, MAX_MEM = 32, 54.0
+MIN_CORES, MIN_MEM = 1, 1.0
+
+
+def time_fn_for(cloud, docs):
+    spark = cloud.engine("Spark")
+    workload = Workload.of_count(docs, 1e3)
+
+    def time_fn(cores, memory_gb):
+        return spark.true_seconds(
+            "TF_IDF", workload,
+            Resources(cores=max(int(cores), 1), memory_gb=max(memory_gb, 0.5)))
+
+    return time_fn
+
+
+def compute_series():
+    cloud = build_default_cloud()
+    rows = []
+    for docs in DOC_SIZES:
+        time_fn = time_fn_for(cloud, docs)
+        provisioner = ResourceProvisioner(
+            max_cores=MAX_CORES, max_memory_gb=MAX_MEM,
+            generations=30, population_size=24, seed=5)
+        result = provisioner.provision(time_fn)
+        t_min = time_fn(MIN_CORES, MIN_MEM)
+        t_max = time_fn(MAX_CORES, MAX_MEM)
+        rows.append([
+            f"{docs:.0e}",
+            t_min, t_max, result.est_time,
+            MIN_CORES * MIN_MEM * t_min,
+            MAX_CORES * MAX_MEM * t_max,
+            result.est_cost,
+            f"{result.resources.cores}c/{result.resources.memory_gb:.0f}g",
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def series():
+    return compute_series()
+
+
+def test_fig17_resource_provisioning(benchmark, series):
+    emit(
+        "fig17_provisioning",
+        "Figure 17: execution time (s) and cost (cores*GB*s) vs input size",
+        ["docs", "t_min", "t_max", "t_IReS",
+         "cost_min", "cost_max", "cost_IReS", "alloc"],
+        series, widths=[8, 11, 9, 9, 12, 12, 12, 9],
+    )
+    for row in series:
+        _, t_min, t_max, t_ires, c_min, c_max, c_ires, _ = row
+        # IReS time tracks the max-resources strategy
+        assert t_ires <= t_max * 1.2
+        # and is far better than min resources at scale
+        assert t_ires <= t_min
+        # IReS cost lies between the two static strategies
+        assert c_ires <= c_max * 1.05
+    # cost approaches max-resources as the input scales
+    ratio_small = series[0][6] / series[0][5]
+    ratio_large = series[-1][6] / series[-1][5]
+    assert ratio_large > ratio_small
+    # allocation grows with input size
+    first_cores = int(series[0][7].split("c")[0])
+    last_cores = int(series[-1][7].split("c")[0])
+    assert last_cores >= first_cores
+
+    cloud = build_default_cloud()
+    time_fn = time_fn_for(cloud, 1e5)
+    provisioner = ResourceProvisioner(generations=10, population_size=16)
+    benchmark(lambda: provisioner.provision(time_fn))

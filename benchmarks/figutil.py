@@ -1,0 +1,49 @@
+"""Shared utilities for the figure/table reproduction benchmarks.
+
+Every benchmark prints the series the corresponding paper figure plots and
+also writes it to ``benchmarks/results/<name>.txt`` so the numbers survive
+pytest's output capture.  ``EXPERIMENTS.md`` indexes these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+INF = float("inf")
+
+
+def fmt(value, width: int = 10, digits: int = 2) -> str:
+    """Format one numeric cell; infinity renders as the paper's 'fail'."""
+    if value is None:
+        return " " * (width - 3) + "  —"
+    if isinstance(value, float) and value == INF:
+        return f"{'fail':>{width}}"
+    if isinstance(value, float):
+        return f"{value:>{width}.{digits}f}"
+    return f"{value:>{width}}"
+
+
+def emit(name: str, title: str, header: list[str], rows: list[list],
+         widths: list[int] | None = None, note: str = "") -> str:
+    """Render a table, print it, persist it under benchmarks/results/."""
+    if widths is None:
+        widths = [max(len(h) + 2, 10) for h in header]
+    lines = [f"== {title} =="]
+    lines.append("".join(f"{h:>{w}}" for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, str):
+                cells.append(f"{value:>{w}}")
+            else:
+                cells.append(fmt(value, w))
+        lines.append("".join(cells))
+    if note:
+        lines.append(note)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

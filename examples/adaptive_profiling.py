@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Adaptive (PANIC-style) operator profiling vs a fixed random sweep.
+
+IReS models operators by profiling them over a (data, operator, resource)
+parameter grid.  The paper's profiler builds on PANIC, whose idea is to
+spend the profiling budget where the model is most uncertain.  This example
+profiles Wordcount/MapReduce with a 20-run budget both ways and compares
+the resulting model accuracy against the simulator's ground truth.
+
+Run:  python examples/adaptive_profiling.py
+"""
+
+from repro.core import ProfileSpec
+from repro.core.adaptive import AdaptiveProfiler
+from repro.core.profiler import Profiler
+from repro.engines import Resources, build_default_cloud
+
+SPEC = ProfileSpec(
+    "wordcount", "MapReduce",
+    counts=[1e5, 3e5, 1e6, 3e6, 1e7], bytes_per_item=1e3,
+    resources=[Resources(c, m) for c in (4, 8, 16, 32) for m in (8, 16, 32)],
+)
+BUDGET = 20
+
+
+def main() -> None:
+    grid_size = len(SPEC.grid())
+    print(f"profiling grid: {grid_size} configurations, budget: {BUDGET} runs\n")
+
+    # -- adaptive: GP-uncertainty-guided sampling ---------------------------
+    cloud = build_default_cloud(seed=1)
+    adaptive = AdaptiveProfiler(cloud, SPEC, seed=1)
+    records = adaptive.run(budget=BUDGET)
+    adaptive_error = adaptive.mean_relative_error(test_points=60, seed=9)
+    sizes = sorted({f"{r.input_count:.0e}" for r in records})
+    print(f"adaptive sampling: {len(records)} runs over input sizes {sizes}")
+    print(f"  model mean relative error: {adaptive_error:.1%}")
+
+    # -- baseline: uniform random sampling, same budget ---------------------
+    cloud2 = build_default_cloud(seed=1)
+    Profiler(cloud2).sample_random_setups(SPEC, n_runs=BUDGET, seed=1)
+    baseline = AdaptiveProfiler(cloud2, SPEC, seed=1)
+    baseline_error = baseline.mean_relative_error(test_points=60, seed=9)
+    print(f"random sampling:   {BUDGET} runs")
+    print(f"  model mean relative error: {baseline_error:.1%}")
+
+    winner = "adaptive" if adaptive_error <= baseline_error else "random"
+    print(f"\nbetter on this run: {winner} sampling.")
+    print("(on smooth cost surfaces like wordcount the two are comparable; "
+          "uncertainty-guided\n sampling pays off on surfaces with cliffs — "
+          "memory spills, engine crossovers —\n where it concentrates runs "
+          "around the discontinuities)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a reproduction of IReS, the Intelligent Multi-Engine Resource
+Scheduler for Big Data Analytics Workflows (SIGMOD 2015 / ASAP D3.3 v2).
+
+Public API highlights:
+
+- :class:`repro.core.IReS` — the platform facade (register operators and
+  datasets, plan and execute multi-engine workflows).
+- :mod:`repro.core` — meta-data framework, operator library, DP planner,
+  profiler/modeler/refinement, NSGA-II resource provisioning.
+- :mod:`repro.engines` — the simulated multi-engine cloud substrate.
+- :mod:`repro.analytics` — real operator implementations and generators.
+- :mod:`repro.workflows` — Pegasus-style scientific workflow generators.
+- :mod:`repro.musqle` — the MuSQLE multi-engine SQL side system.
+- :mod:`repro.scenarios` — pre-wired evaluation scenarios (Figures 11-22).
+"""
+
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    IReS,
+    MaterializedOperator,
+    OperatorLibrary,
+    OptimizationPolicy,
+    Planner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractOperator",
+    "AbstractWorkflow",
+    "Dataset",
+    "IReS",
+    "MaterializedOperator",
+    "OperatorLibrary",
+    "OptimizationPolicy",
+    "Planner",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Real implementations of the paper's analytics operators.
+
+IReS treats operators as black boxes; these pure-Python implementations make
+the executor produce genuine artifacts end-to-end (see DESIGN.md §2).  The
+evaluation workflows use:
+
+- :func:`pagerank` over CDR call graphs (graph analytics, Fig 11),
+- :func:`tfidf_vectorize` + :func:`kmeans` over document corpora
+  (text analytics, Fig 12),
+- :func:`wordcount` / :func:`linecount` (operator modeling, Fig 16; §3.3).
+
+Synthetic data generators replace the proprietary WIND/IMR datasets:
+:func:`generate_cdr_graph` (power-law call graph) and
+:func:`generate_corpus` (Zipfian documents).
+"""
+
+from repro.analytics.generators import generate_cdr_graph, generate_corpus
+from repro.analytics.graphs import (
+    connected_components,
+    degree_stats,
+    k_core,
+    triangle_count,
+)
+from repro.analytics.kmeans import KMeansResult, kmeans
+from repro.analytics.pagerank import pagerank
+from repro.analytics.tfidf import TfIdfResult, tfidf_vectorize
+from repro.analytics.wordcount import linecount, wordcount
+
+__all__ = [
+    "KMeansResult",
+    "TfIdfResult",
+    "connected_components",
+    "degree_stats",
+    "generate_cdr_graph",
+    "generate_corpus",
+    "k_core",
+    "kmeans",
+    "linecount",
+    "pagerank",
+    "tfidf_vectorize",
+    "triangle_count",
+    "wordcount",
+]

@@ -1,0 +1,118 @@
+"""Further graph-analytics operators over CDR-style edge lists.
+
+The paper's graph workflow centres on Pagerank, but the motivating telecom
+use case (subscriber analytics over call graphs) routinely needs community
+and connectivity measures too.  These operators share the edge-list format
+of :func:`repro.analytics.generate_cdr_graph` and are implemented with the
+same from-scratch, numpy-first approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _edge_array(edges, n_vertices: int | None) -> tuple[np.ndarray, int]:
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        return arr.reshape(0, 2), int(n_vertices or 0)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be (src, dst) pairs")
+    n = int(arr.max()) + 1 if n_vertices is None else int(n_vertices)
+    if arr.min() < 0 or arr.max() >= n:
+        raise ValueError("vertex id out of range")
+    return arr.astype(np.int64), n
+
+
+class _UnionFind:
+    """Path-halving union-find over dense integer ids."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def connected_components(edges, n_vertices: int | None = None) -> np.ndarray:
+    """Weakly connected component labels (0-based, ordered by first vertex).
+
+    Direction is ignored — two subscribers who ever called each other are in
+    the same community.
+    """
+    arr, n = _edge_array(edges, n_vertices)
+    uf = _UnionFind(n)
+    for src, dst in arr:
+        uf.union(int(src), int(dst))
+    roots = np.array([uf.find(v) for v in range(n)])
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+def degree_stats(edges, n_vertices: int | None = None) -> dict[str, np.ndarray]:
+    """Per-vertex in/out/total call counts."""
+    arr, n = _edge_array(edges, n_vertices)
+    out_degree = np.bincount(arr[:, 0], minlength=n) if len(arr) else np.zeros(n, int)
+    in_degree = np.bincount(arr[:, 1], minlength=n) if len(arr) else np.zeros(n, int)
+    return {
+        "in": in_degree,
+        "out": out_degree,
+        "total": in_degree + out_degree,
+    }
+
+
+def triangle_count(edges, n_vertices: int | None = None) -> int:
+    """Number of undirected triangles (a community-cohesion signal).
+
+    Uses the standard forward algorithm over the de-duplicated undirected
+    edge set; adequate for the laptop-scale CDR samples used here.
+    """
+    arr, n = _edge_array(edges, n_vertices)
+    if len(arr) == 0:
+        return 0
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    undirected = {(int(a), int(b)) for a, b in zip(lo, hi) if a != b}
+    neighbors: dict[int, set[int]] = {}
+    for a, b in undirected:
+        neighbors.setdefault(a, set()).add(b)
+        neighbors.setdefault(b, set()).add(a)
+    count = 0
+    for a, b in undirected:
+        count += len(neighbors.get(a, set()) & neighbors.get(b, set()))
+    return count // 3
+
+
+def k_core(edges, k: int, n_vertices: int | None = None) -> np.ndarray:
+    """Boolean mask of vertices in the undirected k-core.
+
+    Iteratively peels vertices with (undirected) degree < k — the classic
+    engagement measure for social/call graphs.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    arr, n = _edge_array(edges, n_vertices)
+    alive = np.ones(n, dtype=bool)
+    lo = np.minimum(arr[:, 0], arr[:, 1]) if len(arr) else np.array([], int)
+    hi = np.maximum(arr[:, 0], arr[:, 1]) if len(arr) else np.array([], int)
+    mask = lo != hi
+    lo, hi = lo[mask], hi[mask]
+    while True:
+        live_edges = alive[lo] & alive[hi]
+        degree = (
+            np.bincount(lo[live_edges], minlength=n)
+            + np.bincount(hi[live_edges], minlength=n)
+        )
+        peel = alive & (degree < k)
+        if not peel.any():
+            return alive
+        alive &= ~peel

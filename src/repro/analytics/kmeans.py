@@ -1,0 +1,78 @@
+"""Lloyd's k-means (second stage of the text-analytics workflow)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run: centers, labels, inertia."""
+    centers: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+
+def _init_centers_pp(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = X.shape[0]
+    centers = [X[rng.integers(n)]]
+    d2 = ((X - centers[0]) ** 2).sum(axis=1)
+    for _ in range(1, k):
+        total = d2.sum()
+        if total == 0:
+            centers.append(X[rng.integers(n)])
+            continue
+        probs = d2 / total
+        idx = rng.choice(n, p=probs)
+        centers.append(X[idx])
+        d2 = np.minimum(d2, ((X - centers[-1]) ** 2).sum(axis=1))
+    return np.array(centers)
+
+
+def kmeans(
+    X,
+    k: int,
+    max_iterations: int = 50,
+    tol: float = 1e-6,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster rows of ``X`` into ``k`` clusters (k-means++ init + Lloyd)."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be a 2-D array")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centers = _init_centers_pp(X, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = X[labels == j]
+            if len(members):
+                new_centers[j] = members.mean(axis=0)
+            else:  # re-seed empty cluster at the farthest point
+                new_centers[j] = X[d2.min(axis=1).argmax()]
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift <= tol:
+            break
+    d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(n), labels].sum())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia,
+                        iterations=iteration)

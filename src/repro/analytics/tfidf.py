@@ -1,0 +1,83 @@
+"""TF-IDF feature extraction (first stage of the text-analytics workflow)."""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokens of a text."""
+    return _TOKEN.findall(text.lower())
+
+
+@dataclass
+class TfIdfResult:
+    """Sparse-ish TF-IDF output: the matrix plus the learned vocabulary."""
+
+    matrix: np.ndarray  # (n_documents, n_terms)
+    vocabulary: dict[str, int]
+    idf: np.ndarray
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents (matrix rows)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_terms(self) -> int:
+        """Vocabulary size (matrix columns)."""
+        return self.matrix.shape[1]
+
+
+def tfidf_vectorize(
+    documents: Sequence[str],
+    min_df: int = 1,
+    max_terms: int | None = None,
+    sublinear_tf: bool = False,
+) -> TfIdfResult:
+    """Compute TF-IDF vectors for a corpus.
+
+    tf = term frequency within the document (optionally 1+log tf),
+    idf = log((1 + N) / (1 + df)) + 1 (the smoothed variant), rows are
+    L2-normalized — matching the scikit/MLlib conventions the paper's
+    implementations use.
+    """
+    if not documents:
+        raise ValueError("cannot vectorize an empty corpus")
+    doc_tokens = [tokenize(doc) for doc in documents]
+    df: dict[str, int] = {}
+    for tokens in doc_tokens:
+        for term in set(tokens):
+            df[term] = df.get(term, 0) + 1
+    terms = [t for t, count in df.items() if count >= min_df]
+    if max_terms is not None and len(terms) > max_terms:
+        terms.sort(key=lambda t: (-df[t], t))
+        terms = terms[:max_terms]
+    terms.sort()
+    vocabulary = {t: i for i, t in enumerate(terms)}
+
+    n_docs = len(documents)
+    idf = np.array(
+        [math.log((1 + n_docs) / (1 + df[t])) + 1.0 for t in terms]
+    )
+    matrix = np.zeros((n_docs, len(terms)))
+    for row, tokens in enumerate(doc_tokens):
+        counts: dict[int, int] = {}
+        for term in tokens:
+            col = vocabulary.get(term)
+            if col is not None:
+                counts[col] = counts.get(col, 0) + 1
+        for col, count in counts.items():
+            tf = 1.0 + math.log(count) if sublinear_tf else float(count)
+            matrix[row, col] = tf * idf[col]
+        norm = np.linalg.norm(matrix[row])
+        if norm > 0:
+            matrix[row] /= norm
+    return TfIdfResult(matrix=matrix, vocabulary=vocabulary, idf=idf)

@@ -1,0 +1,33 @@
+"""Wordcount and LineCount operators.
+
+Wordcount ("counts distinct words in a corpus of documents", §4.3) is the
+operator-modeling workload of Figure 16; LineCount is the §3.3 tutorial
+operator (``wc -l`` wrapped in a YARN container).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.analytics.tfidf import tokenize
+
+
+def wordcount(documents: Iterable[str]) -> dict[str, int]:
+    """Count word occurrences across a corpus (MapReduce-style semantics)."""
+    counts: Counter[str] = Counter()
+    for doc in documents:
+        counts.update(tokenize(doc))
+    return dict(counts)
+
+
+def distinct_words(documents: Iterable[str]) -> int:
+    """The §4.3 metric: number of distinct words in the corpus."""
+    return len(wordcount(documents))
+
+
+def linecount(text: str) -> int:
+    """The LineCount operator of §3.3 (the ``wc -l`` semantics)."""
+    if not text:
+        return 0
+    return text.count("\n") + (0 if text.endswith("\n") else 1)

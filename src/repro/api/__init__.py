@@ -1,0 +1,5 @@
+"""The IReS External API (§3.5): a RESTful surface over the platform."""
+
+from repro.api.rest import ApiError, IResServer, Response
+
+__all__ = ["ApiError", "IResServer", "Response"]

@@ -1,0 +1,274 @@
+"""The IReS External API — the §3.5 RESTful surface, in process.
+
+The deliverable exposes IReS to the other ASAP components through a REST
+API (list/materialize/execute workflows, manage operators and datasets,
+inspect engines and models).  This module reproduces that surface as an
+in-process router: :meth:`IResServer.handle` takes ``(method, path, body)``
+and returns a :class:`Response` with a JSON-serializable payload, so any
+transport (an actual HTTP server, tests, the CLI) can sit on top.
+
+Routes:
+
+====== ================================================= =====================
+GET    /abstractWorkflows                                 list workflows
+GET    /abstractWorkflows/{name}                          one workflow
+POST   /abstractWorkflows/{name}                          define from graph
+POST   /abstractWorkflows/{name}/materialize              plan it
+POST   /abstractWorkflows/{name}/execute                  plan + run it
+GET    /operators                                         materialized ops
+POST   /operators/{name}                                  add one (properties)
+GET    /operators/{name}                                  one description
+DELETE /operators/{name}                                  remove it
+GET    /abstractOperators                                 abstract ops
+POST   /abstractOperators/{name}                          add one
+GET    /datasets                                          datasets
+POST   /datasets/{name}                                   add one
+GET    /engines                                           engine catalogue
+GET    /engines/health                                    cluster health report
+POST   /engines/{name}/stop                               kill a service
+POST   /engines/{name}/start                              restart a service
+GET    /models/{algorithm}/{engine}                       trained model info
+====== ================================================= =====================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.dataset import Dataset
+from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.core.planner import PlanningError
+from repro.core.platform import IReS
+from repro.core.workflow import WorkflowError
+from repro.execution.enforcer import ExecutionFailed
+
+
+class ApiError(Exception):
+    """An error with an HTTP-style status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Response:
+    """An HTTP-style status code plus a JSON-able body."""
+    status: int
+    body: dict = field(default_factory=dict)
+
+    def json(self) -> str:
+        """The body serialized as a JSON string."""
+        return json.dumps(self.body, sort_keys=True)
+
+
+class IResServer:
+    """Routes API requests to an :class:`IReS` platform instance."""
+
+    def __init__(self, ires: IReS | None = None) -> None:
+        self.ires = ires if ires is not None else IReS()
+
+    # -- entry point ---------------------------------------------------------
+    def handle(self, method: str, path: str, body: dict | None = None) -> Response:
+        """Dispatch one request; never raises, errors become responses."""
+        body = body or {}
+        parts = [p for p in path.split("/") if p]
+        try:
+            return self._route(method.upper(), parts, body)
+        except ApiError as exc:
+            return Response(exc.status, {"error": str(exc)})
+        except (PlanningError, ExecutionFailed) as exc:
+            return Response(409, {"error": str(exc)})
+        except (WorkflowError, ValueError, KeyError) as exc:
+            return Response(400, {"error": str(exc)})
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, method: str, parts: list[str], body: dict) -> Response:
+        if not parts:
+            return Response(200, {"service": "IReS", "status": "up"})
+        head, rest = parts[0], parts[1:]
+        handler = getattr(self, f"_{head}", None)
+        if handler is None:
+            raise ApiError(404, f"unknown resource {head!r}")
+        return handler(method, rest, body)
+
+    @staticmethod
+    def _expect(condition: bool, status: int, message: str) -> None:
+        if not condition:
+            raise ApiError(status, message)
+
+    # -- /abstractWorkflows ---------------------------------------------------
+    def _abstractWorkflows(self, method, rest, body) -> Response:
+        ires = self.ires
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {"workflows": sorted(ires.workflows)})
+        name = rest[0]
+        if len(rest) == 1:
+            if method == "GET":
+                workflow = ires.workflows.get(name)
+                self._expect(workflow is not None, 404, f"no workflow {name!r}")
+                return Response(200, {
+                    "name": name,
+                    "target": workflow.target,
+                    "operators": sorted(workflow.operators),
+                    "datasets": sorted(workflow.datasets),
+                })
+            if method == "POST":
+                graph = body.get("graph")
+                self._expect(isinstance(graph, list), 400,
+                             "body needs 'graph': [lines]")
+                ires.workflow_from_graph(name, graph)
+                return Response(201, {"created": name})
+            raise ApiError(405, "use GET or POST")
+        action = rest[1]
+        workflow = ires.workflows.get(name)
+        self._expect(workflow is not None, 404, f"no workflow {name!r}")
+        self._expect(method == "POST", 405, "use POST")
+        if action == "materialize":
+            plan = ires.plan(workflow)
+            return Response(200, {"name": name, "plan": _plan_json(plan)})
+        if action == "execute":
+            report = ires.execute(workflow)
+            return Response(200, {"name": name, "report": _report_json(report)})
+        raise ApiError(404, f"unknown action {action!r}")
+
+    # -- /operators ------------------------------------------------------------
+    def _operators(self, method, rest, body) -> Response:
+        ires = self.ires
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {
+                "operators": sorted(op.name for op in ires.library)})
+        name = rest[0]
+        if method == "GET":
+            self._expect(name in ires.library, 404, f"no operator {name!r}")
+            return Response(200, {
+                "name": name,
+                "properties": ires.library.get(name).metadata.to_properties(),
+            })
+        if method == "POST":
+            properties = body.get("properties")
+            self._expect(isinstance(properties, dict), 400,
+                         "body needs 'properties': {...}")
+            ires.register_operator(MaterializedOperator(name, properties))
+            return Response(201, {"created": name})
+        if method == "DELETE":
+            self._expect(name in ires.library, 404, f"no operator {name!r}")
+            ires.library.remove(name)
+            return Response(200, {"deleted": name})
+        raise ApiError(405, "use GET, POST or DELETE")
+
+    # -- /abstractOperators -------------------------------------------------------
+    def _abstractOperators(self, method, rest, body) -> Response:
+        ires = self.ires
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {
+                "abstractOperators": sorted(ires.abstract_operators)})
+        name = rest[0]
+        if method == "GET":
+            op = ires.abstract_operators.get(name)
+            self._expect(op is not None, 404, f"no abstract operator {name!r}")
+            return Response(200, {
+                "name": name, "properties": op.metadata.to_properties()})
+        if method == "POST":
+            properties = body.get("properties")
+            self._expect(isinstance(properties, dict), 400,
+                         "body needs 'properties': {...}")
+            ires.register_abstract(AbstractOperator(name, properties))
+            return Response(201, {"created": name})
+        raise ApiError(405, "use GET or POST")
+
+    # -- /datasets ---------------------------------------------------------------
+    def _datasets(self, method, rest, body) -> Response:
+        ires = self.ires
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {"datasets": sorted(ires.datasets)})
+        name = rest[0]
+        if method == "GET":
+            dataset = ires.datasets.get(name)
+            self._expect(dataset is not None, 404, f"no dataset {name!r}")
+            return Response(200, {
+                "name": name, "properties": dataset.metadata.to_properties()})
+        if method == "POST":
+            properties = body.get("properties")
+            self._expect(isinstance(properties, dict), 400,
+                         "body needs 'properties': {...}")
+            ires.register_dataset(Dataset(name, properties, materialized=True))
+            return Response(201, {"created": name})
+        raise ApiError(405, "use GET or POST")
+
+    # -- /engines ---------------------------------------------------------------
+    def _engines(self, method, rest, body) -> Response:
+        cloud = self.ires.cloud
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {"engines": {
+                name: {"kind": engine.kind, "status": engine.status}
+                for name, engine in sorted(cloud.engines.items())
+            }})
+        if rest[0] == "health":
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, {
+                "nodes": cloud.cluster.run_health_checks(),
+                "availableEngines": sorted(cloud.available_engines()),
+            })
+        name = rest[0]
+        self._expect(name in cloud.engines, 404, f"no engine {name!r}")
+        if len(rest) == 2 and method == "POST":
+            if rest[1] == "stop":
+                cloud.kill_engine(name)
+                return Response(200, {"engine": name, "status": "OFF"})
+            if rest[1] == "start":
+                cloud.restart_engine(name)
+                return Response(200, {"engine": name, "status": "ON"})
+        raise ApiError(404, "unknown engine action")
+
+    # -- /models -------------------------------------------------------------
+    def _models(self, method, rest, body) -> Response:
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(len(rest) == 2, 400, "use /models/{algorithm}/{engine}")
+        algorithm, engine = rest
+        model = self.ires.modeler.get(algorithm, engine)
+        self._expect(model is not None, 404,
+                     f"no trained model for {algorithm}@{engine}")
+        return Response(200, {
+            "algorithm": algorithm,
+            "engine": engine,
+            "model": model.model_name,
+            "samples": model.n_samples,
+            "features": model.feature_names,
+            "cvScores": {k: round(v, 4) for k, v in model.cv_scores.items()},
+        })
+
+
+def _plan_json(plan) -> dict:
+    return {
+        "cost": plan.cost,
+        "steps": [
+            {
+                "operator": step.operator.name,
+                "engine": step.engine,
+                "abstract": step.abstract_name,
+                "inputs": [d.name for d in step.inputs],
+                "outputs": [d.name for d in step.outputs],
+                "estimatedCost": step.estimated_cost,
+                "isMove": step.is_move,
+            }
+            for step in plan.steps
+        ],
+    }
+
+
+def _report_json(report) -> dict:
+    return {
+        "succeeded": report.succeeded,
+        "simTime": report.sim_time,
+        "replans": report.replans,
+        "planningSeconds": report.planning_seconds,
+        "enginesUsed": report.engines_used(),
+        "failures": report.failures,
+    }

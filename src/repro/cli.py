@@ -1,0 +1,180 @@
+"""Command-line interface for the IReS platform.
+
+Works against an on-disk ``asapLibrary/`` directory (see
+:mod:`repro.core.libraryfs`)::
+
+    ires validate  <library_dir>              # parse + report the library
+    ires engines                              # list the deployed engines
+    ires plan      <library_dir> <workflow>   # materialize a workflow
+    ires execute   <library_dir> <workflow>   # plan + run it
+    ires frontier  <library_dir> <workflow>   # Pareto time/cost frontier
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.libraryfs import load_asap_library
+from repro.core.pareto import ParetoPlanner
+from repro.core.platform import IReS
+
+
+def _load(library_dir: str) -> IReS:
+    ires = IReS()
+    report = load_asap_library(library_dir, ires)
+    print(f"loaded {report.total()} artefacts from {library_dir} "
+          f"({len(report.datasets)} datasets, {len(report.operators)} operators, "
+          f"{len(report.abstract_operators)} abstract, "
+          f"{len(report.workflows)} workflows)")
+    return ires
+
+
+def _workflow(ires: IReS, name: str):
+    workflow = ires.workflows.get(name)
+    if workflow is None:
+        sys.exit(f"error: no workflow {name!r}; available: {sorted(ires.workflows)}")
+    return workflow
+
+
+def cmd_validate(args) -> int:
+    """``ires validate``: parse a library dir and validate its workflows."""
+    ires = _load(args.library)
+    for name, workflow in sorted(ires.workflows.items()):
+        workflow.validate()
+        print(f"  workflow {name}: {len(workflow.operators)} operators, "
+              f"target {workflow.target}")
+    print("library OK")
+    return 0
+
+
+def cmd_engines(args) -> int:
+    """``ires engines``: list the deployed engines and their operators."""
+    ires = IReS()
+    for name, engine in sorted(ires.cloud.engines.items()):
+        algorithms = ", ".join(sorted(engine.profiles)) or "-"
+        print(f"  {name:<11} {engine.kind:<10} {engine.status:<4} [{algorithms}]")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """``ires plan``: print the optimal materialized plan of a workflow."""
+    ires = _load(args.library)
+    plan = ires.plan(_workflow(ires, args.workflow))
+    print(f"optimal plan (estimated {plan.cost:.2f}s):")
+    for step in plan.steps:
+        print(f"  {step.operator.name:<34} @{step.engine:<10} "
+              f"est {step.estimated_cost:8.2f}s")
+    return 0
+
+
+def cmd_execute(args) -> int:
+    """``ires execute``: plan and run a workflow, printing the report."""
+    ires = _load(args.library)
+    report = ires.execute(_workflow(ires, args.workflow))
+    print(f"succeeded={report.succeeded} simTime={report.sim_time:.2f}s "
+          f"replans={report.replans}")
+    for execution in report.executions:
+        print(f"  {execution.step.operator.name:<34} @{execution.engine:<10} "
+              f"{execution.sim_seconds:8.2f}s")
+    return 0 if report.succeeded else 1
+
+
+def cmd_frontier(args) -> int:
+    """``ires frontier``: print the Pareto time/cost plan frontier."""
+    ires = _load(args.library)
+    planner = ParetoPlanner(ires.library, ires.estimator)
+    frontier = planner.plan_frontier(_workflow(ires, args.workflow))
+    print(f"{len(frontier)} Pareto-optimal plans (time vs cost):")
+    for plan in sorted(frontier, key=lambda p: p.metrics["execTime"]):
+        engines = "+".join(sorted(plan.engines_used()))
+        print(f"  time={plan.metrics['execTime']:9.2f}s "
+              f"cost={plan.metrics['cost']:11.1f}  [{engines}]")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    """``ires sql``: optimize (and optionally run) a multi-engine SQL query."""
+    from repro.musqle import MuSQLE, build_default_deployment
+    from repro.musqle.plan import count_moves, engines_used
+
+    deployment = build_default_deployment(scale_factor=args.scale)
+    musqle = MuSQLE(deployment)
+    plan, stats = musqle.optimize(args.query)
+    print(f"optimized in {stats.total_seconds * 1000:.1f}ms "
+          f"({stats.csg_cmp_pairs} csg-cmp pairs); engines "
+          f"{sorted(engines_used(plan))}, {count_moves(plan)} moves")
+    print(plan.describe())
+    if args.execute:
+        table, info = musqle.execute(plan)
+        print(f"result: {table.n_rows} rows in {info.sim_seconds:.2f} "
+              f"simulated seconds")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``ires report``: aggregate benchmark result tables into one markdown."""
+    from pathlib import Path
+
+    results = Path(args.results)
+    files = sorted(results.glob("*.txt")) if results.is_dir() else []
+    if not files:
+        sys.exit(f"error: no result files under {results} "
+                 "(run `pytest benchmarks/ --benchmark-only` first)")
+    sections = ["# Reproduced figures and tables\n"]
+    for path in files:
+        sections.append(f"## {path.stem}\n\n```\n{path.read_text().rstrip()}\n```\n")
+    Path(args.out).write_text("\n".join(sections))
+    print(f"wrote {args.out} ({len(files)} result tables)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="ires",
+        description="IReS: Intelligent Multi-Engine Resource Scheduler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="parse and validate a library dir")
+    p.add_argument("library")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("engines", help="list deployed engines")
+    p.set_defaults(func=cmd_engines)
+
+    for name, func, help_text in (
+        ("plan", cmd_plan, "materialize a workflow"),
+        ("execute", cmd_execute, "plan and run a workflow"),
+        ("frontier", cmd_frontier, "Pareto time/cost frontier of a workflow"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("library")
+        p.add_argument("workflow")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("report", help="collect benchmark results into one file")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="directory of figure/table outputs")
+    p.add_argument("--out", default="RESULTS.md", help="output markdown file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("sql", help="optimize (and run) a multi-engine SQL query")
+    p.add_argument("query")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="TPC-H scale factor of the demo deployment")
+    p.add_argument("--execute", action="store_true",
+                   help="also execute the optimized plan")
+    p.set_defaults(func=cmd_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

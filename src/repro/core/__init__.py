@@ -1,0 +1,81 @@
+"""IReS core: meta-data framework, operator library, planner, modeler."""
+
+from repro.core.adaptive import AdaptiveProfiler
+from repro.core.dataset import Dataset
+from repro.core.estimators import (
+    ModelBackedEstimator,
+    OracleEstimator,
+    monetary_cost,
+    resources_for,
+    workload_from_inputs,
+)
+from repro.core.libraryfs import LoadReport, dump_asap_library, load_asap_library
+from repro.core.modeler import Modeler, OperatorModel
+from repro.core.pareto import ParetoPlan, ParetoPlanner
+from repro.core.platform import IReS
+from repro.core.profiler import Profiler, ProfileSpec
+from repro.core.provisioning import ProvisioningResult, ResourceProvisioner
+from repro.core.refinement import ModelRefiner
+from repro.core.library import OperatorLibrary
+from repro.core.metadata import MetadataError, MetadataTree, WILDCARD
+from repro.core.operators import (
+    AbstractOperator,
+    MaterializedOperator,
+    MoveOperator,
+    Operator,
+)
+from repro.core.planner import (
+    CostEstimator,
+    MetadataCostEstimator,
+    Planner,
+    PlanningError,
+)
+from repro.core.policy import COST, EXEC_TIME, OptimizationPolicy
+from repro.core.workflow import (
+    AbstractWorkflow,
+    MaterializedPlan,
+    PlanStep,
+    WorkflowError,
+)
+
+__all__ = [
+    "AbstractOperator",
+    "AbstractWorkflow",
+    "AdaptiveProfiler",
+    "COST",
+    "IReS",
+    "LoadReport",
+    "ModelBackedEstimator",
+    "ParetoPlan",
+    "ParetoPlanner",
+    "dump_asap_library",
+    "load_asap_library",
+    "ModelRefiner",
+    "Modeler",
+    "OperatorModel",
+    "OracleEstimator",
+    "ProfileSpec",
+    "Profiler",
+    "ProvisioningResult",
+    "ResourceProvisioner",
+    "monetary_cost",
+    "resources_for",
+    "workload_from_inputs",
+    "CostEstimator",
+    "Dataset",
+    "EXEC_TIME",
+    "MaterializedOperator",
+    "MaterializedPlan",
+    "MetadataCostEstimator",
+    "MetadataError",
+    "MetadataTree",
+    "MoveOperator",
+    "Operator",
+    "OperatorLibrary",
+    "OptimizationPolicy",
+    "PlanStep",
+    "Planner",
+    "PlanningError",
+    "WILDCARD",
+    "WorkflowError",
+]

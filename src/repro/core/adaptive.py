@@ -1,0 +1,128 @@
+"""Adaptive (uncertainty-guided) profiling — the PANIC approach.
+
+The paper's profiling mechanism "builds on prior work [PANIC: Modeling
+Application Performance over Virtualized Resources]", whose key idea is to
+*deploy the profiling budget where it is most informative* instead of
+sweeping the whole grid.  :class:`AdaptiveProfiler` seeds a Gaussian-process
+model with a few random runs and then repeatedly executes the grid point
+with the highest posterior predictive uncertainty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profiler import ProfileSpec, Profiler
+from repro.engines.monitoring import MetricRecord
+from repro.engines.profiles import Resources
+from repro.engines.registry import MultiEngineCloud
+from repro.models.gaussian_process import GaussianProcess
+
+
+def _features(count: float, bytes_per_item: float, params: dict,
+              resources: Resources, param_names: list[str]) -> list[float]:
+    row = [count * bytes_per_item, count, float(resources.cores),
+           resources.memory_gb]
+    row.extend(float(params.get(name, 0.0)) for name in param_names)
+    return row
+
+
+class AdaptiveProfiler:
+    """Budgeted profiling that samples where the GP is least certain."""
+
+    def __init__(self, cloud: MultiEngineCloud, spec: ProfileSpec,
+                 seed: int = 0) -> None:
+        self.cloud = cloud
+        self.spec = spec
+        self.seed = seed
+        self._profiler = Profiler(cloud)
+        self._param_names = sorted(spec.params)
+
+    def _grid_features(self, grid) -> np.ndarray:
+        rows = [
+            _features(count, self.spec.bytes_per_item, params, res,
+                      self._param_names)
+            for count, params, res in grid
+        ]
+        return np.log1p(np.abs(np.asarray(rows, dtype=float)))
+
+    def run(self, budget: int, initial: int = 4) -> list[MetricRecord]:
+        """Spend ``budget`` runs; returns the collected records.
+
+        The first ``initial`` runs are random; each further run probes the
+        remaining grid point with maximal GP predictive standard deviation.
+        Failed runs (OOM) consume budget — failure is information too.
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        engine = self.cloud.engine(self.spec.engine)
+        grid = self.spec.grid()
+        feats = self._grid_features(grid)
+        taken_X: list[np.ndarray] = []
+        taken_y: list[float] = []
+        records: list[MetricRecord] = []
+
+        def execute(index: int) -> None:
+            count, params, resources = grid[index]
+            record = self._profiler.profile_point(
+                engine, self.spec, count, params, resources)
+            if record is not None:
+                records.append(record)
+                taken_X.append(feats[index])
+                taken_y.append(np.log1p(record.exec_time))
+
+        n_initial = min(initial, budget, len(grid))
+        seeds = rng.choice(len(grid), size=n_initial, replace=False)
+        for index in seeds:
+            execute(int(index))
+        remaining = [i for i in range(len(grid)) if i not in set(seeds.tolist())]
+
+        spent = n_initial
+        while spent < budget and remaining:
+            if len(taken_y) >= 2:
+                gp = GaussianProcess(noise=0.05).fit(
+                    np.asarray(taken_X), np.asarray(taken_y))
+                stds = gp.predict_std(feats[remaining])
+                pick = remaining[int(np.argmax(stds))]
+            else:
+                pick = remaining[int(rng.integers(len(remaining)))]
+            remaining.remove(pick)
+            execute(pick)
+            spent += 1
+        return records
+
+    def mean_relative_error(self, test_points: int = 50, seed: int = 1) -> float:
+        """Evaluation utility: mean relative error of the platform's model
+        (zoo + CV over the collected runs) against in-grid ground truth."""
+        from repro.core.modeler import Modeler
+        from repro.engines.errors import EngineError
+        from repro.engines.profiles import Workload
+        from repro.models import fast_model_zoo
+
+        modeler = Modeler(self.cloud.collector, zoo=fast_model_zoo())
+        model = modeler.train(self.spec.algorithm, self.spec.engine)
+        if model is None:
+            return float("nan")
+        rng = np.random.default_rng(seed)
+        engine = self.cloud.engine(self.spec.engine)
+        grid = self.spec.grid()
+        errors = []
+        for _ in range(test_points):
+            count, params, resources = grid[int(rng.integers(len(grid)))]
+            try:
+                truth = engine.true_seconds(
+                    self.spec.algorithm,
+                    Workload.of_count(count, self.spec.bytes_per_item, **params),
+                    resources)
+            except EngineError:
+                continue
+            features = {"input_size": count * self.spec.bytes_per_item,
+                        "input_count": count,
+                        "cores": float(resources.cores),
+                        "memory_gb": resources.memory_gb}
+            features.update(
+                {f"param_{k}": float(v) for k, v in params.items()})
+            predicted = model.estimate(features)
+            errors.append(abs(predicted - truth) / max(truth, 1e-9))
+        return float(np.mean(errors)) if errors else float("nan")

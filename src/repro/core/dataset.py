@@ -1,0 +1,97 @@
+"""Dataset descriptors — abstract and materialized (D3.3 §2.1)."""
+
+from __future__ import annotations
+
+from repro.core.metadata import MetadataTree
+
+
+class Dataset:
+    """A dataset node of a workflow, described by a meta-data tree.
+
+    A *materialized* dataset points at concrete bytes (``Execution.path``)
+    on a concrete store (``Constraints.Engine.FS``); an *abstract* one is a
+    placeholder wired into the workflow graph whose concrete format the
+    planner decides.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metadata: MetadataTree | dict | None = None,
+        materialized: bool = False,
+    ) -> None:
+        self.name = name
+        if metadata is None:
+            metadata = MetadataTree()
+        elif isinstance(metadata, dict):
+            metadata = MetadataTree.from_properties(metadata)
+        self.metadata = metadata
+        self.materialized = materialized
+
+    # -- convenience accessors over the predefined fields ----------------
+    @property
+    def store(self) -> str | None:
+        """The datastore/filesystem holding the data (``Constraints.Engine.FS``)."""
+        return self.metadata.get("Constraints.Engine.FS") or self.metadata.get(
+            "Constraints.Engine"
+        )
+
+    @property
+    def fmt(self) -> str | None:
+        """Data format/type (``Constraints.type``), e.g. text, arff, sequence."""
+        return self.metadata.get("Constraints.type")
+
+    @property
+    def path(self) -> str | None:
+        """Concrete storage path of a materialized dataset."""
+        return self.metadata.get("Execution.path")
+
+    @property
+    def size(self) -> float:
+        """Dataset size in bytes (``Optimization.size``), 0 when unknown."""
+        return self.metadata.get_float("Optimization.size", 0.0)
+
+    @size.setter
+    def size(self, value: float) -> None:
+        """Setter for ``Optimization.size``."""
+        self.metadata.set("Optimization.size", value)
+
+    @property
+    def count(self) -> float:
+        """Input count (documents, edges, rows — ``Optimization.count``)."""
+        value = self.metadata.get_float("Optimization.count")
+        if value is None:
+            value = self.metadata.get_float("Optimization.documents", 0.0)
+        return value
+
+    @count.setter
+    def count(self, value: float) -> None:
+        """Setter for ``Optimization.count``."""
+        self.metadata.set("Optimization.count", value)
+
+    def signature(self) -> tuple:
+        """Hashable identity of this dataset's *format*: its constraint leaves.
+
+        The planner's dpTable keeps one entry per distinct signature of each
+        logical dataset ("the best execution plan for each different format
+        of a dataset node").
+        """
+        constraints = self.metadata.node("Constraints")
+        leaves = tuple(constraints.leaves()) if constraints is not None else ()
+        return (self.name, leaves)
+
+    def with_constraints(self, properties: dict) -> "Dataset":
+        """Copy of this dataset with extra/overridden constraint leaves."""
+        clone = Dataset(self.name, self.metadata.copy(), self.materialized)
+        for key, value in properties.items():
+            clone.metadata.set(key, value)
+        return clone
+
+    @classmethod
+    def from_file(cls, name: str, path) -> "Dataset":
+        """Load a materialized dataset description file (asapLibrary/datasets)."""
+        return cls(name, MetadataTree.from_file(path), materialized=True)
+
+    def __repr__(self) -> str:
+        kind = "materialized" if self.materialized else "abstract"
+        return f"Dataset({self.name!r}, {kind}, store={self.store}, fmt={self.fmt})"

@@ -1,0 +1,160 @@
+"""Cost estimators bridging the planner to models or engine ground truth.
+
+Two implementations of the planner's ``CostEstimator`` protocol:
+
+- :class:`OracleEstimator` consults the simulated engines' true performance
+  models — the limit case of perfectly trained estimators.  Figure 11–13
+  benchmarks use it so the plan quality reflects the planner, not model
+  noise.
+- :class:`ModelBackedEstimator` consults the :class:`~repro.core.modeler.
+  Modeler`'s learned models, which is how the deployed platform operates
+  (profile offline → estimate → refine online).
+
+Both derive the monetary-cost metric from the paper's simplified formula
+``#VM · cores/VM · MM/VM · t`` (§4.4), i.e. ``cores · memory_gb · t``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.modeler import Modeler
+from repro.core.operators import MaterializedOperator
+from repro.engines.errors import MemoryExceededError
+from repro.engines.profiles import Resources, Workload
+from repro.engines.registry import MultiEngineCloud
+
+INFEASIBLE = float("inf")
+
+
+def workload_from_inputs(
+    operator: MaterializedOperator, inputs: Sequence[Dataset]
+) -> Workload:
+    """Aggregate the operator's input datasets into a workload descriptor."""
+    count = sum(d.count for d in inputs)
+    size_gb = sum(d.size for d in inputs) / 1e9
+    params = {}
+    param_node = operator.metadata.node("Execution.Param")
+    if param_node is not None:
+        for key, value in param_node.leaves():
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return Workload(count=count, size_gb=size_gb, params=params)
+
+
+def resources_for(operator: MaterializedOperator, cloud: MultiEngineCloud) -> Resources:
+    """Resources an operator runs under: explicit metadata or engine defaults."""
+    cores = operator.metadata.get_int("Execution.Resources.cores")
+    memory = operator.metadata.get_float("Execution.Resources.memory_gb")
+    engine_name = operator.engine
+    if engine_name in cloud.engines:
+        default = cloud.engine(engine_name).default_resources()
+    else:
+        default = Resources()
+    return Resources(
+        cores=cores if cores is not None else default.cores,
+        memory_gb=memory if memory is not None else default.memory_gb,
+    )
+
+
+def monetary_cost(resources: Resources, exec_time: float) -> float:
+    """The §4.4 execution-cost metric: cores · memory(GB) · time."""
+    if exec_time == INFEASIBLE:
+        return INFEASIBLE
+    return resources.cores * resources.memory_gb * exec_time
+
+
+class _EstimatorBase:
+    """Shared move-cost and output-size logic."""
+
+    def __init__(self, cloud: MultiEngineCloud, output_selectivity: float = 0.8):
+        self.cloud = cloud
+        self.output_selectivity = output_selectivity
+
+    def move_metrics(self, dataset, src_store, dst_store):
+        """Transfer metrics from the cloud's bandwidth model."""
+        seconds = self.cloud.move_seconds(dataset.size, src_store, dst_store)
+        return {"execTime": seconds, "cost": seconds}
+
+    def output_size(self, operator, inputs):
+        """Output bytes = input bytes x (per-operator) selectivity."""
+        selectivity = operator.metadata.get_float(
+            "Optimization.outputSelectivity", self.output_selectivity
+        )
+        return sum(d.size for d in inputs) * selectivity
+
+    def output_count(self, operator, inputs):
+        """Output cardinality = input count x count selectivity."""
+        selectivity = operator.metadata.get_float(
+            "Optimization.countSelectivity", 1.0
+        )
+        return sum(d.count for d in inputs) * selectivity
+
+
+class OracleEstimator(_EstimatorBase):
+    """Ground-truth estimator over the simulated engines' profiles."""
+
+    def operator_metrics(self, operator, inputs):
+        """True metrics from the engine's performance profile."""
+        engine_name = operator.engine
+        algorithm = operator.algorithm
+        workload = workload_from_inputs(operator, inputs)
+        resources = resources_for(operator, self.cloud)
+        engine = self.cloud.engines.get(engine_name)
+        if engine is None or not engine.supports(algorithm):
+            # fall back on static metadata costs
+            return {
+                "execTime": operator.metadata.get_float("Optimization.execTime", INFEASIBLE),
+                "cost": operator.metadata.get_float("Optimization.cost", INFEASIBLE),
+            }
+        try:
+            seconds = engine.true_seconds(algorithm, workload, resources)
+        except MemoryExceededError:
+            return {"execTime": INFEASIBLE, "cost": INFEASIBLE}
+        return {"execTime": seconds, "cost": monetary_cost(resources, seconds)}
+
+
+class ModelBackedEstimator(_EstimatorBase):
+    """Estimator over the learned models; falls back to static metadata.
+
+    When a model predicts for an operator/engine whose simulated profile
+    would OOM, the learned model has no way to know — exactly like the real
+    platform, where infeasibility only shows up as failed runs.  Failed-run
+    awareness can be injected by registering infeasibility hints.
+    """
+
+    def __init__(
+        self,
+        cloud: MultiEngineCloud,
+        modeler: Modeler,
+        output_selectivity: float = 0.8,
+        fallback: bool = True,
+    ) -> None:
+        super().__init__(cloud, output_selectivity)
+        self.modeler = modeler
+        self.fallback = fallback
+
+    def operator_metrics(self, operator, inputs):
+        """Metrics predicted by the learned model (metadata fallback)."""
+        workload = workload_from_inputs(operator, inputs)
+        resources = resources_for(operator, self.cloud)
+        features = {
+            "input_size": workload.size_gb * 1e9,
+            "input_count": workload.count,
+            "cores": float(resources.cores),
+            "memory_gb": resources.memory_gb,
+        }
+        for key, value in workload.params.items():
+            try:
+                features[f"param_{key}"] = float(value)
+            except (TypeError, ValueError):
+                continue
+        seconds = self.modeler.estimate(operator.algorithm, operator.engine, features)
+        if seconds is None:
+            if not self.fallback:
+                return {"execTime": INFEASIBLE, "cost": INFEASIBLE}
+            seconds = operator.metadata.get_float("Optimization.execTime", INFEASIBLE)
+        return {"execTime": seconds, "cost": monetary_cost(resources, seconds)}

@@ -1,0 +1,90 @@
+"""The IReS operator library (D3.3 §2.1, Figure 1).
+
+Materialized operators live here, indexed by highly selective meta-data
+attributes (the algorithm name) so that abstract→materialized matching only
+tree-matches a handful of candidates instead of scanning the whole library
+(§2.2.3: "we further improve the matching procedure by indexing the IReS
+library operators using a set of highly selective meta-data attributes").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.core.operators import AbstractOperator, MaterializedOperator
+
+#: The selective attribute used for the library index.
+INDEX_ATTRIBUTE = "Constraints.OpSpecification.Algorithm.name"
+
+
+class OperatorLibrary:
+    """Container of materialized operators with an algorithm-name index."""
+
+    def __init__(self, operators: Iterable[MaterializedOperator] = ()) -> None:
+        self._by_name: dict[str, MaterializedOperator] = {}
+        self._index: dict[str | None, list[str]] = defaultdict(list)
+        for op in operators:
+            self.add(op)
+
+    def add(self, operator: MaterializedOperator) -> None:
+        """Register a materialized operator (name must be unique)."""
+        if operator.name in self._by_name:
+            raise ValueError(f"operator {operator.name!r} already registered")
+        self._by_name[operator.name] = operator
+        self._index[operator.metadata.get(INDEX_ATTRIBUTE)].append(operator.name)
+
+    def remove(self, name: str) -> None:
+        """Drop an operator from the library and its index (no-op if absent)."""
+        op = self._by_name.pop(name, None)
+        if op is None:
+            return
+        key = op.metadata.get(INDEX_ATTRIBUTE)
+        self._index[key] = [n for n in self._index[key] if n != name]
+
+    def get(self, name: str) -> MaterializedOperator:
+        """Look an operator up by name (KeyError if absent)."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[MaterializedOperator]:
+        return iter(self._by_name.values())
+
+    def candidates(self, abstract: AbstractOperator) -> list[MaterializedOperator]:
+        """Index lookup: operators sharing the selective attribute value.
+
+        A wildcard/absent algorithm name on the abstract side falls back to
+        scanning everything (the index cannot prune).
+        """
+        key = abstract.metadata.get(INDEX_ATTRIBUTE)
+        if key is None or key == "*":
+            return list(self._by_name.values())
+        return [self._by_name[n] for n in self._index.get(key, ())]
+
+    def find_materialized(
+        self,
+        abstract: AbstractOperator,
+        available_engines: set[str] | None = None,
+        use_index: bool = True,
+    ) -> list[MaterializedOperator]:
+        """``findMaterializedOperators(o)`` of Algorithm 1.
+
+        Returns the implementations whose meta-data tree matches the abstract
+        operator, optionally restricted to currently-available engines (the
+        fault-tolerance path excludes unavailable ones during planning).
+        ``use_index=False`` forces the full-library scan (used by the index
+        ablation benchmark).
+        """
+        pool = self.candidates(abstract) if use_index else list(self._by_name.values())
+        matches = []
+        for op in pool:
+            if available_engines is not None and op.engine not in available_engines:
+                continue
+            if op.matches_abstract(abstract):
+                matches.append(op)
+        return matches

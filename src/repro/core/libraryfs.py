@@ -1,0 +1,148 @@
+"""Filesystem layout of the IReS library (the §3 ``asapLibrary/`` tree).
+
+The deliverable defines artefacts as description files::
+
+    asapLibrary/
+      datasets/<name>                 dataset descriptions
+      operators/<name>/description    materialized operator descriptions
+      abstractOperators/<name>        abstract operator descriptions
+      abstractWorkflows/<wf>/graph    workflow graphs (…,$$target lines)
+
+:func:`load_asap_library` populates an :class:`~repro.core.platform.IReS`
+instance from such a tree; :func:`dump_asap_library` writes one back out, so
+libraries round-trip between the Python API and the on-disk format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.dataset import Dataset
+from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.core.platform import IReS
+from repro.core.workflow import AbstractWorkflow
+
+DATASETS_DIR = "datasets"
+OPERATORS_DIR = "operators"
+ABSTRACT_OPS_DIR = "abstractOperators"
+WORKFLOWS_DIR = "abstractWorkflows"
+DESCRIPTION_FILE = "description"
+GRAPH_FILE = "graph"
+
+
+class LibraryLayoutError(ValueError):
+    """The directory does not follow the asapLibrary layout."""
+
+
+@dataclass
+class LoadReport:
+    """What :func:`load_asap_library` found and registered."""
+
+    datasets: list[str] = field(default_factory=list)
+    operators: list[str] = field(default_factory=list)
+    abstract_operators: list[str] = field(default_factory=list)
+    workflows: list[str] = field(default_factory=list)
+
+    def total(self) -> int:
+        """Total number of artefacts loaded."""
+        return (len(self.datasets) + len(self.operators)
+                + len(self.abstract_operators) + len(self.workflows))
+
+
+def load_asap_library(root, ires: IReS) -> LoadReport:
+    """Register every artefact under ``root`` with the platform.
+
+    Workflows are parsed eagerly (they may reference library datasets and
+    abstract operators, which are loaded first) and stored on the platform
+    as ``ires.workflows[name]``.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise LibraryLayoutError(f"{root} is not a directory")
+    report = LoadReport()
+
+    datasets_dir = root / DATASETS_DIR
+    if datasets_dir.is_dir():
+        for path in sorted(datasets_dir.iterdir()):
+            if path.is_file():
+                ires.register_dataset(Dataset.from_file(path.name, path))
+                report.datasets.append(path.name)
+
+    operators_dir = root / OPERATORS_DIR
+    if operators_dir.is_dir():
+        for op_dir in sorted(operators_dir.iterdir()):
+            description = op_dir / DESCRIPTION_FILE
+            if op_dir.is_dir() and description.is_file():
+                ires.register_operator(
+                    MaterializedOperator.from_file(op_dir.name, description))
+                report.operators.append(op_dir.name)
+
+    abstract_dir = root / ABSTRACT_OPS_DIR
+    if abstract_dir.is_dir():
+        for path in sorted(abstract_dir.iterdir()):
+            if path.is_file():
+                ires.register_abstract(AbstractOperator.from_file(path.name, path))
+                report.abstract_operators.append(path.name)
+
+    workflows_dir = root / WORKFLOWS_DIR
+    if workflows_dir.is_dir():
+        for wf_dir in sorted(workflows_dir.iterdir()):
+            graph = wf_dir / GRAPH_FILE
+            if not (wf_dir.is_dir() and graph.is_file()):
+                continue
+            # a workflow folder may carry its own dataset/abstract-operator
+            # descriptions (§3.3 step 4.a)
+            local_datasets = dict(ires.datasets)
+            wf_ds_dir = wf_dir / DATASETS_DIR
+            if wf_ds_dir.is_dir():
+                for path in sorted(wf_ds_dir.iterdir()):
+                    if path.is_file() and path.stat().st_size > 0:
+                        local_datasets[path.name] = Dataset.from_file(
+                            path.name, path)
+            local_ops = dict(ires.abstract_operators)
+            wf_op_dir = wf_dir / OPERATORS_DIR
+            if wf_op_dir.is_dir():
+                for path in sorted(wf_op_dir.iterdir()):
+                    if path.is_file():
+                        local_ops[path.name] = AbstractOperator.from_file(
+                            path.name, path)
+            workflow = AbstractWorkflow.from_graph_lines(
+                graph.read_text().splitlines(), local_datasets, local_ops,
+                name=wf_dir.name,
+            )
+            ires.workflows[wf_dir.name] = workflow
+            report.workflows.append(wf_dir.name)
+    return report
+
+
+def dump_asap_library(ires: IReS, root) -> None:
+    """Write the platform's artefacts back out in the asapLibrary layout."""
+    root = Path(root)
+    (root / DATASETS_DIR).mkdir(parents=True, exist_ok=True)
+    for name, dataset in ires.datasets.items():
+        _write_properties(root / DATASETS_DIR / name, dataset.metadata)
+    (root / ABSTRACT_OPS_DIR).mkdir(parents=True, exist_ok=True)
+    for name, operator in ires.abstract_operators.items():
+        _write_properties(root / ABSTRACT_OPS_DIR / name, operator.metadata)
+    for operator in ires.library:
+        op_dir = root / OPERATORS_DIR / operator.name
+        op_dir.mkdir(parents=True, exist_ok=True)
+        _write_properties(op_dir / DESCRIPTION_FILE, operator.metadata)
+    for name, workflow in getattr(ires, "workflows", {}).items():
+        wf_dir = root / WORKFLOWS_DIR / name
+        wf_dir.mkdir(parents=True, exist_ok=True)
+        lines = []
+        for op_name, inputs in workflow.op_inputs.items():
+            for ds in inputs:
+                lines.append(f"{ds},{op_name},0")
+        for op_name, outputs in workflow.op_outputs.items():
+            for ds in outputs:
+                lines.append(f"{op_name},{ds},0")
+        lines.append(f"{workflow.target},$$target")
+        (wf_dir / GRAPH_FILE).write_text("\n".join(lines) + "\n")
+
+
+def _write_properties(path: Path, metadata) -> None:
+    lines = [f"{key}={value}" for key, value in metadata.leaves()]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))

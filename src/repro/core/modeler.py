@@ -1,0 +1,166 @@
+"""The modeler: trains and serves per-(operator, engine) estimation models.
+
+Wraps the repro.models zoo with the paper's selection rule — fit every
+approximation technique, cross-validate, keep the best (D3.3 §2.2.1) — and
+serves estimates to the planner.  Retraining on the growing sample store is
+how online refinement (§2.2.2) manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.monitoring import MetricsCollector
+from repro.models import Model, default_model_zoo, select_best_model
+from repro.models.linear import LinearRegression
+
+
+@dataclass
+class OperatorModel:
+    """A fitted estimator for one (algorithm, engine) pair.
+
+    Performance of data-parallel operators is multiplicative in its drivers
+    (t ≈ size/cores · const), so both features and target are fitted in
+    log space — this is what keeps the *relative* estimation error (the
+    paper's Fig 16 metric) low across the orders of magnitude a profiling
+    grid spans.
+    """
+
+    algorithm: str
+    engine: str
+    feature_names: list[str]
+    model: Model
+    model_name: str
+    n_samples: int
+    cv_scores: dict[str, float]
+    log_space: bool = True
+
+    def estimate(self, features: dict[str, float]) -> float:
+        """Predict execution time from a feature dict; floors at zero."""
+        x = np.array([[float(features.get(n, 0.0)) for n in self.feature_names]])
+        if self.log_space:
+            x = np.log1p(np.abs(x))
+            return max(float(np.expm1(self.model.predict(x)[0])), 0.0)
+        return max(float(self.model.predict(x)[0]), 0.0)
+
+
+class Modeler:
+    """Trains models from collector samples and answers estimates."""
+
+    def __init__(
+        self,
+        collector: MetricsCollector,
+        zoo: dict | None = None,
+        min_samples: int = 4,
+        log_space: bool = True,
+    ) -> None:
+        self.collector = collector
+        self.zoo = zoo if zoo is not None else default_model_zoo()
+        self.min_samples = min_samples
+        self.log_space = log_space
+        self.models: dict[tuple[str, str], OperatorModel] = {}
+
+    def train(self, algorithm: str, engine: str) -> OperatorModel | None:
+        """(Re)train the model for a pair from all its stored samples.
+
+        Returns None when too few samples exist to fit anything.
+        """
+        X, y, names = self.collector.training_matrix(algorithm, engine)
+        if len(y) < 2:
+            return None
+        if self.log_space:
+            X = np.log1p(np.abs(X))
+            y = np.log1p(np.maximum(y, 0.0))
+        if len(y) < self.min_samples:
+            model: Model = LinearRegression().fit(X, y)
+            fitted = OperatorModel(
+                algorithm, engine, names, model, "LinearRegression", len(y), {},
+                log_space=self.log_space,
+            )
+        else:
+            model, winner, scores = select_best_model(X, y, zoo=self.zoo)
+            fitted = OperatorModel(
+                algorithm, engine, names, model, winner, len(y), scores,
+                log_space=self.log_space,
+            )
+        self.models[(algorithm, engine)] = fitted
+        return fitted
+
+    def get(self, algorithm: str, engine: str) -> OperatorModel | None:
+        """The trained model for a pair, or None."""
+        return self.models.get((algorithm, engine))
+
+    def estimate(
+        self, algorithm: str, engine: str, features: dict[str, float]
+    ) -> float | None:
+        """Estimated execution time, or None when no model exists yet."""
+        model = self.models.get((algorithm, engine))
+        if model is None:
+            return None
+        return model.estimate(features)
+
+    def sample_count(self, algorithm: str, engine: str) -> int:
+        """Number of successful runs stored for a pair."""
+        return len(self.collector.for_operator(algorithm, engine))
+
+    def drop(self, algorithm: str, engine: str) -> None:
+        """Discard a trained model (the what-if baseline of Fig 16.b)."""
+        self.models.pop((algorithm, engine), None)
+
+    # -- persistence ("the models are stored and updated in an IReS
+    # library", §2) ---------------------------------------------------------
+    def save(self, directory) -> int:
+        """Persist every trained model under a directory; returns the count.
+
+        Each pair gets ``<algorithm>__<engine>.npz`` (the fitted estimator,
+        pickle-free) plus a ``.json`` sidecar with the bookkeeping.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.models.serialize import save_model
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for (algorithm, engine), fitted in self.models.items():
+            stem = f"{algorithm}__{engine}".replace("/", "_")
+            save_model(fitted.model, directory / f"{stem}.npz")
+            meta = {
+                "algorithm": algorithm,
+                "engine": engine,
+                "feature_names": fitted.feature_names,
+                "model_name": fitted.model_name,
+                "n_samples": fitted.n_samples,
+                "cv_scores": fitted.cv_scores,
+                "log_space": fitted.log_space,
+            }
+            (directory / f"{stem}.json").write_text(json.dumps(meta, indent=1))
+        return len(self.models)
+
+    def load(self, directory) -> int:
+        """Restore models saved by :meth:`save`; returns how many loaded."""
+        import json
+        from pathlib import Path
+
+        from repro.models.serialize import load_model
+
+        directory = Path(directory)
+        count = 0
+        for meta_path in sorted(directory.glob("*.json")):
+            meta = json.loads(meta_path.read_text())
+            model = load_model(meta_path.with_suffix(".npz"))
+            fitted = OperatorModel(
+                algorithm=meta["algorithm"],
+                engine=meta["engine"],
+                feature_names=list(meta["feature_names"]),
+                model=model,
+                model_name=meta["model_name"],
+                n_samples=int(meta["n_samples"]),
+                cv_scores=dict(meta["cv_scores"]),
+                log_space=bool(meta["log_space"]),
+            )
+            self.models[(fitted.algorithm, fitted.engine)] = fitted
+            count += 1
+        return count

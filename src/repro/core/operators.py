@@ -1,0 +1,162 @@
+"""Operator descriptors: abstract, materialized and move/transform operators."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.dataset import Dataset
+from repro.core.metadata import MetadataTree
+
+
+class Operator:
+    """Base class holding the name/meta-data pair shared by all operators."""
+
+    def __init__(self, name: str, metadata: MetadataTree | dict | None = None) -> None:
+        self.name = name
+        if metadata is None:
+            metadata = MetadataTree()
+        elif isinstance(metadata, dict):
+            metadata = MetadataTree.from_properties(metadata)
+        self.metadata = metadata
+
+    @property
+    def algorithm(self) -> str | None:
+        """The selective matching attribute (``OpSpecification.Algorithm.name``)."""
+        return self.metadata.get("Constraints.OpSpecification.Algorithm.name")
+
+    @property
+    def n_inputs(self) -> int:
+        """Declared input arity (``Constraints.Input.number``)."""
+        return self.metadata.get_int("Constraints.Input.number", 1)
+
+    @property
+    def n_outputs(self) -> int:
+        """Declared output arity (``Constraints.Output.number``)."""
+        return self.metadata.get_int("Constraints.Output.number", 1)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, algorithm={self.algorithm})"
+
+
+class AbstractOperator(Operator):
+    """An operator as referenced when composing a workflow.
+
+    Defines *what* is computed (algorithm name, input/output arity, any extra
+    constraints, possibly with ``*`` wildcards) but not *where/how*.
+    """
+
+    @classmethod
+    def from_file(cls, name: str, path) -> "AbstractOperator":
+        """Parse an abstract-operator description file."""
+        return cls(name, MetadataTree.from_file(path))
+
+
+class MaterializedOperator(Operator):
+    """A concrete operator implementation bound to an engine.
+
+    Carries everything needed to run: the engine (``Constraints.Engine``),
+    per-input/-output format specs (``Constraints.Input{i}``/``Output{i}``)
+    and execution/optimization parameters.  ``impl`` optionally binds a
+    Python callable actually computing the operator (see repro.analytics);
+    IReS itself treats it as a black box.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metadata: MetadataTree | dict | None = None,
+        impl: Callable | None = None,
+    ) -> None:
+        super().__init__(name, metadata)
+        self.impl = impl
+
+    @property
+    def engine(self) -> str | None:
+        """The engine this implementation runs on (``Constraints.Engine``)."""
+        return self.metadata.get("Constraints.Engine")
+
+    def input_spec(self, i: int) -> MetadataTree:
+        """Constraint subtree describing input ``i`` (may be empty)."""
+        node = self.metadata.node(f"Constraints.Input{i}")
+        return node if node is not None else MetadataTree()
+
+    def output_spec(self, i: int) -> MetadataTree:
+        """Constraint subtree describing output ``i`` (may be empty)."""
+        node = self.metadata.node(f"Constraints.Output{i}")
+        return node if node is not None else MetadataTree()
+
+    def matches_abstract(self, abstract: AbstractOperator) -> bool:
+        """Tree-match: does this implementation satisfy the abstract operator?
+
+        All compulsory fields of the abstract description must be consistent
+        with this operator's meta-data (D3.3 §2.1, Figure 2/3 example).
+        """
+        required = abstract.metadata.node("Constraints")
+        if required is None:
+            return True
+        provided = self.metadata.node("Constraints")
+        if provided is None:
+            return False
+        return required.matches(provided)
+
+    def accepts_input(self, dataset: Dataset, i: int) -> bool:
+        """Can ``dataset`` feed input ``i`` as-is (no move/transform)?
+
+        The dataset's constraints and the input spec must agree on every
+        shared field (engine/filesystem, type, ...).
+        """
+        spec = self.input_spec(i)
+        ds_constraints = dataset.metadata.node("Constraints")
+        if ds_constraints is None:
+            return True
+        return spec.consistent_with(ds_constraints)
+
+    def output_for(self, abstract_output: Dataset, i: int = 0) -> Dataset:
+        """Materialize the descriptor of output ``i`` for this implementation.
+
+        The abstract output dataset is annotated with the operator's output
+        spec (store, format), which is what downstream matching sees.
+        """
+        out = Dataset(abstract_output.name, abstract_output.metadata.copy())
+        for path, value in self.output_spec(i).leaves():
+            out.metadata.set(f"Constraints.{path}", value)
+        out.materialized = False
+        return out
+
+    @classmethod
+    def from_file(cls, name: str, path, impl: Callable | None = None) -> "MaterializedOperator":
+        """Parse a materialized-operator description file."""
+        return cls(name, MetadataTree.from_file(path), impl=impl)
+
+
+class MoveOperator(MaterializedOperator):
+    """A synthesized move/transform connecting two engines or formats.
+
+    The planner inserts these automatically between consecutive operators
+    whose output/input specs disagree (D3.3 §2.2.3, lines 22–25 of Alg. 1).
+    """
+
+    def __init__(self, src_store: str, dst_store: str, src_fmt: str | None = None,
+                 dst_fmt: str | None = None) -> None:
+        props = {
+            "Constraints.OpSpecification.Algorithm.name": "move",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+            "Constraints.Engine": "move",
+        }
+        if src_store:
+            props["Constraints.Input0.Engine.FS"] = src_store
+        if dst_store:
+            props["Constraints.Output0.Engine.FS"] = dst_store
+        if src_fmt:
+            props["Constraints.Input0.type"] = src_fmt
+        if dst_fmt:
+            props["Constraints.Output0.type"] = dst_fmt
+        name = f"move_{src_store}_to_{dst_store}"
+        if src_fmt != dst_fmt and dst_fmt:
+            name += f"_{src_fmt or 'any'}_to_{dst_fmt}"
+        super().__init__(name, props)
+        self.src_store = src_store
+        self.dst_store = dst_store
+        self.src_fmt = src_fmt
+        self.dst_fmt = dst_fmt

@@ -1,0 +1,255 @@
+"""Pareto-frontier workflow planning — the §2.2.3 extension.
+
+The paper's planner optimizes a single scalarized metric and notes: "We are
+currently investigating methods for optimizing multiple dimensions of
+performance metrics, such as finding Pareto frontier execution plans."
+This module implements that extension: the dpTable keeps, per dataset
+format, the set of *mutually non-dominated* plans over a metric vector
+(execution time, monetary cost, ...), and the planner returns the whole
+frontier at the target so the user can pick a trade-off after the fact.
+
+Frontier sizes are bounded (``max_frontier``) by thinning evenly along the
+first metric, which keeps the DP polynomial while preserving the extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.library import OperatorLibrary
+from repro.core.planner import CostEstimator, MetadataCostEstimator, PlanningError
+from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
+
+INFEASIBLE = float("inf")
+
+
+def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """Pareto dominance for minimization."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def prune_frontier(entries: list["_ParetoEntry"], max_size: int) -> list["_ParetoEntry"]:
+    """Drop dominated entries; thin to ``max_size`` along the first metric."""
+    entries = sorted(entries, key=lambda e: e.metrics)
+    kept: list[_ParetoEntry] = []
+    for entry in entries:
+        if any(dominates(other.metrics, entry.metrics) for other in kept):
+            continue
+        kept = [k for k in kept if not dominates(entry.metrics, k.metrics)]
+        kept.append(entry)
+    kept.sort(key=lambda e: e.metrics[0])
+    if len(kept) <= max_size:
+        return kept
+    # keep the extremes, thin evenly in between
+    idx = np.linspace(0, len(kept) - 1, max_size).round().astype(int)
+    return [kept[i] for i in sorted(set(idx.tolist()))]
+
+
+class _ParetoEntry:
+    """One frontier point: a dataset format, a metric vector, a plan DAG."""
+
+    __slots__ = ("dataset", "metrics", "step", "parents")
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        metrics: tuple[float, ...],
+        step: PlanStep | None = None,
+        parents: tuple["_ParetoEntry", ...] = (),
+    ):
+        self.dataset = dataset
+        self.metrics = metrics
+        self.step = step
+        self.parents = parents
+
+    def collect_steps(self) -> list[PlanStep]:
+        """Topologically ordered, deduplicated steps of this entry's plan."""
+        seen: set[int] = set()
+        ordered: list[PlanStep] = []
+
+        def visit(entry: "_ParetoEntry") -> None:
+            if id(entry) in seen:
+                return
+            seen.add(id(entry))
+            for parent in entry.parents:
+                visit(parent)
+            if entry.step is not None:
+                ordered.append(entry.step)
+
+        visit(self)
+        unique, emitted = [], set()
+        for step in ordered:
+            if id(step) not in emitted:
+                emitted.add(id(step))
+                unique.append(step)
+        return unique
+
+
+class ParetoPlan(MaterializedPlan):
+    """A frontier plan annotated with its full metric vector."""
+
+    def __init__(self, workflow, steps, metrics: dict[str, float]):
+        super().__init__(workflow, steps, cost=next(iter(metrics.values())))
+        self.metrics = metrics
+
+
+class ParetoPlanner:
+    """Multi-objective variant of Algorithm 1 returning a plan frontier."""
+
+    def __init__(
+        self,
+        library: OperatorLibrary,
+        estimator: CostEstimator | None = None,
+        metrics: Sequence[str] = ("execTime", "cost"),
+        max_frontier: int = 16,
+        allow_moves: bool = True,
+    ) -> None:
+        if len(metrics) < 2:
+            raise ValueError("Pareto planning needs at least two metrics")
+        self.library = library
+        self.estimator = estimator if estimator is not None else MetadataCostEstimator()
+        self.metrics = tuple(metrics)
+        self.max_frontier = max_frontier
+        self.allow_moves = allow_moves
+
+    # -- public ----------------------------------------------------------
+    def plan_frontier(
+        self,
+        workflow: AbstractWorkflow,
+        available_engines: set[str] | None = None,
+    ) -> list[ParetoPlan]:
+        """All Pareto-optimal plans for the workflow's target dataset."""
+        workflow.validate()
+        dp: dict[str, dict[tuple, list[_ParetoEntry]]] = {}
+        zeros = tuple(0.0 for _ in self.metrics)
+        for name, dataset in workflow.datasets.items():
+            if dataset.materialized:
+                dp[name] = {dataset.signature(): [_ParetoEntry(dataset, zeros)]}
+
+        for abstract_op in workflow.topological_operators():
+            in_names = workflow.op_inputs[abstract_op.name]
+            out_names = workflow.op_outputs[abstract_op.name]
+            matches = self.library.find_materialized(abstract_op, available_engines)
+            for mat_op in matches:
+                self._consider(dp, workflow, abstract_op.name, mat_op,
+                               in_names, out_names)
+
+        target_slots = dp.get(workflow.target)
+        if not target_slots:
+            raise PlanningError(
+                f"no feasible plan produces target {workflow.target!r}")
+        frontier = prune_frontier(
+            [e for entries in target_slots.values() for e in entries],
+            self.max_frontier,
+        )
+        plans = []
+        for entry in frontier:
+            metrics = dict(zip(self.metrics, entry.metrics))
+            plans.append(ParetoPlan(workflow, entry.collect_steps(), metrics))
+        return plans
+
+    # -- internals ---------------------------------------------------------
+    def _vector(self, metrics: dict[str, float]) -> tuple[float, ...] | None:
+        values = tuple(float(metrics.get(m, INFEASIBLE)) for m in self.metrics)
+        if any(v == INFEASIBLE for v in values):
+            return None
+        return values
+
+    @staticmethod
+    def _add(a: tuple[float, ...], b: tuple[float, ...]) -> tuple[float, ...]:
+        return tuple(x + y for x, y in zip(a, b))
+
+    def _input_options(
+        self, entries: list[_ParetoEntry], mat_op, i: int
+    ) -> list[_ParetoEntry]:
+        """Frontier of ways to provide input ``i`` (direct or via a move)."""
+        options: list[_ParetoEntry] = []
+        for entry in entries:
+            if mat_op.accepts_input(entry.dataset, i):
+                options.append(entry)
+            elif self.allow_moves:
+                moved = self._move(entry, mat_op, i)
+                if moved is not None:
+                    options.append(moved)
+        return prune_frontier(options, self.max_frontier)
+
+    def _move(self, entry: _ParetoEntry, mat_op, i: int) -> "_ParetoEntry | None":
+        spec = mat_op.input_spec(i)
+        if spec.is_leaf:
+            return None
+        src = entry.dataset
+        dst_store = spec.get("Engine.FS") or spec.get("Engine") or mat_op.engine
+        move_vec = self._vector(
+            self.estimator.move_metrics(src, src.store, dst_store))
+        if move_vec is None:
+            return None
+        moved = Dataset(src.name, src.metadata.copy())
+        for path, value in spec.leaves():
+            moved.metadata.set(f"Constraints.{path}", value)
+        if not mat_op.accepts_input(moved, i):
+            return None
+        from repro.core.operators import MoveOperator
+
+        move_op = MoveOperator(src.store or "unknown", dst_store or "unknown",
+                               src.fmt, moved.fmt)
+        step = PlanStep(operator=move_op, inputs=(src,), outputs=(moved,),
+                        estimated_cost=move_vec[0])
+        return _ParetoEntry(moved, self._add(entry.metrics, move_vec),
+                            step, (entry,))
+
+    def _consider(self, dp, workflow, abstract_name, mat_op, in_names, out_names):
+        # frontier of input combinations, built incrementally with pruning
+        combos: list[tuple[tuple[float, ...], tuple[_ParetoEntry, ...]]] = [
+            (tuple(0.0 for _ in self.metrics), ())
+        ]
+        for i, in_name in enumerate(in_names):
+            slots = dp.get(in_name)
+            if not slots:
+                return
+            options = self._input_options(
+                [e for entries in slots.values() for e in entries], mat_op, i)
+            if not options:
+                return
+            extended = [
+                (self._add(vec, opt.metrics), parents + (opt,))
+                for vec, parents in combos
+                for opt in options
+            ]
+            # prune combined partial vectors to keep the product bounded
+            wrapped = [
+                _ParetoEntry(None, vec, None, parents)  # type: ignore[arg-type]
+                for vec, parents in extended
+            ]
+            pruned = prune_frontier(wrapped, self.max_frontier)
+            combos = [(e.metrics, e.parents) for e in pruned]
+
+        for vec, parents in combos:
+            input_datasets = [p.dataset for p in parents]
+            op_vec = self._vector(
+                self.estimator.operator_metrics(mat_op, input_datasets))
+            if op_vec is None:
+                continue
+            total = self._add(vec, op_vec)
+            outputs = []
+            out_size = self.estimator.output_size(mat_op, input_datasets)
+            out_count = self.estimator.output_count(mat_op, input_datasets)
+            for i, out_name in enumerate(out_names):
+                out_ds = mat_op.output_for(workflow.datasets[out_name], i)
+                out_ds.size = out_size
+                out_ds.count = out_count
+                outputs.append(out_ds)
+            step = PlanStep(
+                operator=mat_op, inputs=tuple(input_datasets),
+                outputs=tuple(outputs), estimated_cost=op_vec[0],
+                abstract_name=abstract_name,
+            )
+            entry_parents = tuple(parents)
+            for out_ds in outputs:
+                slot = dp.setdefault(out_ds.name, {})
+                entries = slot.setdefault(out_ds.signature(), [])
+                entries.append(_ParetoEntry(out_ds, total, step, entry_parents))
+                slot[out_ds.signature()] = prune_frontier(
+                    entries, self.max_frontier)

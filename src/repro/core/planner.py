@@ -1,0 +1,314 @@
+"""The IReS multi-engine workflow planner — Algorithm 1 of the paper.
+
+A dynamic-programming optimizer over the abstract workflow DAG.  The
+``dpTable`` keeps, for every intermediate dataset node, the best plan *per
+distinct dataset format/location*, which is what enables hybrid multi-engine
+plans (an entry left on engine A may lose locally but win globally once the
+downstream operator runs on A).  Move/transform operators are synthesized
+where consecutive operators disagree on formats or stores.
+
+Entries form a parent-linked DAG instead of carrying full step lists; the
+winning plan is assembled once at the end by a topological walk, which keeps
+planning linear in plan size (the Figure 14/15 experiments run workflows of
+up to 1000 nodes).
+
+Worst-case complexity is ``O(op · m² · k)`` for ``op`` abstract operators,
+``m`` matching implementations each and ``k`` inputs per operator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.library import OperatorLibrary
+from repro.core.operators import MaterializedOperator, MoveOperator
+from repro.core.policy import OptimizationPolicy
+from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
+
+INFEASIBLE = float("inf")
+
+
+class PlanningError(RuntimeError):
+    """No feasible execution plan exists for the workflow."""
+
+
+class CostEstimator(Protocol):
+    """What the planner needs from the modeling layer (or ground truth)."""
+
+    def operator_metrics(
+        self, operator: MaterializedOperator, inputs: Sequence[Dataset]
+    ) -> dict[str, float]:
+        """Estimated metrics (execTime, cost, ...) of running the operator."""
+        ...
+
+    def move_metrics(
+        self, dataset: Dataset, src_store: str | None, dst_store: str | None
+    ) -> dict[str, float]:
+        """Estimated metrics of moving/transforming a dataset between stores."""
+        ...
+
+    def output_size(
+        self, operator: MaterializedOperator, inputs: Sequence[Dataset]
+    ) -> float:
+        """Estimated size (bytes) of the operator's output dataset."""
+        ...
+
+    def output_count(
+        self, operator: MaterializedOperator, inputs: Sequence[Dataset]
+    ) -> float:
+        """Estimated cardinality (items) of the operator's output dataset."""
+        ...
+
+
+class MetadataCostEstimator:
+    """Fallback estimator reading static costs from operator descriptions.
+
+    Mirrors the deliverable's LineCount example where the description file
+    carries ``Optimization.execTime=1.0`` / ``Optimization.cost=1.0``
+    (a ``UserFunction`` model).  Move cost is proportional to data size.
+    """
+
+    def __init__(self, move_bandwidth: float = 100e6) -> None:
+        self.move_bandwidth = move_bandwidth
+
+    def operator_metrics(self, operator, inputs):
+        """Static ``Optimization.execTime``/``cost`` from the description."""
+        return {
+            "execTime": operator.metadata.get_float("Optimization.execTime", 1.0),
+            "cost": operator.metadata.get_float("Optimization.cost", 1.0),
+        }
+
+    def move_metrics(self, dataset, src_store, dst_store):
+        """Move time = bytes / bandwidth."""
+        seconds = dataset.size / self.move_bandwidth
+        return {"execTime": seconds, "cost": seconds}
+
+    def output_size(self, operator, inputs):
+        """Output bytes default to the sum of input bytes."""
+        return sum(d.size for d in inputs)
+
+    def output_count(self, operator, inputs):
+        """Output cardinality defaults to the sum of input counts."""
+        return sum(d.count for d in inputs)
+
+
+class _Entry:
+    """One dpTable record: a dataset in a concrete format plus how to get it.
+
+    ``step`` is the final step producing the dataset (None for materialized
+    sources); ``parents`` are the entries whose plans feed it.  The full plan
+    is reconstructed by walking this DAG.
+    """
+
+    __slots__ = ("dataset", "cost", "step", "parents")
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        cost: float,
+        step: PlanStep | None = None,
+        parents: tuple["_Entry", ...] = (),
+    ):
+        self.dataset = dataset
+        self.cost = cost
+        self.step = step
+        self.parents = parents
+
+    def collect_steps(self) -> list[PlanStep]:
+        """Topologically ordered, deduplicated steps of this entry's plan."""
+        seen: set[int] = set()
+        ordered: list[PlanStep] = []
+
+        def visit(entry: "_Entry") -> None:
+            if id(entry) in seen:
+                return
+            seen.add(id(entry))
+            for parent in entry.parents:
+                visit(parent)
+            if entry.step is not None:
+                ordered.append(entry.step)
+
+        visit(self)
+        # a step may be shared by several entries; dedupe while keeping order
+        unique: list[PlanStep] = []
+        emitted: set[int] = set()
+        for step in ordered:
+            if id(step) not in emitted:
+                emitted.add(id(step))
+                unique.append(step)
+        return unique
+
+
+class Planner:
+    """Dynamic-programming workflow planner (Algorithm 1)."""
+
+    def __init__(
+        self,
+        library: OperatorLibrary,
+        estimator: CostEstimator | None = None,
+        policy: OptimizationPolicy | None = None,
+        allow_moves: bool = True,
+        use_index: bool = True,
+        single_entry_dp: bool = False,
+    ) -> None:
+        self.library = library
+        self.estimator = estimator if estimator is not None else MetadataCostEstimator()
+        self.policy = policy if policy is not None else OptimizationPolicy.min_exec_time()
+        self.allow_moves = allow_moves
+        self.use_index = use_index
+        #: ablation switch: keep only ONE best entry per dataset node instead
+        #: of one per format/engine (loses hybrid plans; see DESIGN.md §5).
+        self.single_entry_dp = single_entry_dp
+        self._move_ops: dict[tuple, MoveOperator] = {}
+
+    # -- public API ---------------------------------------------------------
+    def plan(
+        self,
+        workflow: AbstractWorkflow,
+        available_engines: set[str] | None = None,
+        materialized_results: dict[str, Dataset] | None = None,
+    ) -> MaterializedPlan:
+        """Find the optimal materialized plan for an abstract workflow.
+
+        ``available_engines`` excludes implementations on unavailable engines
+        (used during fault-tolerant replanning, §2.3).  ``materialized_results``
+        maps intermediate dataset names to already-computed results, which
+        enter the dpTable at zero cost so replanning reuses them.
+        """
+        workflow.validate()
+        dp: dict[str, dict[tuple, _Entry]] = {}
+        materialized_results = materialized_results or {}
+
+        # Initialize dpTable with materialized inputs (lines 5-10).
+        for name, dataset in workflow.datasets.items():
+            if name in materialized_results:
+                ds = materialized_results[name]
+                dp[name] = {ds.signature(): _Entry(ds, 0.0)}
+            elif dataset.materialized:
+                dp[name] = {dataset.signature(): _Entry(dataset, 0.0)}
+                if name == workflow.target:
+                    return MaterializedPlan(workflow, [], 0.0)
+
+        # Process operators in DAG topological order (line 11 onwards).
+        for abstract_op in workflow.topological_operators():
+            in_names = workflow.op_inputs[abstract_op.name]
+            out_names = workflow.op_outputs[abstract_op.name]
+            if all(n in materialized_results for n in out_names):
+                continue  # already computed before a failure; nothing to plan
+            matches = self.library.find_materialized(
+                abstract_op, available_engines, use_index=self.use_index
+            )
+            for mat_op in matches:
+                self._consider(dp, workflow, abstract_op.name, mat_op, in_names, out_names)
+
+        target_entries = dp.get(workflow.target)
+        if not target_entries:
+            raise PlanningError(
+                f"no feasible plan produces target {workflow.target!r} "
+                f"(available engines: {sorted(available_engines) if available_engines else 'all'})"
+            )
+        best = min(target_entries.values(), key=lambda e: e.cost)
+        return MaterializedPlan(workflow, best.collect_steps(), best.cost)
+
+    # -- internals ---------------------------------------------------------
+    def _consider(
+        self,
+        dp: dict[str, dict[tuple, _Entry]],
+        workflow: AbstractWorkflow,
+        abstract_name: str,
+        mat_op: MaterializedOperator,
+        in_names: list[str],
+        out_names: list[str],
+    ) -> None:
+        """Evaluate one materialized candidate (inner loop of Algorithm 1)."""
+        input_cost = 0.0
+        input_entries: list[_Entry] = []
+        for i, in_name in enumerate(in_names):
+            entries = dp.get(in_name)
+            if not entries:
+                return  # input not producible -> operator infeasible
+            best: _Entry | None = None
+            for entry in entries.values():
+                if mat_op.accepts_input(entry.dataset, i):
+                    if best is None or entry.cost < best.cost:
+                        best = entry
+                elif self.allow_moves:
+                    moved = self._move(entry, mat_op, i)
+                    if moved is not None and (best is None or moved.cost < best.cost):
+                        best = moved
+            if best is None:
+                return
+            input_cost += best.cost
+            input_entries.append(best)
+
+        input_datasets = [e.dataset for e in input_entries]
+        metrics = self.estimator.operator_metrics(mat_op, input_datasets)
+        operator_cost = self.policy.scalarize(metrics)
+        if operator_cost == INFEASIBLE:
+            return
+        total_cost = input_cost + operator_cost
+
+        outputs = []
+        out_size = self.estimator.output_size(mat_op, input_datasets)
+        out_count = self.estimator.output_count(mat_op, input_datasets)
+        for i, out_name in enumerate(out_names):
+            out_ds = mat_op.output_for(workflow.datasets[out_name], i)
+            out_ds.size = out_size
+            out_ds.count = out_count
+            outputs.append(out_ds)
+        step = PlanStep(
+            operator=mat_op,
+            inputs=tuple(input_datasets),
+            outputs=tuple(outputs),
+            estimated_cost=operator_cost,
+            abstract_name=abstract_name,
+        )
+        parents = tuple(input_entries)
+        for out_ds in outputs:
+            slot = dp.setdefault(out_ds.name, {})
+            key = ("__single__",) if self.single_entry_dp else out_ds.signature()
+            current = slot.get(key)
+            if current is None or total_cost < current.cost:
+                slot[key] = _Entry(out_ds, total_cost, step, parents)
+
+    def _move_operator(self, src_store, dst_store, src_fmt, dst_fmt) -> MoveOperator:
+        key = (src_store, dst_store, src_fmt, dst_fmt)
+        op = self._move_ops.get(key)
+        if op is None:
+            op = MoveOperator(src_store or "unknown", dst_store or "unknown",
+                              src_fmt, dst_fmt)
+            self._move_ops[key] = op
+        return op
+
+    def _move(self, entry: _Entry, mat_op: MaterializedOperator, i: int) -> "_Entry | None":
+        """``checkMove``/``moveCost`` of Algorithm 1: synthesize a transfer.
+
+        Builds a move/transform step converting the dpTable entry's dataset
+        to the format required by input ``i`` of ``mat_op``.  Returns None if
+        the move is impossible (estimator returned infinity) or pointless
+        (the input spec imposes no constraints to convert to).
+        """
+        spec = mat_op.input_spec(i)
+        if spec.is_leaf:
+            return None  # nothing known to convert to; mismatch is structural
+        src = entry.dataset
+        src_store = src.store
+        dst_store = spec.get("Engine.FS") or spec.get("Engine") or mat_op.engine
+        metrics = self.estimator.move_metrics(src, src_store, dst_store)
+        move_cost = self.policy.scalarize(metrics)
+        if move_cost == INFEASIBLE:
+            return None
+        moved = Dataset(src.name, src.metadata.copy())
+        for path, value in spec.leaves():
+            moved.metadata.set(f"Constraints.{path}", value)
+        if not mat_op.accepts_input(moved, i):
+            return None
+        move_op = self._move_operator(src_store, dst_store, src.fmt, moved.fmt)
+        step = PlanStep(
+            operator=move_op,
+            inputs=(src,),
+            outputs=(moved,),
+            estimated_cost=move_cost,
+        )
+        return _Entry(moved, entry.cost + move_cost, step, (entry,))

@@ -1,0 +1,135 @@
+"""The IReS platform facade — the library's main entry point.
+
+Wires together the architecture of Figure 1: the interface layer (meta-data
+framework, parser), the optimizer layer (profiler/modeler, model refinement,
+planner, resource provisioning) and the executor layer (enforcer, execution
+monitor) over the multi-engine cloud.
+
+Typical use::
+
+    ires = IReS()
+    ires.register_operator(MaterializedOperator("TF_IDF_spark", {...}))
+    ires.register_abstract(AbstractOperator("tfidf", {...}))
+    ires.register_dataset(Dataset("docs", {...}, materialized=True))
+    wf = ires.workflow_from_graph("text", ["docs,tfidf,0", "tfidf,d1,0", "d1,$$target"])
+    report = ires.execute(wf)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.dataset import Dataset
+from repro.core.estimators import ModelBackedEstimator, OracleEstimator
+from repro.core.library import OperatorLibrary
+from repro.core.modeler import Modeler
+from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.core.planner import Planner
+from repro.core.policy import OptimizationPolicy
+from repro.core.profiler import Profiler, ProfileSpec
+from repro.core.provisioning import ProvisioningResult, ResourceProvisioner
+from repro.core.refinement import ModelRefiner
+from repro.core.workflow import AbstractWorkflow, MaterializedPlan
+from repro.engines.faults import FaultInjector
+from repro.engines.registry import MultiEngineCloud, build_default_cloud
+from repro.execution.enforcer import ExecutionReport, IRES_REPLAN, WorkflowExecutor
+
+
+class IReS:
+    """Intelligent Multi-Engine Resource Scheduler."""
+
+    def __init__(
+        self,
+        cloud: MultiEngineCloud | None = None,
+        policy: OptimizationPolicy | None = None,
+        estimator: str = "oracle",
+        refit_every: int = 1,
+        strategy: str = IRES_REPLAN,
+    ) -> None:
+        self.cloud = cloud if cloud is not None else build_default_cloud()
+        self.policy = policy if policy is not None else OptimizationPolicy.min_exec_time()
+        self.library = OperatorLibrary()
+        self.abstract_operators: dict[str, AbstractOperator] = {}
+        self.datasets: dict[str, Dataset] = {}
+        #: named workflows registered via the library loader or the API
+        self.workflows: dict[str, AbstractWorkflow] = {}
+        self.profiler = Profiler(self.cloud)
+        self.modeler = Modeler(self.cloud.collector)
+        self.refiner = ModelRefiner(self.modeler, refit_every=refit_every)
+        if estimator == "oracle":
+            self.estimator = OracleEstimator(self.cloud)
+        elif estimator == "models":
+            self.estimator = ModelBackedEstimator(self.cloud, self.modeler)
+        else:
+            raise ValueError(f"estimator must be 'oracle' or 'models', got {estimator!r}")
+        self.planner = Planner(self.library, self.estimator, self.policy)
+        self.provisioner = ResourceProvisioner()
+        self.fault_injector = FaultInjector(self.cloud)
+        from repro.execution.cache import ResultCache
+
+        self.result_cache = ResultCache()
+        self.executor = WorkflowExecutor(
+            self.cloud, self.planner, fault_injector=self.fault_injector,
+            strategy=strategy,
+        )
+
+    # -- interface layer -----------------------------------------------------
+    def register_operator(self, operator: MaterializedOperator) -> MaterializedOperator:
+        """Add a materialized operator to the library."""
+        self.library.add(operator)
+        return operator
+
+    def register_abstract(self, operator: AbstractOperator) -> AbstractOperator:
+        """Register an abstract operator for workflow composition."""
+        self.abstract_operators[operator.name] = operator
+        return operator
+
+    def register_dataset(self, dataset: Dataset) -> Dataset:
+        """Register a (materialized) dataset description."""
+        self.datasets[dataset.name] = dataset
+        return dataset
+
+    def workflow_from_graph(
+        self, name: str, graph_lines: Iterable[str]
+    ) -> AbstractWorkflow:
+        """Parse a §3.3-style graph file against the registered artefacts."""
+        workflow = AbstractWorkflow.from_graph_lines(
+            graph_lines, self.datasets, self.abstract_operators, name=name
+        )
+        self.workflows[name] = workflow
+        return workflow
+
+    # -- optimizer layer -------------------------------------------------------
+    def profile_operator(self, spec: ProfileSpec, **kwargs):
+        """Offline profiling: run the grid, then (re)train the model."""
+        records = self.profiler.profile(spec, **kwargs)
+        self.modeler.train(spec.algorithm, spec.engine)
+        return records
+
+    def plan(self, workflow: AbstractWorkflow) -> MaterializedPlan:
+        """Materialize a workflow against the currently available engines."""
+        return self.planner.plan(
+            workflow, available_engines=self.cloud.available_engines() | {"move"}
+        )
+
+    def provision(self, time_fn, **kwargs) -> ProvisioningResult:
+        """NSGA-II resource provisioning over an operator's time model."""
+        return self.provisioner.provision(time_fn, **kwargs)
+
+    # -- executor layer ---------------------------------------------------------
+    def execute(self, workflow: AbstractWorkflow, reuse: bool = False) -> ExecutionReport:
+        """Plan and run a workflow with monitoring, refinement and replanning.
+
+        ``reuse=True`` consults (and feeds) the platform's result cache so
+        repeated or overlapping workflows skip already-materialized steps.
+        """
+        report = self.executor.execute(
+            workflow, cache=self.result_cache if reuse else None)
+        for execution in report.executions:
+            if execution.engine != "move" and execution.success:
+                records = self.cloud.collector.for_operator(
+                    execution.step.operator.algorithm, execution.engine
+                )
+                if records:
+                    self.refiner.observe(records[-1])
+        return report

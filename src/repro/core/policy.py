@@ -1,0 +1,68 @@
+"""User-defined optimization policies.
+
+The planner "is configured to optimize one metric or a function of multiple
+performance metrics that the user is interested in" (D3.3 §2.2.3).  A policy
+scalarizes a metrics dictionary — execution time, monetary cost, or any
+custom measurable — into the single value Algorithm 1 minimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+#: Canonical metric names used across the platform.
+EXEC_TIME = "execTime"
+COST = "cost"
+
+
+class OptimizationPolicy:
+    """A (weighted) function over performance metrics, to be minimized.
+
+    ``OptimizationPolicy()`` minimizes execution time;
+    ``OptimizationPolicy({"execTime": 1, "cost": 0.5})`` minimizes a blend;
+    ``OptimizationPolicy(function=f)`` applies an arbitrary callable over the
+    metrics mapping.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        function: Callable[[Mapping[str, float]], float] | None = None,
+    ) -> None:
+        if weights is not None and function is not None:
+            raise ValueError("give either weights or a function, not both")
+        if weights is None and function is None:
+            weights = {EXEC_TIME: 1.0}
+        self.weights = dict(weights) if weights is not None else None
+        self.function = function
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        """The metric names the policy needs (empty for opaque functions)."""
+        return tuple(self.weights) if self.weights is not None else ()
+
+    def scalarize(self, metrics: Mapping[str, float]) -> float:
+        """Reduce a metrics mapping to the scalar objective value."""
+        if self.function is not None:
+            return float(self.function(metrics))
+        total = 0.0
+        for name, weight in self.weights.items():
+            if name not in metrics:
+                raise KeyError(f"policy needs metric {name!r}, got {sorted(metrics)}")
+            total += weight * float(metrics[name])
+        return total
+
+    @classmethod
+    def min_exec_time(cls) -> "OptimizationPolicy":
+        """Policy minimizing execution time only."""
+        return cls({EXEC_TIME: 1.0})
+
+    @classmethod
+    def min_cost(cls) -> "OptimizationPolicy":
+        """Policy minimizing monetary cost only."""
+        return cls({COST: 1.0})
+
+    def __repr__(self) -> str:
+        if self.function is not None:
+            return "OptimizationPolicy(<custom function>)"
+        return f"OptimizationPolicy({self.weights})"

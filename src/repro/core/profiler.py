@@ -1,0 +1,130 @@
+"""Offline operator profiling (D3.3 §2.2.1).
+
+The profiler runs a materialized operator over a grid of input parameters —
+data-specific (size/count), operator-specific (algorithm parameters) and
+resource-specific (cores, memory) — against the engine, collecting the
+monitored metrics of every run.  Those samples are what the modeler fits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.base import Engine
+from repro.engines.errors import EngineError
+from repro.engines.monitoring import MetricRecord
+from repro.engines.profiles import Resources, Workload
+from repro.engines.registry import MultiEngineCloud
+
+
+@dataclass
+class ProfileSpec:
+    """The parameter space to profile one (algorithm, engine) pair over."""
+
+    algorithm: str
+    engine: str
+    #: data-specific: input counts (documents, edges, rows)
+    counts: list[float] = field(default_factory=lambda: [1e4, 1e5, 1e6])
+    #: bytes per item, converting counts to sizes
+    bytes_per_item: float = 100.0
+    #: operator-specific parameter grid, e.g. {"iterations": [5, 10]}
+    params: dict[str, list] = field(default_factory=dict)
+    #: resource-specific grid
+    resources: list[Resources] = field(
+        default_factory=lambda: [Resources(cores=4, memory_gb=8.0)]
+    )
+
+    def grid(self) -> list[tuple[float, dict, Resources]]:
+        """Enumerate every (count, params, resources) combination."""
+        param_names = sorted(self.params)
+        param_values = [self.params[k] for k in param_names]
+        combos = list(itertools.product(*param_values)) if param_names else [()]
+        out = []
+        for count in self.counts:
+            for combo in combos:
+                for res in self.resources:
+                    out.append((count, dict(zip(param_names, combo)), res))
+        return out
+
+
+class Profiler:
+    """Runs profiling grids against the multi-engine cloud."""
+
+    def __init__(self, cloud: MultiEngineCloud) -> None:
+        self.cloud = cloud
+
+    def profile(
+        self,
+        spec: ProfileSpec,
+        max_runs: int | None = None,
+        shuffle_seed: int | None = None,
+    ) -> list[MetricRecord]:
+        """Execute the grid (optionally a shuffled prefix of it).
+
+        Failed runs (OOM etc.) are recorded by the engine and skipped here —
+        the paper's black-box stance: a failure is also information, but the
+        execution-time model only trains on successes.
+        """
+        engine = self.cloud.engine(spec.engine)
+        grid = spec.grid()
+        if shuffle_seed is not None:
+            rng = np.random.default_rng(shuffle_seed)
+            grid = [grid[i] for i in rng.permutation(len(grid))]
+        if max_runs is not None:
+            grid = grid[:max_runs]
+        records: list[MetricRecord] = []
+        for count, params, resources in grid:
+            record = self.profile_point(engine, spec, count, params, resources)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def profile_point(
+        self,
+        engine: Engine,
+        spec: ProfileSpec,
+        count: float,
+        params: dict,
+        resources: Resources,
+    ) -> MetricRecord | None:
+        """One profiling run; returns None when the run failed."""
+        workload = Workload.of_count(count, spec.bytes_per_item, **params)
+        try:
+            result = engine.execute(
+                spec.algorithm, workload, resources=resources,
+                operator_name=f"profile:{spec.algorithm}",
+            )
+        except EngineError:
+            return None
+        return result.record
+
+    def sample_random_setups(
+        self,
+        spec: ProfileSpec,
+        n_runs: int,
+        seed: int = 0,
+    ) -> list[MetricRecord]:
+        """Uniformly sample setups, the §4.3 protocol.
+
+        "We iteratively execute the operators with different input sizes,
+        number of resources and application specific parameters, uniformly
+        selecting from a set of possible setups."
+        """
+        rng = np.random.default_rng(seed)
+        engine = self.cloud.engine(spec.engine)
+        records: list[MetricRecord] = []
+        param_names = sorted(spec.params)
+        for _ in range(n_runs):
+            count = spec.counts[rng.integers(len(spec.counts))]
+            params = {
+                name: spec.params[name][rng.integers(len(spec.params[name]))]
+                for name in param_names
+            }
+            resources = spec.resources[rng.integers(len(spec.resources))]
+            record = self.profile_point(engine, spec, count, params, resources)
+            if record is not None:
+                records.append(record)
+        return records

@@ -1,0 +1,55 @@
+"""Online model refinement (D3.3 §2.2.2 — new in IReS v2).
+
+Every workflow execution feeds its monitored metrics back into the models,
+so estimation accuracy improves while the platform operates and adapts to
+infrastructure changes (the HDD→SSD experiment of Fig 16.b) and temporal
+degradations.  The refiner batches retraining (every ``refit_every``
+observations per pair) since CV over the zoo is the expensive part.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.modeler import Modeler
+from repro.engines.monitoring import MetricRecord
+
+
+class ModelRefiner:
+    """Streams execution records into the modeler, retraining periodically."""
+
+    def __init__(self, modeler: Modeler, refit_every: int = 1) -> None:
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        self.modeler = modeler
+        self.refit_every = refit_every
+        self._pending: dict[tuple[str, str], int] = defaultdict(int)
+        self.refits = 0
+
+    def observe(self, record: MetricRecord) -> bool:
+        """Account one finished run; retrain its model when the batch is due.
+
+        The record is assumed to already be in the shared collector (the
+        engine put it there); this only drives the retraining cadence.
+        Returns True when a retrain happened.
+        """
+        if not record.success:
+            return False
+        key = (record.algorithm, record.engine)
+        self._pending[key] += 1
+        if self._pending[key] >= self.refit_every:
+            self._pending[key] = 0
+            if self.modeler.train(*key) is not None:
+                self.refits += 1
+                return True
+        return False
+
+    def flush(self) -> int:
+        """Retrain every pair with pending observations; returns retrain count."""
+        done = 0
+        for key, pending in list(self._pending.items()):
+            if pending > 0 and self.modeler.train(*key) is not None:
+                done += 1
+            self._pending[key] = 0
+        self.refits += done
+        return done

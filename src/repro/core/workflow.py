@@ -1,0 +1,229 @@
+"""Workflow graphs: abstract DAGs and materialized execution plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.dataset import Dataset
+from repro.core.operators import AbstractOperator, MaterializedOperator
+
+TARGET_MARKER = "$$target"
+
+
+class WorkflowError(ValueError):
+    """Raised for malformed or cyclic workflow graphs."""
+
+
+class AbstractWorkflow:
+    """A DAG of dataset and abstract-operator nodes, G(Datasets, Operators).
+
+    Edges connect datasets to operator input ports and operators to their
+    output datasets; one dataset node is designated the ``$$target``.
+    Built programmatically via :meth:`add_dataset`/:meth:`add_operator`/
+    :meth:`connect` or parsed from the deliverable's ``graph`` file format
+    (§3.3)::
+
+        asapServerLog,LineCount,0
+        LineCount,d1,0
+        d1,$$target
+    """
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self.datasets: dict[str, Dataset] = {}
+        self.operators: dict[str, AbstractOperator] = {}
+        self.op_inputs: dict[str, list[str]] = {}
+        self.op_outputs: dict[str, list[str]] = {}
+        self.producer: dict[str, str] = {}
+        self.target: str | None = None
+
+    # -- construction ------------------------------------------------------
+    def add_dataset(self, dataset: Dataset) -> Dataset:
+        """Add a dataset node (names are unique across node kinds)."""
+        if dataset.name in self.datasets or dataset.name in self.operators:
+            raise WorkflowError(f"duplicate node name {dataset.name!r}")
+        self.datasets[dataset.name] = dataset
+        return dataset
+
+    def add_operator(self, operator: AbstractOperator) -> AbstractOperator:
+        """Add an abstract-operator node."""
+        if operator.name in self.operators or operator.name in self.datasets:
+            raise WorkflowError(f"duplicate node name {operator.name!r}")
+        self.operators[operator.name] = operator
+        self.op_inputs[operator.name] = []
+        self.op_outputs[operator.name] = []
+        return operator
+
+    def connect(self, src: str, dst: str) -> None:
+        """Add an edge dataset→operator (input) or operator→dataset (output)."""
+        if src in self.datasets and dst in self.operators:
+            self.op_inputs[dst].append(src)
+        elif src in self.operators and dst in self.datasets:
+            self.op_outputs[src].append(dst)
+            if dst in self.producer:
+                raise WorkflowError(f"dataset {dst!r} already has a producer")
+            self.producer[dst] = src
+        else:
+            raise WorkflowError(
+                f"edge {src!r}->{dst!r} must connect a dataset and an operator"
+            )
+
+    def set_target(self, dataset_name: str) -> None:
+        """Designate the ``$$target`` dataset."""
+        if dataset_name not in self.datasets:
+            raise WorkflowError(f"unknown target dataset {dataset_name!r}")
+        self.target = dataset_name
+
+    @classmethod
+    def from_graph_lines(
+        cls,
+        lines: Iterable[str],
+        datasets: dict[str, Dataset],
+        operators: dict[str, AbstractOperator],
+        name: str = "workflow",
+    ) -> "AbstractWorkflow":
+        """Parse the ``graph`` file format given the node descriptions.
+
+        Nodes referenced by the graph but missing from ``datasets`` are
+        created as empty abstract datasets (matching the deliverable, where
+        intermediate outputs like ``d1`` are empty files).
+        """
+        wf = cls(name)
+        edges: list[tuple[str, str]] = []
+        target: str | None = None
+        mentioned: list[str] = []
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) >= 2 and parts[1] == TARGET_MARKER:
+                target = parts[0]
+                continue
+            if len(parts) < 2:
+                raise WorkflowError(f"bad graph line {line!r}")
+            edges.append((parts[0], parts[1]))
+            mentioned.extend(parts[:2])
+        for node in mentioned:
+            if node in operators:
+                if node not in wf.operators:
+                    wf.add_operator(operators[node])
+            elif node not in wf.datasets:
+                wf.add_dataset(datasets.get(node, Dataset(node)))
+        for src, dst in edges:
+            wf.connect(src, dst)
+        if target is None:
+            raise WorkflowError("graph file has no $$target line")
+        wf.set_target(target)
+        wf.validate()
+        return wf
+
+    # -- analysis ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check that the graph is a DAG with a reachable target."""
+        if self.target is None:
+            raise WorkflowError("workflow has no target dataset")
+        list(self.topological_operators())  # raises on cycles
+        for op_name, inputs in self.op_inputs.items():
+            if not self.op_outputs[op_name]:
+                raise WorkflowError(f"operator {op_name!r} has no outputs")
+            for ds in inputs:
+                if ds not in self.datasets:
+                    raise WorkflowError(f"operator {op_name!r} reads unknown {ds!r}")
+
+    def topological_operators(self) -> Iterator[AbstractOperator]:
+        """Operators in DAG topological order (depth-first, §2.2.3)."""
+        visited: dict[str, int] = {}
+        order: list[str] = []
+
+        def visit(op_name: str) -> None:
+            state = visited.get(op_name, 0)
+            if state == 1:
+                raise WorkflowError("workflow graph contains a cycle")
+            if state == 2:
+                return
+            visited[op_name] = 1
+            for ds in self.op_inputs[op_name]:
+                parent = self.producer.get(ds)
+                if parent is not None:
+                    visit(parent)
+            visited[op_name] = 2
+            order.append(op_name)
+
+        for op_name in self.operators:
+            visit(op_name)
+        return iter(self.operators[n] for n in order)
+
+    def source_datasets(self) -> list[Dataset]:
+        """Datasets with no producer (workflow inputs)."""
+        return [d for n, d in self.datasets.items() if n not in self.producer]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (datasets + operators), the Fig 14 x-axis."""
+        return len(self.datasets) + len(self.operators)
+
+    def __repr__(self) -> str:
+        return (
+            f"AbstractWorkflow({self.name!r}, operators={len(self.operators)}, "
+            f"datasets={len(self.datasets)}, target={self.target!r})"
+        )
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One scheduled operator of a materialized plan."""
+
+    operator: MaterializedOperator
+    inputs: tuple[Dataset, ...]
+    outputs: tuple[Dataset, ...]
+    estimated_cost: float
+    #: name of the abstract operator this step materializes ("" for moves)
+    abstract_name: str = ""
+    #: resource assignment chosen by provisioning, e.g. {"cores": 4, "memory_gb": 8}
+    resources: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def engine(self) -> str | None:
+        """Engine of the materialized operator."""
+        return self.operator.engine
+
+    @property
+    def is_move(self) -> bool:
+        """True for synthesized move/transform steps."""
+        return self.operator.algorithm == "move"
+
+    def __repr__(self) -> str:
+        ins = ",".join(d.name for d in self.inputs)
+        outs = ",".join(d.name for d in self.outputs)
+        return (
+            f"PlanStep({self.operator.name} [{self.engine}] {ins} -> {outs}, "
+            f"cost={self.estimated_cost:.3g})"
+        )
+
+
+@dataclass
+class MaterializedPlan:
+    """A fully materialized execution plan: ordered steps plus its cost."""
+
+    workflow: AbstractWorkflow
+    steps: list[PlanStep]
+    cost: float
+
+    def engines_used(self) -> set[str]:
+        """Engines of the plan's non-move steps."""
+        return {s.engine for s in self.steps if not s.is_move}
+
+    def step_for_operator(self, abstract_name: str) -> PlanStep | None:
+        """Find the step materializing the given abstract operator, if any."""
+        for step in self.steps:
+            if step.abstract_name == abstract_name:
+                return step
+        return None
+
+    def __repr__(self) -> str:
+        chain = " | ".join(
+            f"{s.operator.name}@{s.engine}" for s in self.steps
+        )
+        return f"MaterializedPlan(cost={self.cost:.4g}: {chain})"

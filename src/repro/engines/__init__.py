@@ -1,0 +1,65 @@
+"""Simulated multi-engine cloud: the substrate IReS schedules over.
+
+See DESIGN.md §2 for the substitution rationale: calibrated analytic
+performance models replace the paper's real 16-VM OpenStack deployment while
+preserving the cost *shapes* (per-engine crossovers, memory cliffs,
+resource/time trade-offs) the evaluation depends on.
+"""
+
+from repro.engines.base import COMPUTE, DATASTORE, OFF, ON, Engine, ExecutionResult
+from repro.engines.clock import SimClock
+from repro.engines.cluster import Cluster, Node, HEALTHY, UNHEALTHY
+from repro.engines.containers import Container, ContainerRequest, ContainerScheduler
+from repro.engines.errors import (
+    EngineError,
+    EngineUnavailableError,
+    InsufficientResourcesError,
+    MemoryExceededError,
+)
+from repro.engines.faults import FaultInjector, ScheduledFault
+from repro.engines.hdfs import HDFSError, SimHDFS
+from repro.engines.monitoring import MetricRecord, MetricsCollector
+from repro.engines.profiles import (
+    DEFAULT_PROFILES,
+    Infrastructure,
+    PerfModel,
+    Resources,
+    Workload,
+    get_profile,
+)
+from repro.engines.registry import MultiEngineCloud, build_default_cloud
+
+__all__ = [
+    "COMPUTE",
+    "Cluster",
+    "Container",
+    "ContainerRequest",
+    "ContainerScheduler",
+    "DATASTORE",
+    "DEFAULT_PROFILES",
+    "Engine",
+    "EngineError",
+    "EngineUnavailableError",
+    "ExecutionResult",
+    "FaultInjector",
+    "HDFSError",
+    "HEALTHY",
+    "Infrastructure",
+    "InsufficientResourcesError",
+    "MemoryExceededError",
+    "MetricRecord",
+    "MetricsCollector",
+    "MultiEngineCloud",
+    "Node",
+    "OFF",
+    "ON",
+    "PerfModel",
+    "Resources",
+    "ScheduledFault",
+    "SimClock",
+    "SimHDFS",
+    "UNHEALTHY",
+    "Workload",
+    "build_default_cloud",
+    "get_profile",
+]

@@ -1,0 +1,191 @@
+"""Simulated execution engines and datastores.
+
+An :class:`Engine` binds a set of (algorithm → :class:`PerfModel`) ground
+truths to the shared cluster, clock and container scheduler.  Executing an
+operator allocates YARN-like containers, charges the true (noisy) execution
+time to the simulated clock, records a full metric record, and releases the
+containers — the same life cycle the paper's enforcer drives on real YARN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.clock import SimClock
+from repro.engines.containers import ContainerRequest, ContainerScheduler
+from repro.engines.errors import EngineUnavailableError, MemoryExceededError
+from repro.engines.monitoring import MetricRecord, MetricsCollector, synthesize_timeline
+from repro.engines.profiles import Infrastructure, PerfModel, Resources, Workload
+
+ON = "ON"
+OFF = "OFF"
+
+COMPUTE = "compute"
+DATASTORE = "datastore"
+
+
+@dataclass
+class ExecutionResult:
+    """What an engine returns for one operator run."""
+
+    record: MetricRecord
+    output: object | None = None  # real artifact when an impl callable ran
+
+
+class Engine:
+    """One deployed engine (or datastore) of the multi-engine cloud."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        clock: SimClock,
+        scheduler: ContainerScheduler,
+        collector: MetricsCollector,
+        infra: Infrastructure,
+        profiles: dict[str, PerfModel],
+        default_request: ContainerRequest,
+        centralized: bool = False,
+        noise_sigma: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.clock = clock
+        self.scheduler = scheduler
+        self.collector = collector
+        self.infra = infra
+        self.profiles = dict(profiles)
+        self.default_request = default_request
+        self.centralized = centralized
+        self.noise_sigma = noise_sigma
+        self.status = ON
+        self._rng = np.random.default_rng(seed)
+        self._runs = 0
+
+    # -- service availability (§2.3) --------------------------------------
+    @property
+    def available(self) -> bool:
+        """Service-availability flag (§2.3's ON/OFF check)."""
+        return self.status == ON
+
+    def stop(self) -> None:
+        """Kill the engine service (planning will exclude it)."""
+        self.status = OFF
+
+    def start(self) -> None:
+        """Restart the engine service."""
+        self.status = ON
+
+    # -- profiles ----------------------------------------------------------
+    def supports(self, algorithm: str) -> bool:
+        """Whether the engine implements the given algorithm."""
+        return algorithm in self.profiles
+
+    def add_profile(self, algorithm: str, model: PerfModel) -> None:
+        """Attach a performance profile for an algorithm."""
+        self.profiles[algorithm] = model
+
+    def true_seconds(
+        self, algorithm: str, workload: Workload, resources: Resources | None = None
+    ) -> float:
+        """Noise-free ground-truth runtime (used by tests and oracles)."""
+        model = self.profiles[algorithm]
+        res = resources if resources is not None else self.default_resources()
+        return model.seconds(workload, res, self.infra)
+
+    def default_resources(self) -> Resources:
+        """Total resources of the engine's default container shape."""
+        req = self.default_request
+        return Resources(cores=req.cores * req.instances,
+                         memory_gb=req.memory_gb * req.instances)
+
+    def request_for(self, resources: Resources | None) -> ContainerRequest:
+        """Translate a resource ask into a container request shape."""
+        if resources is None:
+            return self.default_request
+        if self.centralized:
+            return ContainerRequest(
+                cores=resources.cores, memory_gb=resources.memory_gb, instances=1
+            )
+        per = self.default_request
+        instances = max(
+            1,
+            int(np.ceil(resources.cores / per.cores)),
+            int(np.ceil(resources.memory_gb / per.memory_gb)),
+        )
+        return ContainerRequest(per.cores, per.memory_gb, instances)
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        algorithm: str,
+        workload: Workload,
+        resources: Resources | None = None,
+        operator_name: str | None = None,
+        impl=None,
+        impl_input=None,
+    ) -> ExecutionResult:
+        """Run one operator: allocate containers, charge time, record metrics.
+
+        ``impl``/``impl_input`` optionally run a real Python implementation
+        (repro.analytics) so the result carries a genuine artifact; timing
+        always comes from the calibrated profile.
+        """
+        if not self.available:
+            raise EngineUnavailableError(f"engine {self.name} is OFF")
+        if algorithm not in self.profiles:
+            raise KeyError(f"engine {self.name} has no {algorithm!r} implementation")
+        res = resources if resources is not None else self.default_resources()
+        request = self.request_for(res)
+        containers = self.scheduler.allocate(request)
+        started = self.clock.now
+        self._runs += 1
+        try:
+            true_time = self.profiles[algorithm].seconds(workload, res, self.infra)
+        except MemoryExceededError as exc:
+            self.scheduler.release_all_of(containers)
+            failure = MetricRecord(
+                operator=operator_name or algorithm,
+                algorithm=algorithm,
+                engine=self.name,
+                exec_time=float("inf"),
+                started_at=started,
+                success=False,
+                error=str(exc),
+                input_size=workload.size_gb * 1e9,
+                input_count=workload.count,
+                cores=res.cores,
+                memory_gb=res.memory_gb,
+                params=dict(workload.params),
+            )
+            self.collector.record(failure)
+            raise
+        noise = float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        exec_time = true_time * noise
+        self.clock.advance(exec_time)
+        output = impl(impl_input) if impl is not None else None
+        record = MetricRecord(
+            operator=operator_name or algorithm,
+            algorithm=algorithm,
+            engine=self.name,
+            exec_time=exec_time,
+            started_at=started,
+            input_size=workload.size_gb * 1e9,
+            input_count=workload.count,
+            output_size=workload.size_gb * 1e9 * 0.5,
+            output_cardinality=workload.count,
+            cores=res.cores,
+            memory_gb=res.memory_gb,
+            params=dict(workload.params),
+            timeline=synthesize_timeline(exec_time, res.cores, res.memory_gb,
+                                         seed=self._runs),
+        )
+        self.collector.record(record)
+        self.scheduler.release_all_of(containers)
+        return ExecutionResult(record=record, output=output)
+
+    def __repr__(self) -> str:
+        return f"Engine({self.name!r}, {self.kind}, {self.status})"

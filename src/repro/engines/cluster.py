@@ -1,0 +1,135 @@
+"""Physical substrate: nodes, the cluster, and node health.
+
+Models the paper's 16-VM OpenStack deployment.  Health is probed by
+customizable "health scripts" run against every node, mirroring the
+``yarn.nodemanager.services-running.*`` mechanism of D3.3 §2.3/§3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+HEALTHY = "HEALTHY"
+UNHEALTHY = "UNHEALTHY"
+
+
+@dataclass
+class Node:
+    """One cluster node (VM) with its resource capacity."""
+
+    node_id: str
+    cores: int = 4
+    memory_gb: float = 8.0
+    health: str = HEALTHY
+    #: resources currently granted to containers
+    cores_used: int = 0
+    memory_used: float = 0.0
+    #: arbitrary attributes health scripts may inspect (disk type, load, ...)
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """True when the node's health state is HEALTHY."""
+        return self.health == HEALTHY
+
+    @property
+    def cores_free(self) -> int:
+        """Cores not granted to containers."""
+        return self.cores - self.cores_used
+
+    @property
+    def memory_free(self) -> float:
+        """Memory (GB) not granted to containers."""
+        return self.memory_gb - self.memory_used
+
+
+class Cluster:
+    """A named collection of nodes with aggregate accounting."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self.nodes: dict[str, Node] = {}
+        for node in nodes:
+            if node.node_id in self.nodes:
+                raise ValueError(f"duplicate node id {node.node_id!r}")
+            self.nodes[node.node_id] = node
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+
+    @classmethod
+    def homogeneous(cls, n_nodes: int, cores: int = 4, memory_gb: float = 8.0) -> "Cluster":
+        """Build a uniform cluster, e.g. the paper's 16 VMs."""
+        return cls(Node(f"vm{i:02d}", cores, memory_gb) for i in range(n_nodes))
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """Sum of all nodes' cores."""
+        return sum(n.cores for n in self.nodes.values())
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Sum of all nodes' memory."""
+        return sum(n.memory_gb for n in self.nodes.values())
+
+    def healthy_nodes(self) -> list[Node]:
+        """Nodes currently reporting HEALTHY."""
+        return [n for n in self.nodes.values() if n.healthy]
+
+    @property
+    def available_cores(self) -> int:
+        """Unallocated cores on healthy nodes."""
+        return sum(n.cores_free for n in self.healthy_nodes())
+
+    @property
+    def available_memory_gb(self) -> float:
+        """Unallocated memory on healthy nodes."""
+        return sum(n.memory_free for n in self.healthy_nodes())
+
+    def max_node_memory_gb(self) -> float:
+        """Largest single-node memory — the centralized-engine ceiling."""
+        return max(n.memory_gb for n in self.nodes.values())
+
+    # -- health -----------------------------------------------------------
+    def mark_unhealthy(self, node_id: str) -> None:
+        """Force a node into the UNHEALTHY state."""
+        self.nodes[node_id].health = UNHEALTHY
+
+    def mark_healthy(self, node_id: str) -> None:
+        """Return a node to the HEALTHY state."""
+        self.nodes[node_id].health = HEALTHY
+
+    def run_health_checks(
+        self, health_script: Callable[[Node], bool] | None = None
+    ) -> dict[str, str]:
+        """Execute the health script on every node; update and report states.
+
+        The default script just reports the current flag; custom scripts can
+        inspect ``node.attributes`` (the paper's "customizable and
+        parametrized health scripts").
+        """
+        report: dict[str, str] = {}
+        for node in self.nodes.values():
+            if health_script is not None:
+                node.health = HEALTHY if health_script(node) else UNHEALTHY
+            report[node.node_id] = node.health
+        return report
+
+    def clone(self) -> "Cluster":
+        """A capacity-equal copy with fresh usage counters (for what-if
+        scheduling that must not disturb live allocations)."""
+        return Cluster(
+            Node(n.node_id, n.cores, n.memory_gb, n.health,
+                 attributes=dict(n.attributes))
+            for n in self.nodes.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        healthy = len(self.healthy_nodes())
+        return (
+            f"Cluster({len(self.nodes)} nodes, {healthy} healthy, "
+            f"{self.total_cores} cores, {self.total_memory_gb:.0f} GB)"
+        )

@@ -1,0 +1,21 @@
+"""Failure modes of the simulated multi-engine cloud."""
+
+
+class EngineError(RuntimeError):
+    """Base class for engine-side failures."""
+
+
+class MemoryExceededError(EngineError):
+    """The working set exceeded the engine's usable memory (simulated OOM).
+
+    Mirrors the paper's observations that the centralized Java Pagerank and
+    MemSQL fail once inputs outgrow single-node / aggregate cluster memory.
+    """
+
+
+class EngineUnavailableError(EngineError):
+    """The engine service is OFF (killed or not deployed)."""
+
+
+class InsufficientResourcesError(EngineError):
+    """The YARN-like scheduler cannot satisfy a container request."""

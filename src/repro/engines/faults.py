@@ -1,0 +1,71 @@
+"""Fault injection for the fault-tolerance experiments (D3.3 §4.5).
+
+The evaluation kills the engine a plan chose for a given operator and lets
+IReS detect the failure, replan the remainder and reuse intermediates.
+:class:`FaultInjector` scripts such events against the simulated cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.registry import MultiEngineCloud
+
+
+@dataclass
+class ScheduledFault:
+    """A fault that fires when a trigger operator starts executing."""
+
+    kind: str  # "kill_engine" | "node_unhealthy"
+    target: str  # engine name or node id
+    trigger_operator: str | None = None  # fire when this abstract op starts
+    fired: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Holds scheduled faults and applies them when the executor asks."""
+
+    cloud: MultiEngineCloud
+    faults: list[ScheduledFault] = field(default_factory=list)
+
+    def kill_engine_at(self, engine: str, trigger_operator: str) -> ScheduledFault:
+        """Schedule an engine kill for when an operator starts."""
+        fault = ScheduledFault("kill_engine", engine, trigger_operator)
+        self.faults.append(fault)
+        return fault
+
+    def mark_node_unhealthy_at(self, node_id: str, trigger_operator: str) -> ScheduledFault:
+        """Schedule a node-health failure for an operator start."""
+        fault = ScheduledFault("node_unhealthy", node_id, trigger_operator)
+        self.faults.append(fault)
+        return fault
+
+    def kill_engine_now(self, engine: str) -> None:
+        """Kill an engine immediately."""
+        self.cloud.kill_engine(engine)
+
+    def on_operator_start(self, abstract_name: str) -> list[ScheduledFault]:
+        """Fire any faults triggered by this operator; return what fired."""
+        fired = []
+        for fault in self.faults:
+            if fault.fired or fault.trigger_operator != abstract_name:
+                continue
+            if fault.kind == "kill_engine":
+                self.cloud.kill_engine(fault.target)
+            elif fault.kind == "node_unhealthy":
+                self.cloud.cluster.mark_unhealthy(fault.target)
+            fault.fired = True
+            fired.append(fault)
+        return fired
+
+    def reset(self) -> None:
+        """Undo all fired faults (restart engines, heal nodes)."""
+        for fault in self.faults:
+            if not fault.fired:
+                continue
+            if fault.kind == "kill_engine":
+                self.cloud.restart_engine(fault.target)
+            elif fault.kind == "node_unhealthy":
+                self.cloud.cluster.mark_healthy(fault.target)
+            fault.fired = False

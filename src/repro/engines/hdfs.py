@@ -1,0 +1,201 @@
+"""A simulated HDFS: block-based namespace with replication over the cluster.
+
+The paper's datasets and intermediate results live in HDFS; this substrate
+gives the executor a real place to put artifacts, with the properties that
+matter to a scheduler — per-node capacity accounting, block placement,
+replication, and under-replication when nodes turn unhealthy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.engines.cluster import Cluster
+
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024  # 128 MB
+DEFAULT_REPLICATION = 3
+
+
+class HDFSError(RuntimeError):
+    """Namespace or capacity errors of the simulated filesystem."""
+
+
+@dataclass
+class Block:
+    """One replicated block: id, size and replica node ids."""
+    block_id: int
+    size: int
+    replicas: list[str]  # node ids
+
+
+@dataclass
+class HDFSFile:
+    """A namespace entry: path, size, blocks, optional payload."""
+    path: str
+    size: int
+    replication: int
+    blocks: list[Block] = field(default_factory=list)
+    payload: object | None = None  # optional real artifact
+
+
+class SimHDFS:
+    """Block storage spread across the cluster's healthy nodes."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        disk_gb_per_node: float = 200.0,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = DEFAULT_REPLICATION,
+    ) -> None:
+        self.cluster = cluster
+        self.block_size = block_size
+        self.replication = replication
+        self._capacity = {n: disk_gb_per_node * 1e9 for n in cluster.nodes}
+        self._used = {n: 0.0 for n in cluster.nodes}
+        self._files: dict[str, HDFSFile] = {}
+        self._block_ids = itertools.count(1)
+
+    # -- namespace --------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether a path exists in the namespace."""
+        return path in self._files
+
+    def ls(self, prefix: str = "/") -> list[str]:
+        """Paths under a prefix, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def stat(self, path: str) -> HDFSFile:
+        """File metadata (HDFSError if absent)."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HDFSError(f"no such file: {path}") from None
+
+    # -- write/read ---------------------------------------------------------
+    def put(
+        self,
+        path: str,
+        size_bytes: float,
+        payload: object | None = None,
+        overwrite: bool = False,
+    ) -> HDFSFile:
+        """Write a file: split into blocks, place replicas on distinct nodes."""
+        if size_bytes < 0:
+            raise HDFSError("negative file size")
+        if self.exists(path):
+            if not overwrite:
+                raise HDFSError(f"file exists: {path}")
+            self.rm(path)
+        size = int(size_bytes)
+        n_blocks = max(1, -(-size // self.block_size))
+        replication = min(self.replication, len(self.cluster.healthy_nodes()))
+        if replication == 0:
+            raise HDFSError("no healthy datanodes")
+        file = HDFSFile(path, size, replication, payload=payload)
+        written: list[Block] = []
+        try:
+            remaining = size
+            for _ in range(n_blocks):
+                block_size = min(self.block_size, remaining) or min(
+                    self.block_size, size)
+                block = self._place_block(block_size, replication)
+                written.append(block)
+                file.blocks.append(block)
+                remaining -= block_size
+        except HDFSError:
+            for block in written:
+                self._free_block(block)
+            raise
+        self._files[path] = file
+        return file
+
+    def get(self, path: str) -> object | None:
+        """Read a file's payload (None when only the size was simulated)."""
+        return self.stat(path).payload
+
+    def rm(self, path: str) -> None:
+        """Delete a file and free its blocks."""
+        file = self._files.pop(path, None)
+        if file is None:
+            raise HDFSError(f"no such file: {path}")
+        for block in file.blocks:
+            self._free_block(block)
+
+    # -- block management ------------------------------------------------------
+    def _place_block(self, size: int, replication: int) -> Block:
+        candidates = [
+            n.node_id for n in self.cluster.healthy_nodes()
+            if self._capacity[n.node_id] - self._used[n.node_id] >= size
+        ]
+        if len(candidates) < replication:
+            raise HDFSError(
+                f"cannot place a {size}-byte block with replication "
+                f"{replication}: only {len(candidates)} nodes have space"
+            )
+        candidates.sort(key=lambda n: self._used[n])
+        replicas = candidates[:replication]
+        for node in replicas:
+            self._used[node] += size
+        return Block(next(self._block_ids), size, replicas)
+
+    def _free_block(self, block: Block) -> None:
+        for node in block.replicas:
+            if node in self._used:
+                self._used[node] = max(0.0, self._used[node] - block.size)
+        block.replicas = []
+
+    # -- health interaction ----------------------------------------------------
+    def under_replicated_blocks(self) -> list[Block]:
+        """Blocks with replicas on unhealthy nodes (what the namenode flags)."""
+        healthy = {n.node_id for n in self.cluster.healthy_nodes()}
+        out = []
+        for file in self._files.values():
+            for block in file.blocks:
+                live = [r for r in block.replicas if r in healthy]
+                if len(live) < file.replication:
+                    out.append(block)
+        return out
+
+    def re_replicate(self) -> int:
+        """Restore replication of degraded blocks; returns blocks healed."""
+        healthy = {n.node_id for n in self.cluster.healthy_nodes()}
+        healed = 0
+        for file in self._files.values():
+            for block in file.blocks:
+                live = [r for r in block.replicas if r in healthy]
+                missing = file.replication - len(live)
+                if missing <= 0:
+                    continue
+                candidates = [
+                    n for n in sorted(healthy, key=lambda x: self._used[x])
+                    if n not in live
+                    and self._capacity[n] - self._used[n] >= block.size
+                ]
+                new_nodes = candidates[:missing]
+                for node in new_nodes:
+                    self._used[node] += block.size
+                # drop dead replicas from the accounting view
+                block.replicas = live + new_nodes
+                if len(block.replicas) >= file.replication:
+                    healed += 1
+        return healed
+
+    # -- capacity ----------------------------------------------------------------
+    def df(self) -> dict[str, dict[str, float]]:
+        """Per-node usage report (bytes)."""
+        return {
+            node: {"capacity": self._capacity[node], "used": self._used[node]}
+            for node in self._capacity
+        }
+
+    @property
+    def total_used(self) -> float:
+        """Raw bytes used across all datanodes (replicas counted)."""
+        return sum(self._used.values())
+
+    @property
+    def total_capacity(self) -> float:
+        """Raw capacity across all datanodes."""
+        return sum(self._capacity.values())

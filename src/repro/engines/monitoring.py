@@ -1,0 +1,163 @@
+"""Execution monitoring: per-run metric records and cluster timelines.
+
+The paper's profiler monitors 45 metrics per run — execution time, input and
+output sizes/counts, the experiment date, operator-specific parameters and a
+ganglia-sourced timeline of system metrics (CPU, RAM, network, IOPS) for the
+whole cluster (D3.3 §2.2.1).  :class:`MetricRecord` carries the same
+information; :class:`MetricsCollector` is the store the modeler reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+#: sampling period of the synthesized ganglia timeline (seconds)
+TIMELINE_PERIOD = 5.0
+#: cap on timeline samples per run, to bound memory
+TIMELINE_MAX_SAMPLES = 200
+
+
+@dataclass
+class MetricRecord:
+    """The monitored metrics of one operator execution."""
+
+    operator: str
+    algorithm: str
+    engine: str
+    exec_time: float
+    started_at: float
+    success: bool = True
+    error: str | None = None
+    input_size: float = 0.0
+    input_count: float = 0.0
+    output_size: float = 0.0
+    output_cardinality: float = 0.0
+    cores: int = 0
+    memory_gb: float = 0.0
+    params: dict = field(default_factory=dict)
+    #: synthesized cluster timeline: {"cpu": [...], "ram": [...], ...}
+    timeline: dict = field(default_factory=dict)
+
+    def features(self) -> dict[str, float]:
+        """Flat numeric feature view used for model training."""
+        feats = {
+            "input_size": self.input_size,
+            "input_count": self.input_count,
+            "cores": float(self.cores),
+            "memory_gb": self.memory_gb,
+        }
+        for key, value in self.params.items():
+            try:
+                feats[f"param_{key}"] = float(value)
+            except (TypeError, ValueError):
+                continue
+        return feats
+
+
+def synthesize_timeline(
+    exec_time: float, cores: int, memory_gb: float, seed: int = 0
+) -> dict[str, list[float]]:
+    """Generate a plausible ganglia-style system-metric timeline for a run."""
+    n = int(min(max(exec_time / TIMELINE_PERIOD, 1), TIMELINE_MAX_SAMPLES))
+    rng = np.random.default_rng(seed)
+    ramp = np.minimum(np.linspace(0.3, 1.0, n) * 1.4, 1.0)
+    cpu = np.clip(ramp * 0.8 + rng.normal(0, 0.05, n), 0, 1)
+    ram = np.clip(np.linspace(0.2, 0.85, n) + rng.normal(0, 0.03, n), 0, 1)
+    net = np.clip(rng.gamma(2.0, 12.0, n) * cores, 0, None)
+    iops = np.clip(rng.gamma(2.0, 40.0, n), 0, None)
+    return {
+        "cpu": cpu.round(4).tolist(),
+        "ram": (ram * memory_gb).round(3).tolist(),
+        "net_mbps": net.round(2).tolist(),
+        "iops": iops.round(1).tolist(),
+    }
+
+
+class MetricsCollector:
+    """Append-only store of execution records, queryable by operator/engine."""
+
+    def __init__(self) -> None:
+        self._records: list[MetricRecord] = []
+
+    def record(self, record: MetricRecord) -> None:
+        """Append one execution record."""
+        self._records.append(record)
+
+    def all(self) -> list[MetricRecord]:
+        """Every stored record (copy)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def for_operator(
+        self, algorithm: str, engine: str | None = None, successes_only: bool = True
+    ) -> list[MetricRecord]:
+        """Records of one (algorithm, engine) pair."""
+        out = []
+        for r in self._records:
+            if r.algorithm != algorithm:
+                continue
+            if engine is not None and r.engine != engine:
+                continue
+            if successes_only and not r.success:
+                continue
+            out.append(r)
+        return out
+
+    def failures(self) -> list[MetricRecord]:
+        """Records of failed runs (OOM etc.)."""
+        return [r for r in self._records if not r.success]
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path) -> int:
+        """Persist the record store as JSON lines; returns the record count.
+
+        Profiling is expensive, so the collected runs — like the trained
+        models — live in the IReS library across sessions.
+        """
+        import dataclasses
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                payload = dataclasses.asdict(record)
+                if payload["exec_time"] == float("inf"):
+                    payload["exec_time"] = "inf"
+                handle.write(json.dumps(payload) + "\n")
+        return len(self._records)
+
+    def load(self, path) -> int:
+        """Append records saved by :meth:`save`; returns how many were read."""
+        import json
+
+        count = 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if payload.get("exec_time") == "inf":
+                    payload["exec_time"] = float("inf")
+                self._records.append(MetricRecord(**payload))
+                count += 1
+        return count
+
+    def training_matrix(
+        self, algorithm: str, engine: str, feature_names: Iterable[str] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Build (X, y, feature_names) for model fitting from stored runs."""
+        records = self.for_operator(algorithm, engine)
+        if not records:
+            return np.empty((0, 0)), np.empty(0), []
+        if feature_names is None:
+            names: list[str] = sorted({k for r in records for k in r.features()})
+        else:
+            names = list(feature_names)
+        X = np.array([[r.features().get(n, 0.0) for n in names] for r in records])
+        y = np.array([r.exec_time for r in records])
+        return X, y, names

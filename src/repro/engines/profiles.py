@@ -1,0 +1,215 @@
+"""Calibrated ground-truth performance models of the simulated engines.
+
+The paper measured real engines on a 16-VM OpenStack cluster; here each
+(algorithm, engine) pair gets an analytic cost model calibrated to reproduce
+the *shape* of the paper's Figures 11–13 and 17: which engine wins at which
+input scale, where memory cliffs sit, and how resources trade off against
+time.  IReS never reads these models directly — it profiles the engines and
+learns its own estimators, exactly as it would against real systems.
+
+Model form (per operator run)::
+
+    seconds = cpu_factor * (fixed + variable)
+    variable = per_unit * units * param  ·  [ref_cores/cores if parallel]
+                                         ·  [io mix with infra.io_factor]
+    working set = mem_bytes_per_unit * units  — OOM or spill when exceeded
+
+``Infrastructure`` captures global infrastructure state; the Figure 16.b
+experiment flips ``io_factor`` (HDD→SSD upgrade) mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.errors import MemoryExceededError
+
+GB = 1e9
+
+
+@dataclass
+class Infrastructure:
+    """Global infrastructure state the performance models depend on."""
+
+    #: multiplier on IO-bound work (1.0 = HDDs; the SSD upgrade of Fig 16.b
+    #: sets this to ~0.4)
+    io_factor: float = 1.0
+    #: multiplier on all compute (temporal degradations, collocation, load)
+    cpu_factor: float = 1.0
+
+
+@dataclass
+class Workload:
+    """What an operator run processes: a count, a byte size and parameters."""
+
+    count: float = 0.0
+    size_gb: float = 0.0
+    params: dict = field(default_factory=dict)
+
+    @classmethod
+    def of_count(cls, count: float, bytes_per_item: float = 100.0, **params) -> "Workload":
+        """Workload from an item count and a bytes-per-item factor."""
+        return cls(count=count, size_gb=count * bytes_per_item / GB, params=params)
+
+
+@dataclass
+class Resources:
+    """Resources granted to one operator execution."""
+
+    cores: int = 4
+    memory_gb: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.memory_gb <= 0:
+            raise ValueError(f"invalid resources {self}")
+
+
+@dataclass
+class PerfModel:
+    """Analytic cost model for one (algorithm, engine) pair."""
+
+    fixed: float
+    per_unit: float
+    unit: str = "count"  # "count" | "size_gb"
+    parallel: bool = False
+    ref_cores: int = 4
+    mem_bytes_per_unit: float = 0.0
+    spill: bool = False  # exceeding memory slows down instead of failing
+    io_fraction: float = 0.0
+    param_scale: str | None = None  # e.g. "iterations" multiplies the variable part
+
+    def units(self, workload: Workload) -> float:
+        """The model's unit measure of a workload (count or GB)."""
+        return workload.count if self.unit == "count" else workload.size_gb
+
+    def memory_needed_gb(self, workload: Workload) -> float:
+        """Working-set size of a workload under this model."""
+        return self.mem_bytes_per_unit * self.units(workload) / GB
+
+    def seconds(
+        self,
+        workload: Workload,
+        resources: Resources,
+        infra: Infrastructure | None = None,
+    ) -> float:
+        """True execution time; raises MemoryExceededError on simulated OOM."""
+        infra = infra if infra is not None else Infrastructure()
+        units = self.units(workload)
+        param = 1.0
+        if self.param_scale is not None:
+            param = float(workload.params.get(self.param_scale, 1.0))
+        variable = self.per_unit * units * param
+        if self.parallel:
+            variable *= self.ref_cores / max(resources.cores, 1)
+        if self.io_fraction:
+            variable *= (
+                self.io_fraction * infra.io_factor + (1.0 - self.io_fraction)
+            )
+        needed = self.memory_needed_gb(workload)
+        if needed > resources.memory_gb:
+            if not self.spill:
+                raise MemoryExceededError(
+                    f"working set {needed:.2f} GB exceeds {resources.memory_gb:.2f} GB"
+                )
+            variable *= 1.0 + 0.8 * (needed / resources.memory_gb - 1.0)
+        return infra.cpu_factor * (self.fixed + variable)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated catalogue.  Units: pagerank=edges, tf-idf/k-means=documents,
+# wordcount/linecount/SQL=GB.  Calibration targets are documented inline and
+# cross-checked by tests/test_profiles.py and the figure benchmarks.
+# ---------------------------------------------------------------------------
+
+DEFAULT_PROFILES: dict[tuple[str, str], PerfModel] = {
+    # -- Figure 11: Pagerank.  Java wins below ~7M edges, Hama 7M–90M
+    # (in-memory BSP, dies past aggregate memory), Spark scales (spills).
+    ("pagerank", "Java"): PerfModel(
+        fixed=2.0, per_unit=2.0e-7, param_scale="iterations",
+        mem_bytes_per_unit=800.0,  # heap-object-heavy: 8 GB node tops at 1e7 edges
+    ),
+    ("pagerank", "Hama"): PerfModel(
+        fixed=12.0, per_unit=6.0e-8, parallel=True, ref_cores=32,
+        param_scale="iterations",
+        mem_bytes_per_unit=700.0,  # 64 GB aggregate tops at ~9e7 edges
+    ),
+    ("pagerank", "Spark"): PerfModel(
+        fixed=20.0, per_unit=9.0e-8, parallel=True, ref_cores=32,
+        param_scale="iterations", mem_bytes_per_unit=500.0, spill=True,
+        io_fraction=0.4,
+    ),
+    # -- Figure 12: tf-idf + k-means.  scikit centralized wins small inputs;
+    # crossovers at ~37k (tf-idf) and ~11k docs (k-means) make the hybrid
+    # scikit→Spark plan optimal in the 10k–40k band.
+    ("TF_IDF", "scikit"): PerfModel(
+        fixed=1.0, per_unit=4.0e-4, mem_bytes_per_unit=6.0e4,
+    ),
+    ("TF_IDF", "Spark"): PerfModel(
+        fixed=15.0, per_unit=1.0e-4, parallel=True, ref_cores=32,
+        mem_bytes_per_unit=3.0e4, spill=True, io_fraction=0.3,
+    ),
+    ("kmeans", "scikit"): PerfModel(
+        fixed=1.0, per_unit=8.0e-4, param_scale="k_factor",
+        mem_bytes_per_unit=5.0e4,
+    ),
+    ("kmeans", "Spark"): PerfModel(
+        fixed=7.0, per_unit=1.0e-4, parallel=True, ref_cores=32,
+        param_scale="k_factor", mem_bytes_per_unit=2.0e4, spill=True,
+    ),
+    # -- Figure 13: TPC-H-derived queries.  q1 touches small legacy tables
+    # (PostgreSQL-resident), q2 medium in-memory tables (MemSQL), q3 the
+    # big HDFS facts.  MemSQL OOMs past ~2 GB of intermediate state on q3.
+    ("tpch_q1", "PostgreSQL"): PerfModel(fixed=0.5, per_unit=3.0, unit="size_gb",
+                                         io_fraction=0.7),
+    ("tpch_q1", "MemSQL"): PerfModel(fixed=0.3, per_unit=1.2, unit="size_gb"),
+    ("tpch_q1", "SparkSQL"): PerfModel(fixed=8.0, per_unit=0.8, unit="size_gb",
+                                       parallel=True, ref_cores=32),
+    ("tpch_q2", "PostgreSQL"): PerfModel(fixed=0.5, per_unit=6.0, unit="size_gb",
+                                         io_fraction=0.7),
+    ("tpch_q2", "MemSQL"): PerfModel(fixed=0.3, per_unit=1.0, unit="size_gb",
+                                     mem_bytes_per_unit=0.35 * GB),
+    ("tpch_q2", "SparkSQL"): PerfModel(fixed=8.0, per_unit=1.0, unit="size_gb",
+                                       parallel=True, ref_cores=32),
+    ("tpch_q3", "PostgreSQL"): PerfModel(fixed=0.5, per_unit=10.0, unit="size_gb",
+                                         io_fraction=0.7),
+    ("tpch_q3", "MemSQL"): PerfModel(fixed=0.3, per_unit=1.5, unit="size_gb",
+                                     mem_bytes_per_unit=28.0 * GB),  # OOM > ~2 GB scale
+    ("tpch_q3", "SparkSQL"): PerfModel(fixed=9.0, per_unit=1.6, unit="size_gb",
+                                       parallel=True, ref_cores=32, spill=True,
+                                       io_fraction=0.5),
+    # -- Figure 16: profiled single-operator workloads.
+    ("wordcount", "MapReduce"): PerfModel(
+        fixed=3.0, per_unit=65.0, unit="size_gb", parallel=True, ref_cores=16,
+        io_fraction=0.65, mem_bytes_per_unit=0.15 * GB, spill=True,
+    ),
+    ("LineCount", "Spark"): PerfModel(fixed=6.0, per_unit=4.0, unit="size_gb",
+                                      parallel=True, ref_cores=16),
+    ("LineCount", "Python"): PerfModel(fixed=0.2, per_unit=11.0, unit="size_gb",
+                                       io_fraction=0.8),
+    # -- Figures 18-22: the HelloWorld fault-tolerance chain (Table 1).
+    ("HelloWorld", "Python"): PerfModel(fixed=2.0, per_unit=0.0),
+    ("HelloWorld1", "Spark"): PerfModel(fixed=14.0, per_unit=0.5, unit="size_gb",
+                                        parallel=True, ref_cores=16),
+    ("HelloWorld1", "Python"): PerfModel(fixed=6.0, per_unit=4.0, unit="size_gb"),
+    ("HelloWorld2", "Spark"): PerfModel(fixed=12.0, per_unit=0.6, unit="size_gb",
+                                        parallel=True, ref_cores=16),
+    ("HelloWorld2", "MLlib"): PerfModel(fixed=9.0, per_unit=0.8, unit="size_gb",
+                                        parallel=True, ref_cores=16),
+    ("HelloWorld2", "PostgreSQL"): PerfModel(fixed=1.0, per_unit=7.0, unit="size_gb",
+                                             io_fraction=0.7),
+    ("HelloWorld2", "Hive"): PerfModel(fixed=18.0, per_unit=2.0, unit="size_gb",
+                                       parallel=True, ref_cores=16),
+    ("HelloWorld3", "Spark"): PerfModel(fixed=13.0, per_unit=0.5, unit="size_gb",
+                                        parallel=True, ref_cores=16),
+    ("HelloWorld3", "Python"): PerfModel(fixed=4.0, per_unit=5.0, unit="size_gb"),
+}
+
+
+def get_profile(algorithm: str, engine: str) -> PerfModel:
+    """Look up the calibrated profile of an (algorithm, engine) pair."""
+    try:
+        return DEFAULT_PROFILES[(algorithm, engine)]
+    except KeyError:
+        raise KeyError(
+            f"no performance profile for algorithm {algorithm!r} on engine {engine!r}"
+        ) from None

@@ -1,0 +1,143 @@
+"""The multi-engine cloud: cluster + clock + engine catalogue + data movement.
+
+``build_default_cloud()`` reproduces the paper's deployment over 16 VMs:
+Hadoop/MapReduce, Spark (with MLlib and SparkSQL), Hama, centralized Java,
+Python and scikit runtimes, plus PostgreSQL, MemSQL, Hive and HDFS stores
+(D3.3 §4, footnote 9).
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import COMPUTE, DATASTORE, Engine
+from repro.engines.clock import SimClock
+from repro.engines.cluster import Cluster
+from repro.engines.containers import ContainerRequest, ContainerScheduler
+from repro.engines.monitoring import MetricsCollector
+from repro.engines.profiles import DEFAULT_PROFILES, Infrastructure, PerfModel
+
+#: effective inter-store transfer bandwidth (bytes/second)
+DEFAULT_BANDWIDTH = 100e6
+#: fixed per-transfer latency (connection setup, job submit)
+MOVE_LATENCY = 0.5
+
+
+class MultiEngineCloud:
+    """Shared substrate binding cluster, clock, scheduler and engines."""
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else Cluster.homogeneous(16, 4, 8.0)
+        self.clock = SimClock()
+        self.scheduler = ContainerScheduler(self.cluster)
+        self.collector = MetricsCollector()
+        self.infra = Infrastructure()
+        self.bandwidth = bandwidth
+        self.seed = seed
+        self.engines: dict[str, Engine] = {}
+        # the HDFS substrate backing datasets and intermediate artifacts
+        from repro.engines.hdfs import SimHDFS
+
+        self.hdfs = SimHDFS(self.cluster)
+
+    # -- engine management -------------------------------------------------
+    def add_engine(
+        self,
+        name: str,
+        kind: str = COMPUTE,
+        profiles: dict[str, PerfModel] | None = None,
+        default_request: ContainerRequest | None = None,
+        centralized: bool = False,
+        noise_sigma: float = 0.05,
+    ) -> Engine:
+        """Deploy an engine over the shared cluster/clock/monitoring."""
+        if name in self.engines:
+            raise ValueError(f"engine {name!r} already deployed")
+        if profiles is None:
+            profiles = {
+                alg: model for (alg, eng), model in DEFAULT_PROFILES.items() if eng == name
+            }
+        if default_request is None:
+            default_request = (
+                ContainerRequest(cores=4, memory_gb=8.0, instances=1)
+                if centralized
+                else ContainerRequest(cores=4, memory_gb=8.0, instances=8)
+            )
+        engine = Engine(
+            name=name,
+            kind=kind,
+            clock=self.clock,
+            scheduler=self.scheduler,
+            collector=self.collector,
+            infra=self.infra,
+            profiles=profiles,
+            default_request=default_request,
+            centralized=centralized,
+            noise_sigma=noise_sigma,
+            seed=self.seed + len(self.engines),
+        )
+        self.engines[name] = engine
+        return engine
+
+    def engine(self, name: str) -> Engine:
+        """Look an engine up by name."""
+        return self.engines[name]
+
+    def available_engines(self) -> set[str]:
+        """Names of engines whose service-availability check reports ON."""
+        return {name for name, e in self.engines.items() if e.available}
+
+    def kill_engine(self, name: str) -> None:
+        """Turn an engine's service OFF."""
+        self.engines[name].stop()
+
+    def restart_engine(self, name: str) -> None:
+        """Turn an engine's service back ON."""
+        self.engines[name].start()
+
+    # -- data movement -------------------------------------------------------
+    def move_seconds(self, size_bytes: float, src: str | None, dst: str | None) -> float:
+        """True cost of moving data between stores (same store = free)."""
+        if src == dst or size_bytes <= 0:
+            return 0.0
+        return MOVE_LATENCY + size_bytes / (self.bandwidth * self.infra.io_factor ** 0)
+
+    def move(self, size_bytes: float, src: str | None, dst: str | None) -> float:
+        """Perform a move: charge the clock, return the elapsed seconds."""
+        seconds = self.move_seconds(size_bytes, src, dst)
+        self.clock.advance(seconds)
+        return seconds
+
+    # -- infrastructure events ----------------------------------------------
+    def upgrade_disks_to_ssd(self, io_factor: float = 0.4) -> None:
+        """The Figure 16.b event: HDD→SSD swap accelerating IO-bound work."""
+        self.infra.io_factor = io_factor
+
+    def degrade_cpu(self, cpu_factor: float) -> None:
+        """Temporal degradation (collocated load) slowing all compute."""
+        self.infra.cpu_factor = cpu_factor
+
+
+def build_default_cloud(
+    n_nodes: int = 16, cores: int = 4, memory_gb: float = 8.0, seed: int = 0
+) -> MultiEngineCloud:
+    """The paper's evaluation deployment: all engines over one 16-VM cluster."""
+    cloud = MultiEngineCloud(Cluster.homogeneous(n_nodes, cores, memory_gb), seed=seed)
+    dist = ContainerRequest(cores=4, memory_gb=8.0, instances=8)
+    single = ContainerRequest(cores=4, memory_gb=8.0, instances=1)
+    cloud.add_engine("Spark", COMPUTE, default_request=dist)
+    cloud.add_engine("MLlib", COMPUTE, default_request=dist)
+    cloud.add_engine("SparkSQL", COMPUTE, default_request=dist)
+    cloud.add_engine("MapReduce", COMPUTE, default_request=dist)
+    cloud.add_engine("Hama", COMPUTE, default_request=dist)
+    cloud.add_engine("Hive", COMPUTE, default_request=dist)
+    cloud.add_engine("Java", COMPUTE, default_request=single, centralized=True)
+    cloud.add_engine("Python", COMPUTE, default_request=single, centralized=True)
+    cloud.add_engine("scikit", COMPUTE, default_request=single, centralized=True)
+    cloud.add_engine("PostgreSQL", DATASTORE, default_request=single, centralized=True)
+    cloud.add_engine("MemSQL", DATASTORE, default_request=dist)
+    cloud.add_engine("HDFS", DATASTORE, profiles={}, default_request=dist)
+    return cloud

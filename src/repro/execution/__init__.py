@@ -1,0 +1,30 @@
+"""Executor layer: plan enforcement, monitoring and fault-tolerant replanning."""
+
+from repro.execution.cache import ResultCache, step_key
+from repro.execution.enforcer import (
+    ExecutionReport,
+    StepExecution,
+    WorkflowExecutor,
+    IRES_REPLAN,
+    TRIVIAL_REPLAN,
+)
+from repro.execution.parallel import (
+    ParallelReport,
+    ParallelSimulator,
+    ScheduledStep,
+    SchedulingError,
+)
+
+__all__ = [
+    "ExecutionReport",
+    "IRES_REPLAN",
+    "ParallelReport",
+    "ParallelSimulator",
+    "ResultCache",
+    "step_key",
+    "ScheduledStep",
+    "SchedulingError",
+    "StepExecution",
+    "TRIVIAL_REPLAN",
+    "WorkflowExecutor",
+]

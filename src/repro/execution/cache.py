@@ -1,0 +1,93 @@
+"""Cross-execution reuse of materialized intermediate results.
+
+Within one execution, IReS already reuses intermediates when replanning
+around failures ("our system does not discard results of tasks that have
+been successfully executed", §2.3).  This module generalizes the idea across
+executions: a :class:`ResultCache` remembers which (operator, inputs)
+combinations already produced materialized outputs, so re-running the same —
+or an overlapping — workflow skips the completed prefix, exactly like the
+replanning path does.
+
+Soundness: a cache key binds the *materialized operator* (implementation +
+engine), its parameters, and the identity of every input dataset (name,
+format signature, size and cardinality).  Any change to inputs or operator
+choice misses the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import Dataset
+from repro.core.workflow import PlanStep
+
+
+def step_key(step: PlanStep) -> tuple:
+    """Hashable identity of a step's computation (implementation + inputs)."""
+    params = tuple(sorted(
+        (k, v) for k, v in step.operator.metadata.to_properties().items()
+        if k.startswith("Execution.Param")
+    ))
+    inputs = tuple(sorted(
+        (d.name, d.signature(), float(d.size), float(d.count))
+        for d in step.inputs
+    ))
+    return (step.abstract_name, step.operator.name, params, inputs)
+
+
+@dataclass
+class ResultCache:
+    """Maps computation keys to their materialized output descriptors."""
+
+    _entries: dict[tuple, list[Dataset]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, step: PlanStep) -> list[Dataset] | None:
+        """The cached outputs of a step's computation, or None."""
+        outputs = self._entries.get(step_key(step))
+        if outputs is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Dataset(d.name, d.metadata.copy(), materialized=True)
+                for d in outputs]
+
+    def store(self, step: PlanStep) -> None:
+        """Remember a successfully executed step's outputs."""
+        if step.is_move:
+            return  # moves are cheap and placement-dependent; don't cache
+        self._entries[step_key(step)] = [
+            Dataset(d.name, d.metadata.copy(), materialized=True)
+            for d in step.outputs
+        ]
+
+    def seed_completed(self, steps: list[PlanStep]) -> dict[str, Dataset]:
+        """Walk a plan's prefix, collecting every output the cache can supply.
+
+        A step is reusable when all its non-source inputs were themselves
+        supplied by the cache in this walk — i.e. the reusable region is a
+        closed prefix of the dataflow, mirroring how replanning reuses only
+        fully materialized intermediates.
+        """
+        completed: dict[str, Dataset] = {}
+        produced_names = {out.name for s in steps for out in s.outputs}
+        for step in steps:
+            if step.is_move:
+                continue
+            dependent = [d for d in step.inputs if d.name in produced_names]
+            if any(d.name not in completed for d in dependent):
+                continue
+            outputs = self.lookup(step)
+            if outputs is None:
+                continue
+            for out in outputs:
+                completed[out.name] = out
+        return completed
+
+    def invalidate(self) -> None:
+        """Drop every cached result (e.g. after an input dataset changed)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

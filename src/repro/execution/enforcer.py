@@ -1,0 +1,313 @@
+"""The enforcer: executes materialized plans over the (simulated) cluster.
+
+Translates plan steps into engine executions and data movements, monitors
+service availability in real time, and — on failure — replans the remaining
+workflow (D3.3 §2.3).  Two replanning strategies are implemented for the
+§4.5 evaluation:
+
+- ``IRES_REPLAN`` keeps materialized intermediate results and replans only
+  the remainder of the workflow;
+- ``TRIVIAL_REPLAN`` discards intermediates and reschedules the whole
+  workflow from scratch.
+
+Planning/replanning time is measured in *real* wall-clock (it is our code
+running); engine work is charged to the simulated clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.dataset import Dataset
+from repro.core.estimators import resources_for, workload_from_inputs
+from repro.core.planner import Planner, PlanningError
+from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
+from repro.engines.errors import EngineError, EngineUnavailableError
+from repro.engines.faults import FaultInjector
+from repro.engines.profiles import Resources
+from repro.engines.registry import MultiEngineCloud
+
+IRES_REPLAN = "IResReplan"
+TRIVIAL_REPLAN = "TrivialReplan"
+
+
+class ExecutionFailed(RuntimeError):
+    """The workflow could not be completed (replanning exhausted)."""
+
+
+@dataclass
+class StepExecution:
+    """Outcome of one enforced plan step."""
+
+    step: PlanStep
+    engine: str
+    sim_seconds: float
+    started_at: float
+    success: bool
+    error: str | None = None
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the §4 experiments measure about one workflow run."""
+
+    workflow: str
+    strategy: str
+    succeeded: bool
+    sim_time: float
+    planning_seconds: list[float] = field(default_factory=list)
+    plans: list[MaterializedPlan] = field(default_factory=list)
+    executions: list[StepExecution] = field(default_factory=list)
+    replans: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def initial_planning_seconds(self) -> float:
+        """Wall-clock of the first (pre-failure) planning pass."""
+        return self.planning_seconds[0] if self.planning_seconds else 0.0
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Makespan if independent steps had run concurrently.
+
+        The enforcer charges the simulated clock serially, but the plan's
+        dataflow admits parallelism (e.g. the relational workflow's q1 and
+        q2 touch disjoint stores).  This walks the successful executions,
+        starting each step after the producers of its inputs finished, and
+        returns the resulting critical-path length.
+        """
+        finish_by_dataset: dict[str, float] = {}
+        makespan = 0.0
+        for execution in self.executions:
+            if not execution.success:
+                continue
+            step = execution.step
+            start = max(
+                (finish_by_dataset.get(d.name, 0.0) for d in step.inputs),
+                default=0.0,
+            )
+            finish = start + execution.sim_seconds
+            for out in step.outputs:
+                finish_by_dataset[out.name] = finish
+            makespan = max(makespan, finish)
+        return makespan
+
+    @property
+    def replanning_seconds(self) -> float:
+        """Wall-clock summed over all replanning passes."""
+        return sum(self.planning_seconds[1:])
+
+    def engines_used(self) -> list[str]:
+        """Engine of every successful step, in execution order."""
+        return [e.engine for e in self.executions if e.success]
+
+
+def hdfs_path(path: str | None) -> str | None:
+    """Normalize an ``hdfs://…`` URI to the SimHDFS namespace path.
+
+    Both ``hdfs:///p`` and ``hdfs://namenode/p`` resolve to ``/p`` (any
+    authority component is dropped — there is a single simulated namenode).
+    """
+    if not path or not path.startswith("hdfs://"):
+        return None
+    rest = path[len("hdfs://"):]
+    if not rest.startswith("/"):  # authority present: hdfs://host/path
+        _, _, rest = rest.partition("/")
+        rest = "/" + rest
+    return rest
+
+
+class WorkflowExecutor:
+    """Runs abstract workflows end-to-end: plan → enforce → replan on failure.
+
+    When a materialized operator carries an ``impl`` callable and its input
+    datasets resolve to real HDFS payloads, the executor runs the
+    implementation and stores the genuine artifact back into HDFS — timing
+    always comes from the engine's performance profile (the data plane and
+    the cost plane are decoupled, like a scheduler driving real jobs).
+    """
+
+    def __init__(
+        self,
+        cloud: MultiEngineCloud,
+        planner: Planner,
+        fault_injector: FaultInjector | None = None,
+        strategy: str = IRES_REPLAN,
+        max_replans: int = 8,
+        health_checks: bool = True,
+    ) -> None:
+        if strategy not in (IRES_REPLAN, TRIVIAL_REPLAN):
+            raise ValueError(f"unknown replanning strategy {strategy!r}")
+        self.cloud = cloud
+        self.planner = planner
+        self.fault_injector = fault_injector
+        self.strategy = strategy
+        self.max_replans = max_replans
+        self.health_checks = health_checks
+
+    # -- public -------------------------------------------------------------
+    def execute(self, workflow: AbstractWorkflow, cache=None) -> ExecutionReport:
+        """Plan, enforce and (on failures) replan one workflow.
+
+        ``cache`` (a :class:`~repro.execution.cache.ResultCache`) enables
+        cross-execution reuse: steps whose computation the cache has already
+        seen enter planning as materialized results, so only the new suffix
+        of the workflow runs.
+        """
+        report = ExecutionReport(
+            workflow=workflow.name, strategy=self.strategy, succeeded=False,
+            sim_time=0.0,
+        )
+        sim_start = self.cloud.clock.now
+        completed: dict[str, Dataset] = {}
+        if cache is not None:
+            # probe with a throwaway plan, then replan around the cached prefix
+            probe = self._plan(workflow, completed, report)
+            completed.update(cache.seed_completed(probe.steps))
+            report.plans.clear()
+            report.planning_seconds.clear()
+        #: dataset name -> HDFS path of its real artifact (the data plane)
+        payload_paths: dict[str, str] = {}
+        for dataset in workflow.datasets.values():
+            path = hdfs_path(dataset.path)
+            if path is not None:
+                payload_paths[dataset.name] = path
+        plan = self._plan(workflow, completed, report)
+        steps = list(plan.steps)
+        cursor = 0
+        while cursor < len(steps):
+            step = steps[cursor]
+            if self.fault_injector is not None and step.abstract_name:
+                self.fault_injector.on_operator_start(step.abstract_name)
+            if self.health_checks:
+                self.cloud.cluster.run_health_checks()
+            try:
+                self._enforce_step(step, report, payload_paths, workflow.name)
+            except EngineError as exc:
+                report.failures.append(f"{step.operator.name}@{step.engine}: {exc}")
+                if report.replans >= self.max_replans:
+                    raise ExecutionFailed(
+                        f"workflow {workflow.name!r} failed after "
+                        f"{report.replans} replans"
+                    ) from exc
+                report.replans += 1
+                if self.strategy == TRIVIAL_REPLAN:
+                    completed.clear()
+                plan = self._plan(workflow, completed, report)
+                steps = list(plan.steps)
+                cursor = 0
+                continue
+            for out in step.outputs:
+                done = Dataset(out.name, out.metadata.copy(), materialized=True)
+                completed[out.name] = done
+                if out.store == "HDFS" and getattr(self.cloud, "hdfs", None):
+                    self.cloud.hdfs.put(
+                        f"/intermediates/{workflow.name}/{out.name}",
+                        out.size, overwrite=True)
+            if cache is not None:
+                cache.store(step)
+            cursor += 1
+        report.succeeded = True
+        report.sim_time = self.cloud.clock.now - sim_start
+        return report
+
+    # -- internals -----------------------------------------------------------
+    def _plan(
+        self,
+        workflow: AbstractWorkflow,
+        completed: dict[str, Dataset],
+        report: ExecutionReport,
+    ) -> MaterializedPlan:
+        available = self.cloud.available_engines() | {"move"}
+        wall_start = time.perf_counter()
+        try:
+            plan = self.planner.plan(
+                workflow,
+                available_engines=available,
+                materialized_results=dict(completed),
+            )
+        except PlanningError as exc:
+            raise ExecutionFailed(str(exc)) from exc
+        report.planning_seconds.append(time.perf_counter() - wall_start)
+        report.plans.append(plan)
+        return plan
+
+    def _enforce_step(
+        self,
+        step: PlanStep,
+        report: ExecutionReport,
+        payload_paths: dict[str, str] | None = None,
+        workflow_name: str = "",
+    ) -> None:
+        payload_paths = payload_paths if payload_paths is not None else {}
+        started = self.cloud.clock.now
+        if step.is_move:
+            src = step.inputs[0].store
+            dst = step.outputs[0].store
+            seconds = self.cloud.move(step.inputs[0].size, src, dst)
+            report.executions.append(
+                StepExecution(step, "move", seconds, started, success=True)
+            )
+            return
+        engine = self.cloud.engines.get(step.engine or "")
+        if engine is None:
+            raise EngineUnavailableError(f"engine {step.engine!r} is not deployed")
+        workload = workload_from_inputs(step.operator, step.inputs)
+        if step.resources:
+            resources = Resources(
+                cores=int(step.resources.get("cores", 4)),
+                memory_gb=float(step.resources.get("memory_gb", 8.0)),
+            )
+        else:
+            resources = resources_for(step.operator, self.cloud)
+        impl, impl_input = self._data_plane_inputs(step, payload_paths)
+        try:
+            result = engine.execute(
+                step.operator.algorithm,
+                workload,
+                resources=resources,
+                operator_name=step.operator.name,
+                impl=impl,
+                impl_input=impl_input,
+            )
+        except EngineError as exc:
+            report.executions.append(
+                StepExecution(step, engine.name, 0.0, started, success=False,
+                              error=str(exc))
+            )
+            raise
+        if result.output is not None and getattr(self.cloud, "hdfs", None):
+            for out in step.outputs:
+                path = f"/artifacts/{workflow_name}/{out.name}"
+                self.cloud.hdfs.put(path, out.size, payload=result.output,
+                                    overwrite=True)
+                payload_paths[out.name] = path
+        report.executions.append(
+            StepExecution(step, engine.name, result.record.exec_time, started,
+                          success=True)
+        )
+
+    def _data_plane_inputs(self, step: PlanStep, payload_paths: dict[str, str]):
+        """Resolve the real input artifacts for an operator's ``impl``.
+
+        Returns ``(impl, payload)`` — the single payload when the operator
+        has one input, a list when it has several — or ``(None, None)`` when
+        the operator has no implementation or some input has no artifact.
+        """
+        impl = getattr(step.operator, "impl", None)
+        hdfs = getattr(self.cloud, "hdfs", None)
+        if impl is None or hdfs is None:
+            return None, None
+        payloads = []
+        for dataset in step.inputs:
+            path = payload_paths.get(dataset.name) or hdfs_path(dataset.path)
+            if path is None or not hdfs.exists(path):
+                return None, None
+            payload = hdfs.get(path)
+            if payload is None:
+                return None, None
+            payloads.append(payload)
+        if not payloads:
+            return None, None
+        return impl, payloads[0] if len(payloads) == 1 else payloads

@@ -1,0 +1,131 @@
+"""Common interface for the performance-estimation models."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called before ``fit``."""
+
+
+def as_2d(X) -> np.ndarray:
+    """Coerce input features to a float ``(n_samples, n_features)`` array."""
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D feature array, got shape {arr.shape}")
+    return arr
+
+
+def as_1d(y) -> np.ndarray:
+    """Coerce targets to a float ``(n_samples,)`` array."""
+    arr = np.asarray(y, dtype=float).ravel()
+    return arr
+
+
+class Model:
+    """Base class for all estimation models.
+
+    Subclasses implement :meth:`_fit` and :meth:`_predict` over standardized
+    inputs; this base class handles validation, input/output scaling and the
+    fitted-state bookkeeping so each model only contains its core math.
+    """
+
+    #: whether inputs are z-scored before :meth:`_fit` (models that are
+    #: scale-sensitive, e.g. neural networks and GPs, keep this True).
+    standardize = True
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.n_features_: int | None = None
+
+    @property
+    def name(self) -> str:
+        """The model's class name (used in CV score tables)."""
+        return type(self).__name__
+
+    def fit(self, X, y) -> "Model":
+        """Validate, standardize and fit; returns self."""
+        X = as_2d(X)
+        y = as_1d(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a model on zero samples")
+        self.n_features_ = X.shape[1]
+        if self.standardize:
+            self._x_mean = X.mean(axis=0)
+            self._x_std = X.std(axis=0)
+            self._x_std[self._x_std == 0.0] = 1.0
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+            X = (X - self._x_mean) / self._x_std
+            y = (y - self._y_mean) / self._y_std
+        self._fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} has not been fitted")
+        X = as_2d(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"{self.name} was fitted on {self.n_features_} features, "
+                f"got {X.shape[1]}"
+            )
+        if self.standardize:
+            X = (X - self._x_mean) / self._x_std
+        y = self._predict(X)
+        if self.standardize:
+            y = y * self._y_std + self._y_mean
+        return np.asarray(y, dtype=float).ravel()
+
+    def predict_one(self, x: Sequence[float]) -> float:
+        """Predict a single sample given as a flat feature sequence."""
+        return float(self.predict(np.asarray(x, dtype=float).reshape(1, -1))[0])
+
+    # -- subclass hooks ----------------------------------------------------
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class UserFunction(Model):
+    """A developer-supplied cost function wrapped as a model.
+
+    The paper's operator descriptions may name
+    ``gr.ntua.ece.cslab.panic.core.models.UserFunction`` as the estimation
+    model — a closed-form function provided by the operator developer instead
+    of a trained regressor.  ``fit`` is a no-op.
+    """
+
+    standardize = False
+
+    def __init__(self, fn: Callable[[np.ndarray], float]) -> None:
+        super().__init__()
+        self._fn = fn
+        self._fitted = True
+        self.n_features_ = None
+
+    def fit(self, X, y) -> "UserFunction":
+        """No-op: the developer-supplied function needs no training."""
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Evaluate the wrapped function row by row."""
+        X = as_2d(X)
+        return np.array([float(self._fn(row)) for row in X])

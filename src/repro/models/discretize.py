@@ -1,0 +1,52 @@
+"""Regression by discretization (WEKA ``RegressionByDiscretization``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.models.tree import RegressionTree
+
+
+class RegressionByDiscretization(Model):
+    """Discretize the target into equal-frequency bins, classify, predict bin means.
+
+    WEKA's scheme wraps a classifier over a discretized target domain; here
+    the classifier is a regression tree fitted to bin indices, whose rounded
+    prediction selects a bin whose mean target value is returned.
+    """
+
+    standardize = False
+
+    def __init__(self, n_bins: int = 10, max_depth: int = 8, seed: int = 19) -> None:
+        super().__init__()
+        self.n_bins = n_bins
+        self.max_depth = max_depth
+        self.seed = seed
+        self._bin_means: np.ndarray | None = None
+        self._classifier: RegressionTree | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n_bins = min(self.n_bins, max(1, len(np.unique(y))))
+        # Equal-frequency bin edges over y.
+        quantiles = np.linspace(0, 100, n_bins + 1)
+        edges = np.percentile(y, quantiles)
+        edges = np.unique(edges)
+        if len(edges) < 2:
+            labels = np.zeros(len(y), dtype=int)
+            self._bin_means = np.array([float(y.mean())])
+        else:
+            labels = np.clip(np.searchsorted(edges, y, side="right") - 1, 0, len(edges) - 2)
+            self._bin_means = np.array(
+                [
+                    y[labels == b].mean() if (labels == b).any() else y.mean()
+                    for b in range(len(edges) - 1)
+                ]
+            )
+        self._classifier = RegressionTree(max_depth=self.max_depth, seed=self.seed)
+        self._classifier.fit(X, labels.astype(float))
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        raw = self._classifier.predict(X)
+        bins = np.clip(np.rint(raw).astype(int), 0, len(self._bin_means) - 1)
+        return self._bin_means[bins]

@@ -1,0 +1,83 @@
+"""Ensemble regressors: bagging (Breiman 1996) and random subspace (Ho 1998)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.models.tree import RegressionTree
+
+
+class Bagging(Model):
+    """Bootstrap-aggregated regression trees (WEKA ``Bagging``)."""
+
+    standardize = False
+
+    def __init__(
+        self, n_estimators: int = 20, max_depth: int = 8, seed: int = 13
+    ) -> None:
+        super().__init__()
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: list[RegressionTree] = []
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self._trees = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = RegressionTree(max_depth=self.max_depth, seed=self.seed + i)
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.mean(axis=0)
+
+
+class RandomSubspace(Model):
+    """Random-subspace decision forest (WEKA ``RandomSubSpace``).
+
+    Each tree is trained on a random subset of the features (default half of
+    them, at least one), then predictions are averaged.
+    """
+
+    standardize = False
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        subspace_fraction: float = 0.5,
+        max_depth: int = 8,
+        seed: int = 17,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < subspace_fraction <= 1.0:
+            raise ValueError("subspace_fraction must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.subspace_fraction = subspace_fraction
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: list[RegressionTree] = []
+        self._subspaces: list[np.ndarray] = []
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        k = max(1, int(round(self.subspace_fraction * d)))
+        self._trees = []
+        self._subspaces = []
+        for i in range(self.n_estimators):
+            features = np.sort(rng.choice(d, size=k, replace=False))
+            tree = RegressionTree(max_depth=self.max_depth, seed=self.seed + i)
+            tree.fit(X[:, features], y)
+            self._trees.append(tree)
+            self._subspaces.append(features)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        preds = np.stack(
+            [t.predict(X[:, f]) for t, f in zip(self._trees, self._subspaces)]
+        )
+        return preds.mean(axis=0)

@@ -1,0 +1,76 @@
+"""Gaussian-process regression with an RBF kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Model
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, length_scale: float) -> np.ndarray:
+    """Squared-exponential kernel matrix between row sets ``A`` and ``B``."""
+    a2 = (A * A).sum(axis=1)[:, None]
+    b2 = (B * B).sum(axis=1)[None, :]
+    d2 = np.maximum(a2 + b2 - 2.0 * A @ B.T, 0.0)
+    return np.exp(-0.5 * d2 / (length_scale * length_scale))
+
+
+class GaussianProcess(Model):
+    """GP regression (WEKA ``GaussianProcesses``): exact inference, RBF kernel.
+
+    Profiling datasets are small (tens to a few hundred runs), so the cubic
+    Cholesky solve is cheap.  ``noise`` is the observation-noise variance;
+    the length scale is set by the median heuristic unless given.
+    """
+
+    def __init__(self, length_scale: float | None = None, noise: float = 0.1) -> None:
+        super().__init__()
+        self.length_scale = length_scale
+        self.noise = noise
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._ls = 1.0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._X = X
+        if self.length_scale is not None:
+            self._ls = self.length_scale
+        else:
+            # Median pairwise distance heuristic.
+            n = X.shape[0]
+            if n > 1:
+                idx = np.random.default_rng(0).choice(n, size=min(n, 256), replace=False)
+                S = X[idx]
+                d2 = ((S[:, None, :] - S[None, :, :]) ** 2).sum(-1)
+                med = float(np.median(np.sqrt(d2[d2 > 0]))) if (d2 > 0).any() else 1.0
+                self._ls = med or 1.0
+            else:
+                self._ls = 1.0
+        K = rbf_kernel(X, X, self._ls)
+        K[np.diag_indices_from(K)] += self.noise
+        L = np.linalg.cholesky(K)
+        self._L = L
+        self._alpha = np.linalg.solve(L.T, np.linalg.solve(L, y))
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        Ks = rbf_kernel(X, self._X, self._ls)
+        return Ks @ self._alpha
+
+    def predict_std(self, X) -> np.ndarray:
+        """Posterior predictive standard deviation (standardized-target units).
+
+        Drives uncertainty-guided sampling: the adaptive profiler probes the
+        configuration where the model is least sure (PANIC-style).
+        """
+        from repro.models.base import NotFittedError, as_2d
+
+        if self._L is None:
+            raise NotFittedError("GaussianProcess has not been fitted")
+        X = as_2d(X)
+        if self.standardize:
+            X = (X - self._x_mean) / self._x_std
+        Ks = rbf_kernel(X, self._X, self._ls)
+        v = np.linalg.solve(self._L, Ks.T)
+        var = 1.0 + self.noise - (v * v).sum(axis=0)
+        return np.sqrt(np.maximum(var, 0.0))

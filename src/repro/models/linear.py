@@ -1,0 +1,81 @@
+"""Linear regression models: ordinary least squares and least median of squares."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Model
+
+
+def _design(X: np.ndarray) -> np.ndarray:
+    """Append the intercept column."""
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+class LinearRegression(Model):
+    """Ordinary least-squares linear regression (the WEKA baseline)."""
+
+    standardize = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.coef_: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        A = _design(X)
+        self.coef_, *_ = np.linalg.lstsq(A, y, rcond=None)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return _design(X) @ self.coef_
+
+
+class LeastMedianSquares(Model):
+    """Least Median of Squares robust regression (Rousseeuw & Leroy).
+
+    WEKA's ``LeastMedSq`` classifier: repeatedly fit OLS to small random
+    subsamples, keep the fit with the lowest *median* squared residual, then
+    refit OLS on the inliers of that fit.  Robust to up to ~50% outliers,
+    which matters when profiling runs include interference spikes.
+    """
+
+    standardize = False
+
+    def __init__(self, n_trials: int = 200, seed: int = 7) -> None:
+        super().__init__()
+        self.n_trials = n_trials
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        A = _design(X)
+        n, p = A.shape
+        if n <= p + 1:
+            # Too few samples for subsampling: plain OLS.
+            self.coef_, *_ = np.linalg.lstsq(A, y, rcond=None)
+            return
+        best_coef = None
+        best_median = np.inf
+        sample_size = min(n, p + 1)
+        for _ in range(self.n_trials):
+            idx = rng.choice(n, size=sample_size, replace=False)
+            coef, *_ = np.linalg.lstsq(A[idx], y[idx], rcond=None)
+            resid2 = (y - A @ coef) ** 2
+            med = float(np.median(resid2))
+            if med < best_median:
+                best_median = med
+                best_coef = coef
+        # Reweighted least squares on the inliers of the best LMS fit.
+        resid2 = (y - A @ best_coef) ** 2
+        scale = 1.4826 * (1 + 5.0 / max(n - p, 1)) * np.sqrt(best_median)
+        if scale <= 0:
+            self.coef_ = best_coef
+            return
+        inliers = resid2 <= (2.5 * scale) ** 2
+        if inliers.sum() >= p:
+            self.coef_, *_ = np.linalg.lstsq(A[inliers], y[inliers], rcond=None)
+        else:
+            self.coef_ = best_coef
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return _design(X) @ self.coef_

@@ -1,0 +1,210 @@
+"""Model persistence: save and load fitted estimators without pickle.
+
+The paper keeps the trained cost/performance models "stored and updated in
+an IReS library" so they survive restarts and are shared across planner
+invocations.  This module serializes every model of the zoo to a plain
+``dict`` of JSON-able values + numpy arrays (written with ``np.savez``),
+avoiding pickle's code-execution hazards — a deliberate choice for a
+service that loads model files from disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.models.discretize import RegressionByDiscretization
+from repro.models.ensemble import Bagging, RandomSubspace
+from repro.models.gaussian_process import GaussianProcess
+from repro.models.linear import LeastMedianSquares, LinearRegression
+from repro.models.mlp import MultilayerPerceptron
+from repro.models.rbf import RBFNetwork
+from repro.models.tree import RegressionTree, _Node
+
+MODEL_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        LinearRegression, LeastMedianSquares, GaussianProcess,
+        MultilayerPerceptron, RBFNetwork, RegressionTree, Bagging,
+        RandomSubspace, RegressionByDiscretization,
+    )
+}
+
+
+class SerializationError(ValueError):
+    """The model cannot be (de)serialized."""
+
+
+# -- regression trees flatten to parallel arrays ---------------------------
+
+def _flatten_tree(root: _Node) -> dict[str, np.ndarray]:
+    features, thresholds, values, lefts, rights = [], [], [], [], []
+
+    def visit(node: _Node) -> int:
+        index = len(features)
+        features.append(node.feature)
+        thresholds.append(node.threshold)
+        values.append(node.value)
+        lefts.append(-1)
+        rights.append(-1)
+        if not node.is_leaf:
+            lefts[index] = visit(node.left)
+            rights[index] = visit(node.right)
+        return index
+
+    visit(root)
+    return {
+        "feature": np.asarray(features, dtype=np.int64),
+        "threshold": np.asarray(thresholds, dtype=float),
+        "value": np.asarray(values, dtype=float),
+        "left": np.asarray(lefts, dtype=np.int64),
+        "right": np.asarray(rights, dtype=np.int64),
+    }
+
+
+def _unflatten_tree(arrays: dict[str, np.ndarray]) -> _Node:
+    def build(index: int) -> _Node:
+        node = _Node(
+            feature=int(arrays["feature"][index]),
+            threshold=float(arrays["threshold"][index]),
+            value=float(arrays["value"][index]),
+        )
+        if arrays["left"][index] >= 0:
+            node.left = build(int(arrays["left"][index]))
+            node.right = build(int(arrays["right"][index]))
+        return node
+
+    return build(0)
+
+
+# -- per-class state extraction ------------------------------------------------
+
+def _model_state(model: Model) -> dict:
+    """Class-specific fitted state as a flat {key: array-or-scalar} dict."""
+    if isinstance(model, (LinearRegression, LeastMedianSquares)):
+        return {"coef_": model.coef_}
+    if isinstance(model, GaussianProcess):
+        return {"X": model._X, "alpha": model._alpha, "L": model._L,
+                "ls": model._ls, "noise": model.noise}
+    if isinstance(model, MultilayerPerceptron):
+        state: dict = {"n_layers": len(model._weights)}
+        for i, (W, b) in enumerate(zip(model._weights, model._biases)):
+            state[f"W{i}"] = W
+            state[f"b{i}"] = b
+        return state
+    if isinstance(model, RBFNetwork):
+        return {"centers": model._centers, "width": model._width,
+                "coef": model._coef}
+    if isinstance(model, RegressionTree):
+        return {f"tree/{k}": v for k, v in _flatten_tree(model._root).items()}
+    if isinstance(model, (Bagging, RandomSubspace)):
+        state = {"n_trees": len(model._trees)}
+        for i, tree in enumerate(model._trees):
+            for key, value in _flatten_tree(tree._root).items():
+                state[f"tree{i}/{key}"] = value
+            state[f"tree{i}/n_features"] = tree.n_features_
+        if isinstance(model, RandomSubspace):
+            for i, features in enumerate(model._subspaces):
+                state[f"subspace{i}"] = features
+        return state
+    if isinstance(model, RegressionByDiscretization):
+        state = {"bin_means": model._bin_means,
+                 "classifier/n_features": model._classifier.n_features_}
+        for key, value in _flatten_tree(model._classifier._root).items():
+            state[f"classifier/{key}"] = value
+        return state
+    raise SerializationError(f"cannot serialize {type(model).__name__}")
+
+
+def _restore_state(model: Model, state: dict) -> None:
+    if isinstance(model, (LinearRegression, LeastMedianSquares)):
+        model.coef_ = state["coef_"]
+    elif isinstance(model, GaussianProcess):
+        model._X = state["X"]
+        model._alpha = state["alpha"]
+        model._L = state["L"]
+        model._ls = float(state["ls"])
+        model.noise = float(state["noise"])
+    elif isinstance(model, MultilayerPerceptron):
+        n = int(state["n_layers"])
+        model._weights = [state[f"W{i}"] for i in range(n)]
+        model._biases = [state[f"b{i}"] for i in range(n)]
+    elif isinstance(model, RBFNetwork):
+        model._centers = state["centers"]
+        model._width = float(state["width"])
+        model._coef = state["coef"]
+    elif isinstance(model, RegressionTree):
+        arrays = {k.split("/", 1)[1]: v for k, v in state.items()
+                  if k.startswith("tree/")}
+        model._root = _unflatten_tree(arrays)
+    elif isinstance(model, (Bagging, RandomSubspace)):
+        n = int(state["n_trees"])
+        model._trees = []
+        for i in range(n):
+            prefix = f"tree{i}/"
+            arrays = {k[len(prefix):]: v for k, v in state.items()
+                      if k.startswith(prefix) and not k.endswith("n_features")}
+            tree = RegressionTree(max_depth=model.max_depth)
+            tree._root = _unflatten_tree(arrays)
+            tree._fitted = True
+            tree.n_features_ = int(state[f"tree{i}/n_features"])
+            model._trees.append(tree)
+        if isinstance(model, RandomSubspace):
+            model._subspaces = [state[f"subspace{i}"] for i in range(n)]
+    elif isinstance(model, RegressionByDiscretization):
+        model._bin_means = state["bin_means"]
+        arrays = {k.split("/", 1)[1]: v for k, v in state.items()
+                  if k.startswith("classifier/") and not k.endswith("n_features")}
+        classifier = RegressionTree(max_depth=model.max_depth)
+        classifier._root = _unflatten_tree(arrays)
+        classifier._fitted = True
+        classifier.n_features_ = int(state["classifier/n_features"])
+        model._classifier = classifier
+    else:
+        raise SerializationError(f"cannot restore {type(model).__name__}")
+
+
+# -- public API -----------------------------------------------------------
+
+def save_model(model: Model, path) -> None:
+    """Persist a fitted model to a ``.npz`` file."""
+    if not model._fitted:
+        raise SerializationError("cannot save an unfitted model")
+    payload: dict = {
+        "__class__": np.array(type(model).__name__),
+        "__n_features__": np.array(model.n_features_ if model.n_features_
+                                   is not None else -1),
+        "__standardize__": np.array(int(model.standardize)),
+    }
+    if model.standardize:
+        payload["__x_mean__"] = model._x_mean
+        payload["__x_std__"] = model._x_std
+        payload["__y_mean__"] = np.array(model._y_mean)
+        payload["__y_std__"] = np.array(model._y_std)
+    for key, value in _model_state(model).items():
+        payload[f"state/{key}"] = np.asarray(value)
+    np.savez(Path(path), **payload)
+
+
+def load_model(path) -> Model:
+    """Load a model saved by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        class_name = str(data["__class__"])
+        cls = MODEL_CLASSES.get(class_name)
+        if cls is None:
+            raise SerializationError(f"unknown model class {class_name!r}")
+        model = cls()
+        n_features = int(data["__n_features__"])
+        model.n_features_ = n_features if n_features >= 0 else None
+        if int(data["__standardize__"]):
+            model._x_mean = data["__x_mean__"]
+            model._x_std = data["__x_std__"]
+            model._y_mean = float(data["__y_mean__"])
+            model._y_std = float(data["__y_std__"])
+        state = {key[len("state/"):]: data[key]
+                 for key in data.files if key.startswith("state/")}
+        _restore_state(model, state)
+        model._fitted = True
+        return model

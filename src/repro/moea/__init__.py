@@ -1,0 +1,17 @@
+"""Multi-objective evolutionary optimization (NSGA-II, Deb et al. 2002).
+
+The paper's resource provisioning "builds on the MOEA framework and relies on
+the NSGA-II genetic algorithm" (D3.3 §2.2.4).  This package is a from-scratch
+implementation: fast non-dominated sorting, crowding-distance selection,
+simulated binary crossover and polynomial mutation.
+"""
+
+from repro.moea.nsga2 import NSGA2, Individual, Problem, crowding_distance, fast_non_dominated_sort
+
+__all__ = [
+    "NSGA2",
+    "Individual",
+    "Problem",
+    "crowding_distance",
+    "fast_non_dominated_sort",
+]

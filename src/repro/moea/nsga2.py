@@ -1,0 +1,233 @@
+"""NSGA-II: elitist multi-objective genetic algorithm (Deb et al. 2002)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Problem:
+    """A box-constrained multi-objective minimization problem.
+
+    ``evaluate`` maps a decision vector to a tuple of objective values, all
+    to be minimized.  ``integer`` marks decision variables that are rounded
+    to integers (e.g. number of cores or VMs).
+    """
+
+    n_objectives: int
+    lower: Sequence[float]
+    upper: Sequence[float]
+    evaluate: Callable[[np.ndarray], Sequence[float]]
+    integer: Sequence[bool] | None = None
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("lower and upper bounds must have the same shape")
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound")
+        if self.integer is None:
+            self.integer = np.zeros(len(self.lower), dtype=bool)
+        else:
+            self.integer = np.asarray(self.integer, dtype=bool)
+
+    @property
+    def n_variables(self) -> int:
+        """Dimensionality of the decision space."""
+        return len(self.lower)
+
+    def repair(self, x: np.ndarray) -> np.ndarray:
+        """Clip to bounds and round integer variables."""
+        x = np.clip(x, self.lower, self.upper)
+        if self.integer.any():
+            x = np.where(self.integer, np.rint(x), x)
+        return x
+
+
+@dataclass
+class Individual:
+    """One population member: decision vector, objectives, NSGA-II state."""
+    x: np.ndarray
+    objectives: np.ndarray
+    rank: int = 0
+    crowding: float = 0.0
+    dominated_set: list = field(default_factory=list, repr=False)
+    domination_count: int = 0
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Pareto dominance for minimization: a <= b everywhere, < somewhere."""
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def fast_non_dominated_sort(population: list[Individual]) -> list[list[Individual]]:
+    """Partition a population into Pareto fronts (rank 0 = non-dominated)."""
+    fronts: list[list[Individual]] = [[]]
+    for p in population:
+        p.dominated_set = []
+        p.domination_count = 0
+    for i, p in enumerate(population):
+        for q in population[i + 1 :]:
+            if dominates(p.objectives, q.objectives):
+                p.dominated_set.append(q)
+                q.domination_count += 1
+            elif dominates(q.objectives, p.objectives):
+                q.dominated_set.append(p)
+                p.domination_count += 1
+    for p in population:
+        if p.domination_count == 0:
+            p.rank = 0
+            fronts[0].append(p)
+    i = 0
+    while fronts[i]:
+        nxt: list[Individual] = []
+        for p in fronts[i]:
+            for q in p.dominated_set:
+                q.domination_count -= 1
+                if q.domination_count == 0:
+                    q.rank = i + 1
+                    nxt.append(q)
+        i += 1
+        fronts.append(nxt)
+    fronts.pop()  # last front is empty
+    return fronts
+
+
+def crowding_distance(front: list[Individual]) -> None:
+    """Assign crowding distances in-place to one front."""
+    n = len(front)
+    for ind in front:
+        ind.crowding = 0.0
+    if n <= 2:
+        for ind in front:
+            ind.crowding = float("inf")
+        return
+    n_obj = len(front[0].objectives)
+    for m in range(n_obj):
+        front.sort(key=lambda ind: ind.objectives[m])
+        front[0].crowding = front[-1].crowding = float("inf")
+        span = front[-1].objectives[m] - front[0].objectives[m]
+        if span == 0:
+            continue
+        for i in range(1, n - 1):
+            front[i].crowding += (
+                front[i + 1].objectives[m] - front[i - 1].objectives[m]
+            ) / span
+
+
+class NSGA2:
+    """The NSGA-II optimizer loop.
+
+    Parameters follow Deb et al.: simulated binary crossover (SBX) with
+    distribution index ``eta_c``, polynomial mutation with index ``eta_m``,
+    binary tournament selection on (rank, crowding).
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        population_size: int = 40,
+        generations: int = 50,
+        crossover_prob: float = 0.9,
+        mutation_prob: float | None = None,
+        eta_c: float = 15.0,
+        eta_m: float = 20.0,
+        seed: int = 42,
+    ) -> None:
+        if population_size < 4 or population_size % 2:
+            raise ValueError("population_size must be an even number >= 4")
+        self.problem = problem
+        self.population_size = population_size
+        self.generations = generations
+        self.crossover_prob = crossover_prob
+        self.mutation_prob = (
+            mutation_prob if mutation_prob is not None else 1.0 / problem.n_variables
+        )
+        self.eta_c = eta_c
+        self.eta_m = eta_m
+        self.rng = np.random.default_rng(seed)
+
+    # -- variation operators ------------------------------------------------
+    def _sbx(self, p1: np.ndarray, p2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        c1, c2 = p1.copy(), p2.copy()
+        if self.rng.random() > self.crossover_prob:
+            return c1, c2
+        for i in range(len(p1)):
+            if self.rng.random() > 0.5 or p1[i] == p2[i]:
+                continue
+            u = self.rng.random()
+            beta = (
+                (2 * u) ** (1.0 / (self.eta_c + 1))
+                if u <= 0.5
+                else (1.0 / (2 * (1 - u))) ** (1.0 / (self.eta_c + 1))
+            )
+            c1[i] = 0.5 * ((1 + beta) * p1[i] + (1 - beta) * p2[i])
+            c2[i] = 0.5 * ((1 - beta) * p1[i] + (1 + beta) * p2[i])
+        return c1, c2
+
+    def _mutate(self, x: np.ndarray) -> np.ndarray:
+        lo, hi = self.problem.lower, self.problem.upper
+        y = x.copy()
+        for i in range(len(x)):
+            if self.rng.random() > self.mutation_prob or hi[i] == lo[i]:
+                continue
+            u = self.rng.random()
+            delta = (
+                (2 * u) ** (1.0 / (self.eta_m + 1)) - 1
+                if u < 0.5
+                else 1 - (2 * (1 - u)) ** (1.0 / (self.eta_m + 1))
+            )
+            y[i] = x[i] + delta * (hi[i] - lo[i])
+        return y
+
+    def _tournament(self, population: list[Individual]) -> Individual:
+        a, b = self.rng.choice(len(population), size=2, replace=False)
+        p, q = population[a], population[b]
+        if p.rank != q.rank:
+            return p if p.rank < q.rank else q
+        return p if p.crowding > q.crowding else q
+
+    def _make_individual(self, x: np.ndarray) -> Individual:
+        x = self.problem.repair(x)
+        objs = np.asarray(self.problem.evaluate(x), dtype=float)
+        if objs.shape != (self.problem.n_objectives,):
+            raise ValueError(
+                f"evaluate returned {objs.shape}, expected ({self.problem.n_objectives},)"
+            )
+        return Individual(x=x, objectives=objs)
+
+    # -- main loop ------------------------------------------------------
+    def run(self) -> list[Individual]:
+        """Evolve and return the final non-dominated front."""
+        lo, hi = self.problem.lower, self.problem.upper
+        population = [
+            self._make_individual(self.rng.uniform(lo, hi))
+            for _ in range(self.population_size)
+        ]
+        for front in fast_non_dominated_sort(population):
+            crowding_distance(front)
+        for _ in range(self.generations):
+            offspring: list[Individual] = []
+            while len(offspring) < self.population_size:
+                p1 = self._tournament(population)
+                p2 = self._tournament(population)
+                c1, c2 = self._sbx(p1.x, p2.x)
+                offspring.append(self._make_individual(self._mutate(c1)))
+                if len(offspring) < self.population_size:
+                    offspring.append(self._make_individual(self._mutate(c2)))
+            combined = population + offspring
+            fronts = fast_non_dominated_sort(combined)
+            population = []
+            for front in fronts:
+                crowding_distance(front)
+                if len(population) + len(front) <= self.population_size:
+                    population.extend(front)
+                else:
+                    front.sort(key=lambda ind: -ind.crowding)
+                    population.extend(front[: self.population_size - len(population)])
+                    break
+        return fast_non_dominated_sort(population)[0]

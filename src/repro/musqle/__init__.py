@@ -1,0 +1,54 @@
+"""MuSQLE: distributed SQL query execution over multiple engine environments.
+
+The side system of D3.3 §5 / Appendix B: SQL queries spanning tables that
+reside in different engines are optimized by a DPhyp-style join enumerator
+extended with a *location* dimension, talking to the engines only through a
+generic API (execute / getStats / getLoadCost / injectStats / loadTable).
+
+Typical use::
+
+    from repro.musqle import MuSQLE, build_default_deployment
+    deployment = build_default_deployment(scale_factor=5.0)
+    musqle = MuSQLE(deployment)
+    plan = musqle.optimize("SELECT ... FROM customer, orders WHERE ...")
+    result = musqle.execute(plan)
+"""
+
+from repro.musqle.cardinality import estimate_filtered, estimate_join
+from repro.musqle.cost_models import (
+    MemSQLCostModel,
+    PostgresCostModel,
+    SparkSQLCostModel,
+)
+from repro.musqle.engine_api import QueryEstimate, SQLEngineAPI
+from repro.musqle.engines import LocalSQLEngine, build_default_deployment
+from repro.musqle.join_graph import JoinGraph
+from repro.musqle.metastore import Metastore
+from repro.musqle.optimizer import MultiEngineOptimizer, OptimizerStats
+from repro.musqle.plan import MovePlanNode, PlanNode, SQLPlanNode
+from repro.musqle.system import Deployment, MuSQLE
+from repro.musqle.queries import JOIN_QUERIES, FILTER_QUERIES, ALL_QUERIES
+
+__all__ = [
+    "ALL_QUERIES",
+    "Deployment",
+    "FILTER_QUERIES",
+    "JOIN_QUERIES",
+    "JoinGraph",
+    "LocalSQLEngine",
+    "MemSQLCostModel",
+    "Metastore",
+    "MovePlanNode",
+    "MuSQLE",
+    "MultiEngineOptimizer",
+    "OptimizerStats",
+    "PlanNode",
+    "PostgresCostModel",
+    "QueryEstimate",
+    "SQLEngineAPI",
+    "SQLPlanNode",
+    "SparkSQLCostModel",
+    "build_default_deployment",
+    "estimate_filtered",
+    "estimate_join",
+]

@@ -1,0 +1,98 @@
+"""Cardinality estimation shared by every engine's EXPLAIN endpoint.
+
+Textbook System-R style estimates over :class:`TableStats`:
+
+- equality filter selectivity ``1/V(col)``, range filters ``~1/3`` (or the
+  min/max interpolation when bounds are known),
+- equi-join cardinality ``|R|·|S| / max(V(R,a), V(S,b))``,
+- statistics propagation for the result relation (so injected stats of
+  intermediates stay usable for further joins).
+
+Because every engine uses the same estimation logic over its own statistics,
+estimation *errors* come from the estimation model — exactly the
+misestimate-propagation behaviour the MuSQLE accuracy experiment (Fig 6)
+studies as query size grows.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.parser import Filter, JoinCondition
+from repro.sqlengine.schema import ColumnStats, TableStats
+
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_NEQ_SELECTIVITY = 0.9
+
+
+def filter_selectivity(stats: TableStats, f: Filter) -> float:
+    """Estimated fraction of rows passing one constant predicate."""
+    col = stats.column(f.column)
+    if col is None or stats.n_rows == 0:
+        return 1.0
+    if f.op == "=":
+        return 1.0 / max(col.n_distinct, 1)
+    if f.op == "!=":
+        return DEFAULT_NEQ_SELECTIVITY
+    # range predicate: use the equi-depth histogram when available (robust
+    # to skew), else interpolate the min/max span
+    try:
+        value = float(f.value)
+    except (TypeError, ValueError):
+        return DEFAULT_RANGE_SELECTIVITY
+    above = col.range_selectivity_above(value)
+    if above is not None:
+        sel = 1.0 - above if f.op in ("<", "<=") else above
+        return min(max(sel, 0.0005), 1.0)
+    span = col.max_value - col.min_value
+    if span <= 0:
+        return DEFAULT_RANGE_SELECTIVITY
+    frac = (value - col.min_value) / span
+    frac = min(max(frac, 0.0), 1.0)
+    if f.op in ("<", "<="):
+        sel = frac
+    else:  # '>', '>='
+        sel = 1.0 - frac
+    return min(max(sel, 0.0005), 1.0)
+
+
+def estimate_filtered(stats: TableStats, filters: list[Filter]) -> TableStats:
+    """Stats of a table after applying constant predicates."""
+    selectivity = 1.0
+    for f in filters:
+        selectivity *= filter_selectivity(stats, f)
+    n_rows = max(int(round(stats.n_rows * selectivity)), 1) if stats.n_rows else 0
+    columns = {
+        name: ColumnStats(
+            n_distinct=max(1, min(col.n_distinct, n_rows)),
+            min_value=col.min_value,
+            max_value=col.max_value,
+        )
+        for name, col in stats.columns.items()
+    }
+    return TableStats(n_rows, stats.n_columns, columns)
+
+
+def estimate_join(
+    left: TableStats, right: TableStats, conditions: list[JoinCondition]
+) -> TableStats:
+    """Stats of an equi-join of two relations over one or more conditions."""
+    if not conditions:  # cartesian product
+        n_rows = left.n_rows * right.n_rows
+    else:
+        n_rows = float(left.n_rows) * float(right.n_rows)
+        for jc in conditions:
+            lcol = left.column(jc.left_column) or right.column(jc.left_column)
+            rcol = right.column(jc.right_column) or left.column(jc.right_column)
+            v_left = lcol.n_distinct if lcol else 1
+            v_right = rcol.n_distinct if rcol else 1
+            n_rows /= max(v_left, v_right, 1)
+        n_rows = max(int(round(n_rows)), 0)
+    columns: dict[str, ColumnStats] = {}
+    for side in (left, right):
+        for name, col in side.columns.items():
+            if name not in columns:
+                columns[name] = ColumnStats(
+                    n_distinct=max(1, min(col.n_distinct, max(int(n_rows), 1))),
+                    min_value=col.min_value,
+                    max_value=col.max_value,
+                )
+    return TableStats(int(n_rows), len(columns), columns)

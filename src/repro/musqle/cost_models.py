@@ -1,0 +1,212 @@
+"""Per-engine cost models, in each engine's *native* cost units.
+
+MuSQLE's engine API returns EXPLAIN-style costs in whatever unit the engine
+uses natively (PostgreSQL counts page fetches, MemSQL row operations, our
+SparkSQL model abstract operator costs following Appendix B §VI).  The
+Metastore trains a linear regression per engine translating native cost to
+seconds — reproducing the paper's unbiased-comparison machinery instead of
+hand-aligning units.
+
+Each model also exposes ``seconds(...)`` — the *true* simulated runtime —
+defined as the same formulas evaluated on actual cardinalities times a
+hidden hardware constant.  Estimation error therefore comes from cardinality
+misestimates, exactly as in real systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine.schema import TableStats
+from repro.sqlengine.tpch import ROW_SCALE
+
+PAGE_BYTES = 8192.0
+
+#: generated tables hold ROW_SCALE x fewer rows than the nominal TPC-H
+#: scale; data *transfer* costs are priced at nominal size so that the
+#: fetch-vs-compute trade-offs of the paper's deployment are preserved
+DATA_SCALE = float(ROW_SCALE)
+
+
+@dataclass
+class JoinShape:
+    """What a cost model needs to price one 2-way join."""
+
+    left_rows: float
+    right_rows: float
+    out_rows: float
+    left_cols: int = 4
+    right_cols: int = 4
+
+
+class CostModel:
+    """Interface: native-unit costs plus the hidden seconds-per-unit."""
+
+    #: hidden hardware constant translating native cost into seconds.
+    seconds_per_unit: float = 1e-6
+    #: fixed per-query overhead in seconds (connection/job submission).
+    fixed_seconds: float = 0.0
+
+    def scan_cost(self, stats: TableStats) -> float:
+        """Native cost of scanning a relation."""
+        raise NotImplementedError
+
+    def join_cost(self, shape: JoinShape) -> float:
+        """Native cost of one 2-way join."""
+        raise NotImplementedError
+
+    def load_cost_seconds(self, stats: TableStats) -> float:
+        """Seconds to ingest an intermediate table of the given stats."""
+        raise NotImplementedError
+
+    def memory_needed_bytes(self, shape: JoinShape) -> float:
+        """Working set of the join (0 = not memory-constrained)."""
+        return 0.0
+
+    def seconds(self, native_cost: float) -> float:
+        """The engine's own native-cost-to-seconds translation."""
+        return self.fixed_seconds + native_cost * self.seconds_per_unit
+
+
+class PostgresCostModel(CostModel):
+    """Disk-based, centralized: costs are page fetches (like the real PG)."""
+
+    def __init__(self, page_seconds: float = 0.08, load_mb_per_s: float = 25.0):
+        self.seconds_per_unit = page_seconds
+        self.fixed_seconds = 0.01
+        self.load_mb_per_s = load_mb_per_s
+
+    def _pages(self, rows: float, cols: int) -> float:
+        return max(rows * cols * 8.0 / PAGE_BYTES, 1.0)
+
+    def scan_cost(self, stats: TableStats) -> float:
+        """Pages read for a sequential scan."""
+        return self._pages(stats.n_rows, stats.n_columns)
+
+    def join_cost(self, shape: JoinShape) -> float:
+        """Hash join priced in page fetches (read both sides, write out)."""
+        # hash join: read both sides + write the output
+        return (
+            self._pages(shape.left_rows, shape.left_cols)
+            + self._pages(shape.right_rows, shape.right_cols)
+            + self._pages(shape.out_rows, shape.left_cols + shape.right_cols)
+        )
+
+    def load_cost_seconds(self, stats: TableStats) -> float:
+        """COPY-style ingest time at nominal data size."""
+        return 0.5 + stats.size_bytes * DATA_SCALE / (self.load_mb_per_s * 1e6)
+
+
+class MemSQLCostModel(CostModel):
+    """Distributed in-memory row store: costs are row operations."""
+
+    def __init__(
+        self,
+        row_seconds: float = 5.0e-5,
+        load_mb_per_s: float = 150.0,
+        memory_capacity_bytes: float = 48e6,  # scaled bytes (nominal 48 GB)
+    ):
+        self.seconds_per_unit = row_seconds
+        self.fixed_seconds = 0.005
+        self.load_mb_per_s = load_mb_per_s
+        self.memory_capacity_bytes = memory_capacity_bytes
+
+    def scan_cost(self, stats: TableStats) -> float:
+        """Rows touched by an in-memory scan."""
+        return float(stats.n_rows)
+
+    def join_cost(self, shape: JoinShape) -> float:
+        """Row operations of a distributed hash join."""
+        return shape.left_rows + shape.right_rows + 2.0 * shape.out_rows
+
+    def load_cost_seconds(self, stats: TableStats) -> float:
+        """Ingest time into the in-memory store."""
+        return 0.5 + stats.size_bytes * DATA_SCALE / (self.load_mb_per_s * 1e6)
+
+    def memory_needed_bytes(self, shape: JoinShape) -> float:
+        """Working set: build side + output, x3 overhead."""
+        out_bytes = shape.out_rows * (shape.left_cols + shape.right_cols) * 8.0
+        build_bytes = min(shape.left_rows * shape.left_cols,
+                          shape.right_rows * shape.right_cols) * 8.0
+        return 3.0 * (out_bytes + build_bytes)
+
+
+class SparkSQLCostModel(CostModel):
+    """The Appendix B §VI SparkSQL model: exchange + SMJ / broadcast-hash.
+
+    Costs are abstract operation units combining the paper's formulas with
+    the cluster geometry (cores, partitions); the model picks
+    broadcast-hash when one side is small, sort-merge otherwise, mirroring
+    the statistics-injection improvement of §VII.
+    """
+
+    def __init__(
+        self,
+        cores: int = 32,
+        partitions: int = 64,
+        # per-unit seconds are calibrated against the ROW_SCALE-reduced data
+        # (1000x fewer rows than the nominal scale), hence the larger value
+        unit_seconds: float = 1.0e-3,
+        broadcast_threshold_rows: float = 1e5,
+        load_mb_per_s: float = 250.0,
+    ):
+        self.cores = cores
+        self.partitions = partitions
+        self.seconds_per_unit = unit_seconds
+        self.fixed_seconds = 1.5  # job submission + scheduling
+        self.broadcast_threshold_rows = broadcast_threshold_rows
+        self.load_mb_per_s = load_mb_per_s
+
+    def _rounds(self, partitions: float) -> float:
+        import math
+
+        return max(math.ceil(partitions / self.cores), 1)
+
+    def exchange_cost(self, rows: float) -> float:
+        """C_exch: hash + rewrite every row once."""
+        per_task = rows / self.partitions
+        return per_task * 2.0 * self._rounds(self.partitions)
+
+    def sort_cost(self, rows: float) -> float:
+        """Per-partition sort cost (n log n over partition rows)."""
+        import math
+
+        per_task = max(rows / self.partitions, 1.0)
+        return per_task * math.log2(per_task + 1) * self._rounds(self.partitions)
+
+    def broadcast_cost(self, rows: float) -> float:
+        """C_broadcast: hash once + ship to every worker."""
+        return rows * (1.0 + self.cores / 4.0)
+
+    def smj_cost(self, shape: JoinShape) -> float:
+        """Sort-merge join: exchange + sort both sides + merge."""
+        merge = (shape.left_rows + shape.right_rows) / self.partitions
+        return (
+            self.exchange_cost(shape.left_rows)
+            + self.sort_cost(shape.left_rows)
+            + self.exchange_cost(shape.right_rows)
+            + self.sort_cost(shape.right_rows)
+            + merge * self._rounds(self.partitions)
+            + shape.out_rows / self.cores
+        )
+
+    def bhj_cost(self, shape: JoinShape) -> float:
+        """Broadcast-hash join: broadcast the small side, probe the large."""
+        small = min(shape.left_rows, shape.right_rows)
+        large = max(shape.left_rows, shape.right_rows)
+        probe = large / self.partitions * self._rounds(self.partitions)
+        return self.broadcast_cost(small) + probe + shape.out_rows / self.cores
+
+    def scan_cost(self, stats: TableStats) -> float:
+        """Partitioned scan cost."""
+        return stats.n_rows / self.cores
+
+    def join_cost(self, shape: JoinShape) -> float:
+        """BHJ when one side is under the broadcast threshold, else SMJ."""
+        if min(shape.left_rows, shape.right_rows) <= self.broadcast_threshold_rows:
+            return self.bhj_cost(shape)
+        return self.smj_cost(shape)
+
+    def load_cost_seconds(self, stats: TableStats) -> float:
+        """Parallel ingest into the cluster."""
+        return 1.0 + stats.size_bytes * DATA_SCALE / (self.load_mb_per_s * 1e6)

@@ -1,0 +1,64 @@
+"""The generic SQL engine API of MuSQLE (§IV of Appendix B).
+
+Five functions per engine endpoint — two execution ones (``execute``,
+``load_table``) and three estimation ones (``get_stats``, ``get_load_cost``,
+``inject_stats``).  MuSQLE's optimizer only talks to engines through this
+interface, which is what makes adding a new engine an API-implementation
+exercise rather than a manual cost-model integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine.schema import Table, TableStats
+
+
+@dataclass
+class QueryEstimate:
+    """What ``get_stats`` (the EXPLAIN endpoint) returns.
+
+    ``native_cost`` is in the engine's own unit (page fetches, row ops, ...);
+    ``stats`` describes the estimated result relation so that it can be
+    injected elsewhere.
+    """
+
+    native_cost: float
+    stats: TableStats
+    #: engine's own translation of native cost to seconds (may be biased —
+    #: the Metastore recalibrates it from observed runs)
+    est_seconds: float
+
+
+class SQLEngineAPI:
+    """Abstract engine endpoint.  See :class:`~repro.musqle.engines.
+    LocalSQLEngine` for the in-process implementation."""
+
+    name: str
+
+    # -- execution functions -------------------------------------------------
+    def execute(self, sql: str, result_name: str | None = None) -> Table:
+        """Run a SQL query over resident + loaded tables; returns the result."""
+        raise NotImplementedError
+
+    def load_table(self, name: str, table: Table) -> float:
+        """Ingest an intermediate result; returns the seconds it took."""
+        raise NotImplementedError
+
+    # -- estimation functions -----------------------------------------------
+    def get_stats(self, sql: str) -> QueryEstimate:
+        """EXPLAIN: estimated cost and result statistics for a query."""
+        raise NotImplementedError
+
+    def get_load_cost(self, stats: TableStats) -> float:
+        """Estimated seconds to load a table with the given statistics."""
+        raise NotImplementedError
+
+    def inject_stats(self, name: str, stats: TableStats) -> None:
+        """Register a 'fake' table so EXPLAIN can price queries over it
+        (what-if optimization over intermediates not yet present)."""
+        raise NotImplementedError
+
+    def has_table(self, name: str) -> bool:
+        """Whether the engine holds (or has loaded) a table."""
+        raise NotImplementedError

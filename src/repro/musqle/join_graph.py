@@ -1,0 +1,84 @@
+"""Join graph over a parsed query, with the connectivity helpers DPccp needs."""
+
+from __future__ import annotations
+
+from repro.sqlengine.parser import Filter, JoinCondition, Query
+
+
+class JoinGraph:
+    """Vertices are base tables, edges are equi-join predicates.
+
+    Tables are indexed 0..n-1; subsets are bitmasks, the representation the
+    csg-cmp enumeration of the optimizer works over.
+    """
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.tables: list[str] = list(query.tables)
+        self.index = {t: i for i, t in enumerate(self.tables)}
+        self.adjacency: list[int] = [0] * len(self.tables)
+        self.edges: list[JoinCondition] = list(query.joins)
+        for jc in self.edges:
+            li, ri = self.index[jc.left_table], self.index[jc.right_table]
+            if li != ri:
+                self.adjacency[li] |= 1 << ri
+                self.adjacency[ri] |= 1 << li
+
+    @property
+    def n_tables(self) -> int:
+        """Number of vertices."""
+        return len(self.tables)
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with every table set."""
+        return (1 << self.n_tables) - 1
+
+    def mask_of(self, tables: list[str]) -> int:
+        """Bitmask of a table subset."""
+        mask = 0
+        for t in tables:
+            mask |= 1 << self.index[t]
+        return mask
+
+    def tables_of(self, mask: int) -> list[str]:
+        """Table names of a bitmask."""
+        return [t for i, t in enumerate(self.tables) if mask & (1 << i)]
+
+    def neighborhood(self, mask: int) -> int:
+        """Union of neighbours of the subset, excluding the subset itself."""
+        out = 0
+        for i in range(self.n_tables):
+            if mask & (1 << i):
+                out |= self.adjacency[i]
+        return out & ~mask
+
+    def is_connected(self, mask: int) -> bool:
+        """Whether the subset induces a connected subgraph."""
+        if mask == 0:
+            return False
+        start = mask & -mask  # lowest set bit
+        reached = start
+        frontier = start
+        while frontier:
+            grow = 0
+            for i in range(self.n_tables):
+                if frontier & (1 << i):
+                    grow |= self.adjacency[i]
+            frontier = grow & mask & ~reached
+            reached |= frontier
+        return reached == mask
+
+    def cross_conditions(self, mask1: int, mask2: int) -> list[JoinCondition]:
+        """Join predicates with one side in each subset."""
+        out = []
+        for jc in self.edges:
+            li, ri = self.index[jc.left_table], self.index[jc.right_table]
+            b1, b2 = 1 << li, 1 << ri
+            if (b1 & mask1 and b2 & mask2) or (b1 & mask2 and b2 & mask1):
+                out.append(jc)
+        return out
+
+    def filters_of(self, table: str) -> list[Filter]:
+        """Constant predicates attached to one table."""
+        return [f for f in self.query.filters if f.table == table]

@@ -1,0 +1,90 @@
+"""The MuSQLE Metastore: table locations, estimate logs and calibration.
+
+Engines report EXPLAIN costs in native units; comparing them fairly needs a
+translation into seconds per engine.  The Metastore logs (native_cost,
+actual_seconds) pairs from executed queries and fits a linear model per
+engine (§V-B of Appendix B), plus a correlation score used to gauge
+confidence in an engine's estimates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.musqle.engine_api import QueryEstimate
+
+
+@dataclass
+class Metastore:
+    """Locations + measurement log + per-engine calibration state."""
+
+    locations: dict[str, set[str]] = field(default_factory=dict)
+    #: engine -> list of (native_cost, actual_seconds)
+    measurements: dict[str, list[tuple[float, float]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    #: engine -> (slope, intercept) translating native cost to seconds
+    calibration: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    # -- locations ---------------------------------------------------------
+    def register_table(self, table: str, engine: str) -> None:
+        """Record that an engine holds a table."""
+        self.locations.setdefault(table, set()).add(engine)
+
+    def engines_holding(self, table: str) -> set[str]:
+        """Engines that hold a table."""
+        return self.locations.get(table, set())
+
+    # -- calibration -----------------------------------------------------------
+    def log_measurement(self, engine: str, native_cost: float,
+                        actual_seconds: float) -> None:
+        """Record one (native cost, actual seconds) observation."""
+        if np.isfinite(native_cost) and np.isfinite(actual_seconds):
+            self.measurements[engine].append((native_cost, actual_seconds))
+
+    def calibrate(self, engine: str) -> tuple[float, float] | None:
+        """Fit seconds ≈ slope · native + intercept from the log."""
+        pairs = self.measurements.get(engine, [])
+        if len(pairs) < 3:
+            return None
+        x = np.array([p[0] for p in pairs])
+        y = np.array([p[1] for p in pairs])
+        A = np.stack([x, np.ones_like(x)], axis=1)
+        coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+        slope = max(float(coef[0]), 0.0)
+        intercept = max(float(coef[1]), 0.0)
+        self.calibration[engine] = (slope, intercept)
+        return self.calibration[engine]
+
+    def calibrate_all(self) -> None:
+        """Refit the translation of every logged engine."""
+        for engine in list(self.measurements):
+            self.calibrate(engine)
+
+    def translate(self, engine: str, estimate: QueryEstimate) -> float:
+        """Native cost → seconds: calibrated if possible, engine's own otherwise."""
+        if not np.isfinite(estimate.native_cost):
+            return float("inf")
+        fit = self.calibration.get(engine)
+        if fit is None:
+            return estimate.est_seconds
+        slope, intercept = fit
+        return slope * estimate.native_cost + intercept
+
+    def correlation(self, engine: str) -> float | None:
+        """Pearson correlation between native costs and actual seconds.
+
+        Low correlation flags an engine whose estimates should be distrusted
+        (the paper randomly discards such estimates; we expose the score).
+        """
+        pairs = self.measurements.get(engine, [])
+        if len(pairs) < 3:
+            return None
+        x = np.array([p[0] for p in pairs])
+        y = np.array([p[1] for p in pairs])
+        if x.std() == 0 or y.std() == 0:
+            return 0.0
+        return float(np.corrcoef(x, y)[0, 1])

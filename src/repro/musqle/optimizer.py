@@ -1,0 +1,270 @@
+"""The multi-engine join-order optimizer (Algorithm 1 of Appendix B).
+
+A DPccp/DPhyp-style enumeration over *connected* subgraphs of the join
+graph, extended with the location dimension: the DP table keeps, for each
+connected subset of tables, the best plan **per engine** it can end up in.
+For every csg-cmp pair and every candidate engine, the combination prices
+any required moves (``getLoadCost`` + ``injectStats``) and the join itself
+(``getStats``), mirroring ``emitCsgCmp`` of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.musqle.engine_api import SQLEngineAPI
+from repro.musqle.join_graph import JoinGraph
+from repro.musqle.metastore import Metastore
+from repro.musqle.plan import MovePlanNode, PlanNode, SQLPlanNode
+from repro.sqlengine.parser import Query, parse_query
+
+INFEASIBLE = float("inf")
+
+#: temp names must be unique across optimizer instances — engines retain
+#: intermediate tables between queries, and a reused name would shadow them
+_GLOBAL_TEMP_COUNTER = itertools.count(1)
+
+
+class NoPlanError(RuntimeError):
+    """No engine combination can answer the query."""
+
+
+@dataclass
+class OptimizerStats:
+    """The Figure 4 breakdown: where optimization time goes."""
+
+    total_seconds: float = 0.0
+    explain_seconds: float = 0.0
+    inject_seconds: float = 0.0
+    csg_cmp_pairs: int = 0
+    dp_entries: int = 0
+
+    @property
+    def enumeration_seconds(self) -> float:
+        """Optimization time not spent in engine APIs."""
+        return max(self.total_seconds - self.explain_seconds - self.inject_seconds, 0.0)
+
+
+@dataclass
+class _Entry:
+    cost: float
+    node: PlanNode
+
+
+class MultiEngineOptimizer:
+    """Location-aware DP join optimizer over the engine API."""
+
+    def __init__(
+        self,
+        engines: dict[str, SQLEngineAPI],
+        metastore: Metastore | None = None,
+        use_confidence: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self.engines = dict(engines)
+        self.metastore = metastore if metastore is not None else Metastore()
+        #: §V-B: "Our optimizer uses a probability, proportionate to the
+        #: measured correlation, to randomly discard the API estimation
+        #: results" — engines whose estimates do not correlate with their
+        #: actual runtimes are probabilistically excluded.
+        self.use_confidence = use_confidence
+        #: §VII ablation switch: when False, intermediates are registered
+        #: with pessimistic placeholder statistics instead of the real
+        #: estimates — reproducing SparkSQL's pre-injection behaviour of
+        #: mispricing small external tables (e.g. never broadcasting them).
+        self.use_injection = True
+        import numpy as _np
+
+        self._rng = _np.random.default_rng(seed)
+
+    def _distrusted(self, engine_name: str) -> bool:
+        """Randomly discard estimates of low-correlation engines."""
+        if not self.use_confidence:
+            return False
+        correlation = self.metastore.correlation(engine_name)
+        if correlation is None:
+            return False
+        keep_probability = max(min(correlation, 1.0), 0.0)
+        return bool(self._rng.random() > keep_probability)
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _temp_name() -> str:
+        return f"inter{next(_GLOBAL_TEMP_COUNTER)}"
+
+    def global_schemas(self) -> dict[str, list[str]]:
+        """Union of all engines' table schemas."""
+        schemas: dict[str, list[str]] = {}
+        for engine in self.engines.values():
+            for name, cols in engine.schemas().items():
+                schemas.setdefault(name, cols)
+        return schemas
+
+    # -- main entry ---------------------------------------------------------
+    def optimize(self, sql: str) -> tuple[PlanNode, OptimizerStats]:
+        """Find the cheapest multi-engine plan for a SQL query."""
+        start = time.perf_counter()
+        stats = OptimizerStats()
+        query = parse_query(sql, self.global_schemas())
+        graph = JoinGraph(query)
+        dp: dict[int, dict[str, _Entry]] = {}
+
+        # -- singleton relations: scan at every engine holding the table ----
+        for i, table in enumerate(graph.tables):
+            mask = 1 << i
+            dp[mask] = {}
+            scan_sql = self._scan_sql(table, graph)
+            for name, engine in self.engines.items():
+                if not engine.has_table(table) or self._distrusted(name):
+                    continue
+                estimate, explain_dt = self._timed_stats(engine, scan_sql)
+                stats.explain_seconds += explain_dt
+                if estimate.native_cost == INFEASIBLE:
+                    continue
+                seconds = self.metastore.translate(name, estimate)
+                node = SQLPlanNode(
+                    engine=name, out_name=self._temp_name(),
+                    est_stats=estimate.stats, est_seconds=seconds,
+                    sql=scan_sql, inputs=[], tables=(table,),
+                    est_native=estimate.native_cost,
+                )
+                dp[mask][name] = _Entry(seconds, node)
+            if not dp[mask]:
+                raise NoPlanError(f"no engine holds table {table!r}")
+
+        # -- csg-cmp enumeration in increasing subset size ------------------
+        n = graph.n_tables
+        masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+        for mask in range(1, graph.full_mask + 1):
+            masks_by_size[bin(mask).count("1")].append(mask)
+        for size in range(2, n + 1):
+            for mask in masks_by_size[size]:
+                if not graph.is_connected(mask):
+                    continue
+                slot = dp.setdefault(mask, {})
+                lowest = mask & -mask
+                # enumerate proper submasks containing the lowest bit
+                sub = (mask - 1) & mask
+                while sub:
+                    comp = mask ^ sub
+                    if (
+                        sub & lowest
+                        and graph.is_connected(sub)
+                        and graph.is_connected(comp)
+                        and graph.cross_conditions(sub, comp)
+                        and sub in dp
+                        and comp in dp
+                    ):
+                        self._emit_csg_cmp(graph, dp, sub, comp, slot, stats)
+                    sub = (sub - 1) & mask
+
+        final = dp.get(graph.full_mask, {})
+        if not final:
+            raise NoPlanError("query has no connected execution plan")
+        best = min(final.values(), key=lambda e: e.cost)
+        stats.total_seconds = time.perf_counter() - start
+        stats.dp_entries = sum(len(v) for v in dp.values())
+        return best.node, stats
+
+    # -- emitCsgCmp -----------------------------------------------------------
+    def _emit_csg_cmp(
+        self,
+        graph: JoinGraph,
+        dp: dict[int, dict[str, _Entry]],
+        mask1: int,
+        mask2: int,
+        slot: dict[str, _Entry],
+        stats: OptimizerStats,
+    ) -> None:
+        stats.csg_cmp_pairs += 1
+        conditions = graph.cross_conditions(mask1, mask2)
+        predicates = " AND ".join(
+            f"{jc.left_column} = {jc.right_column}" for jc in conditions
+        )
+        for engine_name, engine in self.engines.items():
+            if self._distrusted(engine_name):
+                continue
+            for entry1 in dp[mask1].values():
+                for entry2 in dp[mask2].values():
+                    cost = entry1.cost + entry2.cost
+                    sides = []
+                    for entry in (entry1, entry2):
+                        node = entry.node
+                        if node.engine != engine_name:
+                            temp = self._temp_name()
+                            load = engine.get_load_cost(node.est_stats)
+                            inject_dt = self._timed_inject(
+                                engine, temp, node.est_stats)
+                            stats.inject_seconds += inject_dt
+                            moved = MovePlanNode(
+                                engine=engine_name, out_name=temp,
+                                est_stats=node.est_stats,
+                                est_seconds=node.est_seconds + load,
+                                child=node, move_seconds=load,
+                            )
+                            cost += load
+                            sides.append(moved)
+                        else:
+                            inject_dt = self._timed_inject(
+                                engine, node.out_name, node.est_stats)
+                            stats.inject_seconds += inject_dt
+                            sides.append(node)
+                    join_sql = (
+                        f"SELECT * FROM {sides[0].out_name}, {sides[1].out_name} "
+                        f"WHERE {predicates}"
+                    )
+                    estimate, explain_dt = self._timed_stats(engine, join_sql)
+                    stats.explain_seconds += explain_dt
+                    if estimate.native_cost == INFEASIBLE:
+                        continue
+                    cost += self.metastore.translate(engine_name, estimate)
+                    current = slot.get(engine_name)
+                    if current is None or cost < current.cost:
+                        node = SQLPlanNode(
+                            engine=engine_name, out_name=self._temp_name(),
+                            est_stats=estimate.stats, est_seconds=cost,
+                            sql=join_sql, inputs=sides,
+                            tables=tuple(graph.tables_of(mask1 | mask2)),
+                            est_native=estimate.native_cost,
+                        )
+                        slot[engine_name] = _Entry(cost, node)
+
+    # -- engine-API timing wrappers ------------------------------------------
+    @staticmethod
+    def _timed_stats(engine: SQLEngineAPI, sql: str):
+        t0 = time.perf_counter()
+        estimate = engine.get_stats(sql)
+        return estimate, time.perf_counter() - t0
+
+    def _timed_inject(self, engine: SQLEngineAPI, name: str, stats) -> float:
+        if not self.use_injection:
+            # pessimistic placeholder: same columns, huge assumed size
+            from repro.sqlengine.schema import ColumnStats, TableStats
+
+            stats = TableStats(
+                1_000_000, stats.n_columns,
+                {col: ColumnStats(100_000, 0.0, 1e6) for col in stats.columns},
+            )
+        t0 = time.perf_counter()
+        engine.inject_stats(name, stats)
+        return time.perf_counter() - t0
+
+    @staticmethod
+    def _scan_sql(table: str, graph: JoinGraph) -> str:
+        filters = graph.filters_of(table)
+        if not filters:
+            return f"SELECT * FROM {table}"
+        predicates = " AND ".join(
+            f"{f.column} {f.op} {_sql_value(f.value)}" for f in filters
+        )
+        return f"SELECT * FROM {table} WHERE {predicates}"
+
+
+def _sql_value(value) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)

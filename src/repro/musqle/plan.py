@@ -1,0 +1,90 @@
+"""Multi-engine SQL plan trees: SQL operators bound to engines plus moves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.schema import TableStats
+
+
+@dataclass
+class PlanNode:
+    """Base: a relation produced at a specific engine under a temp name."""
+
+    engine: str
+    out_name: str
+    est_stats: TableStats
+    est_seconds: float  # cumulative estimated cost of the subtree
+
+    def walk(self):
+        """Yield nodes bottom-up."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    def children(self) -> list["PlanNode"]:
+        """Child plan nodes (empty for leaves)."""
+        return []
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable, indented rendering of the subtree."""
+        raise NotImplementedError
+
+
+@dataclass
+class SQLPlanNode(PlanNode):
+    """One SQL query executed inside an engine over its resident/loaded tables."""
+
+    sql: str = ""
+    inputs: list[PlanNode] = field(default_factory=list)
+    tables: tuple[str, ...] = ()
+    #: EXPLAIN cost of this node's own query in the engine's native unit
+    est_native: float = 0.0
+
+    def children(self) -> list[PlanNode]:
+        """The SQL inputs of this operator."""
+        return list(self.inputs)
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable, indented rendering of the subtree."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}SQL@{self.engine} -> {self.out_name} "
+            f"(≈{self.est_stats.n_rows} rows, {self.est_seconds:.2f}s): "
+            f"{' '.join(self.sql.split())}"
+        ]
+        for child in self.inputs:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class MovePlanNode(PlanNode):
+    """Transfer of an intermediate result into another engine."""
+
+    child: PlanNode = None
+    move_seconds: float = 0.0
+
+    def children(self) -> list[PlanNode]:
+        """The moved child node."""
+        return [self.child]
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable, indented rendering of the subtree."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}MOVE {self.child.out_name}@{self.child.engine} -> "
+            f"{self.out_name}@{self.engine} ({self.move_seconds:.2f}s)"
+        ]
+        lines.append(self.child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def count_moves(plan: PlanNode) -> int:
+    """Number of cross-engine transfers in a plan."""
+    return sum(1 for node in plan.walk() if isinstance(node, MovePlanNode))
+
+
+def engines_used(plan: PlanNode) -> set[str]:
+    """Engines executing SQL in a plan."""
+    return {n.engine for n in plan.walk() if isinstance(n, SQLPlanNode)}

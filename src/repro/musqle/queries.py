@@ -1,0 +1,88 @@
+"""The evaluation query set (§IX-B of Appendix B).
+
+Eighteen TPCH-derived queries in two families: join-only (Q0–Q8, producing
+large outputs by combining base tables) and join-filter (Q9–Q17, with
+predicates of varying selectivity).  Query text follows the supported
+dialect of :mod:`repro.sqlengine.parser`.
+"""
+
+from __future__ import annotations
+
+#: Q0-Q8: join-only, 2-7 tables.
+JOIN_QUERIES: list[str] = [
+    # Q0
+    "SELECT * FROM region, nation WHERE r_regionkey = n_regionkey",
+    # Q1
+    "SELECT * FROM nation, customer WHERE n_nationkey = c_nationkey",
+    # Q2
+    "SELECT * FROM customer, orders WHERE c_custkey = o_custkey",
+    # Q3
+    "SELECT * FROM region, nation, customer "
+    "WHERE r_regionkey = n_regionkey AND n_nationkey = c_nationkey",
+    # Q4
+    "SELECT * FROM nation, customer, orders "
+    "WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey",
+    # Q5
+    "SELECT * FROM customer, orders, lineitem "
+    "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey",
+    # Q6
+    "SELECT * FROM nation, customer, orders, lineitem "
+    "WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey "
+    "AND o_orderkey = l_orderkey",
+    # Q7
+    "SELECT * FROM customer, orders, lineitem, part "
+    "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+    "AND l_partkey = p_partkey",
+    # Q8
+    "SELECT * FROM region, nation, customer, orders, lineitem, part, supplier "
+    "WHERE r_regionkey = n_regionkey AND n_nationkey = c_nationkey "
+    "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+    "AND l_partkey = p_partkey AND l_suppkey = s_suppkey",
+]
+
+#: Q9-Q17: the same shapes with constant predicates of varying selectivity.
+FILTER_QUERIES: list[str] = [
+    # Q9
+    "SELECT * FROM region, nation "
+    "WHERE r_regionkey = n_regionkey AND n_name = 'GERMANY'",
+    # Q10
+    "SELECT * FROM nation, customer "
+    "WHERE n_nationkey = c_nationkey AND c_acctbal > 5000",
+    # Q11
+    "SELECT * FROM customer, orders "
+    "WHERE c_custkey = o_custkey AND o_totalprice > 400000",
+    # Q12
+    "SELECT * FROM region, nation, customer "
+    "WHERE r_regionkey = n_regionkey AND n_nationkey = c_nationkey "
+    "AND r_name = 'EUROPE' AND c_acctbal > 0",
+    # Q13
+    "SELECT * FROM nation, customer, orders "
+    "WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey "
+    "AND n_name = 'GERMANY' AND o_totalprice > 100000",
+    # Q14
+    "SELECT * FROM customer, orders, lineitem "
+    "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+    "AND l_quantity < 5",
+    # Q15
+    "SELECT * FROM nation, customer, orders, lineitem "
+    "WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey "
+    "AND o_orderkey = l_orderkey AND n_name = 'FRANCE' AND l_quantity < 10",
+    # Q16
+    "SELECT * FROM part, partsupp, lineitem "
+    "WHERE p_partkey = ps_partkey AND l_partkey = p_partkey "
+    "AND p_retailprice > 2090",
+    # Q17
+    "SELECT * FROM region, nation, customer, orders, lineitem, part "
+    "WHERE r_regionkey = n_regionkey AND n_nationkey = c_nationkey "
+    "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+    "AND l_partkey = p_partkey AND r_name = 'ASIA' "
+    "AND p_retailprice > 2000 AND o_totalprice > 300000",
+]
+
+ALL_QUERIES: list[str] = JOIN_QUERIES + FILTER_QUERIES
+
+
+def query_tables(sql: str) -> list[str]:
+    """Tables referenced by one of the evaluation queries (textual split)."""
+    from_part = sql.lower().split(" from ", 1)[1].split(" where ", 1)[0]
+    return [t.strip() for t in from_part.split(",")]

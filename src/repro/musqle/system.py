@@ -1,0 +1,113 @@
+"""The MuSQLE system facade: deployment, optimization and plan execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.clock import SimClock
+from repro.musqle.engines import LocalSQLEngine
+from repro.musqle.metastore import Metastore
+from repro.musqle.optimizer import MultiEngineOptimizer, OptimizerStats
+from repro.musqle.plan import MovePlanNode, PlanNode, SQLPlanNode
+from repro.sqlengine.schema import Table
+
+
+@dataclass
+class Deployment:
+    """A set of engine endpoints sharing one simulated clock and catalog."""
+
+    engines: dict[str, LocalSQLEngine]
+    clock: SimClock
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def metastore(self) -> Metastore:
+        """A Metastore pre-populated with this deployment's locations."""
+        store = Metastore()
+        for name, engine in self.engines.items():
+            for table in engine.resident:
+                store.register_table(table, name)
+        return store
+
+
+@dataclass
+class ExecutionInfo:
+    """Measured outcome of running one multi-engine plan."""
+
+    sim_seconds: float
+    move_seconds: float
+    n_moves: int
+    per_engine_seconds: dict[str, float]
+
+
+class MuSQLE:
+    """Optimize and execute SQL over a multi-engine deployment."""
+
+    def __init__(self, deployment: Deployment, metastore: Metastore | None = None):
+        self.deployment = deployment
+        self.metastore = metastore if metastore is not None else deployment.metastore()
+        self.optimizer = MultiEngineOptimizer(deployment.engines, self.metastore)
+
+    # -- optimization -----------------------------------------------------
+    def optimize(self, sql: str) -> tuple[PlanNode, OptimizerStats]:
+        """Find the optimal multi-engine plan for a query."""
+        return self.optimizer.optimize(sql)
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, plan: PlanNode) -> tuple[Table, ExecutionInfo]:
+        """Run a plan bottom-up across the engines; returns the result table."""
+        start = self.deployment.clock.now
+        info = ExecutionInfo(0.0, 0.0, 0, {})
+        result = self._execute_node(plan, info)
+        info.sim_seconds = self.deployment.clock.now - start
+        return result, info
+
+    def run(self, sql: str) -> tuple[Table, OptimizerStats, ExecutionInfo]:
+        """optimize + execute + finalize + feed the Metastore calibration log.
+
+        The multi-engine plan computes the SPJ core with ``SELECT *``
+        semantics; the query's projection and any aggregation (GROUP BY /
+        COUNT / SUM / ...) are applied here on the final result, the way a
+        client-side mediator finishes off a federated query.  Temp tables
+        and injected statistics are dropped afterwards.
+        """
+        from repro.sqlengine.executor import aggregate
+        from repro.sqlengine.parser import parse_query
+
+        query = parse_query(sql, self.optimizer.global_schemas())
+        plan, opt_stats = self.optimize(sql)
+        try:
+            table, info = self.execute(plan)
+        finally:
+            self.cleanup()
+        if query.is_aggregation:
+            table = aggregate(table, query)
+        elif query.select != ("*",):
+            table = table.project(list(query.select))
+        return table, opt_stats, info
+
+    def cleanup(self) -> None:
+        """Drop intermediate temp tables and injected stats on all engines."""
+        for engine in self.deployment.engines.values():
+            engine.drop_temps()
+
+    def _execute_node(self, node: PlanNode, info: ExecutionInfo) -> Table:
+        if isinstance(node, MovePlanNode):
+            table = self._execute_node(node.child, info)
+            target = self.deployment.engines[node.engine]
+            seconds = target.load_table(node.out_name, table)
+            info.move_seconds += seconds
+            info.n_moves += 1
+            return table.renamed(node.out_name)
+        assert isinstance(node, SQLPlanNode)
+        engine = self.deployment.engines[node.engine]
+        for child in node.inputs:
+            self._execute_node(child, info)
+        before = self.deployment.clock.now
+        result = engine.execute(node.sql, result_name=node.out_name)
+        own_seconds = self.deployment.clock.now - before
+        info.per_engine_seconds[node.engine] = (
+            info.per_engine_seconds.get(node.engine, 0.0) + own_seconds
+        )
+        self.metastore.log_measurement(node.engine, node.est_native, own_seconds)
+        engine.retain(node.out_name, result)
+        return result

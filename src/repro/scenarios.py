@@ -1,0 +1,221 @@
+"""Pre-wired evaluation scenarios of D3.3 §4.
+
+Each ``setup_*`` function registers the scenario's materialized/abstract
+operators with an :class:`~repro.core.IReS` instance and returns a workflow
+factory parameterized by input scale.  Tests, examples and the figure
+benchmarks all build on these, keeping the operator descriptions in one
+place:
+
+- :func:`setup_graph_analytics` — Pagerank over CDR data on Java/Hama/Spark
+  (Figure 11).
+- :func:`setup_text_analytics` — tf-idf → k-means on scikit/Spark(MLlib)
+  (Figure 12).
+- :func:`setup_relational_analytics` — three TPC-H-style queries over tables
+  split across PostgreSQL / MemSQL / HDFS (Figures 10, 13).
+- :func:`setup_helloworld` — the four-operator fault-tolerance chain of
+  Table 1 / Figures 18-22.
+"""
+
+from __future__ import annotations
+
+from repro.core import AbstractOperator, AbstractWorkflow, Dataset, MaterializedOperator
+from repro.core.platform import IReS
+
+BYTES_PER_EDGE = 40.0
+BYTES_PER_DOC = 1.0e3
+PAGERANK_ITERATIONS = 10
+
+
+def _op(name, alg, engine, store, in_type, out_type, n_in=1, extra=None):
+    props = {
+        "Constraints.OpSpecification.Algorithm.name": alg,
+        "Constraints.Engine": engine,
+        "Constraints.Input.number": n_in,
+        "Constraints.Output.number": 1,
+        f"Constraints.Output0.Engine.FS": store,
+        f"Constraints.Output0.type": out_type,
+    }
+    for i in range(n_in):
+        props[f"Constraints.Input{i}.Engine.FS"] = store
+        props[f"Constraints.Input{i}.type"] = in_type
+    props.update(extra or {})
+    return MaterializedOperator(name, props)
+
+
+# -- Figure 11: graph analytics ------------------------------------------------
+
+def setup_graph_analytics(ires: IReS):
+    """Register Pagerank over Java/Hama/Spark; returns workflow factory."""
+    iters = {"Execution.Param.iterations": PAGERANK_ITERATIONS}
+    for engine in ("Java", "Hama", "Spark"):
+        ires.register_operator(
+            _op(f"pagerank_{engine.lower()}", "pagerank", engine,
+                "HDFS", "edges", "scores", extra=iters)
+        )
+    ires.register_abstract(AbstractOperator("pagerank", {
+        "Constraints.OpSpecification.Algorithm.name": "pagerank",
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+    }))
+
+    def make_workflow(n_edges: float) -> AbstractWorkflow:
+        """The Pagerank workflow over a CDR graph of ``n_edges`` calls."""
+        wf = AbstractWorkflow(f"graph-analytics-{int(n_edges)}")
+        wf.add_dataset(Dataset("cdr", {
+            "Constraints.Engine.FS": "HDFS",
+            "Constraints.type": "edges",
+            "Optimization.count": n_edges,
+            "Optimization.size": n_edges * BYTES_PER_EDGE,
+        }, materialized=True))
+        wf.add_dataset(Dataset("scores"))
+        wf.add_operator(ires.abstract_operators["pagerank"])
+        wf.connect("cdr", "pagerank")
+        wf.connect("pagerank", "scores")
+        wf.set_target("scores")
+        return wf
+
+    return make_workflow
+
+
+# -- Figure 12: text analytics ----------------------------------------------
+
+def setup_text_analytics(ires: IReS):
+    """tf-idf → k-means between scikit (centralized) and Spark/MLlib."""
+    ires.register_operator(_op("TF_IDF_scikit", "TF_IDF", "scikit",
+                               "local", "text", "arff"))
+    ires.register_operator(_op("TF_IDF_spark", "TF_IDF", "Spark",
+                               "HDFS", "text", "seq"))
+    ires.register_operator(_op("kmeans_scikit", "kmeans", "scikit",
+                               "local", "arff", "arff"))
+    ires.register_operator(_op("kmeans_spark", "kmeans", "Spark",
+                               "HDFS", "seq", "seq"))
+    for alg in ("TF_IDF", "kmeans"):
+        ires.register_abstract(AbstractOperator(alg.lower(), {
+            "Constraints.OpSpecification.Algorithm.name": alg,
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+        }))
+
+    def make_workflow(n_documents: float) -> AbstractWorkflow:
+        """The tf-idf -> k-means workflow over ``n_documents``."""
+        wf = AbstractWorkflow(f"text-analytics-{int(n_documents)}")
+        wf.add_dataset(Dataset("webContent", {
+            "Constraints.Engine.FS": "*",  # HDFS-resident, readable anywhere
+            "Constraints.type": "text",
+            "Optimization.count": n_documents,
+            "Optimization.size": n_documents * BYTES_PER_DOC,
+        }, materialized=True))
+        wf.add_dataset(Dataset("vectors"))
+        wf.add_dataset(Dataset("clusters"))
+        wf.add_operator(ires.abstract_operators["tf_idf"])
+        wf.add_operator(ires.abstract_operators["kmeans"])
+        wf.connect("webContent", "tf_idf")
+        wf.connect("tf_idf", "vectors")
+        wf.connect("vectors", "kmeans")
+        wf.connect("kmeans", "clusters")
+        wf.set_target("clusters")
+        return wf
+
+    return make_workflow
+
+
+# -- Figures 10 & 13: relational analytics ------------------------------------
+
+#: which store holds which TPC-H tables (§4: small legacy tables in
+#: PostgreSQL, medium in MemSQL, large facts in HDFS) and the fraction of
+#: the total scale each table group occupies.
+RELATIONAL_LAYOUT = {
+    "legacy_tables": ("PostgreSQL", 0.05),   # customer, nation, region
+    "medium_tables": ("MemSQL", 0.15),       # part, partsupp
+    "fact_tables": ("HDFS", 0.80),           # lineitem, orders
+}
+
+
+def setup_relational_analytics(ires: IReS):
+    """Three SQL queries, each implementable on PostgreSQL/MemSQL/SparkSQL."""
+    store_of = {"PostgreSQL": "PostgreSQL", "MemSQL": "MemSQL", "SparkSQL": "HDFS"}
+    for q, n_in in (("tpch_q1", 1), ("tpch_q2", 1), ("tpch_q3", 3)):
+        for engine in ("PostgreSQL", "MemSQL", "SparkSQL"):
+            ires.register_operator(
+                _op(f"{q}_{engine.lower()}", q, engine, store_of[engine],
+                    "rows", "rows", n_in=n_in)
+            )
+        ires.register_abstract(AbstractOperator(q, {
+            "Constraints.OpSpecification.Algorithm.name": q,
+            "Constraints.Input.number": n_in,
+            "Constraints.Output.number": 1,
+        }))
+
+    def make_workflow(scale_gb: float) -> AbstractWorkflow:
+        """The 3-query workflow at a TPC-H scale of ``scale_gb``."""
+        wf = AbstractWorkflow(f"relational-analytics-{scale_gb:g}gb")
+        for name, (store, fraction) in RELATIONAL_LAYOUT.items():
+            wf.add_dataset(Dataset(name, {
+                "Constraints.Engine.FS": store,
+                "Constraints.type": "rows",
+                "Optimization.size": scale_gb * fraction * 1e9,
+                "Optimization.count": scale_gb * fraction * 1e6,
+            }, materialized=True))
+        for name in ("r1", "r2", "result"):
+            wf.add_dataset(Dataset(name))
+        for q in ("tpch_q1", "tpch_q2", "tpch_q3"):
+            wf.add_operator(ires.abstract_operators[q])
+        wf.connect("legacy_tables", "tpch_q1")
+        wf.connect("tpch_q1", "r1")
+        wf.connect("medium_tables", "tpch_q2")
+        wf.connect("tpch_q2", "r2")
+        wf.connect("r1", "tpch_q3")
+        wf.connect("r2", "tpch_q3")
+        wf.connect("fact_tables", "tpch_q3")
+        wf.connect("tpch_q3", "result")
+        wf.set_target("result")
+        return wf
+
+    return make_workflow
+
+
+# -- Table 1 / Figures 18-22: the HelloWorld fault-tolerance chain -----------
+
+#: operator → candidate engines, exactly Table 1.
+HELLOWORLD_ENGINES = {
+    "HelloWorld": ("Python",),
+    "HelloWorld1": ("Spark", "Python"),
+    "HelloWorld2": ("Spark", "MLlib", "PostgreSQL", "Hive"),
+    "HelloWorld3": ("Spark", "Python"),
+}
+
+
+def setup_helloworld(ires: IReS):
+    """The four-operator chain whose engines the §4.5 experiments kill."""
+    for alg, engines in HELLOWORLD_ENGINES.items():
+        for engine in engines:
+            ires.register_operator(
+                _op(f"{alg}_{engine.lower()}", alg, engine, "HDFS", "data", "data")
+            )
+        ires.register_abstract(AbstractOperator(alg, {
+            "Constraints.OpSpecification.Algorithm.name": alg,
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+        }))
+
+    def make_workflow(size_gb: float = 4.0) -> AbstractWorkflow:
+        """The 4-operator HelloWorld chain over ``size_gb`` of input."""
+        wf = AbstractWorkflow("helloworld-chain")
+        wf.add_dataset(Dataset("input", {
+            "Constraints.Engine.FS": "HDFS",
+            "Constraints.type": "data",
+            "Optimization.size": size_gb * 1e9,
+        }, materialized=True))
+        for name in ("d0", "dd1", "dd2", "dd3"):
+            wf.add_dataset(Dataset(name))
+        chain = ["HelloWorld", "HelloWorld1", "HelloWorld2", "HelloWorld3"]
+        prev = "input"
+        for alg, out in zip(chain, ("d0", "dd1", "dd2", "dd3")):
+            wf.add_operator(ires.abstract_operators[alg])
+            wf.connect(prev, alg)
+            wf.connect(alg, out)
+            prev = out
+        wf.set_target("dd3")
+        return wf
+
+    return make_workflow

@@ -1,0 +1,34 @@
+"""Mini in-memory SQL substrate.
+
+The relational-analytics workflow (Fig 13) and the MuSQLE side system
+(Appendix B) need SQL engines to plan over.  This package provides the
+substrate they all share: column-oriented in-memory tables with statistics,
+a parser for select-project-join queries, a hash-join executor, and a
+TPC-H-style data generator.
+"""
+
+from repro.sqlengine.schema import ColumnStats, Table, TableStats
+from repro.sqlengine.parser import (
+    Filter,
+    JoinCondition,
+    Query,
+    SQLSyntaxError,
+    parse_query,
+)
+from repro.sqlengine.executor import QueryResult, execute_query
+from repro.sqlengine.tpch import TPCH_TABLES, generate_tpch
+
+__all__ = [
+    "ColumnStats",
+    "Filter",
+    "JoinCondition",
+    "Query",
+    "QueryResult",
+    "SQLSyntaxError",
+    "TPCH_TABLES",
+    "Table",
+    "TableStats",
+    "execute_query",
+    "generate_tpch",
+    "parse_query",
+]

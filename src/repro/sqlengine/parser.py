@@ -1,0 +1,196 @@
+"""A parser for the select-project-join SQL dialect the paper's queries use.
+
+Supported shape (the TPCH-derived join/filter queries of MuSQLE §IX)::
+
+    SELECT c_name, o_orderdate
+    FROM customer, orders, nation
+    WHERE c_custkey = o_custkey
+      AND c_nationkey = n_nationkey
+      AND n_name = 'GERMANY'
+      AND o_totalprice > 1000
+
+i.e. comma-joins with a conjunction of equi-join predicates and constant
+filters.  ``SELECT *`` is allowed.  Column names may be qualified
+(``customer.c_custkey``) or bare (resolved against the table schemas).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class SQLSyntaxError(ValueError):
+    """The query does not fit the supported dialect."""
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equi-join predicate ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def touches(self, table: str) -> bool:
+        """Whether the predicate references the table."""
+        return table in (self.left_table, self.right_table)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Constant predicate ``table.column <op> value``."""
+
+    table: str
+    column: str
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    value: object
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(column) AS alias`` in the select list; COUNT(*) has column '*'."""
+
+    func: str  # 'count', 'sum', 'avg', 'min', 'max'
+    column: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SPJ(+aggregate) query."""
+    select: tuple[str, ...]  # plain column names, or ('*',)
+    tables: tuple[str, ...]
+    joins: tuple[JoinCondition, ...]
+    filters: tuple[Filter, ...]
+    aggregates: tuple[Aggregate, ...] = ()
+    group_by: tuple[str, ...] = ()
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True when the select list has aggregate functions."""
+        return bool(self.aggregates)
+
+
+_QUERY_RE = re.compile(
+    r"^\s*select\s+(?P<select>.+?)\s+from\s+(?P<tables>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?"
+    r"(?:\s+group\s+by\s+(?P<groupby>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_AGGREGATE_RE = re.compile(
+    r"^(?P<func>count|sum|avg|min|max)\s*\(\s*(?P<col>\*|[\w.]+)\s*\)"
+    r"(?:\s+as\s+(?P<alias>\w+))?$",
+    re.IGNORECASE,
+)
+_COMPARISON_RE = re.compile(
+    r"^(?P<lhs>[\w.]+)\s*(?P<op>=|!=|<>|<=|>=|<|>)\s*(?P<rhs>.+)$", re.DOTALL
+)
+
+
+def _parse_value(token: str):
+    token = token.strip()
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise SQLSyntaxError(f"cannot parse constant {token!r}") from None
+
+
+def _resolve(column: str, schemas: dict[str, list[str]]) -> tuple[str, str]:
+    """Resolve a (possibly qualified) column to its owning table."""
+    if "." in column:
+        table, _, name = column.partition(".")
+        if table not in schemas:
+            raise SQLSyntaxError(f"unknown table {table!r} in {column!r}")
+        if name not in schemas[table]:
+            raise SQLSyntaxError(f"table {table!r} has no column {name!r}")
+        return table, name
+    owners = [t for t, cols in schemas.items() if column in cols]
+    if not owners:
+        raise SQLSyntaxError(f"unknown column {column!r}")
+    if len(owners) > 1:
+        raise SQLSyntaxError(f"ambiguous column {column!r} (in {owners})")
+    return owners[0], column
+
+
+def parse_query(sql: str, schemas: dict[str, list[str]]) -> Query:
+    """Parse ``sql`` against ``{table: [columns]}`` schemas."""
+    match = _QUERY_RE.match(sql)
+    if match is None:
+        raise SQLSyntaxError(f"not a SELECT query: {sql[:80]!r}")
+    select_raw = match.group("select").strip()
+    tables = tuple(t.strip() for t in match.group("tables").split(","))
+    for table in tables:
+        if table not in schemas:
+            raise SQLSyntaxError(f"unknown table {table!r}")
+        if not re.fullmatch(r"\w+", table):
+            raise SQLSyntaxError(f"bad table reference {table!r}")
+
+    local = {t: schemas[t] for t in tables}
+    aggregates: list[Aggregate] = []
+    if select_raw == "*":
+        select: tuple[str, ...] = ("*",)
+    else:
+        plain: list[str] = []
+        for item in select_raw.split(","):
+            item = item.strip()
+            agg = _AGGREGATE_RE.match(item)
+            if agg is not None:
+                func = agg.group("func").lower()
+                col = agg.group("col")
+                if col != "*":
+                    col = _resolve(col, local)[1]
+                elif func != "count":
+                    raise SQLSyntaxError(f"{func}(*) is not supported")
+                alias = agg.group("alias") or f"{func}_{col.replace('*', 'all')}"
+                aggregates.append(Aggregate(func, col, alias))
+            else:
+                plain.append(_resolve(item, local)[1])
+        select = tuple(plain) if plain else ("*",) if not aggregates else ()
+
+    group_by: tuple[str, ...] = ()
+    group_raw = match.group("groupby")
+    if group_raw:
+        if not aggregates:
+            raise SQLSyntaxError("GROUP BY without aggregate functions")
+        group_by = tuple(
+            _resolve(c.strip(), local)[1] for c in group_raw.split(","))
+    if aggregates:
+        extra = set(select) - set(group_by)
+        if extra:
+            raise SQLSyntaxError(
+                f"non-aggregated columns {sorted(extra)} must appear in GROUP BY")
+        select = group_by
+
+    joins: list[JoinCondition] = []
+    filters: list[Filter] = []
+    where = match.group("where")
+    if where:
+        for predicate in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+            predicate = predicate.strip()
+            comp = _COMPARISON_RE.match(predicate)
+            if comp is None:
+                raise SQLSyntaxError(f"unsupported predicate {predicate!r}")
+            lhs, op, rhs = comp.group("lhs"), comp.group("op"), comp.group("rhs").strip()
+            if op == "<>":
+                op = "!="
+            lhs_table, lhs_col = _resolve(lhs, local)
+            if re.fullmatch(r"[\w.]+", rhs) and not re.fullmatch(r"[\d.]+", rhs):
+                # column = column -> join condition
+                rhs_table, rhs_col = _resolve(rhs, local)
+                if op != "=":
+                    raise SQLSyntaxError(
+                        f"only equi-joins are supported, got {predicate!r}")
+                joins.append(JoinCondition(lhs_table, lhs_col, rhs_table, rhs_col))
+            else:
+                filters.append(Filter(lhs_table, lhs_col, op, _parse_value(rhs)))
+    return Query(select=select, tables=tables, joins=tuple(joins),
+                 filters=tuple(filters), aggregates=tuple(aggregates),
+                 group_by=group_by)

@@ -1,0 +1,135 @@
+"""Column-oriented in-memory tables with statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-column statistics used for cardinality estimation.
+
+    ``histogram`` optionally holds equi-depth bin edges (length = bins + 1):
+    each bin contains the same number of rows, so a range predicate's
+    selectivity is the fraction of bins it covers — robust to the skew that
+    wrecks plain min/max interpolation.
+    """
+
+    n_distinct: int
+    min_value: float
+    max_value: float
+    histogram: tuple[float, ...] = ()
+
+    def range_selectivity_above(self, value: float) -> float | None:
+        """Fraction of rows with column > value, from the histogram.
+
+        Returns None when no histogram is available.
+        """
+        edges = self.histogram
+        if len(edges) < 2:
+            return None
+        if value >= edges[-1]:
+            return 0.0
+        if value < edges[0]:
+            return 1.0
+        n_bins = len(edges) - 1
+        covered = 0.0
+        for i in range(n_bins):
+            lo, hi = edges[i], edges[i + 1]
+            if value >= hi:
+                continue  # the whole bin (incl. zero-width ties) is <= value
+            if value <= lo:
+                covered += 1.0
+            else:
+                covered += (hi - value) / (hi - lo)
+        return covered / n_bins
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Table statistics: the payload of MuSQLE's ``injectStats``."""
+
+    n_rows: int
+    n_columns: int
+    columns: dict[str, ColumnStats]
+
+    @property
+    def size_bytes(self) -> float:
+        """Approximate byte size (8-byte values)."""
+        return float(self.n_rows) * self.n_columns * 8.0
+
+    def column(self, name: str) -> ColumnStats | None:
+        """Stats of one column, or None."""
+        return self.columns.get(name)
+
+
+class Table:
+    """An immutable column-store table: name + {column: numpy array}."""
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"table {name!r} has ragged columns: {lengths}")
+        self.name = name
+        self.columns = {k: np.asarray(v) for k, v in columns.items()}
+
+    @property
+    def n_rows(self) -> int:
+        """Row count."""
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column's values (KeyError if absent)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def select_rows(self, mask_or_index: np.ndarray) -> "Table":
+        """Row subset as a new table (boolean mask or integer index)."""
+        return Table(self.name, {k: v[mask_or_index] for k, v in self.columns.items()})
+
+    def project(self, names: list[str]) -> "Table":
+        """Column subset as a new table."""
+        return Table(self.name, {n: self.column(n) for n in names})
+
+    def renamed(self, name: str) -> "Table":
+        """Same columns under a new table name."""
+        return Table(name, self.columns)
+
+    def stats(self, histogram_bins: int = 0) -> TableStats:
+        """Compute exact statistics (what ANALYZE would gather).
+
+        ``histogram_bins > 0`` additionally builds equi-depth histograms for
+        numeric columns (ANALYZE's ``statistics_target`` knob).
+        """
+        col_stats: dict[str, ColumnStats] = {}
+        for name, values in self.columns.items():
+            if len(values) == 0:
+                col_stats[name] = ColumnStats(0, 0.0, 0.0)
+                continue
+            numeric = np.issubdtype(values.dtype, np.number)
+            histogram: tuple[float, ...] = ()
+            if numeric and histogram_bins > 0 and len(values) > histogram_bins:
+                quantiles = np.linspace(0.0, 100.0, histogram_bins + 1)
+                histogram = tuple(
+                    float(v) for v in np.percentile(values, quantiles))
+            col_stats[name] = ColumnStats(
+                n_distinct=int(len(np.unique(values))),
+                min_value=float(values.min()) if numeric else 0.0,
+                max_value=float(values.max()) if numeric else 0.0,
+                histogram=histogram,
+            )
+        return TableStats(self.n_rows, len(self.columns), col_stats)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.n_rows}, cols={self.column_names})"

@@ -1,0 +1,122 @@
+"""TPC-H-style synthetic data generator.
+
+Generates the eight TPC-H tables at a given scale factor with the foreign-key
+structure and key columns the evaluation queries touch.  Row counts are the
+official TPC-H proportions scaled down by ``ROW_SCALE`` so that a "50 GB"
+experiment stays laptop-sized while preserving the relative table sizes the
+placement decisions depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sqlengine.schema import Table
+
+#: official rows-per-SF divided by this factor
+ROW_SCALE = 1000
+
+#: TPC-H rows at scale factor 1 (before ROW_SCALE reduction)
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+TPCH_TABLES = tuple(_BASE_ROWS)
+
+
+def _rows(table: str, scale_factor: float) -> int:
+    if table in ("region", "nation"):
+        return _BASE_ROWS[table]
+    return max(2, int(_BASE_ROWS[table] * scale_factor / ROW_SCALE))
+
+
+def _skewed_fk(rng: np.ndarray, n_refs: int, n: int) -> np.ndarray:
+    """Foreign keys with a popularity skew (some customers order a lot).
+
+    Real TPC-H data is uniform, but real *deployments* are not; the skew
+    makes uniformity-based cardinality estimates err in the way the MuSQLE
+    accuracy experiments observe (errors compound through deeper joins).
+    """
+    draws = rng.beta(0.8, 2.5, n)
+    return np.minimum((draws * n_refs).astype(np.int64), n_refs - 1)
+
+
+def generate_tpch(scale_factor: float = 1.0, seed: int = 0) -> dict[str, Table]:
+    """Generate all eight tables; returns ``{name: Table}``."""
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    rng = np.random.default_rng(seed)
+    n = {t: _rows(t, scale_factor) for t in _BASE_ROWS}
+
+    region = Table("region", {
+        "r_regionkey": np.arange(n["region"]),
+        "r_name": np.array(["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]),
+    })
+    nation = Table("nation", {
+        "n_nationkey": np.arange(n["nation"]),
+        "n_name": np.array(NATIONS),
+        "n_regionkey": rng.integers(0, n["region"], n["nation"]),
+    })
+    supplier = Table("supplier", {
+        "s_suppkey": np.arange(n["supplier"]),
+        "s_nationkey": rng.integers(0, n["nation"], n["supplier"]),
+        "s_acctbal": rng.uniform(-999, 9999, n["supplier"]).round(2),
+    })
+    customer = Table("customer", {
+        "c_custkey": np.arange(n["customer"]),
+        "c_nationkey": rng.integers(0, n["nation"], n["customer"]),
+        "c_acctbal": rng.uniform(-999, 9999, n["customer"]).round(2),
+        "c_mktsegment": rng.integers(0, 5, n["customer"]),
+    })
+    part = Table("part", {
+        "p_partkey": np.arange(n["part"]),
+        # spans [900, 2100] at any scale (the official formula is
+        # 900 + (p_partkey % 1000)/10-ish; a multiplicative hash keeps the
+        # range full even for scaled-down row counts)
+        "p_retailprice": (900 + (np.arange(n["part"]) * 7919 % 1000) * 1.2001).round(2),
+        "p_size": rng.integers(1, 51, n["part"]),
+    })
+    partsupp = Table("partsupp", {
+        "ps_partkey": np.repeat(np.arange(n["part"]),
+                                max(1, n["partsupp"] // max(n["part"], 1)))[: n["partsupp"]],
+        "ps_suppkey": rng.integers(0, n["supplier"], n["partsupp"]),
+        "ps_supplycost": rng.uniform(1, 1000, n["partsupp"]).round(2),
+        "ps_availqty": rng.integers(1, 10_000, n["partsupp"]),
+    })
+    orders = Table("orders", {
+        "o_orderkey": np.arange(n["orders"]),
+        "o_custkey": _skewed_fk(rng, n["customer"], n["orders"]),
+        "o_totalprice": rng.uniform(800, 500_000, n["orders"]).round(2),
+        "o_orderdate": rng.integers(19920101, 19981231, n["orders"]),
+    })
+    lineitem = Table("lineitem", {
+        "l_orderkey": _skewed_fk(rng, n["orders"], n["lineitem"]),
+        "l_partkey": _skewed_fk(rng, n["part"], n["lineitem"]),
+        "l_suppkey": _skewed_fk(rng, n["supplier"], n["lineitem"]),
+        "l_quantity": rng.integers(1, 51, n["lineitem"]),
+        "l_extendedprice": rng.uniform(900, 100_000, n["lineitem"]).round(2),
+    })
+    return {
+        "region": region, "nation": nation, "supplier": supplier,
+        "customer": customer, "part": part, "partsupp": partsupp,
+        "orders": orders, "lineitem": lineitem,
+    }
+
+
+def schemas(tables: dict[str, Table]) -> dict[str, list[str]]:
+    """``{table: [columns]}`` view for the parser."""
+    return {name: table.column_names for name, table in tables.items()}

@@ -1,0 +1,98 @@
+"""Graphviz (DOT) renderings of workflows and plans.
+
+The deliverable's web UI displays abstract workflows, materialized plans
+(optimal path in green, alternatives in red — Figures 5/19) and execution
+progress.  These functions produce the equivalent DOT sources, viewable with
+``dot -Tsvg`` or any Graphviz front end — the CLI-era stand-in for the UI.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow import AbstractWorkflow, MaterializedPlan
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def workflow_to_dot(workflow: AbstractWorkflow) -> str:
+    """DOT source of an abstract workflow graph.
+
+    Datasets are ellipses, operators are boxes, the target is doubled.
+    """
+    lines = [f"digraph {_quote(workflow.name)} {{", "  rankdir=LR;"]
+    for name, dataset in workflow.datasets.items():
+        shape = "doubleoctagon" if name == workflow.target else "ellipse"
+        style = ' style=filled fillcolor="#e8f0fe"' if dataset.materialized else ""
+        lines.append(f"  {_quote(name)} [shape={shape}{style}];")
+    for name in workflow.operators:
+        lines.append(f"  {_quote(name)} [shape=box];")
+    for op_name, inputs in workflow.op_inputs.items():
+        for ds in inputs:
+            lines.append(f"  {_quote(ds)} -> {_quote(op_name)};")
+    for op_name, outputs in workflow.op_outputs.items():
+        for ds in outputs:
+            lines.append(f"  {_quote(op_name)} -> {_quote(ds)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dot(plan: MaterializedPlan) -> str:
+    """DOT source of a materialized plan: the Figure 5/19 'green path'.
+
+    Each step is a box labelled operator@engine (moves are dashed); edges
+    follow the dataflow between steps.
+    """
+    lines = [f"digraph {_quote('plan_' + plan.workflow.name)} {{",
+             "  rankdir=LR;"]
+    ids = {id(step): f"s{i}" for i, step in enumerate(plan.steps)}
+    producer: dict[int, str] = {}
+    for step in plan.steps:
+        node = ids[id(step)]
+        label = f"{step.operator.name}\\n@{step.engine}"
+        if step.is_move:
+            lines.append(
+                f"  {node} [shape=box style=dashed label={_quote(label)}];")
+        else:
+            lines.append(
+                f"  {node} [shape=box style=filled fillcolor="
+                f"\"#d9f2d9\" label={_quote(label)}];")
+        for out in step.outputs:
+            producer[id(out)] = node
+    for step in plan.steps:
+        node = ids[id(step)]
+        for inp in step.inputs:
+            src = producer.get(id(inp))
+            if src is not None:
+                lines.append(f"  {src} -> {node} [label={_quote(inp.name)}];")
+            else:
+                source = f"d_{inp.name}"
+                lines.append(
+                    f"  {_quote(source)} [shape=ellipse label={_quote(inp.name)}];")
+                lines.append(f"  {_quote(source)} -> {node};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def musqle_plan_to_dot(plan) -> str:
+    """DOT source of a MuSQLE multi-engine SQL plan tree."""
+    from repro.musqle.plan import MovePlanNode, SQLPlanNode
+
+    lines = ["digraph musqle_plan {", "  rankdir=BT;"]
+    ids = {}
+    for i, node in enumerate(plan.walk()):
+        ids[id(node)] = f"n{i}"
+        if isinstance(node, SQLPlanNode):
+            label = (f"{node.out_name}@{node.engine}\\n"
+                     f"~{node.est_stats.n_rows} rows")
+            lines.append(
+                f"  n{i} [shape=box style=filled fillcolor=\"#d9e8f2\" "
+                f"label={_quote(label)}];")
+        elif isinstance(node, MovePlanNode):
+            label = f"move -> {node.engine}\\n{node.move_seconds:.2f}s"
+            lines.append(f"  n{i} [shape=box style=dashed label={_quote(label)}];")
+    for node in plan.walk():
+        for child in node.children():
+            lines.append(f"  {ids[id(child)]} -> {ids[id(node)]};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Scientific workflow generators (Pegasus categories, Bharathi et al. 2008)."""
+
+from repro.workflows.pegasus import (
+    CATEGORIES,
+    cybershake,
+    epigenomics,
+    generate,
+    inspiral,
+    montage,
+    sipht,
+    synthetic_library,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "cybershake",
+    "epigenomics",
+    "generate",
+    "inspiral",
+    "montage",
+    "sipht",
+    "synthetic_library",
+]

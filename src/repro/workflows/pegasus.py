@@ -1,0 +1,226 @@
+"""Pegasus-style scientific workflow generators.
+
+The planner-performance experiments (Figures 14–15) use the Pegasus workflow
+generator's five categories (Bharathi et al., "Characterization of scientific
+workflows", 2008).  These generators reproduce their structural skeletons:
+
+- **Montage** (astronomy): highly connected — mProjectPP fan-out, pairwise
+  mDiffFit over overlapping images, global mConcatFit/mBgModel, mBackground
+  fan-out, aggregation chain.  Multiple nodes with high in-/out-degree.
+- **CyberShake** (earthquake science): ExtractSGT fan-out, per-SGT synthesis
+  fan-out, two global zips.
+- **Epigenomics** (biology): parallel 4-stage pipelines between a global
+  split and merge — "pipelined applications that split up input datasets and
+  operate on different chunks in parallel".
+- **Inspiral** (gravitational physics): template-bank/matched-filter stages
+  with group-wise coincidence tests.
+- **Sipht** (biology): wide Patser fan-in plus a fixed side-chain, "a
+  relatively fixed structure performing identical analyses on multiple
+  inputs".
+
+Each generator targets an approximate *operator* count; the paper's x-axis
+("number of workflow nodes") is matched by ``len(wf.operators)``.
+:func:`synthetic_library` then builds ``m`` alternative implementations per
+abstract operator so the planner's ``O(op·m²·k)`` behaviour can be measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.library import OperatorLibrary
+from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.core.workflow import AbstractWorkflow
+
+
+class _Builder:
+    """Small helper assembling operator→dataset chains without name clashes."""
+
+    def __init__(self, name: str) -> None:
+        self.wf = AbstractWorkflow(name)
+        self._n = 0
+
+    def source(self, name: str, size: float = 1e8) -> str:
+        """Add a materialized input dataset."""
+        self.wf.add_dataset(Dataset(name, {
+            "Constraints.type": "data",
+            "Optimization.size": size,
+        }, materialized=True))
+        return name
+
+    def op(self, algorithm: str, inputs: list[str]) -> str:
+        """Add one operator of the given stage consuming ``inputs``;
+        returns the name of its (fresh) output dataset."""
+        self._n += 1
+        op_name = f"{algorithm}_{self._n}"
+        out_name = f"d_{op_name}"
+        self.wf.add_operator(AbstractOperator(op_name, {
+            "Constraints.OpSpecification.Algorithm.name": algorithm,
+            "Constraints.Input.number": len(inputs),
+            "Constraints.Output.number": 1,
+        }))
+        self.wf.add_dataset(Dataset(out_name))
+        for ds in inputs:
+            self.wf.connect(ds, op_name)
+        self.wf.connect(op_name, out_name)
+        return out_name
+
+    def finish(self, target: str) -> AbstractWorkflow:
+        """Set the target, validate, return the workflow."""
+        self.wf.set_target(target)
+        self.wf.validate()
+        return self.wf
+
+
+def montage(n_tasks: int = 30, seed: int = 0) -> AbstractWorkflow:
+    """Montage: ~4.5k+4 operators for k input images; densely connected."""
+    k = max(2, round((n_tasks - 4) / 4.5))
+    rng = np.random.default_rng(seed)
+    b = _Builder(f"montage-{n_tasks}")
+    raw = [b.source(f"img{i}", size=2e8) for i in range(k)]
+    proj = [b.op("mProjectPP", [raw[i]]) for i in range(k)]
+    # adjacent overlaps + ~50% extra random overlaps -> high degrees
+    pairs = [(i, i + 1) for i in range(k - 1)]
+    extra = max(0, round(0.5 * k))
+    for _ in range(extra):
+        i, j = rng.choice(k, size=2, replace=False)
+        pairs.append((int(min(i, j)), int(max(i, j))))
+    diffs = [b.op("mDiffFit", [proj[i], proj[j]]) for i, j in pairs]
+    concat = b.op("mConcatFit", diffs)
+    bg_model = b.op("mBgModel", [concat])
+    backgrounds = [b.op("mBackground", [proj[i], bg_model]) for i in range(k)]
+    img_tbl = b.op("mImgTbl", backgrounds)
+    madd = b.op("mAdd", [img_tbl])
+    shrink = b.op("mShrink", [madd])
+    return b.finish(b.op("mJPEG", [shrink]))
+
+
+def cybershake(n_tasks: int = 30, seed: int = 0) -> AbstractWorkflow:
+    """CyberShake: ~5k+2 operators for k rupture variations."""
+    k = max(1, round((n_tasks - 2) / 5))
+    b = _Builder(f"cybershake-{n_tasks}")
+    sgt_vars = [b.source(f"sgtvar{i}", size=5e8) for i in range(k)]
+    seismograms = []
+    peaks = []
+    for i in range(k):
+        sgt = b.op("ExtractSGT", [sgt_vars[i]])
+        for j in range(2):
+            synth = b.op("SeismogramSynthesis", [sgt])
+            seismograms.append(synth)
+            peaks.append(b.op("PeakValCalcOkaya", [synth]))
+    zip_seis = b.op("ZipSeis", seismograms)
+    zip_psa = b.op("ZipPSA", peaks)
+    # terminal stage-out collecting both archives, so the whole graph feeds
+    # the single $$target the planner optimizes for
+    return b.finish(b.op("StageOut", [zip_seis, zip_psa]))
+
+
+def epigenomics(n_tasks: int = 30, seed: int = 0) -> AbstractWorkflow:
+    """Epigenomics: L parallel 4-stage pipelines between split and merge."""
+    lanes = max(1, round((n_tasks - 4) / 4))
+    b = _Builder(f"epigenomics-{n_tasks}")
+    dna = b.source("dna", size=1e9)
+    split = b.op("fastQSplit", [dna])
+    mapped = []
+    for _ in range(lanes):
+        chunk = b.op("filterContams", [split])
+        sanger = b.op("sol2sanger", [chunk])
+        bfq = b.op("fastq2bfq", [sanger])
+        mapped.append(b.op("map", [bfq]))
+    merge = b.op("mapMerge", mapped)
+    index = b.op("maqIndex", [merge])
+    return b.finish(b.op("pileup", [index]))
+
+
+def inspiral(n_tasks: int = 30, seed: int = 0) -> AbstractWorkflow:
+    """Inspiral (LIGO): ~2k + 2k/g + 2 operators, group size g=3."""
+    g = 3
+    k = max(g, round((n_tasks - 2) / (2 + 2 / g)))
+    b = _Builder(f"inspiral-{n_tasks}")
+    frames = [b.source(f"frame{i}", size=3e8) for i in range(k)]
+    inspirals = []
+    for i in range(k):
+        bank = b.op("TmpltBank", [frames[i]])
+        inspirals.append(b.op("Inspiral", [bank]))
+    thinca2 = []
+    for start in range(0, k, g):
+        group = inspirals[start : start + g]
+        thinca = b.op("Thinca", group)
+        trig = b.op("TrigBank", [thinca])
+        thinca2.append(trig)
+    return b.finish(b.op("Thinca2", thinca2))
+
+
+def sipht(n_tasks: int = 30, seed: int = 0) -> AbstractWorkflow:
+    """Sipht: wide Patser fan-in plus a fixed ~8-operator side chain."""
+    fixed = 8
+    p = max(1, n_tasks - fixed)
+    b = _Builder(f"sipht-{n_tasks}")
+    genome = b.source("genome", size=4e8)
+    patsers = [b.op("Patser", [genome]) for _ in range(p)]
+    patser_concat = b.op("PatserConcat", patsers)
+    # the fixed side chain of individual analyses
+    blast = b.op("Blast", [genome])
+    tfbs = b.op("FindTerm", [genome])
+    rna = b.op("RNAMotif", [genome])
+    transterm = b.op("Transterm", [genome])
+    srna = b.op("SRNA", [blast, tfbs, rna, transterm])
+    annotate = b.op("SRNAAnnotate", [srna, patser_concat])
+    return b.finish(b.op("FFNParse", [annotate]))
+
+
+CATEGORIES = {
+    "Montage": montage,
+    "CyberShake": cybershake,
+    "Epigenomics": epigenomics,
+    "Inspiral": inspiral,
+    "Sipht": sipht,
+}
+
+
+def generate(category: str, n_tasks: int, seed: int = 0) -> AbstractWorkflow:
+    """Generate a workflow of the given Pegasus category and approximate size."""
+    try:
+        factory = CATEGORIES[category]
+    except KeyError:
+        raise ValueError(
+            f"unknown category {category!r}; pick one of {sorted(CATEGORIES)}"
+        ) from None
+    return factory(n_tasks, seed)
+
+
+def synthetic_library(
+    workflow: AbstractWorkflow, n_engines: int, seed: int = 0
+) -> OperatorLibrary:
+    """Build ``n_engines`` implementations of every stage of a workflow.
+
+    Each implementation is bound to a synthetic engine/store pair with a
+    random static cost, and input/output format specs that force the planner
+    to reason about move operators between engines — reproducing the m² term
+    of the planner's complexity.
+    """
+    rng = np.random.default_rng(seed)
+    # instances of one stage may differ in fan-in (e.g. Thinca groups), so
+    # implementations are generated per distinct (algorithm, arity) shape
+    shapes = sorted({
+        (op.algorithm, max(op.n_inputs, 1)) for op in workflow.operators.values()
+    })
+    library = OperatorLibrary()
+    for alg, arity in shapes:
+        for j in range(n_engines):
+            props = {
+                "Constraints.OpSpecification.Algorithm.name": alg,
+                "Constraints.Engine": f"engine{j}",
+                "Constraints.Input.number": arity,
+                "Constraints.Output.number": 1,
+                "Constraints.Output0.Engine.FS": f"store{j}",
+                "Constraints.Output0.type": "data",
+                "Optimization.execTime": float(rng.uniform(1.0, 100.0)),
+                "Optimization.cost": float(rng.uniform(1.0, 100.0)),
+            }
+            for i in range(arity):
+                props[f"Constraints.Input{i}.Engine.FS"] = f"store{j}"
+                props[f"Constraints.Input{i}.type"] = "data"
+            library.add(MaterializedOperator(f"{alg}_k{arity}_e{j}", props))
+    return library

@@ -1,0 +1,88 @@
+"""Tests for PANIC-style adaptive profiling (repro.core.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileSpec
+from repro.core.adaptive import AdaptiveProfiler
+from repro.engines import Resources, build_default_cloud
+from repro.models import GaussianProcess
+from repro.models.base import NotFittedError
+
+
+def wordcount_spec():
+    return ProfileSpec(
+        "wordcount", "MapReduce",
+        counts=[1e5, 3e5, 1e6, 3e6, 1e7], bytes_per_item=1e3,
+        resources=[Resources(c, m) for c in (4, 8, 16, 32) for m in (8, 16, 32)],
+    )
+
+
+class TestGPStd:
+    def test_std_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianProcess().predict_std([[1.0]])
+
+    def test_std_lower_near_training_points(self):
+        X = np.linspace(0, 10, 12).reshape(-1, 1)
+        y = np.sin(X.ravel())
+        gp = GaussianProcess(noise=1e-4).fit(X, y)
+        near = gp.predict_std([[5.0]])[0]   # a training point
+        far = gp.predict_std([[25.0]])[0]   # extrapolation
+        assert near < far
+
+    def test_std_nonnegative(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (20, 2))
+        y = X[:, 0] * 2
+        gp = GaussianProcess().fit(X, y)
+        assert (gp.predict_std(rng.normal(0, 2, (30, 2))) >= 0).all()
+
+
+class TestAdaptiveProfiler:
+    def test_budget_respected(self):
+        cloud = build_default_cloud(seed=1)
+        profiler = AdaptiveProfiler(cloud, wordcount_spec(), seed=1)
+        records = profiler.run(budget=10)
+        assert len(records) <= 10
+        assert len(records) >= 8  # wordcount never OOMs on this grid
+
+    def test_invalid_budget_rejected(self):
+        cloud = build_default_cloud()
+        with pytest.raises(ValueError):
+            AdaptiveProfiler(cloud, wordcount_spec()).run(budget=0)
+
+    def test_no_duplicate_grid_points(self):
+        cloud = build_default_cloud(seed=2)
+        profiler = AdaptiveProfiler(cloud, wordcount_spec(), seed=2)
+        records = profiler.run(budget=15)
+        setups = {(r.input_count, r.cores, r.memory_gb) for r in records}
+        assert len(setups) == len(records)
+
+    def test_spreads_over_input_sizes(self):
+        """Uncertainty sampling must not cluster on one corner of the grid."""
+        cloud = build_default_cloud(seed=3)
+        profiler = AdaptiveProfiler(cloud, wordcount_spec(), seed=3)
+        records = profiler.run(budget=12)
+        counts = {r.input_count for r in records}
+        assert len(counts) >= 4  # covers most of the 5 input sizes
+
+    def test_model_quality_reasonable(self):
+        cloud = build_default_cloud(seed=4)
+        spec = wordcount_spec()
+        profiler = AdaptiveProfiler(cloud, spec, seed=4)
+        profiler.run(budget=20)
+        error = profiler.mean_relative_error(test_points=40, seed=5)
+        # 20 adaptive runs over a 60-point grid should give a usable model
+        assert error < 0.5
+
+    def test_handles_oom_grid_points(self):
+        """Pagerank on Java OOMs at large counts; the run must not crash."""
+        cloud = build_default_cloud(seed=5)
+        spec = ProfileSpec(
+            "pagerank", "Java", counts=[1e4, 1e6, 1e9], bytes_per_item=40,
+            params={"iterations": [10]}, resources=[Resources(4, 8)],
+        )
+        records = AdaptiveProfiler(cloud, spec, seed=5).run(budget=3)
+        assert 1 <= len(records) <= 3
+        assert len(cloud.collector.failures()) >= 1

@@ -1,0 +1,200 @@
+"""Unit tests for the real analytics operators (repro.analytics)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    generate_cdr_graph,
+    generate_corpus,
+    kmeans,
+    linecount,
+    pagerank,
+    tfidf_vectorize,
+    wordcount,
+)
+from repro.analytics.pagerank import top_influencers
+from repro.analytics.wordcount import distinct_words
+
+
+class TestPagerank:
+    def test_scores_sum_to_one(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        scores = pagerank(edges, iterations=30)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (scores > 0).all()
+
+    def test_star_graph_center_wins(self):
+        """Everyone calls vertex 0, so 0 must have the top score."""
+        edges = [(i, 0) for i in range(1, 8)]
+        scores = pagerank(edges, iterations=30)
+        assert scores.argmax() == 0
+
+    def test_symmetric_cycle_uniform(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        scores = pagerank(edges, iterations=60, tol=1e-12)
+        np.testing.assert_allclose(scores, 0.25, atol=1e-6)
+
+    def test_dangling_nodes_handled(self):
+        # vertex 2 has no outlinks; mass must not vanish
+        edges = [(0, 1), (1, 2)]
+        scores = pagerank(edges, iterations=40)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_edges(self):
+        assert pagerank([], n_vertices=4).tolist() == [0.25] * 4
+        assert pagerank([]).size == 0
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError):
+            pagerank([(0, 1)], damping=1.5)
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pagerank(np.array([[0, 1, 2]]))
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            pagerank([(0, 5)], n_vertices=3)
+
+    def test_top_influencers_sorted(self):
+        edges = [(i, 0) for i in range(1, 10)] + [(0, 1), (2, 1)]
+        scores = pagerank(edges, iterations=30)
+        top = top_influencers(scores, k=3)
+        assert top[0][0] == 0
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_matches_networkx(self):
+        """Cross-check against networkx's reference implementation."""
+        import networkx as nx
+
+        edges = [tuple(e) for e in generate_cdr_graph(300, 40, seed=3)]
+        ours = pagerank(edges, n_vertices=40, iterations=200, tol=1e-14)
+        # MultiDiGraph keeps call multiplicity, matching CDR semantics.
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(40))
+        g.add_edges_from(edges)
+        theirs = nx.pagerank(g, alpha=0.85, max_iter=200, tol=1e-14)
+        for v in range(40):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-8)
+
+
+class TestTfIdf:
+    def test_shapes_and_vocabulary(self):
+        docs = ["cat dog cat", "dog bird", "fish"]
+        result = tfidf_vectorize(docs)
+        assert result.n_documents == 3
+        assert set(result.vocabulary) == {"cat", "dog", "bird", "fish"}
+        assert result.matrix.shape == (3, 4)
+
+    def test_rows_l2_normalized(self):
+        docs = generate_corpus(20, seed=1)
+        result = tfidf_vectorize(docs)
+        norms = np.linalg.norm(result.matrix, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_rare_term_weighs_more(self):
+        docs = ["common rare", "common", "common", "common"]
+        result = tfidf_vectorize(docs)
+        row = result.matrix[0]
+        assert row[result.vocabulary["rare"]] > row[result.vocabulary["common"]]
+
+    def test_min_df_filters(self):
+        docs = ["a b", "a c", "a d"]
+        result = tfidf_vectorize(docs, min_df=2)
+        assert set(result.vocabulary) == {"a"}
+
+    def test_max_terms_caps_vocabulary(self):
+        docs = generate_corpus(30, seed=2)
+        result = tfidf_vectorize(docs, max_terms=10)
+        assert result.n_terms == 10
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            tfidf_vectorize([])
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self):
+        rng = np.random.default_rng(0)
+        blob1 = rng.normal(0, 0.2, (40, 2))
+        blob2 = rng.normal(5, 0.2, (40, 2)) + [0, 5]
+        X = np.vstack([blob1, blob2])
+        result = kmeans(X, k=2, seed=1)
+        assert result.k == 2
+        # all points of a blob share a label
+        assert len(set(result.labels[:40])) == 1
+        assert len(set(result.labels[40:])) == 1
+        assert result.labels[0] != result.labels[40]
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (100, 3))
+        inertias = [kmeans(X, k, seed=0).inertia for k in (1, 2, 4, 8)]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_k_bounds_checked(self):
+        X = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(X, 0)
+        with pytest.raises(ValueError):
+            kmeans(X, 6)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 1)
+
+    def test_clusters_tfidf_topics(self):
+        """End-to-end: the text-clustering workflow recovers topics."""
+        docs = generate_corpus(60, n_topics=3, seed=4)
+        tfidf = tfidf_vectorize(docs)
+        result = kmeans(tfidf.matrix, k=3, seed=2)
+        assert len(set(result.labels.tolist())) == 3
+
+
+class TestWordLineCount:
+    def test_wordcount(self):
+        counts = wordcount(["the cat the dog", "the bird"])
+        assert counts["the"] == 3
+        assert counts["cat"] == 1
+
+    def test_distinct_words(self):
+        assert distinct_words(["a b a", "b c"]) == 3
+
+    def test_linecount(self):
+        assert linecount("") == 0
+        assert linecount("one") == 1
+        assert linecount("one\ntwo\n") == 2
+        assert linecount("one\ntwo\nthree") == 3
+
+
+class TestGenerators:
+    def test_cdr_graph_shape_and_no_self_loops(self):
+        edges = generate_cdr_graph(500, 100, seed=5)
+        assert edges.shape == (500, 2)
+        assert (edges[:, 0] != edges[:, 1]).all()
+        assert edges.min() >= 0 and edges.max() < 100
+
+    def test_cdr_graph_heavy_tailed(self):
+        edges = generate_cdr_graph(5000, 500, seed=6)
+        degrees = np.bincount(edges.ravel(), minlength=500)
+        # top-5% of vertices should hold a disproportionate share of calls
+        top = np.sort(degrees)[-25:].sum()
+        assert top / degrees.sum() > 0.2
+
+    def test_cdr_graph_deterministic(self):
+        a = generate_cdr_graph(100, seed=7)
+        b = generate_cdr_graph(100, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_cdr_rejects_zero_edges(self):
+        with pytest.raises(ValueError):
+            generate_cdr_graph(0)
+
+    def test_corpus_properties(self):
+        docs = generate_corpus(25, words_per_doc=40, seed=8)
+        assert len(docs) == 25
+        assert all(len(d.split()) == 40 for d in docs)
+
+    def test_corpus_rejects_zero_docs(self):
+        with pytest.raises(ValueError):
+            generate_corpus(0)

@@ -1,0 +1,172 @@
+"""Tests for the External API surface (repro.api.rest, §3.5)."""
+
+import json
+
+import pytest
+
+from repro.api import IResServer
+from repro.core import IReS
+from repro.scenarios import setup_text_analytics
+
+
+@pytest.fixture
+def server():
+    ires = IReS()
+    setup_text_analytics(ires)
+    srv = IResServer(ires)
+    created = srv.handle("POST", "/datasets/webContent", {"properties": {
+        "Constraints.Engine.FS": "*",
+        "Constraints.type": "text",
+        "Optimization.count": 25_000,
+        "Optimization.size": 25_000_000,
+    }})
+    assert created.status == 201
+    response = srv.handle("POST", "/abstractWorkflows/text", {
+        "graph": ["webContent,tf_idf,0", "tf_idf,v,0",
+                  "v,kmeans,0", "kmeans,c,0", "c,$$target"],
+    })
+    assert response.status == 201
+    return srv
+
+
+class TestRoot:
+    def test_root_reports_up(self):
+        response = IResServer().handle("GET", "/")
+        assert response.status == 200
+        assert response.body["service"] == "IReS"
+
+    def test_unknown_resource_404(self):
+        assert IResServer().handle("GET", "/nonsense").status == 404
+
+    def test_response_json_serializable(self, server):
+        response = server.handle("GET", "/engines")
+        assert json.loads(response.json())
+
+
+class TestWorkflows:
+    def test_list_and_get(self, server):
+        listing = server.handle("GET", "/abstractWorkflows")
+        assert listing.body["workflows"] == ["text"]
+        detail = server.handle("GET", "/abstractWorkflows/text")
+        assert detail.status == 200
+        assert detail.body["target"] == "c"
+        assert "tf_idf" in detail.body["operators"]
+
+    def test_get_missing_404(self, server):
+        assert server.handle("GET", "/abstractWorkflows/none").status == 404
+
+    def test_materialize_returns_plan(self, server):
+        response = server.handle("POST", "/abstractWorkflows/text/materialize")
+        assert response.status == 200
+        plan = response.body["plan"]
+        assert plan["cost"] > 0
+        engines = {s["engine"] for s in plan["steps"] if not s["isMove"]}
+        assert engines == {"scikit", "Spark"}  # the 25k-doc hybrid
+
+    def test_execute_returns_report(self, server):
+        response = server.handle("POST", "/abstractWorkflows/text/execute")
+        assert response.status == 200
+        report = response.body["report"]
+        assert report["succeeded"] is True
+        assert report["simTime"] > 0
+
+    def test_post_requires_graph(self, server):
+        response = server.handle("POST", "/abstractWorkflows/bad", {})
+        assert response.status == 400
+
+    def test_unknown_action_404(self, server):
+        assert server.handle("POST", "/abstractWorkflows/text/fly").status == 404
+
+
+class TestOperatorsAndDatasets:
+    def test_operator_crud(self, server):
+        created = server.handle("POST", "/operators/myop", {"properties": {
+            "Constraints.OpSpecification.Algorithm.name": "myalg",
+            "Constraints.Engine": "Spark",
+        }})
+        assert created.status == 201
+        got = server.handle("GET", "/operators/myop")
+        assert got.body["properties"]["Constraints.Engine"] == "Spark"
+        listing = server.handle("GET", "/operators")
+        assert "myop" in listing.body["operators"]
+        deleted = server.handle("DELETE", "/operators/myop")
+        assert deleted.status == 200
+        assert server.handle("GET", "/operators/myop").status == 404
+
+    def test_duplicate_operator_400(self, server):
+        body = {"properties": {"Constraints.Engine": "Spark"}}
+        assert server.handle("POST", "/operators/dup", body).status == 201
+        assert server.handle("POST", "/operators/dup", body).status == 400
+
+    def test_abstract_operator_listing(self, server):
+        listing = server.handle("GET", "/abstractOperators")
+        assert "tf_idf" in listing.body["abstractOperators"]
+
+    def test_dataset_get(self, server):
+        got = server.handle("GET", "/datasets/webContent")
+        assert got.status == 200
+        assert got.body["properties"]["Constraints.type"] == "text"
+        assert server.handle("GET", "/datasets/none").status == 404
+
+
+class TestEngines:
+    def test_listing_and_health(self, server):
+        listing = server.handle("GET", "/engines")
+        assert listing.body["engines"]["Spark"]["status"] == "ON"
+        health = server.handle("GET", "/engines/health")
+        assert set(health.body["nodes"].values()) == {"HEALTHY"}
+        assert "Spark" in health.body["availableEngines"]
+
+    def test_stop_start_cycle(self, server):
+        stop = server.handle("POST", "/engines/Spark/stop")
+        assert stop.body["status"] == "OFF"
+        health = server.handle("GET", "/engines/health")
+        assert "Spark" not in health.body["availableEngines"]
+        # planning now avoids Spark (conflict only if nothing remains)
+        plan = server.handle("POST", "/abstractWorkflows/text/materialize")
+        engines = {s["engine"] for s in plan.body["plan"]["steps"]
+                   if not s["isMove"]}
+        assert "Spark" not in engines
+        start = server.handle("POST", "/engines/Spark/start")
+        assert start.body["status"] == "ON"
+
+    def test_unknown_engine_404(self, server):
+        assert server.handle("POST", "/engines/Nope/stop").status == 404
+
+
+class TestModels:
+    def test_missing_model_404(self, server):
+        assert server.handle("GET", "/models/TF_IDF/Spark").status == 404
+
+    def test_model_info_after_execution(self, server):
+        server.handle("POST", "/abstractWorkflows/text/execute")
+        server.handle("POST", "/abstractWorkflows/text/execute")
+        response = server.handle("GET", "/models/TF_IDF/scikit")
+        assert response.status == 200
+        assert response.body["samples"] >= 2
+
+
+class TestErrorPaths:
+    def test_materialize_with_no_engines_conflicts(self, server):
+        for engine in list(server.ires.cloud.engines):
+            server.ires.cloud.kill_engine(engine)
+        try:
+            response = server.handle(
+                "POST", "/abstractWorkflows/text/materialize")
+            assert response.status == 409
+            assert "error" in response.body
+        finally:
+            for engine in list(server.ires.cloud.engines):
+                server.ires.cloud.restart_engine(engine)
+
+    def test_wrong_method_405(self, server):
+        assert server.handle("DELETE", "/abstractWorkflows").status == 405
+        assert server.handle("PUT", "/datasets/webContent").status == 405
+
+    def test_models_requires_two_segments(self, server):
+        assert server.handle("GET", "/models/onlyone").status == 400
+
+    def test_bad_graph_line_400(self, server):
+        response = server.handle("POST", "/abstractWorkflows/broken", {
+            "graph": ["not-an-edge"]})
+        assert response.status == 400

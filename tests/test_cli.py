@@ -1,0 +1,110 @@
+"""Tests for the ires command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def library_dir(tmp_path):
+    root = tmp_path / "asapLibrary"
+    (root / "datasets").mkdir(parents=True)
+    (root / "datasets" / "logs").write_text(
+        "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+        "Optimization.size=5E09\n")
+    for engine, t, c in (("Spark", 6.0, 20.0), ("Python", 12.0, 4.0)):
+        op_dir = root / "operators" / f"count_{engine.lower()}"
+        op_dir.mkdir(parents=True)
+        (op_dir / "description").write_text(
+            f"Constraints.Engine={engine}\n"
+            "Constraints.Input.number=1\n"
+            "Constraints.Output.number=1\n"
+            "Constraints.Input0.Engine.FS=HDFS\n"
+            "Constraints.Input0.type=text\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+        )
+    (root / "abstractOperators").mkdir()
+    (root / "abstractOperators" / "LineCount").write_text(
+        "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+    wf = root / "abstractWorkflows" / "CountWorkflow"
+    wf.mkdir(parents=True)
+    (wf / "graph").write_text("logs,LineCount,0\nLineCount,d1,0\nd1,$$target\n")
+    return str(root)
+
+
+def test_validate(library_dir, capsys):
+    assert main(["validate", library_dir]) == 0
+    out = capsys.readouterr().out
+    assert "library OK" in out
+    assert "CountWorkflow" in out
+
+
+def test_engines(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "Spark" in out and "PostgreSQL" in out
+
+
+def test_plan(library_dir, capsys):
+    assert main(["plan", library_dir, "CountWorkflow"]) == 0
+    out = capsys.readouterr().out
+    assert "optimal plan" in out
+    assert "count_" in out
+
+
+def test_execute(library_dir, capsys):
+    assert main(["execute", library_dir, "CountWorkflow"]) == 0
+    out = capsys.readouterr().out
+    assert "succeeded=True" in out
+
+
+def test_frontier(library_dir, capsys):
+    assert main(["frontier", library_dir, "CountWorkflow"]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto-optimal plans" in out
+    # both implementations are trade-offs -> two frontier points
+    assert out.count("time=") == 2
+
+
+def test_unknown_workflow_exits(library_dir):
+    with pytest.raises(SystemExit):
+        main(["plan", library_dir, "NoSuchWorkflow"])
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_sql_optimize_and_execute(capsys):
+    query = ("SELECT * FROM customer, orders "
+             "WHERE c_custkey = o_custkey AND o_totalprice > 400000")
+    assert main(["sql", query, "--execute"]) == 0
+    out = capsys.readouterr().out
+    assert "optimized in" in out
+    assert "result:" in out
+
+
+def test_sql_plan_only(capsys):
+    assert main(["sql", "SELECT * FROM region, nation "
+                 "WHERE r_regionkey = n_regionkey"]) == 0
+    out = capsys.readouterr().out
+    assert "SQL@" in out
+    assert "result:" not in out
+
+
+def test_report_aggregates_results(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig1.txt").write_text("== Figure 1 ==\n 1 2 3\n")
+    out = tmp_path / "RESULTS.md"
+    assert main(["report", "--results", str(results), "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "## fig1" in text and "Figure 1" in text
+
+
+def test_report_without_results_exits(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", "--results", str(tmp_path / "none"),
+              "--out", str(tmp_path / "r.md")])

@@ -1,0 +1,152 @@
+"""Tests for the executor layer: enforcement, monitoring, replanning."""
+
+import pytest
+
+from repro.core import IReS, OptimizationPolicy
+from repro.execution import IRES_REPLAN, TRIVIAL_REPLAN, WorkflowExecutor
+from repro.execution.enforcer import ExecutionFailed
+from repro.scenarios import (
+    setup_graph_analytics,
+    setup_helloworld,
+    setup_text_analytics,
+)
+
+
+def test_unknown_strategy_rejected():
+    ires = IReS()
+    with pytest.raises(ValueError):
+        WorkflowExecutor(ires.cloud, ires.planner, strategy="bogus")
+
+
+def test_execute_simple_workflow_end_to_end():
+    ires = IReS()
+    make = setup_graph_analytics(ires)
+    report = ires.execute(make(1e6))
+    assert report.succeeded
+    assert report.replans == 0
+    assert report.engines_used() == ["Java"]
+    assert report.sim_time > 0
+    assert report.initial_planning_seconds > 0
+    # monitoring recorded the run
+    assert len(ires.cloud.collector.for_operator("pagerank", "Java")) == 1
+
+
+def test_hybrid_execution_includes_move():
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    report = ires.execute(make(2.5e4))
+    assert report.succeeded
+    engines = report.engines_used()
+    assert "scikit" in engines and "Spark" in engines
+    assert any(e.engine == "move" for e in report.executions)
+
+
+def test_failure_triggers_ires_replan_and_reuse():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    plan = ires.plan(make())
+    victim = plan.step_for_operator("HelloWorld2").engine
+    ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+    report = ires.execute(make())
+    assert report.succeeded
+    assert report.replans == 1
+    assert len(report.failures) == 1
+    # IResReplan reuses the completed HelloWorld/HelloWorld1 outputs:
+    names = [e.step.abstract_name for e in report.executions
+             if e.success and e.engine != "move"]
+    assert names.count("HelloWorld") == 1
+    assert names.count("HelloWorld1") == 1
+    # the replanned HelloWorld2 runs on a different engine
+    hw2_engines = [e.engine for e in report.executions
+                   if e.step.abstract_name == "HelloWorld2"]
+    assert hw2_engines[-1] != victim
+
+
+def test_trivial_replan_reexecutes_completed_steps():
+    ires = IReS(strategy=TRIVIAL_REPLAN)
+    make = setup_helloworld(ires)
+    plan = ires.plan(make())
+    victim = plan.step_for_operator("HelloWorld2").engine
+    ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+    report = ires.execute(make())
+    assert report.succeeded
+    names = [e.step.abstract_name for e in report.executions
+             if e.success and e.engine != "move"]
+    assert names.count("HelloWorld") == 2  # re-executed from scratch
+    assert names.count("HelloWorld1") == 2
+
+
+def test_ires_replan_faster_than_trivial():
+    """The §4.5 headline: IResReplan beats TrivialReplan on execution time."""
+
+    def run(strategy):
+        ires = IReS(strategy=strategy)
+        make = setup_helloworld(ires)
+        plan = ires.plan(make())
+        victim = plan.step_for_operator("HelloWorld3").engine
+        ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld3")
+        return ires.execute(make())
+
+    ires_report = run(IRES_REPLAN)
+    trivial_report = run(TRIVIAL_REPLAN)
+    assert ires_report.succeeded and trivial_report.succeeded
+    assert ires_report.sim_time < trivial_report.sim_time
+
+
+def test_replanning_exhaustion_raises():
+    ires = IReS()
+    make = setup_graph_analytics(ires)
+    # Kill every pagerank-capable engine as soon as the operator starts.
+    ires.fault_injector.kill_engine_at("Java", trigger_operator="pagerank")
+    ires.fault_injector.kill_engine_at("Hama", trigger_operator="pagerank")
+    ires.fault_injector.kill_engine_at("Spark", trigger_operator="pagerank")
+    with pytest.raises(ExecutionFailed):
+        ires.execute(make(1e6))
+
+
+def test_report_accounting():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    report = ires.execute(make())
+    assert report.strategy == IRES_REPLAN
+    assert len(report.plans) == 1
+    assert report.replanning_seconds == 0.0
+    assert all(e.success for e in report.executions)
+    total = sum(e.sim_seconds for e in report.executions)
+    assert report.sim_time == pytest.approx(total)
+
+
+def test_execution_feeds_model_refinement():
+    ires = IReS(refit_every=1)
+    make = setup_graph_analytics(ires)
+    for edges in (1e5, 1e6):
+        ires.execute(make(edges))
+    assert ires.modeler.get("pagerank", "Java") is not None
+
+
+def test_critical_path_equals_sim_time_for_chains():
+    """A linear chain admits no parallelism."""
+    ires = IReS()
+    make = setup_helloworld(ires)
+    report = ires.execute(make())
+    assert report.critical_path_seconds == pytest.approx(report.sim_time)
+
+
+def test_critical_path_shorter_for_parallel_branches():
+    """The relational workflow's q1 and q2 are independent, so the
+    critical path is shorter than the serialized simulated time."""
+    from repro.scenarios import setup_relational_analytics
+
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    report = ires.execute(make(10))
+    assert report.succeeded
+    assert report.critical_path_seconds < report.sim_time * 0.999
+
+
+def test_critical_path_empty_report_is_zero():
+    from repro.execution import ExecutionReport
+
+    report = ExecutionReport(workflow="x", strategy=IRES_REPLAN,
+                             succeeded=False, sim_time=0.0)
+    assert report.critical_path_seconds == 0.0

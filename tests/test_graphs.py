@@ -1,0 +1,110 @@
+"""Tests for the extended graph operators (repro.analytics.graphs)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analytics import generate_cdr_graph
+from repro.analytics.graphs import (
+    connected_components,
+    degree_stats,
+    k_core,
+    triangle_count,
+)
+
+
+def nx_graph(edges, n):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from((int(a), int(b)) for a, b in edges)
+    return g
+
+
+class TestConnectedComponents:
+    def test_two_islands(self):
+        edges = [(0, 1), (1, 2), (3, 4)]
+        labels = connected_components(edges, n_vertices=6)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])  # isolated vertex
+
+    def test_direction_ignored(self):
+        labels = connected_components([(2, 0)], n_vertices=3)
+        assert labels[0] == labels[2]
+
+    def test_matches_networkx(self):
+        edges = generate_cdr_graph(400, 80, seed=2)
+        ours = connected_components(edges, n_vertices=80)
+        theirs = list(nx.connected_components(nx_graph(edges, 80)))
+        assert len(set(ours.tolist())) == len(theirs)
+        for component in theirs:
+            assert len({ours[v] for v in component}) == 1
+
+    def test_empty_graph(self):
+        assert connected_components([], n_vertices=0).size == 0
+        labels = connected_components([], n_vertices=3)
+        assert len(set(labels.tolist())) == 3
+
+    def test_bad_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components([(0, 9)], n_vertices=3)
+
+
+class TestDegreeStats:
+    def test_counts(self):
+        edges = [(0, 1), (0, 2), (1, 0)]
+        stats = degree_stats(edges, n_vertices=3)
+        assert stats["out"].tolist() == [2, 1, 0]
+        assert stats["in"].tolist() == [1, 1, 1]
+        assert stats["total"].tolist() == [3, 2, 1]
+
+    def test_total_conserved(self):
+        edges = generate_cdr_graph(500, 50, seed=3)
+        stats = degree_stats(edges, n_vertices=50)
+        assert stats["in"].sum() == 500
+        assert stats["out"].sum() == 500
+
+
+class TestTriangles:
+    def test_simple_triangle(self):
+        assert triangle_count([(0, 1), (1, 2), (2, 0)]) == 1
+
+    def test_square_has_no_triangle(self):
+        assert triangle_count([(0, 1), (1, 2), (2, 3), (3, 0)]) == 0
+
+    def test_duplicate_and_reverse_edges_collapse(self):
+        edges = [(0, 1), (1, 0), (1, 2), (2, 0), (0, 2)]
+        assert triangle_count(edges) == 1
+
+    def test_matches_networkx(self):
+        edges = generate_cdr_graph(300, 40, seed=4)
+        ours = triangle_count(edges, n_vertices=40)
+        theirs = sum(nx.triangles(nx_graph(edges, 40)).values()) // 3
+        assert ours == theirs
+
+    def test_empty(self):
+        assert triangle_count([], n_vertices=5) == 0
+
+
+class TestKCore:
+    def test_triangle_is_2core(self):
+        mask = k_core([(0, 1), (1, 2), (2, 0), (2, 3)], k=2, n_vertices=4)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_zero_core_keeps_everyone(self):
+        mask = k_core([(0, 1)], k=0, n_vertices=3)
+        assert mask.all()
+
+    def test_matches_networkx(self):
+        edges = generate_cdr_graph(600, 60, seed=5)
+        g = nx_graph(edges, 60)
+        g.remove_edges_from(nx.selfloop_edges(g))
+        for k in (1, 2, 3):
+            ours = set(np.nonzero(k_core(edges, k, n_vertices=60))[0].tolist())
+            theirs = set(nx.k_core(g, k).nodes)
+            assert ours == theirs
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_core([(0, 1)], k=-1)

@@ -1,0 +1,120 @@
+"""Tests for the simulated HDFS substrate (repro.engines.hdfs)."""
+
+import pytest
+
+from repro.engines import Cluster
+from repro.engines.hdfs import DEFAULT_BLOCK_SIZE, HDFSError, SimHDFS
+
+GB = 1e9
+
+
+@pytest.fixture
+def hdfs():
+    return SimHDFS(Cluster.homogeneous(6, 4, 8.0), disk_gb_per_node=10.0)
+
+
+class TestNamespace:
+    def test_put_stat_ls_rm(self, hdfs):
+        hdfs.put("/data/a", 1 * GB)
+        hdfs.put("/data/b", 2 * GB)
+        hdfs.put("/tmp/x", 1000)
+        assert hdfs.exists("/data/a")
+        assert hdfs.ls("/data") == ["/data/a", "/data/b"]
+        assert hdfs.stat("/data/b").size == int(2 * GB)
+        hdfs.rm("/data/a")
+        assert not hdfs.exists("/data/a")
+        with pytest.raises(HDFSError):
+            hdfs.stat("/data/a")
+
+    def test_put_existing_requires_overwrite(self, hdfs):
+        hdfs.put("/f", 100)
+        with pytest.raises(HDFSError):
+            hdfs.put("/f", 100)
+        hdfs.put("/f", 200, overwrite=True)
+        assert hdfs.stat("/f").size == 200
+
+    def test_rm_missing_raises(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.rm("/none")
+
+    def test_negative_size_rejected(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.put("/bad", -1)
+
+    def test_payload_roundtrip(self, hdfs):
+        artifact = {"scores": [1, 2, 3]}
+        hdfs.put("/results/scores", 24, payload=artifact)
+        assert hdfs.get("/results/scores") is artifact
+        assert hdfs.get("/results/scores") == {"scores": [1, 2, 3]}
+
+
+class TestBlocks:
+    def test_block_count_and_sizes(self, hdfs):
+        file = hdfs.put("/big", 2.5 * DEFAULT_BLOCK_SIZE)
+        assert len(file.blocks) == 3
+        assert sum(b.size for b in file.blocks) == int(2.5 * DEFAULT_BLOCK_SIZE)
+
+    def test_replication_on_distinct_nodes(self, hdfs):
+        file = hdfs.put("/r", 1000)
+        for block in file.blocks:
+            assert len(block.replicas) == 3
+            assert len(set(block.replicas)) == 3
+
+    def test_replication_capped_by_healthy_nodes(self):
+        hdfs = SimHDFS(Cluster.homogeneous(2), replication=3)
+        file = hdfs.put("/f", 100)
+        assert file.replication == 2
+
+    def test_usage_accounting(self, hdfs):
+        before = hdfs.total_used
+        hdfs.put("/acc", 1 * GB)
+        # replication 3 => 3 GB of raw usage
+        assert hdfs.total_used - before == pytest.approx(3 * GB, rel=0.01)
+        hdfs.rm("/acc")
+        assert hdfs.total_used == pytest.approx(before)
+
+    def test_capacity_exhaustion_rolls_back(self, hdfs):
+        # 6 nodes x 10 GB; replication 3 -> effective ~20 GB
+        hdfs.put("/fill1", 9 * GB)
+        with pytest.raises(HDFSError):
+            hdfs.put("/huge", 60 * GB)
+        assert not hdfs.exists("/huge")
+        used_after = hdfs.total_used
+        assert used_after == pytest.approx(27 * GB, rel=0.05)
+
+
+class TestHealthInteraction:
+    def test_under_replication_detected_and_healed(self, hdfs):
+        file = hdfs.put("/critical", 1 * GB)
+        victim = file.blocks[0].replicas[0]
+        hdfs.cluster.mark_unhealthy(victim)
+        degraded = hdfs.under_replicated_blocks()
+        assert degraded
+        healed = hdfs.re_replicate()
+        assert healed >= len(degraded)
+        assert hdfs.under_replicated_blocks() == []
+        for block in file.blocks:
+            assert victim not in block.replicas
+
+    def test_no_healthy_nodes_rejected(self):
+        cluster = Cluster.homogeneous(2)
+        hdfs = SimHDFS(cluster)
+        for node in cluster.nodes:
+            cluster.mark_unhealthy(node)
+        with pytest.raises(HDFSError):
+            hdfs.put("/f", 10)
+
+
+class TestExecutorIntegration:
+    def test_intermediates_written_to_hdfs(self):
+        from repro.core import IReS
+        from repro.scenarios import setup_graph_analytics
+
+        ires = IReS()
+        make = setup_graph_analytics(ires)
+        workflow = make(1e6)
+        report = ires.execute(workflow)
+        assert report.succeeded
+        files = ires.cloud.hdfs.ls(f"/intermediates/{workflow.name}")
+        assert files  # pagerank scores landed in HDFS
+        assert ires.cloud.hdfs.stat(files[0]).size > 0

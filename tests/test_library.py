@@ -1,0 +1,88 @@
+"""Unit tests for the operator library and its selective index."""
+
+import pytest
+
+from repro.core import AbstractOperator, MaterializedOperator, OperatorLibrary
+
+
+def mk(name, alg, engine):
+    return MaterializedOperator(name, {
+        "Constraints.OpSpecification.Algorithm.name": alg,
+        "Constraints.Engine": engine,
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+    })
+
+
+@pytest.fixture
+def library():
+    lib = OperatorLibrary()
+    lib.add(mk("pr_spark", "pagerank", "Spark"))
+    lib.add(mk("pr_hama", "pagerank", "Hama"))
+    lib.add(mk("pr_java", "pagerank", "Java"))
+    lib.add(mk("wc_mr", "wordcount", "Hadoop"))
+    return lib
+
+
+def abstract(alg, extra=None):
+    props = {"Constraints.OpSpecification.Algorithm.name": alg}
+    props.update(extra or {})
+    return AbstractOperator(alg, props)
+
+
+def test_len_contains_get(library):
+    assert len(library) == 4
+    assert "pr_spark" in library
+    assert library.get("pr_hama").engine == "Hama"
+
+
+def test_duplicate_name_rejected(library):
+    with pytest.raises(ValueError):
+        library.add(mk("pr_spark", "pagerank", "Spark"))
+
+
+def test_index_prunes_candidates(library):
+    candidates = library.candidates(abstract("pagerank"))
+    assert {c.name for c in candidates} == {"pr_spark", "pr_hama", "pr_java"}
+
+
+def test_wildcard_algorithm_scans_everything(library):
+    candidates = library.candidates(abstract("x", {
+        "Constraints.OpSpecification.Algorithm.name": "*"}))
+    assert len(candidates) == 4
+
+
+def test_find_materialized_matches(library):
+    matches = library.find_materialized(abstract("pagerank"))
+    assert {m.name for m in matches} == {"pr_spark", "pr_hama", "pr_java"}
+
+
+def test_find_materialized_filters_engines(library):
+    matches = library.find_materialized(
+        abstract("pagerank"), available_engines={"Spark", "Java"})
+    assert {m.name for m in matches} == {"pr_spark", "pr_java"}
+
+
+def test_find_materialized_without_index_same_result(library):
+    a = library.find_materialized(abstract("pagerank"), use_index=True)
+    b = library.find_materialized(abstract("pagerank"), use_index=False)
+    assert {m.name for m in a} == {m.name for m in b}
+
+
+def test_engine_constraint_in_abstract(library):
+    """An abstract operator may pin the engine (fine-grained description)."""
+    pinned = abstract("pagerank", {"Constraints.Engine": "Hama"})
+    matches = library.find_materialized(pinned)
+    assert [m.name for m in matches] == ["pr_hama"]
+
+
+def test_remove(library):
+    library.remove("pr_spark")
+    assert "pr_spark" not in library
+    assert {m.name for m in library.find_materialized(abstract("pagerank"))} == {
+        "pr_hama", "pr_java"}
+    library.remove("nonexistent")  # no-op
+
+
+def test_iteration(library):
+    assert {op.name for op in library} == {"pr_spark", "pr_hama", "pr_java", "wc_mr"}

@@ -1,0 +1,116 @@
+"""Tests for the asapLibrary filesystem layout loader (repro.core.libraryfs)."""
+
+import pytest
+
+from repro.core import IReS, dump_asap_library, load_asap_library
+from repro.core.libraryfs import LibraryLayoutError
+
+
+@pytest.fixture
+def library_dir(tmp_path):
+    """A minimal asapLibrary/ tree following §3.3."""
+    root = tmp_path / "asapLibrary"
+    (root / "datasets").mkdir(parents=True)
+    (root / "datasets" / "asapServerLog").write_text(
+        "Constraints.Engine.FS=HDFS\n"
+        "Constraints.type=text\n"
+        "Execution.path=hdfs:///user/root/asap-server.log\n"
+        "Optimization.size=2048\n"
+    )
+    op_dir = root / "operators" / "LineCount_spark"
+    op_dir.mkdir(parents=True)
+    (op_dir / "description").write_text(
+        "Constraints.Engine=Spark\n"
+        "Constraints.Input.number=1\n"
+        "Constraints.Output.number=1\n"
+        "Constraints.Input0.Engine.FS=HDFS\n"
+        "Constraints.Input0.type=text\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+    )
+    (root / "abstractOperators").mkdir()
+    (root / "abstractOperators" / "LineCount").write_text(
+        "Constraints.Input.number=1\n"
+        "Constraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+    )
+    wf_dir = root / "abstractWorkflows" / "LineCountWorkflow"
+    wf_dir.mkdir(parents=True)
+    (wf_dir / "graph").write_text(
+        "asapServerLog,LineCount,0\nLineCount,d1,0\nd1,$$target\n")
+    return root
+
+
+def test_load_registers_everything(library_dir):
+    ires = IReS()
+    report = load_asap_library(library_dir, ires)
+    assert report.datasets == ["asapServerLog"]
+    assert report.operators == ["LineCount_spark"]
+    assert report.abstract_operators == ["LineCount"]
+    assert report.workflows == ["LineCountWorkflow"]
+    assert report.total() == 4
+    assert "asapServerLog" in ires.datasets
+    assert "LineCount_spark" in ires.library
+    assert "LineCountWorkflow" in ires.workflows
+
+
+def test_loaded_workflow_plans_and_executes(library_dir):
+    ires = IReS()
+    load_asap_library(library_dir, ires)
+    workflow = ires.workflows["LineCountWorkflow"]
+    plan = ires.plan(workflow)
+    assert plan.steps[0].engine == "Spark"
+    report = ires.execute(workflow)
+    assert report.succeeded
+
+
+def test_workflow_local_artifacts(library_dir):
+    """A workflow folder may carry its own dataset/operator descriptions."""
+    wf_dir = library_dir / "abstractWorkflows" / "LocalWorkflow"
+    (wf_dir / "datasets").mkdir(parents=True)
+    (wf_dir / "datasets" / "localData").write_text(
+        "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+        "Optimization.size=100\n")
+    (wf_dir / "operators").mkdir()
+    (wf_dir / "operators" / "LocalCount").write_text(
+        "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+    (wf_dir / "graph").write_text(
+        "localData,LocalCount,0\nLocalCount,d9,0\nd9,$$target\n")
+    ires = IReS()
+    report = load_asap_library(library_dir, ires)
+    assert "LocalWorkflow" in report.workflows
+    wf = ires.workflows["LocalWorkflow"]
+    assert "localData" in wf.datasets
+    # locally-scoped artefacts do NOT leak into the global registries
+    assert "localData" not in ires.datasets
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(LibraryLayoutError):
+        load_asap_library(tmp_path / "nothing-here", IReS())
+
+
+def test_empty_library_loads_nothing(tmp_path):
+    root = tmp_path / "empty"
+    root.mkdir()
+    report = load_asap_library(root, IReS())
+    assert report.total() == 0
+
+
+def test_roundtrip_dump_and_reload(library_dir, tmp_path):
+    ires = IReS()
+    load_asap_library(library_dir, ires)
+    out = tmp_path / "dumped"
+    dump_asap_library(ires, out)
+
+    ires2 = IReS()
+    report = load_asap_library(out, ires2)
+    assert report.total() == 4
+    assert (ires2.datasets["asapServerLog"].metadata.to_properties()
+            == ires.datasets["asapServerLog"].metadata.to_properties())
+    assert (ires2.library.get("LineCount_spark").metadata.to_properties()
+            == ires.library.get("LineCount_spark").metadata.to_properties())
+    wf2 = ires2.workflows["LineCountWorkflow"]
+    assert wf2.target == "d1"
+    assert ires2.plan(wf2).cost == pytest.approx(
+        ires.plan(ires.workflows["LineCountWorkflow"]).cost)

@@ -1,0 +1,169 @@
+"""Unit tests for the meta-data tree framework (repro.core.metadata)."""
+
+import pytest
+
+from repro.core.metadata import MetadataError, MetadataTree, WILDCARD
+
+
+def tfidf_abstract():
+    """The abstract TF_IDF operator of Figure 2.b."""
+    return MetadataTree.from_properties({
+        "Constraints.Input.number": 1,
+        "Constraints.OpSpecification.Algorithm.name": "TF_IDF",
+        "Constraints.Output.number": 1,
+    })
+
+
+def tfidf_mahout():
+    """The materialized TF_IDF_mahout operator of Figure 3."""
+    return MetadataTree.from_properties({
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+        "Constraints.OpSpecification.Algorithm.name": "TF_IDF",
+        "Constraints.Engine": "Hadoop",
+        "Constraints.Input0.Engine.FS": "HDFS",
+        "Constraints.Input0.type": "sequence",
+        "Constraints.Output0.Engine.FS": "HDFS",
+        "Execution.Argument0": "In0.path",
+        "Optimization.execTime": "1.0",
+    })
+
+
+class TestConstruction:
+    def test_from_mapping_and_get(self):
+        tree = MetadataTree.from_properties({"a.b.c": "x", "a.d": 3})
+        assert tree.get("a.b.c") == "x"
+        assert tree.get("a.d") == "3"
+        assert tree.get("missing") is None
+        assert tree.get("missing", "dflt") == "dflt"
+
+    def test_from_lines_skips_comments_and_blanks(self):
+        tree = MetadataTree.from_properties([
+            "# comment", "", "Constraints.Engine=Spark",
+            "Execution.path = hdfs:///x ",
+        ])
+        assert tree.get("Constraints.Engine") == "Spark"
+        assert tree.get("Execution.path") == "hdfs:///x"
+
+    def test_bad_line_raises(self):
+        with pytest.raises(MetadataError):
+            MetadataTree.from_properties(["no equals sign"])
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "description"
+        path.write_text("Constraints.Engine=Cilk\nOptimization.size=932E06\n")
+        tree = MetadataTree.from_file(path)
+        assert tree.get("Constraints.Engine") == "Cilk"
+        assert tree.get_float("Optimization.size") == pytest.approx(932e6)
+
+    def test_empty_key_raises(self):
+        with pytest.raises(MetadataError):
+            MetadataTree().set("", "x")
+
+    def test_assign_value_to_internal_node_raises(self):
+        tree = MetadataTree.from_properties({"a.b": "x"})
+        with pytest.raises(MetadataError):
+            tree.set("a", "y")
+
+
+class TestAccess:
+    def test_get_float_and_int(self):
+        tree = MetadataTree.from_properties({"n": "42", "x": "1.5"})
+        assert tree.get_int("n") == 42
+        assert tree.get_float("x") == 1.5
+        assert tree.get_int("missing", 7) == 7
+
+    def test_get_float_non_numeric_raises(self):
+        tree = MetadataTree.from_properties({"x": "abc"})
+        with pytest.raises(MetadataError):
+            tree.get_float("x")
+
+    def test_leaves_sorted_lexicographically(self):
+        tree = MetadataTree.from_properties({"b.z": 1, "a": 2, "b.a": 3})
+        assert [k for k, _ in tree.leaves()] == ["a", "b.a", "b.z"]
+
+    def test_size_counts_nodes(self):
+        tree = MetadataTree.from_properties({"a.b": 1, "a.c": 2})
+        # root + a + b + c
+        assert tree.size() == 4
+
+    def test_roundtrip_to_properties(self):
+        props = {"Constraints.Engine": "Spark", "Execution.path": "/x"}
+        assert MetadataTree.from_properties(props).to_properties() == props
+
+    def test_remove(self):
+        tree = MetadataTree.from_properties({"a.b": 1, "a.c": 2})
+        tree.remove("a.b")
+        assert tree.get("a.b") is None
+        assert tree.get("a.c") == "2"
+
+    def test_copy_is_deep(self):
+        tree = MetadataTree.from_properties({"a.b": 1})
+        clone = tree.copy()
+        clone.set("a.b", 2)
+        assert tree.get("a.b") == "1"
+
+    def test_equality_and_hash(self):
+        t1 = MetadataTree.from_properties({"a": 1, "b.c": 2})
+        t2 = MetadataTree.from_properties({"b.c": 2, "a": 1})
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+
+class TestMatching:
+    def test_paper_example_matches(self):
+        """TF_IDF_mahout matches the abstract TF_IDF (Figures 2-3)."""
+        abstract = tfidf_abstract()
+        materialized = tfidf_mahout()
+        assert abstract.node("Constraints").matches(materialized.node("Constraints"))
+
+    def test_match_fails_on_different_algorithm(self):
+        abstract = tfidf_abstract()
+        other = tfidf_mahout()
+        other.set("Constraints.OpSpecification.Algorithm.name", "kmeans")
+        assert not abstract.node("Constraints").matches(other.node("Constraints"))
+
+    def test_match_fails_on_missing_required_field(self):
+        abstract = MetadataTree.from_properties({"Constraints.Engine": "Spark"})
+        provided = MetadataTree.from_properties({"Constraints.Input.number": 1})
+        assert not abstract.node("Constraints").matches(provided.node("Constraints"))
+
+    def test_wildcard_in_abstract_matches_anything(self):
+        abstract = MetadataTree.from_properties({"Engine": WILDCARD})
+        for engine in ("Spark", "Hadoop", "Cilk"):
+            provided = MetadataTree.from_properties({"Engine": engine})
+            assert abstract.matches(provided)
+
+    def test_empty_abstract_value_matches_anything(self):
+        abstract = MetadataTree()
+        abstract.node("x")  # no-op
+        provided = MetadataTree.from_properties({"Engine": "Spark"})
+        assert abstract.matches(provided)
+
+    def test_leaf_vs_subtree_mismatch(self):
+        required = MetadataTree.from_properties({"Engine.FS": "HDFS"})
+        provided = MetadataTree.from_properties({"Engine": "Spark"})
+        assert not required.matches(provided)
+
+    def test_consistency_ignores_one_sided_fields(self):
+        ds = MetadataTree.from_properties({"Engine.FS": "HDFS", "type": "text"})
+        spec = MetadataTree.from_properties({"Engine.FS": "HDFS"})
+        assert spec.consistent_with(ds)
+        assert ds.consistent_with(spec)
+
+    def test_consistency_fails_on_shared_conflict(self):
+        ds = MetadataTree.from_properties({"type": "text"})
+        spec = MetadataTree.from_properties({"type": "arff"})
+        assert not spec.consistent_with(ds)
+
+    def test_consistency_wildcard_passes(self):
+        ds = MetadataTree.from_properties({"type": "*"})
+        spec = MetadataTree.from_properties({"type": "arff"})
+        assert spec.consistent_with(ds)
+
+    def test_merged_with_overlays_leaves(self):
+        base = MetadataTree.from_properties({"a": 1, "b": 2})
+        overlay = MetadataTree.from_properties({"b": 3, "c": 4})
+        merged = base.merged_with(overlay)
+        assert merged.to_properties() == {"a": "1", "b": "3", "c": "4"}
+        assert base.get("b") == "2"  # original untouched

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for model-zoo invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models import (
+    Bagging,
+    GaussianProcess,
+    LinearRegression,
+    RegressionByDiscretization,
+    RegressionTree,
+    rmse,
+)
+from repro.moea.nsga2 import dominates
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def dataset(draw, min_rows=8, max_rows=40, max_cols=4):
+    n = draw(st.integers(min_rows, max_rows))
+    d = draw(st.integers(1, max_cols))
+    X = draw(
+        hnp.arrays(np.float64, (n, d), elements=finite)
+    )
+    y = draw(hnp.arrays(np.float64, (n,), elements=finite))
+    return X, y
+
+
+@given(dataset())
+@settings(max_examples=25, deadline=None)
+def test_tree_predictions_within_target_range(data):
+    """A regression tree predicts leaf means, so stays inside [min(y), max(y)]."""
+    X, y = data
+    tree = RegressionTree().fit(X, y)
+    preds = tree.predict(X)
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@given(dataset())
+@settings(max_examples=25, deadline=None)
+def test_bagging_predictions_within_target_range(data):
+    X, y = data
+    preds = Bagging(n_estimators=5).fit(X, y).predict(X)
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@given(dataset())
+@settings(max_examples=25, deadline=None)
+def test_discretization_predictions_within_target_range(data):
+    X, y = data
+    preds = RegressionByDiscretization().fit(X, y).predict(X)
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@given(dataset(min_rows=4))
+@settings(max_examples=25, deadline=None)
+def test_models_are_deterministic(data):
+    """Same data, same seed -> identical predictions (models are pure)."""
+    X, y = data
+    p1 = Bagging(seed=5).fit(X, y).predict(X)
+    p2 = Bagging(seed=5).fit(X, y).predict(X)
+    np.testing.assert_array_equal(p1, p2)
+
+
+@given(dataset(min_rows=6), st.floats(min_value=-50, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_linear_regression_translation_equivariance(data, shift):
+    """OLS predictions shift exactly with a constant shift of the target."""
+    X, y = data
+    base = LinearRegression().fit(X, y).predict(X)
+    shifted = LinearRegression().fit(X, y + shift).predict(X)
+    np.testing.assert_allclose(shifted, base + shift, rtol=1e-6, atol=1e-5)
+
+
+@given(dataset(min_rows=6))
+@settings(max_examples=15, deadline=None)
+def test_gp_finite_predictions(data):
+    X, y = data
+    preds = GaussianProcess().fit(X, y).predict(X)
+    assert np.all(np.isfinite(preds))
+
+
+@given(st.lists(st.tuples(finite, finite), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_dominance_is_irreflexive_and_antisymmetric(points):
+    for p in points:
+        a = np.array(p)
+        assert not dominates(a, a)
+    for p in points:
+        for q in points:
+            a, b = np.array(p), np.array(q)
+            assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(dataset(min_rows=4))
+@settings(max_examples=25, deadline=None)
+def test_rmse_nonnegative_and_zero_on_self(data):
+    _, y = data
+    assert rmse(y, y) == 0.0
+    assert rmse(y, y + 1.0) > 0.0

@@ -1,0 +1,120 @@
+"""Unit tests for the NSGA-II implementation (repro.moea)."""
+
+import numpy as np
+import pytest
+
+from repro.moea import NSGA2, Individual, Problem, crowding_distance, fast_non_dominated_sort
+from repro.moea.nsga2 import dominates
+
+
+def make_individuals(points):
+    return [Individual(x=np.zeros(1), objectives=np.array(p, dtype=float)) for p in points]
+
+
+def test_dominates_basic():
+    assert dominates(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+    assert dominates(np.array([1.0, 2.0]), np.array([1.0, 3.0]))
+    assert not dominates(np.array([1.0, 3.0]), np.array([2.0, 2.0]))
+    assert not dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+
+def test_fast_non_dominated_sort_fronts():
+    pop = make_individuals([(1, 4), (2, 3), (3, 2), (4, 1), (2, 4), (4, 4)])
+    fronts = fast_non_dominated_sort(pop)
+    front0 = {tuple(ind.objectives) for ind in fronts[0]}
+    assert front0 == {(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)}
+    assert all(ind.rank == 0 for ind in fronts[0])
+    # (2,4) dominated by (2,3); (4,4) dominated by several.
+    later = {tuple(ind.objectives) for f in fronts[1:] for ind in f}
+    assert later == {(2.0, 4.0), (4.0, 4.0)}
+
+
+def test_sort_single_front_when_all_nondominated():
+    pop = make_individuals([(1, 3), (2, 2), (3, 1)])
+    fronts = fast_non_dominated_sort(pop)
+    assert len(fronts) == 1
+
+
+def test_crowding_distance_boundaries_infinite():
+    pop = make_individuals([(1, 4), (2, 3), (3, 2), (4, 1)])
+    crowding_distance(pop)
+    by_first = sorted(pop, key=lambda i: i.objectives[0])
+    assert by_first[0].crowding == float("inf")
+    assert by_first[-1].crowding == float("inf")
+    assert all(np.isfinite(i.crowding) for i in by_first[1:-1])
+
+
+def test_crowding_distance_small_front_all_infinite():
+    pop = make_individuals([(1, 2), (2, 1)])
+    crowding_distance(pop)
+    assert all(i.crowding == float("inf") for i in pop)
+
+
+def test_problem_validates_bounds():
+    with pytest.raises(ValueError):
+        Problem(1, [1.0], [0.0], lambda x: (x[0],))
+
+
+def test_problem_repair_clips_and_rounds():
+    p = Problem(1, [0, 0], [10, 10], lambda x: (0.0,), integer=[True, False])
+    repaired = p.repair(np.array([3.7, 11.2]))
+    assert repaired[0] == 4.0
+    assert repaired[1] == 10.0
+
+
+def test_nsga2_rejects_odd_population():
+    p = Problem(1, [0.0], [1.0], lambda x: (x[0],))
+    with pytest.raises(ValueError):
+        NSGA2(p, population_size=5)
+
+
+def test_nsga2_single_objective_converges_to_minimum():
+    p = Problem(1, [-5.0], [5.0], lambda x: ((x[0] - 1.7) ** 2,))
+    front = NSGA2(p, population_size=20, generations=40, seed=1).run()
+    best = min(front, key=lambda ind: ind.objectives[0])
+    assert best.x[0] == pytest.approx(1.7, abs=0.1)
+
+
+def test_nsga2_zdt1_front_quality():
+    """On ZDT1 the true Pareto front is f2 = 1 - sqrt(f1); NSGA-II should get close."""
+
+    def zdt1(x):
+        f1 = x[0]
+        g = 1 + 9 * np.mean(x[1:])
+        f2 = g * (1 - np.sqrt(f1 / g))
+        return (f1, f2)
+
+    n = 6
+    p = Problem(2, [0.0] * n, [1.0] * n, zdt1)
+    front = NSGA2(p, population_size=40, generations=80, seed=3).run()
+    # All returned points mutually non-dominated.
+    for a in front:
+        for b in front:
+            assert not dominates(a.objectives, b.objectives) or a is b
+    # Mean distance to the analytic front should be small.
+    gaps = [ind.objectives[1] - (1 - np.sqrt(ind.objectives[0])) for ind in front]
+    assert np.mean(gaps) < 0.6
+
+
+def test_nsga2_respects_integer_variables():
+    p = Problem(
+        1, [0, 0.0], [8, 1.0], lambda x: (abs(x[0] - 3) + x[1],), integer=[True, False]
+    )
+    front = NSGA2(p, population_size=16, generations=25, seed=9).run()
+    for ind in front:
+        assert ind.x[0] == int(ind.x[0])
+
+
+def test_nsga2_evaluate_shape_checked():
+    p = Problem(2, [0.0], [1.0], lambda x: (x[0],))  # wrong arity
+    with pytest.raises(ValueError):
+        NSGA2(p, population_size=8, generations=1).run()
+
+
+def test_nsga2_deterministic_given_seed():
+    p = Problem(1, [-1.0], [1.0], lambda x: (x[0] ** 2,))
+    f1 = NSGA2(p, population_size=12, generations=10, seed=7).run()
+    f2 = NSGA2(p, population_size=12, generations=10, seed=7).run()
+    xs1 = sorted(ind.x[0] for ind in f1)
+    xs2 = sorted(ind.x[0] for ind in f2)
+    np.testing.assert_allclose(xs1, xs2)

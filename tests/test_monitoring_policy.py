@@ -1,0 +1,125 @@
+"""Tests for monitoring records/timelines and optimization policies."""
+
+import pytest
+
+from repro.core import OptimizationPolicy
+from repro.engines import MetricRecord, MetricsCollector
+from repro.engines.monitoring import TIMELINE_MAX_SAMPLES, synthesize_timeline
+
+
+class TestPolicy:
+    def test_default_minimizes_exec_time(self):
+        policy = OptimizationPolicy()
+        assert policy.metrics == ("execTime",)
+        assert policy.scalarize({"execTime": 3.0, "cost": 99.0}) == 3.0
+
+    def test_weighted_blend(self):
+        policy = OptimizationPolicy({"execTime": 1.0, "cost": 0.5})
+        assert policy.scalarize({"execTime": 2.0, "cost": 4.0}) == 4.0
+
+    def test_missing_metric_raises(self):
+        policy = OptimizationPolicy({"cost": 1.0})
+        with pytest.raises(KeyError):
+            policy.scalarize({"execTime": 1.0})
+
+    def test_custom_function(self):
+        policy = OptimizationPolicy(
+            function=lambda m: max(m["execTime"], m["cost"]))
+        assert policy.scalarize({"execTime": 2.0, "cost": 7.0}) == 7.0
+        assert policy.metrics == ()
+
+    def test_weights_and_function_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            OptimizationPolicy({"execTime": 1.0}, function=lambda m: 0.0)
+
+    def test_classmethod_constructors(self):
+        assert OptimizationPolicy.min_exec_time().weights == {"execTime": 1.0}
+        assert OptimizationPolicy.min_cost().weights == {"cost": 1.0}
+
+
+class TestTimeline:
+    def test_sample_count_scales_with_duration(self):
+        short = synthesize_timeline(10.0, 4, 8.0)
+        long = synthesize_timeline(500.0, 4, 8.0)
+        assert len(short["cpu"]) < len(long["cpu"])
+
+    def test_sample_count_capped(self):
+        huge = synthesize_timeline(1e9, 4, 8.0)
+        assert len(huge["cpu"]) == TIMELINE_MAX_SAMPLES
+
+    def test_metrics_in_plausible_ranges(self):
+        timeline = synthesize_timeline(120.0, 8, 16.0, seed=1)
+        assert set(timeline) == {"cpu", "ram", "net_mbps", "iops"}
+        assert all(0 <= v <= 1 for v in timeline["cpu"])
+        assert all(0 <= v <= 16.0 for v in timeline["ram"])
+        assert all(v >= 0 for v in timeline["net_mbps"])
+
+
+class TestMetricRecord:
+    def test_features_include_params(self):
+        record = MetricRecord(
+            "op", "alg", "E", 12.0, 0.0,
+            input_size=1e6, input_count=1e3, cores=4, memory_gb=8.0,
+            params={"iterations": 10, "label": "not-numeric"},
+        )
+        features = record.features()
+        assert features["param_iterations"] == 10.0
+        assert "param_label" not in features
+        assert features["input_size"] == 1e6
+
+    def test_collector_filters(self):
+        collector = MetricsCollector()
+        ok = MetricRecord("a", "alg", "E1", 1.0, 0.0)
+        bad = MetricRecord("a", "alg", "E1", float("inf"), 0.0, success=False)
+        other = MetricRecord("b", "other", "E2", 2.0, 0.0)
+        for r in (ok, bad, other):
+            collector.record(r)
+        assert len(collector) == 3
+        assert collector.for_operator("alg", "E1") == [ok]
+        assert collector.for_operator("alg", "E1", successes_only=False) == [ok, bad]
+        assert collector.failures() == [bad]
+
+    def test_training_matrix_empty_when_no_records(self):
+        collector = MetricsCollector()
+        X, y, names = collector.training_matrix("alg", "E")
+        assert X.size == 0 and y.size == 0 and names == []
+
+    def test_training_matrix_explicit_features(self):
+        collector = MetricsCollector()
+        collector.record(MetricRecord("a", "alg", "E", 5.0, 0.0,
+                                      input_count=7, cores=2))
+        X, y, names = collector.training_matrix(
+            "alg", "E", feature_names=["input_count", "missing"])
+        assert names == ["input_count", "missing"]
+        assert X.tolist() == [[7.0, 0.0]]
+        assert y.tolist() == [5.0]
+
+
+class TestCollectorPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.core import ProfileSpec, Profiler
+        from repro.engines import build_default_cloud
+
+        cloud = build_default_cloud(seed=17)
+        Profiler(cloud).profile(ProfileSpec("TF_IDF", "Spark",
+                                            counts=[1e3, 1e4, 1e5]))
+        path = tmp_path / "runs.jsonl"
+        assert cloud.collector.save(path) == 3
+
+        restored = MetricsCollector()
+        assert restored.load(path) == 3
+        a = cloud.collector.training_matrix("TF_IDF", "Spark")
+        b = restored.training_matrix("TF_IDF", "Spark")
+        assert a[0].tolist() == b[0].tolist()
+        assert a[1].tolist() == b[1].tolist()
+
+    def test_failures_survive_roundtrip(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record(MetricRecord("x", "a", "E", float("inf"), 0.0,
+                                      success=False, error="OOM"))
+        path = tmp_path / "fail.jsonl"
+        collector.save(path)
+        restored = MetricsCollector()
+        restored.load(path)
+        assert restored.failures()[0].exec_time == float("inf")
+        assert restored.failures()[0].error == "OOM"

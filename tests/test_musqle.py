@@ -1,0 +1,391 @@
+"""Tests for the MuSQLE side system (repro.musqle)."""
+
+import numpy as np
+import pytest
+
+from repro.engines import MemoryExceededError, SimClock
+from repro.musqle import (
+    ALL_QUERIES,
+    FILTER_QUERIES,
+    JOIN_QUERIES,
+    JoinGraph,
+    LocalSQLEngine,
+    Metastore,
+    MemSQLCostModel,
+    MuSQLE,
+    MultiEngineOptimizer,
+    PostgresCostModel,
+    QueryEstimate,
+    SparkSQLCostModel,
+    build_default_deployment,
+    estimate_filtered,
+    estimate_join,
+)
+from repro.musqle.cost_models import JoinShape
+from repro.musqle.optimizer import NoPlanError
+from repro.musqle.plan import MovePlanNode, SQLPlanNode, count_moves, engines_used
+from repro.musqle.queries import query_tables
+from repro.sqlengine import generate_tpch, parse_query
+from repro.sqlengine.parser import Filter, JoinCondition
+from repro.sqlengine.schema import ColumnStats, TableStats
+from repro.sqlengine.tpch import schemas
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_default_deployment(scale_factor=2.0, seed=3)
+
+
+def stats_of(n_rows, distinct, cols=("k",)):
+    return TableStats(n_rows, len(cols), {
+        c: ColumnStats(distinct, 0.0, float(distinct)) for c in cols
+    })
+
+
+class TestCardinality:
+    def test_equality_filter_selectivity(self):
+        s = stats_of(1000, 100)
+        out = estimate_filtered(s, [Filter("t", "k", "=", 5)])
+        assert out.n_rows == 10
+
+    def test_range_filter_interpolation(self):
+        s = stats_of(1000, 100)  # values span [0, 100]
+        out = estimate_filtered(s, [Filter("t", "k", ">", 75.0)])
+        assert out.n_rows == pytest.approx(250, rel=0.05)
+
+    def test_filters_compose(self):
+        s = stats_of(1000, 10)
+        out = estimate_filtered(
+            s, [Filter("t", "k", "=", 1), Filter("t", "k", "!=", 2)])
+        assert out.n_rows == pytest.approx(90, abs=2)
+
+    def test_join_cardinality_formula(self):
+        left = stats_of(1000, 100, cols=("a",))
+        right = stats_of(500, 50, cols=("b",))
+        out = estimate_join(left, right, [JoinCondition("l", "a", "r", "b")])
+        assert out.n_rows == 1000 * 500 // 100
+        assert set(out.columns) == {"a", "b"}
+
+    def test_cartesian_when_no_condition(self):
+        out = estimate_join(stats_of(10, 10), stats_of(20, 20, cols=("c",)), [])
+        assert out.n_rows == 200
+
+
+class TestCostModels:
+    def test_postgres_pages(self):
+        model = PostgresCostModel()
+        # 1024 rows x 1 col x 8B = exactly one page
+        assert model.scan_cost(stats_of(1024, 10)) == pytest.approx(1.0)
+
+    def test_memsql_memory_cliff(self):
+        model = MemSQLCostModel(memory_capacity_bytes=1000.0)
+        big = JoinShape(left_rows=1e6, right_rows=1e6, out_rows=1e6)
+        assert model.memory_needed_bytes(big) > 1000.0
+
+    def test_spark_broadcast_cheaper_for_small_side(self):
+        model = SparkSQLCostModel(broadcast_threshold_rows=1e5)
+        shape = JoinShape(left_rows=100, right_rows=1e6, out_rows=1e4)
+        assert model.bhj_cost(shape) < model.smj_cost(shape)
+        assert model.join_cost(shape) == model.bhj_cost(shape)
+
+    def test_spark_smj_for_two_big_sides(self):
+        model = SparkSQLCostModel(broadcast_threshold_rows=10)
+        shape = JoinShape(left_rows=1e6, right_rows=1e6, out_rows=1e5)
+        assert model.join_cost(shape) == model.smj_cost(shape)
+
+    def test_seconds_linear_in_native_cost(self):
+        model = PostgresCostModel(page_seconds=1e-3)
+        assert model.seconds(1000) == pytest.approx(model.fixed_seconds + 1.0)
+
+
+class TestLocalEngine:
+    def test_scan_estimate_uses_real_stats(self, deployment):
+        pg = deployment.engines["PostgreSQL"]
+        est = pg.get_stats("SELECT * FROM nation")
+        assert est.stats.n_rows == 25
+
+    def test_filter_estimate_close_to_actual(self, deployment):
+        pg = deployment.engines["PostgreSQL"]
+        est = pg.get_stats("SELECT * FROM nation WHERE n_name = 'GERMANY'")
+        assert est.stats.n_rows == 1
+
+    def test_injected_stats_visible_to_explain(self, deployment):
+        spark = deployment.engines["SparkSQL"]
+        spark.inject_stats("phantom", stats_of(1234, 50, cols=("o_orderkey",)))
+        est = spark.get_stats(
+            "SELECT * FROM phantom, orders WHERE phantom.o_orderkey = orders.o_orderkey")
+        assert est.stats.n_rows > 0
+        assert spark.inject_calls >= 1
+
+    def test_execute_charges_clock(self, deployment):
+        pg = deployment.engines["PostgreSQL"]
+        before = deployment.clock.now
+        result = pg.execute("SELECT * FROM region")
+        assert result.n_rows == 5
+        assert deployment.clock.now > before
+
+    def test_execute_missing_table_raises(self, deployment):
+        pg = deployment.engines["PostgreSQL"]
+        with pytest.raises(Exception):
+            pg.execute("SELECT * FROM lineitem")
+
+    def test_load_table_then_query(self, deployment):
+        pg = deployment.engines["PostgreSQL"]
+        orders = deployment.tables["orders"]
+        seconds = pg.load_table("orders_copy", orders.renamed("orders_copy"))
+        assert seconds > 0
+        est = pg.get_stats("SELECT * FROM orders_copy")
+        assert est.stats.n_rows == orders.n_rows
+
+    def test_memsql_oom_on_estimate(self):
+        clock = SimClock()
+        tables = generate_tpch(2.0, seed=0)
+        mem = LocalSQLEngine(
+            "MemSQL", MemSQLCostModel(memory_capacity_bytes=100.0), clock,
+            {"orders": tables["orders"], "lineitem": tables["lineitem"]},
+        )
+        est = mem.get_stats(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey")
+        assert est.native_cost == float("inf")
+        with pytest.raises(MemoryExceededError):
+            mem.execute("SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey")
+
+
+class TestJoinGraph:
+    def test_connectivity(self, deployment):
+        sch = schemas(deployment.tables)
+        q = parse_query(JOIN_QUERIES[5], sch)
+        graph = JoinGraph(q)
+        assert graph.is_connected(graph.full_mask)
+        # customer and lineitem are NOT directly connected
+        mask = graph.mask_of(["customer", "lineitem"])
+        assert not graph.is_connected(mask)
+
+    def test_cross_conditions(self, deployment):
+        sch = schemas(deployment.tables)
+        q = parse_query(JOIN_QUERIES[5], sch)
+        graph = JoinGraph(q)
+        m1 = graph.mask_of(["customer"])
+        m2 = graph.mask_of(["orders", "lineitem"])
+        conds = graph.cross_conditions(m1, m2)
+        assert len(conds) == 1
+        assert conds[0].left_column == "c_custkey"
+
+
+class TestOptimizer:
+    def test_single_table_scan_plan(self, deployment):
+        m = MuSQLE(deployment)
+        plan, _ = m.optimize("SELECT * FROM region WHERE r_name = 'ASIA'")
+        assert isinstance(plan, SQLPlanNode)
+        assert plan.engine == "PostgreSQL"
+        assert plan.inputs == []
+
+    def test_colocated_join_needs_no_move(self, deployment):
+        m = MuSQLE(deployment)
+        plan, _ = m.optimize(JOIN_QUERIES[0])  # region ⋈ nation, both in PG
+        assert count_moves(plan) == 0
+        assert engines_used(plan) == {"PostgreSQL"}
+
+    def test_cross_engine_join_moves_something(self, deployment):
+        m = MuSQLE(deployment)
+        plan, _ = m.optimize(JOIN_QUERIES[2])  # customer(PG) ⋈ orders(Spark)
+        assert count_moves(plan) >= 1
+
+    def test_all_queries_optimizable_and_executable(self, deployment):
+        m = MuSQLE(deployment)
+        for sql in ALL_QUERIES:
+            plan, stats = m.optimize(sql)
+            assert np.isfinite(plan.est_seconds)
+            assert stats.csg_cmp_pairs >= 1
+            table, info = m.execute(plan)
+            assert info.sim_seconds >= 0
+
+    def test_plan_result_matches_direct_execution(self, deployment):
+        """The multi-engine plan returns exactly the rows a single catalog
+        execution would."""
+        from repro.sqlengine import execute_query
+
+        m = MuSQLE(deployment)
+        sql = FILTER_QUERIES[4]  # Q13
+        plan, _ = m.optimize(sql)
+        table, _ = m.execute(plan)
+        q = parse_query(sql, schemas(deployment.tables))
+        expected = execute_query(q, deployment.tables)
+        assert table.n_rows == expected.n_rows
+
+    def test_optimizer_requires_engines(self):
+        with pytest.raises(ValueError):
+            MultiEngineOptimizer({})
+
+    def test_missing_table_everywhere_raises(self, deployment):
+        from repro.sqlengine.parser import SQLSyntaxError
+
+        m = MuSQLE(deployment)
+        # strip 'region' from PG: with no engine holding it, the query is
+        # either unparseable (table unknown to every schema) or unplannable
+        pg = deployment.engines["PostgreSQL"]
+        region = pg.resident.pop("region")
+        try:
+            with pytest.raises((NoPlanError, SQLSyntaxError)):
+                m.optimize(JOIN_QUERIES[0])
+        finally:
+            pg.resident["region"] = region
+
+    def test_estimation_error_reasonable(self, deployment):
+        """Estimated vs simulated times stay within a small factor (Fig 6)."""
+        m = MuSQLE(deployment)
+        for sql in JOIN_QUERIES[:6]:
+            plan, _ = m.optimize(sql)
+            _, info = m.execute(plan)
+            if info.sim_seconds > 0.05:
+                assert plan.est_seconds == pytest.approx(
+                    info.sim_seconds, rel=1.0)
+
+
+class TestMetastore:
+    def test_register_and_lookup(self):
+        store = Metastore()
+        store.register_table("orders", "SparkSQL")
+        assert store.engines_holding("orders") == {"SparkSQL"}
+        assert store.engines_holding("nothing") == set()
+
+    def test_calibration_recovers_linear_translation(self):
+        store = Metastore()
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            native = rng.uniform(10, 1000)
+            store.log_measurement("E", native, 0.002 * native + 0.5)
+        slope, intercept = store.calibrate("E")
+        assert slope == pytest.approx(0.002, rel=0.01)
+        assert intercept == pytest.approx(0.5, rel=0.05)
+        est = QueryEstimate(native_cost=500.0, stats=stats_of(1, 1),
+                            est_seconds=999.0)
+        assert store.translate("E", est) == pytest.approx(1.5, rel=0.01)
+
+    def test_translate_without_calibration_uses_engine_estimate(self):
+        store = Metastore()
+        est = QueryEstimate(native_cost=10.0, stats=stats_of(1, 1), est_seconds=3.3)
+        assert store.translate("E", est) == 3.3
+
+    def test_correlation(self):
+        store = Metastore()
+        for native in (1.0, 2.0, 3.0, 4.0):
+            store.log_measurement("E", native, native * 2)
+        assert store.correlation("E") == pytest.approx(1.0)
+        assert store.correlation("unknown") is None
+
+    def test_infinite_measurements_ignored(self):
+        store = Metastore()
+        store.log_measurement("E", float("inf"), 1.0)
+        assert store.measurements.get("E", []) == []
+
+
+class TestQueries:
+    def test_query_counts(self):
+        assert len(JOIN_QUERIES) == 9
+        assert len(FILTER_QUERIES) == 9
+        assert len(ALL_QUERIES) == 18
+
+    def test_all_queries_parse(self, deployment):
+        sch = schemas(deployment.tables)
+        for sql in ALL_QUERIES:
+            q = parse_query(sql, sch)
+            assert len(q.tables) >= 1
+
+    def test_query_tables_helper(self):
+        assert query_tables(JOIN_QUERIES[0]) == ["region", "nation"]
+
+    def test_filter_queries_have_filters(self, deployment):
+        sch = schemas(deployment.tables)
+        for sql in FILTER_QUERIES:
+            assert parse_query(sql, sch).filters
+
+
+class TestCalibrationLoop:
+    def test_runs_improve_translation(self, deployment):
+        """Executing queries populates the log; calibration tightens
+        estimates (the §V-B machinery)."""
+        m = MuSQLE(deployment)
+        for sql in JOIN_QUERIES[:5]:
+            m.run(sql)
+        m.metastore.calibrate_all()
+        assert m.metastore.calibration  # at least one engine calibrated
+
+
+class TestConfidenceDiscarding:
+    """§V-B: estimates of low-correlation engines get randomly discarded."""
+
+    def _musqle_with_correlations(self, good: float):
+        import numpy as np
+        from repro.musqle.optimizer import MultiEngineOptimizer
+
+        deployment = build_default_deployment(scale_factor=1.0, seed=21)
+        store = deployment.metastore()
+        rng = np.random.default_rng(0)
+        for engine in deployment.engines:
+            for _ in range(30):
+                native = float(rng.uniform(10, 1000))
+                if engine == "MemSQL" and good < 1.0:
+                    # uncorrelated garbage estimates for MemSQL
+                    store.log_measurement(engine, native,
+                                          float(rng.uniform(0.1, 10.0)))
+                else:
+                    store.log_measurement(engine, native, 0.001 * native)
+        optimizer = MultiEngineOptimizer(
+            deployment.engines, store, use_confidence=True, seed=3)
+        return deployment, optimizer, store
+
+    def test_correlated_engines_never_discarded(self):
+        _, optimizer, store = self._musqle_with_correlations(good=1.0)
+        assert all(not optimizer._distrusted(e)
+                   for e in ("PostgreSQL", "SparkSQL")
+                   for _ in range(20))
+
+    def test_uncorrelated_engine_mostly_discarded(self):
+        _, optimizer, store = self._musqle_with_correlations(good=0.0)
+        corr = store.correlation("MemSQL")
+        assert abs(corr) < 0.5
+        discards = sum(optimizer._distrusted("MemSQL") for _ in range(50))
+        assert discards >= 25  # discarded with high probability
+
+    def test_optimization_still_succeeds_with_distrust(self):
+        deployment, optimizer, _ = self._musqle_with_correlations(good=0.0)
+        plan, _ = optimizer.optimize(JOIN_QUERIES[3])
+        assert plan.est_seconds >= 0
+
+    def test_confidence_off_by_default(self):
+        deployment = build_default_deployment(scale_factor=1.0, seed=22)
+        m = MuSQLE(deployment)
+        assert m.optimizer.use_confidence is False
+        assert not m.optimizer._distrusted("MemSQL")
+
+
+class TestRunFinalization:
+    """run() applies the query's projection/aggregation on the final result."""
+
+    def test_projection_applied(self, deployment):
+        m = MuSQLE(deployment)
+        table, _, _ = m.run(
+            "SELECT c_custkey, o_totalprice FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        assert table.column_names == ["c_custkey", "o_totalprice"]
+
+    def test_aggregate_query_end_to_end(self, deployment):
+        """A federated GROUP BY: SPJ core across engines, aggregation at
+        the mediator."""
+        m = MuSQLE(deployment)
+        table, _, _ = m.run(
+            "SELECT n_name, count(*) AS orders_count "
+            "FROM customer, orders, nation "
+            "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey "
+            "GROUP BY n_name")
+        assert set(table.column_names) == {"n_name", "orders_count"}
+        # grand total equals the number of orders (every order has a nation)
+        assert table.column("orders_count").sum() == \
+            deployment.tables["orders"].n_rows
+
+    def test_select_star_unchanged(self, deployment):
+        m = MuSQLE(deployment)
+        table, _, _ = m.run(JOIN_QUERIES[0])
+        assert "r_name" in table.column_names
+        assert "n_name" in table.column_names

@@ -1,0 +1,107 @@
+"""Tests for the discrete-event parallel plan simulator (repro.execution.parallel)."""
+
+import pytest
+
+from repro.core import IReS
+from repro.execution.parallel import ParallelSimulator, SchedulingError
+from repro.scenarios import setup_helloworld, setup_relational_analytics
+
+
+@pytest.fixture
+def relational():
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    return ires, ires.plan(make(10))
+
+
+def test_chain_has_no_parallelism():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    plan = ires.plan(make())
+    report = ParallelSimulator(ires.cloud, seed=1, charge_clock=False).simulate(plan)
+    assert report.makespan == pytest.approx(report.serial_time)
+    assert report.max_concurrency == 1
+
+
+def test_parallel_branches_overlap(relational):
+    """q1@PostgreSQL and q2@MemSQL are independent -> they overlap."""
+    ires, plan = relational
+    report = ParallelSimulator(ires.cloud, seed=1, charge_clock=False).simulate(plan)
+    assert report.makespan < report.serial_time
+    assert report.speedup > 1.0
+    assert report.max_concurrency >= 2
+
+
+def test_dependencies_respected(relational):
+    ires, plan = relational
+    report = ParallelSimulator(ires.cloud, seed=2, charge_clock=False).simulate(plan)
+    finish_of = {}
+    for scheduled in report.schedule:
+        for out in scheduled.step.outputs:
+            finish_of[id(out)] = scheduled.finish
+    for scheduled in report.schedule:
+        for inp in scheduled.step.inputs:
+            if id(inp) in finish_of and finish_of[id(inp)] != scheduled.finish:
+                # a producing step must have finished before this one starts
+                # (equal ids only occur for the step's own outputs)
+                if finish_of[id(inp)] > scheduled.start + 1e-9:
+                    raise AssertionError("started before its input was ready")
+
+
+def test_makespan_not_below_critical_path(relational):
+    ires, plan = relational
+    report = ParallelSimulator(ires.cloud, seed=3, charge_clock=False).simulate(plan)
+    # the longest chain of dependent steps bounds the makespan from below
+    longest_single = max(s.duration for s in report.schedule)
+    assert report.makespan >= longest_single
+
+
+def test_capacity_constraints_serialize_steps():
+    """On a tiny cluster the parallel branches cannot co-run."""
+    from repro.engines import Cluster, ContainerRequest, MultiEngineCloud
+    from repro.engines.registry import build_default_cloud
+
+    big = IReS()
+    make = setup_relational_analytics(big)
+    plan = big.plan(make(10))
+    wide = ParallelSimulator(big.cloud, seed=4, charge_clock=False).simulate(plan)
+
+    # shrink the cluster below two concurrent default requests
+    small_cloud = build_default_cloud(n_nodes=2)
+    small = IReS(cloud=small_cloud)
+    make2 = setup_relational_analytics(small)
+    plan2 = small.plan(make2(10))
+    for engine in small_cloud.engines.values():
+        if not engine.centralized:  # centralized engines keep 1 container
+            engine.default_request = ContainerRequest(cores=4, memory_gb=8.0,
+                                                      instances=2)
+    narrow = ParallelSimulator(small_cloud, seed=4, charge_clock=False).simulate(plan2)
+    assert narrow.max_concurrency <= wide.max_concurrency
+
+
+def test_oversized_step_raises():
+    from repro.engines import ContainerRequest, build_default_cloud
+
+    cloud = build_default_cloud(n_nodes=2)
+    ires = IReS(cloud=cloud)
+    make = setup_helloworld(ires)
+    plan = ires.plan(make())
+    for engine in cloud.engines.values():
+        engine.default_request = ContainerRequest(cores=4, memory_gb=8.0,
+                                                  instances=50)
+    with pytest.raises(SchedulingError):
+        ParallelSimulator(cloud, seed=5, charge_clock=False).simulate(plan)
+
+
+def test_clock_charged_with_makespan(relational):
+    ires, plan = relational
+    before = ires.cloud.clock.now
+    report = ParallelSimulator(ires.cloud, seed=6).simulate(plan)
+    assert ires.cloud.clock.now == pytest.approx(before + report.makespan)
+
+
+def test_deterministic_given_seed(relational):
+    ires, plan = relational
+    a = ParallelSimulator(ires.cloud, seed=7, charge_clock=False).simulate(plan)
+    b = ParallelSimulator(ires.cloud, seed=7, charge_clock=False).simulate(plan)
+    assert a.makespan == b.makespan

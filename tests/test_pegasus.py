@@ -1,0 +1,83 @@
+"""Tests for the Pegasus-style workflow generators (repro.workflows)."""
+
+import pytest
+
+from repro.core import Planner
+from repro.core.planner import MetadataCostEstimator
+from repro.workflows import CATEGORIES, generate, synthetic_library
+
+
+@pytest.mark.parametrize("category", sorted(CATEGORIES))
+@pytest.mark.parametrize("n_tasks", [30, 100])
+def test_generated_workflows_validate(category, n_tasks):
+    wf = generate(category, n_tasks)
+    wf.validate()  # DAG, single producers, reachable target
+    assert wf.target is not None
+    ops = len(wf.operators)
+    assert 0.5 * n_tasks <= ops <= 2.0 * n_tasks  # size roughly on target
+
+
+@pytest.mark.parametrize("category", sorted(CATEGORIES))
+def test_generated_workflows_plannable(category):
+    wf = generate(category, 30)
+    lib = synthetic_library(wf, 3)
+    plan = Planner(lib, MetadataCostEstimator()).plan(wf)
+    assert plan.cost > 0
+    planned_ops = {s.abstract_name for s in plan.steps if not s.is_move}
+    assert planned_ops == set(wf.operators)
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError):
+        generate("NotAWorkflow", 30)
+
+
+def test_montage_has_high_degree_nodes():
+    """Montage is 'more connected, having multiple nodes with high in- and
+    out-degrees' — the property that doubles its planning time (Fig 14)."""
+    wf = generate("Montage", 100, seed=1)
+    max_fan_in = max(len(v) for v in wf.op_inputs.values())
+    assert max_fan_in >= 10  # mConcatFit/mImgTbl aggregate many diffs
+    # projections feed several consumers
+    consumers = {}
+    for op, inputs in wf.op_inputs.items():
+        for ds in inputs:
+            consumers[ds] = consumers.get(ds, 0) + 1
+    assert max(consumers.values()) >= 3
+
+
+def test_epigenomics_is_pipelined():
+    """Epigenomics is parallel chains: all operators have fan-in 1 except
+    the merge."""
+    wf = generate("Epigenomics", 60)
+    fan_ins = sorted(len(v) for v in wf.op_inputs.values())
+    assert fan_ins[-2] == 1  # only one aggregation node
+    assert fan_ins[-1] > 1
+
+
+def test_generators_deterministic():
+    a = generate("Montage", 50, seed=3)
+    b = generate("Montage", 50, seed=3)
+    assert sorted(a.operators) == sorted(b.operators)
+    assert a.op_inputs == b.op_inputs
+
+
+def test_synthetic_library_size_and_matching():
+    wf = generate("CyberShake", 30)
+    lib = synthetic_library(wf, 4)
+    algorithms = {op.algorithm for op in wf.operators.values()}
+    assert len(lib) == 4 * len(algorithms)
+    some_abstract = next(iter(wf.operators.values()))
+    matches = lib.find_materialized(some_abstract)
+    assert len(matches) == 4
+
+
+def test_more_engines_cannot_worsen_plan():
+    """A superset library can only find equal-or-better plans."""
+    wf = generate("Inspiral", 40, seed=2)
+    lib2 = synthetic_library(wf, 2, seed=9)
+    lib4 = synthetic_library(wf, 4, seed=9)
+    est = MetadataCostEstimator()
+    cost2 = Planner(lib2, est).plan(wf).cost
+    cost4 = Planner(lib4, est).plan(wf).cost
+    assert cost4 <= cost2 + 1e-9

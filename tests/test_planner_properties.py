@@ -1,0 +1,128 @@
+"""Property-based tests for planner invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    MaterializedOperator,
+    OperatorLibrary,
+    Planner,
+)
+from repro.core.planner import MetadataCostEstimator, PlanningError
+
+STORES = ["s0", "s1", "s2"]
+
+cost = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def chain_instance(draw):
+    """A random linear workflow with random per-stage implementations."""
+    n_stages = draw(st.integers(1, 5))
+    library = OperatorLibrary()
+    per_stage: list[list[str]] = []
+    for stage in range(n_stages):
+        n_impls = draw(st.integers(1, 3))
+        impls = []
+        for j in range(n_impls):
+            store = draw(st.sampled_from(STORES))
+            name = f"op{stage}_{j}"
+            library.add(MaterializedOperator(name, {
+                "Constraints.OpSpecification.Algorithm.name": f"alg{stage}",
+                "Constraints.Engine": f"engine{j}",
+                "Constraints.Input.number": 1,
+                "Constraints.Output.number": 1,
+                "Constraints.Input0.Engine.FS": store,
+                "Constraints.Output0.Engine.FS": store,
+                "Optimization.execTime": draw(cost),
+                "Optimization.cost": draw(cost),
+            }))
+            impls.append(name)
+        per_stage.append(impls)
+    wf = AbstractWorkflow("chain")
+    wf.add_dataset(Dataset("d0", {
+        "Constraints.Engine.FS": draw(st.sampled_from(STORES)),
+        "Optimization.size": draw(st.floats(1e3, 1e9)),
+    }, materialized=True))
+    prev = "d0"
+    for stage in range(n_stages):
+        wf.add_operator(AbstractOperator(f"alg{stage}", {
+            "Constraints.OpSpecification.Algorithm.name": f"alg{stage}"}))
+        out = f"d{stage + 1}"
+        wf.add_dataset(Dataset(out))
+        wf.connect(prev, f"alg{stage}")
+        wf.connect(f"alg{stage}", out)
+        prev = out
+    wf.set_target(prev)
+    return library, wf, per_stage
+
+
+@given(chain_instance())
+@settings(max_examples=40, deadline=None)
+def test_plan_is_topologically_valid(instance):
+    """Every non-move step's abstract stage appears in order, exactly once."""
+    library, wf, _ = instance
+    plan = Planner(library, MetadataCostEstimator()).plan(wf)
+    stages = [s.abstract_name for s in plan.steps if not s.is_move]
+    assert stages == [f"alg{i}" for i in range(len(stages))]
+    assert len(stages) == len(wf.operators)
+
+
+@given(chain_instance())
+@settings(max_examples=40, deadline=None)
+def test_plan_cost_equals_sum_of_step_costs(instance):
+    library, wf, _ = instance
+    plan = Planner(library, MetadataCostEstimator()).plan(wf)
+    total = sum(s.estimated_cost for s in plan.steps)
+    assert plan.cost == np.float64(total) or abs(plan.cost - total) < 1e-6
+
+
+@given(chain_instance())
+@settings(max_examples=40, deadline=None)
+def test_plan_cost_not_above_any_greedy_alternative(instance):
+    """DP optimum <= the plan that fixes engine0 for every stage (if feasible)."""
+    library, wf, per_stage = instance
+    planner = Planner(library, MetadataCostEstimator())
+    optimal = planner.plan(wf)
+    try:
+        pinned = planner.plan(wf, available_engines={"engine0", "move"})
+    except PlanningError:
+        return
+    assert optimal.cost <= pinned.cost + 1e-9
+
+
+@given(chain_instance())
+@settings(max_examples=40, deadline=None)
+def test_moves_connect_matching_stores(instance):
+    """Every move step's output store equals the consuming input's spec."""
+    library, wf, _ = instance
+    plan = Planner(library, MetadataCostEstimator()).plan(wf)
+    for i, step in enumerate(plan.steps):
+        if not step.is_move:
+            continue
+        moved = step.outputs[0]
+        consumers = [
+            s for s in plan.steps[i + 1:]
+            if any(d is moved for d in s.inputs)
+        ]
+        assert consumers, "a move whose output nobody consumes"
+        for consumer in consumers:
+            assert consumer.operator.accepts_input(moved, 0)
+
+
+@given(chain_instance(), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_removing_engines_never_improves_cost(instance, drop):
+    library, wf, _ = instance
+    planner = Planner(library, MetadataCostEstimator())
+    full = planner.plan(wf)
+    remaining = {f"engine{j}" for j in range(3) if j != drop} | {"move"}
+    try:
+        restricted = planner.plan(wf, available_engines=remaining)
+    except PlanningError:
+        return
+    assert restricted.cost >= full.cost - 1e-9

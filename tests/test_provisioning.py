@@ -1,0 +1,76 @@
+"""Tests for NSGA-II resource provisioning (repro.core.provisioning)."""
+
+import pytest
+
+from repro.core import ResourceProvisioner
+from repro.engines import Resources, Workload, build_default_cloud
+
+
+def spark_tfidf_time_fn(cloud, docs):
+    spark = cloud.engine("Spark")
+    workload = Workload.of_count(docs, 1e3)
+
+    def time_fn(cores, memory_gb):
+        return spark.true_seconds(
+            "TF_IDF", workload,
+            Resources(cores=max(int(cores), 1), memory_gb=max(memory_gb, 0.5)),
+        )
+
+    return time_fn
+
+
+def test_bounds_validated():
+    with pytest.raises(ValueError):
+        ResourceProvisioner(max_cores=1, min_cores=4)
+
+
+def test_provision_respects_bounds():
+    cloud = build_default_cloud()
+    prov = ResourceProvisioner(max_cores=32, max_memory_gb=54.0,
+                               generations=15, population_size=16)
+    result = prov.provision(spark_tfidf_time_fn(cloud, 1e5))
+    assert 1 <= result.resources.cores <= 32
+    assert 0.5 <= result.resources.memory_gb <= 54.0
+
+
+def test_provision_time_close_to_max_resources():
+    """Fig 17: IReS achieves times as low as the max-resources strategy."""
+    cloud = build_default_cloud()
+    time_fn = spark_tfidf_time_fn(cloud, 1e5)
+    prov = ResourceProvisioner(max_cores=32, max_memory_gb=54.0,
+                               generations=30, population_size=24)
+    result = prov.provision(time_fn)
+    t_max = time_fn(32, 54.0)
+    assert result.est_time <= t_max * 1.15
+
+
+def test_provision_cost_below_max_resources():
+    """Fig 17: IReS execution cost lies below the max-resources strategy."""
+    cloud = build_default_cloud()
+    time_fn = spark_tfidf_time_fn(cloud, 1e4)
+    prov = ResourceProvisioner(max_cores=32, max_memory_gb=54.0,
+                               generations=30, population_size=24)
+    result = prov.provision(time_fn)
+    t_max = time_fn(32, 54.0)
+    cost_max = 32 * 54.0 * t_max
+    assert result.est_cost < cost_max
+
+
+def test_provision_scales_resources_with_input():
+    """Larger inputs should get at least as much provisioned capacity."""
+    cloud = build_default_cloud()
+    prov_small = ResourceProvisioner(generations=30, population_size=24, seed=1)
+    prov_large = ResourceProvisioner(generations=30, population_size=24, seed=1)
+    small = prov_small.provision(spark_tfidf_time_fn(cloud, 1e3))
+    large = prov_large.provision(spark_tfidf_time_fn(cloud, 1e6))
+    cap = lambda r: r.resources.cores * r.resources.memory_gb
+    assert cap(large) > cap(small)
+
+
+def test_front_is_sorted_and_nontrivial():
+    cloud = build_default_cloud()
+    prov = ResourceProvisioner(generations=20, population_size=16)
+    result = prov.provision(spark_tfidf_time_fn(cloud, 1e5))
+    times = [p[2] for p in result.front]
+    assert times == sorted(times)
+    assert len(result.front) >= 1

@@ -1,0 +1,97 @@
+"""Tests for cross-execution intermediate reuse (repro.execution.cache)."""
+
+import pytest
+
+from repro.core import IReS
+from repro.execution.cache import ResultCache, step_key
+from repro.scenarios import setup_helloworld, setup_text_analytics
+
+
+def test_repeat_execution_skips_completed_steps():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    cache = ResultCache()
+    first = ires.executor.execute(make(), cache=cache)
+    assert first.succeeded
+    assert len(cache) == 4  # all four operators cached
+    second = ires.executor.execute(make(), cache=cache)
+    assert second.succeeded
+    # the whole workflow was reused: nothing re-executed
+    operator_runs = [e for e in second.executions if e.engine != "move"]
+    assert operator_runs == []
+    assert second.sim_time < first.sim_time
+
+
+def test_cache_miss_on_different_input_size():
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    cache = ResultCache()
+    ires.executor.execute(make(5e3), cache=cache)
+    before_hits = cache.hits
+    report = ires.executor.execute(make(1e5), cache=cache)
+    # different corpus size -> different keys -> everything re-executed
+    assert cache.hits == before_hits
+    assert [e for e in report.executions if e.engine != "move"]
+
+
+def test_partial_prefix_reuse():
+    """Extending a cached workflow re-runs only the new suffix."""
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    cache = ResultCache()
+    workflow = make(2.5e4)
+    ires.executor.execute(workflow, cache=cache)
+    # same workflow again: tf-idf AND k-means both come from the cache
+    again = ires.executor.execute(make(2.5e4), cache=cache)
+    names = [e.step.abstract_name for e in again.executions
+             if e.engine != "move"]
+    assert names == []
+
+
+def test_invalidate_clears_everything():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    cache = ResultCache()
+    ires.executor.execute(make(), cache=cache)
+    cache.invalidate()
+    assert len(cache) == 0
+    report = ires.executor.execute(make(), cache=cache)
+    assert [e for e in report.executions if e.engine != "move"]
+
+
+def test_step_key_sensitive_to_params_and_inputs():
+    from repro.core import Dataset, MaterializedOperator
+    from repro.core.workflow import PlanStep
+
+    op_a = MaterializedOperator("op", {"Execution.Param.iterations": 10})
+    op_b = MaterializedOperator("op", {"Execution.Param.iterations": 20})
+    ds = Dataset("d", {"Optimization.size": 100})
+    mk = lambda op, d: PlanStep(op, (d,), (Dataset("out"),), 1.0, "abs")
+    assert step_key(mk(op_a, ds)) != step_key(mk(op_b, ds))
+    ds2 = Dataset("d", {"Optimization.size": 200})
+    assert step_key(mk(op_a, ds)) != step_key(mk(op_a, ds2))
+    assert step_key(mk(op_a, ds)) == step_key(mk(op_a, ds))
+
+
+def test_moves_not_cached():
+    from repro.core import Dataset
+    from repro.core.operators import MoveOperator
+    from repro.core.workflow import PlanStep
+
+    cache = ResultCache()
+    move = PlanStep(MoveOperator("a", "b"), (Dataset("d"),),
+                    (Dataset("d"),), 0.1)
+    cache.store(move)
+    assert len(cache) == 0
+
+
+def test_platform_reuse_flag():
+    ires = IReS()
+    make = setup_helloworld(ires)
+    first = ires.execute(make(), reuse=True)
+    second = ires.execute(make(), reuse=True)
+    assert first.succeeded and second.succeeded
+    assert [e for e in second.executions if e.engine != "move"] == []
+    # without the flag the cache is bypassed
+    third = ires.execute(make())
+    assert [e for e in third.executions if e.engine != "move"]

@@ -1,0 +1,83 @@
+"""Tests for pickle-free model persistence (repro.models.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Bagging,
+    GaussianProcess,
+    LeastMedianSquares,
+    LinearRegression,
+    MultilayerPerceptron,
+    RBFNetwork,
+    RandomSubspace,
+    RegressionByDiscretization,
+    RegressionTree,
+)
+from repro.models.serialize import SerializationError, load_model, save_model
+
+ALL = [
+    LinearRegression,
+    LeastMedianSquares,
+    GaussianProcess,
+    lambda: MultilayerPerceptron(epochs=60),
+    RBFNetwork,
+    RegressionTree,
+    Bagging,
+    RandomSubspace,
+    RegressionByDiscretization,
+]
+
+
+def data(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-3, 3, (n, 3))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] - X[:, 2] ** 2
+    return X, y
+
+
+@pytest.mark.parametrize("factory", ALL)
+def test_roundtrip_predictions_identical(factory, tmp_path):
+    X, y = data()
+    model = factory().fit(X, y)
+    path = tmp_path / "model.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert type(loaded) is type(model)
+    X_test = np.random.default_rng(1).uniform(-3, 3, (25, 3))
+    np.testing.assert_allclose(loaded.predict(X_test), model.predict(X_test),
+                               rtol=1e-10, atol=1e-12)
+
+
+def test_unfitted_model_rejected(tmp_path):
+    with pytest.raises(SerializationError):
+        save_model(LinearRegression(), tmp_path / "m.npz")
+
+
+def test_loaded_model_validates_feature_count(tmp_path):
+    X, y = data()
+    model = LinearRegression().fit(X, y)
+    path = tmp_path / "m.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    with pytest.raises(ValueError):
+        loaded.predict(np.ones((2, 7)))
+
+
+def test_gp_std_survives_roundtrip(tmp_path):
+    X, y = data(n=30)
+    gp = GaussianProcess().fit(X, y)
+    path = tmp_path / "gp.npz"
+    save_model(gp, path)
+    loaded = load_model(path)
+    probe = np.random.default_rng(2).uniform(-3, 3, (10, 3))
+    np.testing.assert_allclose(loaded.predict_std(probe), gp.predict_std(probe),
+                               rtol=1e-10)
+
+
+def test_no_pickle_in_file(tmp_path):
+    """The archive must load with allow_pickle=False (enforced by loader)."""
+    X, y = data()
+    save_model(Bagging(n_estimators=3).fit(X, y), tmp_path / "m.npz")
+    with np.load(tmp_path / "m.npz", allow_pickle=False) as archive:
+        assert "__class__" in archive.files

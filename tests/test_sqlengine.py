@@ -1,0 +1,275 @@
+"""Unit tests for the mini SQL substrate (repro.sqlengine)."""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import (
+    SQLSyntaxError,
+    Table,
+    execute_query,
+    generate_tpch,
+    parse_query,
+)
+from repro.sqlengine.executor import ExecutionError, apply_filters, hash_join
+from repro.sqlengine.parser import Filter
+from repro.sqlengine.tpch import schemas
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(2.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tpch_schemas(tpch):
+    return schemas(tpch)
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", {})
+
+    def test_select_rows_and_project(self):
+        t = Table("t", {"a": np.array([1, 2, 3]), "b": np.array([4, 5, 6])})
+        sub = t.select_rows(np.array([True, False, True]))
+        assert sub.n_rows == 2
+        proj = sub.project(["b"])
+        assert proj.column_names == ["b"]
+        assert proj.column("b").tolist() == [4, 6]
+
+    def test_unknown_column_raises(self):
+        t = Table("t", {"a": np.array([1])})
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_stats(self):
+        t = Table("t", {"a": np.array([1, 1, 2, 5])})
+        stats = t.stats()
+        assert stats.n_rows == 4
+        assert stats.column("a").n_distinct == 3
+        assert stats.column("a").min_value == 1.0
+        assert stats.column("a").max_value == 5.0
+        assert stats.size_bytes == 4 * 1 * 8.0
+
+
+class TestParser:
+    def test_parse_join_filter_query(self, tpch_schemas):
+        q = parse_query(
+            "SELECT c_custkey FROM customer, nation "
+            "WHERE c_nationkey = n_nationkey AND n_name = 'FRANCE'",
+            tpch_schemas,
+        )
+        assert q.tables == ("customer", "nation")
+        assert len(q.joins) == 1
+        assert q.filters[0].value == "FRANCE"
+
+    def test_select_star(self, tpch_schemas):
+        q = parse_query("SELECT * FROM region", tpch_schemas)
+        assert q.select == ("*",)
+
+    def test_qualified_columns(self, tpch_schemas):
+        q = parse_query(
+            "SELECT customer.c_custkey FROM customer, orders "
+            "WHERE customer.c_custkey = orders.o_custkey",
+            tpch_schemas,
+        )
+        assert q.joins[0].left_table == "customer"
+
+    def test_numeric_filters(self, tpch_schemas):
+        q = parse_query(
+            "SELECT p_partkey FROM part WHERE p_retailprice > 2090 "
+            "AND p_size <= 10",
+            tpch_schemas,
+        )
+        ops = {f.op for f in q.filters}
+        assert ops == {">", "<="}
+        assert all(isinstance(f.value, (int, float)) for f in q.filters)
+
+    def test_unknown_table_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT x FROM nonexistent", tpch_schemas)
+
+    def test_unknown_column_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT bogus FROM region", tpch_schemas)
+
+    def test_ambiguous_column_rejected(self):
+        sch = {"a": ["x"], "b": ["x"]}
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT x FROM a, b", sch)
+
+    def test_non_select_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("DELETE FROM region", tpch_schemas)
+
+    def test_non_equi_join_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "SELECT c_custkey FROM customer, orders "
+                "WHERE c_custkey < o_custkey", tpch_schemas)
+
+
+class TestExecutor:
+    def test_apply_filters(self):
+        t = Table("t", {"a": np.array([1, 2, 3, 4])})
+        out = apply_filters(t, [Filter("t", "a", ">", 1), Filter("t", "a", "<", 4)])
+        assert out.column("a").tolist() == [2, 3]
+
+    def test_hash_join_inner_semantics(self):
+        left = Table("l", {"k": np.array([1, 2, 2]), "v": np.array([10, 20, 21])})
+        right = Table("r", {"k2": np.array([2, 3]), "w": np.array([200, 300])})
+        out = hash_join(left, "k", right, "k2")
+        assert out.n_rows == 2
+        assert sorted(out.column("v").tolist()) == [20, 21]
+        assert set(out.column("w").tolist()) == {200}
+
+    def test_hash_join_empty_result(self):
+        left = Table("l", {"k": np.array([1])})
+        right = Table("r", {"k2": np.array([9])})
+        assert hash_join(left, "k", right, "k2").n_rows == 0
+
+    def test_execute_matches_bruteforce(self, tpch, tpch_schemas):
+        q = parse_query(
+            "SELECT c_custkey, o_orderkey FROM customer, orders, nation "
+            "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey "
+            "AND n_name = 'GERMANY'", tpch_schemas)
+        result = execute_query(q, tpch)
+        # brute-force verification
+        nation = tpch["nation"]
+        german = int(nation.column("n_nationkey")[
+            nation.column("n_name") == "GERMANY"][0])
+        customer = tpch["customer"]
+        german_custs = set(customer.column("c_custkey")[
+            customer.column("c_nationkey") == german].tolist())
+        orders = tpch["orders"]
+        expected = sum(int(c) in german_custs
+                       for c in orders.column("o_custkey").tolist())
+        assert result.n_rows == expected
+
+    def test_execute_residual_join_predicate(self, tpch, tpch_schemas):
+        """Cycle in the join graph: the third predicate becomes residual."""
+        q = parse_query(
+            "SELECT s_suppkey FROM supplier, nation, customer "
+            "WHERE s_nationkey = n_nationkey AND c_nationkey = n_nationkey "
+            "AND s_nationkey = c_nationkey", tpch_schemas)
+        result = execute_query(q, tpch)
+        assert result.n_rows > 0
+
+    def test_missing_table_raises(self, tpch_schemas):
+        q = parse_query("SELECT r_name FROM region", tpch_schemas)
+        with pytest.raises(ExecutionError):
+            execute_query(q, {})
+
+    def test_projection_applied(self, tpch, tpch_schemas):
+        q = parse_query("SELECT r_name FROM region", tpch_schemas)
+        result = execute_query(q, tpch)
+        assert result.table.column_names == ["r_name"]
+        assert result.n_rows == 5
+
+
+class TestTPCH:
+    def test_row_proportions(self, tpch):
+        assert tpch["lineitem"].n_rows == 4 * tpch["orders"].n_rows
+        assert tpch["region"].n_rows == 5
+        assert tpch["nation"].n_rows == 25
+
+    def test_scale_grows_rows(self):
+        small = generate_tpch(1.0)
+        large = generate_tpch(10.0)
+        assert large["lineitem"].n_rows == 10 * small["lineitem"].n_rows
+
+    def test_foreign_keys_valid(self, tpch):
+        assert tpch["orders"].column("o_custkey").max() < tpch["customer"].n_rows
+        assert tpch["lineitem"].column("l_orderkey").max() < tpch["orders"].n_rows
+        assert tpch["nation"].column("n_regionkey").max() < 5
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_tpch(0)
+
+    def test_deterministic(self):
+        a = generate_tpch(1.0, seed=3)
+        b = generate_tpch(1.0, seed=3)
+        np.testing.assert_array_equal(a["orders"].column("o_custkey"),
+                                      b["orders"].column("o_custkey"))
+
+
+class TestAggregation:
+    def test_count_star_no_group(self, tpch, tpch_schemas):
+        q = parse_query("SELECT count(*) AS n FROM orders", tpch_schemas)
+        result = execute_query(q, tpch)
+        assert result.n_rows == 1
+        assert result.table.column("n")[0] == tpch["orders"].n_rows
+
+    def test_group_by_with_count(self, tpch, tpch_schemas):
+        q = parse_query(
+            "SELECT n_regionkey, count(*) AS nations FROM nation "
+            "GROUP BY n_regionkey", tpch_schemas)
+        result = execute_query(q, tpch)
+        assert result.table.column("nations").sum() == 25
+        assert result.table.column_names == ["n_regionkey", "nations"]
+
+    def test_sum_avg_min_max_match_numpy(self, tpch, tpch_schemas):
+        import numpy as np
+        q = parse_query(
+            "SELECT sum(o_totalprice) AS s, avg(o_totalprice) AS a, "
+            "min(o_totalprice) AS lo, max(o_totalprice) AS hi FROM orders",
+            tpch_schemas)
+        result = execute_query(q, tpch)
+        col = tpch["orders"].column("o_totalprice")
+        assert result.table.column("s")[0] == pytest.approx(col.sum())
+        assert result.table.column("a")[0] == pytest.approx(col.mean())
+        assert result.table.column("lo")[0] == pytest.approx(col.min())
+        assert result.table.column("hi")[0] == pytest.approx(col.max())
+
+    def test_aggregate_over_join_and_filter(self, tpch, tpch_schemas):
+        """A TPC-H-style revenue-per-nation query."""
+        q = parse_query(
+            "SELECT n_name, count(*) AS cnt, sum(o_totalprice) AS revenue "
+            "FROM customer, orders, nation "
+            "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey "
+            "AND o_totalprice > 100000 GROUP BY n_name", tpch_schemas)
+        result = execute_query(q, tpch)
+        assert result.n_rows <= 25
+        assert (result.table.column("cnt") > 0).all()
+        # total count equals the unaggregated filtered join size
+        q_flat = parse_query(
+            "SELECT n_name FROM customer, orders, nation "
+            "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey "
+            "AND o_totalprice > 100000", tpch_schemas)
+        flat = execute_query(q_flat, tpch)
+        assert result.table.column("cnt").sum() == flat.n_rows
+
+    def test_default_alias(self, tpch_schemas, tpch):
+        q = parse_query("SELECT count(*) FROM region", tpch_schemas)
+        assert q.aggregates[0].alias == "count_all"
+        result = execute_query(q, tpch)
+        assert result.table.column("count_all")[0] == 5
+
+    def test_group_by_without_aggregate_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT n_name FROM nation GROUP BY n_name",
+                        tpch_schemas)
+
+    def test_non_grouped_plain_column_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "SELECT n_name, count(*) AS c FROM nation GROUP BY n_regionkey",
+                tpch_schemas)
+
+    def test_sum_star_rejected(self, tpch_schemas):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT sum(*) FROM nation", tpch_schemas)
+
+    def test_group_keys_sorted(self, tpch, tpch_schemas):
+        q = parse_query(
+            "SELECT c_nationkey, count(*) AS c FROM customer "
+            "GROUP BY c_nationkey", tpch_schemas)
+        result = execute_query(q, tpch)
+        keys = result.table.column("c_nationkey").tolist()
+        assert keys == sorted(keys)

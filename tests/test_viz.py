@@ -1,0 +1,52 @@
+"""Tests for the DOT renderings (repro.viz)."""
+
+import pytest
+
+from repro.core import IReS
+from repro.musqle import MuSQLE, build_default_deployment, JOIN_QUERIES
+from repro.scenarios import setup_text_analytics
+from repro.viz import musqle_plan_to_dot, plan_to_dot, workflow_to_dot
+
+
+@pytest.fixture
+def text_setup():
+    ires = IReS()
+    make = setup_text_analytics(ires)
+    return ires, make(2.5e4)
+
+
+def test_workflow_dot_structure(text_setup):
+    _, workflow = text_setup
+    dot = workflow_to_dot(workflow)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert '"webContent"' in dot and "doubleoctagon" in dot
+    # every edge of the workflow appears
+    assert '"webContent" -> "tf_idf"' in dot
+    assert '"kmeans" -> "clusters"' in dot
+
+
+def test_plan_dot_marks_moves(text_setup):
+    ires, workflow = text_setup
+    plan = ires.plan(workflow)
+    dot = plan_to_dot(plan)
+    assert dot.count("shape=box") == len(plan.steps)
+    assert "style=dashed" in dot  # the hybrid plan contains a move
+    assert "@scikit" in dot and "@Spark" in dot
+
+
+def test_musqle_plan_dot(tmp_path):
+    deployment = build_default_deployment(scale_factor=1.0, seed=31)
+    musqle = MuSQLE(deployment)
+    plan, _ = musqle.optimize(JOIN_QUERIES[4])
+    dot = musqle_plan_to_dot(plan)
+    assert dot.startswith("digraph")
+    assert "rows" in dot
+    # parsable enough to write out
+    (tmp_path / "plan.dot").write_text(dot)
+
+
+def test_dot_escapes_quotes():
+    from repro.viz import _quote
+
+    assert _quote('a"b') == '"a\\"b"'

@@ -1,0 +1,202 @@
+"""Unit tests for workflow DAGs and graph-file parsing (repro.core.workflow)."""
+
+import pytest
+
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    WorkflowError,
+)
+
+
+def simple_ops():
+    tfidf = AbstractOperator("tfidf", {
+        "Constraints.OpSpecification.Algorithm.name": "TF_IDF",
+        "Constraints.Input.number": 1, "Constraints.Output.number": 1,
+    })
+    kmeans = AbstractOperator("kmeans", {
+        "Constraints.OpSpecification.Algorithm.name": "kmeans",
+        "Constraints.Input.number": 1, "Constraints.Output.number": 1,
+    })
+    return tfidf, kmeans
+
+
+def build_chain():
+    wf = AbstractWorkflow("chain")
+    wf.add_dataset(Dataset("in", materialized=True))
+    wf.add_dataset(Dataset("d1"))
+    wf.add_dataset(Dataset("d2"))
+    tfidf, kmeans = simple_ops()
+    wf.add_operator(tfidf)
+    wf.add_operator(kmeans)
+    wf.connect("in", "tfidf")
+    wf.connect("tfidf", "d1")
+    wf.connect("d1", "kmeans")
+    wf.connect("kmeans", "d2")
+    wf.set_target("d2")
+    return wf
+
+
+def test_chain_validates_and_orders():
+    wf = build_chain()
+    wf.validate()
+    assert [op.name for op in wf.topological_operators()] == ["tfidf", "kmeans"]
+    assert [d.name for d in wf.source_datasets()] == ["in"]
+    assert wf.n_nodes == 5
+
+
+def test_duplicate_node_rejected():
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("x"))
+    with pytest.raises(WorkflowError):
+        wf.add_dataset(Dataset("x"))
+    tfidf, _ = simple_ops()
+    wf.add_operator(tfidf)
+    with pytest.raises(WorkflowError):
+        wf.add_dataset(Dataset("tfidf"))
+
+
+def test_edge_must_connect_dataset_and_operator():
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("a"))
+    wf.add_dataset(Dataset("b"))
+    with pytest.raises(WorkflowError):
+        wf.connect("a", "b")
+
+
+def test_dataset_single_producer():
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("d"))
+    tfidf, kmeans = simple_ops()
+    wf.add_operator(tfidf)
+    wf.add_operator(kmeans)
+    wf.connect("tfidf", "d")
+    with pytest.raises(WorkflowError):
+        wf.connect("kmeans", "d")
+
+
+def test_unknown_target_rejected():
+    wf = AbstractWorkflow()
+    with pytest.raises(WorkflowError):
+        wf.set_target("nope")
+
+
+def test_missing_target_fails_validation():
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("in", materialized=True))
+    with pytest.raises(WorkflowError):
+        wf.validate()
+
+
+def test_cycle_detection():
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("a"))
+    wf.add_dataset(Dataset("b"))
+    tfidf, kmeans = simple_ops()
+    wf.add_operator(tfidf)
+    wf.add_operator(kmeans)
+    # tfidf: a -> b ; kmeans: b -> a  (cycle)
+    wf.connect("a", "tfidf")
+    wf.connect("tfidf", "b")
+    wf.connect("b", "kmeans")
+    wf.connect("kmeans", "a")
+    wf.set_target("a")
+    with pytest.raises(WorkflowError):
+        wf.validate()
+
+
+def test_graph_file_parsing_linecount():
+    """The LineCountWorkflow graph file of §3.3."""
+    lines = [
+        "asapServerLog,LineCount,0",
+        "LineCount,d1,0",
+        "d1,$$target",
+    ]
+    linecount = AbstractOperator("LineCount", {
+        "Constraints.OpSpecification.Algorithm.name": "LineCount",
+        "Constraints.Input.number": 1, "Constraints.Output.number": 1,
+    })
+    ds = Dataset("asapServerLog", {
+        "Execution.path": "hdfs:///user/root/asap-server.log",
+        "Constraints.Engine.FS": "HDFS",
+    }, materialized=True)
+    wf = AbstractWorkflow.from_graph_lines(
+        lines, {"asapServerLog": ds}, {"LineCount": linecount}, name="LineCountWorkflow"
+    )
+    assert wf.target == "d1"
+    assert wf.op_inputs["LineCount"] == ["asapServerLog"]
+    assert wf.op_outputs["LineCount"] == ["d1"]
+    assert "d1" in wf.datasets  # auto-created abstract output
+
+
+def test_graph_file_without_target_raises():
+    tfidf, _ = simple_ops()
+    with pytest.raises(WorkflowError):
+        AbstractWorkflow.from_graph_lines(
+            ["a,tfidf,0", "tfidf,b,0"], {}, {"tfidf": tfidf}
+        )
+
+
+def test_graph_file_bad_line_raises():
+    with pytest.raises(WorkflowError):
+        AbstractWorkflow.from_graph_lines(["just-one-field"], {}, {})
+
+
+def test_diamond_topological_order():
+    """Fan-out/fan-in DAG: both branches precede the join operator."""
+    wf = AbstractWorkflow()
+    wf.add_dataset(Dataset("src", materialized=True))
+    for name in ("l", "r", "out"):
+        wf.add_dataset(Dataset(name))
+    mk = lambda n: AbstractOperator(n, {
+        "Constraints.OpSpecification.Algorithm.name": n})
+    wf.add_operator(mk("left"))
+    wf.add_operator(mk("right"))
+    join = AbstractOperator("join", {
+        "Constraints.OpSpecification.Algorithm.name": "join",
+        "Constraints.Input.number": 2})
+    wf.add_operator(join)
+    wf.connect("src", "left")
+    wf.connect("src", "right")
+    wf.connect("left", "l")
+    wf.connect("right", "r")
+    wf.connect("l", "join")
+    wf.connect("r", "join")
+    wf.connect("join", "out")
+    wf.set_target("out")
+    order = [op.name for op in wf.topological_operators()]
+    assert order.index("join") > order.index("left")
+    assert order.index("join") > order.index("right")
+
+
+def test_dataset_accessors():
+    ds = Dataset("textData", {
+        "Constraints.Engine.FS": "HDFS",
+        "Constraints.type": "text",
+        "Execution.path": "hdfs:///user/asap/input/textData",
+        "Optimization.size": "932E06",
+    }, materialized=True)
+    assert ds.store == "HDFS"
+    assert ds.fmt == "text"
+    assert ds.path == "hdfs:///user/asap/input/textData"
+    assert ds.size == pytest.approx(932e6)
+    ds.size = 1000
+    assert ds.size == 1000
+    ds.count = 42
+    assert ds.count == 42
+
+
+def test_dataset_signature_distinguishes_formats():
+    d1 = Dataset("d", {"Constraints.type": "text"})
+    d2 = Dataset("d", {"Constraints.type": "arff"})
+    d3 = Dataset("d", {"Constraints.type": "text"})
+    assert d1.signature() != d2.signature()
+    assert d1.signature() == d3.signature()
+
+
+def test_with_constraints_returns_modified_copy():
+    ds = Dataset("d", {"Constraints.type": "text"})
+    moved = ds.with_constraints({"Constraints.Engine.FS": "HDFS"})
+    assert moved.store == "HDFS"
+    assert ds.store is None
