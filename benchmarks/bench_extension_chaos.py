@@ -1,0 +1,149 @@
+"""Extension — chaos sweep over transient fault rates (resilience layer).
+
+The Fig. 18–22 fault-tolerance evaluation assumes *permanent* engine kills;
+real multi-engine clouds mostly throw transient faults.  This sweep injects
+seeded flaky failures into every engine at increasing ``fail_rate`` and
+compares three executors on the HelloWorld fault-tolerance workflow:
+
+- ``Resilient``     — IResReplan + retry/backoff + circuit breakers;
+- ``IResReplan``    — replans on first error (no retries), the §4.5 baseline;
+- ``TrivialReplan`` — discards intermediates and replans from scratch.
+
+Expected shape: the resilient executor absorbs transient faults with cheap
+in-place retries, so it completes with strictly fewer replans and a higher
+success rate, at a makespan cost bounded by the backoff it charges to the
+simulated clock.  A *permanently* sick engine (fail_rate = 1) still trips
+its breaker and is planned around — retries never loop forever.
+"""
+
+import pytest
+
+from figutil import emit
+from repro.core import IReS
+from repro.execution import IRES_REPLAN, TRIVIAL_REPLAN, ResilienceManager
+from repro.execution.enforcer import ExecutionFailed
+from repro.scenarios import setup_helloworld
+
+RATES = (0.0, 0.1, 0.2, 0.3)
+SEEDS = range(5)
+MODES = ("Resilient", "IResReplan", "TrivialReplan")
+
+
+def run_one(mode: str, rate: float, seed: int):
+    """One chaos execution; returns the report or None on ExecutionFailed."""
+    resilience = None if mode == "Resilient" else ResilienceManager.baseline()
+    strategy = TRIVIAL_REPLAN if mode == "TrivialReplan" else IRES_REPLAN
+    ires = IReS(strategy=strategy, resilience=resilience)
+    make = setup_helloworld(ires)
+    ires.fault_injector.seed = seed
+    if rate > 0:
+        ires.fault_injector.make_all_flaky(rate)
+    try:
+        return ires.execute(make())
+    except ExecutionFailed:
+        return None
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (mode, rate): [run_one(mode, rate, seed) for seed in SEEDS]
+        for mode in MODES for rate in RATES
+    }
+
+
+def test_chaos_sweep(benchmark, sweep):
+    rows = []
+    for rate in RATES:
+        for mode in MODES:
+            reports = sweep[(mode, rate)]
+            done = [r for r in reports if r is not None and r.succeeded]
+            rows.append([
+                rate, mode,
+                100.0 * len(done) / len(reports),
+                (sum(r.sim_time for r in done) / len(done)) if done else None,
+                sum(r.replans for r in done),
+                sum(r.retries for r in done),
+            ])
+    emit(
+        "ext_chaos_sweep",
+        "Extension: success rate and makespan vs transient fault rate",
+        ["fail_rate", "mode", "success_%", "makespan_s", "replans", "retries"],
+        rows, widths=[10, 15, 10, 12, 9, 9],
+        note="(5 seeded runs per cell; makespan averaged over successes)",
+    )
+    # without faults the three executors behave identically (no overhead)
+    for mode in MODES:
+        assert all(r.succeeded and r.replans == 0 and r.retries == 0
+                   for r in sweep[(mode, 0.0)])
+    # under transient faults the resilient executor retries instead of
+    # replanning: strictly fewer replans than replan-on-first-error
+    for rate in (0.1, 0.2, 0.3):
+        resilient = sweep[("Resilient", rate)]
+        baseline = sweep[("IResReplan", rate)]
+        r_replans = sum(r.replans for r in resilient if r is not None)
+        b_replans = sum(r.replans for r in baseline if r is not None)
+        assert r_replans < b_replans, (rate, r_replans, b_replans)
+        r_ok = sum(1 for r in resilient if r is not None and r.succeeded)
+        b_ok = sum(1 for r in baseline if r is not None and r.succeeded)
+        assert r_ok >= b_ok
+    benchmark(lambda: run_one("Resilient", 0.2, 1))
+
+
+def test_permanently_sick_engine_trips_breaker(benchmark):
+    """fail_rate=1 on one engine: breaker opens, the plan routes around it."""
+    ires = IReS()
+    make = setup_helloworld(ires)
+    victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+    ires.fault_injector.make_flaky(victim, 1.0)
+    report = ires.execute(make())
+    assert report.succeeded
+    assert ires.resilience.breaker(victim).state == "open"
+    # bounded retries, then exactly one replan around the sick engine
+    assert report.retries == ires.resilience.retry_policy.max_attempts - 1
+    assert report.replans == 1
+    hw2 = [e.engine for e in report.executions
+           if e.step.abstract_name == "HelloWorld2" and e.success]
+    assert victim not in hw2
+
+    emit(
+        "ext_chaos_breaker",
+        "Extension: permanently sick engine — breaker + replan-around",
+        ["victim", "retries", "replans", "breaker", "final_engine"],
+        [[victim, report.retries, report.replans,
+          ires.resilience.breaker(victim).state, hw2[-1]]],
+        widths=[12, 9, 9, 9, 14],
+    )
+    benchmark(lambda: ires.plan(make()))
+
+
+def test_straggler_speculation(benchmark):
+    """A 4× straggling engine is speculatively re-executed elsewhere."""
+    from repro.execution import ParallelSimulator
+    from repro.scenarios import setup_relational_analytics
+
+    def simulate(speculation: bool):
+        ires = IReS()
+        make = setup_relational_analytics(ires)
+        plan = ires.plan(make(10))
+        straggler = next(s.engine for s in plan.steps if not s.is_move)
+        ires.fault_injector.make_straggler(straggler, slowdown=4.0)
+        sim = ParallelSimulator(
+            ires.cloud, seed=1, charge_clock=False,
+            fault_injector=ires.fault_injector, speculation=speculation)
+        return sim.simulate(plan)
+
+    slow = simulate(speculation=False)
+    fast = simulate(speculation=True)
+    assert slow.succeeded and fast.succeeded
+    assert fast.speculations, "the straggler was not detected"
+    assert fast.makespan <= slow.makespan
+    emit(
+        "ext_chaos_speculation",
+        "Extension: straggler speculation on the relational workflow",
+        ["mode", "makespan_s", "speculations"],
+        [["no-speculation", slow.makespan, len(slow.speculations)],
+         ["speculation", fast.makespan, len(fast.speculations)]],
+        widths=[16, 12, 14],
+    )
+    benchmark(lambda: simulate(True).makespan)

@@ -28,6 +28,8 @@ GET    /engines/health                                    cluster health report
 POST   /engines/{name}/stop                               kill a service
 POST   /engines/{name}/start                              restart a service
 GET    /models/{algorithm}/{engine}                       trained model info
+GET    /resilience                                        retry/breaker status
+POST   /resilience/breakers/{engine}/reset                close one breaker
 ====== ================================================= =====================
 """
 
@@ -227,6 +229,23 @@ class IResServer:
                 return Response(200, {"engine": name, "status": "ON"})
         raise ApiError(404, "unknown engine action")
 
+    # -- /resilience ---------------------------------------------------------
+    def _resilience(self, method, rest, body) -> Response:
+        resilience = self.ires.executor.resilience
+        self._expect(resilience is not None, 404, "resilience layer disabled")
+        if not rest:
+            self._expect(method == "GET", 405, "use GET")
+            return Response(200, resilience.status())
+        self._expect(rest[0] == "breakers" and len(rest) == 3, 404,
+                     "use /resilience/breakers/{engine}/reset")
+        engine, action = rest[1], rest[2]
+        self._expect(engine in self.ires.cloud.engines, 404,
+                     f"no engine {engine!r}")
+        self._expect(action == "reset", 404, f"unknown action {action!r}")
+        self._expect(method == "POST", 405, "use POST")
+        breaker = resilience.reset_breaker(engine, self.ires.cloud.clock.now)
+        return Response(200, {"engine": engine, "breaker": breaker.status()})
+
     # -- /models -------------------------------------------------------------
     def _models(self, method, rest, body) -> Response:
         self._expect(method == "GET", 405, "use GET")
@@ -268,6 +287,7 @@ def _report_json(report) -> dict:
         "succeeded": report.succeeded,
         "simTime": report.sim_time,
         "replans": report.replans,
+        "retries": report.retries,
         "planningSeconds": report.planning_seconds,
         "enginesUsed": report.engines_used(),
         "failures": report.failures,

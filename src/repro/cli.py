@@ -20,8 +20,8 @@ from repro.core.pareto import ParetoPlanner
 from repro.core.platform import IReS
 
 
-def _load(library_dir: str) -> IReS:
-    ires = IReS()
+def _load(library_dir: str, resilience=None) -> IReS:
+    ires = IReS(resilience=resilience)
     report = load_asap_library(library_dir, ires)
     print(f"loaded {report.total()} artefacts from {library_dir} "
           f"({len(report.datasets)} datasets, {len(report.operators)} operators, "
@@ -69,15 +69,51 @@ def cmd_plan(args) -> int:
 
 
 def cmd_execute(args) -> int:
-    """``ires execute``: plan and run a workflow, printing the report."""
-    ires = _load(args.library)
-    report = ires.execute(_workflow(ires, args.workflow))
+    """``ires execute``: plan and run a workflow, printing the report.
+
+    ``--fail-rate`` injects seeded transient faults into every engine (the
+    chaos harness); ``--no-resilience`` reverts to replan-on-first-error.
+    """
+    from repro.execution import ResilienceManager
+    from repro.execution.enforcer import ExecutionFailed
+
+    if not 0.0 <= args.fail_rate <= 1.0:
+        sys.exit(f"error: --fail-rate must be in [0, 1], got {args.fail_rate}")
+    resilience = ResilienceManager.baseline() if args.no_resilience else None
+    ires = _load(args.library, resilience)
+    if args.fail_rate > 0:
+        ires.fault_injector.seed = args.chaos_seed
+        ires.fault_injector.make_all_flaky(args.fail_rate)
+        print(f"chaos: fail_rate={args.fail_rate} seed={args.chaos_seed}")
+    try:
+        report = ires.execute(_workflow(ires, args.workflow))
+    except ExecutionFailed as exc:
+        _print_resilience(ires)
+        sys.exit(f"error: {exc}")
     print(f"succeeded={report.succeeded} simTime={report.sim_time:.2f}s "
-          f"replans={report.replans}")
+          f"replans={report.replans} retries={report.retries}")
     for execution in report.executions:
+        flag = "" if execution.success else "  FAILED"
         print(f"  {execution.step.operator.name:<34} @{execution.engine:<10} "
-              f"{execution.sim_seconds:8.2f}s")
+              f"{execution.sim_seconds:8.2f}s{flag}")
+    _print_resilience(ires)
     return 0 if report.succeeded else 1
+
+
+def _print_resilience(ires: IReS) -> None:
+    """Print the resilience layer's status (breakers + counters)."""
+    resilience = ires.executor.resilience
+    if resilience is None:
+        return
+    status = resilience.status()
+    counters = status["counters"]
+    print(f"resilience: retries={counters['retries']} "
+          f"breakerOpens={counters['breakerOpens']} "
+          f"speculations={counters['speculations']}")
+    for name, breaker in status["breakers"].items():
+        if breaker["state"] != "closed" or breaker["consecutiveFailures"]:
+            print(f"  breaker {name:<11} {breaker['state']:<9} "
+                  f"failures={breaker['consecutiveFailures']}")
 
 
 def cmd_frontier(args) -> int:
@@ -153,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("library")
         p.add_argument("workflow")
         p.set_defaults(func=func)
+        if name == "execute":
+            p.add_argument("--fail-rate", type=float, default=0.0,
+                           help="inject transient faults into every engine "
+                                "with this probability")
+            p.add_argument("--chaos-seed", type=int, default=0,
+                           help="seed of the transient fault RNG streams")
+            p.add_argument("--no-resilience", action="store_true",
+                           help="disable retries/breakers (replan on first "
+                                "error, the pre-resilience behaviour)")
 
     p = sub.add_parser("report", help="collect benchmark results into one file")
     p.add_argument("--results", default="benchmarks/results",

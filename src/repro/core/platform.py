@@ -45,6 +45,7 @@ class IReS:
         estimator: str = "oracle",
         refit_every: int = 1,
         strategy: str = IRES_REPLAN,
+        resilience=None,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
         self.policy = policy if policy is not None else OptimizationPolicy.min_exec_time()
@@ -70,8 +71,13 @@ class IReS:
         self.result_cache = ResultCache()
         self.executor = WorkflowExecutor(
             self.cloud, self.planner, fault_injector=self.fault_injector,
-            strategy=strategy,
+            strategy=strategy, resilience=resilience,
         )
+
+    @property
+    def resilience(self):
+        """The executor's resilience layer (retries + circuit breakers)."""
+        return self.executor.resilience
 
     # -- interface layer -----------------------------------------------------
     def register_operator(self, operator: MaterializedOperator) -> MaterializedOperator:

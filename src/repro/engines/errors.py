@@ -19,3 +19,21 @@ class EngineUnavailableError(EngineError):
 
 class InsufficientResourcesError(EngineError):
     """The YARN-like scheduler cannot satisfy a container request."""
+
+
+class TransientEngineError(EngineError):
+    """A transient engine-side fault (flaky RPC, momentary pressure, crash).
+
+    Unlike a permanent kill, the engine stays deployed and a retry of the
+    same step may well succeed — the resilience layer retries these with
+    backoff before escalating to a replan.
+    """
+
+
+class StepTimeoutError(TransientEngineError):
+    """A step exceeded its per-step timeout (straggler detection).
+
+    Raised when a step's (projected) runtime blows past the resilience
+    policy's deadline; treated as transient because re-execution — possibly
+    on another engine — usually finishes in nominal time.
+    """

@@ -1,13 +1,21 @@
 """Fault injection for the fault-tolerance experiments (D3.3 §4.5).
 
-The evaluation kills the engine a plan chose for a given operator and lets
-IReS detect the failure, replan the remainder and reuse intermediates.
-:class:`FaultInjector` scripts such events against the simulated cloud.
+The original evaluation kills the engine a plan chose for a given operator
+and lets IReS detect the failure, replan the remainder and reuse
+intermediates.  :class:`FaultInjector` scripts such *permanent* events
+against the simulated cloud, and additionally models the *transient*
+faults real multi-engine clouds mostly throw: seeded probabilistic flaky
+failures (``fail_rate``), slowdown/straggler factors, and
+crash-after-fraction-of-work.  Transient outcomes are drawn from one seeded
+RNG stream per engine, so a chaos sweep is reproducible run to run.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.engines.registry import MultiEngineCloud
 
@@ -23,12 +31,58 @@ class ScheduledFault:
 
 
 @dataclass
+class TransientFaultProfile:
+    """Per-engine transient misbehaviour knobs.
+
+    - ``fail_rate``: probability an execution crashes transiently, after
+      ``crash_fraction`` of its work was already done (and charged);
+    - ``slowdown`` × ``straggler_rate``: probability an execution runs
+      ``slowdown`` times slower than nominal (a straggler).
+    """
+
+    fail_rate: float = 0.0
+    crash_fraction: float = 0.5
+    slowdown: float = 1.0
+    straggler_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_rate <= 1.0:
+            raise ValueError(f"fail_rate must be in [0, 1], got {self.fail_rate}")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError(
+                f"straggler_rate must be in [0, 1], got {self.straggler_rate}")
+
+
+@dataclass(frozen=True)
+class TransientOutcome:
+    """What the injector decided for one execution attempt."""
+
+    fails: bool = False
+    work_fraction: float = 0.0  # fraction of the step's work done before crash
+    slowdown: float = 1.0  # straggler multiplier on the execution time
+
+    @property
+    def nominal(self) -> bool:
+        """True when the execution proceeds entirely undisturbed."""
+        return not self.fails and self.slowdown == 1.0
+
+
+@dataclass
 class FaultInjector:
     """Holds scheduled faults and applies them when the executor asks."""
 
     cloud: MultiEngineCloud
     faults: list[ScheduledFault] = field(default_factory=list)
+    transients: dict[str, TransientFaultProfile] = field(default_factory=dict)
+    seed: int = 0
+    _rngs: dict[str, np.random.Generator] = field(default_factory=dict, repr=False)
 
+    # -- permanent faults (the §4.5 kills) -----------------------------------
     def kill_engine_at(self, engine: str, trigger_operator: str) -> ScheduledFault:
         """Schedule an engine kill for when an operator starts."""
         fault = ScheduledFault("kill_engine", engine, trigger_operator)
@@ -69,3 +123,71 @@ class FaultInjector:
             elif fault.kind == "node_unhealthy":
                 self.cloud.cluster.mark_healthy(fault.target)
             fault.fired = False
+
+    # -- transient faults -----------------------------------------------------
+    def make_flaky(
+        self, engine: str, fail_rate: float, crash_fraction: float = 0.5
+    ) -> TransientFaultProfile:
+        """Make an engine fail transiently with the given probability."""
+        old = self.transients.get(engine, TransientFaultProfile())
+        profile = TransientFaultProfile(
+            fail_rate=fail_rate, crash_fraction=crash_fraction,
+            slowdown=old.slowdown, straggler_rate=old.straggler_rate,
+        )
+        self.transients[engine] = profile
+        return profile
+
+    def make_straggler(
+        self, engine: str, slowdown: float, straggler_rate: float = 1.0
+    ) -> TransientFaultProfile:
+        """Make an engine's executions run ``slowdown``× slower sometimes."""
+        old = self.transients.get(engine, TransientFaultProfile())
+        profile = TransientFaultProfile(
+            fail_rate=old.fail_rate, crash_fraction=old.crash_fraction,
+            slowdown=slowdown, straggler_rate=straggler_rate,
+        )
+        self.transients[engine] = profile
+        return profile
+
+    def make_all_flaky(self, fail_rate: float, crash_fraction: float = 0.5) -> None:
+        """Chaos mode: every deployed engine becomes flaky at ``fail_rate``."""
+        for name in self.cloud.engines:
+            self.make_flaky(name, fail_rate, crash_fraction)
+
+    def clear_transients(self, engine: str | None = None) -> None:
+        """Remove transient profiles (one engine, or all) and their RNGs."""
+        if engine is None:
+            self.transients.clear()
+            self._rngs.clear()
+        else:
+            self.transients.pop(engine, None)
+            self._rngs.pop(engine, None)
+
+    def _rng(self, engine: str) -> np.random.Generator:
+        rng = self._rngs.get(engine)
+        if rng is None:
+            stream = zlib.crc32(engine.encode()) ^ (self.seed * 0x9E3779B9)
+            rng = np.random.default_rng(stream & 0xFFFFFFFF)
+            self._rngs[engine] = rng
+        return rng
+
+    def transient_outcome(self, engine: str) -> TransientOutcome:
+        """Draw the transient fate of one execution attempt on ``engine``.
+
+        Each call consumes the engine's RNG stream, so attempt k of a retry
+        loop sees an independent (but reproducible) draw — exactly how a
+        flaky service behaves.
+        """
+        profile = self.transients.get(engine)
+        if profile is None:
+            return TransientOutcome()
+        rng = self._rng(engine)
+        fails = bool(profile.fail_rate > 0 and rng.random() < profile.fail_rate)
+        slowdown = 1.0
+        if profile.straggler_rate > 0 and rng.random() < profile.straggler_rate:
+            slowdown = profile.slowdown
+        return TransientOutcome(
+            fails=fails,
+            work_fraction=profile.crash_fraction if fails else 0.0,
+            slowdown=slowdown,
+        )

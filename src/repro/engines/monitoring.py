@@ -57,6 +57,28 @@ class MetricRecord:
         return feats
 
 
+#: pseudo-algorithm tag of resilience events (retries, breaker transitions,
+#: speculation outcomes) — never collides with real operator algorithms, so
+#: model training and per-operator queries are unaffected.
+RESILIENCE_ALGORITHM = "__resilience__"
+
+
+def resilience_event(
+    kind: str, engine: str, at: float, success: bool = True, detail: str = ""
+) -> MetricRecord:
+    """Build the MetricRecord for one resilience event (retry, breaker, …)."""
+    return MetricRecord(
+        operator=f"resilience.{kind}",
+        algorithm=RESILIENCE_ALGORITHM,
+        engine=engine,
+        exec_time=0.0,
+        started_at=at,
+        success=success,
+        error=detail or None,
+        params={"kind": kind},
+    )
+
+
 def synthesize_timeline(
     exec_time: float, cores: int, memory_gb: float, seed: int = 0
 ) -> dict[str, list[float]]:
@@ -112,6 +134,17 @@ class MetricsCollector:
         """Records of failed runs (OOM etc.)."""
         return [r for r in self._records if not r.success]
 
+    def resilience_events(self, kind: str | None = None) -> list[MetricRecord]:
+        """Resilience events (retry/breaker/speculation), optionally by kind."""
+        out = []
+        for r in self._records:
+            if r.algorithm != RESILIENCE_ALGORITHM:
+                continue
+            if kind is not None and r.params.get("kind") != kind:
+                continue
+            out.append(r)
+        return out
+
     # -- persistence --------------------------------------------------------
     def save(self, path) -> int:
         """Persist the record store as JSON lines; returns the record count.
@@ -131,9 +164,16 @@ class MetricsCollector:
         return len(self._records)
 
     def load(self, path) -> int:
-        """Append records saved by :meth:`save`; returns how many were read."""
+        """Append records saved by :meth:`save`; returns how many were read.
+
+        Unknown keys are dropped so an older collector can load files written
+        by newer code that added fields (forward-compatible persistence);
+        missing keys fall back to the dataclass defaults.
+        """
+        import dataclasses
         import json
 
+        known = {f.name for f in dataclasses.fields(MetricRecord)}
         count = 0
         with open(path, encoding="utf-8") as handle:
             for line in handle:
@@ -143,6 +183,7 @@ class MetricsCollector:
                 payload = json.loads(line)
                 if payload.get("exec_time") == "inf":
                     payload["exec_time"] = float("inf")
+                payload = {k: v for k, v in payload.items() if k in known}
                 self._records.append(MetricRecord(**payload))
                 count += 1
         return count

@@ -1,4 +1,4 @@
-"""Executor layer: plan enforcement, monitoring and fault-tolerant replanning."""
+"""Executor layer: plan enforcement, monitoring, resilience and replanning."""
 
 from repro.execution.cache import ResultCache, step_key
 from repro.execution.enforcer import (
@@ -13,18 +13,30 @@ from repro.execution.parallel import (
     ParallelSimulator,
     ScheduledStep,
     SchedulingError,
+    SpeculationRecord,
+    StepFailure,
+)
+from repro.execution.resilience import (
+    CircuitBreaker,
+    ResilienceManager,
+    RetryPolicy,
 )
 
 __all__ = [
+    "CircuitBreaker",
     "ExecutionReport",
     "IRES_REPLAN",
     "ParallelReport",
     "ParallelSimulator",
+    "ResilienceManager",
     "ResultCache",
+    "RetryPolicy",
     "step_key",
     "ScheduledStep",
     "SchedulingError",
+    "SpeculationRecord",
     "StepExecution",
+    "StepFailure",
     "TRIVIAL_REPLAN",
     "WorkflowExecutor",
 ]

@@ -11,7 +11,16 @@ workflow (D3.3 §2.3).  Two replanning strategies are implemented for the
   workflow from scratch.
 
 Planning/replanning time is measured in *real* wall-clock (it is our code
-running); engine work is charged to the simulated clock.
+running); engine work — including retry backoffs, partial work done before
+a failure was detected, and straggler slowdowns — is charged to the
+simulated clock.
+
+Transient faults (flaky RPCs, stragglers, crash-after-partial-work) are
+retried in place with backoff before any replanning happens; engines that
+keep failing trip a per-engine circuit breaker, and the open set is
+subtracted from the available engines during (re)planning so the planner
+routes around sick engines until their breaker half-opens again (see
+:mod:`repro.execution.resilience`).
 """
 
 from __future__ import annotations
@@ -23,13 +32,24 @@ from repro.core.dataset import Dataset
 from repro.core.estimators import resources_for, workload_from_inputs
 from repro.core.planner import Planner, PlanningError
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
-from repro.engines.errors import EngineError, EngineUnavailableError
-from repro.engines.faults import FaultInjector
+from repro.engines.errors import (
+    EngineError,
+    EngineUnavailableError,
+    StepTimeoutError,
+    TransientEngineError,
+)
+from repro.engines.faults import FaultInjector, TransientOutcome
+from repro.engines.monitoring import MetricRecord
 from repro.engines.profiles import Resources
 from repro.engines.registry import MultiEngineCloud
+from repro.execution.resilience import ResilienceManager
 
 IRES_REPLAN = "IResReplan"
 TRIVIAL_REPLAN = "TrivialReplan"
+
+#: simulated seconds to notice a failed submission (health probe round-trip);
+#: failures are never free on the simulated clock.
+FAILURE_DETECTION_SECONDS = 1.0
 
 
 class ExecutionFailed(RuntimeError):
@@ -46,6 +66,7 @@ class StepExecution:
     started_at: float
     success: bool
     error: str | None = None
+    attempt: int = 1  # 1 = first try; >1 = a resilience-layer retry
 
 
 @dataclass
@@ -61,6 +82,7 @@ class ExecutionReport:
     executions: list[StepExecution] = field(default_factory=list)
     replans: int = 0
     failures: list[str] = field(default_factory=list)
+    retries: int = 0  # transient failures absorbed without replanning
 
     @property
     def initial_planning_seconds(self) -> float:
@@ -136,6 +158,8 @@ class WorkflowExecutor:
         strategy: str = IRES_REPLAN,
         max_replans: int = 8,
         health_checks: bool = True,
+        resilience: ResilienceManager | None = None,
+        failure_detection_seconds: float = FAILURE_DETECTION_SECONDS,
     ) -> None:
         if strategy not in (IRES_REPLAN, TRIVIAL_REPLAN):
             raise ValueError(f"unknown replanning strategy {strategy!r}")
@@ -145,6 +169,11 @@ class WorkflowExecutor:
         self.strategy = strategy
         self.max_replans = max_replans
         self.health_checks = health_checks
+        self.resilience = (
+            resilience if resilience is not None
+            else ResilienceManager(collector=cloud.collector)
+        )
+        self.failure_detection_seconds = failure_detection_seconds
 
     # -- public -------------------------------------------------------------
     def execute(self, workflow: AbstractWorkflow, cache=None) -> ExecutionReport:
@@ -183,7 +212,8 @@ class WorkflowExecutor:
             if self.health_checks:
                 self.cloud.cluster.run_health_checks()
             try:
-                self._enforce_step(step, report, payload_paths, workflow.name)
+                self._enforce_with_resilience(step, report, payload_paths,
+                                              workflow.name)
             except EngineError as exc:
                 report.failures.append(f"{step.operator.name}@{step.engine}: {exc}")
                 if report.replans >= self.max_replans:
@@ -219,19 +249,87 @@ class WorkflowExecutor:
         completed: dict[str, Dataset],
         report: ExecutionReport,
     ) -> MaterializedPlan:
-        available = self.cloud.available_engines() | {"move"}
+        available = self.cloud.available_engines()
+        open_set: set[str] = set()
+        if self.resilience is not None:
+            open_set = self.resilience.open_engines(self.cloud.clock.now)
+            available = available - open_set
         wall_start = time.perf_counter()
         try:
             plan = self.planner.plan(
                 workflow,
-                available_engines=available,
+                available_engines=available | {"move"},
                 materialized_results=dict(completed),
             )
         except PlanningError as exc:
-            raise ExecutionFailed(str(exc)) from exc
+            if not open_set:
+                raise ExecutionFailed(str(exc)) from exc
+            # Routing around every open breaker left no feasible plan; force
+            # the sick engines into half-open probes and plan over them.
+            try:
+                plan = self.planner.plan(
+                    workflow,
+                    available_engines=self.cloud.available_engines() | {"move"},
+                    materialized_results=dict(completed),
+                )
+            except PlanningError as exc2:
+                raise ExecutionFailed(str(exc2)) from exc2
+            self.resilience.on_breaker_override(self.cloud.clock.now, open_set)
         report.planning_seconds.append(time.perf_counter() - wall_start)
         report.plans.append(plan)
         return plan
+
+    def _enforce_with_resilience(
+        self,
+        step: PlanStep,
+        report: ExecutionReport,
+        payload_paths: dict[str, str],
+        workflow_name: str,
+    ) -> None:
+        """Enforce one step, absorbing transient faults with retries.
+
+        Transient failures (:class:`TransientEngineError`, including step
+        timeouts) are retried in place up to the retry policy's budget, with
+        exponential backoff charged to the simulated clock.  Every failure
+        feeds the engine's circuit breaker; permanent errors — and transient
+        ones once retries are exhausted or the breaker opens — propagate to
+        the replanning loop in :meth:`execute`.
+        """
+        resilience = self.resilience
+        if resilience is None or step.is_move:
+            self._enforce_step(step, report, payload_paths, workflow_name)
+            return
+        engine_name = step.engine or ""
+        policy = resilience.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            if not resilience.allow(engine_name, self.cloud.clock.now):
+                raise EngineUnavailableError(
+                    f"circuit breaker open for engine {engine_name!r}"
+                )
+            try:
+                self._enforce_step(step, report, payload_paths, workflow_name,
+                                   attempt=attempt)
+            except TransientEngineError as exc:
+                now = self.cloud.clock.now
+                resilience.on_failure(engine_name, now, exc)
+                if attempt >= policy.max_attempts:
+                    raise
+                if not resilience.allow(engine_name, now):
+                    raise
+                backoff = policy.backoff_seconds(
+                    attempt, salt=f"{step.operator.name}@{engine_name}")
+                self.cloud.clock.advance(backoff)
+                resilience.on_retry(engine_name, self.cloud.clock.now,
+                                    attempt, backoff)
+                report.retries += 1
+            except EngineError as exc:
+                resilience.on_failure(engine_name, self.cloud.clock.now, exc)
+                raise
+            else:
+                resilience.on_success(engine_name, self.cloud.clock.now)
+                return
 
     def _enforce_step(
         self,
@@ -239,6 +337,7 @@ class WorkflowExecutor:
         report: ExecutionReport,
         payload_paths: dict[str, str] | None = None,
         workflow_name: str = "",
+        attempt: int = 1,
     ) -> None:
         payload_paths = payload_paths if payload_paths is not None else {}
         started = self.cloud.clock.now
@@ -261,6 +360,38 @@ class WorkflowExecutor:
             )
         else:
             resources = resources_for(step.operator, self.cloud)
+        outcome = (
+            self.fault_injector.transient_outcome(engine.name)
+            if self.fault_injector is not None else TransientOutcome()
+        )
+        estimate = self._safe_estimate(engine, step, workload, resources)
+        if outcome.fails:
+            # A transient crash partway through: the work done before the
+            # failure was detected is real and stays on the simulated clock.
+            partial = (estimate or 0.0) * outcome.work_fraction * outcome.slowdown
+            self._fail_step(step, report, engine.name, workload, resources,
+                            partial, started, attempt,
+                            f"transient fault on {engine.name} after "
+                            f"{outcome.work_fraction:.0%} of the work")
+            raise TransientEngineError(
+                f"transient fault on engine {engine.name} while running "
+                f"{step.operator.name}"
+            )
+        deadline = (
+            self.resilience.timeout_for(estimate)
+            if self.resilience is not None else None
+        )
+        projected = (estimate or 0.0) * outcome.slowdown
+        if deadline is not None and estimate is not None and projected > deadline:
+            # A straggler: we wait until the deadline, then kill the attempt.
+            self._fail_step(step, report, engine.name, workload, resources,
+                            deadline, started, attempt,
+                            f"step exceeded its {deadline:.1f}s deadline "
+                            f"(projected {projected:.1f}s)")
+            raise StepTimeoutError(
+                f"{step.operator.name} on {engine.name} exceeded its "
+                f"{deadline:.1f}s deadline"
+            )
         impl, impl_input = self._data_plane_inputs(step, payload_paths)
         try:
             result = engine.execute(
@@ -272,11 +403,19 @@ class WorkflowExecutor:
                 impl_input=impl_input,
             )
         except EngineError as exc:
+            # Noticing a failed submission costs a health-probe round-trip.
+            detect = self.failure_detection_seconds
+            self.cloud.clock.advance(detect)
             report.executions.append(
-                StepExecution(step, engine.name, 0.0, started, success=False,
-                              error=str(exc))
+                StepExecution(step, engine.name, detect, started, success=False,
+                              error=str(exc), attempt=attempt)
             )
             raise
+        sim_seconds = result.record.exec_time * outcome.slowdown
+        if outcome.slowdown > 1.0:
+            # the straggler's extra time is charged by the enforcer
+            self.cloud.clock.advance(
+                result.record.exec_time * (outcome.slowdown - 1.0))
         if result.output is not None and getattr(self.cloud, "hdfs", None):
             for out in step.outputs:
                 path = f"/artifacts/{workflow_name}/{out.name}"
@@ -284,8 +423,42 @@ class WorkflowExecutor:
                                     overwrite=True)
                 payload_paths[out.name] = path
         report.executions.append(
-            StepExecution(step, engine.name, result.record.exec_time, started,
-                          success=True)
+            StepExecution(step, engine.name, sim_seconds, started,
+                          success=True, attempt=attempt)
+        )
+
+    def _safe_estimate(self, engine, step, workload, resources) -> float | None:
+        """Noise-free runtime estimate, or None when the profile can't say."""
+        try:
+            return engine.true_seconds(step.operator.algorithm, workload,
+                                       resources)
+        except (EngineError, KeyError):
+            return None
+
+    def _fail_step(
+        self, step, report, engine_name, workload, resources,
+        sim_seconds, started, attempt, error,
+    ) -> None:
+        """Charge a failed attempt to the clock and both record stores."""
+        if sim_seconds > 0:
+            self.cloud.clock.advance(sim_seconds)
+        self.cloud.collector.record(MetricRecord(
+            operator=step.operator.name,
+            algorithm=step.operator.algorithm,
+            engine=engine_name,
+            exec_time=sim_seconds,
+            started_at=started,
+            success=False,
+            error=error,
+            input_size=workload.size_gb * 1e9,
+            input_count=workload.count,
+            cores=resources.cores,
+            memory_gb=resources.memory_gb,
+            params=dict(workload.params),
+        ))
+        report.executions.append(
+            StepExecution(step, engine_name, sim_seconds, started,
+                          success=False, error=error, attempt=attempt)
         )
 
     def _data_plane_inputs(self, step: PlanStep, payload_paths: dict[str, str]):

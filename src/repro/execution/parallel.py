@@ -7,8 +7,16 @@ schedules a materialized plan with an event loop: a step starts once the
 steps producing its inputs finished *and* the YARN-like scheduler can grant
 its containers; the makespan is the resulting parallel completion time.
 
+The event loop is fault-aware: a step whose engine fails (OOM, killed
+service, injected transient fault) no longer aborts the whole simulation —
+the failing step and everything downstream of it are surfaced in the
+report's ``failures`` while independent branches still complete.  Detected
+stragglers (injected slowdowns beyond ``straggler_threshold``) are
+speculatively re-executed on the best alternative engine, Hadoop-style:
+whichever copy finishes first wins, and the outcome is recorded.
+
 Used to quantify how much the plan's dataflow parallelism buys on a given
-cluster, and how makespan degrades as the cluster shrinks.
+cluster, and how makespan degrades as the cluster shrinks or faults rise.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from repro.core.estimators import resources_for, workload_from_inputs
 from repro.core.workflow import MaterializedPlan, PlanStep
 from repro.engines.containers import ContainerRequest, ContainerScheduler
 from repro.engines.errors import EngineError, InsufficientResourcesError
+from repro.engines.faults import TransientOutcome
+from repro.engines.monitoring import resilience_event
 from repro.engines.registry import MultiEngineCloud
 
 
@@ -43,12 +53,49 @@ class ScheduledStep:
 
 
 @dataclass
+class StepFailure:
+    """A step the simulation could not run (or skipped due to one that failed)."""
+
+    step: PlanStep
+    error: str
+    cascaded: bool = False  # True when an upstream producer failed, not this step
+
+
+@dataclass
+class SpeculationRecord:
+    """Outcome of one speculative re-execution of a detected straggler."""
+
+    operator: str
+    engine: str  # the straggling original placement
+    backup_engine: str  # where the speculative copy ran
+    original_seconds: float  # how long the straggler would have taken
+    effective_seconds: float  # what the step actually took with speculation
+
+    @property
+    def won(self) -> bool:
+        """Whether the speculative copy beat the straggler."""
+        return self.effective_seconds < self.original_seconds
+
+    @property
+    def saved_seconds(self) -> float:
+        """Simulated time the speculation shaved off the step."""
+        return max(self.original_seconds - self.effective_seconds, 0.0)
+
+
+@dataclass
 class ParallelReport:
     """Outcome of a parallel simulation."""
 
     makespan: float
     serial_time: float
     schedule: list[ScheduledStep] = field(default_factory=list)
+    failures: list[StepFailure] = field(default_factory=list)
+    speculations: list[SpeculationRecord] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every step of the plan was scheduled and completed."""
+        return not self.failures
 
     @property
     def speedup(self) -> float:
@@ -67,33 +114,107 @@ class ParallelReport:
 
 
 class ParallelSimulator:
-    """Event-driven scheduler for one materialized plan."""
+    """Event-driven, fault-aware scheduler for one materialized plan."""
 
     def __init__(self, cloud: MultiEngineCloud, seed: int = 0,
-                 charge_clock: bool = True) -> None:
+                 charge_clock: bool = True, fault_injector=None,
+                 speculation: bool = True,
+                 straggler_threshold: float = 2.0) -> None:
         self.cloud = cloud
         self.seed = seed
         #: advance the cloud's simulated clock by the makespan afterwards
         self.charge_clock = charge_clock
+        #: optional FaultInjector supplying transient outcomes per execution
+        self.fault_injector = fault_injector
+        #: speculatively re-execute stragglers slower than threshold × nominal
+        self.speculation = speculation
+        self.straggler_threshold = straggler_threshold
 
     # -- durations -----------------------------------------------------------
-    def _duration(self, step: PlanStep, rng: np.random.Generator) -> float:
+    def _resolve(
+        self, step: PlanStep, rng: np.random.Generator
+    ) -> tuple[float | None, StepFailure | None, SpeculationRecord | None]:
+        """One step's effective duration, or its failure, plus speculation."""
         if step.is_move:
-            return self.cloud.move_seconds(
+            seconds = self.cloud.move_seconds(
                 step.inputs[0].size, step.inputs[0].store, step.outputs[0].store)
+            return seconds, None, None
         engine = self.cloud.engines.get(step.engine or "")
         if engine is None:
             raise SchedulingError(f"engine {step.engine!r} is not deployed")
+        if not engine.available:
+            return None, StepFailure(
+                step, f"{step.operator.name}@{engine.name}: engine is OFF"), None
         workload = workload_from_inputs(step.operator, step.inputs)
         resources = resources_for(step.operator, self.cloud)
         try:
             truth = engine.true_seconds(step.operator.algorithm, workload,
                                         resources)
         except EngineError as exc:
-            raise SchedulingError(
-                f"step {step.operator.name} is infeasible: {exc}") from exc
+            return None, StepFailure(
+                step, f"{step.operator.name}@{engine.name}: {exc}"), None
         noise = float(np.exp(rng.normal(0.0, engine.noise_sigma)))
-        return truth * noise
+        base = truth * noise
+        outcome = (
+            self.fault_injector.transient_outcome(engine.name)
+            if self.fault_injector is not None else TransientOutcome()
+        )
+        if outcome.fails:
+            return None, StepFailure(
+                step,
+                f"{step.operator.name}@{engine.name}: transient fault after "
+                f"{outcome.work_fraction:.0%} of the work"), None
+        if outcome.slowdown <= 1.0:
+            return base, None, None
+        slowed = base * outcome.slowdown
+        if not self.speculation or outcome.slowdown <= self.straggler_threshold:
+            return slowed, None, None
+        # straggler detected at threshold × nominal: launch a backup copy
+        spec = self._speculate(step, engine, workload, resources, rng,
+                               base, slowed)
+        if spec is None:
+            return slowed, None, None
+        return spec.effective_seconds, None, spec
+
+    def _speculate(self, step, engine, workload, resources, rng,
+                   base: float, slowed: float) -> SpeculationRecord | None:
+        backup = self._backup_engine(step, engine)
+        if backup is None:
+            return None
+        try:
+            backup_truth = backup.true_seconds(step.operator.algorithm,
+                                               workload, resources)
+        except EngineError:
+            return None
+        backup_noise = float(np.exp(rng.normal(0.0, backup.noise_sigma)))
+        detect = base * self.straggler_threshold
+        effective = min(slowed, detect + backup_truth * backup_noise)
+        return SpeculationRecord(
+            operator=step.operator.name,
+            engine=engine.name,
+            backup_engine=backup.name,
+            original_seconds=slowed,
+            effective_seconds=effective,
+        )
+
+    def _backup_engine(self, step: PlanStep, original):
+        """Fastest other available engine implementing the step's algorithm."""
+        workload = workload_from_inputs(step.operator, step.inputs)
+        best, best_seconds = None, float("inf")
+        for candidate in self.cloud.engines.values():
+            if candidate.name == original.name or not candidate.available:
+                continue
+            if not candidate.supports(step.operator.algorithm):
+                continue
+            try:
+                seconds = candidate.true_seconds(
+                    step.operator.algorithm, workload,
+                    resources_for(step.operator, self.cloud))
+            except EngineError:
+                continue
+            if seconds < best_seconds:
+                best, best_seconds = candidate, seconds
+        return best
 
     def _request(self, step: PlanStep) -> ContainerRequest | None:
         if step.is_move:
@@ -106,8 +227,22 @@ class ParallelSimulator:
         """Schedule the plan and return the parallel report."""
         rng = np.random.default_rng(self.seed)
         steps = list(plan.steps)
-        durations = {id(s): self._duration(s, rng) for s in steps}
-        requests = {id(s): self._request(s) for s in steps}
+        durations: dict[int, float] = {}
+        failures: dict[int, StepFailure] = {}
+        speculations: list[SpeculationRecord] = []
+        for step in steps:
+            seconds, failure, spec = self._resolve(step, rng)
+            if failure is not None:
+                failures[id(step)] = failure
+                continue
+            durations[id(step)] = seconds
+            if spec is not None:
+                speculations.append(spec)
+                self.cloud.collector.record(resilience_event(
+                    "speculation", spec.engine, self.cloud.clock.now,
+                    success=spec.won,
+                    detail=f"{spec.operator}: backup on {spec.backup_engine} "
+                           f"saved {spec.saved_seconds:.1f}s"))
 
         # dependencies by dataset-object identity (the planner shares them)
         producer_of: dict[int, PlanStep] = {}
@@ -121,12 +256,31 @@ class ParallelSimulator:
             for s in steps
         }
 
+        # cascade failures to every (transitive) downstream consumer
+        changed = True
+        while changed:
+            changed = False
+            for step in steps:
+                if id(step) in failures:
+                    continue
+                upstream = next((f for f in deps[id(step)] if f in failures), None)
+                if upstream is not None:
+                    failures[id(step)] = StepFailure(
+                        step,
+                        f"upstream failure: "
+                        f"{failures[upstream].step.operator.name}",
+                        cascaded=True)
+                    changed = True
+
+        runnable = [s for s in steps if id(s) not in failures]
+        requests = {id(s): self._request(s) for s in runnable}
+
         scheduler = ContainerScheduler(self.cloud.cluster.clone())
         done: set[int] = set()
         running: list[tuple[float, PlanStep, list]] = []  # (finish, step, grants)
         scheduled: dict[int, ScheduledStep] = {}
         now = 0.0
-        remaining = list(steps)
+        remaining = list(runnable)
 
         while remaining or running:
             progressed = True
@@ -170,4 +324,6 @@ class ParallelSimulator:
         return ParallelReport(
             makespan=makespan, serial_time=serial,
             schedule=sorted(scheduled.values(), key=lambda s: s.start),
+            failures=[failures[id(s)] for s in steps if id(s) in failures],
+            speculations=speculations,
         )

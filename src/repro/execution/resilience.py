@@ -1,0 +1,316 @@
+"""Transient-fault resilience: retries, circuit breakers, timeouts.
+
+Real multi-engine clouds mostly throw *transient* faults — flaky RPCs,
+momentary resource pressure, stragglers — that are absorbed with retries
+and speculation rather than a full replanning pass (Reshi, DAGPS).  This
+module provides the policy objects the executor layer wires in:
+
+- :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter; backoff waits are charged to the *simulated* clock
+  (the enforcer sleeps in simulated time, not wall time).
+- :class:`CircuitBreaker` — a per-engine closed → open → half-open state
+  machine.  Repeated failures open the breaker; the open set is subtracted
+  from the available engines during (re)planning so the planner routes
+  around sick engines; after ``recovery_timeout`` simulated seconds the
+  breaker half-opens and a probe execution decides whether to close it.
+- :class:`ResilienceManager` — holds the retry policy and the breaker per
+  engine, computes per-step timeouts, counts retries / breaker transitions
+  / speculation outcomes, and emits resilience events into the metrics
+  collector so the §2.2.1 monitoring plane sees them.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+#: breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    execution plus up to two retries.  ``max_attempts=1`` disables retrying
+    (the baseline "replan on first error" behaviour).
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 2.0  # simulated seconds before the first retry
+    backoff_factor: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.25  # +/- fraction of the raw backoff
+
+    def backoff_seconds(self, attempt: int, salt: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered.
+
+        The jitter is a pure function of ``(attempt, salt)`` — typically the
+        step/engine pair — so repeated runs charge identical simulated time.
+        """
+        raw = min(
+            self.base_backoff * self.backoff_factor ** max(attempt - 1, 0),
+            self.max_backoff,
+        )
+        if self.jitter <= 0:
+            return raw
+        digest = zlib.crc32(f"{salt}:{attempt}".encode()) % 10_000
+        unit = digest / 10_000.0  # deterministic in [0, 1)
+        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    @property
+    def retries_enabled(self) -> bool:
+        """Whether the policy allows any retry at all."""
+        return self.max_attempts > 1
+
+
+@dataclass
+class BreakerTransition:
+    """One recorded state change of a circuit breaker."""
+
+    at: float  # simulated time
+    engine: str
+    from_state: str
+    to_state: str
+    reason: str
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-engine failure isolation: closed → open → half-open → closed.
+
+    Failures are counted *consecutively*; any success resets the count.
+    While open, :meth:`allow` refuses executions until ``recovery_timeout``
+    simulated seconds have passed, then the breaker half-opens and admits a
+    single probe: success closes it, failure re-opens it (and restarts the
+    recovery clock).
+    """
+
+    engine: str
+    failure_threshold: int = 3
+    recovery_timeout: float = 120.0  # simulated seconds
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    transitions: list[BreakerTransition] = field(default_factory=list)
+
+    def _transition(self, to_state: str, now: float, reason: str) -> None:
+        self.transitions.append(
+            BreakerTransition(now, self.engine, self.state, to_state, reason)
+        )
+        self.state = to_state
+
+    def allow(self, now: float) -> bool:
+        """Whether an execution on this engine may proceed at time ``now``."""
+        if self.state == OPEN:
+            if now - self.opened_at >= self.recovery_timeout:
+                self._transition(HALF_OPEN, now, "recovery timeout elapsed")
+                return True
+            return False
+        return True  # closed or half-open (probe)
+
+    def record_success(self, now: float) -> None:
+        """A successful execution: close a half-open breaker, reset counts."""
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED, now, "probe succeeded")
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A failed execution: count it; open on threshold or failed probe."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self.opened_at = now
+            self._transition(OPEN, now, "probe failed")
+            return
+        if self.state == CLOSED and self.consecutive_failures >= self.failure_threshold:
+            self.opened_at = now
+            self._transition(OPEN, now, f"{self.consecutive_failures} consecutive failures")
+
+    def status(self) -> dict:
+        """JSON-able snapshot for the API/CLI."""
+        return {
+            "engine": self.engine,
+            "state": self.state,
+            "consecutiveFailures": self.consecutive_failures,
+            "openedAt": self.opened_at if self.state != CLOSED else None,
+            "transitions": len(self.transitions),
+        }
+
+
+class ResilienceManager:
+    """The executor's resilience brain: retry policy + per-engine breakers.
+
+    ``timeout_factor`` (relative to the step's noise-free estimate) and
+    ``step_timeout`` (absolute simulated seconds) bound each step's runtime;
+    either may be ``None``.  ``collector`` optionally receives one
+    :class:`~repro.engines.monitoring.MetricRecord` per resilience event
+    (retry, breaker transition, speculation) so the monitoring plane carries
+    the full fault story.
+    """
+
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        failure_threshold: int = 3,
+        recovery_timeout: float = 120.0,
+        step_timeout: float | None = None,
+        timeout_factor: float | None = None,
+        collector=None,
+    ) -> None:
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.step_timeout = step_timeout
+        self.timeout_factor = timeout_factor
+        self.collector = collector
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.retries = 0
+        self.breaker_opens = 0
+        self.speculations = 0
+        self.breaker_overrides = 0
+
+    @classmethod
+    def baseline(cls) -> "ResilienceManager":
+        """The pre-resilience behaviour: no retries, breakers never open."""
+        return cls(
+            retry_policy=RetryPolicy(max_attempts=1),
+            failure_threshold=10**9,
+        )
+
+    # -- breakers ------------------------------------------------------------
+    def breaker(self, engine: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one engine."""
+        found = self.breakers.get(engine)
+        if found is None:
+            found = CircuitBreaker(
+                engine,
+                failure_threshold=self.failure_threshold,
+                recovery_timeout=self.recovery_timeout,
+            )
+            self.breakers[engine] = found
+        return found
+
+    def allow(self, engine: str, now: float) -> bool:
+        """Whether the engine's breaker admits an execution at ``now``."""
+        return self.breaker(engine).allow(now)
+
+    def open_engines(self, now: float) -> set[str]:
+        """Engines whose breaker currently refuses executions.
+
+        Calling this can flip an open breaker to half-open once its recovery
+        timeout has elapsed — that is how sick engines are rediscovered.
+        """
+        return {
+            name for name, breaker in self.breakers.items()
+            if not breaker.allow(now)
+        }
+
+    def on_success(self, engine: str, now: float) -> None:
+        """Feed a successful execution into the engine's breaker."""
+        breaker = self.breaker(engine)
+        was_half_open = breaker.state == HALF_OPEN
+        breaker.record_success(now)
+        if was_half_open:
+            self._record_event("breaker_close", engine, now,
+                               detail="half-open probe succeeded")
+
+    def on_failure(self, engine: str, now: float, error: Exception | str) -> None:
+        """Feed a failed execution into the engine's breaker."""
+        breaker = self.breaker(engine)
+        before = breaker.state
+        breaker.record_failure(now)
+        if breaker.state == OPEN and before != OPEN:
+            self.breaker_opens += 1
+            self._record_event("breaker_open", engine, now,
+                               success=False, detail=str(error))
+
+    # -- retries / timeouts -------------------------------------------------
+    def on_retry(self, engine: str, now: float, attempt: int, backoff: float) -> None:
+        """Count one retry and record it in the monitoring plane."""
+        self.retries += 1
+        self._record_event(
+            "retry", engine, now, success=False,
+            detail=f"attempt {attempt} failed; backing off {backoff:.2f}s",
+        )
+
+    def on_speculation(self, engine: str, now: float, won: bool, detail: str = "") -> None:
+        """Count one speculative re-execution outcome."""
+        self.speculations += 1
+        self._record_event("speculation", engine, now, success=won, detail=detail)
+
+    def on_breaker_override(self, now: float, engines: set[str]) -> None:
+        """Planning had to re-admit open breakers (no alternative engines).
+
+        The affected breakers are forced into half-open so the plan's probe
+        executions are admitted; a failed probe re-opens them as usual.
+        """
+        self.breaker_overrides += 1
+        for name in engines:
+            breaker = self.breaker(name)
+            if breaker.state == OPEN:
+                breaker._transition(HALF_OPEN, now, "forced probe (no alternative)")
+        self._record_event(
+            "breaker_override", ",".join(sorted(engines)), now, success=False,
+            detail="no plan without open-breaker engines; forcing probes",
+        )
+
+    def timeout_for(self, estimate_seconds: float | None) -> float | None:
+        """The deadline for a step given its noise-free runtime estimate."""
+        candidates = []
+        if self.step_timeout is not None:
+            candidates.append(self.step_timeout)
+        if (
+            self.timeout_factor is not None
+            and estimate_seconds is not None
+            and estimate_seconds > 0
+        ):
+            candidates.append(self.timeout_factor * estimate_seconds)
+        return min(candidates) if candidates else None
+
+    # -- reporting -----------------------------------------------------------
+    def _record_event(self, kind: str, engine: str, now: float,
+                      success: bool = True, detail: str = "") -> None:
+        if self.collector is None:
+            return
+        from repro.engines.monitoring import resilience_event
+
+        self.collector.record(
+            resilience_event(kind, engine, now, success=success, detail=detail)
+        )
+
+    def status(self) -> dict:
+        """JSON-able snapshot of the whole resilience layer."""
+        return {
+            "retryPolicy": {
+                "maxAttempts": self.retry_policy.max_attempts,
+                "baseBackoff": self.retry_policy.base_backoff,
+                "backoffFactor": self.retry_policy.backoff_factor,
+                "maxBackoff": self.retry_policy.max_backoff,
+                "jitter": self.retry_policy.jitter,
+            },
+            "failureThreshold": self.failure_threshold,
+            "recoveryTimeout": self.recovery_timeout,
+            "stepTimeout": self.step_timeout,
+            "timeoutFactor": self.timeout_factor,
+            "counters": {
+                "retries": self.retries,
+                "breakerOpens": self.breaker_opens,
+                "speculations": self.speculations,
+                "breakerOverrides": self.breaker_overrides,
+            },
+            "breakers": {
+                name: breaker.status()
+                for name, breaker in sorted(self.breakers.items())
+            },
+        }
+
+    def reset_breaker(self, engine: str, now: float = 0.0) -> CircuitBreaker:
+        """Force one engine's breaker back to closed (operator action)."""
+        breaker = self.breaker(engine)
+        if breaker.state != CLOSED:
+            breaker._transition(CLOSED, now, "operator reset")
+        breaker.consecutive_failures = 0
+        return breaker

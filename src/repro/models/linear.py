@@ -22,8 +22,13 @@ class LinearRegression(Model):
         self.coef_: np.ndarray | None = None
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        A = _design(X)
-        self.coef_, *_ = np.linalg.lstsq(A, y, rcond=None)
+        # Solve on the centered design so the intercept is exactly
+        # mean(y) - mean(X) @ w: a constant shift of the target then moves
+        # the intercept alone, even for ill-conditioned designs.
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        w, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=None)
+        self.coef_ = np.append(w, y_mean - x_mean @ w)
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
         return _design(X) @ self.coef_

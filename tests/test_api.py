@@ -170,3 +170,36 @@ class TestErrorPaths:
         response = server.handle("POST", "/abstractWorkflows/broken", {
             "graph": ["not-an-edge"]})
         assert response.status == 400
+
+
+class TestResilience:
+    def test_status_route(self, server):
+        response = server.handle("GET", "/resilience")
+        assert response.status == 200
+        assert response.body["retryPolicy"]["maxAttempts"] >= 1
+        assert "counters" in response.body
+        assert json.loads(response.json())
+
+    def test_status_reflects_chaos_execution(self, server):
+        server.ires.fault_injector.make_flaky("Spark", 1.0)
+        server.handle("POST", "/abstractWorkflows/text/execute")
+        response = server.handle("GET", "/resilience")
+        breakers = response.body["breakers"]
+        assert breakers.get("Spark", {}).get("state") == "open"
+        assert response.body["counters"]["retries"] >= 1
+
+    def test_breaker_reset_route(self, server):
+        server.ires.fault_injector.make_flaky("Spark", 1.0)
+        server.handle("POST", "/abstractWorkflows/text/execute")
+        response = server.handle("POST", "/resilience/breakers/Spark/reset")
+        assert response.status == 200
+        assert response.body["breaker"]["state"] == "closed"
+
+    def test_reset_unknown_engine_404(self, server):
+        assert server.handle(
+            "POST", "/resilience/breakers/NoSuch/reset").status == 404
+
+    def test_report_includes_retries(self, server):
+        response = server.handle("POST", "/abstractWorkflows/text/execute")
+        assert response.status == 200
+        assert response.body["report"]["retries"] == 0

@@ -108,3 +108,18 @@ def test_report_without_results_exits(tmp_path):
     with pytest.raises(SystemExit):
         main(["report", "--results", str(tmp_path / "none"),
               "--out", str(tmp_path / "r.md")])
+
+
+def test_execute_with_chaos_flags(library_dir, capsys):
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--fail-rate", "0.3", "--chaos-seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos: fail_rate=0.3" in out
+    assert "resilience:" in out
+
+
+def test_execute_without_resilience(library_dir, capsys):
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--no-resilience"]) == 0
+    out = capsys.readouterr().out
+    assert "retries=0" in out

@@ -123,3 +123,32 @@ class TestCollectorPersistence:
         restored.load(path)
         assert restored.failures()[0].exec_time == float("inf")
         assert restored.failures()[0].error == "OOM"
+
+    def test_load_ignores_unknown_keys(self, tmp_path):
+        """Files written by newer code (extra fields) still load cleanly."""
+        import json
+
+        path = tmp_path / "future.jsonl"
+        payload = {
+            "operator": "x", "algorithm": "a", "engine": "E",
+            "exec_time": 1.5, "started_at": 0.0,
+            "attempt": 3, "breaker_state": "open", "some_new_field": [1, 2],
+        }
+        path.write_text(json.dumps(payload) + "\n")
+        restored = MetricsCollector()
+        assert restored.load(path) == 1
+        record = restored.all()[0]
+        assert record.exec_time == 1.5
+        assert not hasattr(record, "some_new_field")
+
+    def test_resilience_events_queryable(self):
+        from repro.engines.monitoring import resilience_event
+
+        collector = MetricsCollector()
+        collector.record(resilience_event("retry", "Spark", 1.0, success=False))
+        collector.record(resilience_event("breaker_open", "Hive", 2.0,
+                                          success=False))
+        assert len(collector.resilience_events()) == 2
+        assert len(collector.resilience_events("retry")) == 1
+        # resilience events never leak into model-training queries
+        assert collector.for_operator("retry") == []

@@ -105,3 +105,82 @@ def test_deterministic_given_seed(relational):
     a = ParallelSimulator(ires.cloud, seed=7, charge_clock=False).simulate(plan)
     b = ParallelSimulator(ires.cloud, seed=7, charge_clock=False).simulate(plan)
     assert a.makespan == b.makespan
+
+
+class TestFaultAwareSimulation:
+    def test_transient_failure_surfaced_not_fatal(self):
+        """A failing step lands in report.failures; the rest still runs."""
+        ires = IReS()
+        make = setup_relational_analytics(ires)
+        plan = ires.plan(make(10))
+        victim = next(s.engine for s in plan.steps if not s.is_move)
+        ires.fault_injector.make_flaky(victim, 1.0)
+        report = ParallelSimulator(
+            ires.cloud, seed=1, charge_clock=False,
+            fault_injector=ires.fault_injector).simulate(plan)
+        assert not report.succeeded
+        direct = [f for f in report.failures if not f.cascaded]
+        assert direct and all(victim in f.error or f.step.engine == victim
+                              for f in direct)
+        # independent branches still completed
+        assert report.schedule
+        assert report.makespan > 0
+
+    def test_failures_cascade_to_downstream_consumers(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        plan = ires.plan(make())
+        first = next(s for s in plan.steps if not s.is_move)
+        ires.fault_injector.make_flaky(first.engine, 1.0)
+        report = ParallelSimulator(
+            ires.cloud, seed=1, charge_clock=False,
+            fault_injector=ires.fault_injector).simulate(plan)
+        # a chain: everything downstream of the first step is cascaded
+        assert any(f.cascaded for f in report.failures)
+        assert len(report.failures) >= 2
+
+    def test_killed_engine_surfaces_as_failure(self):
+        ires = IReS()
+        make = setup_relational_analytics(ires)
+        plan = ires.plan(make(10))
+        victim = next(s.engine for s in plan.steps if not s.is_move)
+        ires.cloud.kill_engine(victim)
+        report = ParallelSimulator(
+            ires.cloud, seed=1, charge_clock=False).simulate(plan)
+        assert not report.succeeded
+        assert any("OFF" in f.error for f in report.failures)
+
+    def test_straggler_speculation_bounds_makespan(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        plan = ires.plan(make())
+        # HelloWorld2 has four candidate engines, so a backup exists
+        victim = plan.step_for_operator("HelloWorld2").engine
+
+        def simulate(speculation):
+            ires.fault_injector.clear_transients()
+            ires.fault_injector.make_straggler(victim, slowdown=10.0)
+            return ParallelSimulator(
+                ires.cloud, seed=2, charge_clock=False,
+                fault_injector=ires.fault_injector,
+                speculation=speculation).simulate(plan)
+
+        slow = simulate(False)
+        fast = simulate(True)
+        assert fast.speculations
+        assert all(s.won for s in fast.speculations)
+        assert fast.makespan < slow.makespan
+        record = fast.speculations[0]
+        assert record.engine == victim
+        assert record.backup_engine != victim
+        assert record.saved_seconds > 0
+
+    def test_no_faults_reports_success(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        plan = ires.plan(make())
+        report = ParallelSimulator(ires.cloud, seed=1,
+                                   charge_clock=False).simulate(plan)
+        assert report.succeeded
+        assert report.failures == []
+        assert report.speculations == []

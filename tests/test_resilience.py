@@ -1,0 +1,319 @@
+"""Tests for the transient-fault resilience layer (repro.execution.resilience)."""
+
+import pytest
+
+from repro.core import IReS
+from repro.engines.errors import (
+    EngineError,
+    StepTimeoutError,
+    TransientEngineError,
+)
+from repro.execution import ResilienceManager, RetryPolicy
+from repro.execution.enforcer import ExecutionFailed
+from repro.execution.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.scenarios import setup_graph_analytics, setup_helloworld
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff=2.0, backoff_factor=2.0, jitter=0.0)
+        assert policy.backoff_seconds(1) == 2.0
+        assert policy.backoff_seconds(2) == 4.0
+        assert policy.backoff_seconds(3) == 8.0
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_backoff=10.0, backoff_factor=10.0,
+                             max_backoff=25.0, jitter=0.0)
+        assert policy.backoff_seconds(5) == 25.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff=10.0, jitter=0.25)
+        a = policy.backoff_seconds(1, salt="op@Spark")
+        b = policy.backoff_seconds(1, salt="op@Spark")
+        assert a == b  # same (attempt, salt) -> same jitter
+        assert a != policy.backoff_seconds(1, salt="op@Hive")
+        assert 7.5 <= a <= 12.5
+
+    def test_single_attempt_disables_retries(self):
+        assert not RetryPolicy(max_attempts=1).retries_enabled
+        assert RetryPolicy(max_attempts=2).retries_enabled
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("Spark", failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(now=1.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=1.5)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("Spark", failure_threshold=2)
+        breaker.record_failure(now=0.0)
+        breaker.record_success(now=0.5)
+        breaker.record_failure(now=1.0)
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_recovery_timeout(self):
+        breaker = CircuitBreaker("Spark", failure_threshold=1,
+                                 recovery_timeout=100.0)
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(now=50.0)
+        assert breaker.allow(now=100.0)  # probe admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker("Spark", failure_threshold=1,
+                                 recovery_timeout=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=20.0)
+        breaker.record_success(now=21.0)
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_recovery(self):
+        breaker = CircuitBreaker("Spark", failure_threshold=1,
+                                 recovery_timeout=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=20.0)
+        breaker.record_failure(now=21.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=25.0)  # recovery clock restarted at 21
+        assert breaker.allow(now=31.0)
+
+    def test_transitions_are_recorded(self):
+        breaker = CircuitBreaker("Hive", failure_threshold=1,
+                                 recovery_timeout=5.0)
+        breaker.record_failure(now=0.0)
+        breaker.allow(now=6.0)
+        breaker.record_success(now=7.0)
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+class TestExecutorRetries:
+    def test_transient_faults_absorbed_without_replanning(self):
+        """A flaky engine is retried in place; no replan, clock charged."""
+        ires = IReS()
+        make = setup_helloworld(ires)
+        ires.fault_injector.seed = 3
+        ires.fault_injector.make_all_flaky(0.3)
+        report = ires.execute(make())
+        assert report.succeeded
+        assert report.retries >= 1
+        assert report.replans == 0
+        # the failed attempts and their backoffs are on the simulated clock
+        failed = [e for e in report.executions if not e.success]
+        assert failed and all(e.sim_seconds > 0 for e in failed)
+        assert ires.cloud.collector.resilience_events("retry")
+
+    def test_retries_charge_more_sim_time_than_fault_free(self):
+        def run(rate):
+            ires = IReS()
+            make = setup_helloworld(ires)
+            ires.fault_injector.seed = 3
+            if rate:
+                ires.fault_injector.make_all_flaky(rate)
+            return ires.execute(make())
+
+        assert run(0.3).sim_time > run(0.0).sim_time
+
+    def test_chaos_runs_are_reproducible(self):
+        def run():
+            ires = IReS()
+            make = setup_helloworld(ires)
+            ires.fault_injector.seed = 7
+            ires.fault_injector.make_all_flaky(0.25)
+            return ires.execute(make())
+
+        a, b = run(), run()
+        assert a.sim_time == b.sim_time
+        assert a.retries == b.retries
+
+    def test_permanently_sick_engine_opens_breaker_and_replans(self):
+        """fail_rate=1: bounded retries, breaker opens, plan routes around."""
+        ires = IReS()
+        make = setup_helloworld(ires)
+        victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+        ires.fault_injector.make_flaky(victim, 1.0)
+        report = ires.execute(make())
+        assert report.succeeded
+        assert report.retries == ires.resilience.retry_policy.max_attempts - 1
+        assert report.replans == 1
+        assert ires.resilience.breaker(victim).state == OPEN
+        assert victim not in report.engines_used()
+        assert ires.cloud.collector.resilience_events("breaker_open")
+
+    def test_killed_engine_not_retried(self):
+        """Permanent kills keep the pre-resilience semantics exactly."""
+        ires = IReS()
+        make = setup_helloworld(ires)
+        victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+        ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+        report = ires.execute(make())
+        assert report.succeeded
+        assert report.retries == 0
+        assert report.replans == 1
+
+    def test_baseline_manager_disables_retries(self):
+        ires = IReS(resilience=ResilienceManager.baseline())
+        make = setup_helloworld(ires)
+        ires.fault_injector.seed = 3
+        ires.fault_injector.make_all_flaky(0.3)
+        report = ires.execute(make())
+        assert report.retries == 0
+        assert report.replans >= 1
+
+    def test_resilient_fewer_replans_than_baseline(self):
+        """The acceptance shape: retries convert replans into local retries."""
+        def total_replans(resilience):
+            replans = 0
+            for seed in range(3):
+                ires = IReS(resilience=resilience() if resilience else None)
+                make = setup_helloworld(ires)
+                ires.fault_injector.seed = seed
+                ires.fault_injector.make_all_flaky(0.3)
+                replans += ires.execute(make()).replans
+            return replans
+
+        assert total_replans(None) < total_replans(ResilienceManager.baseline)
+
+    def test_replanning_exhaustion_under_chaos(self):
+        """max_replans=0 with no retries -> first failure is fatal."""
+        ires = IReS(resilience=ResilienceManager.baseline())
+        ires.executor.max_replans = 0
+        make = setup_helloworld(ires)
+        ires.fault_injector.seed = 3
+        ires.fault_injector.make_all_flaky(0.9)
+        with pytest.raises(ExecutionFailed):
+            ires.execute(make())
+
+
+class TestTimeouts:
+    def test_straggler_hits_step_timeout_and_recovers(self):
+        """A 10× straggler breaches timeout_factor; retries still finish."""
+        ires = IReS(resilience=ResilienceManager(timeout_factor=3.0))
+        make = setup_helloworld(ires)
+        victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+        ires.fault_injector.make_straggler(victim, slowdown=10.0,
+                                           straggler_rate=1.0)
+        report = ires.execute(make())
+        assert report.succeeded
+        timeouts = [e for e in report.executions
+                    if not e.success and "deadline" in (e.error or "")]
+        assert timeouts
+        # the timed-out attempts were charged at the deadline, not for free
+        assert all(e.sim_seconds > 0 for e in timeouts)
+
+    def test_timeout_for_combines_absolute_and_relative(self):
+        manager = ResilienceManager(step_timeout=50.0, timeout_factor=3.0)
+        assert manager.timeout_for(10.0) == 30.0  # relative binds
+        assert manager.timeout_for(100.0) == 50.0  # absolute binds
+        assert ResilienceManager().timeout_for(10.0) is None
+
+    def test_step_timeout_error_is_transient(self):
+        assert issubclass(StepTimeoutError, TransientEngineError)
+        assert issubclass(TransientEngineError, EngineError)
+
+
+class TestFaultInjector:
+    def test_outcomes_are_seeded_per_engine(self):
+        ires = IReS()
+        ires.fault_injector.seed = 5
+        ires.fault_injector.make_flaky("Spark", 0.5)
+        draws = [ires.fault_injector.transient_outcome("Spark").fails
+                 for _ in range(20)]
+        ires2 = IReS()
+        ires2.fault_injector.seed = 5
+        ires2.fault_injector.make_flaky("Spark", 0.5)
+        assert draws == [ires2.fault_injector.transient_outcome("Spark").fails
+                         for _ in range(20)]
+        assert any(draws) and not all(draws)
+
+    def test_unconfigured_engine_is_nominal(self):
+        ires = IReS()
+        outcome = ires.fault_injector.transient_outcome("Spark")
+        assert outcome.nominal
+
+    def test_profile_validation(self):
+        ires = IReS()
+        with pytest.raises(ValueError):
+            ires.fault_injector.make_flaky("Spark", 1.5)
+        with pytest.raises(ValueError):
+            ires.fault_injector.make_straggler("Spark", 0.5)
+
+    def test_clear_transients(self):
+        ires = IReS()
+        ires.fault_injector.make_flaky("Spark", 1.0)
+        ires.fault_injector.clear_transients("Spark")
+        assert ires.fault_injector.transient_outcome("Spark").nominal
+
+    def test_reset_round_trip_restores_original_plan(self):
+        """kill -> replan -> reset -> the original optimal plan comes back."""
+        ires = IReS()
+        make = setup_helloworld(ires)
+        original = [s.engine for s in ires.plan(make()).steps]
+        victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+        ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+        report = ires.execute(make())
+        assert report.replans == 1
+        degraded = [s.engine for s in ires.plan(make()).steps]
+        assert victim not in degraded
+        ires.fault_injector.reset()
+        assert victim in ires.cloud.available_engines()
+        assert [s.engine for s in ires.plan(make()).steps] == original
+
+
+class TestBreakerRecovery:
+    def test_half_open_probe_rediscovers_recovered_engine(self):
+        """After recovery_timeout of sim time, the engine is probed again."""
+        manager = ResilienceManager(recovery_timeout=10.0)
+        ires = IReS(resilience=manager)
+        make = setup_graph_analytics(ires)
+        ires.fault_injector.make_flaky("Java", 1.0)  # Java: fastest pagerank
+        report = ires.execute(make(1e6))
+        assert report.succeeded
+        assert manager.breaker("Java").state == OPEN
+        # the engine recovers; enough simulated time passes for a probe
+        ires.fault_injector.clear_transients("Java")
+        ires.cloud.clock.advance(manager.recovery_timeout)
+        report2 = ires.execute(make(1e6))
+        assert report2.succeeded
+        assert "Java" in report2.engines_used()
+        assert manager.breaker("Java").state == CLOSED
+
+    def test_breaker_override_when_no_alternative_exists(self):
+        """All capable engines sick: planning forces half-open probes."""
+        manager = ResilienceManager()
+        ires = IReS(resilience=manager)
+        make = setup_graph_analytics(ires)
+        for engine in ("Java", "Hama", "Spark"):
+            ires.fault_injector.make_flaky(engine, 1.0)
+        with pytest.raises(ExecutionFailed):
+            ires.execute(make(1e6))
+        assert manager.breaker_overrides >= 1
+
+    def test_reset_breaker_closes_it(self):
+        manager = ResilienceManager()
+        breaker = manager.breaker("Hive")
+        for _ in range(manager.failure_threshold):
+            breaker.record_failure(now=1.0)
+        assert breaker.state == OPEN
+        manager.reset_breaker("Hive", now=2.0)
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+
+class TestStatus:
+    def test_status_is_json_serializable(self):
+        import json
+
+        ires = IReS()
+        make = setup_helloworld(ires)
+        ires.fault_injector.make_flaky("Spark", 1.0)
+        ires.execute(make())
+        status = ires.resilience.status()
+        parsed = json.loads(json.dumps(status))
+        assert parsed["counters"]["retries"] == ires.resilience.retries
+        assert "Spark" in parsed["breakers"]
