@@ -30,7 +30,14 @@ POST   /engines/{name}/start                              restart a service
 GET    /models/{algorithm}/{engine}                       trained model info
 GET    /resilience                                        retry/breaker status
 POST   /resilience/breakers/{engine}/reset                close one breaker
+GET    /metrics                                           Prometheus text
+GET    /traces                                            collected run ids
+GET    /traces/{run_id}                                   one run's Chrome trace
 ====== ================================================= =====================
+
+``/metrics`` responds with Prometheus text exposition (``Response.text``);
+``/traces/{run_id}`` responds with a Chrome trace-event JSON object that
+Perfetto loads directly.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.core.planner import PlanningError
 from repro.core.platform import IReS
 from repro.core.workflow import WorkflowError
 from repro.execution.enforcer import ExecutionFailed
+from repro.obs.metrics import get_registry
 
 
 class ApiError(Exception):
@@ -56,13 +64,23 @@ class ApiError(Exception):
 
 @dataclass
 class Response:
-    """An HTTP-style status code plus a JSON-able body."""
+    """An HTTP-style status code plus a JSON-able body.
+
+    Non-JSON endpoints (``/metrics``) set ``text`` instead of ``body`` and
+    flag it with ``content_type``.
+    """
     status: int
     body: dict = field(default_factory=dict)
+    text: str | None = None
+    content_type: str = "application/json"
 
     def json(self) -> str:
         """The body serialized as a JSON string."""
         return json.dumps(self.body, sort_keys=True)
+
+    def payload(self) -> str:
+        """What a transport should write: ``text`` if set, else the JSON."""
+        return self.text if self.text is not None else self.json()
 
 
 class IResServer:
@@ -246,6 +264,29 @@ class IResServer:
         breaker = resilience.reset_breaker(engine, self.ires.cloud.clock.now)
         return Response(200, {"engine": engine, "breaker": breaker.status()})
 
+    # -- /metrics ------------------------------------------------------------
+    def _metrics(self, method, rest, body) -> Response:
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /metrics")
+        return Response(200, text=get_registry().render(),
+                        content_type="text/plain; version=0.0.4")
+
+    # -- /traces -------------------------------------------------------------
+    def _traces(self, method, rest, body) -> Response:
+        self._expect(method == "GET", 405, "use GET")
+        tracer = self.ires.tracer
+        if not rest:
+            runs = [
+                {"runId": run_id, "spans": len(tracer.spans(run_id))}
+                for run_id in tracer.run_ids()
+            ]
+            return Response(200, {"runs": runs})
+        self._expect(len(rest) == 1, 404, "use /traces/{run_id}")
+        run_id = rest[0]
+        spans = tracer.spans(run_id)
+        self._expect(bool(spans), 404, f"no trace for run {run_id!r}")
+        return Response(200, tracer.chrome_trace(run_id))
+
     # -- /models -------------------------------------------------------------
     def _models(self, method, rest, body) -> Response:
         self._expect(method == "GET", 405, "use GET")
@@ -285,6 +326,7 @@ def _plan_json(plan) -> dict:
 def _report_json(report) -> dict:
     return {
         "succeeded": report.succeeded,
+        "runId": report.run_id,
         "simTime": report.sim_time,
         "replans": report.replans,
         "retries": report.retries,

@@ -8,6 +8,11 @@ Works against an on-disk ``asapLibrary/`` directory (see
     ires plan      <library_dir> <workflow>   # materialize a workflow
     ires execute   <library_dir> <workflow>   # plan + run it
     ires frontier  <library_dir> <workflow>   # Pareto time/cost frontier
+    ires trace summarize <trace_file>         # per-phase trace summary
+
+``ires execute --trace out.json`` writes a Chrome trace-event file (load
+it in Perfetto / chrome://tracing) covering the run's planner, executor
+and resilience spans.
 """
 
 from __future__ import annotations
@@ -88,16 +93,28 @@ def cmd_execute(args) -> int:
     try:
         report = ires.execute(_workflow(ires, args.workflow))
     except ExecutionFailed as exc:
+        _export_trace(ires, args.trace)
         _print_resilience(ires)
         sys.exit(f"error: {exc}")
     print(f"succeeded={report.succeeded} simTime={report.sim_time:.2f}s "
-          f"replans={report.replans} retries={report.retries}")
+          f"replans={report.replans} retries={report.retries} "
+          f"runId={report.run_id}")
     for execution in report.executions:
         flag = "" if execution.success else "  FAILED"
         print(f"  {execution.step.operator.name:<34} @{execution.engine:<10} "
               f"{execution.sim_seconds:8.2f}s{flag}")
     _print_resilience(ires)
+    _export_trace(ires, args.trace)
     return 0 if report.succeeded else 1
+
+
+def _export_trace(ires: IReS, path: str | None) -> None:
+    """Write the platform tracer's spans as a Chrome trace-event file."""
+    if not path:
+        return
+    count = ires.tracer.export_chrome(path)
+    print(f"trace: wrote {count} spans to {path} "
+          "(load in Perfetto / chrome://tracing)")
 
 
 def _print_resilience(ires: IReS) -> None:
@@ -148,6 +165,35 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def cmd_trace_summarize(args) -> int:
+    """``ires trace summarize``: per-run, per-phase totals + critical path."""
+    from repro.obs.tracing import load_trace, summarize_spans
+
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot load trace {args.trace_file!r}: {exc}")
+    if not spans:
+        sys.exit(f"error: no spans in {args.trace_file!r}")
+    summary = summarize_spans(spans)
+    for run in summary["runs"]:
+        print(f"run {run['run_id']}: {run['spans']} spans")
+        print(f"  {'phase':<12} {'spans':>5} {'wall (s)':>10} {'sim (s)':>10} "
+              f"{'errors':>6}")
+        for phase, totals in sorted(run["phases"].items()):
+            print(f"  {phase:<12} {totals['spans']:>5} "
+                  f"{totals['wall_seconds']:>10.4f} "
+                  f"{totals['sim_seconds']:>10.2f} {totals['errors']:>6}")
+        chain = run["critical_path"]
+        if chain:
+            print(f"  critical path ({run['critical_path_seconds']:.2f} "
+                  f"simulated seconds):")
+            for hop in chain:
+                print(f"    {hop['name']:<36} @{hop['engine']:<10} "
+                      f"{hop['sim_seconds']:8.2f}s")
+    return 0
+
+
 def cmd_report(args) -> int:
     """``ires report``: aggregate benchmark result tables into one markdown."""
     from pathlib import Path
@@ -190,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("workflow")
         p.set_defaults(func=func)
         if name == "execute":
+            p.add_argument("--trace", default=None, metavar="FILE",
+                           help="write a Chrome trace-event JSON of the run "
+                                "(Perfetto-loadable)")
             p.add_argument("--fail-rate", type=float, default=0.0,
                            help="inject transient faults into every engine "
                                 "with this probability")
@@ -198,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-resilience", action="store_true",
                            help="disable retries/breakers (replan on first "
                                 "error, the pre-resilience behaviour)")
+
+    p = sub.add_parser("trace", help="inspect trace files written by --trace")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser("summarize",
+                             help="per-phase totals and the critical path")
+    p.add_argument("trace_file")
+    p.set_defaults(func=cmd_trace_summarize)
 
     p = sub.add_parser("report", help="collect benchmark results into one file")
     p.add_argument("--results", default="benchmarks/results",

@@ -10,12 +10,38 @@ library operators using a set of highly selective meta-data attributes").
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.obs.metrics import REGISTRY
 
 #: The selective attribute used for the library index.
 INDEX_ATTRIBUTE = "Constraints.OpSpecification.Algorithm.name"
+
+_LOOKUPS = REGISTRY.counter(
+    "ires_library_lookups_total",
+    "Abstract-to-materialized match lookups against the operator library",
+)
+_CANDIDATES = REGISTRY.counter(
+    "ires_library_candidates_total",
+    "Candidate operators by match outcome (matched / engine_filtered / "
+    "tree_rejected) and index prunes that skipped the tree-match entirely",
+    labels=("outcome",),
+)
+
+
+@dataclass
+class MatchStats:
+    """What one ``find_materialized`` lookup saw — the planner attaches this
+    to its per-operator expansion spans."""
+
+    library_size: int = 0
+    pool_size: int = 0  # candidates after the index lookup
+    pruned_by_index: int = 0  # operators the index let us skip
+    engine_filtered: int = 0  # pool members on unavailable engines
+    tree_rejected: int = 0  # pool members failing the meta-data tree match
+    matched: int = 0
 
 
 class OperatorLibrary:
@@ -71,6 +97,7 @@ class OperatorLibrary:
         abstract: AbstractOperator,
         available_engines: set[str] | None = None,
         use_index: bool = True,
+        stats: MatchStats | None = None,
     ) -> list[MaterializedOperator]:
         """``findMaterializedOperators(o)`` of Algorithm 1.
 
@@ -78,13 +105,34 @@ class OperatorLibrary:
         operator, optionally restricted to currently-available engines (the
         fault-tolerance path excludes unavailable ones during planning).
         ``use_index=False`` forces the full-library scan (used by the index
-        ablation benchmark).
+        ablation benchmark).  ``stats``, when given, is filled with the
+        lookup's matched/pruned counts.
         """
         pool = self.candidates(abstract) if use_index else list(self._by_name.values())
         matches = []
+        engine_filtered = tree_rejected = 0
         for op in pool:
             if available_engines is not None and op.engine not in available_engines:
+                engine_filtered += 1
                 continue
             if op.matches_abstract(abstract):
                 matches.append(op)
+            else:
+                tree_rejected += 1
+        pruned = len(self._by_name) - len(pool)
+        _LOOKUPS.inc()
+        _CANDIDATES.inc(len(matches), outcome="matched")
+        if pruned:
+            _CANDIDATES.inc(pruned, outcome="pruned_index")
+        if engine_filtered:
+            _CANDIDATES.inc(engine_filtered, outcome="engine_filtered")
+        if tree_rejected:
+            _CANDIDATES.inc(tree_rejected, outcome="tree_rejected")
+        if stats is not None:
+            stats.library_size = len(self._by_name)
+            stats.pool_size = len(pool)
+            stats.pruned_by_index = pruned
+            stats.engine_filtered = engine_filtered
+            stats.tree_rejected = tree_rejected
+            stats.matched = len(matches)
         return matches

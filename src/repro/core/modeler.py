@@ -15,6 +15,26 @@ import numpy as np
 from repro.engines.monitoring import MetricsCollector
 from repro.models import Model, default_model_zoo, select_best_model
 from repro.models.linear import LinearRegression
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+_LOG = get_logger("modeler")
+_TRAININGS = REGISTRY.counter(
+    "ires_modeler_trainings_total",
+    "Model (re)trainings by operator pair",
+    labels=("algorithm", "engine"),
+)
+_SAMPLES = REGISTRY.gauge(
+    "ires_modeler_samples",
+    "Training samples used by the last fit of each operator pair",
+    labels=("algorithm", "engine"),
+)
+_CV_ERROR = REGISTRY.gauge(
+    "ires_modeler_cv_error",
+    "Cross-validation error of the winning model of each operator pair",
+    labels=("algorithm", "engine"),
+)
 
 
 @dataclass
@@ -55,37 +75,55 @@ class Modeler:
         zoo: dict | None = None,
         min_samples: int = 4,
         log_space: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.collector = collector
         self.zoo = zoo if zoo is not None else default_model_zoo()
         self.min_samples = min_samples
         self.log_space = log_space
         self.models: dict[tuple[str, str], OperatorModel] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def train(self, algorithm: str, engine: str) -> OperatorModel | None:
         """(Re)train the model for a pair from all its stored samples.
 
         Returns None when too few samples exist to fit anything.
         """
-        X, y, names = self.collector.training_matrix(algorithm, engine)
-        if len(y) < 2:
-            return None
-        if self.log_space:
-            X = np.log1p(np.abs(X))
-            y = np.log1p(np.maximum(y, 0.0))
-        if len(y) < self.min_samples:
-            model: Model = LinearRegression().fit(X, y)
-            fitted = OperatorModel(
-                algorithm, engine, names, model, "LinearRegression", len(y), {},
-                log_space=self.log_space,
-            )
-        else:
-            model, winner, scores = select_best_model(X, y, zoo=self.zoo)
-            fitted = OperatorModel(
-                algorithm, engine, names, model, winner, len(y), scores,
-                log_space=self.log_space,
-            )
-        self.models[(algorithm, engine)] = fitted
+        with self.tracer.span(f"train:{algorithm}@{engine}", category="modeler",
+                              algorithm=algorithm, engine=engine) as span:
+            X, y, names = self.collector.training_matrix(algorithm, engine)
+            span.set_attribute("samples", int(len(y)))
+            if len(y) < 2:
+                span.set_attribute("skipped", "too few samples")
+                return None
+            if self.log_space:
+                X = np.log1p(np.abs(X))
+                y = np.log1p(np.maximum(y, 0.0))
+            if len(y) < self.min_samples:
+                model: Model = LinearRegression().fit(X, y)
+                fitted = OperatorModel(
+                    algorithm, engine, names, model, "LinearRegression", len(y),
+                    {}, log_space=self.log_space,
+                )
+            else:
+                model, winner, scores = select_best_model(X, y, zoo=self.zoo)
+                fitted = OperatorModel(
+                    algorithm, engine, names, model, winner, len(y), scores,
+                    log_space=self.log_space,
+                )
+            self.models[(algorithm, engine)] = fitted
+            span.set_attribute("model", fitted.model_name)
+        _TRAININGS.inc(algorithm=algorithm, engine=engine)
+        _SAMPLES.set(fitted.n_samples, algorithm=algorithm, engine=engine)
+        cv_error = (
+            fitted.cv_scores.get(fitted.model_name)
+            if fitted.cv_scores else None
+        )
+        if cv_error is not None:
+            _CV_ERROR.set(cv_error, algorithm=algorithm, engine=engine)
+        _LOG.info("model_trained", algorithm=algorithm, engine=engine,
+                  model=fitted.model_name, samples=fitted.n_samples,
+                  cv_error=cv_error)
         return fitted
 
     def get(self, algorithm: str, engine: str) -> OperatorModel | None:

@@ -18,15 +18,39 @@ Worst-case complexity is ``O(op · m² · k)`` for ``op`` abstract operators,
 
 from __future__ import annotations
 
+import time
 from typing import Protocol, Sequence
 
 from repro.core.dataset import Dataset
-from repro.core.library import OperatorLibrary
+from repro.core.library import MatchStats, OperatorLibrary
 from repro.core.operators import MaterializedOperator, MoveOperator
 from repro.core.policy import OptimizationPolicy
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
+from repro.obs.context import current_run_id
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 INFEASIBLE = float("inf")
+
+_LOG = get_logger("planner")
+_PLANS = REGISTRY.counter(
+    "ires_planner_plans_total",
+    "Planning passes by outcome (ok / infeasible)",
+    labels=("status", "run_id"),
+)
+_PLAN_SECONDS = REGISTRY.histogram(
+    "ires_planner_wall_seconds",
+    "Wall-clock time of one planning pass",
+)
+_DP_ENTRIES = REGISTRY.gauge(
+    "ires_planner_dp_entries",
+    "dpTable entries (dataset x format/engine) of the last planning pass",
+)
+_EXPANSIONS = REGISTRY.counter(
+    "ires_planner_expansions_total",
+    "Abstract-operator DP expansions performed",
+)
 
 
 class PlanningError(RuntimeError):
@@ -151,12 +175,14 @@ class Planner:
         allow_moves: bool = True,
         use_index: bool = True,
         single_entry_dp: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.library = library
         self.estimator = estimator if estimator is not None else MetadataCostEstimator()
         self.policy = policy if policy is not None else OptimizationPolicy.min_exec_time()
         self.allow_moves = allow_moves
         self.use_index = use_index
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: ablation switch: keep only ONE best entry per dataset node instead
         #: of one per format/engine (loses hybrid plans; see DESIGN.md §5).
         self.single_entry_dp = single_entry_dp
@@ -176,6 +202,41 @@ class Planner:
         maps intermediate dataset names to already-computed results, which
         enter the dpTable at zero cost so replanning reuses them.
         """
+        tracer = self.tracer
+        wall_start = time.perf_counter()
+        try:
+            with tracer.span(f"plan:{workflow.name}", category="planner",
+                             workflow=workflow.name) as span:
+                plan = self._plan_inner(
+                    workflow, available_engines, materialized_results, tracer,
+                    span,
+                )
+        except PlanningError:
+            wall = time.perf_counter() - wall_start
+            _PLANS.inc(status="infeasible", run_id=current_run_id() or "")
+            _PLAN_SECONDS.observe(wall)
+            _LOG.warning("plan_infeasible", workflow=workflow.name,
+                         wall_seconds=round(wall, 6))
+            raise
+        wall = time.perf_counter() - wall_start
+        _PLANS.inc(status="ok", run_id=current_run_id() or "")
+        _PLAN_SECONDS.observe(wall)
+        if tracer.enabled:
+            span.set_attribute("steps", len(plan.steps))
+            span.set_attribute("cost", plan.cost)
+            _LOG.info("plan_ready", workflow=workflow.name,
+                      steps=len(plan.steps), cost=round(plan.cost, 4),
+                      wall_seconds=round(wall, 6))
+        return plan
+
+    def _plan_inner(
+        self,
+        workflow: AbstractWorkflow,
+        available_engines: set[str] | None,
+        materialized_results: dict[str, Dataset] | None,
+        tracer: Tracer,
+        span,
+    ) -> MaterializedPlan:
         workflow.validate()
         dp: dict[str, dict[tuple, _Entry]] = {}
         materialized_results = materialized_results or {}
@@ -191,18 +252,44 @@ class Planner:
                     return MaterializedPlan(workflow, [], 0.0)
 
         # Process operators in DAG topological order (line 11 onwards).
+        expansions = 0
         for abstract_op in workflow.topological_operators():
             in_names = workflow.op_inputs[abstract_op.name]
             out_names = workflow.op_outputs[abstract_op.name]
             if all(n in materialized_results for n in out_names):
                 continue  # already computed before a failure; nothing to plan
-            matches = self.library.find_materialized(
-                abstract_op, available_engines, use_index=self.use_index
-            )
-            for mat_op in matches:
-                self._consider(dp, workflow, abstract_op.name, mat_op, in_names, out_names)
+            expansions += 1
+            if not tracer.enabled:
+                matches = self.library.find_materialized(
+                    abstract_op, available_engines, use_index=self.use_index
+                )
+                for mat_op in matches:
+                    self._consider(dp, workflow, abstract_op.name, mat_op,
+                                   in_names, out_names)
+                continue
+            stats = MatchStats()
+            with tracer.span(f"expand:{abstract_op.name}", category="planner",
+                             operator=abstract_op.name) as op_span:
+                matches = self.library.find_materialized(
+                    abstract_op, available_engines, use_index=self.use_index,
+                    stats=stats,
+                )
+                for mat_op in matches:
+                    self._consider(dp, workflow, abstract_op.name, mat_op,
+                                   in_names, out_names)
+                op_span.set_attribute("candidates_matched", stats.matched)
+                op_span.set_attribute("pruned_by_index", stats.pruned_by_index)
+                op_span.set_attribute("engine_filtered", stats.engine_filtered)
+                op_span.set_attribute("tree_rejected", stats.tree_rejected)
+                op_span.set_attribute("dp_datasets", len(dp))
+        _EXPANSIONS.inc(expansions)
 
         target_entries = dp.get(workflow.target)
+        dp_entries = sum(len(entries) for entries in dp.values())
+        _DP_ENTRIES.set(dp_entries)
+        if tracer.enabled:
+            span.set_attribute("expansions", expansions)
+            span.set_attribute("dp_entries", dp_entries)
         if not target_entries:
             raise PlanningError(
                 f"no feasible plan produces target {workflow.target!r} "

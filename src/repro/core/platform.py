@@ -33,6 +33,7 @@ from repro.core.workflow import AbstractWorkflow, MaterializedPlan
 from repro.engines.faults import FaultInjector
 from repro.engines.registry import MultiEngineCloud, build_default_cloud
 from repro.execution.enforcer import ExecutionReport, IRES_REPLAN, WorkflowExecutor
+from repro.obs.tracing import Tracer
 
 
 class IReS:
@@ -46,8 +47,14 @@ class IReS:
         refit_every: int = 1,
         strategy: str = IRES_REPLAN,
         resilience=None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
+        #: platform-wide tracer — every layer's spans land here, stamped
+        #: with the shared simulated clock
+        self.tracer = (
+            tracer if tracer is not None else Tracer(clock=self.cloud.clock)
+        )
         self.policy = policy if policy is not None else OptimizationPolicy.min_exec_time()
         self.library = OperatorLibrary()
         self.abstract_operators: dict[str, AbstractOperator] = {}
@@ -55,7 +62,7 @@ class IReS:
         #: named workflows registered via the library loader or the API
         self.workflows: dict[str, AbstractWorkflow] = {}
         self.profiler = Profiler(self.cloud)
-        self.modeler = Modeler(self.cloud.collector)
+        self.modeler = Modeler(self.cloud.collector, tracer=self.tracer)
         self.refiner = ModelRefiner(self.modeler, refit_every=refit_every)
         if estimator == "oracle":
             self.estimator = OracleEstimator(self.cloud)
@@ -63,7 +70,8 @@ class IReS:
             self.estimator = ModelBackedEstimator(self.cloud, self.modeler)
         else:
             raise ValueError(f"estimator must be 'oracle' or 'models', got {estimator!r}")
-        self.planner = Planner(self.library, self.estimator, self.policy)
+        self.planner = Planner(self.library, self.estimator, self.policy,
+                               tracer=self.tracer)
         self.provisioner = ResourceProvisioner()
         self.fault_injector = FaultInjector(self.cloud)
         from repro.execution.cache import ResultCache
@@ -71,7 +79,7 @@ class IReS:
         self.result_cache = ResultCache()
         self.executor = WorkflowExecutor(
             self.cloud, self.planner, fault_injector=self.fault_injector,
-            strategy=strategy, resilience=resilience,
+            strategy=strategy, resilience=resilience, tracer=self.tracer,
         )
 
     @property
@@ -129,13 +137,18 @@ class IReS:
         ``reuse=True`` consults (and feeds) the platform's result cache so
         repeated or overlapping workflows skip already-materialized steps.
         """
+        from repro.obs.context import bind_run_id
+
         report = self.executor.execute(
             workflow, cache=self.result_cache if reuse else None)
-        for execution in report.executions:
-            if execution.engine != "move" and execution.success:
-                records = self.cloud.collector.for_operator(
-                    execution.step.operator.algorithm, execution.engine
-                )
-                if records:
-                    self.refiner.observe(records[-1])
+        # refinement trainings happen after the run but belong to it — keep
+        # their spans/metrics correlated under the run's id
+        with bind_run_id(report.run_id):
+            for execution in report.executions:
+                if execution.engine != "move" and execution.success:
+                    records = self.cloud.collector.for_operator(
+                        execution.step.operator.algorithm, execution.engine
+                    )
+                    if records:
+                        self.refiner.observe(records[-1])
         return report

@@ -16,7 +16,12 @@ import numpy as np
 from repro.engines.clock import SimClock
 from repro.engines.containers import ContainerRequest, ContainerScheduler
 from repro.engines.errors import EngineUnavailableError, MemoryExceededError
-from repro.engines.monitoring import MetricRecord, MetricsCollector, synthesize_timeline
+from repro.engines.monitoring import (
+    MetricRecord,
+    MetricsCollector,
+    synthesize_timeline,
+    timeline_seed,
+)
 from repro.engines.profiles import Infrastructure, PerfModel, Resources, Workload
 
 ON = "ON"
@@ -180,8 +185,11 @@ class Engine:
             cores=res.cores,
             memory_gb=res.memory_gb,
             params=dict(workload.params),
-            timeline=synthesize_timeline(exec_time, res.cores, res.memory_gb,
-                                         seed=self._runs),
+            timeline=synthesize_timeline(
+                exec_time, res.cores, res.memory_gb,
+                seed=timeline_seed(operator_name or algorithm, self.name,
+                                   started),
+            ),
         )
         self.collector.record(record)
         self.scheduler.release_all_of(containers)

@@ -9,10 +9,15 @@ information; :class:`MetricsCollector` is the store the modeler reads.
 
 from __future__ import annotations
 
+import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
+
+from repro.obs.context import current_run_id
+from repro.obs.metrics import REGISTRY
 
 #: sampling period of the synthesized ganglia timeline (seconds)
 TIMELINE_PERIOD = 5.0
@@ -62,11 +67,24 @@ class MetricRecord:
 #: model training and per-operator queries are unaffected.
 RESILIENCE_ALGORITHM = "__resilience__"
 
+_RESILIENCE_EVENTS = REGISTRY.counter(
+    "ires_resilience_events_total",
+    "Resilience events (retries, breaker transitions, speculation outcomes)",
+    labels=("kind", "engine", "run_id"),
+)
+
 
 def resilience_event(
     kind: str, engine: str, at: float, success: bool = True, detail: str = ""
 ) -> MetricRecord:
-    """Build the MetricRecord for one resilience event (retry, breaker, …)."""
+    """Build the MetricRecord for one resilience event (retry, breaker, …).
+
+    Both producers (the enforcer's :class:`ResilienceManager` and the
+    parallel simulator) funnel through here, so the
+    ``ires_resilience_events_total`` counter sees every event exactly once.
+    """
+    _RESILIENCE_EVENTS.inc(kind=kind, engine=engine,
+                           run_id=current_run_id() or "")
     return MetricRecord(
         operator=f"resilience.{kind}",
         algorithm=RESILIENCE_ALGORITHM,
@@ -77,6 +95,17 @@ def resilience_event(
         error=detail or None,
         params={"kind": kind},
     )
+
+
+def timeline_seed(operator: str, engine: str, started_at: float) -> int:
+    """Deterministic seed for one run's synthesized timeline.
+
+    Derived from ``(operator, engine, started_at)`` so the same run always
+    regenerates the same timeline, while distinct runs — even the same
+    operator re-executed later — get distinct noise.
+    """
+    key = f"{operator}|{engine}|{started_at!r}".encode()
+    return zlib.crc32(key)
 
 
 def synthesize_timeline(
@@ -158,9 +187,15 @@ class MetricsCollector:
         with open(path, "w", encoding="utf-8") as handle:
             for record in self._records:
                 payload = dataclasses.asdict(record)
-                if payload["exec_time"] == float("inf"):
-                    payload["exec_time"] = "inf"
-                handle.write(json.dumps(payload) + "\n")
+                exec_time = payload["exec_time"]
+                # JSON has no NaN/Infinity: map every non-finite value (an
+                # OOM sentinel +inf, a corrupted NaN, a -inf) to a string.
+                if isinstance(exec_time, float) and not math.isfinite(exec_time):
+                    if math.isnan(exec_time):
+                        payload["exec_time"] = "nan"
+                    else:
+                        payload["exec_time"] = "inf" if exec_time > 0 else "-inf"
+                handle.write(json.dumps(payload, allow_nan=False) + "\n")
         return len(self._records)
 
     def load(self, path) -> int:
@@ -181,8 +216,8 @@ class MetricsCollector:
                 if not line:
                     continue
                 payload = json.loads(line)
-                if payload.get("exec_time") == "inf":
-                    payload["exec_time"] = float("inf")
+                if payload.get("exec_time") in ("inf", "-inf", "nan"):
+                    payload["exec_time"] = float(payload["exec_time"])
                 payload = {k: v for k, v in payload.items() if k in known}
                 self._records.append(MetricRecord(**payload))
                 count += 1

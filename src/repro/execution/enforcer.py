@@ -43,9 +43,35 @@ from repro.engines.monitoring import MetricRecord
 from repro.engines.profiles import Resources
 from repro.engines.registry import MultiEngineCloud
 from repro.execution.resilience import ResilienceManager
+from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 IRES_REPLAN = "IResReplan"
 TRIVIAL_REPLAN = "TrivialReplan"
+
+_LOG = get_logger("executor")
+_RUNS = REGISTRY.counter(
+    "ires_executor_runs_total",
+    "Workflow executions by outcome",
+    labels=("status", "run_id"),
+)
+_STEPS = REGISTRY.counter(
+    "ires_executor_steps_total",
+    "Enforced plan steps by engine and outcome",
+    labels=("engine", "status", "run_id"),
+)
+_STEP_SECONDS = REGISTRY.histogram(
+    "ires_executor_step_sim_seconds",
+    "Simulated seconds charged per enforced step",
+    labels=("engine",),
+)
+_REPLANS = REGISTRY.counter(
+    "ires_executor_replans_total",
+    "Replanning passes triggered by step failures",
+    labels=("run_id",),
+)
 
 #: simulated seconds to notice a failed submission (health probe round-trip);
 #: failures are never free on the simulated clock.
@@ -77,6 +103,7 @@ class ExecutionReport:
     strategy: str
     succeeded: bool
     sim_time: float
+    run_id: str = ""
     planning_seconds: list[float] = field(default_factory=list)
     plans: list[MaterializedPlan] = field(default_factory=list)
     executions: list[StepExecution] = field(default_factory=list)
@@ -160,11 +187,13 @@ class WorkflowExecutor:
         health_checks: bool = True,
         resilience: ResilienceManager | None = None,
         failure_detection_seconds: float = FAILURE_DETECTION_SECONDS,
+        tracer: Tracer | None = None,
     ) -> None:
         if strategy not in (IRES_REPLAN, TRIVIAL_REPLAN):
             raise ValueError(f"unknown replanning strategy {strategy!r}")
         self.cloud = cloud
         self.planner = planner
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_injector = fault_injector
         self.strategy = strategy
         self.max_replans = max_replans
@@ -184,9 +213,35 @@ class WorkflowExecutor:
         seen enter planning as materialized results, so only the new suffix
         of the workflow runs.
         """
+        run_id = new_run_id()
+        with bind_run_id(run_id):
+            with self.tracer.span(
+                f"execute:{workflow.name}", category="executor",
+                workflow=workflow.name, strategy=self.strategy,
+            ) as span:
+                try:
+                    report = self._execute_inner(workflow, cache, run_id)
+                except Exception as exc:
+                    _RUNS.inc(status="failed", run_id=run_id)
+                    _LOG.error("run_failed", workflow=workflow.name,
+                               error=str(exc))
+                    raise
+                if self.tracer.enabled:
+                    span.set_attribute("replans", report.replans)
+                    span.set_attribute("retries", report.retries)
+                    span.set_attribute("sim_time", report.sim_time)
+        _RUNS.inc(status="ok", run_id=run_id)
+        _LOG.info("run_finished", workflow=workflow.name,
+                  sim_time=report.sim_time, replans=report.replans,
+                  retries=report.retries, steps=len(report.executions))
+        return report
+
+    def _execute_inner(
+        self, workflow: AbstractWorkflow, cache, run_id: str
+    ) -> ExecutionReport:
         report = ExecutionReport(
             workflow=workflow.name, strategy=self.strategy, succeeded=False,
-            sim_time=0.0,
+            sim_time=0.0, run_id=run_id,
         )
         sim_start = self.cloud.clock.now
         completed: dict[str, Dataset] = {}
@@ -222,6 +277,11 @@ class WorkflowExecutor:
                         f"{report.replans} replans"
                     ) from exc
                 report.replans += 1
+                _REPLANS.inc(run_id=run_id)
+                _LOG.warning("replanning", workflow=workflow.name,
+                             strategy=self.strategy, replan=report.replans,
+                             failed_step=step.operator.name,
+                             engine=step.engine)
                 if self.strategy == TRIVIAL_REPLAN:
                     completed.clear()
                 plan = self._plan(workflow, completed, report)
@@ -295,9 +355,30 @@ class WorkflowExecutor:
         ones once retries are exhausted or the breaker opens — propagate to
         the replanning loop in :meth:`execute`.
         """
+        if not self.tracer.enabled:
+            self._run_step_resilient(step, report, payload_paths,
+                                     workflow_name, None)
+            return
+        with self.tracer.span(
+            f"step:{step.operator.name}", category="executor",
+            operator=step.operator.name,
+            engine="move" if step.is_move else (step.engine or ""),
+            abstract=step.abstract_name or "",
+            inputs=[d.name for d in step.inputs],
+            outputs=[d.name for d in step.outputs],
+        ) as span:
+            self._run_step_resilient(step, report, payload_paths,
+                                     workflow_name, span)
+
+    def _run_step_resilient(
+        self, step, report, payload_paths, workflow_name, span
+    ) -> None:
         resilience = self.resilience
         if resilience is None or step.is_move:
             self._enforce_step(step, report, payload_paths, workflow_name)
+            if span is not None and report.executions:
+                span.set_attribute(
+                    "sim_seconds", report.executions[-1].sim_seconds)
             return
         engine_name = step.engine or ""
         policy = resilience.retry_policy
@@ -305,6 +386,8 @@ class WorkflowExecutor:
         while True:
             attempt += 1
             if not resilience.allow(engine_name, self.cloud.clock.now):
+                if span is not None:
+                    span.add_event("breaker_open", engine=engine_name)
                 raise EngineUnavailableError(
                     f"circuit breaker open for engine {engine_name!r}"
                 )
@@ -317,6 +400,8 @@ class WorkflowExecutor:
                 if attempt >= policy.max_attempts:
                     raise
                 if not resilience.allow(engine_name, now):
+                    if span is not None:
+                        span.add_event("breaker_open", engine=engine_name)
                     raise
                 backoff = policy.backoff_seconds(
                     attempt, salt=f"{step.operator.name}@{engine_name}")
@@ -324,11 +409,20 @@ class WorkflowExecutor:
                 resilience.on_retry(engine_name, self.cloud.clock.now,
                                     attempt, backoff)
                 report.retries += 1
+                if span is not None:
+                    span.add_event("retry", engine=engine_name,
+                                   attempt=attempt, backoff_seconds=backoff,
+                                   error=str(exc))
             except EngineError as exc:
                 resilience.on_failure(engine_name, self.cloud.clock.now, exc)
                 raise
             else:
                 resilience.on_success(engine_name, self.cloud.clock.now)
+                if span is not None:
+                    span.set_attribute("attempts", attempt)
+                    if report.executions:
+                        span.set_attribute(
+                            "sim_seconds", report.executions[-1].sim_seconds)
                 return
 
     def _enforce_step(
@@ -348,6 +442,9 @@ class WorkflowExecutor:
             report.executions.append(
                 StepExecution(step, "move", seconds, started, success=True)
             )
+            _STEPS.inc(engine="move", status="ok",
+                       run_id=current_run_id() or "")
+            _STEP_SECONDS.observe(seconds, engine="move")
             return
         engine = self.cloud.engines.get(step.engine or "")
         if engine is None:
@@ -410,6 +507,9 @@ class WorkflowExecutor:
                 StepExecution(step, engine.name, detect, started, success=False,
                               error=str(exc), attempt=attempt)
             )
+            _STEPS.inc(engine=engine.name, status="failed",
+                       run_id=current_run_id() or "")
+            _STEP_SECONDS.observe(detect, engine=engine.name)
             raise
         sim_seconds = result.record.exec_time * outcome.slowdown
         if outcome.slowdown > 1.0:
@@ -426,6 +526,9 @@ class WorkflowExecutor:
             StepExecution(step, engine.name, sim_seconds, started,
                           success=True, attempt=attempt)
         )
+        _STEPS.inc(engine=engine.name, status="ok",
+                   run_id=current_run_id() or "")
+        _STEP_SECONDS.observe(sim_seconds, engine=engine.name)
 
     def _safe_estimate(self, engine, step, workload, resources) -> float | None:
         """Noise-free runtime estimate, or None when the profile can't say."""
@@ -460,6 +563,9 @@ class WorkflowExecutor:
             StepExecution(step, engine_name, sim_seconds, started,
                           success=False, error=error, attempt=attempt)
         )
+        _STEPS.inc(engine=engine_name, status="failed",
+                   run_id=current_run_id() or "")
+        _STEP_SECONDS.observe(sim_seconds, engine=engine_name)
 
     def _data_plane_inputs(self, step: PlanStep, payload_paths: dict[str, str]):
         """Resolve the real input artifacts for an operator's ``impl``.

@@ -32,6 +32,20 @@ from repro.engines.errors import EngineError, InsufficientResourcesError
 from repro.engines.faults import TransientOutcome
 from repro.engines.monitoring import resilience_event
 from repro.engines.registry import MultiEngineCloud
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+_LOG = get_logger("simulator")
+_SIM_STEPS = REGISTRY.counter(
+    "ires_simulator_steps_total",
+    "Simulated plan steps by engine and outcome",
+    labels=("engine", "status"),
+)
+_SIM_MAKESPAN = REGISTRY.histogram(
+    "ires_simulator_makespan_seconds",
+    "Parallel makespans of simulated plans",
+)
 
 
 class SchedulingError(RuntimeError):
@@ -119,9 +133,11 @@ class ParallelSimulator:
     def __init__(self, cloud: MultiEngineCloud, seed: int = 0,
                  charge_clock: bool = True, fault_injector=None,
                  speculation: bool = True,
-                 straggler_threshold: float = 2.0) -> None:
+                 straggler_threshold: float = 2.0,
+                 tracer: Tracer | None = None) -> None:
         self.cloud = cloud
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: advance the cloud's simulated clock by the makespan afterwards
         self.charge_clock = charge_clock
         #: optional FaultInjector supplying transient outcomes per execution
@@ -225,6 +241,59 @@ class ParallelSimulator:
     # -- main loop --------------------------------------------------------------
     def simulate(self, plan: MaterializedPlan) -> ParallelReport:
         """Schedule the plan and return the parallel report."""
+        base_sim = self.cloud.clock.now
+        with self.tracer.span(
+            f"simulate:{plan.workflow.name}", category="simulator",
+            workflow=plan.workflow.name, steps=len(plan.steps),
+        ) as span:
+            report = self._simulate_inner(plan)
+            if self.tracer.enabled:
+                self._trace_report(report, span, base_sim)
+        _SIM_MAKESPAN.observe(report.makespan)
+        for sched in report.schedule:
+            engine = "move" if sched.step.is_move else (sched.step.engine or "")
+            _SIM_STEPS.inc(engine=engine, status="ok")
+        for failure in report.failures:
+            engine = ("move" if failure.step.is_move
+                      else (failure.step.engine or ""))
+            _SIM_STEPS.inc(engine=engine,
+                           status="cascaded" if failure.cascaded else "failed")
+        _LOG.info("simulated", workflow=plan.workflow.name,
+                  makespan=report.makespan, speedup=report.speedup,
+                  failures=len(report.failures),
+                  speculations=len(report.speculations))
+        return report
+
+    def _trace_report(self, report: ParallelReport, span,
+                      base_sim: float) -> None:
+        """Retro-record the event loop's schedule as child spans + events."""
+        span.set_attribute("makespan", report.makespan)
+        span.set_attribute("speedup", report.speedup)
+        span.set_attribute("failures", len(report.failures))
+        for sched in report.schedule:
+            step = sched.step
+            self.tracer.record_span(
+                f"step:{step.operator.name}", "simulator",
+                base_sim + sched.start, base_sim + sched.finish,
+                attributes={
+                    "operator": step.operator.name,
+                    "engine": "move" if step.is_move else (step.engine or ""),
+                    "inputs": [d.name for d in step.inputs],
+                    "outputs": [d.name for d in step.outputs],
+                },
+                parent=span,
+            )
+        for failure in report.failures:
+            span.add_event("step_failed",
+                           operator=failure.step.operator.name,
+                           cascaded=failure.cascaded, error=failure.error)
+        for spec in report.speculations:
+            span.add_event("speculation", operator=spec.operator,
+                           engine=spec.engine,
+                           backup_engine=spec.backup_engine,
+                           won=spec.won, saved_seconds=spec.saved_seconds)
+
+    def _simulate_inner(self, plan: MaterializedPlan) -> ParallelReport:
         rng = np.random.default_rng(self.seed)
         steps = list(plan.steps)
         durations: dict[int, float] = {}

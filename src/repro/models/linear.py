@@ -27,7 +27,10 @@ class LinearRegression(Model):
         # the intercept alone, even for ill-conditioned designs.
         x_mean = X.mean(axis=0)
         y_mean = y.mean()
-        w, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=None)
+        # rcond truncates near-degenerate singular values: a feature column
+        # that is (numerically) constant must not amplify ulp-level noise
+        # in the centered target into visible coefficient swings.
+        w, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=1e-8)
         self.coef_ = np.append(w, y_mean - x_mean @ w)
 
     def _predict(self, X: np.ndarray) -> np.ndarray:

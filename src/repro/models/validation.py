@@ -7,7 +7,7 @@ scores every candidate in the zoo and returns the winner fitted on all data.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator
 
 import numpy as np
 

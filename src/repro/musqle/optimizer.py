@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.musqle.engine_api import SQLEngineAPI
 from repro.musqle.join_graph import JoinGraph
 from repro.musqle.metastore import Metastore
 from repro.musqle.plan import MovePlanNode, PlanNode, SQLPlanNode
-from repro.sqlengine.parser import Query, parse_query
+from repro.sqlengine.parser import parse_query
 
 INFEASIBLE = float("inf")
 

@@ -1,0 +1,40 @@
+"""Observability: trace spans, metrics registry, structured logs (DESIGN §7).
+
+Three pillars, one correlation key (the per-run ``run_id``):
+
+- :mod:`repro.obs.tracing` — hierarchical spans over wall *and* simulated
+  time, exportable as JSONL or Chrome trace-event JSON (Perfetto);
+- :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and fixed-bucket histograms with Prometheus text exposition;
+- :mod:`repro.obs.logging` — structured JSON log lines.
+"""
+
+from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.logging import StructuredLogger, configure as configure_logging
+from repro.obs.logging import get_logger, recent as recent_logs
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    critical_path,
+    load_trace,
+    spans_to_chrome,
+    summarize_spans,
+)
+
+__all__ = [
+    "bind_run_id", "current_run_id", "new_run_id",
+    "StructuredLogger", "configure_logging", "get_logger", "recent_logs",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "get_registry",
+    "NULL_TRACER", "Span", "Tracer", "critical_path", "load_trace",
+    "spans_to_chrome", "summarize_spans",
+]

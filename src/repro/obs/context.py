@@ -1,0 +1,34 @@
+"""Run correlation context shared by spans, metrics and log lines.
+
+Every workflow execution gets a ``run_id``; binding it here lets the tracer,
+the metrics registry and the structured logger stamp the same identifier on
+everything they emit without threading it through every call signature.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+_RUN_ID: ContextVar[str | None] = ContextVar("ires_run_id", default=None)
+
+
+def new_run_id() -> str:
+    """A fresh, short, unique run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+def current_run_id() -> str | None:
+    """The run id bound to the current context, or None outside a run."""
+    return _RUN_ID.get()
+
+
+@contextmanager
+def bind_run_id(run_id: str):
+    """Bind ``run_id`` for the duration of the block (re-entrant)."""
+    token = _RUN_ID.set(run_id)
+    try:
+        yield run_id
+    finally:
+        _RUN_ID.reset(token)

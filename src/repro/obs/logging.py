@@ -1,0 +1,99 @@
+"""Structured JSON logging with run-id correlation.
+
+Log lines are dicts — timestamp, level, logger, event, the ``run_id`` bound
+in :mod:`repro.obs.context`, plus free-form fields.  By default lines land
+in an in-memory ring (cheap, test-friendly, no stderr spam); wiring a stream
+via :func:`configure` additionally emits each line as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+from repro.obs.context import current_run_id
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_RING: deque = deque(maxlen=4096)
+_STREAM = None
+_THRESHOLD = LEVELS["info"]
+_LOGGERS: dict[str, "StructuredLogger"] = {}
+
+
+def configure(stream=None, level: str = "info", ring_size: int | None = None) -> None:
+    """Set the emission stream, the minimum level and the ring capacity."""
+    global _STREAM, _THRESHOLD, _RING
+    _STREAM = stream
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}")
+    _THRESHOLD = LEVELS[level]
+    if ring_size is not None:
+        _RING = deque(_RING, maxlen=ring_size)
+
+
+def recent(n: int | None = None, logger: str | None = None,
+           run_id: str | None = None) -> list[dict]:
+    """The newest ring entries, optionally filtered (oldest first)."""
+    lines = list(_RING)
+    if logger is not None:
+        lines = [ln for ln in lines if ln["logger"] == logger]
+    if run_id is not None:
+        lines = [ln for ln in lines if ln.get("run_id") == run_id]
+    return lines[-n:] if n is not None else lines
+
+
+def clear() -> None:
+    """Empty the ring (tests)."""
+    _RING.clear()
+
+
+class StructuredLogger:
+    """A named source of structured log lines."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, event: str, **fields) -> dict | None:
+        """Record one line; returns it (or None when below the threshold)."""
+        if LEVELS[level] < _THRESHOLD:
+            return None
+        line = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+            "run_id": current_run_id(),
+        }
+        line.update(fields)
+        _RING.append(line)
+        if _STREAM is not None:
+            _STREAM.write(json.dumps(line, default=str) + "\n")
+        return line
+
+    def debug(self, event: str, **fields):
+        """Log at debug level."""
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields):
+        """Log at info level."""
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields):
+        """Log at warning level."""
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields):
+        """Log at error level."""
+        return self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Get (or create) the named logger."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

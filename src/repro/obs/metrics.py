@@ -1,0 +1,244 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Prometheus-flavoured and dependency-free.  Instrumented modules create their
+instruments once at import time against the shared :data:`REGISTRY`;
+:meth:`MetricsRegistry.render` produces the text exposition format served by
+``GET /metrics`` on the REST surface.
+
+Run-scoped series (executor steps, resilience events, planning passes) carry
+a ``run_id`` label taken from :mod:`repro.obs.context`, which is how one
+workflow execution is correlated across metrics, spans and log lines.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: default latency buckets (seconds) — spans µs-scale planning to sim hours
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+
+def _escape(value: object) -> str:
+    """Escape a label value for the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (Prometheus spells infinities +Inf/-Inf)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Metric:
+    """Base class: a named instrument with a fixed label-name tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: tuple = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._values: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        unknown = set(labels) - set(self.label_names)
+        if unknown:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.label_names}, "
+                f"got unexpected {sorted(unknown)}"
+            )
+        return tuple(str(labels.get(n, "")) for n in self.label_names)
+
+    def _series_name(self, key: tuple, suffix: str = "",
+                     extra: tuple = ()) -> str:
+        pairs = [
+            f'{n}="{_escape(v)}"'
+            for n, v in list(zip(self.label_names, key)) + list(extra)
+        ]
+        label_str = "{" + ",".join(pairs) + "}" if pairs else ""
+        return f"{self.name}{suffix}{label_str}"
+
+    def clear(self) -> None:
+        """Drop every recorded sample (the instrument itself survives)."""
+        self._values.clear()
+
+    # -- introspection -------------------------------------------------------
+    def value(self, **labels) -> float:
+        """Current value of one series (0.0 when never touched)."""
+        return float(self._values.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+    def series(self) -> dict[tuple, object]:
+        """Raw (label values → state) mapping (copy)."""
+        return dict(self._values)
+
+    def render_into(self, lines: list[str]) -> None:
+        """Append this metric's exposition lines."""
+        for key in sorted(self._values):
+            lines.append(
+                f"{self._series_name(key)} {_fmt(float(self._values[key]))}")  # type: ignore[arg-type]
+
+
+class Counter(Metric):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = self._key(labels)
+        self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (cumulative buckets, like Prometheus)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", labels: tuple = (),
+                 buckets: tuple | None = None) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+        key = self._key(labels)
+        state = self._values.get(key)
+        if state is None:
+            state = [[0] * len(self.buckets), 0.0, 0]  # counts, sum, total
+            self._values[key] = state
+        counts, _, _ = state
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        state[1] += value
+        state[2] += 1
+
+    def value(self, **labels) -> float:
+        """Observation count of one series."""
+        state = self._values.get(self._key(labels))
+        return float(state[2]) if state is not None else 0.0  # type: ignore[index]
+
+    def sum(self, **labels) -> float:
+        """Sum of observed values of one series."""
+        state = self._values.get(self._key(labels))
+        return float(state[1]) if state is not None else 0.0  # type: ignore[index]
+
+    def render_into(self, lines: list[str]) -> None:
+        """Append cumulative ``_bucket``/``_sum``/``_count`` lines."""
+        for key in sorted(self._values):
+            counts, total, count = self._values[key]  # type: ignore[misc]
+            running = 0
+            for bound, in_bucket in zip(self.buckets, counts):
+                running = in_bucket
+                lines.append(
+                    f"{self._series_name(key, '_bucket', (('le', _fmt(bound)),))}"
+                    f" {running}"
+                )
+            lines.append(
+                f"{self._series_name(key, '_bucket', (('le', '+Inf'),))} {count}"
+            )
+            lines.append(f"{self._series_name(key, '_sum')} {_fmt(total)}")
+            lines.append(f"{self._series_name(key, '_count')} {count}")
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, rendered as Prometheus text."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, cls, name: str, help: str, labels: tuple, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}{existing.label_names}"
+                )
+            return existing
+        created = cls(name, help, tuple(labels), **kwargs)
+        self._metrics[name] = created
+        return created
+
+    def counter(self, name: str, help: str = "", labels: tuple = ()) -> Counter:
+        """Get or create a counter."""
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple = ()) -> Gauge:
+        """Get or create a gauge."""
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels: tuple = (),
+                  buckets: tuple | None = None) -> Histogram:
+        """Get or create a histogram."""
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        """Look an instrument up by name."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered instrument."""
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every series; instruments stay registered (tests, new runs)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every instrument."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            metric.render_into(lines)
+        return "\n".join(lines) + "\n"
+
+
+#: the process-wide registry every instrumented module shares
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The shared process-wide registry."""
+    return REGISTRY

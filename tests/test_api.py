@@ -203,3 +203,48 @@ class TestResilience:
         response = server.handle("POST", "/abstractWorkflows/text/execute")
         assert response.status == 200
         assert response.body["report"]["retries"] == 0
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_prometheus_text(self, server):
+        name = "obs_metrics_wf"
+        server.handle("POST", f"/abstractWorkflows/{name}", {
+            "graph": ["webContent,tf_idf,0", "tf_idf,v,0",
+                      "v,kmeans,0", "kmeans,c,0", "c,$$target"],
+        })
+        executed = server.handle("POST", f"/abstractWorkflows/{name}/execute")
+        assert executed.status == 200
+        response = server.handle("GET", "/metrics")
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        assert response.text is not None
+        assert "# TYPE ires_executor_steps_total counter" in response.text
+        assert "ires_planner_plans_total" in response.text
+        assert "ires_library_lookups_total" in response.text
+        assert response.payload() == response.text
+
+    def test_traces_listing_and_chrome_export(self, server):
+        name = "obs_traces_wf"
+        server.handle("POST", f"/abstractWorkflows/{name}", {
+            "graph": ["webContent,tf_idf,0", "tf_idf,v,0",
+                      "v,kmeans,0", "kmeans,c,0", "c,$$target"],
+        })
+        executed = server.handle("POST", f"/abstractWorkflows/{name}/execute")
+        run_id = executed.body["report"]["runId"]
+        listing = server.handle("GET", "/traces")
+        assert listing.status == 200
+        assert run_id in [r["runId"] for r in listing.body["runs"]]
+        trace = server.handle("GET", f"/traces/{run_id}")
+        assert trace.status == 200
+        events = trace.body["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete
+        assert all(e["args"]["run_id"] == run_id for e in complete)
+        assert json.loads(trace.json())  # body survives serialization
+
+    def test_unknown_trace_404(self, server):
+        response = server.handle("GET", "/traces/deadbeef0000")
+        assert response.status == 404
+
+    def test_metrics_rejects_post(self, server):
+        assert server.handle("POST", "/metrics").status == 405

@@ -123,3 +123,37 @@ def test_execute_without_resilience(library_dir, capsys):
                  "--no-resilience"]) == 0
     out = capsys.readouterr().out
     assert "retries=0" in out
+
+
+def test_execute_with_trace(library_dir, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace: wrote" in out
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    # planner + executor spans all stamped with one run id
+    categories = {e["cat"] for e in complete}
+    assert {"planner", "executor"} <= categories
+    run_ids = {e["args"]["run_id"] for e in complete
+               if e["args"].get("run_id")}
+    assert len(run_ids) == 1
+
+
+def test_trace_summarize(library_dir, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    main(["execute", library_dir, "CountWorkflow", "--trace", str(trace_path)])
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "planner" in out and "executor" in out
+    assert "critical path" in out
+
+
+def test_trace_summarize_missing_file_exits(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "summarize", str(tmp_path / "nope.json")])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import IReS, OptimizationPolicy
+from repro.core import IReS
 from repro.execution import IRES_REPLAN, TRIVIAL_REPLAN, WorkflowExecutor
 from repro.execution.enforcer import ExecutionFailed
 from repro.scenarios import (

@@ -152,3 +152,70 @@ class TestCollectorPersistence:
         assert len(collector.resilience_events("retry")) == 1
         # resilience events never leak into model-training queries
         assert collector.for_operator("retry") == []
+
+
+class TestNonFiniteRoundtrip:
+    """save()/load() must preserve every non-finite exec_time, not just +inf."""
+
+    def test_nan_and_minus_inf_roundtrip(self, tmp_path):
+        import math
+
+        collector = MetricsCollector()
+        collector.record(MetricRecord("a", "alg", "E", float("nan"), 0.0,
+                                      success=False, error="corrupt"))
+        collector.record(MetricRecord("b", "alg", "E", float("-inf"), 1.0,
+                                      success=False, error="negative"))
+        collector.record(MetricRecord("c", "alg", "E", float("inf"), 2.0,
+                                      success=False, error="OOM"))
+        path = tmp_path / "nonfinite.jsonl"
+        assert collector.save(path) == 3
+
+        restored = MetricsCollector()
+        assert restored.load(path) == 3
+        times = [r.exec_time for r in restored.all()]
+        assert math.isnan(times[0])
+        assert times[1] == float("-inf")
+        assert times[2] == float("inf")
+
+    def test_saved_file_is_strict_json(self, tmp_path):
+        import json
+
+        collector = MetricsCollector()
+        collector.record(MetricRecord("a", "alg", "E", float("nan"), 0.0))
+        path = tmp_path / "strict.jsonl"
+        collector.save(path)
+        # strict parsers (parse_constant raising) must accept every line
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda c: (_ for _ in ()).throw(
+                ValueError(c)))
+
+
+class TestTimelineSeed:
+    def test_deterministic_and_distinct(self):
+        from repro.engines.monitoring import timeline_seed
+
+        a = timeline_seed("op", "Spark", 10.0)
+        assert a == timeline_seed("op", "Spark", 10.0)
+        assert a != timeline_seed("op", "Spark", 20.0)
+        assert a != timeline_seed("op", "Hive", 10.0)
+        assert a != timeline_seed("other", "Spark", 10.0)
+
+    def test_engine_reruns_get_distinct_timelines(self):
+        """The same operator re-executed later must not reuse its noise."""
+        from repro.engines import build_default_cloud
+
+        cloud = build_default_cloud(seed=3)
+        engine = cloud.engines["Spark"]
+        from repro.engines.profiles import Workload
+
+        workload = Workload(size_gb=2.0, count=1e5)
+        r1 = engine.execute("TF_IDF", workload).record
+        r2 = engine.execute("TF_IDF", workload).record
+        assert r1.timeline["cpu"] != r2.timeline["cpu"]
+        # regenerating from the recorded identity reproduces the timeline
+        from repro.engines.monitoring import synthesize_timeline, timeline_seed
+
+        again = synthesize_timeline(
+            r1.exec_time, r1.cores, r1.memory_gb,
+            seed=timeline_seed(r1.operator, r1.engine, r1.started_at))
+        assert again["cpu"] == r1.timeline["cpu"]

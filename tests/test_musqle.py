@@ -23,7 +23,7 @@ from repro.musqle import (
 )
 from repro.musqle.cost_models import JoinShape
 from repro.musqle.optimizer import NoPlanError
-from repro.musqle.plan import MovePlanNode, SQLPlanNode, count_moves, engines_used
+from repro.musqle.plan import SQLPlanNode, count_moves, engines_used
 from repro.musqle.queries import query_tables
 from repro.sqlengine import generate_tpch, parse_query
 from repro.sqlengine.parser import Filter, JoinCondition

@@ -1,0 +1,348 @@
+"""Tests for the observability layer (repro.obs) and its wiring."""
+
+import json
+
+import pytest
+
+from repro.core import IReS
+from repro.obs import (
+    REGISTRY,
+    Tracer,
+    bind_run_id,
+    critical_path,
+    current_run_id,
+    get_logger,
+    load_trace,
+    new_run_id,
+    recent_logs,
+    summarize_spans,
+)
+from repro.obs.logging import clear as clear_logs
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios import setup_helloworld
+
+
+class TestRunContext:
+    def test_default_is_none(self):
+        assert current_run_id() is None
+
+    def test_bind_and_restore(self):
+        rid = new_run_id()
+        with bind_run_id(rid):
+            assert current_run_id() == rid
+            with bind_run_id("nested"):
+                assert current_run_id() == "nested"
+            assert current_run_id() == rid
+        assert current_run_id() is None
+
+    def test_run_ids_are_distinct(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_render(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs", labels=("status",))
+        c.inc(status="ok")
+        c.inc(2, status="failed")
+        text = reg.render()
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{status="ok"} 1' in text
+        assert 'jobs_total{status="failed"} 2' in text
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c_total", "c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = reg.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="10"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 55.55" in text
+
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x")
+        assert reg.counter("x_total", "x") is a
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("y_total", "y")
+        with pytest.raises(ValueError):
+            reg.gauge("y_total", "y")
+
+    def test_unknown_label_raises(self):
+        reg = MetricsRegistry()
+        c = reg.counter("z_total", "z", labels=("a",))
+        with pytest.raises(ValueError):
+            c.inc(b="nope")
+
+    def test_reset_keeps_instruments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("r_total", "r")
+        c.inc(3)
+        reg.reset()
+        assert c.value() == 0
+        c.inc()  # the module-level handle stays usable
+        assert c.value() == 1
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("esc_total", "esc", labels=("msg",))
+        c.inc(msg='quote " backslash \\ newline \n')
+        line = [ln for ln in reg.render().splitlines()
+                if ln.startswith("esc_total{")][0]
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+
+class TestTracer:
+    def test_parent_child_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert all(s.status == "ok" for s in spans)
+
+    def test_error_status_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        span = tracer.spans()[0]
+        assert span.status == "error"
+        assert "nope" in span.error
+
+    def test_disabled_tracer_collects_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set_attribute("a", 1)
+            span.add_event("e")
+        assert tracer.spans() == []
+
+    def test_run_id_stamped(self):
+        tracer = Tracer()
+        with bind_run_id("runA"):
+            with tracer.span("a"):
+                pass
+        assert tracer.spans()[0].run_id == "runA"
+        assert tracer.run_ids() == ["runA"]
+
+    def test_record_span_retro(self):
+        tracer = Tracer()
+        span = tracer.record_span("sim", "simulator", 10.0, 25.0,
+                                  attributes={"engine": "Spark"})
+        assert span.sim_seconds == 15.0
+        assert tracer.spans()[0].attributes["engine"] == "Spark"
+
+    def test_max_spans_trims_oldest(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(6):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert len(names) <= 4
+        assert "s5" in names and "s0" not in names
+
+
+class TestTraceExport:
+    def _tracer_with_steps(self):
+        tracer = Tracer()
+        with bind_run_id("runX"):
+            with tracer.span("execute:wf", category="executor"):
+                pass
+            a = tracer.record_span("step:a", "executor", 0.0, 10.0,
+                                   {"engine": "E1", "inputs": ["in"],
+                                    "outputs": ["mid"]})
+            assert a is not None
+            tracer.record_span("step:b", "executor", 10.0, 14.0,
+                               {"engine": "E2", "inputs": ["mid"],
+                                "outputs": ["out"]})
+            tracer.record_span("step:c", "executor", 0.0, 6.0,
+                               {"engine": "E3", "inputs": ["in"],
+                                "outputs": ["side"]})
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        tracer = self._tracer_with_steps()
+        trace = tracer.chrome_trace()
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete, "no complete events"
+        for event in complete:
+            assert {"name", "pid", "tid", "ts", "dur", "args"} <= set(event)
+            assert event["args"]["run_id"] == "runX"
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+
+    def test_export_roundtrip_chrome_and_jsonl(self, tmp_path):
+        tracer = self._tracer_with_steps()
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert tracer.export_chrome(chrome) == 4
+        assert tracer.export_jsonl(jsonl) == 4
+        from_chrome = load_trace(chrome)
+        from_jsonl = load_trace(jsonl)
+        assert {s["name"] for s in from_chrome} == \
+               {s["name"] for s in from_jsonl}
+        assert all(s["run_id"] == "runX" for s in from_chrome)
+
+    def test_critical_path_follows_dataflow(self, tmp_path):
+        tracer = self._tracer_with_steps()
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        makespan, chain = critical_path(load_trace(path))
+        # a(10) -> b(4) = 14 beats c(6)
+        assert makespan == 14.0
+        assert [s["name"] for s in chain] == ["step:a", "step:b"]
+
+    def test_summarize_spans(self, tmp_path):
+        tracer = self._tracer_with_steps()
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        summary = summarize_spans(load_trace(path))
+        (run,) = summary["runs"]
+        assert run["run_id"] == "runX"
+        assert run["phases"]["executor"]["spans"] == 4
+        assert run["critical_path_seconds"] == 14.0
+
+
+class TestStructuredLogging:
+    def test_log_lines_are_json_with_run_id(self):
+        import io
+
+        from repro.obs.logging import configure
+
+        clear_logs()
+        stream = io.StringIO()
+        configure(stream=stream)
+        try:
+            log = get_logger("test")
+            with bind_run_id("logrun"):
+                log.info("something_happened", count=3)
+        finally:
+            configure(stream=None)
+        line = json.loads(stream.getvalue().strip().splitlines()[-1])
+        assert line["event"] == "something_happened"
+        assert line["logger"] == "test"
+        assert line["run_id"] == "logrun"
+        assert line["count"] == 3
+
+    def test_ring_buffer_filters(self):
+        clear_logs()
+        log = get_logger("ringtest")
+        with bind_run_id("r1"):
+            log.info("a")
+        with bind_run_id("r2"):
+            log.warning("b")
+        assert len(recent_logs(logger="ringtest")) == 2
+        assert [e["event"] for e in recent_logs(run_id="r2")] == ["b"]
+
+
+class TestPlatformWiring:
+    @pytest.fixture
+    def run(self):
+        REGISTRY.reset()
+        ires = IReS()
+        make = setup_helloworld(ires)
+        report = ires.execute(make())
+        return ires, report
+
+    def test_report_carries_run_id(self, run):
+        _, report = run
+        assert report.run_id
+        assert len(report.run_id) == 12
+
+    def test_all_layers_share_the_run_id(self, run):
+        ires, report = run
+        spans = ires.tracer.spans(report.run_id)
+        categories = {s.category for s in spans}
+        assert {"planner", "executor"} <= categories
+        root = [s for s in spans
+                if s.parent_id is None and s.category == "executor"]
+        assert [s.name for s in root] == [f"execute:{report.workflow}"]
+
+    def test_step_spans_carry_dataflow(self, run):
+        ires, report = run
+        steps = [s for s in ires.tracer.spans(report.run_id)
+                 if s.name.startswith("step:")]
+        assert len(steps) == len(report.executions)
+        for span in steps:
+            assert isinstance(span.attributes["outputs"], list)
+        makespan, chain = critical_path(
+            [s.to_dict() for s in ires.tracer.spans(report.run_id)])
+        assert makespan == pytest.approx(report.critical_path_seconds)
+
+    def test_metrics_populated(self, run):
+        _, report = run
+        text = REGISTRY.render()
+        assert f'ires_executor_runs_total{{status="ok",run_id="{report.run_id}"}} 1' in text
+        assert "ires_planner_plans_total" in text
+        assert "ires_library_lookups_total" in text
+        assert "ires_executor_step_sim_seconds_bucket" in text
+
+    def test_resilience_events_counted(self):
+        REGISTRY.reset()
+        ires = IReS()
+        make = setup_helloworld(ires)
+        ires.fault_injector.seed = 2
+        ires.fault_injector.make_all_flaky(0.3)
+        report = ires.execute(make())
+        if report.retries:
+            counter = REGISTRY.get("ires_resilience_events_total")
+            total = sum(counter.series().values())
+            assert total >= report.retries
+            retry_spans = [
+                e for s in ires.tracer.spans(report.run_id)
+                for e in s.events if e["name"] == "retry"
+            ]
+            assert len(retry_spans) == report.retries
+
+    def test_simulator_records_spans(self):
+        from repro.execution.parallel import ParallelSimulator
+
+        ires = IReS()
+        make = setup_helloworld(ires)
+        workflow = make()
+        plan = ires.plan(workflow)
+        sim = ParallelSimulator(ires.cloud, tracer=ires.tracer)
+        with bind_run_id("simrun"):
+            sim_report = sim.simulate(plan)
+        spans = ires.tracer.spans("simrun")
+        root = [s for s in spans if s.name.startswith("simulate:")]
+        assert len(root) == 1
+        step_spans = [s for s in spans if s.name.startswith("step:")]
+        assert len(step_spans) == len(sim_report.schedule)
+        assert all(s.parent_id == root[0].span_id for s in step_spans)
+
+    def test_modeler_training_traced(self):
+        REGISTRY.reset()
+        from repro.core import ProfileSpec
+        from repro.engines import build_default_cloud
+
+        ires = IReS(cloud=build_default_cloud(seed=5))
+        ires.profile_operator(ProfileSpec("TF_IDF", "Spark",
+                                          counts=[1e3, 1e4, 1e5, 1e6]))
+        trains = [s for s in ires.tracer.spans()
+                  if s.name == "train:TF_IDF@Spark"]
+        assert trains
+        assert trains[-1].attributes["samples"] >= 4
+        counter = REGISTRY.get("ires_modeler_trainings_total")
+        assert counter.value(algorithm="TF_IDF", engine="Spark") >= 1

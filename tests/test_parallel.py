@@ -58,7 +58,7 @@ def test_makespan_not_below_critical_path(relational):
 
 def test_capacity_constraints_serialize_steps():
     """On a tiny cluster the parallel branches cannot co-run."""
-    from repro.engines import Cluster, ContainerRequest, MultiEngineCloud
+    from repro.engines import ContainerRequest
     from repro.engines.registry import build_default_cloud
 
     big = IReS()

@@ -63,7 +63,8 @@ def test_provision_scales_resources_with_input():
     prov_large = ResourceProvisioner(generations=30, population_size=24, seed=1)
     small = prov_small.provision(spark_tfidf_time_fn(cloud, 1e3))
     large = prov_large.provision(spark_tfidf_time_fn(cloud, 1e6))
-    cap = lambda r: r.resources.cores * r.resources.memory_gb
+    def cap(r):
+        return r.resources.cores * r.resources.memory_gb
     assert cap(large) > cap(small)
 
 

@@ -1,7 +1,5 @@
 """Tests for cross-execution intermediate reuse (repro.execution.cache)."""
 
-import pytest
-
 from repro.core import IReS
 from repro.execution.cache import ResultCache, step_key
 from repro.scenarios import setup_helloworld, setup_text_analytics
@@ -66,7 +64,8 @@ def test_step_key_sensitive_to_params_and_inputs():
     op_a = MaterializedOperator("op", {"Execution.Param.iterations": 10})
     op_b = MaterializedOperator("op", {"Execution.Param.iterations": 20})
     ds = Dataset("d", {"Optimization.size": 100})
-    mk = lambda op, d: PlanStep(op, (d,), (Dataset("out"),), 1.0, "abs")
+    def mk(op, d):
+        return PlanStep(op, (d,), (Dataset("out"),), 1.0, "abs")
     assert step_key(mk(op_a, ds)) != step_key(mk(op_b, ds))
     ds2 = Dataset("d", {"Optimization.size": 200})
     assert step_key(mk(op_a, ds)) != step_key(mk(op_a, ds2))

@@ -149,8 +149,9 @@ def test_diamond_topological_order():
     wf.add_dataset(Dataset("src", materialized=True))
     for name in ("l", "r", "out"):
         wf.add_dataset(Dataset(name))
-    mk = lambda n: AbstractOperator(n, {
-        "Constraints.OpSpecification.Algorithm.name": n})
+    def mk(n):
+        return AbstractOperator(n, {
+            "Constraints.OpSpecification.Algorithm.name": n})
     wf.add_operator(mk("left"))
     wf.add_operator(mk("right"))
     join = AbstractOperator("join", {
