@@ -1,0 +1,49 @@
+"""Static analysis over the IReS artifact layer (``ires lint``).
+
+A multi-pass analyzer with a reusable diagnostics core: stable ``IRES0xx``
+codes, error/warning/info severities, ``file:line`` or dotted-key
+locations and fix hints, aggregated by a collector instead of raising on
+the first defect.  See DESIGN.md §8 for the pass catalogue and code table.
+"""
+
+from repro.analysis.config import ConfigPass
+from repro.analysis.dataflow import DataflowPass
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticCollector,
+    LintFailure,
+    code_table,
+)
+from repro.analysis.lint import (
+    default_passes,
+    lint_library,
+    lint_platform,
+    preflight_workflow,
+    run_passes,
+)
+from repro.analysis.match import MatchPass, first_divergence
+from repro.analysis.model_readiness import ModelReadinessPass
+from repro.analysis.passes import LintContext, Pass
+from repro.analysis.schema import SchemaPass
+
+__all__ = [
+    "CODES",
+    "ConfigPass",
+    "DataflowPass",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "LintContext",
+    "LintFailure",
+    "MatchPass",
+    "ModelReadinessPass",
+    "Pass",
+    "SchemaPass",
+    "code_table",
+    "default_passes",
+    "first_divergence",
+    "lint_library",
+    "lint_platform",
+    "preflight_workflow",
+    "run_passes",
+]

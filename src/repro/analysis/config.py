@@ -1,0 +1,93 @@
+"""Config pass: resilience/provisioning sanity (IRES04x).
+
+A breaker that can never close, a retry policy whose worst-case backoff
+budget exceeds the step timeout, or a malformed retry policy all produce
+runs that look configured-but-broken.  These are platform-level findings
+(artifact ``platform:resilience``) rather than artefact-level ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.passes import LintContext
+
+_ARTIFACT = "platform:resilience"
+
+
+class ConfigPass:
+    """Validate the resilience layer's configuration."""
+
+    name = "config"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        """Check the retry policy, breaker thresholds and timeout budget."""
+        manager = ctx.resilience
+        if manager is None:
+            return
+        retry = manager.retry_policy
+        if retry.max_attempts < 1:
+            out.report(
+                "IRES042",
+                f"retry max_attempts={retry.max_attempts} — must be >= 1 "
+                "(1 disables retrying)",
+                artifact=_ARTIFACT, location="retry_policy.max_attempts",
+                hint="use max_attempts=1 for the no-retry baseline",
+            )
+        if retry.base_backoff < 0 or retry.max_backoff < 0:
+            out.report(
+                "IRES042",
+                f"negative backoff (base={retry.base_backoff}, "
+                f"max={retry.max_backoff})",
+                artifact=_ARTIFACT, location="retry_policy.base_backoff",
+                hint="backoffs are simulated seconds and must be >= 0",
+            )
+        if retry.backoff_factor < 1:
+            out.report(
+                "IRES042",
+                f"backoff_factor={retry.backoff_factor} shrinks backoffs "
+                "across attempts — must be >= 1",
+                artifact=_ARTIFACT, location="retry_policy.backoff_factor",
+                hint="use backoff_factor=1 for constant backoff",
+            )
+        if manager.failure_threshold <= 0:
+            out.report(
+                "IRES040",
+                f"breaker failure_threshold={manager.failure_threshold} "
+                "opens the breaker before any failure",
+                artifact=_ARTIFACT, location="failure_threshold",
+                hint="thresholds must be positive (paper default: 3)",
+            )
+        if manager.recovery_timeout <= 0:
+            out.report(
+                "IRES043",
+                f"breaker recovery_timeout={manager.recovery_timeout} "
+                "re-probes sick engines immediately",
+                artifact=_ARTIFACT, location="recovery_timeout",
+                hint="give engines simulated seconds to recover",
+            )
+        self._check_budget(ctx, out)
+
+    def _check_budget(self, ctx: LintContext,
+                      out: DiagnosticCollector) -> None:
+        """Worst-case retry backoff budget vs the absolute step timeout."""
+        manager = ctx.resilience
+        assert manager is not None
+        retry = manager.retry_policy
+        if manager.step_timeout is None or not retry.retries_enabled:
+            return
+        if retry.backoff_factor < 1 or retry.base_backoff < 0:
+            return  # malformed policy already reported above
+        budget = 0.0
+        for attempt in range(1, retry.max_attempts):
+            raw = min(retry.base_backoff * retry.backoff_factor ** (attempt - 1),
+                      retry.max_backoff)
+            budget += raw * (1.0 + max(retry.jitter, 0.0))
+        if budget > manager.step_timeout:
+            out.report(
+                "IRES041",
+                f"worst-case retry backoff budget {budget:.1f}s exceeds "
+                f"step_timeout={manager.step_timeout:.1f}s — later retries "
+                "can never run",
+                artifact=_ARTIFACT, location="step_timeout",
+                hint="raise step_timeout or trim max_attempts/max_backoff",
+            )

@@ -1,0 +1,181 @@
+"""Dataflow pass: graph-shape defects in workflows (IRES02x).
+
+Cycles, missing/unproducible targets, orphan nodes that contribute nothing
+to the target, arity mismatches between graph edges and the operators'
+declared input/output counts, and edges whose dataset can never feed any
+implementation as-is (forcing a move operator onto every plan).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.passes import LintContext
+from repro.core.metadata import MetadataError
+from repro.core.workflow import AbstractWorkflow, WorkflowCycleError, WorkflowError
+
+
+class DataflowPass:
+    """Structural checks over every workflow in scope."""
+
+    name = "dataflow"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        """Inspect each selected workflow independently."""
+        for name, workflow in sorted(ctx.selected_workflows().items()):
+            self._check_workflow(ctx, name, workflow, out)
+
+    def _check_workflow(self, ctx: LintContext, name: str,
+                        workflow: AbstractWorkflow,
+                        out: DiagnosticCollector) -> None:
+        artifact = f"workflow:{name}"
+        location = ctx.location("workflow", name)
+        try:
+            list(workflow.topological_operators())
+        except WorkflowCycleError as exc:
+            out.report("IRES020", str(exc), artifact=artifact,
+                       location=location,
+                       hint="break the cycle; workflows must be DAGs")
+            return  # downstream reachability checks assume a DAG
+        except WorkflowError as exc:
+            out.report("IRES025", str(exc), artifact=artifact,
+                       location=location, hint="fix the graph file")
+            return
+        self._check_target(ctx, name, workflow, artifact, out)
+        self._check_arity(ctx, name, workflow, artifact, out)
+        self._check_forced_moves(ctx, name, workflow, artifact, out)
+
+    # -- target + orphans ----------------------------------------------------
+    def _check_target(self, ctx: LintContext, name: str,
+                      workflow: AbstractWorkflow, artifact: str,
+                      out: DiagnosticCollector) -> None:
+        location = ctx.location("workflow", name)
+        target = workflow.target
+        if target is None or target not in workflow.datasets:
+            out.report("IRES021",
+                       f"workflow has no valid $$target (got {target!r})",
+                       artifact=artifact, location=location,
+                       hint="end the graph file with '<dataset>,$$target'")
+            return
+        if (target not in workflow.producer
+                and not workflow.datasets[target].materialized):
+            out.report("IRES021",
+                       f"target {target!r} has no producer and is not "
+                       "materialized — no plan can reach it",
+                       artifact=artifact, location=location,
+                       hint="connect an operator output to the target")
+            return
+        useful = self._ancestry(workflow, target)
+        for ds_name in sorted(workflow.datasets):
+            if ds_name not in useful:
+                out.report("IRES022",
+                           f"dataset {ds_name!r} contributes nothing to "
+                           f"target {target!r}",
+                           artifact=artifact, location=location,
+                           hint="remove the dead node or rewire it")
+        for op_name in sorted(workflow.operators):
+            if op_name not in useful:
+                out.report("IRES022",
+                           f"operator {op_name!r} contributes nothing to "
+                           f"target {target!r}",
+                           artifact=artifact, location=location,
+                           hint="remove the dead node or rewire it")
+
+    @staticmethod
+    def _ancestry(workflow: AbstractWorkflow, target: str) -> set[str]:
+        """Every node on some path into ``target`` (inclusive)."""
+        useful = {target}
+        frontier = [target]
+        while frontier:
+            node = frontier.pop()
+            parents: list[str] = []
+            if node in workflow.datasets:
+                producer = workflow.producer.get(node)
+                if producer is not None:
+                    parents = [producer]
+            else:
+                parents = list(workflow.op_inputs.get(node, ()))
+            for parent in parents:
+                if parent not in useful:
+                    useful.add(parent)
+                    frontier.append(parent)
+        return useful
+
+    # -- arity ---------------------------------------------------------------
+    def _check_arity(self, ctx: LintContext, name: str,
+                     workflow: AbstractWorkflow, artifact: str,
+                     out: DiagnosticCollector) -> None:
+        for op_name in sorted(workflow.operators):
+            operator = workflow.operators[op_name]
+            try:
+                declared_in = operator.n_inputs
+                declared_out = operator.n_outputs
+            except MetadataError:
+                continue  # non-numeric arity is the schema pass's finding
+            wired_in = len(workflow.op_inputs.get(op_name, ()))
+            wired_out = len(workflow.op_outputs.get(op_name, ()))
+            if wired_in != declared_in:
+                out.report(
+                    "IRES023",
+                    f"operator {op_name!r} is wired to {wired_in} input(s) "
+                    f"but declares Constraints.Input.number={declared_in}",
+                    artifact=artifact,
+                    location=self._edge_location(ctx, name, workflow, op_name),
+                    hint="add/remove graph edges or fix the declared arity",
+                )
+            if wired_out != declared_out:
+                out.report(
+                    "IRES023",
+                    f"operator {op_name!r} produces {wired_out} output(s) "
+                    f"but declares Constraints.Output.number={declared_out}",
+                    artifact=artifact,
+                    location=self._edge_location(ctx, name, workflow, op_name),
+                    hint="add/remove graph edges or fix the declared arity",
+                )
+
+    @staticmethod
+    def _edge_line(workflow: AbstractWorkflow, op_name: str) -> int | None:
+        """Graph-file line of the first edge touching ``op_name``."""
+        lines = [line for (src, dst), line in workflow.edge_lines.items()
+                 if op_name in (src, dst)]
+        return min(lines) if lines else None
+
+    def _edge_location(self, ctx: LintContext, name: str,
+                       workflow: AbstractWorkflow, op_name: str) -> str:
+        return ctx.location("workflow", name,
+                            line=self._edge_line(workflow, op_name))
+
+    # -- forced moves --------------------------------------------------------
+    def _check_forced_moves(self, ctx: LintContext, name: str,
+                            workflow: AbstractWorkflow, artifact: str,
+                            out: DiagnosticCollector) -> None:
+        """Materialized inputs no implementation accepts as-is (IRES024).
+
+        Only source datasets with concrete constraints are judged —
+        intermediate datasets take whatever format the chosen upstream
+        implementation emits, which is the planner's call, not a defect.
+        """
+        for op_name in sorted(workflow.operators):
+            abstract = workflow.operators[op_name]
+            matches = [op for op in ctx.library.candidates(abstract)
+                       if op.matches_abstract(abstract)]
+            if not matches:
+                continue  # unmatchable operators are the match pass's finding
+            for i, ds_name in enumerate(workflow.op_inputs.get(op_name, ())):
+                dataset = workflow.datasets.get(ds_name)
+                if dataset is None or not dataset.materialized:
+                    continue
+                if dataset.metadata.node("Constraints") is None:
+                    continue
+                if any(op.accepts_input(dataset, i) for op in matches):
+                    continue
+                line = workflow.edge_lines.get((ds_name, op_name))
+                out.report(
+                    "IRES024",
+                    f"no implementation of {op_name!r} accepts dataset "
+                    f"{ds_name!r} as-is on input {i} — every plan will pay "
+                    "a move/transform",
+                    artifact=artifact,
+                    location=ctx.location("workflow", name, line=line),
+                    hint="co-locate the dataset or add a native-format "
+                         "implementation",
+                )

@@ -1,0 +1,259 @@
+"""Typed diagnostics for the IReS static analyzer.
+
+Every defect the analyzer can report carries a **stable code** in the
+``IRES0xx`` namespace (documented in DESIGN.md §8 — codes are append-only
+and never reused), a severity, a source location (``file:line`` when the
+artefact came from disk, a dotted meta-data key otherwise) and a fix hint.
+:class:`DiagnosticCollector` aggregates instead of raising on the first
+error, which is what turns today's mid-plan ``KeyError`` into one
+actionable report; :class:`LintFailure` is the aggregated exception the
+planner pre-flight raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: severity sort order (most severe first)
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: The stable diagnostic-code catalogue: code -> (default severity, title).
+#: Codes are grouped by pass in blocks of ten and are never renumbered.
+CODES: dict[str, tuple[str, str]] = {
+    # schema pass (IRES00x)
+    "IRES001": (ERROR, "description file cannot be parsed"),
+    "IRES002": (ERROR, "required key missing"),
+    "IRES003": (ERROR, "value has the wrong type"),
+    "IRES004": (WARNING, "value outside its sane range"),
+    "IRES005": (WARNING, "wildcard in a materialized description"),
+    "IRES006": (WARNING, "duplicate dotted key (last occurrence wins)"),
+    "IRES007": (INFO, "unknown top-level subtree"),
+    "IRES008": (ERROR, "input/output spec index exceeds declared arity"),
+    # match pass (IRES01x)
+    "IRES010": (ERROR, "abstract operator has no materialized candidate"),
+    "IRES011": (WARNING, "operator bound to an engine the platform does not deploy"),
+    "IRES012": (INFO, "wildcard algorithm name defeats the library index"),
+    # dataflow pass (IRES02x)
+    "IRES020": (ERROR, "workflow graph contains a cycle"),
+    "IRES021": (ERROR, "workflow target missing or unreachable"),
+    "IRES022": (WARNING, "node contributes nothing to the target"),
+    "IRES023": (ERROR, "edge arity disagrees with the declared input/output count"),
+    "IRES024": (WARNING, "edge forces a move operator on every plan"),
+    "IRES025": (ERROR, "malformed workflow graph"),
+    # model-readiness pass (IRES03x)
+    "IRES030": (WARNING, "too few profiler samples; planner falls back to defaults"),
+    "IRES031": (INFO, "profiler samples exist but no model was trained"),
+    # config pass (IRES04x)
+    "IRES040": (ERROR, "circuit-breaker failure threshold is not positive"),
+    "IRES041": (ERROR, "retry backoff budget exceeds the step timeout"),
+    "IRES042": (ERROR, "retry policy is malformed"),
+    "IRES043": (WARNING, "breaker recovery timeout is not positive"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``artifact`` names what was analyzed (``operator:count_spark``,
+    ``workflow:CountWorkflow``, ``platform:resilience``); ``location`` is a
+    ``file:line`` pair when the artefact has an on-disk source, a dotted
+    meta-data key path otherwise, or ``""`` when neither applies.
+    """
+
+    code: str
+    severity: str
+    message: str
+    artifact: str = ""
+    location: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @classmethod
+    def make(cls, code: str, message: str, *, artifact: str = "",
+             location: str = "", hint: str = "",
+             severity: str | None = None) -> "Diagnostic":
+        """Build a diagnostic with the catalogue's default severity."""
+        if severity is None:
+            if code not in CODES:
+                raise ValueError(f"unknown diagnostic code {code!r}")
+            severity = CODES[code][0]
+        return cls(
+            code=code,
+            severity=severity,
+            message=message,
+            artifact=artifact,
+            location=location,
+            hint=hint,
+        )
+
+    def render(self) -> str:
+        """One text line: ``location: severity CODE: message [artifact]``."""
+        prefix = f"{self.location}: " if self.location else ""
+        suffix = f" [{self.artifact}]" if self.artifact else ""
+        return f"{prefix}{self.severity} {self.code}: {self.message}{suffix}"
+
+    def to_json(self) -> dict[str, str]:
+        """JSON-able dict with stable field names."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "artifact": self.artifact,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+    def _sort_key(self) -> tuple[int, str, str, str]:
+        return (_SEVERITY_RANK[self.severity], self.artifact, self.location,
+                self.code)
+
+
+class DiagnosticCollector:
+    """Aggregates diagnostics across passes instead of failing fast.
+
+    Identical findings (same code, artifact, location and message) are
+    deduplicated — the loader and the schema pass may both notice the same
+    broken file.
+    """
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._diagnostics: list[Diagnostic] = []
+        self._seen: set[tuple[str, str, str, str]] = set()
+        self.extend(diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Record one finding (duplicates are dropped)."""
+        key = (diagnostic.code, diagnostic.artifact, diagnostic.location,
+               diagnostic.message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._diagnostics.append(diagnostic)
+
+    def report(self, code: str, message: str, *, artifact: str = "",
+               location: str = "", hint: str = "",
+               severity: str | None = None) -> None:
+        """Shorthand: build via :meth:`Diagnostic.make` and :meth:`add`."""
+        self.add(Diagnostic.make(code, message, artifact=artifact,
+                                 location=location, hint=hint,
+                                 severity=severity))
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Record many findings."""
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
+
+    # -- access --------------------------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Findings ordered most-severe first, then by artifact/location."""
+        return sorted(self._diagnostics, key=lambda d: d._sort_key())
+
+    def errors(self) -> list[Diagnostic]:
+        """Only the error-severity findings."""
+        return [d for d in self.sorted() if d.severity == ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        """Only the warning-severity findings."""
+        return [d for d in self.sorted() if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        """True when at least one error was recorded."""
+        return any(d.severity == ERROR for d in self._diagnostics)
+
+    def failed(self, strict: bool = False) -> bool:
+        """Gate verdict: errors always fail; ``strict`` also fails warnings."""
+        if self.has_errors:
+            return True
+        return strict and bool(self.warnings())
+
+    def counts(self) -> dict[str, int]:
+        """``{severity: count}`` over every recorded finding."""
+        out = {ERROR: 0, WARNING: 0, INFO: 0}
+        for diagnostic in self._diagnostics:
+            out[diagnostic.severity] += 1
+        return out
+
+    def codes(self) -> list[str]:
+        """Sorted unique codes seen (golden tests key on this)."""
+        return sorted({d.code for d in self._diagnostics})
+
+    # -- rendering -----------------------------------------------------------
+    def render_text(self, verbose_hints: bool = True) -> str:
+        """Human-readable multi-line report ending in a summary line."""
+        lines: list[str] = []
+        for diagnostic in self.sorted():
+            lines.append(diagnostic.render())
+            if verbose_hints and diagnostic.hint:
+                lines.append(f"  hint: {diagnostic.hint}")
+        counts = self.counts()
+        lines.append(
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[INFO]} info"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, strict: bool = False) -> dict[str, object]:
+        """JSON-able report: verdict, per-severity counts, findings."""
+        return {
+            "ok": not self.failed(strict),
+            "strict": strict,
+            "counts": self.counts(),
+            "codes": self.codes(),
+            "diagnostics": [d.to_json() for d in self.sorted()],
+        }
+
+
+class LintFailure(RuntimeError):
+    """Aggregated pre-flight failure carrying every diagnostic at once.
+
+    Raised by the planner's opt-in pre-flight instead of whatever mid-plan
+    ``KeyError``/``PlanningError`` the first defect would have produced.
+    """
+
+    def __init__(self, collector: DiagnosticCollector,
+                 context: str = "workflow") -> None:
+        self.collector = collector
+        errors = collector.errors()
+        head = f"{context} failed lint with {len(errors)} error(s)"
+        lines = [head] + [f"  {d.render()}" for d in collector.sorted()]
+        super().__init__("\n".join(lines))
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        """Every finding, most severe first."""
+        return self.collector.sorted()
+
+
+@dataclass
+class _CodeTableRow:
+    """One row of the DESIGN.md code table (kept for doc generation)."""
+
+    code: str
+    severity: str
+    title: str
+
+
+def code_table() -> list[_CodeTableRow]:
+    """The catalogue as rows, in code order — DESIGN.md §8 renders this."""
+    return [
+        _CodeTableRow(code, severity, title)
+        for code, (severity, title) in sorted(CODES.items())
+    ]

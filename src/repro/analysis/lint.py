@@ -1,0 +1,101 @@
+"""Analyzer entry points: run the pass pipeline over a platform or library.
+
+Three front doors, one engine:
+
+- :func:`lint_library` — CLI path: tolerantly load an ``asapLibrary/``
+  tree (collecting load-time diagnostics) and analyze it with file:line
+  locations.
+- :func:`lint_platform` — REST path: analyze a live in-memory platform.
+- :func:`preflight_workflow` — planner path: the match + dataflow subset
+  scoped to one workflow, cheap enough to run before every plan.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.config import ConfigPass
+from repro.analysis.dataflow import DataflowPass
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector
+from repro.analysis.match import MatchPass
+from repro.analysis.model_readiness import ModelReadinessPass
+from repro.analysis.passes import LintContext, Pass
+from repro.analysis.schema import SchemaPass
+from repro.core.library import OperatorLibrary
+from repro.core.workflow import AbstractWorkflow
+
+if TYPE_CHECKING:
+    from repro.core.platform import IReS
+
+
+def default_passes() -> list[Pass]:
+    """The full pass pipeline, in execution order."""
+    return [SchemaPass(), MatchPass(), DataflowPass(), ModelReadinessPass(),
+            ConfigPass()]
+
+
+def run_passes(
+    ctx: LintContext,
+    passes: Sequence[Pass] | None = None,
+    preloaded: Sequence[Diagnostic] = (),
+) -> DiagnosticCollector:
+    """Run passes over a context, seeding load-time diagnostics first."""
+    collector = DiagnosticCollector(preloaded)
+    for analysis_pass in (passes if passes is not None else default_passes()):
+        analysis_pass.run(ctx, collector)
+    return collector
+
+
+def lint_platform(
+    ires: "IReS",
+    workflow: str | None = None,
+    root: Path | str | None = None,
+    passes: Sequence[Pass] | None = None,
+    preloaded: Sequence[Diagnostic] = (),
+) -> DiagnosticCollector:
+    """Analyze a live platform (optionally scoped to one workflow)."""
+    ctx = LintContext.from_platform(ires, workflow=workflow, root=root)
+    return run_passes(ctx, passes=passes, preloaded=preloaded)
+
+
+def lint_library(
+    root: Path | str,
+    workflow: str | None = None,
+    passes: Sequence[Pass] | None = None,
+) -> "tuple[IReS, DiagnosticCollector]":
+    """Load an on-disk library tolerantly, then analyze it.
+
+    Returns the populated platform and the aggregated diagnostics; loading
+    defects (unparseable files, unbuildable workflows) appear as
+    diagnostics instead of exceptions.
+    """
+    from repro.core.libraryfs import load_asap_library
+    from repro.core.platform import IReS
+
+    ires = IReS()
+    report = load_asap_library(root, ires)
+    collector = lint_platform(ires, workflow=workflow, root=root,
+                              passes=passes, preloaded=report.diagnostics)
+    return ires, collector
+
+
+def preflight_workflow(
+    library: OperatorLibrary,
+    workflow: AbstractWorkflow,
+    available_engines: set[str] | None = None,
+) -> DiagnosticCollector:
+    """The planner's pre-flight: match + dataflow scoped to one workflow.
+
+    Runs on a minimal context (no platform, no filesystem), so it is cheap
+    enough to gate every planning pass when opted in.
+    """
+    ctx = LintContext(
+        library=library,
+        abstract_operators=dict(workflow.operators),
+        datasets=dict(workflow.datasets),
+        workflows={workflow.name: workflow},
+        engines=frozenset(available_engines) if available_engines is not None
+        else None,
+    )
+    return run_passes(ctx, passes=[MatchPass(), DataflowPass()])

@@ -1,0 +1,136 @@
+"""The analyzer's pass protocol and shared lint context.
+
+A *pass* is one focused inspection over the artifact layer (schema, match,
+dataflow, model-readiness, config).  Passes never raise on bad artifacts —
+they report into a :class:`~repro.analysis.diagnostics.DiagnosticCollector`
+— and they share a :class:`LintContext` describing what to analyze and
+where it came from, so findings can point at ``file:line`` when the
+artefact has an on-disk source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.core.dataset import Dataset
+from repro.core.library import OperatorLibrary
+from repro.core.libraryfs import (
+    ABSTRACT_OPS_DIR,
+    DATASETS_DIR,
+    DESCRIPTION_FILE,
+    GRAPH_FILE,
+    OPERATORS_DIR,
+    WORKFLOWS_DIR,
+)
+from repro.core.operators import AbstractOperator
+from repro.core.workflow import AbstractWorkflow
+
+if TYPE_CHECKING:  # avoid a hard import cycle with the platform facade
+    from repro.core.modeler import Modeler
+    from repro.core.platform import IReS
+    from repro.execution.resilience import ResilienceManager
+
+
+#: artefact kind -> relative path fragments under the library root
+_KIND_PATHS = {
+    "dataset": (DATASETS_DIR, None),
+    "operator": (OPERATORS_DIR, DESCRIPTION_FILE),
+    "abstract": (ABSTRACT_OPS_DIR, None),
+    "workflow": (WORKFLOWS_DIR, GRAPH_FILE),
+}
+
+
+@dataclass
+class LintContext:
+    """Everything a pass may inspect, decoupled from the platform facade.
+
+    The planner pre-flight builds a minimal context (library + one
+    workflow); ``ires lint`` builds a full one via :meth:`from_platform`
+    with ``root`` pointing at the on-disk library for file:line locations.
+    """
+
+    library: OperatorLibrary
+    abstract_operators: dict[str, AbstractOperator] = field(default_factory=dict)
+    datasets: dict[str, Dataset] = field(default_factory=dict)
+    workflows: dict[str, AbstractWorkflow] = field(default_factory=dict)
+    #: names of engines the platform deploys; None = unknown (skip checks)
+    engines: frozenset[str] | None = None
+    #: the modeler, for the model-readiness pass (None = skip)
+    modeler: "Modeler | None" = None
+    #: True when planning estimates actually depend on trained models
+    model_backed: bool = False
+    #: the resilience manager, for the config pass (None = skip)
+    resilience: "ResilienceManager | None" = None
+    #: on-disk library root, for file:line locations (None = in-memory)
+    root: Path | None = None
+    #: restrict workflow-scoped passes to this workflow name (None = all)
+    workflow_filter: str | None = None
+
+    @classmethod
+    def from_platform(cls, ires: "IReS", workflow: str | None = None,
+                      root: Path | str | None = None) -> "LintContext":
+        """Build a full context from an :class:`~repro.core.platform.IReS`."""
+        from repro.core.estimators import ModelBackedEstimator
+
+        return cls(
+            library=ires.library,
+            abstract_operators=dict(ires.abstract_operators),
+            datasets=dict(ires.datasets),
+            workflows=dict(ires.workflows),
+            engines=frozenset(ires.cloud.engines),
+            modeler=ires.modeler,
+            model_backed=isinstance(ires.estimator, ModelBackedEstimator),
+            resilience=ires.executor.resilience,
+            root=Path(root) if root is not None else None,
+            workflow_filter=workflow,
+        )
+
+    # -- selection -----------------------------------------------------------
+    def selected_workflows(self) -> dict[str, AbstractWorkflow]:
+        """The workflows in scope (all, or just ``workflow_filter``)."""
+        if self.workflow_filter is None:
+            return self.workflows
+        workflow = self.workflows.get(self.workflow_filter)
+        return {self.workflow_filter: workflow} if workflow is not None else {}
+
+    def scoped_abstract_operators(self) -> dict[str, AbstractOperator]:
+        """Library-level abstract operators plus workflow-local ones."""
+        out = dict(self.abstract_operators)
+        for workflow in self.selected_workflows().values():
+            for name, operator in workflow.operators.items():
+                out.setdefault(name, operator)
+        return out
+
+    # -- locations -----------------------------------------------------------
+    def artifact_file(self, kind: str, name: str) -> Path | None:
+        """The on-disk source of an artefact, when the library has a root."""
+        if self.root is None:
+            return None
+        directory, leaf = _KIND_PATHS[kind]
+        path = self.root / directory / name
+        if leaf is not None:
+            path = path / leaf
+        return path if path.is_file() else None
+
+    def location(self, kind: str, name: str, line: int | None = None,
+                 key: str | None = None) -> str:
+        """``file:line`` when file-backed, else the dotted key, else ``""``."""
+        path = self.artifact_file(kind, name)
+        if path is not None:
+            rel = path.relative_to(self.root) if self.root else path
+            return f"{rel}:{line}" if line is not None else str(rel)
+        return key or ""
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One static-analysis pass: report findings, never raise."""
+
+    name: str
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        """Inspect the context and report into the collector."""
+        ...

@@ -1,0 +1,214 @@
+"""Schema pass: required keys, value types and unit sanity (IRES00x).
+
+Checks every loaded artefact's meta-data tree — and, when the library has
+an on-disk root, re-scans the raw description files for defects the tree
+cannot represent (duplicate dotted keys, where the last occurrence silently
+wins).  Unparseable files never make it into the tree at all; those are
+reported as ``IRES001`` by the tolerant loader.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.passes import LintContext
+from repro.core.dataset import Dataset
+from repro.core.metadata import PREDEFINED_ROOTS, WILDCARD, MetadataTree
+from repro.core.operators import AbstractOperator, MaterializedOperator
+
+#: keys whose values must parse as numbers, with their sane lower bound
+NUMERIC_KEYS: dict[str, float] = {
+    "Constraints.Input.number": 0.0,
+    "Constraints.Output.number": 1.0,
+    "Optimization.size": 0.0,
+    "Optimization.count": 0.0,
+    "Optimization.documents": 0.0,
+    "Optimization.execTime": 0.0,
+    "Optimization.cost": 0.0,
+}
+
+#: keys a materialized operator description must define
+REQUIRED_OPERATOR_KEYS = (
+    "Constraints.Engine",
+    "Constraints.OpSpecification.Algorithm.name",
+)
+
+_SPEC_KEY = re.compile(r"^(Input|Output)(\d+)$")
+
+Locator = Callable[[str], str]
+
+
+def _key_lines(path: Path) -> dict[str, int]:
+    """Map ``dotted.key -> first line number`` for a description file."""
+    lines: dict[str, int] = {}
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return lines
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#") or "=" not in line:
+            continue
+        key = line.partition("=")[0].strip()
+        lines.setdefault(key, lineno)
+    return lines
+
+
+def _duplicate_keys(path: Path) -> Iterator[tuple[str, int]]:
+    """Yield ``(key, line)`` for every re-assignment of a dotted key."""
+    seen: dict[str, int] = {}
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#") or "=" not in line:
+            continue
+        key = line.partition("=")[0].strip()
+        if key in seen:
+            yield key, lineno
+        else:
+            seen[key] = lineno
+
+
+class SchemaPass:
+    """Validate artefact descriptions against the meta-data contract."""
+
+    name = "schema"
+
+    def run(self, ctx: LintContext, out: DiagnosticCollector) -> None:
+        """Check datasets, materialized and abstract operators."""
+        for name, dataset in sorted(ctx.datasets.items()):
+            locate = self._locator(ctx, "dataset", name)
+            artifact = f"dataset:{name}"
+            self._check_duplicates(ctx, "dataset", name, artifact, out)
+            self._check_values(dataset.metadata, artifact, locate, out)
+            if dataset.materialized:
+                self._check_wildcards(dataset.metadata, artifact, locate, out)
+        for operator in sorted(ctx.library, key=lambda op: op.name):
+            self._check_materialized(ctx, operator, out)
+        for name, abstract in sorted(ctx.scoped_abstract_operators().items()):
+            locate = self._locator(ctx, "abstract", name)
+            artifact = f"abstract:{name}"
+            self._check_duplicates(ctx, "abstract", name, artifact, out)
+            self._check_values(abstract.metadata, artifact, locate, out)
+            self._check_spec_arity(abstract, artifact, locate, out)
+
+    # -- helpers -------------------------------------------------------------
+    def _locator(self, ctx: LintContext, kind: str, name: str) -> Locator:
+        """A ``key -> location`` function, file:line-aware when possible."""
+        path = ctx.artifact_file(kind, name)
+        if path is None:
+            return lambda key: key
+        key_lines = _key_lines(path)
+        return lambda key: ctx.location(kind, name, line=key_lines.get(key),
+                                        key=key)
+
+    def _check_duplicates(self, ctx: LintContext, kind: str, name: str,
+                          artifact: str, out: DiagnosticCollector) -> None:
+        path = ctx.artifact_file(kind, name)
+        if path is None:
+            return
+        for key, lineno in _duplicate_keys(path):
+            out.report(
+                "IRES006",
+                f"duplicate key {key!r} (the last occurrence wins)",
+                artifact=artifact,
+                location=ctx.location(kind, name, line=lineno),
+                hint="remove or merge the earlier assignment",
+            )
+
+    def _check_values(self, tree: MetadataTree, artifact: str,
+                      locate: Locator, out: DiagnosticCollector) -> None:
+        """Numeric types, sane ranges and unknown top-level subtrees."""
+        for key, bound in NUMERIC_KEYS.items():
+            value = tree.get(key)
+            if value is None or value == WILDCARD:
+                continue
+            try:
+                number = float(value)
+            except ValueError:
+                out.report(
+                    "IRES003",
+                    f"{key}={value!r} is not numeric",
+                    artifact=artifact, location=locate(key),
+                    hint=f"use a number (e.g. {key}=1)",
+                )
+                continue
+            if number < bound:
+                out.report(
+                    "IRES004",
+                    f"{key}={value} is below its minimum {bound:g}",
+                    artifact=artifact, location=locate(key),
+                    hint="negative sizes/arities break cost estimation",
+                )
+        for label, _child in tree.children():
+            if label not in PREDEFINED_ROOTS:
+                out.report(
+                    "IRES007",
+                    f"unknown top-level subtree {label!r} "
+                    f"(predefined: {', '.join(PREDEFINED_ROOTS)})",
+                    artifact=artifact, location=locate(label),
+                    hint="ad-hoc trees belong under a predefined root",
+                )
+
+    def _check_wildcards(self, tree: MetadataTree, artifact: str,
+                         locate: Locator, out: DiagnosticCollector) -> None:
+        """Materialized descriptions must fill every field — no ``*``."""
+        for key, value in tree.leaves():
+            if value == WILDCARD:
+                out.report(
+                    "IRES005",
+                    f"{key}=* wildcard in a materialized description",
+                    artifact=artifact, location=locate(key),
+                    hint="materialized artefacts must pin concrete values",
+                )
+
+    def _check_spec_arity(self, operator: AbstractOperator | MaterializedOperator,
+                          artifact: str, locate: Locator,
+                          out: DiagnosticCollector) -> None:
+        """``InputN``/``OutputN`` subtrees must fit the declared arity."""
+        constraints = operator.metadata.node("Constraints")
+        if constraints is None:
+            return
+        try:
+            declared = {"Input": operator.n_inputs, "Output": operator.n_outputs}
+        except Exception:
+            return  # non-numeric arity already reported by _check_values
+        for label, _child in constraints.children():
+            match = _SPEC_KEY.match(label)
+            if match is None:
+                continue
+            kind, index = match.group(1), int(match.group(2))
+            if index >= declared[kind]:
+                out.report(
+                    "IRES008",
+                    f"Constraints.{label} exceeds declared "
+                    f"Constraints.{kind}.number={declared[kind]}",
+                    artifact=artifact,
+                    location=locate(f"Constraints.{kind}.number"),
+                    hint=f"raise {kind}.number or renumber the spec",
+                )
+
+    def _check_materialized(self, ctx: LintContext,
+                            operator: MaterializedOperator,
+                            out: DiagnosticCollector) -> None:
+        locate = self._locator(ctx, "operator", operator.name)
+        artifact = f"operator:{operator.name}"
+        self._check_duplicates(ctx, "operator", operator.name, artifact, out)
+        for key in REQUIRED_OPERATOR_KEYS:
+            if operator.metadata.get(key) is None:
+                out.report(
+                    "IRES002",
+                    f"materialized operator is missing {key}",
+                    artifact=artifact,
+                    location=ctx.location("operator", operator.name, key=key),
+                    hint=f"add a {key}=... line to the description",
+                )
+        self._check_values(operator.metadata, artifact, locate, out)
+        self._check_wildcards(operator.metadata, artifact, locate, out)
+        self._check_spec_arity(operator, artifact, locate, out)

@@ -30,6 +30,7 @@ POST   /engines/{name}/start                              restart a service
 GET    /models/{algorithm}/{engine}                       trained model info
 GET    /resilience                                        retry/breaker status
 POST   /resilience/breakers/{engine}/reset                close one breaker
+POST   /lint                                              static analysis
 GET    /metrics                                           Prometheus text
 GET    /traces                                            collected run ids
 GET    /traces/{run_id}                                   one run's Chrome trace
@@ -37,7 +38,9 @@ GET    /traces/{run_id}                                   one run's Chrome trace
 
 ``/metrics`` responds with Prometheus text exposition (``Response.text``);
 ``/traces/{run_id}`` responds with a Chrome trace-event JSON object that
-Perfetto loads directly.
+Perfetto loads directly.  ``POST /lint`` (body: optional ``workflow``,
+``strict``) runs the :mod:`repro.analysis` static analyzer over the live
+platform and returns the typed ``IRES0xx`` diagnostics report.
 """
 
 from __future__ import annotations
@@ -263,6 +266,18 @@ class IResServer:
         self._expect(method == "POST", 405, "use POST")
         breaker = resilience.reset_breaker(engine, self.ires.cloud.clock.now)
         return Response(200, {"engine": engine, "breaker": breaker.status()})
+
+    # -- /lint ---------------------------------------------------------------
+    def _lint(self, method, rest, body) -> Response:
+        self._expect(method == "POST", 405, "use POST")
+        self._expect(not rest, 404, "use /lint")
+        workflow = body.get("workflow")
+        if workflow is not None:
+            self._expect(workflow in self.ires.workflows, 404,
+                         f"no workflow {workflow!r}")
+        strict = bool(body.get("strict", False))
+        collector = self.ires.lint(workflow=workflow)
+        return Response(200, collector.to_json(strict=strict))
 
     # -- /metrics ------------------------------------------------------------
     def _metrics(self, method, rest, body) -> Response:

@@ -4,11 +4,17 @@ Works against an on-disk ``asapLibrary/`` directory (see
 :mod:`repro.core.libraryfs`)::
 
     ires validate  <library_dir>              # parse + report the library
+    ires lint      <library_dir>              # static analysis (IRES0xx)
     ires engines                              # list the deployed engines
     ires plan      <library_dir> <workflow>   # materialize a workflow
     ires execute   <library_dir> <workflow>   # plan + run it
     ires frontier  <library_dir> <workflow>   # Pareto time/cost frontier
     ires trace summarize <trace_file>         # per-phase trace summary
+
+``ires lint`` runs the multi-pass static analyzer of :mod:`repro.analysis`
+(schema, match, dataflow, model-readiness, config) and prints located
+``IRES0xx`` diagnostics as text or JSON; ``--strict`` also fails on
+warnings.
 
 ``ires execute --trace out.json`` writes a Chrome trace-event file (load
 it in Perfetto / chrome://tracing) covering the run's planner, executor
@@ -25,14 +31,17 @@ from repro.core.pareto import ParetoPlanner
 from repro.core.platform import IReS
 
 
-def _load(library_dir: str, resilience=None) -> IReS:
+def _load(library_dir: str, resilience=None):
     ires = IReS(resilience=resilience)
     report = load_asap_library(library_dir, ires)
     print(f"loaded {report.total()} artefacts from {library_dir} "
           f"({len(report.datasets)} datasets, {len(report.operators)} operators, "
           f"{len(report.abstract_operators)} abstract, "
           f"{len(report.workflows)} workflows)")
-    return ires
+    if report.load_errors:
+        print(f"warning: skipped {report.load_errors} malformed artefact(s) "
+              "— run `ires lint` for details")
+    return ires, report
 
 
 def _workflow(ires: IReS, name: str):
@@ -44,13 +53,49 @@ def _workflow(ires: IReS, name: str):
 
 def cmd_validate(args) -> int:
     """``ires validate``: parse a library dir and validate its workflows."""
-    ires = _load(args.library)
+    ires, report = _load(args.library)
     for name, workflow in sorted(ires.workflows.items()):
         workflow.validate()
         print(f"  workflow {name}: {len(workflow.operators)} operators, "
               f"target {workflow.target}")
+    if report.diagnostics:
+        for diagnostic in report.diagnostics:
+            print(f"  {diagnostic.render()}")
+        print("library INVALID")
+        return 1
     print("library OK")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """``ires lint``: run the static analyzer over a library directory.
+
+    Exit code 0 when clean (``--strict``: no warnings either), 1 when the
+    gate fails.  ``--format json`` emits the machine-readable report.
+    """
+    import json
+
+    from repro.analysis import lint_library
+    from repro.core.libraryfs import LibraryLayoutError
+
+    try:
+        ires, collector = lint_library(args.library, workflow=args.workflow)
+    except LibraryLayoutError as exc:
+        sys.exit(f"error: {exc}")
+    if args.workflow is not None and args.workflow not in ires.workflows \
+            and not any(d.artifact == f"workflow:{args.workflow}"
+                        for d in collector):
+        sys.exit(f"error: no workflow {args.workflow!r}; "
+                 f"available: {sorted(ires.workflows)}")
+    failed = collector.failed(strict=args.strict)
+    if args.format == "json":
+        print(json.dumps(collector.to_json(strict=args.strict),
+                         indent=2, sort_keys=True))
+    else:
+        print(collector.render_text())
+        print(f"lint {'FAILED' if failed else 'OK'}: {args.library}"
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
 
 
 def cmd_engines(args) -> int:
@@ -64,7 +109,7 @@ def cmd_engines(args) -> int:
 
 def cmd_plan(args) -> int:
     """``ires plan``: print the optimal materialized plan of a workflow."""
-    ires = _load(args.library)
+    ires, _ = _load(args.library)
     plan = ires.plan(_workflow(ires, args.workflow))
     print(f"optimal plan (estimated {plan.cost:.2f}s):")
     for step in plan.steps:
@@ -85,7 +130,7 @@ def cmd_execute(args) -> int:
     if not 0.0 <= args.fail_rate <= 1.0:
         sys.exit(f"error: --fail-rate must be in [0, 1], got {args.fail_rate}")
     resilience = ResilienceManager.baseline() if args.no_resilience else None
-    ires = _load(args.library, resilience)
+    ires, _ = _load(args.library, resilience)
     if args.fail_rate > 0:
         ires.fault_injector.seed = args.chaos_seed
         ires.fault_injector.make_all_flaky(args.fail_rate)
@@ -135,7 +180,7 @@ def _print_resilience(ires: IReS) -> None:
 
 def cmd_frontier(args) -> int:
     """``ires frontier``: print the Pareto time/cost plan frontier."""
-    ires = _load(args.library)
+    ires, _ = _load(args.library)
     planner = ParetoPlanner(ires.library, ires.estimator)
     frontier = planner.plan_frontier(_workflow(ires, args.workflow))
     print(f"{len(frontier)} Pareto-optimal plans (time vs cost):")
@@ -222,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="parse and validate a library dir")
     p.add_argument("library")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("lint", help="static analysis of a library dir "
+                                    "(IRES0xx diagnostics)")
+    p.add_argument("library")
+    p.add_argument("--workflow", default=None,
+                   help="restrict workflow-scoped passes to one workflow")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on warnings")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("engines", help="list deployed engines")
     p.set_defaults(func=cmd_engines)

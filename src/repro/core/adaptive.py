@@ -38,7 +38,9 @@ class AdaptiveProfiler:
         self._profiler = Profiler(cloud)
         self._param_names = sorted(spec.params)
 
-    def _grid_features(self, grid) -> np.ndarray:
+    def _grid_features(
+        self, grid: list[tuple[float, dict[str, float], Resources]],
+    ) -> np.ndarray:
         rows = [
             _features(count, self.spec.bytes_per_item, params, res,
                       self._param_names)

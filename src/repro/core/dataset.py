@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.metadata import MetadataTree
 
 
@@ -88,7 +90,7 @@ class Dataset:
         return clone
 
     @classmethod
-    def from_file(cls, name: str, path) -> "Dataset":
+    def from_file(cls, name: str, path: str | Path) -> "Dataset":
         """Load a materialized dataset description file (asapLibrary/datasets)."""
         return cls(name, MetadataTree.from_file(path), materialized=True)
 

@@ -70,23 +70,27 @@ def monetary_cost(resources: Resources, exec_time: float) -> float:
 class _EstimatorBase:
     """Shared move-cost and output-size logic."""
 
-    def __init__(self, cloud: MultiEngineCloud, output_selectivity: float = 0.8):
+    def __init__(self, cloud: MultiEngineCloud,
+                 output_selectivity: float = 0.8) -> None:
         self.cloud = cloud
         self.output_selectivity = output_selectivity
 
-    def move_metrics(self, dataset, src_store, dst_store):
+    def move_metrics(self, dataset: Dataset, src_store: str,
+                     dst_store: str) -> dict[str, float]:
         """Transfer metrics from the cloud's bandwidth model."""
         seconds = self.cloud.move_seconds(dataset.size, src_store, dst_store)
         return {"execTime": seconds, "cost": seconds}
 
-    def output_size(self, operator, inputs):
+    def output_size(self, operator: MaterializedOperator,
+                    inputs: Sequence[Dataset]) -> float:
         """Output bytes = input bytes x (per-operator) selectivity."""
         selectivity = operator.metadata.get_float(
             "Optimization.outputSelectivity", self.output_selectivity
         )
         return sum(d.size for d in inputs) * selectivity
 
-    def output_count(self, operator, inputs):
+    def output_count(self, operator: MaterializedOperator,
+                     inputs: Sequence[Dataset]) -> float:
         """Output cardinality = input count x count selectivity."""
         selectivity = operator.metadata.get_float(
             "Optimization.countSelectivity", 1.0
@@ -97,7 +101,8 @@ class _EstimatorBase:
 class OracleEstimator(_EstimatorBase):
     """Ground-truth estimator over the simulated engines' profiles."""
 
-    def operator_metrics(self, operator, inputs):
+    def operator_metrics(self, operator: MaterializedOperator,
+                         inputs: Sequence[Dataset]) -> dict[str, float]:
         """True metrics from the engine's performance profile."""
         engine_name = operator.engine
         algorithm = operator.algorithm
@@ -137,7 +142,8 @@ class ModelBackedEstimator(_EstimatorBase):
         self.modeler = modeler
         self.fallback = fallback
 
-    def operator_metrics(self, operator, inputs):
+    def operator_metrics(self, operator: MaterializedOperator,
+                         inputs: Sequence[Dataset]) -> dict[str, float]:
         """Metrics predicted by the learned model (metadata fallback)."""
         workload = workload_from_inputs(operator, inputs)
         resources = resources_for(operator, self.cloud)

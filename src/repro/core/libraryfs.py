@@ -17,11 +17,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.dataset import Dataset
+from repro.core.metadata import MetadataError, MetadataTree
 from repro.core.operators import AbstractOperator, MaterializedOperator
 from repro.core.platform import IReS
-from repro.core.workflow import AbstractWorkflow
+from repro.core.workflow import (
+    AbstractWorkflow,
+    GraphParseError,
+    WorkflowCycleError,
+    WorkflowError,
+)
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+
+if TYPE_CHECKING:  # the analysis package imports this module's constants,
+    # so the Diagnostic import stays lazy to keep the import graph acyclic
+    from repro.analysis.diagnostics import Diagnostic
+
+_LOG = get_logger("library")
+_LOAD_ERRORS = REGISTRY.counter(
+    "ires_library_load_errors_total",
+    "Artefacts the library loader could not register, by kind "
+    "(dataset / operator / abstract / workflow)",
+    labels=("kind",),
+)
 
 DATASETS_DIR = "datasets"
 OPERATORS_DIR = "operators"
@@ -37,20 +58,46 @@ class LibraryLayoutError(ValueError):
 
 @dataclass
 class LoadReport:
-    """What :func:`load_asap_library` found and registered."""
+    """What :func:`load_asap_library` found, registered — and could not.
+
+    Malformed artefacts are never dropped silently: each failure becomes a
+    located :class:`~repro.analysis.diagnostics.Diagnostic` here (and one
+    tick of the ``ires_library_load_errors_total`` metric), which ``ires
+    lint`` folds into its report.
+    """
 
     datasets: list[str] = field(default_factory=list)
     operators: list[str] = field(default_factory=list)
     abstract_operators: list[str] = field(default_factory=list)
     workflows: list[str] = field(default_factory=list)
+    #: one diagnostic per artefact the loader had to skip
+    diagnostics: "list[Diagnostic]" = field(default_factory=list)
 
     def total(self) -> int:
         """Total number of artefacts loaded."""
         return (len(self.datasets) + len(self.operators)
                 + len(self.abstract_operators) + len(self.workflows))
 
+    @property
+    def load_errors(self) -> int:
+        """How many artefacts failed to load."""
+        return len(self.diagnostics)
 
-def load_asap_library(root, ires: IReS) -> LoadReport:
+    def record_skip(self, kind: str, name: str, code: str, message: str,
+                    location: str, hint: str = "") -> None:
+        """Register one skipped artefact: diagnostic + metric + log line."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        self.diagnostics.append(Diagnostic.make(
+            code, message, artifact=f"{kind}:{name}", location=location,
+            hint=hint or "fix the file; the artefact was not registered",
+        ))
+        _LOAD_ERRORS.inc(kind=kind)
+        _LOG.warning("artifact_skipped", kind=kind, name=name, code=code,
+                     location=location, reason=message)
+
+
+def load_asap_library(root: str | Path, ires: IReS) -> LoadReport:
     """Register every artefact under ``root`` with the platform.
 
     Workflows are parsed eagerly (they may reference library datasets and
@@ -66,23 +113,54 @@ def load_asap_library(root, ires: IReS) -> LoadReport:
     if datasets_dir.is_dir():
         for path in sorted(datasets_dir.iterdir()):
             if path.is_file():
-                ires.register_dataset(Dataset.from_file(path.name, path))
+                try:
+                    ires.register_dataset(Dataset.from_file(path.name, path))
+                except MetadataError as exc:
+                    report.record_skip(
+                        "dataset", path.name, "IRES001",
+                        f"cannot parse dataset description: {exc}",
+                        f"{DATASETS_DIR}/{path.name}")
+                    continue
                 report.datasets.append(path.name)
 
     operators_dir = root / OPERATORS_DIR
     if operators_dir.is_dir():
         for op_dir in sorted(operators_dir.iterdir()):
+            if not op_dir.is_dir():
+                continue
             description = op_dir / DESCRIPTION_FILE
-            if op_dir.is_dir() and description.is_file():
+            if not description.is_file():
+                report.record_skip(
+                    "operator", op_dir.name, "IRES001",
+                    "operator directory has no description file",
+                    f"{OPERATORS_DIR}/{op_dir.name}",
+                    hint=f"add {OPERATORS_DIR}/{op_dir.name}/"
+                         f"{DESCRIPTION_FILE}")
+                continue
+            try:
                 ires.register_operator(
                     MaterializedOperator.from_file(op_dir.name, description))
-                report.operators.append(op_dir.name)
+            except MetadataError as exc:
+                report.record_skip(
+                    "operator", op_dir.name, "IRES001",
+                    f"cannot parse operator description: {exc}",
+                    f"{OPERATORS_DIR}/{op_dir.name}/{DESCRIPTION_FILE}")
+                continue
+            report.operators.append(op_dir.name)
 
     abstract_dir = root / ABSTRACT_OPS_DIR
     if abstract_dir.is_dir():
         for path in sorted(abstract_dir.iterdir()):
             if path.is_file():
-                ires.register_abstract(AbstractOperator.from_file(path.name, path))
+                try:
+                    ires.register_abstract(
+                        AbstractOperator.from_file(path.name, path))
+                except MetadataError as exc:
+                    report.record_skip(
+                        "abstract", path.name, "IRES001",
+                        f"cannot parse abstract-operator description: {exc}",
+                        f"{ABSTRACT_OPS_DIR}/{path.name}")
+                    continue
                 report.abstract_operators.append(path.name)
 
     workflows_dir = root / WORKFLOWS_DIR
@@ -91,32 +169,70 @@ def load_asap_library(root, ires: IReS) -> LoadReport:
             graph = wf_dir / GRAPH_FILE
             if not (wf_dir.is_dir() and graph.is_file()):
                 continue
-            # a workflow folder may carry its own dataset/abstract-operator
-            # descriptions (§3.3 step 4.a)
-            local_datasets = dict(ires.datasets)
-            wf_ds_dir = wf_dir / DATASETS_DIR
-            if wf_ds_dir.is_dir():
-                for path in sorted(wf_ds_dir.iterdir()):
-                    if path.is_file() and path.stat().st_size > 0:
-                        local_datasets[path.name] = Dataset.from_file(
-                            path.name, path)
-            local_ops = dict(ires.abstract_operators)
-            wf_op_dir = wf_dir / OPERATORS_DIR
-            if wf_op_dir.is_dir():
-                for path in sorted(wf_op_dir.iterdir()):
-                    if path.is_file():
-                        local_ops[path.name] = AbstractOperator.from_file(
-                            path.name, path)
-            workflow = AbstractWorkflow.from_graph_lines(
-                graph.read_text().splitlines(), local_datasets, local_ops,
-                name=wf_dir.name,
-            )
-            ires.workflows[wf_dir.name] = workflow
-            report.workflows.append(wf_dir.name)
+            _load_workflow(ires, report, wf_dir, graph)
     return report
 
 
-def dump_asap_library(ires: IReS, root) -> None:
+def _load_workflow(ires: IReS, report: LoadReport, wf_dir: Path,
+                   graph: Path) -> None:
+    """Parse one workflow folder, downgrading failures to diagnostics."""
+    graph_location = f"{WORKFLOWS_DIR}/{wf_dir.name}/{GRAPH_FILE}"
+    # a workflow folder may carry its own dataset/abstract-operator
+    # descriptions (§3.3 step 4.a)
+    local_datasets = dict(ires.datasets)
+    wf_ds_dir = wf_dir / DATASETS_DIR
+    if wf_ds_dir.is_dir():
+        for path in sorted(wf_ds_dir.iterdir()):
+            if path.is_file() and path.stat().st_size > 0:
+                try:
+                    local_datasets[path.name] = Dataset.from_file(
+                        path.name, path)
+                except MetadataError as exc:
+                    report.record_skip(
+                        "dataset", path.name, "IRES001",
+                        f"cannot parse workflow-local dataset: {exc}",
+                        f"{WORKFLOWS_DIR}/{wf_dir.name}/{DATASETS_DIR}/"
+                        f"{path.name}")
+    local_ops = dict(ires.abstract_operators)
+    wf_op_dir = wf_dir / OPERATORS_DIR
+    if wf_op_dir.is_dir():
+        for path in sorted(wf_op_dir.iterdir()):
+            if path.is_file():
+                try:
+                    local_ops[path.name] = AbstractOperator.from_file(
+                        path.name, path)
+                except MetadataError as exc:
+                    report.record_skip(
+                        "abstract", path.name, "IRES001",
+                        f"cannot parse workflow-local operator: {exc}",
+                        f"{WORKFLOWS_DIR}/{wf_dir.name}/{OPERATORS_DIR}/"
+                        f"{path.name}")
+    try:
+        workflow = AbstractWorkflow.from_graph_lines(
+            graph.read_text().splitlines(), local_datasets, local_ops,
+            name=wf_dir.name,
+        )
+    except WorkflowCycleError as exc:
+        report.record_skip("workflow", wf_dir.name, "IRES020", str(exc),
+                           graph_location,
+                           hint="break the cycle; workflows must be DAGs")
+        return
+    except GraphParseError as exc:
+        location = graph_location
+        if exc.line_no is not None:
+            location = f"{graph_location}:{exc.line_no}"
+        report.record_skip("workflow", wf_dir.name, "IRES025", str(exc),
+                           location)
+        return
+    except WorkflowError as exc:
+        report.record_skip("workflow", wf_dir.name, "IRES025", str(exc),
+                           graph_location)
+        return
+    ires.workflows[wf_dir.name] = workflow
+    report.workflows.append(wf_dir.name)
+
+
+def dump_asap_library(ires: IReS, root: str | Path) -> None:
     """Write the platform's artefacts back out in the asapLibrary layout."""
     root = Path(root)
     (root / DATASETS_DIR).mkdir(parents=True, exist_ok=True)
@@ -143,6 +259,6 @@ def dump_asap_library(ires: IReS, root) -> None:
         (wf_dir / GRAPH_FILE).write_text("\n".join(lines) + "\n")
 
 
-def _write_properties(path: Path, metadata) -> None:
+def _write_properties(path: Path, metadata: MetadataTree) -> None:
     lines = [f"{key}={value}" for key, value in metadata.leaves()]
     path.write_text("\n".join(lines) + ("\n" if lines else ""))

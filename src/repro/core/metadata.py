@@ -17,6 +17,7 @@ uses throughout (e.g. ``Constraints.OpSpecification.Algorithm.name=TF_IDF``).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 WILDCARD = "*"
@@ -68,7 +69,7 @@ class MetadataTree:
         return key.strip(), value.strip()
 
     @classmethod
-    def from_file(cls, path) -> "MetadataTree":
+    def from_file(cls, path: str | Path) -> "MetadataTree":
         """Parse a description file in the deliverable's format."""
         with open(path, encoding="utf-8") as handle:
             return cls.from_properties(handle)

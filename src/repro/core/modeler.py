@@ -9,6 +9,7 @@ how online refinement (§2.2.2) manifests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -149,7 +150,7 @@ class Modeler:
 
     # -- persistence ("the models are stored and updated in an IReS
     # library", §2) ---------------------------------------------------------
-    def save(self, directory) -> int:
+    def save(self, directory: str | Path) -> int:
         """Persist every trained model under a directory; returns the count.
 
         Each pair gets ``<algorithm>__<engine>.npz`` (the fitted estimator,
@@ -177,7 +178,7 @@ class Modeler:
             (directory / f"{stem}.json").write_text(json.dumps(meta, indent=1))
         return len(self.models)
 
-    def load(self, directory) -> int:
+    def load(self, directory: str | Path) -> int:
         """Restore models saved by :meth:`save`; returns how many loaded."""
         import json
         from pathlib import Path

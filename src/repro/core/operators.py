@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.core.dataset import Dataset
@@ -46,7 +47,7 @@ class AbstractOperator(Operator):
     """
 
     @classmethod
-    def from_file(cls, name: str, path) -> "AbstractOperator":
+    def from_file(cls, name: str, path: str | Path) -> "AbstractOperator":
         """Parse an abstract-operator description file."""
         return cls(name, MetadataTree.from_file(path))
 
@@ -124,7 +125,8 @@ class MaterializedOperator(Operator):
         return out
 
     @classmethod
-    def from_file(cls, name: str, path, impl: Callable | None = None) -> "MaterializedOperator":
+    def from_file(cls, name: str, path: str | Path,
+                  impl: Callable | None = None) -> "MaterializedOperator":
         """Parse a materialized-operator description file."""
         return cls(name, MetadataTree.from_file(path), impl=impl)
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.library import OperatorLibrary
+from repro.core.operators import MaterializedOperator
 from repro.core.planner import CostEstimator, MetadataCostEstimator, PlanningError
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
 
@@ -59,7 +60,7 @@ class _ParetoEntry:
         metrics: tuple[float, ...],
         step: PlanStep | None = None,
         parents: tuple["_ParetoEntry", ...] = (),
-    ):
+    ) -> None:
         self.dataset = dataset
         self.metrics = metrics
         self.step = step
@@ -91,7 +92,8 @@ class _ParetoEntry:
 class ParetoPlan(MaterializedPlan):
     """A frontier plan annotated with its full metric vector."""
 
-    def __init__(self, workflow, steps, metrics: dict[str, float]):
+    def __init__(self, workflow: AbstractWorkflow, steps: list[PlanStep],
+                 metrics: dict[str, float]) -> None:
         super().__init__(workflow, steps, cost=next(iter(metrics.values())))
         self.metrics = metrics
 
@@ -163,7 +165,8 @@ class ParetoPlanner:
         return tuple(x + y for x, y in zip(a, b))
 
     def _input_options(
-        self, entries: list[_ParetoEntry], mat_op, i: int
+        self, entries: list[_ParetoEntry], mat_op: MaterializedOperator,
+        i: int,
     ) -> list[_ParetoEntry]:
         """Frontier of ways to provide input ``i`` (direct or via a move)."""
         options: list[_ParetoEntry] = []
@@ -176,7 +179,8 @@ class ParetoPlanner:
                     options.append(moved)
         return prune_frontier(options, self.max_frontier)
 
-    def _move(self, entry: _ParetoEntry, mat_op, i: int) -> "_ParetoEntry | None":
+    def _move(self, entry: _ParetoEntry, mat_op: MaterializedOperator,
+              i: int) -> "_ParetoEntry | None":
         spec = mat_op.input_spec(i)
         if spec.is_leaf:
             return None
@@ -200,7 +204,15 @@ class ParetoPlanner:
         return _ParetoEntry(moved, self._add(entry.metrics, move_vec),
                             step, (entry,))
 
-    def _consider(self, dp, workflow, abstract_name, mat_op, in_names, out_names):
+    def _consider(
+        self,
+        dp: dict[str, dict[str, list[_ParetoEntry]]],
+        workflow: AbstractWorkflow,
+        abstract_name: str,
+        mat_op: MaterializedOperator,
+        in_names: list[str],
+        out_names: list[str],
+    ) -> None:
         # frontier of input combinations, built incrementally with pruning
         combos: list[tuple[tuple[float, ...], tuple[_ParetoEntry, ...]]] = [
             (tuple(0.0 for _ in self.metrics), ())

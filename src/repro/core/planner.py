@@ -29,7 +29,7 @@ from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
 from repro.obs.context import current_run_id
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
 INFEASIBLE = float("inf")
 
@@ -50,6 +50,11 @@ _DP_ENTRIES = REGISTRY.gauge(
 _EXPANSIONS = REGISTRY.counter(
     "ires_planner_expansions_total",
     "Abstract-operator DP expansions performed",
+)
+_PREFLIGHTS = REGISTRY.counter(
+    "ires_planner_preflight_total",
+    "Pre-flight lint gates by outcome (ok / failed)",
+    labels=("status",),
 )
 
 
@@ -96,23 +101,27 @@ class MetadataCostEstimator:
     def __init__(self, move_bandwidth: float = 100e6) -> None:
         self.move_bandwidth = move_bandwidth
 
-    def operator_metrics(self, operator, inputs):
+    def operator_metrics(self, operator: MaterializedOperator,
+                         inputs: Sequence[Dataset]) -> dict[str, float]:
         """Static ``Optimization.execTime``/``cost`` from the description."""
         return {
             "execTime": operator.metadata.get_float("Optimization.execTime", 1.0),
             "cost": operator.metadata.get_float("Optimization.cost", 1.0),
         }
 
-    def move_metrics(self, dataset, src_store, dst_store):
+    def move_metrics(self, dataset: Dataset, src_store: str | None,
+                     dst_store: str | None) -> dict[str, float]:
         """Move time = bytes / bandwidth."""
         seconds = dataset.size / self.move_bandwidth
         return {"execTime": seconds, "cost": seconds}
 
-    def output_size(self, operator, inputs):
+    def output_size(self, operator: MaterializedOperator,
+                    inputs: Sequence[Dataset]) -> float:
         """Output bytes default to the sum of input bytes."""
         return sum(d.size for d in inputs)
 
-    def output_count(self, operator, inputs):
+    def output_count(self, operator: MaterializedOperator,
+                     inputs: Sequence[Dataset]) -> float:
         """Output cardinality defaults to the sum of input counts."""
         return sum(d.count for d in inputs)
 
@@ -133,7 +142,7 @@ class _Entry:
         cost: float,
         step: PlanStep | None = None,
         parents: tuple["_Entry", ...] = (),
-    ):
+    ) -> None:
         self.dataset = dataset
         self.cost = cost
         self.step = step
@@ -176,6 +185,7 @@ class Planner:
         use_index: bool = True,
         single_entry_dp: bool = False,
         tracer: Tracer | None = None,
+        preflight: bool = False,
     ) -> None:
         self.library = library
         self.estimator = estimator if estimator is not None else MetadataCostEstimator()
@@ -183,6 +193,10 @@ class Planner:
         self.allow_moves = allow_moves
         self.use_index = use_index
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: opt-in pre-flight: run the match + dataflow lint passes before
+        #: planning and raise one aggregated LintFailure listing every
+        #: defect, instead of whatever mid-plan error the first one causes
+        self.preflight = preflight
         #: ablation switch: keep only ONE best entry per dataset node instead
         #: of one per format/engine (loses hybrid plans; see DESIGN.md §5).
         self.single_entry_dp = single_entry_dp
@@ -201,7 +215,13 @@ class Planner:
         (used during fault-tolerant replanning, §2.3).  ``materialized_results``
         maps intermediate dataset names to already-computed results, which
         enter the dpTable at zero cost so replanning reuses them.
+
+        With ``preflight=True`` the workflow is statically analyzed first
+        and a :class:`~repro.analysis.diagnostics.LintFailure` aggregating
+        every defect is raised before any DP work happens.
         """
+        if self.preflight:
+            self._preflight(workflow, available_engines)
         tracer = self.tracer
         wall_start = time.perf_counter()
         try:
@@ -229,13 +249,36 @@ class Planner:
                       wall_seconds=round(wall, 6))
         return plan
 
+    def _preflight(
+        self,
+        workflow: AbstractWorkflow,
+        available_engines: set[str] | None,
+    ) -> None:
+        """Gate planning on the match + dataflow lint passes.
+
+        Imports lazily: the analysis package sits above core in the import
+        graph, so a module-level import here would be cyclic.
+        """
+        from repro.analysis.diagnostics import LintFailure
+        from repro.analysis.lint import preflight_workflow
+
+        collector = preflight_workflow(self.library, workflow,
+                                       available_engines)
+        if collector.has_errors:
+            _PREFLIGHTS.inc(status="failed")
+            _LOG.warning("preflight_failed", workflow=workflow.name,
+                         errors=len(collector.errors()),
+                         codes=",".join(collector.codes()))
+            raise LintFailure(collector, context=f"workflow {workflow.name!r}")
+        _PREFLIGHTS.inc(status="ok")
+
     def _plan_inner(
         self,
         workflow: AbstractWorkflow,
         available_engines: set[str] | None,
         materialized_results: dict[str, Dataset] | None,
         tracer: Tracer,
-        span,
+        span: Span,
     ) -> MaterializedPlan:
         workflow.validate()
         dp: dict[str, dict[tuple, _Entry]] = {}
@@ -359,7 +402,9 @@ class Planner:
             if current is None or total_cost < current.cost:
                 slot[key] = _Entry(out_ds, total_cost, step, parents)
 
-    def _move_operator(self, src_store, dst_store, src_fmt, dst_fmt) -> MoveOperator:
+    def _move_operator(self, src_store: str | None, dst_store: str | None,
+                       src_fmt: str | None,
+                       dst_fmt: str | None) -> MoveOperator:
         key = (src_store, dst_store, src_fmt, dst_fmt)
         op = self._move_ops.get(key)
         if op is None:

@@ -17,7 +17,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.dataset import Dataset
 from repro.core.estimators import ModelBackedEstimator, OracleEstimator
@@ -27,13 +28,22 @@ from repro.core.operators import AbstractOperator, MaterializedOperator
 from repro.core.planner import Planner
 from repro.core.policy import OptimizationPolicy
 from repro.core.profiler import Profiler, ProfileSpec
-from repro.core.provisioning import ProvisioningResult, ResourceProvisioner
+from repro.engines.monitoring import MetricRecord
+from repro.core.provisioning import (
+    ProvisioningResult,
+    ResourceProvisioner,
+    TimeFunction,
+)
 from repro.core.refinement import ModelRefiner
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan
 from repro.engines.faults import FaultInjector
 from repro.engines.registry import MultiEngineCloud, build_default_cloud
 from repro.execution.enforcer import ExecutionReport, IRES_REPLAN, WorkflowExecutor
+from repro.execution.resilience import ResilienceManager
 from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # analysis sits above core in the import graph
+    from repro.analysis.diagnostics import DiagnosticCollector
 
 
 class IReS:
@@ -46,7 +56,7 @@ class IReS:
         estimator: str = "oracle",
         refit_every: int = 1,
         strategy: str = IRES_REPLAN,
-        resilience=None,
+        resilience: "ResilienceManager | None" = None,
         tracer: Tracer | None = None,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
@@ -83,7 +93,7 @@ class IReS:
         )
 
     @property
-    def resilience(self):
+    def resilience(self) -> "ResilienceManager | None":
         """The executor's resilience layer (retries + circuit breakers)."""
         return self.executor.resilience
 
@@ -114,9 +124,11 @@ class IReS:
         return workflow
 
     # -- optimizer layer -------------------------------------------------------
-    def profile_operator(self, spec: ProfileSpec, **kwargs):
+    def profile_operator(self, spec: ProfileSpec, max_runs: int | None = None,
+                         shuffle_seed: int | None = None) -> list[MetricRecord]:
         """Offline profiling: run the grid, then (re)train the model."""
-        records = self.profiler.profile(spec, **kwargs)
+        records = self.profiler.profile(spec, max_runs=max_runs,
+                                        shuffle_seed=shuffle_seed)
         self.modeler.train(spec.algorithm, spec.engine)
         return records
 
@@ -126,9 +138,22 @@ class IReS:
             workflow, available_engines=self.cloud.available_engines() | {"move"}
         )
 
-    def provision(self, time_fn, **kwargs) -> ProvisioningResult:
+    def lint(self, workflow: str | None = None,
+             root: "str | Path | None" = None) -> "DiagnosticCollector":
+        """Statically analyze the platform's artefacts (see repro.analysis).
+
+        Returns a :class:`~repro.analysis.diagnostics.DiagnosticCollector`;
+        ``root`` optionally points at the on-disk library for file:line
+        locations.  Imported lazily — analysis sits above core in the
+        import graph.
+        """
+        from repro.analysis.lint import lint_platform
+
+        return lint_platform(self, workflow=workflow, root=root)
+
+    def provision(self, time_fn: "TimeFunction") -> ProvisioningResult:
         """NSGA-II resource provisioning over an operator's time model."""
-        return self.provisioner.provision(time_fn, **kwargs)
+        return self.provisioner.provision(time_fn)
 
     # -- executor layer ---------------------------------------------------------
     def execute(self, workflow: AbstractWorkflow, reuse: bool = False) -> ExecutionReport:

@@ -15,6 +15,26 @@ class WorkflowError(ValueError):
     """Raised for malformed or cyclic workflow graphs."""
 
 
+class WorkflowCycleError(WorkflowError):
+    """The workflow graph contains a cycle (not a DAG)."""
+
+
+class GraphParseError(WorkflowError):
+    """A graph-file defect, carrying the source line and offending token.
+
+    The static analyzer turns these into located diagnostics; the message
+    itself also names the line so bare string consumers stay informative.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 token: str | None = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        suffix = f" (at {token!r})" if token else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+        self.line_no = line_no
+        self.token = token
+
+
 class AbstractWorkflow:
     """A DAG of dataset and abstract-operator nodes, G(Datasets, Operators).
 
@@ -37,6 +57,8 @@ class AbstractWorkflow:
         self.op_outputs: dict[str, list[str]] = {}
         self.producer: dict[str, str] = {}
         self.target: str | None = None
+        #: graph-file line of each parsed edge (empty for programmatic DAGs)
+        self.edge_lines: dict[tuple[str, str], int] = {}
 
     # -- construction ------------------------------------------------------
     def add_dataset(self, dataset: Dataset) -> Dataset:
@@ -90,20 +112,26 @@ class AbstractWorkflow:
         intermediate outputs like ``d1`` are empty files).
         """
         wf = cls(name)
-        edges: list[tuple[str, str]] = []
+        edges: list[tuple[str, str, int]] = []
         target: str | None = None
+        target_line: int | None = None
         mentioned: list[str] = []
-        for raw in lines:
+        for line_no, raw in enumerate(lines, 1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             parts = [p.strip() for p in line.split(",")]
             if len(parts) >= 2 and parts[1] == TARGET_MARKER:
-                target = parts[0]
+                if target is not None:
+                    raise GraphParseError(
+                        f"duplicate $$target (already {target!r})",
+                        line_no, line)
+                target, target_line = parts[0], line_no
                 continue
             if len(parts) < 2:
-                raise WorkflowError(f"bad graph line {line!r}")
-            edges.append((parts[0], parts[1]))
+                raise GraphParseError("expected 'src,dst[,order]'",
+                                      line_no, line)
+            edges.append((parts[0], parts[1], line_no))
             mentioned.extend(parts[:2])
         for node in mentioned:
             if node in operators:
@@ -111,11 +139,20 @@ class AbstractWorkflow:
                     wf.add_operator(operators[node])
             elif node not in wf.datasets:
                 wf.add_dataset(datasets.get(node, Dataset(node)))
-        for src, dst in edges:
-            wf.connect(src, dst)
+        for src, dst, line_no in edges:
+            try:
+                wf.connect(src, dst)
+            except WorkflowError as exc:
+                raise GraphParseError(str(exc), line_no,
+                                      f"{src},{dst}") from exc
+            wf.edge_lines[(src, dst)] = line_no
         if target is None:
-            raise WorkflowError("graph file has no $$target line")
-        wf.set_target(target)
+            raise GraphParseError("graph file has no $$target line",
+                                  token=TARGET_MARKER)
+        try:
+            wf.set_target(target)
+        except WorkflowError as exc:
+            raise GraphParseError(str(exc), target_line, target) from exc
         wf.validate()
         return wf
 
@@ -140,7 +177,7 @@ class AbstractWorkflow:
         def visit(op_name: str) -> None:
             state = visited.get(op_name, 0)
             if state == 1:
-                raise WorkflowError("workflow graph contains a cycle")
+                raise WorkflowCycleError("workflow graph contains a cycle")
             if state == 2:
                 return
             visited[op_name] = 1

@@ -10,6 +10,7 @@ from __future__ import annotations
 import uuid
 from contextlib import contextmanager
 from contextvars import ContextVar
+from typing import Iterator
 
 _RUN_ID: ContextVar[str | None] = ContextVar("ires_run_id", default=None)
 
@@ -25,7 +26,7 @@ def current_run_id() -> str | None:
 
 
 @contextmanager
-def bind_run_id(run_id: str):
+def bind_run_id(run_id: str) -> Iterator[str]:
     """Bind ``run_id`` for the duration of the block (re-entrant)."""
     token = _RUN_ID.set(run_id)
     try:

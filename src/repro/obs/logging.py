@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import time
 from collections import deque
+from typing import TextIO
 
 from repro.obs.context import current_run_id
 
@@ -22,7 +23,8 @@ _THRESHOLD = LEVELS["info"]
 _LOGGERS: dict[str, "StructuredLogger"] = {}
 
 
-def configure(stream=None, level: str = "info", ring_size: int | None = None) -> None:
+def configure(stream: TextIO | None = None, level: str = "info",
+              ring_size: int | None = None) -> None:
     """Set the emission stream, the minimum level and the ring capacity."""
     global _STREAM, _THRESHOLD, _RING
     _STREAM = stream
@@ -57,7 +59,7 @@ class StructuredLogger:
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def log(self, level: str, event: str, **fields) -> dict | None:
+    def log(self, level: str, event: str, **fields: object) -> dict | None:
         """Record one line; returns it (or None when below the threshold)."""
         if LEVELS[level] < _THRESHOLD:
             return None
@@ -74,19 +76,19 @@ class StructuredLogger:
             _STREAM.write(json.dumps(line, default=str) + "\n")
         return line
 
-    def debug(self, event: str, **fields):
+    def debug(self, event: str, **fields: object) -> dict | None:
         """Log at debug level."""
         return self.log("debug", event, **fields)
 
-    def info(self, event: str, **fields):
+    def info(self, event: str, **fields: object) -> dict | None:
         """Log at info level."""
         return self.log("info", event, **fields)
 
-    def warning(self, event: str, **fields):
+    def warning(self, event: str, **fields: object) -> dict | None:
         """Log at warning level."""
         return self.log("warning", event, **fields)
 
-    def error(self, event: str, **fields):
+    def error(self, event: str, **fields: object) -> dict | None:
         """Log at error level."""
         return self.log("error", event, **fields)
 

@@ -13,12 +13,16 @@ workflow execution is correlated across metrics, spans and log lines.
 from __future__ import annotations
 
 import math
+from typing import Any, TypeVar, cast
 
 #: default latency buckets (seconds) — spans µs-scale planning to sim hours
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
 )
+
+
+_M = TypeVar("_M", bound="Metric")
 
 
 def _escape(value: object) -> str:
@@ -76,7 +80,7 @@ class Metric:
         self._values.clear()
 
     # -- introspection -------------------------------------------------------
-    def value(self, **labels) -> float:
+    def value(self, **labels: str) -> float:
         """Current value of one series (0.0 when never touched)."""
         return float(self._values.get(self._key(labels), 0.0))  # type: ignore[arg-type]
 
@@ -96,7 +100,7 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` (must be >= 0) to the labelled series."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
@@ -109,16 +113,16 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: str) -> None:
         """Set the labelled series to ``value``."""
         self._values[self._key(labels)] = float(value)
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` (may be negative) to the labelled series."""
         key = self._key(labels)
         self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
 
-    def dec(self, amount: float = 1.0, **labels) -> None:
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
         """Subtract ``amount`` from the labelled series."""
         self.inc(-amount, **labels)
 
@@ -136,7 +140,7 @@ class Histogram(Metric):
             raise ValueError("histogram needs at least one bucket bound")
         self.buckets = bounds
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: str) -> None:
         """Record one observation into the labelled series."""
         key = self._key(labels)
         state = self._values.get(key)
@@ -150,12 +154,12 @@ class Histogram(Metric):
         state[1] += value
         state[2] += 1
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: str) -> float:
         """Observation count of one series."""
         state = self._values.get(self._key(labels))
         return float(state[2]) if state is not None else 0.0  # type: ignore[index]
 
-    def sum(self, **labels) -> float:
+    def sum(self, **labels: str) -> float:
         """Sum of observed values of one series."""
         state = self._values.get(self._key(labels))
         return float(state[1]) if state is not None else 0.0  # type: ignore[index]
@@ -184,7 +188,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
 
-    def _register(self, cls, name: str, help: str, labels: tuple, **kwargs):
+    def _register(self, cls: "type[_M]", name: str, help: str, labels: tuple,
+                  **kwargs: Any) -> "_M":
         existing = self._metrics.get(name)
         if existing is not None:
             if type(existing) is not cls or existing.label_names != tuple(labels):
@@ -192,7 +197,7 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as "
                     f"{type(existing).__name__}{existing.label_names}"
                 )
-            return existing
+            return cast("_M", existing)
         created = cls(name, help, tuple(labels), **kwargs)
         self._metrics[name] = created
         return created

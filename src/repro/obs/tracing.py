@@ -27,6 +27,11 @@ import json
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.engines.clock import SimClock
 
 from repro.obs.context import current_run_id
 
@@ -77,12 +82,12 @@ class Span:
         self.error: str | None = None
 
     # -- recording ----------------------------------------------------------
-    def set_attribute(self, key: str, value) -> None:
+    def set_attribute(self, key: str, value: object) -> None:
         """Attach one attribute (overwrites)."""
         self.attributes[key] = value
 
     def add_event(self, name: str, wall: float | None = None,
-                  sim: float | None = None, **attributes) -> None:
+                  sim: float | None = None, **attributes: object) -> None:
         """Record a point-in-time event inside this span."""
         self.events.append({
             "name": name,
@@ -130,10 +135,12 @@ class _NoopSpan:
 
     __slots__ = ()
 
-    def set_attribute(self, key, value) -> None:  # noqa: D102 - no-op
+    def set_attribute(self, key: str, value: object) -> None:  # noqa: D102 - no-op
         pass
 
-    def add_event(self, name, wall=None, sim=None, **attributes) -> None:  # noqa: D102
+    def add_event(self, name: str, wall: float | None = None,
+                  sim: float | None = None,
+                  **attributes: object) -> None:  # noqa: D102
         pass
 
 
@@ -148,7 +155,7 @@ class Tracer:
     uninstrumented runs pay almost nothing.
     """
 
-    def __init__(self, clock=None, enabled: bool = True,
+    def __init__(self, clock: "SimClock | None" = None, enabled: bool = True,
                  max_spans: int = 200_000) -> None:
         self.clock = clock
         self.enabled = enabled
@@ -167,7 +174,8 @@ class Tracer:
 
     # -- span production ----------------------------------------------------
     @contextmanager
-    def span(self, name: str, category: str = "ires", **attributes):
+    def span(self, name: str, category: str = "ires",
+             **attributes: object) -> "Iterator[Span | _NoopSpan]":
         """Open a child span of whatever span is active in this context."""
         if not self.enabled:
             yield NOOP_SPAN
@@ -193,7 +201,8 @@ class Tracer:
 
     def record_span(self, name: str, category: str, start_sim: float,
                     end_sim: float, attributes: dict | None = None,
-                    parent=None, status: str = OK) -> Span | None:
+                    parent: Span | None = None,
+                    status: str = OK) -> Span | None:
         """Retro-record a span from simulated timestamps (event-loop output).
 
         Used by the parallel simulator, whose schedule is only known after
@@ -240,7 +249,8 @@ class Tracer:
         self._spans.clear()
 
     # -- export -------------------------------------------------------------
-    def export_jsonl(self, path, run_id: str | None = None) -> int:
+    def export_jsonl(self, path: str | Path,
+                     run_id: str | None = None) -> int:
         """Write one span JSON object per line; returns the span count."""
         spans = self.spans(run_id)
         with open(path, "w", encoding="utf-8") as handle:
@@ -253,7 +263,8 @@ class Tracer:
         spans = self.spans(run_id)
         return spans_to_chrome([s.to_dict() for s in spans])
 
-    def export_chrome(self, path, run_id: str | None = None) -> int:
+    def export_chrome(self, path: str | Path,
+                      run_id: str | None = None) -> int:
         """Write the Chrome trace JSON; returns the span count."""
         spans = self.spans(run_id)
         payload = spans_to_chrome([s.to_dict() for s in spans])
@@ -334,7 +345,7 @@ def spans_to_chrome(spans: list[dict]) -> dict:
 
 
 # -- loading + summarizing ---------------------------------------------------
-def load_trace(path) -> list[dict]:
+def load_trace(path: str | Path) -> list[dict]:
     """Load span dicts from a JSONL or Chrome trace-event file.
 
     Both formats start with ``{``, so the discriminator is whether the

@@ -1,0 +1,534 @@
+"""Tests for the static-analysis subsystem (repro.analysis, `ires lint`)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    DiagnosticCollector,
+    LintFailure,
+    code_table,
+    lint_library,
+    preflight_workflow,
+)
+from repro.cli import main
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    IReS,
+    MaterializedOperator,
+    Planner,
+)
+from repro.execution.resilience import ResilienceManager, RetryPolicy
+
+
+# -- diagnostics core ---------------------------------------------------------
+
+class TestDiagnostic:
+    def test_make_defaults_severity_from_catalogue(self):
+        d = Diagnostic.make("IRES010", "nothing implements it")
+        assert d.severity == "error"
+        d = Diagnostic.make("IRES006", "dup key")
+        assert d.severity == "warning"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic.make("IRES999", "nope")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic.make("IRES010", "x", severity="fatal")
+
+    def test_render_format(self):
+        d = Diagnostic.make("IRES003", "bad value",
+                            artifact="operator:x",
+                            location="operators/x/description:2")
+        assert d.render() == ("operators/x/description:2: error IRES003: "
+                              "bad value [operator:x]")
+
+    def test_to_json_fields(self):
+        d = Diagnostic.make("IRES020", "cycle", artifact="workflow:w",
+                            hint="break it")
+        assert d.to_json() == {
+            "code": "IRES020", "severity": "error", "message": "cycle",
+            "artifact": "workflow:w", "location": "", "hint": "break it",
+        }
+
+
+class TestDiagnosticCollector:
+    def test_deduplicates_identical_findings(self):
+        collector = DiagnosticCollector()
+        for _ in range(3):
+            collector.report("IRES010", "same", artifact="abstract:a")
+        assert len(collector) == 1
+
+    def test_sorted_most_severe_first(self):
+        collector = DiagnosticCollector()
+        collector.report("IRES007", "info finding")
+        collector.report("IRES006", "warning finding")
+        collector.report("IRES020", "error finding")
+        assert [d.severity for d in collector.sorted()] == [
+            "error", "warning", "info"]
+
+    def test_failed_respects_strict(self):
+        warn_only = DiagnosticCollector()
+        warn_only.report("IRES006", "dup")
+        assert not warn_only.failed()
+        assert warn_only.failed(strict=True)
+        info_only = DiagnosticCollector()
+        info_only.report("IRES007", "unknown root")
+        assert not info_only.failed(strict=True)
+
+    def test_counts_and_codes(self):
+        collector = DiagnosticCollector()
+        collector.report("IRES020", "cycle")
+        collector.report("IRES006", "dup")
+        assert collector.counts() == {"error": 1, "warning": 1, "info": 0}
+        assert collector.codes() == ["IRES006", "IRES020"]
+
+    def test_render_text_summary_line(self):
+        collector = DiagnosticCollector()
+        collector.report("IRES020", "cycle", hint="break it")
+        text = collector.render_text()
+        assert "hint: break it" in text
+        assert text.endswith("1 error(s), 0 warning(s), 0 info")
+
+    def test_to_json_verdict(self):
+        collector = DiagnosticCollector()
+        collector.report("IRES006", "dup")
+        payload = collector.to_json(strict=True)
+        assert payload["ok"] is False and payload["strict"] is True
+        assert payload["diagnostics"][0]["code"] == "IRES006"
+
+    def test_lint_failure_aggregates_all(self):
+        collector = DiagnosticCollector()
+        collector.report("IRES010", "no candidate", artifact="abstract:a")
+        collector.report("IRES021", "bad target", artifact="workflow:w")
+        failure = LintFailure(collector, context="workflow 'w'")
+        assert "2 error(s)" in str(failure)
+        assert "IRES010" in str(failure) and "IRES021" in str(failure)
+        assert len(failure.diagnostics) == 2
+
+    def test_code_table_covers_catalogue(self):
+        rows = code_table()
+        assert [r.code for r in rows] == sorted(CODES)
+        assert all(r.severity in ("error", "warning", "info") for r in rows)
+
+
+# -- golden library fixtures --------------------------------------------------
+
+def write_clean_library(root):
+    """A well-formed two-engine LineCount library (mirrors the examples)."""
+    (root / "datasets").mkdir(parents=True)
+    (root / "datasets" / "logs").write_text(
+        "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+        "Optimization.size=5E09\n")
+    for engine in ("Spark", "Python"):
+        op_dir = root / "operators" / f"count_{engine.lower()}"
+        op_dir.mkdir(parents=True)
+        (op_dir / "description").write_text(
+            f"Constraints.Engine={engine}\n"
+            "Constraints.Input.number=1\n"
+            "Constraints.Output.number=1\n"
+            "Constraints.Input0.Engine.FS=HDFS\n"
+            "Constraints.Input0.type=text\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+    (root / "abstractOperators").mkdir()
+    (root / "abstractOperators" / "LineCount").write_text(
+        "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+    wf = root / "abstractWorkflows" / "CountWorkflow"
+    wf.mkdir(parents=True)
+    (wf / "graph").write_text(
+        "logs,LineCount,0\nLineCount,d1,0\nd1,$$target\n")
+
+
+@pytest.fixture
+def clean_library(tmp_path):
+    root = tmp_path / "asapLibrary"
+    write_clean_library(root)
+    return root
+
+
+@pytest.fixture
+def broken_library(clean_library):
+    """Seed the acceptance-criteria defects: IRES003, IRES010, IRES020."""
+    root = clean_library
+    # bad key type: non-numeric input arity
+    (root / "operators" / "count_python" / "description").write_text(
+        "Constraints.Engine=Python\n"
+        "Constraints.Input.number=lots\n"
+        "Constraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+    # abstract operator nothing in the library implements
+    (root / "abstractOperators" / "Sort").write_text(
+        "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+        "Constraints.OpSpecification.Algorithm.name=Sort\n")
+    # cyclic workflow graph
+    wf = root / "abstractWorkflows" / "Loop"
+    wf.mkdir()
+    (wf / "graph").write_text(
+        "d0,LineCount,0\nLineCount,d0,0\nd0,$$target\n")
+    return root
+
+
+# -- golden diagnostics through the library entry point -----------------------
+
+class TestLintLibrary:
+    def test_clean_library_is_clean(self, clean_library):
+        _ires, collector = lint_library(clean_library)
+        assert collector.codes() == []
+        assert not collector.failed(strict=True)
+
+    def test_example_library_is_clean_strict(self):
+        _ires, collector = lint_library("examples/asapLibrary")
+        assert not collector.failed(strict=True), collector.render_text()
+
+    def test_broken_library_reports_expected_codes(self, broken_library):
+        _ires, collector = lint_library(broken_library)
+        assert {"IRES003", "IRES010", "IRES020"} <= set(collector.codes())
+        assert collector.failed()
+
+    def test_locations_are_root_relative_file_lines(self, broken_library):
+        _ires, collector = lint_library(broken_library)
+        by_code = {d.code: d for d in collector}
+        assert (by_code["IRES003"].location
+                == "operators/count_python/description:2")
+        assert by_code["IRES010"].location == "abstractOperators/Sort"
+        assert by_code["IRES020"].location == "abstractWorkflows/Loop/graph"
+
+    def test_near_miss_names_first_divergent_key(self, clean_library):
+        # a candidate exists under the right algorithm name but requires a
+        # different input format -> the near-miss explains the divergence
+        (clean_library / "abstractOperators" / "LineCount").write_text(
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.Input0.type=arff\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library)
+        misses = [d for d in collector if d.code == "IRES010"]
+        assert len(misses) == 1
+        assert "Constraints.Input0.type: required 'arff', found 'text'" \
+            in misses[0].message
+
+    def test_workflow_scoping(self, broken_library):
+        _ires, collector = lint_library(broken_library,
+                                        workflow="CountWorkflow")
+        # the cyclic Loop workflow still surfaces (load-time diagnostic),
+        # but CountWorkflow itself adds nothing new
+        dataflow = [d for d in collector if d.artifact == "workflow:CountWorkflow"]
+        assert dataflow == []
+
+
+class TestSchemaPass:
+    def test_missing_required_key(self, clean_library):
+        (clean_library / "operators" / "count_python" / "description").write_text(
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES002"]
+        assert len(findings) == 1
+        assert "Constraints.Engine" in findings[0].message
+
+    def test_value_below_bound(self, clean_library):
+        (clean_library / "datasets" / "logs").write_text(
+            "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+            "Optimization.size=-5\n")
+        _ires, collector = lint_library(clean_library)
+        assert "IRES004" in collector.codes()
+
+    def test_wildcard_in_materialized_description(self, clean_library):
+        (clean_library / "operators" / "count_python" / "description").write_text(
+            "Constraints.Engine=Python\n"
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.Input0.type=*\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES005"]
+        assert findings and "Constraints.Input0.type" in findings[0].message
+
+    def test_duplicate_key_points_at_reassignment_line(self, clean_library):
+        (clean_library / "datasets" / "logs").write_text(
+            "Constraints.type=text\nConstraints.Engine.FS=HDFS\n"
+            "Constraints.type=arff\nOptimization.size=5E09\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES006"]
+        assert len(findings) == 1
+        assert findings[0].location == "datasets/logs:3"
+
+    def test_unknown_top_level_root_is_info(self, clean_library):
+        (clean_library / "datasets" / "logs").write_text(
+            "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+            "Optimization.size=5E09\nProvenance.author=me\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES007"]
+        assert findings and findings[0].severity == "info"
+        assert not collector.failed(strict=True)
+
+    def test_spec_index_exceeds_arity(self, clean_library):
+        (clean_library / "abstractOperators" / "LineCount").write_text(
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.Input1.type=text\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES008"]
+        assert findings and "Constraints.Input1" in findings[0].message
+
+
+class TestMatchPass:
+    def test_undeployed_engine_warns(self, clean_library):
+        (clean_library / "operators" / "count_python" / "description").write_text(
+            "Constraints.Engine=Cilk\n"
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES011"]
+        assert findings and "'Cilk'" in findings[0].message
+
+    def test_wildcard_algorithm_is_info(self, clean_library):
+        (clean_library / "abstractOperators" / "AnyOp").write_text(
+            "Constraints.OpSpecification.Algorithm.name=*\n")
+        _ires, collector = lint_library(clean_library)
+        assert "IRES012" in collector.codes()
+
+
+class TestDataflowPass:
+    def test_unproducible_target(self, clean_library):
+        wf = clean_library / "abstractWorkflows" / "NoProducer"
+        wf.mkdir()
+        # the target d9 is a source dataset: nothing produces it and it is
+        # not a materialized library dataset, so no plan can reach it
+        (wf / "graph").write_text(
+            "d9,LineCount,0\nLineCount,d1,0\nd9,$$target\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector
+                    if d.code == "IRES021" and "NoProducer" in d.artifact]
+        assert findings and "'d9'" in findings[0].message
+
+    def test_orphan_nodes_warn(self, clean_library):
+        (clean_library / "abstractOperators" / "Count2").write_text(
+            "Constraints.Input.number=1\nConstraints.Output.number=1\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        wf = clean_library / "abstractWorkflows" / "Orphaned"
+        wf.mkdir()
+        # the Count2 -> d2 branch never reaches the d1 target
+        (wf / "graph").write_text(
+            "logs,LineCount,0\nLineCount,d1,0\n"
+            "logs,Count2,0\nCount2,d2,0\nd1,$$target\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES022"]
+        assert any("'d2'" in d.message for d in findings)
+        assert any("'Count2'" in d.message for d in findings)
+
+    def test_arity_mismatch_points_at_edge_line(self, clean_library):
+        (clean_library / "abstractOperators" / "LineCount").write_text(
+            "Constraints.Input.number=2\nConstraints.Output.number=1\n"
+            "Constraints.OpSpecification.Algorithm.name=LineCount\n")
+        _ires, collector = lint_library(clean_library,
+                                        workflow="CountWorkflow")
+        findings = [d for d in collector if d.code == "IRES023"]
+        assert findings
+        assert "wired to 1 input(s)" in findings[0].message
+        assert findings[0].location == \
+            "abstractWorkflows/CountWorkflow/graph:1"
+
+    def test_forced_move_warns(self, clean_library):
+        # every implementation wants HDFS text; the source sits elsewhere
+        (clean_library / "datasets" / "logs").write_text(
+            "Constraints.Engine.FS=PostgreSQL\nConstraints.type=table\n"
+            "Optimization.size=5E09\n")
+        _ires, collector = lint_library(clean_library)
+        findings = [d for d in collector if d.code == "IRES024"]
+        assert findings and "'logs'" in findings[0].message
+
+
+class TestModelReadinessPass:
+    def test_oracle_estimator_skips_pass(self, clean_library):
+        _ires, collector = lint_library(clean_library)
+        assert "IRES030" not in collector.codes()
+
+    def test_model_backed_platform_warns_on_unprofiled_pairs(self):
+        from repro.core.libraryfs import load_asap_library
+
+        ires = IReS(estimator="models")
+        load_asap_library("examples/asapLibrary", ires)
+        collector = ires.lint()
+        findings = [d for d in collector if d.code == "IRES030"]
+        assert findings  # nothing is profiled yet
+        assert any("LineCount@Spark" in d.message for d in findings)
+
+
+class TestConfigPass:
+    def lint_with(self, resilience):
+        ires = IReS(resilience=resilience)
+        return ires.lint()
+
+    def test_default_resilience_is_clean(self):
+        collector = self.lint_with(ResilienceManager())
+        assert not any(c.startswith("IRES04") for c in collector.codes())
+
+    def test_nonpositive_breaker_threshold(self):
+        collector = self.lint_with(ResilienceManager(failure_threshold=0))
+        assert "IRES040" in collector.codes()
+
+    def test_malformed_retry_policy(self):
+        collector = self.lint_with(ResilienceManager(
+            retry_policy=RetryPolicy(max_attempts=0, backoff_factor=0.5)))
+        findings = [d for d in collector if d.code == "IRES042"]
+        assert len(findings) == 2  # bad attempts AND shrinking factor
+
+    def test_retry_budget_exceeds_step_timeout(self):
+        collector = self.lint_with(ResilienceManager(
+            retry_policy=RetryPolicy(max_attempts=5, base_backoff=30.0,
+                                     backoff_factor=2.0, max_backoff=600.0),
+            step_timeout=10.0))
+        assert "IRES041" in collector.codes()
+
+    def test_nonpositive_recovery_timeout(self):
+        collector = self.lint_with(ResilienceManager(recovery_timeout=0.0))
+        assert "IRES043" in collector.codes()
+
+
+# -- planner pre-flight -------------------------------------------------------
+
+class TestPreflight:
+    def build_broken_workflow(self):
+        """A workflow whose operator has no implementation at all."""
+        wf = AbstractWorkflow("broken")
+        wf.add_dataset(Dataset("in", {"Constraints.type": "text"},
+                               materialized=True))
+        wf.add_dataset(Dataset("out"))
+        wf.add_operator(AbstractOperator("ghost", {
+            "Constraints.OpSpecification.Algorithm.name": "Ghost",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+        }))
+        wf.connect("in", "ghost")
+        wf.connect("ghost", "out")
+        wf.set_target("out")
+        return wf
+
+    def test_preflight_workflow_reports(self):
+        from repro.core.library import OperatorLibrary
+
+        collector = preflight_workflow(OperatorLibrary(),
+                                       self.build_broken_workflow())
+        assert "IRES010" in collector.codes()
+
+    def test_planner_preflight_raises_aggregated_failure(self):
+        ires = IReS()
+        planner = Planner(ires.library, ires.estimator, preflight=True)
+        with pytest.raises(LintFailure) as excinfo:
+            planner.plan(self.build_broken_workflow())
+        failure = excinfo.value
+        assert "IRES010" in str(failure)
+        assert any(d.code == "IRES010" for d in failure.diagnostics)
+
+    def test_planner_preflight_lists_every_defect_at_once(self):
+        ires = IReS()
+        wf = self.build_broken_workflow()
+        # second defect: an orphan dataset that feeds nothing
+        wf.add_dataset(Dataset("stray", materialized=True))
+        planner = Planner(ires.library, ires.estimator, preflight=True)
+        with pytest.raises(LintFailure) as excinfo:
+            planner.plan(wf)
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert {"IRES010", "IRES022"} <= codes
+
+    def test_preflight_passes_on_sound_workflow(self):
+        ires = IReS()
+        ires.register_operator(MaterializedOperator("count_spark", {
+            "Constraints.Engine": "Spark",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+            "Constraints.OpSpecification.Algorithm.name": "LineCount",
+        }))
+        wf = AbstractWorkflow("ok")
+        wf.add_dataset(Dataset("in", {"Constraints.type": "text"},
+                               materialized=True))
+        wf.add_dataset(Dataset("out"))
+        wf.add_operator(AbstractOperator("count", {
+            "Constraints.OpSpecification.Algorithm.name": "LineCount",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+        }))
+        wf.connect("in", "count")
+        wf.connect("count", "out")
+        wf.set_target("out")
+        planner = Planner(ires.library, ires.estimator, preflight=True)
+        plan = planner.plan(wf, available_engines={"Spark", "move"})
+        assert plan.steps
+
+    def test_preflight_metric_counts_failures(self):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        ires = IReS()
+        planner = Planner(ires.library, ires.estimator, preflight=True)
+        with pytest.raises(LintFailure):
+            planner.plan(self.build_broken_workflow())
+        counter = REGISTRY.get("ires_planner_preflight_total")
+        assert counter.value(status="failed") == 1
+
+
+# -- golden CLI output --------------------------------------------------------
+
+class TestLintCli:
+    def test_text_output_golden(self, broken_library, capsys):
+        assert main(["lint", str(broken_library)]) == 1
+        out = capsys.readouterr().out
+        assert ("abstractOperators/Sort: error IRES010: no materialized "
+                "operator implements 'Sort'") in out
+        assert ("operators/count_python/description:2: error IRES003: "
+                "Constraints.Input.number='lots' is not numeric") in out
+        assert ("abstractWorkflows/Loop/graph: error IRES020: "
+                "workflow graph contains a cycle") in out
+        assert "3 error(s)" in out
+        assert out.rstrip().endswith(f"lint FAILED: {broken_library}")
+
+    def test_json_output_golden(self, broken_library, capsys):
+        assert main(["lint", str(broken_library), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert {"IRES003", "IRES010", "IRES020"} <= set(payload["codes"])
+        by_code = {d["code"]: d for d in payload["diagnostics"]}
+        assert (by_code["IRES003"]["location"]
+                == "operators/count_python/description:2")
+        assert by_code["IRES010"]["artifact"] == "abstract:Sort"
+        assert by_code["IRES020"]["severity"] == "error"
+        assert by_code["IRES020"]["hint"]
+
+    def test_clean_library_exits_zero(self, clean_library, capsys):
+        assert main(["lint", str(clean_library)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info" in out
+        assert f"lint OK: {clean_library}" in out
+
+    def test_example_library_strict_exits_zero(self, capsys):
+        assert main(["lint", "examples/asapLibrary", "--strict"]) == 0
+        assert "lint OK" in capsys.readouterr().out
+
+    def test_strict_fails_on_warnings(self, clean_library, capsys):
+        (clean_library / "datasets" / "logs").write_text(
+            "Constraints.type=text\nConstraints.type=arff\n"
+            "Optimization.size=5E09\n")
+        assert main(["lint", str(clean_library)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(clean_library), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "lint FAILED" in out and "(strict)" in out
+
+    def test_workflow_filter(self, broken_library, capsys):
+        assert main(["lint", str(broken_library),
+                     "--workflow", "CountWorkflow"]) == 1
+        out = capsys.readouterr().out
+        # library-level defects still show; no dataflow findings for the
+        # healthy CountWorkflow
+        assert "IRES010" in out
+        assert "workflow:CountWorkflow" not in out
+
+    def test_unknown_workflow_exits(self, clean_library):
+        with pytest.raises(SystemExit):
+            main(["lint", str(clean_library), "--workflow", "Nope"])

@@ -1,0 +1,53 @@
+"""Annotation-completeness gate for the strict-typed packages.
+
+CI runs mypy with ``disallow_untyped_defs`` on ``repro.core``,
+``repro.analysis`` and ``repro.obs`` (see pyproject ``[tool.mypy]``).  This
+test enforces the same completeness property with the stdlib ``ast`` module
+so the gate is also checkable without mypy installed: every function in
+those packages must annotate its return type and all of its parameters.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+STRICT_PACKAGES = ("core", "analysis", "obs")
+IMPLICIT = ("self", "cls")
+
+
+def _missing_annotations(path: Path) -> list[str]:
+    problems: list[str] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+
+    class Visitor(ast.NodeVisitor):
+        def _check(self, node: ast.FunctionDef) -> None:
+            args = node.args
+            named = args.posonlyargs + args.args + args.kwonlyargs
+            missing = [a.arg for a in named
+                       if a.annotation is None and a.arg not in IMPLICIT]
+            for star in (args.vararg, args.kwarg):
+                if star is not None and star.annotation is None:
+                    missing.append(f"*{star.arg}")
+            if node.returns is None:
+                missing.append("return")
+            if missing:
+                problems.append(
+                    f"{path.relative_to(SRC.parent)}:{node.lineno} "
+                    f"{node.name}() missing: {', '.join(missing)}")
+            self.generic_visit(node)
+
+        visit_FunctionDef = _check
+        visit_AsyncFunctionDef = _check
+
+    Visitor().visit(tree)
+    return problems
+
+
+def test_strict_packages_are_fully_annotated():
+    problems: list[str] = []
+    for package in STRICT_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            problems.extend(_missing_annotations(path))
+    assert not problems, (
+        "unannotated defs in strict-typed packages (mypy "
+        "disallow_untyped_defs would reject these):\n" + "\n".join(problems))

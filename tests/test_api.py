@@ -248,3 +248,43 @@ class TestObservabilityEndpoints:
 
     def test_metrics_rejects_post(self, server):
         assert server.handle("POST", "/metrics").status == 405
+
+
+class TestLint:
+    def test_lint_clean_platform(self, server):
+        response = server.handle("POST", "/lint")
+        assert response.status == 200
+        assert response.body["ok"] is True
+        assert response.body["counts"]["error"] == 0
+        assert json.loads(response.json())
+
+    def test_lint_reports_unimplemented_operator(self, server):
+        # register a workflow whose operator nothing implements
+        created = server.handle("POST", "/abstractOperators/ghost", {
+            "properties": {
+                "Constraints.OpSpecification.Algorithm.name": "Ghost",
+                "Constraints.Input.number": 1,
+                "Constraints.Output.number": 1,
+            }})
+        assert created.status == 201
+        response = server.handle("POST", "/lint")
+        assert response.status == 200
+        assert response.body["ok"] is False
+        assert "IRES010" in response.body["codes"]
+
+    def test_lint_strict_flag(self, server):
+        response = server.handle("POST", "/lint", {"strict": True})
+        assert response.status == 200
+        assert response.body["strict"] is True
+
+    def test_lint_scoped_to_workflow(self, server):
+        response = server.handle("POST", "/lint", {"workflow": "text"})
+        assert response.status == 200
+        assert response.body["ok"] is True
+
+    def test_lint_unknown_workflow_404(self, server):
+        assert server.handle(
+            "POST", "/lint", {"workflow": "nope"}).status == 404
+
+    def test_lint_requires_post(self, server):
+        assert server.handle("GET", "/lint").status == 405

@@ -157,3 +157,62 @@ def test_trace_summarize(library_dir, tmp_path, capsys):
 def test_trace_summarize_missing_file_exits(tmp_path):
     with pytest.raises(SystemExit):
         main(["trace", "summarize", str(tmp_path / "nope.json")])
+
+
+@pytest.fixture
+def broken_library_dir(library_dir, tmp_path):
+    """The library fixture with one unparseable dataset added."""
+    from pathlib import Path
+
+    (Path(library_dir) / "datasets" / "broken").write_text("no equals sign\n")
+    return library_dir
+
+
+def test_validate_reports_invalid_library(broken_library_dir, capsys):
+    assert main(["validate", broken_library_dir]) == 1
+    out = capsys.readouterr().out
+    assert "IRES001" in out
+    assert "library INVALID" in out
+
+
+def test_plan_warns_on_skipped_artifacts(broken_library_dir, capsys):
+    assert main(["plan", broken_library_dir, "CountWorkflow"]) == 0
+    out = capsys.readouterr().out
+    assert "skipped 1 malformed artefact(s)" in out
+    assert "optimal plan" in out  # planning proceeds on the healthy rest
+
+
+def test_lint_clean_library(library_dir, capsys):
+    assert main(["lint", library_dir]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s), 0 info" in out
+    assert "lint OK" in out
+
+
+def test_lint_broken_library_text_and_json(broken_library_dir, capsys):
+    import json
+
+    assert main(["lint", broken_library_dir]) == 1
+    text = capsys.readouterr().out
+    assert "IRES001" in text and "lint FAILED" in text
+    assert main(["lint", broken_library_dir, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert "IRES001" in payload["codes"]
+
+
+def test_lint_strict_flag(library_dir, capsys):
+    from pathlib import Path
+
+    # a duplicate key is only a warning: default passes, --strict fails
+    (Path(library_dir) / "datasets" / "logs").write_text(
+        "Constraints.Engine.FS=HDFS\nConstraints.type=text\n"
+        "Constraints.type=text\nOptimization.size=5E09\n")
+    assert main(["lint", library_dir]) == 0
+    capsys.readouterr()
+    assert main(["lint", library_dir, "--strict"]) == 1
+
+
+def test_lint_unknown_workflow_exits(library_dir):
+    with pytest.raises(SystemExit):
+        main(["lint", library_dir, "--workflow", "NoSuchWorkflow"])

@@ -114,3 +114,68 @@ def test_roundtrip_dump_and_reload(library_dir, tmp_path):
     assert wf2.target == "d1"
     assert ires2.plan(wf2).cost == pytest.approx(
         ires.plan(ires.workflows["LineCountWorkflow"]).cost)
+
+
+class TestTolerantLoading:
+    """Malformed artefacts become diagnostics + metrics, never silent skips."""
+
+    def test_malformed_dataset_recorded(self, library_dir):
+        (library_dir / "datasets" / "broken").write_text("no equals sign\n")
+        ires = IReS()
+        report = load_asap_library(library_dir, ires)
+        assert "broken" not in ires.datasets
+        assert report.load_errors == 1
+        diag = report.diagnostics[0]
+        assert diag.code == "IRES001"
+        assert diag.artifact == "dataset:broken"
+        assert diag.location == "datasets/broken"
+        # the well-formed artefacts still load
+        assert report.datasets == ["asapServerLog"]
+
+    def test_operator_without_description_recorded(self, library_dir):
+        (library_dir / "operators" / "empty_op").mkdir()
+        report = load_asap_library(library_dir, IReS())
+        assert report.operators == ["LineCount_spark"]
+        codes = {d.code for d in report.diagnostics}
+        assert codes == {"IRES001"}
+        assert any("no description file" in d.message
+                   for d in report.diagnostics)
+
+    def test_cyclic_workflow_recorded_as_ires020(self, library_dir):
+        wf = library_dir / "abstractWorkflows" / "Loop"
+        wf.mkdir()
+        (wf / "graph").write_text(
+            "d0,LineCount,0\nLineCount,d0,0\nd0,$$target\n")
+        ires = IReS()
+        report = load_asap_library(library_dir, ires)
+        assert "Loop" not in ires.workflows
+        diag = next(d for d in report.diagnostics if d.code == "IRES020")
+        assert diag.artifact == "workflow:Loop"
+        assert diag.location == "abstractWorkflows/Loop/graph"
+
+    def test_malformed_graph_line_recorded_with_line_number(self, library_dir):
+        wf = library_dir / "abstractWorkflows" / "Bad"
+        wf.mkdir()
+        (wf / "graph").write_text(
+            "asapServerLog,LineCount,0\nnot-an-edge\nd1,$$target\n")
+        report = load_asap_library(library_dir, IReS())
+        diag = next(d for d in report.diagnostics if d.code == "IRES025")
+        assert diag.location == "abstractWorkflows/Bad/graph:2"
+        assert "not-an-edge" in diag.message
+
+    def test_load_errors_metric_increments(self, library_dir):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        (library_dir / "datasets" / "broken").write_text("nope\n")
+        (library_dir / "abstractOperators" / "bad").write_text("nope\n")
+        load_asap_library(library_dir, IReS())
+        counter = REGISTRY.get("ires_library_load_errors_total")
+        assert counter.value(kind="dataset") == 1
+        assert counter.value(kind="abstract") == 1
+        assert counter.value(kind="operator") == 0
+
+    def test_clean_load_reports_no_errors(self, library_dir):
+        report = load_asap_library(library_dir, IReS())
+        assert report.load_errors == 0
+        assert report.diagnostics == []

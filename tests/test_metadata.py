@@ -167,3 +167,50 @@ class TestMatching:
         merged = base.merged_with(overlay)
         assert merged.to_properties() == {"a": "1", "b": "3", "c": "4"}
         assert base.get("b") == "2"  # original untouched
+
+
+class TestMatchingEdgeCases:
+    """Corner cases of the §3.1 tree-match semantics the planner relies on."""
+
+    def test_wildcard_in_materialized_tree_satisfies_requirement(self):
+        """A ``*`` on the provided side satisfies any concrete requirement."""
+        required = MetadataTree.from_properties({"Engine.FS": "HDFS"})
+        provided = MetadataTree.from_properties({"Engine.FS": WILDCARD})
+        assert required.matches(provided)
+
+    def test_empty_abstract_matches_everything(self):
+        empty = MetadataTree()
+        assert empty.matches(MetadataTree())
+        assert empty.matches(MetadataTree.from_properties({"a.b": 1}))
+
+    def test_nonempty_abstract_rejects_empty_tree(self):
+        required = MetadataTree.from_properties({"Engine": "Spark"})
+        assert not required.matches(MetadataTree())
+        # ...but consistency holds: no shared leaves, no conflict
+        assert required.consistent_with(MetadataTree())
+
+    def test_duplicate_dotted_keys_last_occurrence_wins(self):
+        tree = MetadataTree.from_properties([
+            "Constraints.type=text",
+            "Constraints.type=arff",
+        ])
+        assert tree.get("Constraints.type") == "arff"
+        # leaves() reports the surviving assignment only
+        assert tree.to_properties() == {"Constraints.type": "arff"}
+
+    def test_matches_is_asymmetric_subsumption(self):
+        """`a.matches(b)` is required-side directional, unlike consistency."""
+        abstract = MetadataTree.from_properties({"Engine": "Spark"})
+        richer = MetadataTree.from_properties(
+            {"Engine": "Spark", "type": "text"})
+        assert abstract.matches(richer)          # extra fields are fine
+        assert not richer.matches(abstract)      # missing required field
+        # consistent_with is symmetric on the same pair
+        assert abstract.consistent_with(richer)
+        assert richer.consistent_with(abstract)
+
+    def test_consistency_leaf_vs_subtree_wildcard_passes(self):
+        leaf = MetadataTree.from_properties({"Engine": WILDCARD})
+        subtree = MetadataTree.from_properties({"Engine.FS": "HDFS"})
+        assert leaf.consistent_with(subtree)
+        assert subtree.consistent_with(leaf)

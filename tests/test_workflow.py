@@ -201,3 +201,77 @@ def test_with_constraints_returns_modified_copy():
     moved = ds.with_constraints({"Constraints.Engine.FS": "HDFS"})
     assert moved.store == "HDFS"
     assert ds.store is None
+
+
+class TestGraphParseErrors:
+    """Graph-file errors carry the source line number and offending token."""
+
+    def test_bad_line_reports_line_and_token(self):
+        from repro.core.workflow import GraphParseError
+
+        lines = ["a,tfidf,0", "just-one-field", "b,$$target"]
+        tfidf, _ = simple_ops()
+        with pytest.raises(GraphParseError) as excinfo:
+            AbstractWorkflow.from_graph_lines(lines, {}, {"tfidf": tfidf})
+        err = excinfo.value
+        assert err.line_no == 2
+        assert err.token == "just-one-field"
+        assert str(err).startswith("line 2: ")
+        assert "'just-one-field'" in str(err)
+
+    def test_duplicate_target_reports_line(self):
+        from repro.core.workflow import GraphParseError
+
+        tfidf, _ = simple_ops()
+        lines = ["a,tfidf,0", "tfidf,b,0", "b,$$target", "a,$$target"]
+        with pytest.raises(GraphParseError) as excinfo:
+            AbstractWorkflow.from_graph_lines(lines, {}, {"tfidf": tfidf})
+        assert excinfo.value.line_no == 4
+        assert "duplicate $$target" in str(excinfo.value)
+
+    def test_bad_edge_reports_line_and_edge_token(self):
+        from repro.core.workflow import GraphParseError
+
+        # two datasets wired directly together is not a bipartite edge
+        lines = ["a,b,0", "b,$$target"]
+        with pytest.raises(GraphParseError) as excinfo:
+            AbstractWorkflow.from_graph_lines(lines, {}, {})
+        assert excinfo.value.line_no == 1
+        assert excinfo.value.token == "a,b"
+
+    def test_unknown_target_reports_line(self):
+        from repro.core.workflow import GraphParseError
+
+        tfidf, _ = simple_ops()
+        lines = ["a,tfidf,0", "tfidf,b,0", "zzz,$$target"]
+        with pytest.raises(GraphParseError) as excinfo:
+            AbstractWorkflow.from_graph_lines(lines, {}, {"tfidf": tfidf})
+        assert excinfo.value.line_no == 3
+        assert excinfo.value.token == "zzz"
+
+    def test_missing_target_has_no_line(self):
+        from repro.core.workflow import GraphParseError
+
+        tfidf, _ = simple_ops()
+        with pytest.raises(GraphParseError) as excinfo:
+            AbstractWorkflow.from_graph_lines(
+                ["a,tfidf,0", "tfidf,b,0"], {}, {"tfidf": tfidf})
+        assert excinfo.value.line_no is None
+        assert excinfo.value.token == "$$target"
+
+    def test_graph_parse_error_is_a_workflow_error(self):
+        from repro.core.workflow import GraphParseError
+
+        assert issubclass(GraphParseError, WorkflowError)
+
+    def test_cycle_error_is_a_workflow_error(self):
+        from repro.core.workflow import WorkflowCycleError
+
+        assert issubclass(WorkflowCycleError, WorkflowError)
+
+    def test_edge_lines_recorded(self):
+        tfidf, _ = simple_ops()
+        wf = AbstractWorkflow.from_graph_lines(
+            ["# header", "a,tfidf,0", "tfidf,b,0", "b,$$target"],
+            {}, {"tfidf": tfidf})
+        assert wf.edge_lines == {("a", "tfidf"): 2, ("tfidf", "b"): 3}
