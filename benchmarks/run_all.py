@@ -1,0 +1,110 @@
+"""Run the ``bench_extension_*`` suite and write one ``BENCH_summary.json``.
+
+Each extension benchmark runs as its own pytest subprocess (so one
+pathological bench cannot poison the others' process state), and the
+summary records per-bench wall time, pass/fail status, and the key metric
+tables the bench emitted under ``benchmarks/results/`` during its run::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_summary.json]
+    PYTHONPATH=src python benchmarks/run_all.py --pattern 'bench_extension_*.py'
+
+CI runs this on the small default configs and uploads the summary as an
+artifact, which is the repo's benchmark trajectory over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def _result_tables(since: float) -> dict[str, str]:
+    """Key-metric tables (benchmarks/results/*.txt) modified after ``since``."""
+    tables: dict[str, str] = {}
+    if not RESULTS_DIR.is_dir():
+        return tables
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        if path.stat().st_mtime >= since:
+            tables[path.stem] = path.read_text().rstrip()
+    return tables
+
+
+def run_bench(path: Path, timeout: float) -> dict:
+    """Run one benchmark file under pytest; returns its summary record."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    started = time.time()
+    wall_start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "--benchmark-disable",
+             str(path)],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=timeout,
+        )
+        status = "ok" if proc.returncode == 0 else "failed"
+        tail = (proc.stdout or "").strip().splitlines()[-3:]
+    except subprocess.TimeoutExpired:
+        status = "timeout"
+        tail = [f"timed out after {timeout:.0f}s"]
+    wall = time.perf_counter() - wall_start
+    record = {
+        "bench": path.stem,
+        "status": status,
+        "wall_seconds": round(wall, 3),
+        "key_metrics": _result_tables(since=started),
+    }
+    if status != "ok":
+        record["output_tail"] = tail
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_summary.json"),
+                        help="summary file to write")
+    parser.add_argument("--pattern", default="bench_extension_*.py",
+                        help="benchmark files to run (glob under benchmarks/)")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args(argv)
+
+    benches = sorted(BENCH_DIR.glob(args.pattern))
+    if not benches:
+        print(f"error: no benchmarks match {args.pattern!r} under {BENCH_DIR}",
+              file=sys.stderr)
+        return 2
+    suite_start = time.perf_counter()
+    records = []
+    for path in benches:
+        print(f"[run_all] {path.name} ...", flush=True)
+        record = run_bench(path, timeout=args.timeout)
+        print(f"[run_all]   {record['status']} "
+              f"in {record['wall_seconds']:.1f}s", flush=True)
+        records.append(record)
+    summary = {
+        "suite": args.pattern,
+        "total_wall_seconds": round(time.perf_counter() - suite_start, 3),
+        "benches": records,
+        "passed": sum(1 for r in records if r["status"] == "ok"),
+        "failed": sum(1 for r in records if r["status"] != "ok"),
+    }
+    Path(args.out).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"[run_all] wrote {args.out}: {summary['passed']} passed, "
+          f"{summary['failed']} failed")
+    return 0 if summary["failed"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

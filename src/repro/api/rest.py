@@ -34,6 +34,9 @@ POST   /lint                                              static analysis
 GET    /metrics                                           Prometheus text
 GET    /traces                                            collected run ids
 GET    /traces/{run_id}                                   one run's Chrome trace
+GET    /accuracy                                          prediction-error stats
+GET    /explain                                           runs with provenance
+GET    /explain/{run_id}                                  one run's explain report
 ====== ================================================= =====================
 
 ``/metrics`` responds with Prometheus text exposition (``Response.text``);
@@ -301,6 +304,32 @@ class IResServer:
         spans = tracer.spans(run_id)
         self._expect(bool(spans), 404, f"no trace for run {run_id!r}")
         return Response(200, tracer.chrome_trace(run_id))
+
+    # -- /accuracy -----------------------------------------------------------
+    def _accuracy(self, method, rest, body) -> Response:
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /accuracy")
+        ledger = self.ires.ledger
+        self._expect(ledger is not None and ledger.enabled, 404,
+                     "accuracy ledger disabled (construct IReS with a ledger)")
+        payload = ledger.report()
+        drift = self.ires.drift
+        if drift is not None:
+            payload["alarms"] = [a.to_dict() for a in drift.alarms]
+        return Response(200, payload)
+
+    # -- /explain ------------------------------------------------------------
+    def _explain(self, method, rest, body) -> Response:
+        self._expect(method == "GET", 405, "use GET")
+        executor = self.ires.executor
+        if not rest:
+            return Response(200, {"runs": list(executor.explains)})
+        self._expect(len(rest) == 1, 404, "use /explain/{run_id}")
+        report = executor.explain_report(rest[0])
+        self._expect(report is not None, 404,
+                     f"no provenance for run {rest[0]!r} (plan with "
+                     "record_provenance=True)")
+        return Response(200, report)
 
     # -- /models -------------------------------------------------------------
     def _models(self, method, rest, body) -> Response:

@@ -9,6 +9,8 @@ Works against an on-disk ``asapLibrary/`` directory (see
     ires plan      <library_dir> <workflow>   # materialize a workflow
     ires execute   <library_dir> <workflow>   # plan + run it
     ires frontier  <library_dir> <workflow>   # Pareto time/cost frontier
+    ires explain   <library_dir> <workflow>   # why each engine was chosen
+    ires accuracy report <ledger_file>        # prediction-error statistics
     ires trace summarize <trace_file>         # per-phase trace summary
 
 ``ires lint`` runs the multi-pass static analyzer of :mod:`repro.analysis`
@@ -31,16 +33,19 @@ from repro.core.pareto import ParetoPlanner
 from repro.core.platform import IReS
 
 
-def _load(library_dir: str, resilience=None):
-    ires = IReS(resilience=resilience)
+def _load(library_dir: str, resilience=None, quiet=False, **ires_kwargs):
+    # quiet routes the banner to stderr so machine-readable stdout (e.g.
+    # ``explain --format json``) stays parseable
+    out = sys.stderr if quiet else sys.stdout
+    ires = IReS(resilience=resilience, **ires_kwargs)
     report = load_asap_library(library_dir, ires)
     print(f"loaded {report.total()} artefacts from {library_dir} "
           f"({len(report.datasets)} datasets, {len(report.operators)} operators, "
           f"{len(report.abstract_operators)} abstract, "
-          f"{len(report.workflows)} workflows)")
+          f"{len(report.workflows)} workflows)", file=out)
     if report.load_errors:
         print(f"warning: skipped {report.load_errors} malformed artefact(s) "
-              "— run `ires lint` for details")
+              "— run `ires lint` for details", file=out)
     return ires, report
 
 
@@ -126,11 +131,17 @@ def cmd_execute(args) -> int:
     """
     from repro.execution import ResilienceManager
     from repro.execution.enforcer import ExecutionFailed
+    from repro.obs.accuracy import AccuracyLedger
+    from repro.obs.drift import DriftDetector
 
     if not 0.0 <= args.fail_rate <= 1.0:
         sys.exit(f"error: --fail-rate must be in [0, 1], got {args.fail_rate}")
     resilience = ResilienceManager.baseline() if args.no_resilience else None
-    ires, _ = _load(args.library, resilience)
+    ledger = drift = None
+    if args.ledger:
+        ledger = AccuracyLedger(path=args.ledger)
+        drift = DriftDetector(threshold=args.drift_threshold)
+    ires, _ = _load(args.library, resilience, ledger=ledger, drift=drift)
     if args.fail_rate > 0:
         ires.fault_injector.seed = args.chaos_seed
         ires.fault_injector.make_all_flaky(args.fail_rate)
@@ -150,6 +161,10 @@ def cmd_execute(args) -> int:
               f"{execution.sim_seconds:8.2f}s{flag}")
     _print_resilience(ires)
     _export_trace(ires, args.trace)
+    if ledger is not None:
+        alarms = len(drift.alarms) if drift is not None else 0
+        print(f"ledger: {len(ledger)} entries -> {args.ledger} "
+              f"(driftAlarms={alarms})")
     return 0 if report.succeeded else 1
 
 
@@ -239,6 +254,118 @@ def cmd_trace_summarize(args) -> int:
     return 0
 
 
+def cmd_accuracy_report(args) -> int:
+    """``ires accuracy report``: per-pair prediction-error statistics.
+
+    Reads a ledger JSONL file written by ``ires execute --ledger`` (or
+    :meth:`AccuracyLedger.save`) and prints per-(operator, engine) MAPE,
+    signed bias, EWMA error and sample counts; ``--html`` additionally
+    writes a self-contained HTML report with error-trend charts.
+    """
+    import json
+
+    from repro.obs.accuracy import AccuracyLedger
+
+    ledger = AccuracyLedger()
+    try:
+        ledger.load(args.ledger_file)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot load ledger {args.ledger_file!r}: {exc}")
+    report = ledger.report()
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{len(ledger)} ledger entries, "
+              f"{len(report['pairs'])} (operator, engine) pairs")
+        if report["pairs"]:
+            print(f"  {'operator':<16} {'engine':<12} {'n':>4} {'MAPE':>7} "
+                  f"{'bias':>7} {'EWMA':>7} {'recent':>7}")
+            for pair in report["pairs"]:
+                print(f"  {pair['operator']:<16} {pair['engine']:<12} "
+                      f"{pair['samples']:>4} {pair['mape']:>7.3f} "
+                      f"{pair['bias']:>+7.3f} {pair['ewmaError']:>7.3f} "
+                      f"{pair['recentMape']:>7.3f}")
+    if args.html:
+        from repro.obs.htmlreport import write_html
+
+        write_html(ledger, args.html, threshold=args.threshold)
+        # keep --format json stdout parseable: confirmation goes to stderr
+        print(f"wrote {args.html}",
+              file=sys.stderr if args.format == "json" else sys.stdout)
+    return 0
+
+
+def _print_explain_text(report: dict) -> None:
+    """Render one explain report (a planning pass) as text."""
+    cost = report.get("planCost")
+    print(f"workflow {report['workflow']} "
+          f"(plan cost {cost:.2f})" if cost is not None
+          else f"workflow {report['workflow']} (no feasible plan)")
+    for step in report["steps"]:
+        chosen = step["chosen"]
+        print(f"  step {step['abstract']}:")
+        if chosen is None:
+            print("    no feasible candidate chosen")
+        else:
+            err = chosen.get("modelError")
+            err_text = (f", model MAPE {err['mape']:.3f} "
+                        f"({err['samples']} samples)" if err else "")
+            print(f"    chosen   {chosen['operator']:<30} "
+                  f"@{chosen['engine']:<10} total {chosen['totalCost']:.2f}"
+                  f"{err_text}")
+            best = step["bestRejected"]
+            if best is not None:
+                print(f"    rejected {best['operator']:<30} "
+                      f"@{best['engine']:<10} total {best['totalCost']:.2f} "
+                      f"(+{step['costDelta']:.2f} vs chosen)")
+            for alt in step["alternatives"][1:]:
+                print(f"             {alt['operator']:<30} "
+                      f"@{alt['engine']:<10} total {alt['totalCost']:.2f} "
+                      f"(+{alt['deltaVsChosen']:.2f})")
+        for bad in step["infeasible"]:
+            print(f"    infeasible {bad['operator']:<28} "
+                  f"@{bad['engine']:<10} [{bad['reason']}]")
+
+
+def cmd_explain(args) -> int:
+    """``ires explain``: why the DP chose each engine, and by how much.
+
+    Plans the workflow with provenance recording on and prints, per
+    abstract operator, the chosen implementation, every feasible
+    alternative with its cost delta, and the infeasible candidates with
+    reasons.  ``--ledger`` annotates each candidate with the measured
+    error of the model its prediction came from.
+    """
+    import json
+
+    from repro.core.planner import PlanningError
+    from repro.obs.accuracy import AccuracyLedger
+
+    ires, _ = _load(args.library, record_provenance=True,
+                    quiet=args.format == "json")
+    workflow = _workflow(ires, args.workflow)
+    ledger = None
+    if args.ledger:
+        ledger = AccuracyLedger()
+        try:
+            ledger.load(args.ledger)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot load ledger {args.ledger!r}: {exc}")
+    try:
+        ires.plan(workflow)
+    except PlanningError as exc:
+        sys.exit(f"error: {exc}")
+    prov = ires.planner.last_provenance
+    if prov is None:
+        sys.exit("error: planner recorded no provenance")
+    report = prov.explain(ledger=ledger)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        _print_explain_text(report)
+    return 0
+
+
 def cmd_report(args) -> int:
     """``ires report``: aggregate benchmark result tables into one markdown."""
     from pathlib import Path
@@ -303,6 +430,35 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-resilience", action="store_true",
                            help="disable retries/breakers (replan on first "
                                 "error, the pre-resilience behaviour)")
+            p.add_argument("--ledger", default=None, metavar="FILE",
+                           help="record a predicted-vs-actual accuracy "
+                                "ledger (JSONL) and enable drift alarms")
+            p.add_argument("--drift-threshold", type=float, default=0.5,
+                           help="EWMA relative-error threshold for drift "
+                                "alarms (with --ledger; default 0.5)")
+
+    p = sub.add_parser("explain", help="why the planner chose each engine "
+                                       "(plan provenance)")
+    p.add_argument("library")
+    p.add_argument("workflow")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="annotate candidates with this ledger's model errors")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("accuracy", help="prediction-accuracy ledger tools")
+    acc_sub = p.add_subparsers(dest="accuracy_command", required=True)
+    p = acc_sub.add_parser("report",
+                           help="per-pair prediction-error statistics")
+    p.add_argument("ledger_file")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--html", default=None, metavar="FILE",
+                   help="also write a self-contained HTML report")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="drift threshold drawn on the HTML charts")
+    p.set_defaults(func=cmd_accuracy_report)
 
     p = sub.add_parser("trace", help="inspect trace files written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

@@ -85,14 +85,17 @@ class Modeler:
         self.models: dict[tuple[str, str], OperatorModel] = {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def train(self, algorithm: str, engine: str) -> OperatorModel | None:
+    def train(self, algorithm: str, engine: str,
+              window: int | None = None) -> OperatorModel | None:
         """(Re)train the model for a pair from all its stored samples.
 
-        Returns None when too few samples exist to fit anything.
+        ``window`` restricts the fit to the newest N samples (drift
+        recovery).  Returns None when too few samples exist to fit anything.
         """
         with self.tracer.span(f"train:{algorithm}@{engine}", category="modeler",
                               algorithm=algorithm, engine=engine) as span:
-            X, y, names = self.collector.training_matrix(algorithm, engine)
+            X, y, names = self.collector.training_matrix(algorithm, engine,
+                                                         window=window)
             span.set_attribute("samples", int(len(y)))
             if len(y) < 2:
                 span.set_attribute("skipped", "too few samples")

@@ -25,6 +25,13 @@ from repro.core.dataset import Dataset
 from repro.core.library import MatchStats, OperatorLibrary
 from repro.core.operators import MaterializedOperator, MoveOperator
 from repro.core.policy import OptimizationPolicy
+from repro.core.provenance import (
+    REASON_COST_INFEASIBLE,
+    REASON_INPUT_UNPRODUCIBLE,
+    REASON_NO_COMPATIBLE_INPUT,
+    CandidateRecord,
+    PlanProvenance,
+)
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
 from repro.obs.context import current_run_id
 from repro.obs.logging import get_logger
@@ -186,6 +193,7 @@ class Planner:
         single_entry_dp: bool = False,
         tracer: Tracer | None = None,
         preflight: bool = False,
+        record_provenance: bool = False,
     ) -> None:
         self.library = library
         self.estimator = estimator if estimator is not None else MetadataCostEstimator()
@@ -200,6 +208,12 @@ class Planner:
         #: ablation switch: keep only ONE best entry per dataset node instead
         #: of one per format/engine (loses hybrid plans; see DESIGN.md §5).
         self.single_entry_dp = single_entry_dp
+        #: opt-in: capture every _consider comparison into a PlanProvenance
+        #: (the ``ires explain`` data source); off by default — the NULL path
+        #: must stay inside the obs overhead budget
+        self.record_provenance = record_provenance
+        #: provenance of the most recent plan() call (None until recorded)
+        self.last_provenance: PlanProvenance | None = None
         self._move_ops: dict[tuple, MoveOperator] = {}
 
     # -- public API ---------------------------------------------------------
@@ -283,6 +297,9 @@ class Planner:
         workflow.validate()
         dp: dict[str, dict[tuple, _Entry]] = {}
         materialized_results = materialized_results or {}
+        prov = PlanProvenance(workflow.name) if self.record_provenance else None
+        if self.record_provenance:
+            self.last_provenance = prov
 
         # Initialize dpTable with materialized inputs (lines 5-10).
         for name, dataset in workflow.datasets.items():
@@ -308,7 +325,7 @@ class Planner:
                 )
                 for mat_op in matches:
                     self._consider(dp, workflow, abstract_op.name, mat_op,
-                                   in_names, out_names)
+                                   in_names, out_names, prov)
                 continue
             stats = MatchStats()
             with tracer.span(f"expand:{abstract_op.name}", category="planner",
@@ -319,7 +336,7 @@ class Planner:
                 )
                 for mat_op in matches:
                     self._consider(dp, workflow, abstract_op.name, mat_op,
-                                   in_names, out_names)
+                                   in_names, out_names, prov)
                 op_span.set_attribute("candidates_matched", stats.matched)
                 op_span.set_attribute("pruned_by_index", stats.pruned_by_index)
                 op_span.set_attribute("engine_filtered", stats.engine_filtered)
@@ -339,7 +356,10 @@ class Planner:
                 f"(available engines: {sorted(available_engines) if available_engines else 'all'})"
             )
         best = min(target_entries.values(), key=lambda e: e.cost)
-        return MaterializedPlan(workflow, best.collect_steps(), best.cost)
+        plan = MaterializedPlan(workflow, best.collect_steps(), best.cost)
+        if prov is not None:
+            prov.finalize(plan)
+        return plan
 
     # -- internals ---------------------------------------------------------
     def _consider(
@@ -350,6 +370,7 @@ class Planner:
         mat_op: MaterializedOperator,
         in_names: list[str],
         out_names: list[str],
+        prov: PlanProvenance | None = None,
     ) -> None:
         """Evaluate one materialized candidate (inner loop of Algorithm 1)."""
         input_cost = 0.0
@@ -357,6 +378,9 @@ class Planner:
         for i, in_name in enumerate(in_names):
             entries = dp.get(in_name)
             if not entries:
+                if prov is not None:
+                    prov.note(self._candidate(
+                        abstract_name, mat_op, REASON_INPUT_UNPRODUCIBLE))
                 return  # input not producible -> operator infeasible
             best: _Entry | None = None
             for entry in entries.values():
@@ -368,6 +392,9 @@ class Planner:
                     if moved is not None and (best is None or moved.cost < best.cost):
                         best = moved
             if best is None:
+                if prov is not None:
+                    prov.note(self._candidate(
+                        abstract_name, mat_op, REASON_NO_COMPATIBLE_INPUT))
                 return
             input_cost += best.cost
             input_entries.append(best)
@@ -376,8 +403,22 @@ class Planner:
         metrics = self.estimator.operator_metrics(mat_op, input_datasets)
         operator_cost = self.policy.scalarize(metrics)
         if operator_cost == INFEASIBLE:
+            if prov is not None:
+                prov.note(self._candidate(
+                    abstract_name, mat_op, REASON_COST_INFEASIBLE))
             return
         total_cost = input_cost + operator_cost
+        if prov is not None:
+            prov.note(CandidateRecord(
+                abstract=abstract_name,
+                operator=mat_op.name,
+                algorithm=mat_op.algorithm,
+                engine=mat_op.engine or "",
+                feasible=True,
+                operator_cost=operator_cost,
+                total_cost=total_cost,
+                predicted=metrics,
+            ))
 
         outputs = []
         out_size = self.estimator.output_size(mat_op, input_datasets)
@@ -393,6 +434,7 @@ class Planner:
             outputs=tuple(outputs),
             estimated_cost=operator_cost,
             abstract_name=abstract_name,
+            predicted=metrics,
         )
         parents = tuple(input_entries)
         for out_ds in outputs:
@@ -401,6 +443,18 @@ class Planner:
             current = slot.get(key)
             if current is None or total_cost < current.cost:
                 slot[key] = _Entry(out_ds, total_cost, step, parents)
+
+    def _candidate(self, abstract_name: str, mat_op: MaterializedOperator,
+                   reason: str) -> CandidateRecord:
+        """An infeasible-candidate provenance record."""
+        return CandidateRecord(
+            abstract=abstract_name,
+            operator=mat_op.name,
+            algorithm=mat_op.algorithm,
+            engine=mat_op.engine or "",
+            feasible=False,
+            reason=reason,
+        )
 
     def _move_operator(self, src_store: str | None, dst_store: str | None,
                        src_fmt: str | None,
@@ -442,5 +496,6 @@ class Planner:
             inputs=(src,),
             outputs=(moved,),
             estimated_cost=move_cost,
+            predicted=metrics,
         )
         return _Entry(moved, entry.cost + move_cost, step, (entry,))

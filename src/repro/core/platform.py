@@ -40,6 +40,8 @@ from repro.engines.faults import FaultInjector
 from repro.engines.registry import MultiEngineCloud, build_default_cloud
 from repro.execution.enforcer import ExecutionReport, IRES_REPLAN, WorkflowExecutor
 from repro.execution.resilience import ResilienceManager
+from repro.obs.accuracy import AccuracyLedger
+from repro.obs.drift import DriftDetector
 from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # analysis sits above core in the import graph
@@ -58,6 +60,9 @@ class IReS:
         strategy: str = IRES_REPLAN,
         resilience: "ResilienceManager | None" = None,
         tracer: Tracer | None = None,
+        ledger: AccuracyLedger | None = None,
+        drift: DriftDetector | None = None,
+        record_provenance: bool = False,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
         #: platform-wide tracer — every layer's spans land here, stamped
@@ -81,15 +86,24 @@ class IReS:
         else:
             raise ValueError(f"estimator must be 'oracle' or 'models', got {estimator!r}")
         self.planner = Planner(self.library, self.estimator, self.policy,
-                               tracer=self.tracer)
+                               tracer=self.tracer,
+                               record_provenance=record_provenance)
         self.provisioner = ResourceProvisioner()
         self.fault_injector = FaultInjector(self.cloud)
+        #: prediction-accuracy ledger (disabled NULL ledger unless provided)
+        self.ledger = ledger
+        #: drift detector over the ledger; alarms drive early windowed
+        #: refits through the platform's refiner
+        self.drift = drift
+        if drift is not None:
+            drift.refiner = self.refiner
         from repro.execution.cache import ResultCache
 
         self.result_cache = ResultCache()
         self.executor = WorkflowExecutor(
             self.cloud, self.planner, fault_injector=self.fault_injector,
             strategy=strategy, resilience=resilience, tracer=self.tracer,
+            ledger=ledger, drift=drift,
         )
 
     @property

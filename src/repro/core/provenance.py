@@ -1,0 +1,163 @@
+"""Plan provenance: why the DP chose each engine, and by how much.
+
+The planner's ``_consider`` loop already computes everything needed to
+answer "why Spark and not Hadoop for step 3" — every materialized
+candidate's predicted metrics, scalarized cost and cumulative total — it
+just throws the losers away.  With ``Planner(record_provenance=True)``
+those comparisons are captured into a :class:`PlanProvenance`: one
+:class:`CandidateRecord` per candidate evaluated (feasible with its cost,
+or infeasible with the reason), grouped by abstract operator, with the
+winners marked once the plan is assembled.
+
+:meth:`PlanProvenance.explain` serializes the capture into the explain
+report consumed by ``ires explain`` and ``GET /explain/{run_id}``; when
+given an :class:`~repro.obs.accuracy.AccuracyLedger` it annotates each
+candidate with the current measured error of the model the decision
+hinged on, so a reader can judge whether a 3 % predicted delta means
+anything against a 40 % MAPE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.workflow import MaterializedPlan
+
+if TYPE_CHECKING:  # import cycle: planner imports this module
+    from repro.obs.accuracy import AccuracyLedger
+
+#: infeasibility reasons recorded by the planner
+REASON_INPUT_UNPRODUCIBLE = "input-unproducible"
+REASON_NO_COMPATIBLE_INPUT = "no-compatible-input-format"
+REASON_COST_INFEASIBLE = "cost-infeasible"
+
+
+@dataclass
+class CandidateRecord:
+    """One materialized candidate the DP evaluated for an abstract op."""
+
+    abstract: str        #: abstract operator name the candidate implements
+    operator: str        #: materialized operator name
+    algorithm: str       #: abstract algorithm (the model/ledger key)
+    engine: str
+    feasible: bool
+    reason: str = ""     #: why infeasible ("" when feasible)
+    operator_cost: float = 0.0
+    total_cost: float = 0.0   #: input cost + operator cost (DP comparison key)
+    predicted: dict[str, float] = field(default_factory=dict)
+    chosen: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-able representation."""
+        payload: dict = {
+            "operator": self.operator,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "feasible": self.feasible,
+        }
+        if self.feasible:
+            payload["operatorCost"] = self.operator_cost
+            payload["totalCost"] = self.total_cost
+            payload["predicted"] = dict(self.predicted)
+            payload["chosen"] = self.chosen
+        else:
+            payload["reason"] = self.reason
+        return payload
+
+
+class PlanProvenance:
+    """The candidate comparisons behind one planning pass."""
+
+    def __init__(self, workflow: str) -> None:
+        self.workflow = workflow
+        #: candidates per abstract operator, in evaluation order
+        self.candidates: dict[str, list[CandidateRecord]] = {}
+        self.plan_cost: float | None = None
+
+    def note(self, record: CandidateRecord) -> None:
+        """Record one evaluated candidate."""
+        self.candidates.setdefault(record.abstract, []).append(record)
+
+    def finalize(self, plan: MaterializedPlan) -> None:
+        """Mark the candidates the assembled plan actually uses."""
+        self.plan_cost = plan.cost
+        for step in plan.steps:
+            if step.is_move or not step.abstract_name:
+                continue
+            for record in self.candidates.get(step.abstract_name, ()):
+                if (record.operator == step.operator.name
+                        and record.engine == (step.engine or "")):
+                    record.chosen = True
+                    break
+
+    # -- reporting -----------------------------------------------------------
+    def _model_error(self, record: CandidateRecord,
+                     ledger: "AccuracyLedger | None") -> dict | None:
+        if ledger is None:
+            return None
+        stats = ledger.stats_for(record.algorithm, record.engine)
+        if stats is None:
+            return None
+        return {
+            "mape": stats.mape,
+            "ewmaError": stats.ewma_error,
+            "samples": stats.count,
+        }
+
+    def explain(self, ledger: "AccuracyLedger | None" = None) -> dict:
+        """The explain report: per abstract operator, the decision record.
+
+        Each step entry names the chosen candidate, every feasible
+        alternative with its cost delta against the winner, the best
+        rejected alternative (``bestRejected`` + ``costDelta``), and the
+        infeasible candidates with their reasons.  With a ledger, each
+        candidate also carries ``modelError`` — the current measured
+        accuracy of the model its predicted cost came from.
+        """
+        steps: list[dict] = []
+        for abstract, records in self.candidates.items():
+            feasible = [r for r in records if r.feasible]
+            infeasible = [r for r in records if not r.feasible]
+            chosen = next((r for r in feasible if r.chosen), None)
+            alternatives = sorted(
+                (r for r in feasible if r is not chosen),
+                key=lambda r: r.total_cost,
+            )
+            entry: dict = {
+                "abstract": abstract,
+                "chosen": None,
+                "alternatives": [],
+                "bestRejected": None,
+                "costDelta": None,
+                "infeasible": [
+                    {"operator": r.operator, "engine": r.engine,
+                     "reason": r.reason}
+                    for r in infeasible
+                ],
+            }
+            if chosen is not None:
+                chosen_dict = chosen.to_dict()
+                chosen_dict["modelError"] = self._model_error(chosen, ledger)
+                entry["chosen"] = chosen_dict
+                alt_dicts: list[dict] = []
+                for alt in alternatives:
+                    alt_dict = alt.to_dict()
+                    alt_dict["deltaVsChosen"] = alt.total_cost - chosen.total_cost
+                    alt_dict["modelError"] = self._model_error(alt, ledger)
+                    alt_dicts.append(alt_dict)
+                entry["alternatives"] = alt_dicts
+                if alt_dicts:
+                    entry["bestRejected"] = alt_dicts[0]
+                    entry["costDelta"] = alt_dicts[0]["deltaVsChosen"]
+            steps.append(entry)
+        return {
+            "workflow": self.workflow,
+            "planCost": self.plan_cost,
+            "steps": steps,
+        }
+
+    def __repr__(self) -> str:
+        n = sum(len(v) for v in self.candidates.values())
+        return (f"PlanProvenance({self.workflow!r}, "
+                f"operators={len(self.candidates)}, candidates={n})")

@@ -44,6 +44,21 @@ class ModelRefiner:
                 return True
         return False
 
+    def refit_now(self, algorithm: str, engine: str,
+                  window: int | None = None) -> bool:
+        """Immediately retrain one pair, bypassing the batching cadence.
+
+        Drift alarms call this (``DriftDetector(refit=True)``): a ``window``
+        restricts training to the newest records so the refit learns the
+        post-drift behaviour instead of averaging it with stale history.
+        Resets the pair's pending count.  Returns True when a model was fit.
+        """
+        self._pending[(algorithm, engine)] = 0
+        if self.modeler.train(algorithm, engine, window=window) is not None:
+            self.refits += 1
+            return True
+        return False
+
     def flush(self) -> int:
         """Retrain every pair with pending observations; returns retrain count."""
         done = 0

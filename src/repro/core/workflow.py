@@ -220,6 +220,9 @@ class PlanStep:
     abstract_name: str = ""
     #: resource assignment chosen by provisioning, e.g. {"cores": 4, "memory_gb": 8}
     resources: dict = field(default_factory=dict, hash=False, compare=False)
+    #: raw estimator metrics behind ``estimated_cost`` (the accuracy-ledger
+    #: "predicted" side); shared with the estimator, treat as read-only
+    predicted: dict = field(default_factory=dict, hash=False, compare=False)
 
     @property
     def engine(self) -> str | None:

@@ -224,10 +224,17 @@ class MetricsCollector:
         return count
 
     def training_matrix(
-        self, algorithm: str, engine: str, feature_names: Iterable[str] | None = None
+        self, algorithm: str, engine: str, feature_names: Iterable[str] | None = None,
+        window: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list[str]]:
-        """Build (X, y, feature_names) for model fitting from stored runs."""
+        """Build (X, y, feature_names) for model fitting from stored runs.
+
+        ``window`` keeps only the newest N records — drift-triggered refits
+        use it to train on post-drift reality instead of the mixed history.
+        """
         records = self.for_operator(algorithm, engine)
+        if window is not None and window > 0:
+            records = records[-window:]
         if not records:
             return np.empty((0, 0)), np.empty(0), []
         if feature_names is None:

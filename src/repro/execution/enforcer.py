@@ -26,10 +26,11 @@ routes around sick engines until their breaker half-opens again (see
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.dataset import Dataset
-from repro.core.estimators import resources_for, workload_from_inputs
+from repro.core.estimators import monetary_cost, resources_for, workload_from_inputs
 from repro.core.planner import Planner, PlanningError
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan, PlanStep
 from repro.engines.errors import (
@@ -43,7 +44,9 @@ from repro.engines.monitoring import MetricRecord
 from repro.engines.profiles import Resources
 from repro.engines.registry import MultiEngineCloud
 from repro.execution.resilience import ResilienceManager
+from repro.obs.accuracy import NULL_LEDGER, AccuracyLedger
 from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.drift import DriftDetector
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracing import NULL_TRACER, Tracer
@@ -110,6 +113,8 @@ class ExecutionReport:
     replans: int = 0
     failures: list[str] = field(default_factory=list)
     retries: int = 0  # transient failures absorbed without replanning
+    #: PlanProvenance per planning pass (only with record_provenance planners)
+    provenances: list = field(default_factory=list)
 
     @property
     def initial_planning_seconds(self) -> float:
@@ -188,12 +193,22 @@ class WorkflowExecutor:
         resilience: ResilienceManager | None = None,
         failure_detection_seconds: float = FAILURE_DETECTION_SECONDS,
         tracer: Tracer | None = None,
+        ledger: AccuracyLedger | None = None,
+        drift: DriftDetector | None = None,
     ) -> None:
         if strategy not in (IRES_REPLAN, TRIVIAL_REPLAN):
             raise ValueError(f"unknown replanning strategy {strategy!r}")
         self.cloud = cloud
         self.planner = planner
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
+        self.drift = drift
+        if drift is not None and drift.observe not in self.ledger.listeners:
+            self.ledger.listeners.append(drift.observe)
+        #: run_id -> provenances of that run's planning passes (newest-last,
+        #: bounded; the ``GET /explain/{run_id}`` data source)
+        self.explains: "OrderedDict[str, list]" = OrderedDict()
+        self.max_explains = 64
         self.fault_injector = fault_injector
         self.strategy = strategy
         self.max_replans = max_replans
@@ -251,6 +266,9 @@ class WorkflowExecutor:
             completed.update(cache.seed_completed(probe.steps))
             report.plans.clear()
             report.planning_seconds.clear()
+            report.provenances.clear()
+            if report.run_id in self.explains:
+                self.explains[report.run_id].clear()
         #: dataset name -> HDFS path of its real artifact (the data plane)
         payload_paths: dict[str, str] = {}
         for dataset in workflow.datasets.values():
@@ -298,6 +316,18 @@ class WorkflowExecutor:
             if cache is not None:
                 cache.store(step)
             cursor += 1
+            if (self.drift is not None and cursor < len(steps)
+                    and self.drift.take_replan_hint()
+                    and report.replans < self.max_replans):
+                # a drift alarm asked for fresh plans: the remaining steps
+                # were costed by a model we now know to be wrong
+                report.replans += 1
+                _REPLANS.inc(run_id=run_id)
+                _LOG.info("drift_replan", workflow=workflow.name,
+                          completed_steps=cursor)
+                plan = self._plan(workflow, completed, report)
+                steps = list(plan.steps)
+                cursor = 0
         report.succeeded = True
         report.sim_time = self.cloud.clock.now - sim_start
         return report
@@ -337,7 +367,36 @@ class WorkflowExecutor:
             self.resilience.on_breaker_override(self.cloud.clock.now, open_set)
         report.planning_seconds.append(time.perf_counter() - wall_start)
         report.plans.append(plan)
+        prov = getattr(self.planner, "last_provenance", None)
+        if self.planner.record_provenance and prov is not None:
+            report.provenances.append(prov)
+            run_id = report.run_id or current_run_id() or ""
+            slot = self.explains.setdefault(run_id, [])
+            slot.append(prov)
+            while len(self.explains) > self.max_explains:
+                self.explains.popitem(last=False)
         return plan
+
+    def explain_report(self, run_id: str | None = None) -> dict | None:
+        """The explain report of one run (newest when ``run_id`` is None).
+
+        Serializes every planning pass of the run via
+        :meth:`~repro.core.provenance.PlanProvenance.explain`, annotated
+        with the ledger's current model-error statistics.  Returns None
+        when the run is unknown or provenance recording was off.
+        """
+        if run_id is None:
+            if not self.explains:
+                return None
+            run_id = next(reversed(self.explains))
+        provenances = self.explains.get(run_id)
+        if not provenances:
+            return None
+        ledger = self.ledger if self.ledger.enabled else None
+        return {
+            "run_id": run_id,
+            "plans": [p.explain(ledger=ledger) for p in provenances],
+        }
 
     def _enforce_with_resilience(
         self,
@@ -445,6 +504,19 @@ class WorkflowExecutor:
             _STEPS.inc(engine="move", status="ok",
                        run_id=current_run_id() or "")
             _STEP_SECONDS.observe(seconds, engine="move")
+            if self.ledger.enabled:
+                self.ledger.record_step(
+                    run_id=report.run_id or current_run_id() or "",
+                    workflow=workflow_name,
+                    step=step.operator.name,
+                    operator="move",
+                    engine="move",
+                    predicted=step.predicted,
+                    actual={"execTime": seconds},
+                    at=started,
+                    index=len(report.executions) - 1,
+                    attempt=attempt,
+                )
             return
         engine = self.cloud.engines.get(step.engine or "")
         if engine is None:
@@ -529,6 +601,22 @@ class WorkflowExecutor:
         _STEPS.inc(engine=engine.name, status="ok",
                    run_id=current_run_id() or "")
         _STEP_SECONDS.observe(sim_seconds, engine=engine.name)
+        if self.ledger.enabled:
+            self.ledger.record_step(
+                run_id=report.run_id or current_run_id() or "",
+                workflow=workflow_name,
+                step=step.operator.name,
+                operator=step.operator.algorithm,
+                engine=engine.name,
+                predicted=step.predicted,
+                actual={
+                    "execTime": sim_seconds,
+                    "cost": monetary_cost(resources, sim_seconds),
+                },
+                at=started,
+                index=len(report.executions) - 1,
+                attempt=attempt,
+            )
 
     def _safe_estimate(self, engine, step, workload, resources) -> float | None:
         """Noise-free runtime estimate, or None when the profile can't say."""

@@ -9,7 +9,14 @@ Three pillars, one correlation key (the per-run ``run_id``):
 - :mod:`repro.obs.logging` — structured JSON log lines.
 """
 
+from repro.obs.accuracy import (
+    NULL_LEDGER,
+    AccuracyLedger,
+    LedgerEntry,
+    PairStats,
+)
 from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.drift import DriftAlarm, DriftDetector
 from repro.obs.logging import StructuredLogger, configure as configure_logging
 from repro.obs.logging import get_logger, recent as recent_logs
 from repro.obs.metrics import (
@@ -19,6 +26,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     REGISTRY,
     get_registry,
+    parse_exposition,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -34,7 +42,9 @@ __all__ = [
     "bind_run_id", "current_run_id", "new_run_id",
     "StructuredLogger", "configure_logging", "get_logger", "recent_logs",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
-    "get_registry",
+    "get_registry", "parse_exposition",
     "NULL_TRACER", "Span", "Tracer", "critical_path", "load_trace",
     "spans_to_chrome", "summarize_spans",
+    "NULL_LEDGER", "AccuracyLedger", "LedgerEntry", "PairStats",
+    "DriftAlarm", "DriftDetector",
 ]

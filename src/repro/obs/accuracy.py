@@ -1,0 +1,341 @@
+"""Prediction-accuracy ledger: predicted vs monitored metrics, per step.
+
+IReS lives or dies by its cost models — the planner trusts
+:class:`~repro.core.planner.CostEstimator` predictions and online
+refinement silently retrains them — yet none of that is debuggable unless
+someone writes down, for every executed step, what the planner *predicted*
+next to what the monitor *measured*.  The :class:`AccuracyLedger` is that
+record: an append-only store of :class:`LedgerEntry` rows keyed by
+``run_id``/operator/engine/step, with rolling per-(operator, engine)
+error statistics (:class:`PairStats`: MAPE, signed bias, sample count,
+EWMA of the absolute relative error) exposed as gauges in the shared
+metrics registry and persistable as JSONL next to the traces.
+
+The default is the disabled :data:`NULL_LEDGER` — the enforcer's hot path
+pays a single attribute check per step, mirroring ``NULL_TRACER``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.obs.metrics import REGISTRY
+
+#: relative errors are computed against max(|actual|, EPS) to stay finite
+EPS = 1e-9
+
+_MAPE = REGISTRY.gauge(
+    "ires_accuracy_mape",
+    "Mean absolute percentage error of execTime predictions per pair",
+    labels=("operator", "engine"),
+)
+_BIAS = REGISTRY.gauge(
+    "ires_accuracy_bias",
+    "Mean signed relative error ((pred-actual)/actual) per pair",
+    labels=("operator", "engine"),
+)
+_EWMA = REGISTRY.gauge(
+    "ires_accuracy_ewma_error",
+    "EWMA of the absolute relative execTime error per pair",
+    labels=("operator", "engine"),
+)
+_SAMPLES = REGISTRY.gauge(
+    "ires_accuracy_samples",
+    "Ledger entries per (operator, engine) pair",
+    labels=("operator", "engine"),
+)
+
+
+@dataclass
+class LedgerEntry:
+    """One predicted-vs-actual row: a single enforced plan step."""
+
+    run_id: str
+    workflow: str
+    step: str          #: materialized operator (or move) name
+    operator: str      #: abstract algorithm the models are keyed by
+    engine: str
+    predicted: dict[str, float]
+    actual: dict[str, float]
+    at: float          #: simulated clock when the step started
+    index: int = 0     #: position of the step within its run
+    attempt: int = 1
+    success: bool = True
+
+    def relative_error(self, metric: str = "execTime") -> float | None:
+        """Signed relative error ``(pred - actual) / actual`` of a metric."""
+        pred = self.predicted.get(metric)
+        actual = self.actual.get(metric)
+        if pred is None or actual is None:
+            return None
+        return (float(pred) - float(actual)) / max(abs(float(actual)), EPS)
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (the JSONL line format)."""
+        return {
+            "run_id": self.run_id,
+            "workflow": self.workflow,
+            "step": self.step,
+            "operator": self.operator,
+            "engine": self.engine,
+            "predicted": dict(self.predicted),
+            "actual": dict(self.actual),
+            "at": self.at,
+            "index": self.index,
+            "attempt": self.attempt,
+            "success": self.success,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerEntry":
+        """Rebuild an entry from a JSONL line (unknown keys are dropped)."""
+        return cls(
+            run_id=str(payload.get("run_id", "")),
+            workflow=str(payload.get("workflow", "")),
+            step=str(payload.get("step", "")),
+            operator=str(payload.get("operator", "")),
+            engine=str(payload.get("engine", "")),
+            predicted={k: float(v) for k, v in
+                       dict(payload.get("predicted", {})).items()},
+            actual={k: float(v) for k, v in
+                    dict(payload.get("actual", {})).items()},
+            at=float(payload.get("at", 0.0)),
+            index=int(payload.get("index", 0)),
+            attempt=int(payload.get("attempt", 1)),
+            success=bool(payload.get("success", True)),
+        )
+
+
+class PairStats:
+    """Rolling error statistics of one (operator, engine) pair."""
+
+    __slots__ = ("operator", "engine", "count", "_abs_sum", "_signed_sum",
+                 "_ewma", "alpha", "recent")
+
+    def __init__(self, operator: str, engine: str, alpha: float = 0.3,
+                 recent_window: int = 32) -> None:
+        self.operator = operator
+        self.engine = engine
+        self.count = 0
+        self._abs_sum = 0.0
+        self._signed_sum = 0.0
+        self._ewma: float | None = None
+        self.alpha = alpha
+        #: bounded deque of the newest signed relative errors (trend data)
+        self.recent: deque[float] = deque(maxlen=recent_window)
+
+    def observe(self, error: float) -> None:
+        """Fold one signed relative error into every rolling statistic."""
+        self.count += 1
+        self._abs_sum += abs(error)
+        self._signed_sum += error
+        if self._ewma is None:
+            self._ewma = abs(error)
+        else:
+            self._ewma = self.alpha * abs(error) + (1 - self.alpha) * self._ewma
+        self.recent.append(error)
+
+    @property
+    def mape(self) -> float:
+        """Mean absolute percentage error over the pair's whole history."""
+        return self._abs_sum / self.count if self.count else 0.0
+
+    @property
+    def bias(self) -> float:
+        """Mean signed relative error: positive = over-prediction."""
+        return self._signed_sum / self.count if self.count else 0.0
+
+    @property
+    def ewma_error(self) -> float:
+        """Exponentially weighted moving average of the absolute error."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    @property
+    def recent_mape(self) -> float:
+        """MAPE over only the newest ``recent_window`` entries."""
+        if not self.recent:
+            return 0.0
+        return sum(abs(e) for e in self.recent) / len(self.recent)
+
+    def to_dict(self) -> dict:
+        """JSON-able statistics snapshot."""
+        return {
+            "operator": self.operator,
+            "engine": self.engine,
+            "samples": self.count,
+            "mape": self.mape,
+            "bias": self.bias,
+            "ewmaError": self.ewma_error,
+            "recentMape": self.recent_mape,
+        }
+
+
+#: a ledger listener: called synchronously after each recorded entry
+Listener = Callable[[LedgerEntry, PairStats], None]
+
+
+class AccuracyLedger:
+    """Append-only predicted-vs-actual ledger with rolling pair statistics.
+
+    ``path`` (optional) appends every entry as one JSON line as it is
+    recorded, so the ledger survives the process next to the trace files;
+    :meth:`load` restores entries (and rebuilds statistics) from such a
+    file.  ``enabled=False`` turns :meth:`record` into a no-op — the
+    shared :data:`NULL_LEDGER` is the default everywhere.
+    """
+
+    def __init__(self, enabled: bool = True, path: str | Path | None = None,
+                 alpha: float = 0.3, recent_window: int = 32,
+                 max_entries: int = 100_000) -> None:
+        self.enabled = enabled
+        self.path = Path(path) if path is not None else None
+        self.alpha = alpha
+        self.recent_window = recent_window
+        self.max_entries = max_entries
+        self.entries: list[LedgerEntry] = []
+        self.listeners: list[Listener] = []
+        self._stats: dict[tuple[str, str], PairStats] = {}
+
+    # -- recording -----------------------------------------------------------
+    def record(self, entry: LedgerEntry) -> PairStats | None:
+        """Append one entry, update statistics/gauges, notify listeners."""
+        if not self.enabled:
+            return None
+        self.entries.append(entry)
+        if len(self.entries) > self.max_entries:
+            # keep the newest half; stats already folded the older entries in
+            del self.entries[: len(self.entries) // 2]
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry.to_dict()) + "\n")
+        stats = self._fold(entry)
+        for listener in self.listeners:
+            listener(entry, stats)
+        return stats
+
+    def record_step(
+        self,
+        run_id: str,
+        workflow: str,
+        step: str,
+        operator: str,
+        engine: str,
+        predicted: dict[str, float],
+        actual: dict[str, float],
+        at: float,
+        index: int = 0,
+        attempt: int = 1,
+        success: bool = True,
+    ) -> PairStats | None:
+        """Convenience wrapper the enforcer calls per executed step."""
+        if not self.enabled:
+            return None
+        return self.record(LedgerEntry(
+            run_id=run_id, workflow=workflow, step=step, operator=operator,
+            engine=engine, predicted=predicted, actual=actual, at=at,
+            index=index, attempt=attempt, success=success,
+        ))
+
+    def _fold(self, entry: LedgerEntry) -> PairStats:
+        key = (entry.operator, entry.engine)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = PairStats(
+                entry.operator, entry.engine, alpha=self.alpha,
+                recent_window=self.recent_window,
+            )
+        error = entry.relative_error("execTime")
+        if error is not None and entry.success:
+            stats.observe(error)
+            _MAPE.set(stats.mape, operator=entry.operator, engine=entry.engine)
+            _BIAS.set(stats.bias, operator=entry.operator, engine=entry.engine)
+            _EWMA.set(stats.ewma_error, operator=entry.operator,
+                      engine=entry.engine)
+            _SAMPLES.set(stats.count, operator=entry.operator,
+                         engine=entry.engine)
+        return stats
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.entries)
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """Sorted (operator, engine) pairs the ledger has seen."""
+        return sorted(self._stats)
+
+    def stats_for(self, operator: str, engine: str) -> PairStats | None:
+        """Rolling statistics of one pair, or None when never recorded."""
+        return self._stats.get((operator, engine))
+
+    def entries_for(self, operator: str, engine: str) -> list[LedgerEntry]:
+        """The (bounded) retained entries of one pair, oldest first."""
+        return [e for e in self.entries
+                if e.operator == operator and e.engine == engine]
+
+    def report(self) -> dict:
+        """JSON-able accuracy report: per-pair statistics + error trends."""
+        pairs = []
+        for operator, engine in self.pairs():
+            stats = self._stats[(operator, engine)]
+            trend = [
+                {"at": e.at, "error": e.relative_error("execTime")}
+                for e in self.entries_for(operator, engine)
+                if e.relative_error("execTime") is not None
+            ]
+            pairs.append({**stats.to_dict(), "trend": trend})
+        return {
+            "enabled": self.enabled,
+            "entries": len(self.entries),
+            "pairs": pairs,
+        }
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Write every retained entry as JSONL; returns the entry count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(json.dumps(entry.to_dict()) + "\n")
+        return len(self.entries)
+
+    def load(self, path: str | Path) -> int:
+        """Append entries from a JSONL file (rebuilding statistics).
+
+        Listeners are *not* notified for loaded entries — loading is an
+        archival replay, not live execution.
+        """
+        count = 0
+        with open(path, encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"line {line_no}: invalid ledger JSON "
+                        f"(truncated file?): {exc}") from exc
+                if not isinstance(payload, dict):
+                    raise ValueError(
+                        f"line {line_no}: not a ledger entry object")
+                entry = LedgerEntry.from_dict(payload)
+                self.entries.append(entry)
+                self._fold(entry)
+                count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop every entry and statistic (tests, new sessions)."""
+        self.entries.clear()
+        self._stats.clear()
+
+
+#: shared disabled ledger — the default for un-wired components
+NULL_LEDGER = AccuracyLedger(enabled=False)

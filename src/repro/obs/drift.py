@@ -1,0 +1,182 @@
+"""Model-drift detection over the prediction-accuracy ledger.
+
+The Fig 16.b scenario of the paper — an engine's hardware changes under a
+trained model (HDD upgraded to SSD), so predictions that used to be within
+a few percent suddenly miss by a factor — is invisible without a monitor
+on the ledger's rolling error.  :class:`DriftDetector` subscribes to an
+:class:`~repro.obs.accuracy.AccuracyLedger` and raises a typed
+:class:`DriftAlarm` whenever a pair's EWMA absolute relative error crosses
+the configured threshold.  Alarms funnel into the structured log ring
+(logger ``drift``, event ``drift_alarm``) and the
+``ires_model_drift_alarms_total{operator,engine}`` counter, and can
+optionally trigger an early, windowed refit through a
+:class:`~repro.core.refinement.ModelRefiner` plus a replan hint that the
+executor consumes between steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.accuracy import AccuracyLedger, LedgerEntry, PairStats
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+
+if TYPE_CHECKING:  # no runtime import: obs sits below core in the layering
+    from repro.core.refinement import ModelRefiner
+
+_LOG = get_logger("drift")
+_ALARMS = REGISTRY.counter(
+    "ires_model_drift_alarms_total",
+    "Drift alarms raised per (operator, engine) pair",
+    labels=("operator", "engine"),
+)
+_REFITS = REGISTRY.counter(
+    "ires_model_drift_refits_total",
+    "Early refits triggered by drift alarms",
+    labels=("operator", "engine"),
+)
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One threshold crossing of a pair's EWMA prediction error."""
+
+    operator: str
+    engine: str
+    ewma_error: float    #: EWMA absolute relative error at alarm time
+    threshold: float
+    samples: int         #: pair sample count at alarm time
+    run_id: str          #: run whose step tipped the EWMA over
+    at: float            #: simulated clock of that step
+    refit_triggered: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (REST / report payloads)."""
+        return {
+            "operator": self.operator,
+            "engine": self.engine,
+            "ewmaError": self.ewma_error,
+            "threshold": self.threshold,
+            "samples": self.samples,
+            "run_id": self.run_id,
+            "at": self.at,
+            "refitTriggered": self.refit_triggered,
+        }
+
+
+#: alarm callback signature for external subscribers
+AlarmHook = Callable[[DriftAlarm], None]
+
+
+class DriftDetector:
+    """Watches ledger statistics and raises :class:`DriftAlarm` events.
+
+    Parameters
+    ----------
+    threshold:
+        EWMA absolute relative error above which a pair is drifting.
+    min_samples:
+        Ignore pairs with fewer ledger samples (EWMA is noise at n=1).
+    cooldown:
+        After alarming on a pair, skip that many further samples of the
+        same pair before it may alarm again — refits need fresh actuals
+        to pull the EWMA back down, and re-alarming on every step of a
+        known-bad pair is noise.
+    refit:
+        When True and a :class:`ModelRefiner` is attached, an alarm
+        triggers an immediate ``refit_now(operator, engine,
+        window=refit_window)``.
+    refit_window:
+        Number of newest monitoring records to train the early refit on
+        (None = all records; a window biases the model to post-drift
+        reality, which is the point).
+    replan_hint:
+        When True, an alarm also sets a hint the executor may consume
+        (:meth:`take_replan_hint`) to re-plan the remaining steps.
+    """
+
+    def __init__(self, threshold: float = 0.5, min_samples: int = 3,
+                 cooldown: int = 5, refit: bool = True,
+                 refit_window: int | None = None,
+                 replan_hint: bool = False) -> None:
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.refit = refit
+        self.refit_window = refit_window
+        self.replan_hint = replan_hint
+        self.refiner: "ModelRefiner | None" = None
+        self.alarms: list[DriftAlarm] = []
+        self.hooks: list[AlarmHook] = []
+        self._cooldown_left: dict[tuple[str, str], int] = {}
+        self._pending_replan = False
+
+    def attach(self, ledger: AccuracyLedger) -> "DriftDetector":
+        """Subscribe to a ledger; returns self for chaining."""
+        ledger.listeners.append(self.observe)
+        return self
+
+    # -- listener ------------------------------------------------------------
+    def observe(self, entry: LedgerEntry, stats: PairStats) -> None:
+        """Ledger listener: check one freshly folded entry's pair."""
+        if not entry.success:
+            return
+        key = (entry.operator, entry.engine)
+        left = self._cooldown_left.get(key, 0)
+        if left > 0:
+            self._cooldown_left[key] = left - 1
+            return
+        if stats.count < self.min_samples:
+            return
+        if stats.ewma_error <= self.threshold:
+            return
+        self._raise_alarm(entry, stats)
+
+    def _raise_alarm(self, entry: LedgerEntry, stats: PairStats) -> None:
+        refit_done = False
+        if self.refit and self.refiner is not None:
+            refit_done = bool(self.refiner.refit_now(
+                entry.operator, entry.engine, window=self.refit_window))
+            if refit_done:
+                _REFITS.inc(operator=entry.operator, engine=entry.engine)
+        alarm = DriftAlarm(
+            operator=entry.operator,
+            engine=entry.engine,
+            ewma_error=stats.ewma_error,
+            threshold=self.threshold,
+            samples=stats.count,
+            run_id=entry.run_id,
+            at=entry.at,
+            refit_triggered=refit_done,
+        )
+        self.alarms.append(alarm)
+        self._cooldown_left[(entry.operator, entry.engine)] = self.cooldown
+        if self.replan_hint:
+            self._pending_replan = True
+        _ALARMS.inc(operator=entry.operator, engine=entry.engine)
+        _LOG.warning(
+            "drift_alarm",
+            operator=entry.operator,
+            engine=entry.engine,
+            ewma_error=round(stats.ewma_error, 6),
+            threshold=self.threshold,
+            samples=stats.count,
+            refit_triggered=refit_done,
+        )
+        for hook in self.hooks:
+            hook(alarm)
+
+    # -- executor integration ------------------------------------------------
+    def take_replan_hint(self) -> bool:
+        """Consume the pending replan hint (True at most once per alarm)."""
+        if self._pending_replan:
+            self._pending_replan = False
+            return True
+        return False
+
+    def alarms_for(self, operator: str, engine: str) -> list[DriftAlarm]:
+        """Alarms of one pair, oldest first."""
+        return [a for a in self.alarms
+                if a.operator == operator and a.engine == engine]

@@ -1,0 +1,158 @@
+"""Self-contained static HTML accuracy report (no dependencies).
+
+``ires accuracy report --html out.html`` renders the ledger's per-pair
+error statistics as one portable HTML file: a summary table plus an inline
+SVG trend chart per (operator, engine) pair showing the signed relative
+error of every retained entry over simulated time.  Everything is inlined
+(styles, SVG) so the file can be attached to a ticket or CI artifact and
+opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from repro.obs.accuracy import AccuracyLedger
+
+#: chart geometry (viewBox units)
+_W = 640
+_H = 160
+_PAD = 28
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { text-align: left; padding: .35rem .6rem;
+         border-bottom: 1px solid #ddd; }
+th { background: #f4f4f8; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bad { color: #c0392b; font-weight: 600; }
+.meta { color: #666; font-size: .8rem; }
+svg { background: #fbfbfd; border: 1px solid #e2e2ea; border-radius: 4px; }
+"""
+
+
+def _polyline(points: list[tuple[float, float]]) -> str:
+    return " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+
+
+def _trend_svg(trend: list[dict], threshold: float | None = None) -> str:
+    """An inline SVG of signed relative error over simulated time."""
+    errors = [float(p["error"]) for p in trend]
+    ats = [float(p["at"]) for p in trend]
+    if not errors:
+        return "<p class='meta'>no samples</p>"
+    lo = min(min(errors), -0.1)
+    hi = max(max(errors), 0.1)
+    if threshold is not None:
+        hi = max(hi, threshold * 1.1)
+        lo = min(lo, -threshold * 1.1)
+    span_y = hi - lo or 1.0
+    t0, t1 = min(ats), max(ats)
+    span_t = (t1 - t0) or 1.0
+
+    def sx(at: float) -> float:
+        return _PAD + (at - t0) / span_t * (_W - 2 * _PAD)
+
+    def sy(err: float) -> float:
+        return _H - _PAD - (err - lo) / span_y * (_H - 2 * _PAD)
+
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" width="{_W}" height="{_H}" '
+        'role="img" xmlns="http://www.w3.org/2000/svg">'
+    ]
+    # zero line + axis labels
+    zero_y = sy(0.0)
+    parts.append(
+        f'<line x1="{_PAD}" y1="{zero_y:.1f}" x2="{_W - _PAD}" '
+        f'y2="{zero_y:.1f}" stroke="#999" stroke-dasharray="3,3"/>')
+    parts.append(
+        f'<text x="{_W - _PAD + 2}" y="{zero_y + 3:.1f}" font-size="9" '
+        'fill="#666">0</text>')
+    if threshold is not None:
+        for sign in (1.0, -1.0):
+            ty = sy(sign * threshold)
+            parts.append(
+                f'<line x1="{_PAD}" y1="{ty:.1f}" x2="{_W - _PAD}" '
+                f'y2="{ty:.1f}" stroke="#c0392b" stroke-opacity=".5" '
+                'stroke-dasharray="5,4"/>')
+        parts.append(
+            f'<text x="{_W - _PAD + 2}" y="{sy(threshold) + 3:.1f}" '
+            f'font-size="9" fill="#c0392b">±{threshold:g}</text>')
+    pts = [(sx(a), sy(e)) for a, e in zip(ats, errors)]
+    if len(pts) > 1:
+        parts.append(
+            f'<polyline points="{_polyline(pts)}" fill="none" '
+            'stroke="#2d6cdf" stroke-width="1.5"/>')
+    for x, y in pts:
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.2" '
+                     'fill="#2d6cdf"/>')
+    parts.append(
+        f'<text x="{_PAD}" y="{_H - 6}" font-size="9" fill="#666">'
+        f'sim t={t0:g}s</text>')
+    parts.append(
+        f'<text x="{_W - _PAD}" y="{_H - 6}" font-size="9" fill="#666" '
+        f'text-anchor="end">t={t1:g}s</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(ledger: AccuracyLedger, title: str = "IReS accuracy report",
+                threshold: float | None = None) -> str:
+    """The full self-contained HTML document for a ledger."""
+    report = ledger.report()
+    rows: list[str] = []
+    sections: list[str] = []
+    for pair in report["pairs"]:
+        key = f"{pair['operator']} @ {pair['engine']}"
+        bad = threshold is not None and pair["ewmaError"] > threshold
+        cls = ' class="bad"' if bad else ""
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(pair['operator'])}</td>"
+            f"<td>{html.escape(pair['engine'])}</td>"
+            f"<td class='num'>{pair['samples']}</td>"
+            f"<td class='num'>{pair['mape']:.3f}</td>"
+            f"<td class='num'>{pair['bias']:+.3f}</td>"
+            f"<td class='num'{cls}>{pair['ewmaError']:.3f}</td>"
+            f"<td class='num'>{pair['recentMape']:.3f}</td>"
+            "</tr>"
+        )
+        sections.append(
+            f"<h2>{html.escape(key)}</h2>"
+            + _trend_svg(pair["trend"], threshold=threshold)
+        )
+    table = (
+        "<table><thead><tr><th>operator</th><th>engine</th>"
+        "<th class='num'>samples</th><th class='num'>MAPE</th>"
+        "<th class='num'>bias</th><th class='num'>EWMA</th>"
+        "<th class='num'>recent MAPE</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+        if rows else "<p class='meta'>ledger is empty</p>"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='meta'>{report['entries']} ledger entries, "
+        f"{len(report['pairs'])} (operator, engine) pairs. "
+        "Signed relative error = (predicted − actual) / actual; "
+        "positive means over-prediction.</p>"
+        + table
+        + "".join(sections)
+        + "<script type='application/json' id='accuracy-data'>"
+        + json.dumps(report)
+        + "</script></body></html>"
+    )
+
+
+def write_html(ledger: AccuracyLedger, path: str,
+               title: str = "IReS accuracy report",
+               threshold: float | None = None) -> None:
+    """Render and write the report to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(ledger, title=title, threshold=threshold))

@@ -35,6 +35,138 @@ def _escape(value: object) -> str:
     )
 
 
+def _escape_help(value: str) -> str:
+    """Escape HELP text (the spec escapes only backslash and line feed)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(value: str) -> str:
+    """Invert :func:`_escape_help` (single pass, backslash-aware)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _unescape_label(value: str) -> str:
+    """Invert :func:`_escape` (backslash-aware, single pass)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:  # unknown escape: the spec says keep it verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, line_no: int) -> dict[str, str]:
+    """Parse a ``{name="value",...}`` label block, escape-aware."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        if text[i] in ", ":
+            i += 1
+            continue
+        eq = text.find("=", i)
+        if eq < 0:
+            raise ValueError(f"line {line_no}: malformed label block")
+        name = text[i:eq].strip()
+        if eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ValueError(f"line {line_no}: label value must be quoted")
+        j = eq + 2
+        raw: list[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"line {line_no}: unterminated label value")
+        labels[name] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text exposition back into structured samples.
+
+    Returns ``{"samples": [(name, labels, value), ...], "help": {...},
+    "type": {...}}`` with label values fully unescaped — the inverse of
+    :meth:`MetricsRegistry.render`, used by the round-trip tests and any
+    scraping consumer that wants structured data without a client library.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            helps[name] = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"line {line_no}: unbalanced label braces")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close], line_no)
+            value_text = line[close + 1:].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+        value_text = value_text.strip()
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples.append((name, labels, value))
+    return {"samples": samples, "help": helps, "type": types}
+
+
 def _fmt(value: float) -> str:
     """Render a sample value (Prometheus spells infinities +Inf/-Inf)."""
     if value == math.inf:
@@ -234,7 +366,8 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             metric.render_into(lines)
         return "\n".join(lines) + "\n"

@@ -345,27 +345,58 @@ def spans_to_chrome(spans: list[dict]) -> dict:
 
 
 # -- loading + summarizing ---------------------------------------------------
+#: keys every loaded span must carry for the analysis functions to work
+REQUIRED_SPAN_KEYS = ("name", "start_wall", "end_wall", "start_sim", "end_sim")
+
+
+def _check_span(span: object, where: str) -> dict:
+    """Validate one loaded span dict; raise ValueError with its location."""
+    if not isinstance(span, dict):
+        raise ValueError(f"{where}: not a span object "
+                         f"(got {type(span).__name__})")
+    missing = [k for k in REQUIRED_SPAN_KEYS if k not in span]
+    if missing:
+        raise ValueError(
+            f"{where}: span is missing {', '.join(missing)} "
+            "(empty or truncated trace file?)")
+    return span
+
+
 def load_trace(path: str | Path) -> list[dict]:
     """Load span dicts from a JSONL or Chrome trace-event file.
 
     Both formats start with ``{``, so the discriminator is whether the
     whole file parses as one JSON object carrying ``traceEvents``.
+    Raises :class:`ValueError` naming the offending line when the file is
+    empty, truncated, or carries non-span JSON — callers (``ires trace
+    summarize``) turn that into a one-line error instead of a traceback.
     """
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
+    if not text.strip():
+        raise ValueError("trace file is empty")
     try:
         payload = json.loads(text)
     except json.JSONDecodeError:
         payload = None
     if isinstance(payload, dict):
         if "traceEvents" in payload:
-            return _spans_from_chrome(payload["traceEvents"])
-        return [payload]  # a single-span JSONL file
+            return [_check_span(s, f"trace event {i}")
+                    for i, s in enumerate(
+                        _spans_from_chrome(payload["traceEvents"]))]
+        return [_check_span(payload, "line 1")]  # a single-span JSONL file
     spans = []
-    for line in text.splitlines():
+    for line_no, line in enumerate(text.splitlines(), 1):
         line = line.strip()
-        if line:
-            spans.append(json.loads(line))
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {line_no}: invalid JSON (truncated trace file?): "
+                f"{exc}") from exc
+        spans.append(_check_span(parsed, f"line {line_no}"))
     return spans
 
 

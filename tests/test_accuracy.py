@@ -1,0 +1,359 @@
+"""Tests for the prediction-accuracy ledger and the drift detector."""
+
+import json
+
+import pytest
+
+from repro.core import IReS
+from repro.engines.profiles import Infrastructure, Workload
+from repro.obs import REGISTRY, recent_logs
+from repro.obs.accuracy import NULL_LEDGER, AccuracyLedger, LedgerEntry, PairStats
+from repro.obs.drift import DriftDetector
+from repro.obs.logging import clear as clear_logs
+from repro.scenarios import (
+    BYTES_PER_EDGE,
+    PAGERANK_ITERATIONS,
+    setup_graph_analytics,
+    setup_helloworld,
+)
+
+
+def _entry(pred, actual, operator="pagerank", engine="Spark", **kw):
+    fields = dict(
+        run_id="r1", workflow="wf", step="pagerank_spark",
+        operator=operator, engine=engine,
+        predicted={"execTime": pred}, actual={"execTime": actual}, at=0.0,
+    )
+    fields.update(kw)
+    return LedgerEntry(**fields)
+
+
+class TestLedgerEntry:
+    def test_relative_error_is_signed(self):
+        assert _entry(12.0, 10.0).relative_error() == pytest.approx(0.2)
+        assert _entry(8.0, 10.0).relative_error() == pytest.approx(-0.2)
+
+    def test_relative_error_missing_metric(self):
+        entry = _entry(1.0, 1.0)
+        assert entry.relative_error("cost") is None
+        entry.actual = {}
+        assert entry.relative_error() is None
+
+    def test_zero_actual_stays_finite(self):
+        err = _entry(1.0, 0.0).relative_error()
+        assert err is not None and err > 0
+
+    def test_dict_roundtrip(self):
+        entry = _entry(3.0, 4.0, index=2, attempt=3, success=False)
+        clone = LedgerEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry
+
+
+class TestPairStats:
+    def test_mape_bias_count(self):
+        stats = PairStats("op", "E")
+        for err in (0.2, -0.4):
+            stats.observe(err)
+        assert stats.count == 2
+        assert stats.mape == pytest.approx(0.3)
+        assert stats.bias == pytest.approx(-0.1)
+
+    def test_ewma_folds_absolute_error(self):
+        stats = PairStats("op", "E", alpha=0.5)
+        stats.observe(0.4)
+        assert stats.ewma_error == pytest.approx(0.4)
+        stats.observe(-0.2)
+        assert stats.ewma_error == pytest.approx(0.5 * 0.2 + 0.5 * 0.4)
+
+    def test_recent_mape_windows(self):
+        stats = PairStats("op", "E", recent_window=2)
+        for err in (0.9, 0.1, 0.3):
+            stats.observe(err)
+        assert stats.recent_mape == pytest.approx(0.2)
+        assert stats.mape == pytest.approx((0.9 + 0.1 + 0.3) / 3)
+
+    def test_empty_stats_are_zero(self):
+        stats = PairStats("op", "E")
+        assert stats.mape == 0.0
+        assert stats.bias == 0.0
+        assert stats.ewma_error == 0.0
+        assert stats.recent_mape == 0.0
+
+
+class TestAccuracyLedger:
+    def test_record_updates_stats_and_gauges(self):
+        REGISTRY.reset()
+        ledger = AccuracyLedger()
+        ledger.record(_entry(12.0, 10.0))
+        ledger.record(_entry(9.0, 10.0))
+        stats = ledger.stats_for("pagerank", "Spark")
+        assert stats is not None and stats.count == 2
+        assert stats.mape == pytest.approx(0.15)
+        mape = REGISTRY.get("ires_accuracy_mape")
+        assert mape.value(operator="pagerank", engine="Spark") == \
+            pytest.approx(0.15)
+        samples = REGISTRY.get("ires_accuracy_samples")
+        assert samples.value(operator="pagerank", engine="Spark") == 2
+
+    def test_disabled_ledger_is_a_noop(self):
+        assert NULL_LEDGER.record(_entry(1.0, 2.0)) is None
+        assert len(NULL_LEDGER) == 0
+        assert NULL_LEDGER.record_step(
+            run_id="r", workflow="w", step="s", operator="o", engine="e",
+            predicted={}, actual={}, at=0.0) is None
+
+    def test_failures_kept_but_not_folded(self):
+        ledger = AccuracyLedger()
+        ledger.record(_entry(50.0, 1.0, success=False))
+        assert len(ledger) == 1
+        stats = ledger.stats_for("pagerank", "Spark")
+        assert stats is not None and stats.count == 0
+
+    def test_listeners_see_entry_and_stats(self):
+        ledger = AccuracyLedger()
+        seen = []
+        ledger.listeners.append(lambda e, s: seen.append((e, s)))
+        entry = _entry(2.0, 1.0)
+        ledger.record(entry)
+        assert seen and seen[0][0] is entry
+        assert seen[0][1].count == 1
+
+    def test_jsonl_path_appends(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AccuracyLedger(path=path)
+        ledger.record(_entry(1.0, 1.0))
+        ledger.record(_entry(2.0, 1.0))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["predicted"]["execTime"] == 2.0
+
+    def test_save_load_roundtrip_rebuilds_stats(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AccuracyLedger()
+        ledger.record(_entry(12.0, 10.0))
+        ledger.record(_entry(9.0, 10.0, operator="move", engine="move"))
+        assert ledger.save(path) == 2
+        loaded = AccuracyLedger()
+        assert loaded.load(path) == 2
+        assert loaded.entries == ledger.entries
+        assert loaded.pairs() == [("move", "move"), ("pagerank", "Spark")]
+        assert loaded.stats_for("pagerank", "Spark").mape == \
+            pytest.approx(0.2)
+
+    def test_load_does_not_notify_listeners(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        AccuracyLedger(path=path).record(_entry(1.0, 1.0))
+        loaded = AccuracyLedger()
+        seen = []
+        loaded.listeners.append(lambda e, s: seen.append(e))
+        loaded.load(path)
+        assert seen == []
+
+    def test_load_bad_json_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_entry(1.0, 1.0).to_dict())
+                        + "\n{truncat")
+        with pytest.raises(ValueError, match="line 2"):
+            AccuracyLedger().load(path)
+
+    def test_load_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="line 1"):
+            AccuracyLedger().load(path)
+
+    def test_report_shape_and_trend(self):
+        ledger = AccuracyLedger()
+        ledger.record(_entry(12.0, 10.0, at=5.0))
+        ledger.record(_entry(11.0, 10.0, at=9.0))
+        report = ledger.report()
+        assert report["enabled"] and report["entries"] == 2
+        (pair,) = report["pairs"]
+        assert pair["operator"] == "pagerank"
+        assert [p["at"] for p in pair["trend"]] == [5.0, 9.0]
+        assert pair["trend"][0]["error"] == pytest.approx(0.2)
+
+    def test_max_entries_trims_but_keeps_stats(self):
+        ledger = AccuracyLedger(max_entries=4)
+        for i in range(5):
+            ledger.record(_entry(float(i + 2), 1.0))
+        assert len(ledger) < 5
+        assert ledger.stats_for("pagerank", "Spark").count == 5
+
+    def test_clear_drops_everything(self):
+        ledger = AccuracyLedger()
+        ledger.record(_entry(1.0, 1.0))
+        ledger.clear()
+        assert len(ledger) == 0
+        assert ledger.pairs() == []
+
+
+class TestDriftDetector:
+    def _wired(self, **kw):
+        ledger = AccuracyLedger(alpha=1.0)  # EWMA == newest |error|
+        detector = DriftDetector(**kw).attach(ledger)
+        return ledger, detector
+
+    def test_no_alarm_below_min_samples(self):
+        ledger, detector = self._wired(threshold=0.5, min_samples=2)
+        ledger.record(_entry(10.0, 1.0))
+        assert detector.alarms == []
+
+    def test_alarm_on_threshold_crossing(self):
+        clear_logs()
+        REGISTRY.reset()
+        ledger, detector = self._wired(threshold=0.5, min_samples=2)
+        ledger.record(_entry(1.05, 1.0))
+        ledger.record(_entry(1.9, 1.0))
+        (alarm,) = detector.alarms
+        assert alarm.operator == "pagerank" and alarm.engine == "Spark"
+        assert alarm.ewma_error > 0.5 and alarm.threshold == 0.5
+        assert alarm.samples == 2 and not alarm.refit_triggered
+        counter = REGISTRY.get("ires_model_drift_alarms_total")
+        assert counter.value(operator="pagerank", engine="Spark") == 1
+        lines = [ln for ln in recent_logs(logger="drift")
+                 if ln["event"] == "drift_alarm"]
+        assert lines and lines[0]["operator"] == "pagerank"
+        assert lines[0]["level"] == "warning"
+
+    def test_cooldown_suppresses_then_rearms(self):
+        ledger, detector = self._wired(
+            threshold=0.5, min_samples=1, cooldown=2)
+        for _ in range(4):
+            ledger.record(_entry(2.0, 1.0))
+        # alarm on #1, cooldown eats #2 and #3, alarm again on #4
+        assert len(detector.alarms) == 2
+
+    def test_failed_steps_do_not_alarm(self):
+        ledger, detector = self._wired(threshold=0.1, min_samples=1)
+        ledger.record(_entry(5.0, 1.0, success=False))
+        assert detector.alarms == []
+
+    def test_replan_hint_consumed_once(self):
+        ledger, detector = self._wired(
+            threshold=0.1, min_samples=1, replan_hint=True)
+        assert not detector.take_replan_hint()
+        ledger.record(_entry(2.0, 1.0))
+        assert detector.take_replan_hint()
+        assert not detector.take_replan_hint()
+
+    def test_alarm_triggers_windowed_refit(self):
+        REGISTRY.reset()
+
+        class FakeRefiner:
+            def __init__(self):
+                self.calls = []
+
+            def refit_now(self, algorithm, engine, window=None):
+                self.calls.append((algorithm, engine, window))
+                return True
+
+        ledger, detector = self._wired(
+            threshold=0.1, min_samples=1, refit_window=8)
+        refiner = FakeRefiner()
+        detector.refiner = refiner
+        ledger.record(_entry(2.0, 1.0))
+        assert refiner.calls == [("pagerank", "Spark", 8)]
+        assert detector.alarms[0].refit_triggered
+        refits = REGISTRY.get("ires_model_drift_refits_total")
+        assert refits.value(operator="pagerank", engine="Spark") == 1
+
+    def test_hooks_and_alarms_for(self):
+        ledger, detector = self._wired(threshold=0.1, min_samples=1,
+                                       cooldown=0)
+        got = []
+        detector.hooks.append(got.append)
+        ledger.record(_entry(2.0, 1.0))
+        ledger.record(_entry(3.0, 1.0, operator="kmeans", engine="scikit"))
+        assert len(got) == 2
+        assert len(detector.alarms_for("pagerank", "Spark")) == 1
+        assert detector.alarms_for("kmeans", "scikit")[0].to_dict()[
+            "ewmaError"] == pytest.approx(2.0)
+
+
+class TestExecutorWiring:
+    def test_enforcer_records_predictions_vs_actuals(self):
+        ledger = AccuracyLedger()
+        ires = IReS(ledger=ledger)
+        make = setup_helloworld(ires)
+        report = ires.execute(make())
+        assert report.succeeded
+        assert len(ledger) == len(report.executions)
+        for entry in ledger:
+            assert entry.run_id == report.run_id
+            assert entry.predicted.get("execTime", 0.0) > 0.0
+            assert entry.actual["execTime"] > 0.0
+            # oracle predictions differ from actuals only by engine noise
+            assert abs(entry.relative_error()) < 0.3
+        non_moves = [e for e in ledger if e.engine != "move"]
+        assert non_moves and all(e.actual["cost"] > 0 for e in non_moves)
+
+    def test_drift_alarm_can_force_a_replan(self):
+        ledger = AccuracyLedger()
+        drift = DriftDetector(threshold=1e-9, min_samples=1, cooldown=0,
+                              refit=False, replan_hint=True)
+        ires = IReS(ledger=ledger, drift=drift)
+        make = setup_helloworld(ires)
+        report = ires.execute(make())
+        assert report.succeeded
+        assert drift.alarms
+        assert report.replans >= 1
+
+
+class TestDriftEndToEnd:
+    """ISSUE acceptance: drift -> rising MAPE -> alarm -> refit -> recovery.
+
+    pagerank@Spark is bootstrapped from direct profiling runs, the platform
+    then executes against the trained model, the Spark infrastructure
+    silently degrades 4x (the inverse Fig 16.b experiment), and the drift
+    detector's windowed refits must pull prediction error back under the
+    alarm threshold.
+    """
+
+    def test_drift_alarm_refit_recovers_accuracy(self):
+        clear_logs()
+        REGISTRY.reset()
+        ledger = AccuracyLedger(alpha=0.5, recent_window=6)
+        drift = DriftDetector(threshold=0.35, min_samples=3, cooldown=2,
+                              refit_window=6)
+        # refit_every high: only drift alarms may retrain mid-stream
+        ires = IReS(estimator="models", refit_every=1000,
+                    ledger=ledger, drift=drift)
+        make = setup_graph_analytics(ires)
+        spark = ires.cloud.engines["Spark"]
+        counts = (2e4, 5e4, 1e5, 2e5)
+
+        # offline profiling: bootstrap the pagerank@Spark model (the other
+        # engines stay model-less, so ModelBackedEstimator pins the plan)
+        for n in (1e4, *counts, 5e5):
+            spark.execute("pagerank", Workload.of_count(
+                n, BYTES_PER_EDGE, iterations=PAGERANK_ITERATIONS))
+        assert ires.modeler.train("pagerank", "Spark") is not None
+
+        # healthy phase: predictions track actuals
+        for n in counts[:3]:
+            assert ires.execute(make(n)).succeeded
+        healthy = ledger.stats_for("pagerank", "Spark")
+        assert healthy is not None and healthy.ewma_error < drift.threshold
+        assert drift.alarms == []
+
+        # the infrastructure degrades under the trained model
+        spark.infra = Infrastructure(io_factor=4.0, cpu_factor=4.0)
+        for i in range(9):
+            assert ires.execute(make(counts[i % len(counts)])).succeeded
+        assert drift.alarms_for("pagerank", "Spark"), "no drift alarm raised"
+        first = drift.alarms[0]
+        assert first.ewma_error > drift.threshold
+        counter = REGISTRY.get("ires_model_drift_alarms_total")
+        assert counter.value(operator="pagerank", engine="Spark") >= 1
+        events = [ln for ln in recent_logs(logger="drift")
+                  if ln["event"] == "drift_alarm"]
+        assert events and events[0]["engine"] == "Spark"
+        assert ires.refiner.refits >= 1, "alarm did not trigger a refit"
+
+        # recovery phase: the windowed refits learned post-drift reality
+        for i in range(6):
+            assert ires.execute(make(counts[i % len(counts)])).succeeded
+        stats = ledger.stats_for("pagerank", "Spark")
+        assert stats.ewma_error < drift.threshold, stats.to_dict()
+        assert stats.recent_mape < drift.threshold, stats.to_dict()

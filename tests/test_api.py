@@ -288,3 +288,83 @@ class TestLint:
 
     def test_lint_requires_post(self, server):
         assert server.handle("GET", "/lint").status == 405
+
+
+class TestAccuracyEndpoint:
+    @pytest.fixture
+    def obs_server(self):
+        from repro.obs.accuracy import AccuracyLedger
+        from repro.obs.drift import DriftDetector
+
+        ires = IReS(ledger=AccuracyLedger(),
+                    drift=DriftDetector(threshold=1e-9, min_samples=1,
+                                        cooldown=0, refit=False),
+                    record_provenance=True)
+        setup_text_analytics(ires)
+        srv = IResServer(ires)
+        assert srv.handle("POST", "/datasets/webContent", {"properties": {
+            "Constraints.Engine.FS": "*",
+            "Constraints.type": "text",
+            "Optimization.count": 25_000,
+            "Optimization.size": 25_000_000,
+        }}).status == 201
+        assert srv.handle("POST", "/abstractWorkflows/text", {
+            "graph": ["webContent,tf_idf,0", "tf_idf,v,0",
+                      "v,kmeans,0", "kmeans,c,0", "c,$$target"],
+        }).status == 201
+        return srv
+
+    def test_disabled_ledger_404(self, server):
+        response = server.handle("GET", "/accuracy")
+        assert response.status == 404
+        assert "accuracy ledger disabled" in response.body["error"]
+
+    def test_rejects_post(self, obs_server):
+        assert obs_server.handle("POST", "/accuracy").status == 405
+
+    def test_report_after_execution(self, obs_server):
+        assert obs_server.handle(
+            "POST", "/abstractWorkflows/text/execute").status == 200
+        response = obs_server.handle("GET", "/accuracy")
+        assert response.status == 200
+        assert response.body["entries"] > 0
+        pairs = {(p["operator"], p["engine"]): p
+                 for p in response.body["pairs"]}
+        assert any(op == "TF_IDF" for op, _ in pairs)
+        for pair in pairs.values():
+            assert pair["samples"] >= 1 and pair["mape"] >= 0.0
+        # threshold 1e-9 with cooldown 0: every step raised a drift alarm
+        assert len(response.body["alarms"]) > 0
+        assert response.body["alarms"][0]["ewmaError"] > 0.0
+        assert json.loads(response.json())
+
+
+class TestExplainEndpoint:
+    def test_runs_listing_empty_without_provenance(self, server):
+        server.handle("POST", "/abstractWorkflows/text/execute")
+        response = server.handle("GET", "/explain")
+        assert response.status == 200
+        assert response.body == {"runs": []}
+
+    def test_explain_report_for_run(self, server):
+        server.ires.planner.record_provenance = True
+        report = server.handle(
+            "POST", "/abstractWorkflows/text/execute").body["report"]
+        run_id = report["runId"]
+        listing = server.handle("GET", "/explain")
+        assert run_id in listing.body["runs"]
+        response = server.handle("GET", f"/explain/{run_id}")
+        assert response.status == 200
+        assert response.body["run_id"] == run_id
+        (plan,) = response.body["plans"]
+        chosen = [s["chosen"] for s in plan["steps"] if s["chosen"]]
+        assert chosen and all(c["chosen"] is True for c in chosen)
+        assert json.loads(response.json())
+
+    def test_unknown_run_404(self, server):
+        response = server.handle("GET", "/explain/nope")
+        assert response.status == 404
+        assert "no provenance" in response.body["error"]
+
+    def test_rejects_post(self, server):
+        assert server.handle("POST", "/explain").status == 405

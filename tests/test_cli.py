@@ -216,3 +216,147 @@ def test_lint_strict_flag(library_dir, capsys):
 def test_lint_unknown_workflow_exits(library_dir):
     with pytest.raises(SystemExit):
         main(["lint", library_dir, "--workflow", "NoSuchWorkflow"])
+
+
+def test_trace_summarize_empty_file_one_line_error(tmp_path, capsys):
+    trace_path = tmp_path / "empty.json"
+    trace_path.write_text("")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "summarize", str(trace_path)])
+    message = str(excinfo.value)
+    assert "cannot load trace" in message and "empty" in message
+    assert "\n" not in message  # a single line, not a traceback dump
+
+
+def test_trace_summarize_truncated_file_one_line_error(
+        library_dir, tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.export_jsonl(trace_path)
+    trace_path.write_text(trace_path.read_text() + '{"name": "b", "start')
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "summarize", str(trace_path)])
+    message = str(excinfo.value)
+    assert "cannot load trace" in message
+    assert "line 2" in message and "truncated" in message
+    assert "\n" not in message
+
+
+@pytest.fixture
+def ledger_file(library_dir, tmp_path, capsys):
+    """A ledger JSONL written by ``ires execute --ledger``."""
+    path = tmp_path / "ledger.jsonl"
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--ledger", str(path)]) == 0
+    capsys.readouterr()
+    return str(path)
+
+
+def test_execute_with_ledger(library_dir, tmp_path, capsys):
+    import json
+
+    path = tmp_path / "ledger.jsonl"
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--ledger", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"ledger: 1 entries -> {path}" in out
+    assert "driftAlarms=0" in out
+    (line,) = path.read_text().splitlines()
+    entry = json.loads(line)
+    assert entry["operator"] == "LineCount"
+    assert entry["predicted"]["execTime"] > 0
+    assert entry["actual"]["execTime"] > 0
+
+
+def test_accuracy_report_text(ledger_file, capsys):
+    assert main(["accuracy", "report", ledger_file]) == 0
+    out = capsys.readouterr().out
+    assert "1 ledger entries" in out
+    assert "MAPE" in out and "LineCount" in out
+
+
+def test_accuracy_report_json(ledger_file, capsys):
+    import json
+
+    assert main(["accuracy", "report", ledger_file,
+                 "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["enabled"] is True and report["entries"] == 1
+    (pair,) = report["pairs"]
+    assert pair["operator"] == "LineCount" and pair["samples"] == 1
+    assert pair["trend"]
+
+
+def test_accuracy_report_html(ledger_file, tmp_path, capsys):
+    html_path = tmp_path / "report.html"
+    assert main(["accuracy", "report", ledger_file,
+                 "--html", str(html_path)]) == 0
+    assert f"wrote {html_path}" in capsys.readouterr().out
+    html = html_path.read_text()
+    assert "<svg" in html and "LineCount" in html
+
+
+def test_accuracy_report_missing_ledger_exits(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["accuracy", "report", str(tmp_path / "nope.jsonl")])
+    assert "cannot load ledger" in str(excinfo.value)
+
+
+def test_accuracy_report_corrupt_ledger_exits(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"run_id": "r", "workflow":\n')
+    with pytest.raises(SystemExit) as excinfo:
+        main(["accuracy", "report", str(path)])
+    message = str(excinfo.value)
+    assert "cannot load ledger" in message and "line 1" in message
+
+
+def test_explain_text(library_dir, capsys):
+    assert main(["explain", library_dir, "CountWorkflow"]) == 0
+    out = capsys.readouterr().out
+    assert "workflow CountWorkflow" in out
+    assert "chosen" in out and "rejected" in out
+    assert "count_spark" in out and "count_python" in out
+
+
+def test_explain_json(library_dir, capsys):
+    import json
+
+    assert main(["explain", library_dir, "CountWorkflow",
+                 "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["workflow"] == "CountWorkflow"
+    steps = [s for s in report["steps"] if s["abstract"] == "LineCount"]
+    assert steps and steps[0]["chosen"]["chosen"] is True
+    best = steps[0]["bestRejected"]
+    assert best is not None
+    assert steps[0]["costDelta"] == pytest.approx(
+        best["totalCost"] - steps[0]["chosen"]["totalCost"])
+
+
+def test_explain_with_ledger_annotation(library_dir, ledger_file, capsys):
+    import json
+
+    assert main(["explain", library_dir, "CountWorkflow",
+                 "--format", "json", "--ledger", ledger_file]) == 0
+    report = json.loads(capsys.readouterr().out)
+    (step,) = [s for s in report["steps"] if s["abstract"] == "LineCount"]
+    error = step["chosen"]["modelError"]
+    assert error is not None and error["samples"] == 1
+
+
+def test_explain_bad_ledger_exits(library_dir, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explain", library_dir, "CountWorkflow", "--ledger", str(path)])
+    assert "cannot load ledger" in str(excinfo.value)
+
+
+def test_explain_unknown_workflow_exits(library_dir):
+    with pytest.raises(SystemExit):
+        main(["explain", library_dir, "NoSuchWorkflow"])

@@ -1,0 +1,312 @@
+"""Tests for plan provenance and the explain report (``ires explain``)."""
+
+import pytest
+
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    IReS,
+    MaterializedOperator,
+    Planner,
+)
+from repro.core.planner import MetadataCostEstimator, PlanningError
+from repro.core.provenance import (
+    REASON_COST_INFEASIBLE,
+    REASON_INPUT_UNPRODUCIBLE,
+    REASON_NO_COMPATIBLE_INPUT,
+    CandidateRecord,
+    PlanProvenance,
+)
+from repro.obs.accuracy import AccuracyLedger, LedgerEntry
+from repro.scenarios import setup_helloworld
+from repro.workflows import generate, synthetic_library
+
+
+def _record(operator, engine, total, abstract="count", feasible=True,
+            chosen=False, reason=""):
+    return CandidateRecord(
+        abstract=abstract, operator=operator, algorithm="LineCount",
+        engine=engine, feasible=feasible, reason=reason,
+        operator_cost=total, total_cost=total,
+        predicted={"execTime": total}, chosen=chosen,
+    )
+
+
+class TestCandidateRecord:
+    def test_feasible_payload(self):
+        payload = _record("count_spark", "Spark", 6.0, chosen=True).to_dict()
+        assert payload["chosen"] is True
+        assert payload["totalCost"] == 6.0
+        assert payload["predicted"] == {"execTime": 6.0}
+        assert "reason" not in payload
+
+    def test_infeasible_payload(self):
+        payload = _record("count_hama", "Hama", 0.0, feasible=False,
+                          reason=REASON_COST_INFEASIBLE).to_dict()
+        assert payload["reason"] == REASON_COST_INFEASIBLE
+        assert "totalCost" not in payload and "chosen" not in payload
+
+
+class TestPlanProvenanceExplain:
+    def _provenance(self):
+        prov = PlanProvenance("wf")
+        prov.note(_record("count_spark", "Spark", 6.0, chosen=True))
+        prov.note(_record("count_python", "Python", 12.0))
+        prov.note(_record("count_hadoop", "Hadoop", 9.0))
+        prov.note(_record("count_hama", "Hama", 0.0, feasible=False,
+                          reason=REASON_COST_INFEASIBLE))
+        prov.plan_cost = 6.0
+        return prov
+
+    def test_alternatives_sorted_and_delta(self):
+        report = self._provenance().explain()
+        assert report["workflow"] == "wf"
+        assert report["planCost"] == 6.0
+        (step,) = report["steps"]
+        assert step["chosen"]["operator"] == "count_spark"
+        assert [a["operator"] for a in step["alternatives"]] == \
+            ["count_hadoop", "count_python"]
+        assert step["bestRejected"]["operator"] == "count_hadoop"
+        assert step["bestRejected"]["engine"] == "Hadoop"
+        assert step["costDelta"] == pytest.approx(3.0)
+        assert step["alternatives"][1]["deltaVsChosen"] == pytest.approx(6.0)
+        assert step["infeasible"] == [
+            {"operator": "count_hama", "engine": "Hama",
+             "reason": REASON_COST_INFEASIBLE}]
+
+    def test_no_feasible_candidate(self):
+        prov = PlanProvenance("wf")
+        prov.note(_record("count_hama", "Hama", 0.0, feasible=False,
+                          reason=REASON_INPUT_UNPRODUCIBLE))
+        (step,) = prov.explain()["steps"]
+        assert step["chosen"] is None
+        assert step["bestRejected"] is None and step["costDelta"] is None
+
+    def test_ledger_annotates_model_error(self):
+        ledger = AccuracyLedger()
+        ledger.record(LedgerEntry(
+            run_id="r", workflow="wf", step="count_spark",
+            operator="LineCount", engine="Spark",
+            predicted={"execTime": 6.0}, actual={"execTime": 5.0}, at=0.0))
+        report = self._provenance().explain(ledger=ledger)
+        (step,) = report["steps"]
+        err = step["chosen"]["modelError"]
+        assert err["samples"] == 1
+        assert err["mape"] == pytest.approx(0.2)
+        # no ledger data for the Hadoop/Python models
+        assert step["bestRejected"]["modelError"] is None
+
+    def test_without_ledger_model_error_is_none(self):
+        (step,) = self._provenance().explain()["steps"]
+        assert step["chosen"]["modelError"] is None
+
+
+def _two_impl_workflow():
+    """One abstract count op with a cheap and an expensive implementation."""
+    wf = AbstractWorkflow("count-wf")
+    wf.add_dataset(Dataset("logs", {
+        "Constraints.Engine.FS": "HDFS",
+        "Constraints.type": "text",
+        "Optimization.size": 1e6,
+    }, materialized=True))
+    wf.add_dataset(Dataset("result"))
+    wf.add_operator(AbstractOperator("count", {
+        "Constraints.OpSpecification.Algorithm.name": "LineCount",
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+    }))
+    wf.connect("logs", "count")
+    wf.connect("count", "result")
+    wf.set_target("result")
+    return wf
+
+
+def _impl(name, engine, exec_time):
+    return MaterializedOperator(name, {
+        "Constraints.OpSpecification.Algorithm.name": "LineCount",
+        "Constraints.Engine": engine,
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+        "Constraints.Input0.Engine.FS": "HDFS",
+        "Constraints.Input0.type": "text",
+        "Constraints.Output0.Engine.FS": "HDFS",
+        "Constraints.Output0.type": "counts",
+        "Optimization.execTime": exec_time,
+    })
+
+
+class TestPlannerProvenanceCapture:
+    def _planner(self, *impls, **kwargs):
+        from repro.core.library import OperatorLibrary
+
+        library = OperatorLibrary()
+        for impl in impls:
+            library.add(impl)
+        return Planner(library, MetadataCostEstimator(),
+                       record_provenance=True, **kwargs)
+
+    def test_off_by_default(self):
+        library = self._planner(_impl("a", "Spark", 1.0)).library
+        planner = Planner(library, MetadataCostEstimator())
+        planner.plan(_two_impl_workflow())
+        assert planner.record_provenance is False
+        assert planner.last_provenance is None
+
+    def test_chosen_matches_plan(self):
+        planner = self._planner(_impl("count_spark", "Spark", 6.0),
+                                _impl("count_python", "Python", 12.0))
+        plan = planner.plan(_two_impl_workflow())
+        prov = planner.last_provenance
+        assert prov is not None
+        (step,) = prov.explain()["steps"]
+        assert step["chosen"]["operator"] == "count_spark"
+        assert step["chosen"]["operator"] == plan.steps[-1].operator.name
+        assert step["costDelta"] == pytest.approx(6.0)
+
+    def test_cost_infeasible_reason(self):
+        planner = self._planner(
+            _impl("count_spark", "Spark", 6.0),
+            _impl("count_broken", "Hama", float("inf")))
+        planner.plan(_two_impl_workflow())
+        (step,) = planner.last_provenance.explain()["steps"]
+        assert step["infeasible"] == [
+            {"operator": "count_broken", "engine": "Hama",
+             "reason": REASON_COST_INFEASIBLE}]
+
+    def test_no_compatible_input_reason(self):
+        bad = _impl("count_arff", "Spark", 6.0)
+        bad.metadata.set("Constraints.Input0.type", "arff")
+        planner = self._planner(_impl("count_spark", "Spark", 6.0), bad,
+                                allow_moves=False)
+        planner.plan(_two_impl_workflow())
+        (step,) = planner.last_provenance.explain()["steps"]
+        assert step["infeasible"] == [
+            {"operator": "count_arff", "engine": "Spark",
+             "reason": REASON_NO_COMPATIBLE_INPUT}]
+
+    def test_partial_provenance_survives_planning_error(self):
+        planner = self._planner(_impl("count_broken", "Hama", float("inf")))
+        with pytest.raises(PlanningError):
+            planner.plan(_two_impl_workflow())
+        prov = planner.last_provenance
+        assert prov is not None
+        (step,) = prov.explain()["steps"]
+        assert step["chosen"] is None
+        assert step["infeasible"][0]["reason"] == REASON_COST_INFEASIBLE
+
+    def test_input_unproducible_reason(self):
+        wf = AbstractWorkflow("chain")
+        wf.add_dataset(Dataset("logs", {
+            "Constraints.Engine.FS": "HDFS",
+            "Constraints.type": "text",
+        }, materialized=True))
+        wf.add_dataset(Dataset("mid"))
+        wf.add_dataset(Dataset("out"))
+        for alg in ("A", "B"):
+            wf.add_operator(AbstractOperator(alg.lower(), {
+                "Constraints.OpSpecification.Algorithm.name": alg,
+                "Constraints.Input.number": 1,
+                "Constraints.Output.number": 1,
+            }))
+        wf.connect("logs", "a")
+        wf.connect("a", "mid")
+        wf.connect("mid", "b")
+        wf.connect("b", "out")
+        wf.set_target("out")
+        # stage A has no implementation at all, so B's input is unproducible
+        impl_b = MaterializedOperator("b_spark", {
+            "Constraints.OpSpecification.Algorithm.name": "B",
+            "Constraints.Engine": "Spark",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+            "Constraints.Input0.Engine.FS": "HDFS",
+            "Constraints.Output0.Engine.FS": "HDFS",
+            "Optimization.execTime": 1.0,
+        })
+        planner = self._planner(impl_b)
+        with pytest.raises(PlanningError):
+            planner.plan(wf)
+        steps = planner.last_provenance.explain()["steps"]
+        reasons = {s["abstract"]: [i["reason"] for i in s["infeasible"]]
+                   for s in steps}
+        assert reasons.get("b") == [REASON_INPUT_UNPRODUCIBLE]
+
+
+class TestGoldenExplain:
+    """ISSUE acceptance: explain matches the DP decision on Fig 14's basis.
+
+    The Pegasus Montage workflow with 4 synthetic engines per stage is the
+    planner benchmark's configuration (Fig 14): for every non-move plan
+    step, the explain report must name the engine the DP actually chose,
+    the best rejected alternative, and a cost delta consistent with the
+    recorded candidate costs.
+    """
+
+    def test_explain_matches_dp_decision(self):
+        workflow = generate("Montage", 30, seed=1)
+        library = synthetic_library(workflow, 4, seed=2)
+        planner = Planner(library, MetadataCostEstimator(),
+                          record_provenance=True)
+        plan = planner.plan(workflow)
+        report = planner.last_provenance.explain()
+        assert report["workflow"] == workflow.name
+        assert report["planCost"] == pytest.approx(plan.cost)
+
+        chosen_steps = {s.abstract_name: s for s in plan.steps
+                        if not s.is_move}
+        entries = {e["abstract"]: e for e in report["steps"]}
+        assert set(chosen_steps) <= set(entries)
+        for name, step in chosen_steps.items():
+            entry = entries[name]
+            chosen = entry["chosen"]
+            assert chosen is not None, f"no chosen candidate for {name}"
+            assert chosen["chosen"] is True
+            assert chosen["operator"] == step.operator.name
+            assert chosen["engine"] == step.engine
+            # 4 engines per stage: the other 3 are rejected or infeasible
+            assert len(entry["alternatives"]) + len(entry["infeasible"]) == 3
+            if entry["alternatives"]:
+                best = entry["bestRejected"]
+                assert best == entry["alternatives"][0]
+                assert best["totalCost"] == min(
+                    a["totalCost"] for a in entry["alternatives"])
+                assert entry["costDelta"] == pytest.approx(
+                    best["totalCost"] - chosen["totalCost"])
+                assert best["deltaVsChosen"] == entry["costDelta"]
+
+
+class TestExecutorExplain:
+    def test_explain_report_for_a_run(self):
+        ledger = AccuracyLedger()
+        ires = IReS(record_provenance=True, ledger=ledger)
+        make = setup_helloworld(ires)
+        report = ires.execute(make())
+        assert report.succeeded
+        assert report.provenances, "executor kept no provenance"
+
+        explain = ires.executor.explain_report()
+        assert explain is not None
+        assert explain["run_id"] == report.run_id
+        assert ires.executor.explain_report(report.run_id) == explain
+        (plan_report,) = explain["plans"]
+        chosen = [s["chosen"] for s in plan_report["steps"]
+                  if s["chosen"] is not None]
+        assert chosen, "no chosen candidates in the explain report"
+        # the run's ledger entries annotate the chosen models
+        annotated = [c for c in chosen if c["modelError"] is not None]
+        assert annotated and all(
+            c["modelError"]["samples"] >= 1 for c in annotated)
+
+    def test_unknown_run_returns_none(self):
+        ires = IReS(record_provenance=True)
+        make = setup_helloworld(ires)
+        ires.execute(make())
+        assert ires.executor.explain_report("nope") is None
+
+    def test_no_provenance_when_disabled(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        report = ires.execute(make())
+        assert report.provenances == []
+        assert ires.executor.explain_report() is None

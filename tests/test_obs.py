@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import IReS
 from repro.obs import (
@@ -18,7 +20,7 @@ from repro.obs import (
     summarize_spans,
 )
 from repro.obs.logging import clear as clear_logs
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, parse_exposition
 from repro.scenarios import setup_helloworld
 
 
@@ -346,3 +348,116 @@ class TestPlatformWiring:
         assert trains[-1].attributes["samples"] >= 4
         counter = REGISTRY.get("ires_modeler_trainings_total")
         assert counter.value(algorithm="TF_IDF", engine="Spark") >= 1
+
+
+#: anything goes in a label value except the raw line separators the
+#: text format cannot carry (the spec escapes only \n, not \r etc.)
+_label_values = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\r\v\f\x1c\x1d\x1e\x85  "),
+    max_size=24,
+)
+
+
+class TestExpositionRoundTrip:
+    @given(value=_label_values)
+    @settings(max_examples=60, deadline=None)
+    def test_label_values_roundtrip(self, value):
+        reg = MetricsRegistry()
+        counter = reg.counter("rt_total", "round trip", labels=("msg",))
+        counter.inc(msg=value)
+        parsed = parse_exposition(reg.render())
+        samples = [s for s in parsed["samples"] if s[0] == "rt_total"]
+        assert samples == [("rt_total", {"msg": value}, 1.0)]
+
+    @given(values=st.lists(_label_values, min_size=1, max_size=4,
+                           unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_many_series_stay_distinct(self, values):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("rt_gauge", "round trip", labels=("msg",))
+        for i, value in enumerate(values):
+            gauge.set(float(i), msg=value)
+        parsed = parse_exposition(reg.render())
+        got = {labels["msg"]: v for name, labels, v in parsed["samples"]
+               if name == "rt_gauge"}
+        assert got == {value: float(i) for i, value in enumerate(values)}
+
+    def test_backslash_n_literal_vs_newline(self):
+        # "a\\nb" (backslash + n) and "a\nb" (newline) must stay distinct
+        reg = MetricsRegistry()
+        counter = reg.counter("amb_total", "amb", labels=("msg",))
+        counter.inc(msg="a\\nb")
+        counter.inc(2, msg="a\nb")
+        parsed = parse_exposition(reg.render())
+        got = {labels["msg"]: v for name, labels, v in parsed["samples"]}
+        assert got == {"a\\nb": 1.0, "a\nb": 2.0}
+
+    def test_help_text_escaped_and_restored(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", "first line\nsecond \\ line")
+        text = reg.render()
+        assert "# HELP h_total first line\\nsecond \\\\ line" in text
+        parsed = parse_exposition(text)
+        assert parsed["help"]["h_total"] == "first line\nsecond \\ line"
+        assert parsed["type"]["h_total"] == "counter"
+
+    def test_infinite_values_roundtrip(self):
+        import math
+
+        reg = MetricsRegistry()
+        gauge = reg.gauge("inf_gauge", "inf")
+        gauge.set(math.inf)
+        ((name, labels, value),) = parse_exposition(reg.render())["samples"]
+        assert name == "inf_gauge" and value == math.inf
+
+    def test_histogram_le_labels_roundtrip(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "lat", buckets=(0.1, 1.0))
+        hist.observe(0.5)
+        parsed = parse_exposition(reg.render())
+        buckets = {labels["le"]: v for name, labels, v in parsed["samples"]
+                   if name == "lat_seconds_bucket"}
+        assert buckets == {"0.1": 0.0, "1": 1.0, "+Inf": 1.0}
+
+    def test_malformed_label_block_raises(self):
+        with pytest.raises(ValueError, match="label value must be quoted"):
+            parse_exposition('x_total{msg=oops} 1\n')
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_exposition('x_total{msg="oops} 1\n')
+
+
+class TestTraceLoadValidation:
+    def test_empty_file_one_line_error(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("   \n")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_truncated_jsonl_names_the_line(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        path.write_text(path.read_text() + '{"name": "b", "start_wa')
+        with pytest.raises(ValueError, match="line 2: invalid JSON"):
+            load_trace(path)
+
+    def test_non_span_object_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            load_trace(path)
+
+    def test_non_dict_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="line 1: not a span object"):
+            load_trace(path)
+
+    def test_empty_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="line 1"):
+            load_trace(path)

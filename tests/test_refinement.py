@@ -1,0 +1,155 @@
+"""Tests for online model refinement: batching cadence and drift refits."""
+
+import pytest
+
+from repro.core.modeler import Modeler
+from repro.core.refinement import ModelRefiner
+from repro.engines.monitoring import MetricRecord, MetricsCollector
+from repro.obs.accuracy import AccuracyLedger, LedgerEntry
+
+
+def _rec(algorithm="count", engine="E1", n=1e5, exec_time=None, success=True,
+         factor=1.0):
+    """A synthetic monitored run: time linear in count, scaled by factor."""
+    if exec_time is None:
+        exec_time = (5.0 + 1e-4 * n) * factor
+    return MetricRecord(
+        operator=algorithm, algorithm=algorithm, engine=engine,
+        exec_time=exec_time, started_at=0.0, success=success,
+        input_size=n * 100.0, input_count=n, cores=4, memory_gb=8.0,
+    )
+
+
+def _stack(refit_every=3):
+    collector = MetricsCollector()
+    modeler = Modeler(collector)
+    return collector, modeler, ModelRefiner(modeler, refit_every=refit_every)
+
+
+class TestRefitBatching:
+    def test_refit_every_counts_per_pair_under_interleaving(self):
+        collector, modeler, refiner = _stack(refit_every=3)
+        triggers = []
+        # strictly interleaved streams of two (operator, engine) pairs:
+        # each pair's counter must reach 3 independently
+        for i in range(6):
+            pair = ("count", "E1") if i % 2 == 0 else ("sort", "E2")
+            record = _rec(*pair, n=1e4 * (i + 1))
+            collector.record(record)
+            if refiner.observe(record):
+                triggers.append((i, pair))
+        assert triggers == [(4, ("count", "E1")), (5, ("sort", "E2"))]
+        assert refiner.refits == 2
+        assert modeler.get("count", "E1") is not None
+        assert modeler.get("sort", "E2") is not None
+
+    def test_failed_records_do_not_advance_the_batch(self):
+        collector, _, refiner = _stack(refit_every=2)
+        for i in range(3):
+            record = _rec(n=1e4 * (i + 1), success=(i != 1))
+            collector.record(record)
+            assert refiner.observe(record) is False or i == 2
+        # two successes + one failure: exactly one batch of 2 completed
+        assert refiner.refits == 1
+
+    def test_refit_every_validated(self):
+        _, modeler, _ = _stack()
+        with pytest.raises(ValueError):
+            ModelRefiner(modeler, refit_every=0)
+
+    def test_flush_trains_pending_pairs(self):
+        collector, modeler, refiner = _stack(refit_every=10)
+        for i in range(3):
+            record = _rec(n=1e4 * (i + 1))
+            collector.record(record)
+            refiner.observe(record)
+        assert modeler.get("count", "E1") is None
+        assert refiner.flush() == 1
+        assert modeler.get("count", "E1") is not None
+
+
+class TestRefitNow:
+    def test_bypasses_batching_and_resets_pending(self):
+        collector, modeler, refiner = _stack(refit_every=3)
+        for i in range(2):
+            record = _rec(n=1e4 * (i + 1))
+            collector.record(record)
+            refiner.observe(record)
+        assert refiner.refit_now("count", "E1") is True
+        assert refiner.refits == 1
+        # pending was reset: the next observation starts a fresh batch
+        record = _rec(n=5e4)
+        collector.record(record)
+        assert refiner.observe(record) is False
+
+    def test_returns_false_without_samples(self):
+        _, _, refiner = _stack()
+        assert refiner.refit_now("never", "seen") is False
+        assert refiner.refits == 0
+
+    def test_window_trains_on_post_drift_records(self):
+        collector, modeler, refiner = _stack()
+        counts = (1e4, 3e4, 1e5, 3e5)
+        for n in counts * 2:
+            collector.record(_rec(n=n))
+        # the engine degrades 4x; newest records reflect the new reality
+        for n in counts * 2:
+            collector.record(_rec(n=n, factor=4.0))
+        features = {"input_size": 1e5 * 100.0, "input_count": 1e5,
+                    "cores": 4.0, "memory_gb": 8.0}
+        truth = (5.0 + 1e-4 * 1e5) * 4.0
+
+        assert refiner.refit_now("count", "E1") is True
+        stale_error = abs(modeler.estimate("count", "E1", features) - truth)
+        assert refiner.refit_now("count", "E1", window=8) is True
+        fresh_error = abs(modeler.estimate("count", "E1", features) - truth)
+        # all-history training averages pre- and post-drift; a window learns
+        # only the degraded engine
+        assert fresh_error < stale_error
+        assert fresh_error / truth < 0.1
+
+
+class TestRefitReducesLedgerError:
+    def test_windowed_refit_recovers_ledger_mape(self):
+        """Satellite acceptance at the modeling layer: a drifting engine's
+        ledger MAPE falls back down once the drift refit retrains on the
+        post-drift window."""
+        collector, modeler, refiner = _stack()
+        ledger = AccuracyLedger(recent_window=4)
+        counts = (1e4, 3e4, 1e5, 3e5)
+        features = {n: {"input_size": n * 100.0, "input_count": n,
+                        "cores": 4.0, "memory_gb": 8.0} for n in counts}
+
+        def run_and_ledger(n, factor, index):
+            actual = (5.0 + 1e-4 * n) * factor
+            predicted = modeler.estimate("count", "E1", features[n])
+            collector.record(_rec(n=n, factor=factor))
+            ledger.record(LedgerEntry(
+                run_id="r", workflow="wf", step="count", operator="count",
+                engine="E1", predicted={"execTime": predicted},
+                actual={"execTime": actual}, at=float(index)))
+
+        for n in counts * 2:
+            collector.record(_rec(n=n))
+        assert modeler.train("count", "E1") is not None
+
+        index = 0
+        for n in counts:  # healthy phase
+            run_and_ledger(n, 1.0, index)
+            index += 1
+        healthy = ledger.stats_for("count", "E1").recent_mape
+        assert healthy < 0.05
+
+        for n in counts:  # drifted, model still stale
+            run_and_ledger(n, 4.0, index)
+            index += 1
+        drifted = ledger.stats_for("count", "E1").recent_mape
+        assert drifted > 0.5
+
+        assert refiner.refit_now("count", "E1", window=4) is True
+        for n in counts:  # post-refit predictions track the new reality
+            run_and_ledger(n, 4.0, index)
+            index += 1
+        recovered = ledger.stats_for("count", "E1").recent_mape
+        assert recovered < 0.1
+        assert recovered < drifted
