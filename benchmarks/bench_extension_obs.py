@@ -68,7 +68,9 @@ def planner_times():
 @pytest.fixture(scope="module")
 def executor_times():
     def run(tracer: Tracer | None):
-        ires = IReS(tracer=tracer)
+        # plan cache off: every repetition must include the full plan +
+        # execute work whose instrumentation overhead is being measured
+        ires = IReS(tracer=tracer, plan_cache=False)
         make = setup_helloworld(ires)
         workflow = make()
         return lambda: ires.execute(workflow)

@@ -1,0 +1,166 @@
+"""Extension — plan cache: cold vs warm vs invalidated planning.
+
+The plan cache memoizes finished plans keyed by a digest of (workflow,
+materialized results, available engines, policy, planner knobs, library +
+model epochs).  This benchmark measures, on the Figure 14 headline workload
+(Montage, 1000 nodes, 8 engines per stage):
+
+- **cold**: first ``plan()`` — full DP;
+- **warm**: identical resubmission — digest + lookup only (gate: ≥ 10×
+  faster than cold, and the *same plan object* comes back);
+- **invalidated**: a library-epoch bump (adding a near-free implementation
+  of the target's producer stage) must restore cold-path behaviour — the
+  DP reruns and picks the new operator, proving no stale plan is served;
+- **re-warm**: the next resubmission hits again under the new epoch;
+- **replan (cold/warm)**: the fault-tolerance shape — same workflow with a
+  restricted engine set — keyed separately and warm on repetition.
+
+Results land in ``benchmarks/results/ext_plancache.txt`` (the run_all key
+metric) and are serialized to ``BENCH_planner.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from figutil import emit
+from repro.core import MaterializedOperator, Planner
+from repro.core.plancache import PlanCache
+from repro.core.planner import MetadataCostEstimator
+from repro.workflows import generate, synthetic_library
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+N_NODES = 1000
+N_ENGINES = 8
+#: acceptance gate: warm plan() must beat cold by at least this factor
+SPEEDUP_FLOOR = 10.0
+
+
+def _shortcut_operator(workflow) -> MaterializedOperator:
+    """A near-free implementation of the stage producing the target.
+
+    Adding it bumps the library epoch; a correctly invalidated cache replans
+    and must pick it (its cost undercuts every generated implementation).
+    """
+    producer = workflow.operators[workflow.producer[workflow.target]]
+    arity = max(producer.n_inputs, 1)
+    props = {
+        "Constraints.OpSpecification.Algorithm.name": producer.algorithm,
+        "Constraints.Engine": "engine0",
+        "Constraints.Input.number": arity,
+        "Constraints.Output.number": 1,
+        "Constraints.Output0.Engine.FS": "store0",
+        "Constraints.Output0.type": "data",
+        "Optimization.execTime": 0.001,
+        "Optimization.cost": 0.001,
+    }
+    for i in range(arity):
+        props[f"Constraints.Input{i}.Engine.FS"] = "store0"
+        props[f"Constraints.Input{i}.type"] = "data"
+    return MaterializedOperator(
+        f"{producer.algorithm}_k{arity}_shortcut", props)
+
+
+@pytest.fixture(scope="module")
+def timings():
+    workflow = generate("Montage", N_NODES, seed=1)
+    library = synthetic_library(workflow, N_ENGINES, seed=2)
+    cache = PlanCache()
+    cache.attach_library(library)
+    planner = Planner(library, MetadataCostEstimator(), plan_cache=cache)
+
+    start = time.perf_counter()
+    cold_plan = planner.plan(workflow)
+    cold = time.perf_counter() - start
+    assert not planner.last_plan_cached
+
+    start = time.perf_counter()
+    warm_plan = planner.plan(workflow)
+    warm = time.perf_counter() - start
+    assert planner.last_plan_cached
+    assert warm_plan is cold_plan  # identical, not merely equivalent
+
+    # replanning shape: restricted engine set is a distinct key
+    engines = {f"engine{j}" for j in range(1, N_ENGINES)}
+    start = time.perf_counter()
+    replan_cold_plan = planner.plan(workflow, available_engines=engines)
+    replan_cold = time.perf_counter() - start
+    assert not planner.last_plan_cached
+    start = time.perf_counter()
+    replan_warm_plan = planner.plan(workflow, available_engines=engines)
+    replan_warm = time.perf_counter() - start
+    assert planner.last_plan_cached
+    assert replan_warm_plan is replan_cold_plan
+
+    # library-epoch bump: adding an operator must drop every cached plan
+    # AND the fresh DP must see the new candidate (no stale plans)
+    shortcut = _shortcut_operator(workflow)
+    library.add(shortcut)
+    start = time.perf_counter()
+    new_plan = planner.plan(workflow)
+    invalidated = time.perf_counter() - start
+    assert not planner.last_plan_cached
+    assert any(step.operator.name == shortcut.name for step in new_plan.steps)
+    assert new_plan.cost < cold_plan.cost
+
+    start = time.perf_counter()
+    rewarm_plan = planner.plan(workflow)
+    rewarm = time.perf_counter() - start
+    assert planner.last_plan_cached
+    assert rewarm_plan is new_plan
+
+    return {
+        "cold": cold, "warm": warm,
+        "replan_cold": replan_cold, "replan_warm": replan_warm,
+        "invalidated": invalidated, "rewarm": rewarm,
+        "cache": cache.stats(),
+        "planner": planner, "workflow": workflow,
+    }
+
+
+def test_plancache_speedup(benchmark, timings):
+    t = timings
+    rows = [
+        ["cold (full DP)", t["cold"] * 1e3, 1.0],
+        ["warm (cache hit)", t["warm"] * 1e3, t["cold"] / t["warm"]],
+        ["replan cold (7 engines)", t["replan_cold"] * 1e3,
+         t["cold"] / t["replan_cold"]],
+        ["replan warm", t["replan_warm"] * 1e3,
+         t["cold"] / t["replan_warm"]],
+        ["invalidated (epoch bump)", t["invalidated"] * 1e3,
+         t["cold"] / t["invalidated"]],
+        ["re-warm (new epoch)", t["rewarm"] * 1e3, t["cold"] / t["rewarm"]],
+    ]
+    emit(
+        "ext_plancache",
+        f"Extension: plan cache on Montage-{N_NODES}, {N_ENGINES} engines",
+        ["phase", "wall_ms", "speedup_vs_cold"],
+        rows, widths=[28, 12, 17],
+        note=f"(gate: warm ≥ {SPEEDUP_FLOOR:.0f}× cold; epoch bump must "
+             "rerun the DP and adopt the cheaper operator)",
+    )
+    payload = {
+        "workload": f"Montage-{N_NODES}, {N_ENGINES} engines",
+        "cold_seconds": round(t["cold"], 6),
+        "warm_seconds": round(t["warm"], 6),
+        "replan_cold_seconds": round(t["replan_cold"], 6),
+        "replan_warm_seconds": round(t["replan_warm"], 6),
+        "invalidated_seconds": round(t["invalidated"], 6),
+        "rewarm_seconds": round(t["rewarm"], 6),
+        "speedup_warm": round(t["cold"] / t["warm"], 2),
+        "speedup_replan_warm": round(t["cold"] / t["replan_warm"], 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "cache": t["cache"],
+    }
+    (REPO_ROOT / "BENCH_planner.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    assert t["cold"] >= SPEEDUP_FLOOR * t["warm"], (t["cold"], t["warm"])
+    assert t["replan_cold"] >= SPEEDUP_FLOOR * t["replan_warm"]
+    # the epoch bump restored cold-path behaviour: a real DP pass, not a hit
+    assert t["invalidated"] > t["warm"]
+
+    planner, workflow = timings["planner"], timings["workflow"]
+    benchmark(lambda: planner.plan(workflow))

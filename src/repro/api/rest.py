@@ -32,6 +32,8 @@ GET    /resilience                                        retry/breaker status
 POST   /resilience/breakers/{engine}/reset                close one breaker
 POST   /lint                                              static analysis
 GET    /metrics                                           Prometheus text
+GET    /plancache                                         plan-cache counters
+DELETE /plancache                                         invalidate the cache
 GET    /traces                                            collected run ids
 GET    /traces/{run_id}                                   one run's Chrome trace
 GET    /accuracy                                          prediction-error stats
@@ -289,6 +291,19 @@ class IResServer:
         return Response(200, text=get_registry().render(),
                         content_type="text/plain; version=0.0.4")
 
+    # -- /plancache ----------------------------------------------------------
+    def _plancache(self, method, rest, body) -> Response:
+        self._expect(not rest, 404, "use /plancache")
+        cache = self.ires.plan_cache
+        self._expect(cache is not None, 404,
+                     "plan cache disabled (construct IReS with plan_cache)")
+        if method == "GET":
+            return Response(200, cache.stats())
+        if method == "DELETE":
+            dropped = cache.invalidate(reason="api", force=True)
+            return Response(200, {"invalidated": dropped, **cache.stats()})
+        raise ApiError(405, "use GET or DELETE")
+
     # -- /traces -------------------------------------------------------------
     def _traces(self, method, rest, body) -> Response:
         self._expect(method == "GET", 405, "use GET")
@@ -374,6 +389,7 @@ def _report_json(report) -> dict:
         "simTime": report.sim_time,
         "replans": report.replans,
         "retries": report.retries,
+        "cachedPlans": report.cached_plans,
         "planningSeconds": report.planning_seconds,
         "enginesUsed": report.engines_used(),
         "failures": report.failures,

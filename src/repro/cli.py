@@ -21,6 +21,10 @@ warnings.
 ``ires execute --trace out.json`` writes a Chrome trace-event file (load
 it in Perfetto / chrome://tracing) covering the run's planner, executor
 and resilience spans.
+
+Planning is memoized by default (``ires execute --repeat 3`` serves runs
+2 and 3 from the plan cache); ``--no-plan-cache`` disables it and
+``ires plan --cache-stats`` prints the cache counters.
 """
 
 from __future__ import annotations
@@ -120,6 +124,8 @@ def cmd_plan(args) -> int:
     for step in plan.steps:
         print(f"  {step.operator.name:<34} @{step.engine:<10} "
               f"est {step.estimated_cost:8.2f}s")
+    if args.cache_stats:
+        _print_plancache(ires)
     return 0
 
 
@@ -136,30 +142,38 @@ def cmd_execute(args) -> int:
 
     if not 0.0 <= args.fail_rate <= 1.0:
         sys.exit(f"error: --fail-rate must be in [0, 1], got {args.fail_rate}")
+    if args.repeat < 1:
+        sys.exit(f"error: --repeat must be >= 1, got {args.repeat}")
     resilience = ResilienceManager.baseline() if args.no_resilience else None
     ledger = drift = None
     if args.ledger:
         ledger = AccuracyLedger(path=args.ledger)
         drift = DriftDetector(threshold=args.drift_threshold)
-    ires, _ = _load(args.library, resilience, ledger=ledger, drift=drift)
+    ires, _ = _load(args.library, resilience, ledger=ledger, drift=drift,
+                    plan_cache=args.plan_cache)
     if args.fail_rate > 0:
         ires.fault_injector.seed = args.chaos_seed
         ires.fault_injector.make_all_flaky(args.fail_rate)
         print(f"chaos: fail_rate={args.fail_rate} seed={args.chaos_seed}")
-    try:
-        report = ires.execute(_workflow(ires, args.workflow))
-    except ExecutionFailed as exc:
-        _export_trace(ires, args.trace)
-        _print_resilience(ires)
-        sys.exit(f"error: {exc}")
-    print(f"succeeded={report.succeeded} simTime={report.sim_time:.2f}s "
-          f"replans={report.replans} retries={report.retries} "
-          f"runId={report.run_id}")
+    report = None
+    for run in range(args.repeat):
+        try:
+            report = ires.execute(_workflow(ires, args.workflow))
+        except ExecutionFailed as exc:
+            _export_trace(ires, args.trace)
+            _print_resilience(ires)
+            sys.exit(f"error: {exc}")
+        prefix = f"run {run + 1}/{args.repeat}: " if args.repeat > 1 else ""
+        print(f"{prefix}succeeded={report.succeeded} "
+              f"simTime={report.sim_time:.2f}s "
+              f"replans={report.replans} retries={report.retries} "
+              f"cachedPlans={report.cached_plans} runId={report.run_id}")
     for execution in report.executions:
         flag = "" if execution.success else "  FAILED"
         print(f"  {execution.step.operator.name:<34} @{execution.engine:<10} "
               f"{execution.sim_seconds:8.2f}s{flag}")
     _print_resilience(ires)
+    _print_plancache(ires)
     _export_trace(ires, args.trace)
     if ledger is not None:
         alarms = len(drift.alarms) if drift is not None else 0
@@ -175,6 +189,17 @@ def _export_trace(ires: IReS, path: str | None) -> None:
     count = ires.tracer.export_chrome(path)
     print(f"trace: wrote {count} spans to {path} "
           "(load in Perfetto / chrome://tracing)")
+
+
+def _print_plancache(ires: IReS) -> None:
+    """Print the plan cache's counters (nothing when caching is disabled)."""
+    cache = ires.plan_cache
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(f"plancache: hits={stats['hits']} misses={stats['misses']} "
+          f"size={stats['size']} evictions={stats['evictions']} "
+          f"invalidations={stats['invalidations']}")
 
 
 def _print_resilience(ires: IReS) -> None:
@@ -418,7 +443,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("library")
         p.add_argument("workflow")
         p.set_defaults(func=func)
+        if name == "plan":
+            p.add_argument("--cache-stats", action="store_true",
+                           help="also print the plan cache's hit/miss "
+                                "counters")
         if name == "execute":
+            p.add_argument("--plan-cache", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="memoize plans across runs and replans "
+                                "(default: on; --no-plan-cache disables)")
+            p.add_argument("--repeat", type=int, default=1, metavar="N",
+                           help="execute the workflow N times in-process "
+                                "(repeated runs hit the plan cache)")
             p.add_argument("--trace", default=None, metavar="FILE",
                            help="write a Chrome trace-event JSON of the run "
                                 "(Perfetto-loadable)")

@@ -12,6 +12,7 @@ from repro.core.estimators import (
 from repro.core.libraryfs import LoadReport, dump_asap_library, load_asap_library
 from repro.core.modeler import Modeler, OperatorModel
 from repro.core.pareto import ParetoPlan, ParetoPlanner
+from repro.core.plancache import PlanCache
 from repro.core.platform import IReS
 from repro.core.profiler import Profiler, ProfileSpec
 from repro.core.provisioning import ProvisioningResult, ResourceProvisioner
@@ -73,6 +74,7 @@ __all__ = [
     "Operator",
     "OperatorLibrary",
     "OptimizationPolicy",
+    "PlanCache",
     "PlanStep",
     "Planner",
     "PlanningError",

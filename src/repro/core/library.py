@@ -5,14 +5,19 @@ attributes (the algorithm name) so that abstract→materialized matching only
 tree-matches a handful of candidates instead of scanning the whole library
 (§2.2.3: "we further improve the matching procedure by indexing the IReS
 library operators using a set of highly selective meta-data attributes").
+
+The library carries a monotonically increasing ``epoch`` bumped by every
+``add``/``remove``; plan caches key on it and ``listeners`` are notified so
+dependent caches (the planner's plan cache, the library's own match memo)
+invalidate exactly when the candidate pools can change.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Hashable, Iterable, Iterator
 
+from repro.core.metadata import WILDCARD
 from repro.core.operators import AbstractOperator, MaterializedOperator
 from repro.obs.metrics import REGISTRY
 
@@ -44,21 +49,86 @@ class MatchStats:
     matched: int = 0
 
 
+@dataclass
+class MatchTotals:
+    """Match counters accumulated across one planning pass.
+
+    The planner performs one ``find_materialized`` per abstract operator;
+    incrementing the registry counters per lookup is measurable on large
+    workflows, so the hot path accumulates into plain ints here and flushes
+    once per plan as a single ``inc(n)`` per outcome.
+    """
+
+    lookups: int = 0
+    matched: int = 0
+    pruned_by_index: int = 0
+    engine_filtered: int = 0
+    tree_rejected: int = 0
+
+    def flush(self) -> None:
+        """Emit the accumulated counts to the metrics registry and reset."""
+        if self.lookups:
+            _LOOKUPS.inc(self.lookups)
+        if self.matched:
+            _CANDIDATES.inc(self.matched, outcome="matched")
+        if self.pruned_by_index:
+            _CANDIDATES.inc(self.pruned_by_index, outcome="pruned_index")
+        if self.engine_filtered:
+            _CANDIDATES.inc(self.engine_filtered, outcome="engine_filtered")
+        if self.tree_rejected:
+            _CANDIDATES.inc(self.tree_rejected, outcome="tree_rejected")
+        self.lookups = self.matched = self.pruned_by_index = 0
+        self.engine_filtered = self.tree_rejected = 0
+
+
+@dataclass(frozen=True)
+class _MatchMemo:
+    """Tree-match outcomes of one abstract signature over its index pool.
+
+    Engine availability changes between replans, so it is *not* baked into
+    the memo: each entry keeps ``(name, engine, tree_matched)`` and lookups
+    re-apply the engine filter per call — O(pool) comparisons instead of
+    O(pool · t) tree matches.  Cleared on every library epoch bump.
+    """
+
+    entries: tuple[tuple[str, str | None, bool], ...]
+    pool_size: int
+
+
+def _abstract_token(abstract: AbstractOperator) -> tuple[Hashable, ...]:
+    """Hashable identity of an abstract operator's matching constraints."""
+    node = abstract.metadata.node("Constraints")
+    return tuple(node.leaves()) if node is not None else ()
+
+
 class OperatorLibrary:
     """Container of materialized operators with an algorithm-name index."""
 
     def __init__(self, operators: Iterable[MaterializedOperator] = ()) -> None:
         self._by_name: dict[str, MaterializedOperator] = {}
-        self._index: dict[str | None, list[str]] = defaultdict(list)
+        self._index: dict[str | None, list[str]] = {}
+        #: change counter; every add/remove bumps it and notifies listeners
+        self.epoch = 0
+        #: called with the new epoch after every mutation (plan caches hook in)
+        self.listeners: list[Callable[[int], None]] = []
+        self._match_memo: dict[tuple[Hashable, ...], _MatchMemo] = {}
         for op in operators:
             self.add(op)
+
+    def _changed(self) -> None:
+        self.epoch += 1
+        self._match_memo.clear()
+        for listener in list(self.listeners):
+            listener(self.epoch)
 
     def add(self, operator: MaterializedOperator) -> None:
         """Register a materialized operator (name must be unique)."""
         if operator.name in self._by_name:
             raise ValueError(f"operator {operator.name!r} already registered")
         self._by_name[operator.name] = operator
-        self._index[operator.metadata.get(INDEX_ATTRIBUTE)].append(operator.name)
+        key = operator.metadata.get(INDEX_ATTRIBUTE)
+        self._index.setdefault(key, []).append(operator.name)
+        self._changed()
 
     def remove(self, name: str) -> None:
         """Drop an operator from the library and its index (no-op if absent)."""
@@ -66,7 +136,14 @@ class OperatorLibrary:
         if op is None:
             return
         key = op.metadata.get(INDEX_ATTRIBUTE)
-        self._index[key] = [n for n in self._index[key] if n != name]
+        bucket = self._index.get(key)
+        if bucket is not None:
+            remaining = [n for n in bucket if n != name]
+            if remaining:
+                self._index[key] = remaining
+            else:
+                del self._index[key]  # never leave empty buckets behind
+        self._changed()
 
     def get(self, name: str) -> MaterializedOperator:
         """Look an operator up by name (KeyError if absent)."""
@@ -85,12 +162,19 @@ class OperatorLibrary:
         """Index lookup: operators sharing the selective attribute value.
 
         A wildcard/absent algorithm name on the abstract side falls back to
-        scanning everything (the index cannot prune).
+        scanning everything (the index cannot prune).  Conversely, operators
+        indexed under ``None`` (no algorithm name) or under the wildcard can
+        still tree-match a concretely named abstract, so those two buckets
+        are part of every pool — without them the index silently returned
+        fewer matches than the full scan.
         """
         key = abstract.metadata.get(INDEX_ATTRIBUTE)
-        if key is None or key == "*":
+        if key is None or key == WILDCARD:
             return list(self._by_name.values())
-        return [self._by_name[n] for n in self._index.get(key, ())]
+        names = list(self._index.get(key, ()))
+        names.extend(self._index.get(None, ()))
+        names.extend(self._index.get(WILDCARD, ()))
+        return [self._by_name[n] for n in names]
 
     def find_materialized(
         self,
@@ -98,6 +182,7 @@ class OperatorLibrary:
         available_engines: set[str] | None = None,
         use_index: bool = True,
         stats: MatchStats | None = None,
+        totals: MatchTotals | None = None,
     ) -> list[MaterializedOperator]:
         """``findMaterializedOperators(o)`` of Algorithm 1.
 
@@ -105,32 +190,64 @@ class OperatorLibrary:
         operator, optionally restricted to currently-available engines (the
         fault-tolerance path excludes unavailable ones during planning).
         ``use_index=False`` forces the full-library scan (used by the index
-        ablation benchmark).  ``stats``, when given, is filled with the
-        lookup's matched/pruned counts.
+        ablation benchmark); the indexed path memoizes tree-match outcomes
+        per abstract signature until the library's epoch changes, so replans
+        and repeated plans skip the O(t) tree walks entirely.  ``stats``,
+        when given, is filled with the lookup's matched/pruned counts;
+        ``totals``, when given, receives the counter deltas instead of the
+        registry (the planner flushes them once per pass).
         """
-        pool = self.candidates(abstract) if use_index else list(self._by_name.values())
-        matches = []
+        matches: list[MaterializedOperator] = []
         engine_filtered = tree_rejected = 0
-        for op in pool:
-            if available_engines is not None and op.engine not in available_engines:
-                engine_filtered += 1
-                continue
-            if op.matches_abstract(abstract):
-                matches.append(op)
-            else:
-                tree_rejected += 1
-        pruned = len(self._by_name) - len(pool)
-        _LOOKUPS.inc()
-        _CANDIDATES.inc(len(matches), outcome="matched")
-        if pruned:
-            _CANDIDATES.inc(pruned, outcome="pruned_index")
-        if engine_filtered:
-            _CANDIDATES.inc(engine_filtered, outcome="engine_filtered")
-        if tree_rejected:
-            _CANDIDATES.inc(tree_rejected, outcome="tree_rejected")
+        if use_index:
+            token = _abstract_token(abstract)
+            memo = self._match_memo.get(token)
+            if memo is None:
+                pool = self.candidates(abstract)
+                memo = _MatchMemo(
+                    tuple((op.name, op.engine, op.matches_abstract(abstract))
+                          for op in pool),
+                    len(pool),
+                )
+                self._match_memo[token] = memo
+            for name, engine, tree_matched in memo.entries:
+                if available_engines is not None and engine not in available_engines:
+                    engine_filtered += 1
+                elif tree_matched:
+                    matches.append(self._by_name[name])
+                else:
+                    tree_rejected += 1
+            pool_size = memo.pool_size
+        else:
+            pool = list(self._by_name.values())
+            for op in pool:
+                if available_engines is not None and op.engine not in available_engines:
+                    engine_filtered += 1
+                    continue
+                if op.matches_abstract(abstract):
+                    matches.append(op)
+                else:
+                    tree_rejected += 1
+            pool_size = len(pool)
+        pruned = len(self._by_name) - pool_size
+        if totals is not None:
+            totals.lookups += 1
+            totals.matched += len(matches)
+            totals.pruned_by_index += pruned
+            totals.engine_filtered += engine_filtered
+            totals.tree_rejected += tree_rejected
+        else:
+            _LOOKUPS.inc()
+            _CANDIDATES.inc(len(matches), outcome="matched")
+            if pruned:
+                _CANDIDATES.inc(pruned, outcome="pruned_index")
+            if engine_filtered:
+                _CANDIDATES.inc(engine_filtered, outcome="engine_filtered")
+            if tree_rejected:
+                _CANDIDATES.inc(tree_rejected, outcome="tree_rejected")
         if stats is not None:
             stats.library_size = len(self._by_name)
-            stats.pool_size = len(pool)
+            stats.pool_size = pool_size
             stats.pruned_by_index = pruned
             stats.engine_filtered = engine_filtered
             stats.tree_rejected = tree_rejected

@@ -22,8 +22,10 @@ import time
 from typing import Protocol, Sequence
 
 from repro.core.dataset import Dataset
-from repro.core.library import MatchStats, OperatorLibrary
+from repro.core.library import MatchStats, MatchTotals, OperatorLibrary
+from repro.core.metadata import MetadataTree
 from repro.core.operators import MaterializedOperator, MoveOperator
+from repro.core.plancache import PlanCache
 from repro.core.policy import OptimizationPolicy
 from repro.core.provenance import (
     REASON_COST_INFEASIBLE,
@@ -141,7 +143,7 @@ class _Entry:
     is reconstructed by walking this DAG.
     """
 
-    __slots__ = ("dataset", "cost", "step", "parents")
+    __slots__ = ("dataset", "cost", "step", "parents", "constraints")
 
     def __init__(
         self,
@@ -154,6 +156,10 @@ class _Entry:
         self.cost = cost
         self.step = step
         self.parents = parents
+        # the _consider inner loop checks this node against every candidate's
+        # input spec; resolving it once here keeps the per-candidate cost to
+        # a single consistent_with walk
+        self.constraints = dataset.metadata.node("Constraints")
 
     def collect_steps(self) -> list[PlanStep]:
         """Topologically ordered, deduplicated steps of this entry's plan."""
@@ -194,6 +200,7 @@ class Planner:
         tracer: Tracer | None = None,
         preflight: bool = False,
         record_provenance: bool = False,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.library = library
         self.estimator = estimator if estimator is not None else MetadataCostEstimator()
@@ -214,7 +221,21 @@ class Planner:
         self.record_provenance = record_provenance
         #: provenance of the most recent plan() call (None until recorded)
         self.last_provenance: PlanProvenance | None = None
+        #: memoized finished plans keyed on every input the DP depends on;
+        #: None disables caching entirely
+        self.plan_cache = plan_cache
+        #: True when the most recent plan() was served from the cache
+        self.last_plan_cached = False
         self._move_ops: dict[tuple, MoveOperator] = {}
+
+    def _cache_token(self) -> tuple:
+        """The planner knobs that change plan outcomes, for the cache key.
+
+        The estimator enters by identity: its internal state (profiles,
+        trained models) is keyed separately through the library/model epochs.
+        """
+        return (self.allow_moves, self.use_index, self.single_entry_dp,
+                type(self.estimator).__name__, id(self.estimator))
 
     # -- public API ---------------------------------------------------------
     def plan(
@@ -236,8 +257,32 @@ class Planner:
         """
         if self.preflight:
             self._preflight(workflow, available_engines)
-        tracer = self.tracer
+        self.last_plan_cached = False
+        cache = self.plan_cache
+        key: tuple | None = None
         wall_start = time.perf_counter()
+        # provenance-recording runs bypass the cache: a hit would leave
+        # last_provenance stale (describing some earlier DP pass)
+        if cache is not None and not self.record_provenance:
+            key = cache.key(
+                workflow,
+                library_epoch=self.library.epoch,
+                available_engines=available_engines,
+                materialized_results=materialized_results,
+                policy=self.policy,
+                planner_token=self._cache_token(),
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                self.last_plan_cached = True
+                wall = time.perf_counter() - wall_start
+                _PLANS.inc(status="ok", run_id=current_run_id() or "")
+                _PLAN_SECONDS.observe(wall)
+                _LOG.info("plan_ready", workflow=workflow.name,
+                          steps=len(hit.steps), cost=round(hit.cost, 4),
+                          wall_seconds=round(wall, 6), cached=True)
+                return hit
+        tracer = self.tracer
         try:
             with tracer.span(f"plan:{workflow.name}", category="planner",
                              workflow=workflow.name) as span:
@@ -258,9 +303,11 @@ class Planner:
         if tracer.enabled:
             span.set_attribute("steps", len(plan.steps))
             span.set_attribute("cost", plan.cost)
-            _LOG.info("plan_ready", workflow=workflow.name,
-                      steps=len(plan.steps), cost=round(plan.cost, 4),
-                      wall_seconds=round(wall, 6))
+        _LOG.info("plan_ready", workflow=workflow.name,
+                  steps=len(plan.steps), cost=round(plan.cost, 4),
+                  wall_seconds=round(wall, 6), cached=False)
+        if cache is not None and key is not None:
+            cache.put(key, plan)
         return plan
 
     def _preflight(
@@ -306,6 +353,11 @@ class Planner:
             if name in materialized_results:
                 ds = materialized_results[name]
                 dp[name] = {ds.signature(): _Entry(ds, 0.0)}
+                if name == workflow.target:
+                    # the replan's target was computed before the failure;
+                    # nothing is left to plan (mirrors the materialized-source
+                    # early return below)
+                    return MaterializedPlan(workflow, [], 0.0)
             elif dataset.materialized:
                 dp[name] = {dataset.signature(): _Entry(dataset, 0.0)}
                 if name == workflow.target:
@@ -313,6 +365,7 @@ class Planner:
 
         # Process operators in DAG topological order (line 11 onwards).
         expansions = 0
+        totals = MatchTotals()
         for abstract_op in workflow.topological_operators():
             in_names = workflow.op_inputs[abstract_op.name]
             out_names = workflow.op_outputs[abstract_op.name]
@@ -321,7 +374,8 @@ class Planner:
             expansions += 1
             if not tracer.enabled:
                 matches = self.library.find_materialized(
-                    abstract_op, available_engines, use_index=self.use_index
+                    abstract_op, available_engines, use_index=self.use_index,
+                    totals=totals,
                 )
                 for mat_op in matches:
                     self._consider(dp, workflow, abstract_op.name, mat_op,
@@ -332,7 +386,7 @@ class Planner:
                              operator=abstract_op.name) as op_span:
                 matches = self.library.find_materialized(
                     abstract_op, available_engines, use_index=self.use_index,
-                    stats=stats,
+                    stats=stats, totals=totals,
                 )
                 for mat_op in matches:
                     self._consider(dp, workflow, abstract_op.name, mat_op,
@@ -342,6 +396,7 @@ class Planner:
                 op_span.set_attribute("engine_filtered", stats.engine_filtered)
                 op_span.set_attribute("tree_rejected", stats.tree_rejected)
                 op_span.set_attribute("dp_datasets", len(dp))
+        totals.flush()
         _EXPANSIONS.inc(expansions)
 
         target_entries = dp.get(workflow.target)
@@ -382,13 +437,15 @@ class Planner:
                     prov.note(self._candidate(
                         abstract_name, mat_op, REASON_INPUT_UNPRODUCIBLE))
                 return  # input not producible -> operator infeasible
+            # one spec lookup per input, not one per dpTable entry
+            spec = mat_op.input_spec(i)
             best: _Entry | None = None
             for entry in entries.values():
-                if mat_op.accepts_input(entry.dataset, i):
+                if entry.constraints is None or spec.consistent_with(entry.constraints):
                     if best is None or entry.cost < best.cost:
                         best = entry
                 elif self.allow_moves:
-                    moved = self._move(entry, mat_op, i)
+                    moved = self._move(entry, mat_op, spec)
                     if moved is not None and (best is None or moved.cost < best.cost):
                         best = moved
             if best is None:
@@ -467,15 +524,16 @@ class Planner:
             self._move_ops[key] = op
         return op
 
-    def _move(self, entry: _Entry, mat_op: MaterializedOperator, i: int) -> "_Entry | None":
+    def _move(self, entry: _Entry, mat_op: MaterializedOperator,
+              spec: "MetadataTree") -> "_Entry | None":
         """``checkMove``/``moveCost`` of Algorithm 1: synthesize a transfer.
 
         Builds a move/transform step converting the dpTable entry's dataset
-        to the format required by input ``i`` of ``mat_op``.  Returns None if
-        the move is impossible (estimator returned infinity) or pointless
-        (the input spec imposes no constraints to convert to).
+        to the format required by ``spec`` (the candidate's input spec, looked
+        up once by the caller).  Returns None if the move is impossible
+        (estimator returned infinity) or pointless (the input spec imposes no
+        constraints to convert to).
         """
-        spec = mat_op.input_spec(i)
         if spec.is_leaf:
             return None  # nothing known to convert to; mismatch is structural
         src = entry.dataset
@@ -488,7 +546,8 @@ class Planner:
         moved = Dataset(src.name, src.metadata.copy())
         for path, value in spec.leaves():
             moved.metadata.set(f"Constraints.{path}", value)
-        if not mat_op.accepts_input(moved, i):
+        moved_constraints = moved.metadata.node("Constraints")
+        if moved_constraints is not None and not spec.consistent_with(moved_constraints):
             return None
         move_op = self._move_operator(src_store, dst_store, src.fmt, moved.fmt)
         step = PlanStep(

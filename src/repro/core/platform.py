@@ -25,6 +25,7 @@ from repro.core.estimators import ModelBackedEstimator, OracleEstimator
 from repro.core.library import OperatorLibrary
 from repro.core.modeler import Modeler
 from repro.core.operators import AbstractOperator, MaterializedOperator
+from repro.core.plancache import PlanCache
 from repro.core.planner import Planner
 from repro.core.policy import OptimizationPolicy
 from repro.core.profiler import Profiler, ProfileSpec
@@ -63,6 +64,7 @@ class IReS:
         ledger: AccuracyLedger | None = None,
         drift: DriftDetector | None = None,
         record_provenance: bool = False,
+        plan_cache: "PlanCache | bool | None" = True,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
         #: platform-wide tracer — every layer's spans land here, stamped
@@ -85,9 +87,28 @@ class IReS:
             self.estimator = ModelBackedEstimator(self.cloud, self.modeler)
         else:
             raise ValueError(f"estimator must be 'oracle' or 'models', got {estimator!r}")
+        #: memoized plans for recurring submissions and warm replans; pass
+        #: plan_cache=False (or a configured PlanCache instance) to override.
+        #: Invalidation wiring: library add/remove bumps the library epoch;
+        #: drift alarms bump the model epoch; model refits bump it only under
+        #: estimator="models" (the oracle estimator ignores trained models,
+        #: so refits cannot change its plans).
+        if plan_cache is True:
+            self.plan_cache: PlanCache | None = PlanCache()
+        elif plan_cache is False or plan_cache is None:
+            self.plan_cache = None
+        else:
+            self.plan_cache = plan_cache
+        if self.plan_cache is not None:
+            self.plan_cache.attach_library(self.library)
+            if estimator == "models":
+                self.plan_cache.attach_refiner(self.refiner)
+            if drift is not None:
+                self.plan_cache.attach_drift(drift)
         self.planner = Planner(self.library, self.estimator, self.policy,
                                tracer=self.tracer,
-                               record_provenance=record_provenance)
+                               record_provenance=record_provenance,
+                               plan_cache=self.plan_cache)
         self.provisioner = ResourceProvisioner()
         self.fault_injector = FaultInjector(self.cloud)
         #: prediction-accuracy ledger (disabled NULL ledger unless provided)

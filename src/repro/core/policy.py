@@ -52,6 +52,17 @@ class OptimizationPolicy:
             total += weight * float(metrics[name])
         return total
 
+    def cache_token(self) -> tuple:
+        """Hashable identity for plan-cache keys.
+
+        Weighted policies are equal-by-value (two ``min_exec_time`` policies
+        share cached plans); opaque functions are equal only by identity —
+        there is no way to compare what they compute.
+        """
+        if self.function is not None:
+            return ("function", id(self.function))
+        return ("weights", tuple(sorted((self.weights or {}).items())))
+
     @classmethod
     def min_exec_time(cls) -> "OptimizationPolicy":
         """Policy minimizing execution time only."""

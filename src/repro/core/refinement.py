@@ -10,6 +10,7 @@ observations per pair) since CV over the zoo is the expensive part.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Callable
 
 from repro.core.modeler import Modeler
 from repro.engines.monitoring import MetricRecord
@@ -25,6 +26,13 @@ class ModelRefiner:
         self.refit_every = refit_every
         self._pending: dict[tuple[str, str], int] = defaultdict(int)
         self.refits = 0
+        #: called with (algorithm, engine) after every successful retrain —
+        #: plan caches hook in here to bump their model epoch
+        self.listeners: list[Callable[[str, str], None]] = []
+
+    def _notify(self, algorithm: str, engine: str) -> None:
+        for listener in list(self.listeners):
+            listener(algorithm, engine)
 
     def observe(self, record: MetricRecord) -> bool:
         """Account one finished run; retrain its model when the batch is due.
@@ -41,6 +49,7 @@ class ModelRefiner:
             self._pending[key] = 0
             if self.modeler.train(*key) is not None:
                 self.refits += 1
+                self._notify(*key)
                 return True
         return False
 
@@ -56,6 +65,7 @@ class ModelRefiner:
         self._pending[(algorithm, engine)] = 0
         if self.modeler.train(algorithm, engine, window=window) is not None:
             self.refits += 1
+            self._notify(algorithm, engine)
             return True
         return False
 
@@ -65,6 +75,7 @@ class ModelRefiner:
         for key, pending in list(self._pending.items()):
             if pending > 0 and self.modeler.train(*key) is not None:
                 done += 1
+                self._notify(*key)
             self._pending[key] = 0
         self.refits += done
         return done

@@ -113,6 +113,8 @@ class ExecutionReport:
     replans: int = 0
     failures: list[str] = field(default_factory=list)
     retries: int = 0  # transient failures absorbed without replanning
+    #: planning passes (initial or replan) served from the plan cache
+    cached_plans: int = 0
     #: PlanProvenance per planning pass (only with record_provenance planners)
     provenances: list = field(default_factory=list)
 
@@ -267,6 +269,7 @@ class WorkflowExecutor:
             report.plans.clear()
             report.planning_seconds.clear()
             report.provenances.clear()
+            report.cached_plans = 0
             if report.run_id in self.explains:
                 self.explains[report.run_id].clear()
         #: dataset name -> HDFS path of its real artifact (the data plane)
@@ -367,6 +370,8 @@ class WorkflowExecutor:
             self.resilience.on_breaker_override(self.cloud.clock.now, open_set)
         report.planning_seconds.append(time.perf_counter() - wall_start)
         report.plans.append(plan)
+        if getattr(self.planner, "last_plan_cached", False):
+            report.cached_plans += 1
         prov = getattr(self.planner, "last_provenance", None)
         if self.planner.record_provenance and prov is not None:
             report.provenances.append(prov)

@@ -86,3 +86,85 @@ def test_remove(library):
 
 def test_iteration(library):
     assert {op.name for op in library} == {"pr_spark", "pr_hama", "pr_java", "wc_mr"}
+
+
+# -- regression: index buckets, epoch, listeners, memo ----------------------
+
+
+def mk_unnamed(name, engine):
+    """An operator with no Algorithm.name — indexed under ``None``."""
+    return MaterializedOperator(name, {
+        "Constraints.Engine": engine,
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+    })
+
+
+def test_remove_deletes_empty_index_bucket(library):
+    """Churning operators must not leave empty lists behind in the index."""
+    library.remove("wc_mr")
+    assert all(bucket for bucket in library._index.values())
+    assert "wordcount" not in library._index
+    # re-adding after full removal recreates the bucket from scratch
+    library.add(mk("wc_mr2", "wordcount", "Hadoop"))
+    assert library._index["wordcount"] == ["wc_mr2"]
+    for name in ("pr_spark", "pr_hama", "pr_java"):
+        library.remove(name)
+    assert "pagerank" not in library._index
+    assert all(bucket for bucket in library._index.values())
+
+
+def test_unindexed_operator_appears_in_candidate_pool(library):
+    """Ops lacking Algorithm.name live in the ``None`` bucket and must be
+    part of every candidate pool, or the index silently returns a smaller
+    pool than the full scan."""
+    library.add(mk_unnamed("mystery", "Spark"))
+    pool = {op.name for op in library.candidates(abstract("pagerank"))}
+    assert "mystery" in pool
+
+
+def test_wildcard_operator_matches_concrete_abstract(library):
+    """A ``*``-named implementation satisfies any concrete algorithm name,
+    so the wildcard bucket must be pooled alongside the concrete one."""
+    library.add(mk("generic", "*", "Flink"))
+    for use_index in (True, False):
+        matches = {m.name for m in library.find_materialized(
+            abstract("pagerank"), use_index=use_index)}
+        assert matches == {"pr_spark", "pr_hama", "pr_java", "generic"}
+
+
+def test_indexed_equals_full_scan_with_mixed_buckets(library):
+    """Concrete + wildcard + unnamed operators: both paths agree exactly."""
+    library.add(mk("generic", "*", "Flink"))
+    library.add(mk_unnamed("mystery", "Spark"))
+    for alg in ("pagerank", "wordcount", "nosuch"):
+        indexed = {m.name for m in library.find_materialized(
+            abstract(alg), use_index=True)}
+        scanned = {m.name for m in library.find_materialized(
+            abstract(alg), use_index=False)}
+        assert indexed == scanned
+
+
+def test_epoch_bumps_and_listeners_fire(library):
+    seen = []
+    library.listeners.append(seen.append)
+    before = library.epoch
+    library.add(mk("pr_flink", "pagerank", "Flink"))
+    library.remove("pr_flink")
+    assert library.epoch == before + 2
+    assert seen == [before + 1, before + 2]
+    library.remove("nonexistent")  # no-op: no epoch bump, no notification
+    assert library.epoch == before + 2
+    assert len(seen) == 2
+
+
+def test_match_memo_cleared_on_mutation(library):
+    """Memoized match sets must not outlive a library change."""
+    first = {m.name for m in library.find_materialized(abstract("pagerank"))}
+    assert first == {"pr_spark", "pr_hama", "pr_java"}
+    library.add(mk("pr_flink", "pagerank", "Flink"))
+    second = {m.name for m in library.find_materialized(abstract("pagerank"))}
+    assert second == first | {"pr_flink"}
+    library.remove("pr_spark")
+    third = {m.name for m in library.find_materialized(abstract("pagerank"))}
+    assert third == {"pr_hama", "pr_java", "pr_flink"}

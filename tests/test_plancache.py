@@ -1,0 +1,314 @@
+"""Tests for the plan cache (repro.core.plancache) and its wiring."""
+
+import json
+
+import pytest
+
+from repro.api import IResServer
+from repro.api.rest import _plan_json
+from repro.core import (
+    AbstractOperator,
+    AbstractWorkflow,
+    Dataset,
+    IReS,
+    MaterializedOperator,
+    OperatorLibrary,
+    OptimizationPolicy,
+    PlanCache,
+    Planner,
+)
+from repro.core.plancache import workflow_digest
+from repro.scenarios import setup_helloworld
+
+
+def make_op(name, alg, engine, fs, exec_time, cost=None):
+    return MaterializedOperator(name, {
+        "Constraints.OpSpecification.Algorithm.name": alg,
+        "Constraints.Engine": engine,
+        "Constraints.Input.number": 1,
+        "Constraints.Output.number": 1,
+        "Constraints.Input0.Engine.FS": fs,
+        "Constraints.Output0.Engine.FS": fs,
+        "Optimization.execTime": exec_time,
+        "Optimization.cost": cost if cost is not None else exec_time,
+    })
+
+
+def make_library():
+    lib = OperatorLibrary()
+    lib.add(make_op("job_a", "job", "EngineA", "storeA", 5.0, cost=50.0))
+    lib.add(make_op("job_b", "job", "EngineB", "storeB", 40.0, cost=1.0))
+    return lib
+
+
+def make_workflow(name="wf", size=1e6):
+    wf = AbstractWorkflow(name)
+    wf.add_dataset(Dataset("src", {
+        "Constraints.Engine.FS": "storeA",
+        "Optimization.size": size,
+    }, materialized=True))
+    wf.add_dataset(Dataset("out"))
+    wf.add_operator(AbstractOperator("job", {
+        "Constraints.OpSpecification.Algorithm.name": "job"}))
+    wf.connect("src", "job")
+    wf.connect("job", "out")
+    wf.set_target("out")
+    return wf
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestPlanCacheUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_hit_and_miss_counters(self):
+        cache = PlanCache()
+        planner = Planner(make_library(), plan_cache=cache)
+        wf = make_workflow()
+        first = planner.plan(wf)
+        assert not planner.last_plan_cached
+        second = planner.plan(wf)
+        assert planner.last_plan_cached
+        assert second is first
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert len(cache) == 1
+
+    def test_equal_workflow_rebuilt_per_submission_still_hits(self):
+        """Recurring submissions rebuild the workflow object; the digest
+        keys on structure, so the cache must still hit."""
+        cache = PlanCache()
+        planner = Planner(make_library(), plan_cache=cache)
+        planner.plan(make_workflow())
+        planner.plan(make_workflow())
+        assert planner.last_plan_cached
+        assert cache.hits == 1
+
+    def test_ttl_expiry_counts_eviction_then_miss(self):
+        clock = FakeClock()
+        cache = PlanCache(ttl_seconds=10.0, clock=clock)
+        planner = Planner(make_library(), plan_cache=cache)
+        wf = make_workflow()
+        planner.plan(wf)
+        clock.advance(5.0)
+        planner.plan(wf)
+        assert planner.last_plan_cached  # still fresh
+        clock.advance(6.0)
+        planner.plan(wf)
+        assert not planner.last_plan_cached  # expired: full DP again
+        assert cache.evictions == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2)
+        planner = Planner(make_library(), plan_cache=cache)
+        wf_a, wf_b, wf_c = (make_workflow(n) for n in ("a", "b", "c"))
+        planner.plan(wf_a)
+        planner.plan(wf_b)
+        planner.plan(wf_a)  # touch a: b becomes least-recently-used
+        assert planner.last_plan_cached
+        planner.plan(wf_c)  # evicts b
+        assert cache.evictions == 1
+        planner.plan(wf_a)
+        assert planner.last_plan_cached
+        planner.plan(wf_b)
+        assert not planner.last_plan_cached  # b was the one dropped
+
+    def test_invalidate_counts_only_real_drops(self):
+        cache = PlanCache()
+        assert cache.invalidate() == 0
+        assert cache.invalidations == 0  # empty no-op: not an event
+        assert cache.invalidate(force=True) == 0
+        assert cache.invalidations == 1  # explicit API paths always count
+        planner = Planner(make_library(), plan_cache=cache)
+        planner.plan(make_workflow())
+        assert cache.invalidate() == 1
+        assert cache.invalidations == 2
+        assert len(cache) == 0
+
+    def test_library_change_invalidates_via_listener(self):
+        library = make_library()
+        cache = PlanCache().attach_library(library)
+        planner = Planner(library, plan_cache=cache)
+        wf = make_workflow()
+        planner.plan(wf)
+        assert len(cache) == 1
+        library.add(make_op("job_c", "job", "EngineC", "storeA", 0.5))
+        assert len(cache) == 0
+        plan = planner.plan(wf)
+        assert not planner.last_plan_cached  # new epoch: full DP
+        assert "job_c" in {s.operator.name for s in plan.steps}
+        planner.plan(wf)
+        assert planner.last_plan_cached  # warm again under the new epoch
+
+    def test_model_epoch_bump_makes_old_keys_unreachable(self):
+        cache = PlanCache()
+        wf = make_workflow()
+        old_key = cache.key(wf, library_epoch=7)
+        cache.bump_model_epoch()
+        assert cache.model_epoch == 1
+        assert cache.key(wf, library_epoch=7) != old_key
+
+    def test_cross_policy_isolation(self):
+        """Two planners with different policies share one cache safely."""
+        library = make_library()
+        cache = PlanCache()
+        fast = Planner(library, policy=OptimizationPolicy.min_exec_time(),
+                       plan_cache=cache)
+        cheap = Planner(library, policy=OptimizationPolicy.min_cost(),
+                        plan_cache=cache)
+        wf = make_workflow()
+        plan_fast = fast.plan(wf)
+        plan_cheap = cheap.plan(wf)
+        assert not cheap.last_plan_cached  # distinct policy, distinct key
+        assert plan_fast.steps[-1].operator.name == "job_a"
+        assert plan_cheap.steps[-1].operator.name == "job_b"
+        assert fast.plan(wf) is plan_fast
+        assert cheap.plan(wf) is plan_cheap
+
+    def test_cached_plan_serializes_identically(self):
+        """A cache hit is byte-identical to an uncached recomputation."""
+        cache = PlanCache()
+        cached = Planner(make_library(), plan_cache=cache)
+        uncached = Planner(make_library())
+        wf = make_workflow()
+        cached.plan(wf)
+        warm = json.dumps(_plan_json(cached.plan(wf)), sort_keys=True)
+        cold = json.dumps(_plan_json(uncached.plan(wf)), sort_keys=True)
+        assert warm == cold
+
+    def test_record_provenance_bypasses_cache(self):
+        """Provenance runs must re-run the DP (a hit would leave
+        last_provenance describing some earlier pass)."""
+        cache = PlanCache()
+        planner = Planner(make_library(), record_provenance=True,
+                          plan_cache=cache)
+        wf = make_workflow()
+        planner.plan(wf)
+        planner.plan(wf)
+        assert not planner.last_plan_cached
+        assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+        assert planner.last_provenance is not None
+
+    def test_workflow_digest_tracks_structure(self):
+        assert workflow_digest(make_workflow()) == workflow_digest(make_workflow())
+        bigger = make_workflow(size=2e6)
+        assert workflow_digest(bigger) != workflow_digest(make_workflow())
+        renamed = make_workflow()
+        renamed.datasets["src"].metadata.set("Constraints.Engine.FS", "storeB")
+        assert workflow_digest(renamed) != workflow_digest(make_workflow())
+
+
+class TestPlatformWiring:
+    def test_repeated_execute_serves_plan_from_cache(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        first = ires.execute(make())
+        second = ires.execute(make())
+        assert first.succeeded and second.succeeded
+        assert first.cached_plans == 0
+        assert second.cached_plans == 1
+        assert ires.plan_cache.hits >= 1
+
+    def test_chaos_replan_served_warm_on_repeat(self):
+        """The same failure twice: the second run's initial plan AND its
+        replan (restricted engine set) both come out of the cache."""
+        ires = IReS()
+        make = setup_helloworld(ires)
+        victim = ires.plan(make()).step_for_operator("HelloWorld2").engine
+        ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+        first = ires.execute(make())
+        assert first.succeeded and first.replans == 1
+        ires.cloud.restart_engine(victim)
+        ires.fault_injector.kill_engine_at(victim, trigger_operator="HelloWorld2")
+        hits_before = ires.plan_cache.hits
+        second = ires.execute(make())
+        assert second.succeeded and second.replans == 1
+        assert second.cached_plans == 2  # initial plan + warm replan
+        assert ires.plan_cache.hits == hits_before + 2
+
+    def test_platform_cache_can_be_disabled(self):
+        ires = IReS(plan_cache=False)
+        make = setup_helloworld(ires)
+        assert ires.plan_cache is None
+        report = ires.execute(make())
+        assert report.succeeded
+        assert report.cached_plans == 0
+
+    def test_refiner_hook_attached_only_for_models_estimator(self):
+        """Oracle predictions ignore trained models, so refits must not
+        bust the cache there; under estimator='models' they must."""
+        oracle = IReS()
+        assert oracle.plan_cache._on_refit not in oracle.refiner.listeners
+        models = IReS(estimator="models")
+        assert models.plan_cache._on_refit in models.refiner.listeners
+
+    def test_models_estimator_refit_busts_cache(self):
+        """A real retrain bumps the model epoch and drops cached plans."""
+        from repro.engines.profiles import Workload
+        from repro.scenarios import (
+            BYTES_PER_EDGE,
+            PAGERANK_ITERATIONS,
+            setup_graph_analytics,
+        )
+
+        ires = IReS(estimator="models", refit_every=1000)
+        make = setup_graph_analytics(ires)
+        spark = ires.cloud.engines["Spark"]
+        for n in (1e4, 5e4, 1e5, 5e5):  # offline profiling for pagerank@Spark
+            spark.execute("pagerank", Workload.of_count(
+                n, BYTES_PER_EDGE, iterations=PAGERANK_ITERATIONS))
+        assert ires.modeler.train("pagerank", "Spark") is not None
+        ires.plan(make(1e5))
+        ires.plan(make(1e5))
+        assert ires.planner.last_plan_cached
+        epoch = ires.plan_cache.model_epoch
+        assert ires.refiner.refit_now("pagerank", "Spark")
+        assert ires.plan_cache.model_epoch == epoch + 1
+        assert len(ires.plan_cache) == 0
+        ires.plan(make(1e5))
+        assert not ires.planner.last_plan_cached  # stale plan unreachable
+
+
+class TestRestEndpoint:
+    def test_get_stats(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        ires.plan(make())
+        ires.plan(make())
+        response = IResServer(ires).handle("GET", "/plancache")
+        assert response.status == 200
+        assert response.body["hits"] == 1
+        assert response.body["size"] == 1
+
+    def test_delete_invalidates(self):
+        ires = IReS()
+        make = setup_helloworld(ires)
+        ires.plan(make())
+        server = IResServer(ires)
+        response = server.handle("DELETE", "/plancache")
+        assert response.status == 200
+        assert response.body["invalidated"] == 1
+        assert response.body["size"] == 0
+        ires.plan(make())
+        assert not ires.planner.last_plan_cached
+
+    def test_disabled_cache_404(self):
+        response = IResServer(IReS(plan_cache=False)).handle("GET", "/plancache")
+        assert response.status == 404
+
+    def test_subpath_and_bad_method(self):
+        server = IResServer(IReS())
+        assert server.handle("GET", "/plancache/xyz").status == 404
+        assert server.handle("POST", "/plancache").status == 405

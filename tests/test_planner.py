@@ -280,3 +280,36 @@ def test_multi_output_operator_planned_once():
     # cost counts the shared split per consumed branch (the paper's additive
     # input-cost approximation) but the step list stays deduplicated
     assert plan.cost >= 4.0 + 1.0 + 1.0 + 1.0
+
+
+# -- regression: logging and replan seeding ---------------------------------
+
+
+def test_plan_ready_logged_without_tracer():
+    """The plan_ready log line must appear even when tracing is disabled
+    (it used to be emitted only inside the tracer-enabled branch)."""
+    from repro.obs.logging import clear as clear_logs
+    from repro.obs.logging import recent as recent_logs
+
+    clear_logs()
+    Planner(text_clustering_library()).plan(text_clustering_workflow())
+    events = [line["event"] for line in recent_logs(logger="planner")]
+    assert "plan_ready" in events
+    ready = [line for line in recent_logs(logger="planner")
+             if line["event"] == "plan_ready"]
+    assert ready[-1]["cached"] is False
+    clear_logs()
+
+
+def test_materialized_results_target_returns_empty_plan():
+    """Replanning a target that was already computed before the failure
+    must yield an empty zero-cost plan, mirroring the materialized-dataset
+    early return."""
+    wf = text_clustering_workflow()
+    done = Dataset("d2", {
+        "Constraints.Engine.FS": "HDFS", "Constraints.type": "seq",
+        "Optimization.size": 1e5}, materialized=True)
+    plan = Planner(text_clustering_library()).plan(
+        wf, materialized_results={"d2": done})
+    assert plan.steps == []
+    assert plan.cost == 0.0

@@ -126,3 +126,46 @@ def test_removing_engines_never_improves_cost(instance, drop):
     except PlanningError:
         return
     assert restricted.cost >= full.cost - 1e-9
+
+
+# -- index-vs-scan equivalence (the ``None``/wildcard bucket regression) ----
+
+_ALG_NAMES = st.one_of(
+    st.none(),                                  # unnamed → None bucket
+    st.just("*"),                               # wildcard bucket
+    st.sampled_from(["alpha", "beta", "gamma"]))  # concrete buckets
+
+
+@st.composite
+def mixed_library(draw):
+    """A library mixing concrete, wildcard and unnamed implementations."""
+    library = OperatorLibrary()
+    n_ops = draw(st.integers(1, 12))
+    for i in range(n_ops):
+        alg = draw(_ALG_NAMES)
+        props = {
+            "Constraints.Engine": f"engine{draw(st.integers(0, 2))}",
+            "Constraints.Input.number": 1,
+            "Constraints.Output.number": 1,
+        }
+        if alg is not None:
+            props["Constraints.OpSpecification.Algorithm.name"] = alg
+        library.add(MaterializedOperator(f"op{i}", props))
+    return library
+
+
+@given(mixed_library(),
+       st.sampled_from(["alpha", "beta", "gamma", "nosuch", "*"]),
+       st.one_of(st.none(), st.sets(st.sampled_from(
+           ["engine0", "engine1", "engine2"]))))
+@settings(max_examples=60, deadline=None)
+def test_indexed_lookup_equals_full_scan(library, alg, engines):
+    """For any library/abstract/engine-filter combination the selective
+    index must return exactly the full-scan match set."""
+    abstract = AbstractOperator(alg, {
+        "Constraints.OpSpecification.Algorithm.name": alg})
+    indexed = {m.name for m in library.find_materialized(
+        abstract, available_engines=engines, use_index=True)}
+    scanned = {m.name for m in library.find_materialized(
+        abstract, available_engines=engines, use_index=False)}
+    assert indexed == scanned
