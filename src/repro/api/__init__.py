@@ -1,5 +1,13 @@
 """The IReS External API (§3.5): a RESTful surface over the platform."""
 
 from repro.api.rest import ApiError, IResServer, Response
+from repro.api.service import AdmissionError, IResService, RunRecord
 
-__all__ = ["ApiError", "IResServer", "Response"]
+__all__ = [
+    "AdmissionError",
+    "ApiError",
+    "IResServer",
+    "IResService",
+    "Response",
+    "RunRecord",
+]

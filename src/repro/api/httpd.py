@@ -1,0 +1,80 @@
+"""A minimal stdlib HTTP transport over :meth:`IResServer.handle`.
+
+The REST surface (:mod:`repro.api.rest`) is an in-process router; this
+module puts a real socket in front of it with nothing but the standard
+library.  Each request thread parses the JSON body, dispatches to the
+router, and writes the JSON (or text, for ``/metrics``) response back —
+including a ``Retry-After`` header when the execution service sheds load.
+
+``ires serve`` is the consumer: the HTTP threads call straight into the
+router, whose ``/runs`` resource forwards to the thread-safe
+:class:`~repro.api.service.IResService` entry points.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.rest import IResServer
+from repro.obs.logging import get_logger
+
+_LOG = get_logger("http")
+
+
+def make_http_server(server: IResServer, host: str = "127.0.0.1",
+                     port: int = 8080) -> ThreadingHTTPServer:
+    """Build a threading HTTP server routing into ``server``.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``httpd.server_address[1]``.  Call ``serve_forever()`` (usually on a
+    daemon thread) to start serving and ``shutdown()`` to stop.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                body = json.loads(raw) if raw else {}
+            except ValueError:
+                self._write(400, json.dumps({"error": "body is not JSON"}),
+                            "application/json")
+                return
+            path = self.path.split("?", 1)[0]
+            response = server.handle(
+                method, path, body if isinstance(body, dict) else {})
+            extra = {}
+            if response.status in (429, 503) and "retryAfter" in response.body:
+                extra["Retry-After"] = str(response.body["retryAfter"])
+            self._write(response.status, response.payload(),
+                        response.content_type, extra)
+            _LOG.debug("request", method=method, path=path,
+                       status=response.status)
+
+        def _write(self, status: int, payload: str, content_type: str,
+                   extra: dict | None = None) -> None:
+            data = payload.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (extra or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("DELETE")
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # request logging goes through repro.obs.logging above
+
+    return ThreadingHTTPServer((host, port), Handler)

@@ -39,7 +39,19 @@ GET    /traces/{run_id}                                   one run's Chrome trace
 GET    /accuracy                                          prediction-error stats
 GET    /explain                                           runs with provenance
 GET    /explain/{run_id}                                  one run's explain report
+POST   /runs                                              submit a run (async)
+GET    /runs                                              list submitted runs
+GET    /runs/{run_id}                                     one run's status
+POST   /runs/{run_id}/cancel                              cancel queued/running
+POST   /runs/{run_id}/recover                             resume from journal
+GET    /service                                           service stats
 ====== ================================================= =====================
+
+The ``/runs`` and ``/service`` resources need an attached
+:class:`~repro.api.service.IResService` (what ``ires serve`` wires up);
+without one they answer 503.  ``POST /runs`` is asynchronous — it returns
+202 with the run id immediately, or 429/503 with a ``retryAfter`` hint when
+the service sheds load.
 
 ``/metrics`` responds with Prometheus text exposition (``Response.text``);
 ``/traces/{run_id}`` responds with a Chrome trace-event JSON object that
@@ -94,8 +106,10 @@ class Response:
 class IResServer:
     """Routes API requests to an :class:`IReS` platform instance."""
 
-    def __init__(self, ires: IReS | None = None) -> None:
+    def __init__(self, ires: IReS | None = None, service=None) -> None:
         self.ires = ires if ires is not None else IReS()
+        #: optional IResService backing the async /runs resource
+        self.service = service
 
     # -- entry point ---------------------------------------------------------
     def handle(self, method: str, path: str, body: dict | None = None) -> Response:
@@ -345,6 +359,71 @@ class IResServer:
                      f"no provenance for run {rest[0]!r} (plan with "
                      "record_provenance=True)")
         return Response(200, report)
+
+    # -- /runs ---------------------------------------------------------------
+    def _require_service(self):
+        self._expect(self.service is not None, 503,
+                     "no execution service attached (start with `ires serve`)")
+        return self.service
+
+    def _runs(self, method, rest, body) -> Response:
+        from repro.api.service import AdmissionError
+
+        service = self._require_service()
+        if not rest:
+            if method == "GET":
+                return Response(200, {
+                    "runs": [rec.to_dict() for rec in service.runs()]})
+            if method == "POST":
+                workflow = body.get("workflow")
+                self._expect(isinstance(workflow, str) and bool(workflow),
+                             400, "body needs 'workflow': name")
+                try:
+                    rec = service.submit(
+                        workflow,
+                        tenant=str(body.get("tenant", "default")),
+                        deadline_seconds=body.get("deadlineSeconds"),
+                    )
+                except AdmissionError as exc:
+                    return Response(exc.status, {
+                        "error": str(exc), "retryAfter": exc.retry_after})
+                return Response(202, rec.to_dict())
+            raise ApiError(405, "use GET or POST")
+        run_id = rest[0]
+        if len(rest) == 1:
+            self._expect(method == "GET", 405, "use GET")
+            rec = service.status(run_id)
+            self._expect(rec is not None, 404, f"no run {run_id!r}")
+            return Response(200, rec.to_dict())
+        self._expect(len(rest) == 2 and method == "POST", 405,
+                     "use POST /runs/{run_id}/cancel|recover")
+        action = rest[1]
+        if action == "cancel":
+            try:
+                return Response(200, service.cancel(run_id).to_dict())
+            except KeyError:
+                raise ApiError(404, f"no run {run_id!r}") from None
+        if action == "recover":
+            from repro.execution.journal import JournalError
+
+            try:
+                rec = service.recover(run_id)
+            except FileNotFoundError:
+                raise ApiError(404, f"no journal for run {run_id!r}") from None
+            except JournalError as exc:
+                raise ApiError(409, str(exc)) from None
+            except AdmissionError as exc:
+                return Response(exc.status, {
+                    "error": str(exc), "retryAfter": exc.retry_after})
+            return Response(202, rec.to_dict())
+        raise ApiError(404, f"unknown run action {action!r}")
+
+    # -- /service ------------------------------------------------------------
+    def _service(self, method, rest, body) -> Response:
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /service")
+        return Response(200, service.stats())
 
     # -- /models -------------------------------------------------------------
     def _models(self, method, rest, body) -> Response:

@@ -138,6 +138,7 @@ def cmd_execute(args) -> int:
     from repro.execution import ResilienceManager
     from repro.execution.enforcer import ExecutionFailed
     from repro.obs.accuracy import AccuracyLedger
+    from repro.obs.context import new_run_id
     from repro.obs.drift import DriftDetector
 
     if not 0.0 <= args.fail_rate <= 1.0:
@@ -150,15 +151,30 @@ def cmd_execute(args) -> int:
         ledger = AccuracyLedger(path=args.ledger)
         drift = DriftDetector(threshold=args.drift_threshold)
     ires, _ = _load(args.library, resilience, ledger=ledger, drift=drift,
-                    plan_cache=args.plan_cache)
+                    plan_cache=args.plan_cache, journal_dir=args.journal_dir)
+    if args.crash_after_step is not None:
+        if not args.journal_dir:
+            sys.exit("error: --crash-after-step needs --journal-dir")
+        ires.executor.crash_after_steps = args.crash_after_step
     if args.fail_rate > 0:
         ires.fault_injector.seed = args.chaos_seed
         ires.fault_injector.make_all_flaky(args.fail_rate)
         print(f"chaos: fail_rate={args.fail_rate} seed={args.chaos_seed}")
     report = None
     for run in range(args.repeat):
+        # a known run id up front keeps the journal addressable after SIGINT
+        run_id = new_run_id() if args.journal_dir else None
         try:
-            report = ires.execute(_workflow(ires, args.workflow))
+            report = ires.execute(_workflow(ires, args.workflow),
+                                  run_id=run_id)
+        except KeyboardInterrupt:
+            # the enforcer already journaled the interrupted state
+            print(f"\ninterrupted: run {run_id or '(unjournaled)'}")
+            if args.journal_dir and run_id:
+                print(f"  journal: {args.journal_dir}/{run_id}.jsonl")
+                print(f"  resume with: ires runs recover {args.library} "
+                      f"{run_id} --journal-dir {args.journal_dir}")
+            return 130
         except ExecutionFailed as exc:
             _export_trace(ires, args.trace)
             _print_resilience(ires)
@@ -216,6 +232,188 @@ def _print_resilience(ires: IReS) -> None:
         if breaker["state"] != "closed" or breaker["consecutiveFailures"]:
             print(f"  breaker {name:<11} {breaker['state']:<9} "
                   f"failures={breaker['consecutiveFailures']}")
+
+
+def cmd_serve(args) -> int:
+    """``ires serve``: run the async execution service over HTTP.
+
+    Starts an :class:`~repro.api.service.IResService` (bounded queue,
+    tenant-fair dequeueing, per-run deadlines, write-ahead journaling when
+    ``--journal-dir`` is set) behind the REST surface.  On startup,
+    interrupted journaled runs are re-enqueued and resumed; on SIGINT or
+    SIGTERM the server stops admitting, drains in-flight runs and exits.
+    """
+    import asyncio
+    import signal
+    import threading
+
+    from repro.api.httpd import make_http_server
+    from repro.api.rest import IResServer
+    from repro.api.service import IResService
+
+    def factory() -> IReS:
+        ires = IReS()
+        load_asap_library(args.library, ires)
+        return ires
+
+    service = IResService(
+        factory,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        journal_dir=args.journal_dir,
+        default_deadline_seconds=args.deadline,
+    )
+    server = IResServer(factory(), service=service)
+    httpd = make_http_server(server, args.host, args.port)
+    host, port = httpd.server_address[:2]
+
+    async def run() -> None:
+        recovered = await service.start()
+        for rec in recovered:
+            print(f"recovered interrupted run {rec.run_id} "
+                  f"({rec.workflow}); resuming")
+        print(f"ires service on http://{host}:{port} "
+              f"(workers={args.workers} queueLimit={args.queue_limit} "
+              f"journal={args.journal_dir or 'off'})", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        await stop.wait()
+        print("draining: admissions closed, waiting for in-flight runs",
+              flush=True)
+        httpd.shutdown()
+        await service.shutdown(drain=True, timeout=args.drain_timeout)
+        print("drained, bye")
+
+    asyncio.run(run())
+    return 0
+
+
+def _http_json(method: str, base: str, path: str, body=None) -> dict:
+    """One JSON request against a running ``ires serve`` instance."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = base.rstrip("/") + path
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        payload = exc.read()
+        try:
+            message = json.loads(payload).get("error", "")
+        except ValueError:
+            message = payload.decode(errors="replace")
+        sys.exit(f"error: HTTP {exc.code}: {message}")
+    except urllib.error.URLError as exc:
+        sys.exit(f"error: cannot reach {base}: {exc.reason}")
+
+
+def _print_run_line(run: dict) -> None:
+    state = run.get("state", "?")
+    print(f"  {run['runId']:<14} {run.get('workflow', '?'):<24} {state}")
+
+
+def cmd_runs_list(args) -> int:
+    """``ires runs list``: list runs (live service or journal directory)."""
+    if args.server:
+        for run in _http_json("GET", args.server, "/runs")["runs"]:
+            _print_run_line(run)
+        return 0
+    from pathlib import Path
+
+    from repro.execution.journal import JournalError, list_journals, recover
+
+    directory = Path(args.journal_dir or "")
+    if not args.journal_dir or not directory.is_dir():
+        sys.exit("error: pass --server URL or --journal-dir DIR")
+    journals = list_journals(directory)
+    if not journals:
+        print(f"no journals under {directory}")
+        return 0
+    for path in journals:
+        try:
+            run = recover(path)
+        except JournalError as exc:
+            print(f"  {path.stem:<14} CORRUPT: {exc}")
+            continue
+        state = run.terminal or "interrupted"
+        torn = " (torn tail)" if run.torn_tail else ""
+        print(f"  {run.run_id:<14} {run.workflow:<24} {state:<12} "
+              f"steps={len(run.finished_steps)} replans={run.replans} "
+              f"resumes={run.resumes}{torn}")
+    return 0
+
+
+def cmd_runs_status(args) -> int:
+    """``ires runs status``: one run's state (live service or journal)."""
+    import json
+
+    if args.server:
+        run = _http_json("GET", args.server, f"/runs/{args.run_id}")
+        print(json.dumps(run, indent=2, sort_keys=True))
+        return 0
+    from repro.execution.journal import (
+        JournalError,
+        journal_path,
+        recover,
+    )
+
+    if not args.journal_dir:
+        sys.exit("error: pass --server URL or --journal-dir DIR")
+    path = journal_path(args.journal_dir, args.run_id)
+    try:
+        run = recover(path)
+    except FileNotFoundError:
+        sys.exit(f"error: no journal for run {args.run_id!r} under "
+                 f"{args.journal_dir}")
+    except JournalError as exc:
+        sys.exit(f"error: {exc}")
+    print(json.dumps(run.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_runs_cancel(args) -> int:
+    """``ires runs cancel``: cancel a queued or running service run."""
+    run = _http_json("POST", args.server, f"/runs/{args.run_id}/cancel")
+    print(f"run {run['runId']}: {run['state']}")
+    return 0
+
+
+def cmd_runs_recover(args) -> int:
+    """``ires runs recover``: resume an interrupted journaled run.
+
+    Replays the run's journal, seeds its completed steps as materialized
+    results and executes only the unfinished remainder — completed steps
+    are never re-executed.
+    """
+    from repro.execution.enforcer import ExecutionFailed
+    from repro.execution.journal import JournalError
+
+    ires, _ = _load(args.library, journal_dir=args.journal_dir)
+    try:
+        report = ires.recover_run(args.run_id)
+    except FileNotFoundError:
+        sys.exit(f"error: no journal for run {args.run_id!r} under "
+                 f"{args.journal_dir}")
+    except (JournalError, KeyError, ValueError) as exc:
+        sys.exit(f"error: {exc}")
+    except ExecutionFailed as exc:
+        sys.exit(f"error: {exc}")
+    print(f"resumed run {report.run_id}: succeeded={report.succeeded} "
+          f"recoveredSteps={report.recovered_steps} "
+          f"executedSteps={len(report.executions)} "
+          f"simTime={report.sim_time:.2f}s replans={report.replans}")
+    return 0 if report.succeeded else 1
 
 
 def cmd_frontier(args) -> int:
@@ -472,6 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--drift-threshold", type=float, default=0.5,
                            help="EWMA relative-error threshold for drift "
                                 "alarms (with --ledger; default 0.5)")
+            p.add_argument("--journal-dir", default=None, metavar="DIR",
+                           help="write-ahead journal the run under DIR "
+                                "(one JSONL per run); makes interrupted "
+                                "runs resumable via `ires runs recover`")
+            p.add_argument("--crash-after-step", type=int, default=None,
+                           metavar="N",
+                           help="crash-test hook: SIGKILL this process "
+                                "after journaling N finished steps "
+                                "(requires --journal-dir)")
 
     p = sub.add_parser("explain", help="why the planner chose each engine "
                                        "(plan provenance)")
@@ -508,6 +715,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory of figure/table outputs")
     p.add_argument("--out", default="RESULTS.md", help="output markdown file")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("serve", help="run the async execution service "
+                                     "over HTTP")
+    p.add_argument("library")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port (0 picks an ephemeral port; default 8080)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent runs (default 4)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="max queued submissions before 429s (default 16)")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="max queued+running runs per tenant (default: none)")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="journal every run under DIR; interrupted runs are "
+                        "resumed on startup")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default wall-clock deadline per run")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="graceful-drain budget on shutdown (default 30)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("runs", help="inspect, cancel and recover runs")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    p = runs_sub.add_parser("list", help="list runs (service or journals)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="a running `ires serve` base URL")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="inspect journals on disk instead")
+    p.set_defaults(func=cmd_runs_list)
+    p = runs_sub.add_parser("status", help="one run's state")
+    p.add_argument("run_id")
+    p.add_argument("--server", default=None, metavar="URL")
+    p.add_argument("--journal-dir", default=None, metavar="DIR")
+    p.set_defaults(func=cmd_runs_status)
+    p = runs_sub.add_parser("cancel", help="cancel a queued or running run")
+    p.add_argument("run_id")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="a running `ires serve` base URL")
+    p.set_defaults(func=cmd_runs_cancel)
+    p = runs_sub.add_parser("recover",
+                            help="resume an interrupted journaled run")
+    p.add_argument("library")
+    p.add_argument("run_id")
+    p.add_argument("--journal-dir", required=True, metavar="DIR")
+    p.set_defaults(func=cmd_runs_recover)
 
     p = sub.add_parser("sql", help="optimize (and run) a multi-engine SQL query")
     p.add_argument("query")

@@ -47,6 +47,8 @@ from repro.obs.tracing import Tracer
 
 if TYPE_CHECKING:  # analysis sits above core in the import graph
     from repro.analysis.diagnostics import DiagnosticCollector
+    from repro.execution.journal import RecoveredRun
+    from repro.execution.resilience import RunControl
 
 
 class IReS:
@@ -65,6 +67,7 @@ class IReS:
         drift: DriftDetector | None = None,
         record_provenance: bool = False,
         plan_cache: "PlanCache | bool | None" = True,
+        journal_dir: "str | Path | None" = None,
     ) -> None:
         self.cloud = cloud if cloud is not None else build_default_cloud()
         #: platform-wide tracer — every layer's spans land here, stamped
@@ -124,7 +127,7 @@ class IReS:
         self.executor = WorkflowExecutor(
             self.cloud, self.planner, fault_injector=self.fault_injector,
             strategy=strategy, resilience=resilience, tracer=self.tracer,
-            ledger=ledger, drift=drift,
+            ledger=ledger, drift=drift, journal_dir=journal_dir,
         )
 
     @property
@@ -191,16 +194,27 @@ class IReS:
         return self.provisioner.provision(time_fn)
 
     # -- executor layer ---------------------------------------------------------
-    def execute(self, workflow: AbstractWorkflow, reuse: bool = False) -> ExecutionReport:
+    def execute(
+        self,
+        workflow: AbstractWorkflow,
+        reuse: bool = False,
+        control: "RunControl | None" = None,
+        run_id: "str | None" = None,
+        resume_from: "RecoveredRun | None" = None,
+    ) -> ExecutionReport:
         """Plan and run a workflow with monitoring, refinement and replanning.
 
         ``reuse=True`` consults (and feeds) the platform's result cache so
         repeated or overlapping workflows skip already-materialized steps.
+        ``control`` (a :class:`~repro.execution.resilience.RunControl`)
+        enables cooperative cancellation and wall-clock deadlines;
+        ``resume_from`` (a recovered journal) resumes a crashed run.
         """
         from repro.obs.context import bind_run_id
 
         report = self.executor.execute(
-            workflow, cache=self.result_cache if reuse else None)
+            workflow, cache=self.result_cache if reuse else None,
+            control=control, run_id=run_id, resume_from=resume_from)
         # refinement trainings happen after the run but belong to it — keep
         # their spans/metrics correlated under the run's id
         with bind_run_id(report.run_id):
@@ -212,3 +226,25 @@ class IReS:
                     if records:
                         self.refiner.observe(records[-1])
         return report
+
+    def recover_run(self, run_id: str,
+                    control: "RunControl | None" = None) -> ExecutionReport:
+        """Resume a journaled run by id (requires ``journal_dir``).
+
+        Replays ``<journal_dir>/<run_id>.jsonl``, seeds the completed steps
+        as materialized results and runs only the unfinished remainder.  The
+        workflow named by the journal must be registered on this platform.
+        """
+        from repro.execution.journal import journal_path, recover
+
+        journal_dir = self.executor.journal_dir
+        if journal_dir is None:
+            raise ValueError("recovery needs a platform journal_dir")
+        recovered = recover(journal_path(journal_dir, run_id))
+        workflow = self.workflows.get(recovered.workflow)
+        if workflow is None:
+            raise KeyError(
+                f"journal {run_id!r} names unknown workflow "
+                f"{recovered.workflow!r}; available: {sorted(self.workflows)}"
+            )
+        return self.executor.resume(workflow, recovered, control=control)

@@ -17,7 +17,10 @@ from typing import Iterable
 import numpy as np
 
 from repro.obs.context import current_run_id
+from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+
+_LOG = get_logger("monitoring")
 
 #: sampling period of the synthesized ganglia timeline (seconds)
 TIMELINE_PERIOD = 5.0
@@ -204,6 +207,12 @@ class MetricsCollector:
         Unknown keys are dropped so an older collector can load files written
         by newer code that added fields (forward-compatible persistence);
         missing keys fall back to the dataclass defaults.
+
+        A malformed *final* line is skipped with a warning instead of
+        raising: a crash mid-:meth:`save` (or mid-append) can only tear the
+        last line, and losing one record beats losing the whole store.
+        Malformed lines anywhere else still raise — that is corruption, not
+        a torn tail.
         """
         import dataclasses
         import json
@@ -211,16 +220,29 @@ class MetricsCollector:
         known = {f.name for f in dataclasses.fields(MetricRecord)}
         count = 0
         with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+            lines = handle.readlines()
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1)
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
                 payload = json.loads(line)
                 if payload.get("exec_time") in ("inf", "-inf", "nan"):
                     payload["exec_time"] = float(payload["exec_time"])
                 payload = {k: v for k, v in payload.items() if k in known}
-                self._records.append(MetricRecord(**payload))
-                count += 1
+                record = MetricRecord(**payload)
+            except (ValueError, TypeError) as exc:
+                if i >= last_content:
+                    _LOG.warning("torn_metrics_line", path=str(path),
+                                 line=i + 1, error=str(exc))
+                    break
+                raise ValueError(
+                    f"{path}: malformed record on line {i + 1}: {exc}"
+                ) from exc
+            self._records.append(record)
+            count += 1
         return count
 
     def training_matrix(

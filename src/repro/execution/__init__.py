@@ -8,6 +8,16 @@ from repro.execution.enforcer import (
     IRES_REPLAN,
     TRIVIAL_REPLAN,
 )
+from repro.execution.journal import (
+    JournalCorruptError,
+    JournalError,
+    RecoveredRun,
+    RunJournal,
+    journal_path,
+    list_journals,
+    read_journal,
+    recover,
+)
 from repro.execution.parallel import (
     ParallelReport,
     ParallelSimulator,
@@ -20,17 +30,31 @@ from repro.execution.resilience import (
     CircuitBreaker,
     ResilienceManager,
     RetryPolicy,
+    RunCancelled,
+    RunControl,
+    RunDeadlineExceeded,
 )
 
 __all__ = [
     "CircuitBreaker",
     "ExecutionReport",
     "IRES_REPLAN",
+    "JournalCorruptError",
+    "JournalError",
     "ParallelReport",
     "ParallelSimulator",
+    "RecoveredRun",
     "ResilienceManager",
     "ResultCache",
     "RetryPolicy",
+    "RunCancelled",
+    "RunControl",
+    "RunDeadlineExceeded",
+    "RunJournal",
+    "journal_path",
+    "list_journals",
+    "read_journal",
+    "recover",
     "step_key",
     "ScheduledStep",
     "SchedulingError",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.dataset import Dataset
 from repro.core.estimators import monetary_cost, resources_for, workload_from_inputs
@@ -43,7 +44,27 @@ from repro.engines.faults import FaultInjector, TransientOutcome
 from repro.engines.monitoring import MetricRecord
 from repro.engines.profiles import Resources
 from repro.engines.registry import MultiEngineCloud
-from repro.execution.resilience import ResilienceManager
+from repro.execution.journal import (
+    PLAN_CHOSEN,
+    REPLAN,
+    RUN_ADMITTED,
+    RUN_FINISHED,
+    RUN_RESUMED,
+    STEP_FINISHED,
+    STEP_STARTED,
+    RecoveredRun,
+    RunJournal,
+    dataset_payload,
+    journal_path,
+    plan_payload,
+    recover,
+)
+from repro.execution.resilience import (
+    ResilienceManager,
+    RunCancelled,
+    RunControl,
+    RunDeadlineExceeded,
+)
 from repro.obs.accuracy import NULL_LEDGER, AccuracyLedger
 from repro.obs.context import bind_run_id, current_run_id, new_run_id
 from repro.obs.drift import DriftDetector
@@ -113,6 +134,8 @@ class ExecutionReport:
     replans: int = 0
     failures: list[str] = field(default_factory=list)
     retries: int = 0  # transient failures absorbed without replanning
+    #: steps seeded from a recovered journal instead of being re-executed
+    recovered_steps: int = 0
     #: planning passes (initial or replan) served from the plan cache
     cached_plans: int = 0
     #: PlanProvenance per planning pass (only with record_provenance planners)
@@ -197,6 +220,9 @@ class WorkflowExecutor:
         tracer: Tracer | None = None,
         ledger: AccuracyLedger | None = None,
         drift: DriftDetector | None = None,
+        journal_dir: str | Path | None = None,
+        journal_fsync: bool = True,
+        crash_after_steps: int | None = None,
     ) -> None:
         if strategy not in (IRES_REPLAN, TRIVIAL_REPLAN):
             raise ValueError(f"unknown replanning strategy {strategy!r}")
@@ -220,41 +246,134 @@ class WorkflowExecutor:
             else ResilienceManager(collector=cloud.collector)
         )
         self.failure_detection_seconds = failure_detection_seconds
+        #: when set, every run write-ahead journals its state under this
+        #: directory (one ``<run_id>.jsonl`` per run) and becomes resumable
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.journal_fsync = journal_fsync
+        #: crash-test hook: SIGKILL the process after journaling N steps
+        self.crash_after_steps = crash_after_steps
 
     # -- public -------------------------------------------------------------
-    def execute(self, workflow: AbstractWorkflow, cache=None) -> ExecutionReport:
+    def execute(
+        self,
+        workflow: AbstractWorkflow,
+        cache=None,
+        *,
+        run_id: str | None = None,
+        control: RunControl | None = None,
+        resume_from: RecoveredRun | None = None,
+    ) -> ExecutionReport:
         """Plan, enforce and (on failures) replan one workflow.
 
         ``cache`` (a :class:`~repro.execution.cache.ResultCache`) enables
         cross-execution reuse: steps whose computation the cache has already
         seen enter planning as materialized results, so only the new suffix
         of the workflow runs.
+
+        ``control`` wires in cooperative cancellation and a wall-clock
+        deadline (checked at step boundaries and inside retry loops);
+        ``resume_from`` seeds the run with a recovered journal's completed
+        steps, so only the unfinished suffix is planned and executed.
+        When ``journal_dir`` is configured, every state change is
+        write-ahead journaled and the run survives a scheduler crash.
         """
-        run_id = new_run_id()
+        if run_id is None:
+            run_id = resume_from.run_id if resume_from is not None else new_run_id()
+        journal = self._open_journal(run_id)
         with bind_run_id(run_id):
             with self.tracer.span(
                 f"execute:{workflow.name}", category="executor",
                 workflow=workflow.name, strategy=self.strategy,
             ) as span:
+                if journal is not None:
+                    if resume_from is not None:
+                        journal.append(
+                            RUN_RESUMED, workflow=workflow.name,
+                            recoveredSteps=len(resume_from.finished_steps))
+                    else:
+                        journal.append(RUN_ADMITTED, workflow=workflow.name,
+                                       strategy=self.strategy)
                 try:
-                    report = self._execute_inner(workflow, cache, run_id)
+                    report = self._execute_inner(
+                        workflow, cache, run_id, journal=journal,
+                        control=control, resume_from=resume_from)
+                except (RunCancelled, RunDeadlineExceeded) as exc:
+                    state = ("cancelled" if isinstance(exc, RunCancelled)
+                             else "deadline")
+                    _RUNS.inc(status=state, run_id=run_id)
+                    _LOG.warning("run_stopped", workflow=workflow.name,
+                                 state=state, error=str(exc))
+                    self._close_journal(journal, state, error=str(exc))
+                    raise
+                except KeyboardInterrupt:
+                    # SIGINT: journal a resumable state before propagating
+                    _RUNS.inc(status="interrupted", run_id=run_id)
+                    _LOG.warning("run_interrupted", workflow=workflow.name)
+                    self._close_journal(journal, "interrupted",
+                                        error="SIGINT")
+                    raise
                 except Exception as exc:
                     _RUNS.inc(status="failed", run_id=run_id)
                     _LOG.error("run_failed", workflow=workflow.name,
                                error=str(exc))
+                    self._close_journal(journal, "failed", error=str(exc))
                     raise
                 if self.tracer.enabled:
                     span.set_attribute("replans", report.replans)
                     span.set_attribute("retries", report.retries)
                     span.set_attribute("sim_time", report.sim_time)
+        if journal is not None:
+            journal.append(RUN_FINISHED, state="succeeded",
+                           simTime=report.sim_time, replans=report.replans,
+                           retries=report.retries,
+                           steps=len(report.executions),
+                           recoveredSteps=report.recovered_steps)
+            journal.close()
         _RUNS.inc(status="ok", run_id=run_id)
         _LOG.info("run_finished", workflow=workflow.name,
                   sim_time=report.sim_time, replans=report.replans,
                   retries=report.retries, steps=len(report.executions))
         return report
 
+    def resume(
+        self,
+        workflow: AbstractWorkflow,
+        recovered: RecoveredRun | str | Path,
+        cache=None,
+        control: RunControl | None = None,
+    ) -> ExecutionReport:
+        """Resume a journaled run: replay its journal, run only the rest.
+
+        ``recovered`` is a :class:`RecoveredRun` (or a journal path to
+        recover from).  Completed steps enter planning as materialized
+        results — they are never re-executed — and the journal is appended
+        in place, preserving the full run history across the crash.
+        """
+        if not isinstance(recovered, RecoveredRun):
+            recovered = recover(recovered)
+        return self.execute(workflow, cache, run_id=recovered.run_id,
+                            control=control, resume_from=recovered)
+
+    def _open_journal(self, run_id: str) -> RunJournal | None:
+        if self.journal_dir is None:
+            return None
+        return RunJournal(journal_path(self.journal_dir, run_id),
+                          run_id=run_id, fsync=self.journal_fsync,
+                          crash_after_steps=self.crash_after_steps)
+
+    @staticmethod
+    def _close_journal(journal: RunJournal | None, state: str,
+                       error: str = "") -> None:
+        if journal is None:
+            return
+        journal.append(RUN_FINISHED, state=state, error=error)
+        journal.close()
+
     def _execute_inner(
-        self, workflow: AbstractWorkflow, cache, run_id: str
+        self, workflow: AbstractWorkflow, cache, run_id: str,
+        journal: RunJournal | None = None,
+        control: RunControl | None = None,
+        resume_from: RecoveredRun | None = None,
     ) -> ExecutionReport:
         report = ExecutionReport(
             workflow=workflow.name, strategy=self.strategy, succeeded=False,
@@ -262,6 +381,9 @@ class WorkflowExecutor:
         )
         sim_start = self.cloud.clock.now
         completed: dict[str, Dataset] = {}
+        if resume_from is not None:
+            completed.update(resume_from.completed)
+            report.recovered_steps = len(resume_from.finished_steps)
         if cache is not None:
             # probe with a throwaway plan, then replan around the cached prefix
             probe = self._plan(workflow, completed, report)
@@ -278,19 +400,34 @@ class WorkflowExecutor:
             path = hdfs_path(dataset.path)
             if path is not None:
                 payload_paths[dataset.name] = path
-        plan = self._plan(workflow, completed, report)
+        plan = self._plan(workflow, completed, report, journal=journal)
         steps = list(plan.steps)
         cursor = 0
         while cursor < len(steps):
+            if control is not None:
+                control.check()
             step = steps[cursor]
             if self.fault_injector is not None and step.abstract_name:
                 self.fault_injector.on_operator_start(step.abstract_name)
             if self.health_checks:
                 self.cloud.cluster.run_health_checks()
+            if journal is not None:
+                journal.append(
+                    STEP_STARTED, index=cursor,
+                    abstract=step.abstract_name, operator=step.operator.name,
+                    engine="move" if step.is_move else (step.engine or ""),
+                    simStart=self.cloud.clock.now)
             try:
                 self._enforce_with_resilience(step, report, payload_paths,
-                                              workflow.name)
+                                              workflow.name, control=control)
             except EngineError as exc:
+                if journal is not None:
+                    journal.append(
+                        STEP_FINISHED, index=cursor, success=False,
+                        abstract=step.abstract_name,
+                        operator=step.operator.name,
+                        engine="move" if step.is_move else (step.engine or ""),
+                        error=str(exc))
                 report.failures.append(f"{step.operator.name}@{step.engine}: {exc}")
                 if report.replans >= self.max_replans:
                     raise ExecutionFailed(
@@ -305,7 +442,12 @@ class WorkflowExecutor:
                              engine=step.engine)
                 if self.strategy == TRIVIAL_REPLAN:
                     completed.clear()
-                plan = self._plan(workflow, completed, report)
+                if journal is not None:
+                    journal.append(REPLAN, reason="failure",
+                                   replan=report.replans,
+                                   failedStep=step.operator.name,
+                                   engine=step.engine or "")
+                plan = self._plan(workflow, completed, report, journal=journal)
                 steps = list(plan.steps)
                 cursor = 0
                 continue
@@ -316,6 +458,16 @@ class WorkflowExecutor:
                     self.cloud.hdfs.put(
                         f"/intermediates/{workflow.name}/{out.name}",
                         out.size, overwrite=True)
+            if journal is not None:
+                execution = report.executions[-1] if report.executions else None
+                journal.append(
+                    STEP_FINISHED, index=cursor, success=True,
+                    abstract=step.abstract_name, operator=step.operator.name,
+                    engine="move" if step.is_move else (step.engine or ""),
+                    simSeconds=execution.sim_seconds if execution else 0.0,
+                    attempt=execution.attempt if execution else 1,
+                    outputs=[dataset_payload(completed[out.name])
+                             for out in step.outputs])
             if cache is not None:
                 cache.store(step)
             cursor += 1
@@ -328,7 +480,11 @@ class WorkflowExecutor:
                 _REPLANS.inc(run_id=run_id)
                 _LOG.info("drift_replan", workflow=workflow.name,
                           completed_steps=cursor)
-                plan = self._plan(workflow, completed, report)
+                if journal is not None:
+                    journal.append(REPLAN, reason="drift",
+                                   replan=report.replans,
+                                   completedSteps=cursor)
+                plan = self._plan(workflow, completed, report, journal=journal)
                 steps = list(plan.steps)
                 cursor = 0
         report.succeeded = True
@@ -341,6 +497,7 @@ class WorkflowExecutor:
         workflow: AbstractWorkflow,
         completed: dict[str, Dataset],
         report: ExecutionReport,
+        journal: RunJournal | None = None,
     ) -> MaterializedPlan:
         available = self.cloud.available_engines()
         open_set: set[str] = set()
@@ -372,6 +529,19 @@ class WorkflowExecutor:
         report.plans.append(plan)
         if getattr(self.planner, "last_plan_cached", False):
             report.cached_plans += 1
+        if journal is not None:
+            from repro.core.plancache import workflow_digest
+
+            library = getattr(self.planner, "library", None)
+            plan_cache = getattr(self.planner, "plan_cache", None)
+            journal.append(PLAN_CHOSEN, **plan_payload(
+                plan,
+                digest=workflow_digest(workflow),
+                library_epoch=getattr(library, "epoch", None),
+                model_epoch=getattr(plan_cache, "model_epoch", None),
+                planning_seconds=report.planning_seconds[-1],
+                cached=bool(getattr(self.planner, "last_plan_cached", False)),
+            ))
         prov = getattr(self.planner, "last_provenance", None)
         if self.planner.record_provenance and prov is not None:
             report.provenances.append(prov)
@@ -409,6 +579,7 @@ class WorkflowExecutor:
         report: ExecutionReport,
         payload_paths: dict[str, str],
         workflow_name: str,
+        control: RunControl | None = None,
     ) -> None:
         """Enforce one step, absorbing transient faults with retries.
 
@@ -417,11 +588,13 @@ class WorkflowExecutor:
         exponential backoff charged to the simulated clock.  Every failure
         feeds the engine's circuit breaker; permanent errors — and transient
         ones once retries are exhausted or the breaker opens — propagate to
-        the replanning loop in :meth:`execute`.
+        the replanning loop in :meth:`execute`.  ``control`` is checked
+        before every attempt, so cancellation and deadlines cut retry loops
+        short instead of waiting out the backoff budget.
         """
         if not self.tracer.enabled:
             self._run_step_resilient(step, report, payload_paths,
-                                     workflow_name, None)
+                                     workflow_name, None, control)
             return
         with self.tracer.span(
             f"step:{step.operator.name}", category="executor",
@@ -432,10 +605,10 @@ class WorkflowExecutor:
             outputs=[d.name for d in step.outputs],
         ) as span:
             self._run_step_resilient(step, report, payload_paths,
-                                     workflow_name, span)
+                                     workflow_name, span, control)
 
     def _run_step_resilient(
-        self, step, report, payload_paths, workflow_name, span
+        self, step, report, payload_paths, workflow_name, span, control=None
     ) -> None:
         resilience = self.resilience
         if resilience is None or step.is_move:
@@ -449,6 +622,9 @@ class WorkflowExecutor:
         attempt = 0
         while True:
             attempt += 1
+            if control is not None:
+                # cancellation / deadline preempts further (re)tries
+                control.check()
             if not resilience.allow(engine_name, self.cloud.clock.now):
                 if span is not None:
                     span.add_event("breaker_open", engine=engine_name)

@@ -1,0 +1,359 @@
+"""Write-ahead run journal: durable execution state for crash recovery.
+
+IReS tolerates *engine* failures by replanning (§2.3) and transient faults
+by retrying (:mod:`repro.execution.resilience`) — but until now the
+scheduler itself was a single point of loss: kill the process mid-run and
+every completed step evaporated.  This module makes runs durable:
+
+- :class:`RunJournal` is an append-only JSONL file the enforcer writes
+  *before and after* every state change — run admitted, plan chosen
+  (digest + epochs), step started/finished (with actuals and materialized
+  outputs), replans, terminal state.  Every record carries a sequence
+  number and a CRC32 stamp and is flushed + ``fsync``'d before the
+  corresponding work is considered done, so a ``kill -9`` can lose at most
+  the record being written — never a completed step.
+- :func:`read_journal` replays a journal, tolerating exactly the torn
+  final line a crashed writer can leave behind (skip with a warning);
+  corruption anywhere else raises :class:`JournalCorruptError`.
+- :func:`recover` folds the records into a :class:`RecoveredRun`: the
+  completed steps' outputs become materialized results, so a resumed run
+  seeds the planner's dpTable (and the plan cache key) with them and only
+  the unfinished suffix is planned and executed — a journaled-finished
+  step is never re-executed.
+
+The journal is the durability substrate under the asyncio service layer
+(:mod:`repro.api.service`): the service journals every in-flight run and
+re-enqueues interrupted journals on startup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.dataset import Dataset
+from repro.core.workflow import MaterializedPlan
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+
+_LOG = get_logger("journal")
+
+_RECORDS = REGISTRY.counter(
+    "ires_journal_records_total",
+    "Run-journal records appended, by kind",
+    labels=("kind",),
+)
+_TORN = REGISTRY.counter(
+    "ires_journal_torn_lines_total",
+    "Torn (partially written) journal tail lines skipped on read",
+)
+_RECOVERIES = REGISTRY.counter(
+    "ires_journal_recoveries_total",
+    "Journal recovery reads, by terminal state found",
+    labels=("state",),
+)
+_APPEND_SECONDS = REGISTRY.histogram(
+    "ires_journal_append_seconds",
+    "Wall time spent durably appending one journal record "
+    "(serialize + write + flush + fsync)",
+)
+
+#: record kinds — the journal's append-only vocabulary
+RUN_ADMITTED = "run_admitted"
+RUN_RESUMED = "run_resumed"
+PLAN_CHOSEN = "plan_chosen"
+STEP_STARTED = "step_started"
+STEP_FINISHED = "step_finished"
+REPLAN = "replan"
+RUN_FINISHED = "run_finished"
+
+#: terminal states a ``run_finished`` record can carry
+TERMINAL_STATES = ("succeeded", "failed", "cancelled", "deadline", "interrupted")
+
+
+class JournalError(ValueError):
+    """A malformed journal file."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal line failed validation somewhere other than the tail."""
+
+
+def _stamp(record: dict) -> str:
+    """Serialize ``record`` with its CRC32 stamp appended."""
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode("utf-8"))
+    return canonical[:-1] + f',"crc":{crc}}}'
+
+
+def _validate(line: str, line_no: int) -> dict:
+    """Parse one journal line, verifying its CRC stamp."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"line {line_no}: not valid JSON: {exc}") from exc
+    if not isinstance(record, dict) or "crc" not in record:
+        raise JournalError(f"line {line_no}: missing crc stamp")
+    crc = record.pop("crc")
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode("utf-8")) != crc:
+        raise JournalError(f"line {line_no}: crc mismatch")
+    return record
+
+
+def _scan(path: str | Path) -> tuple[list[dict], int, bool]:
+    """Read a journal file: ``(records, valid_byte_length, torn_tail)``.
+
+    A single appending writer can only tear the *final* line (a crash mid
+    ``write``); that line is skipped and reported.  An invalid line that is
+    *not* the last one means real corruption and raises
+    :class:`JournalCorruptError`.
+    """
+    data = Path(path).read_bytes()
+    records: list[dict] = []
+    valid_bytes = 0
+    offset = 0
+    torn = False
+    text = data.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    last_content = max((i for i, ln in enumerate(lines) if ln.strip()),
+                       default=-1)
+    for i, line in enumerate(lines):
+        end = offset + len(line.encode("utf-8")) + 1  # +1 for the newline
+        is_last = i >= last_content
+        if not line.strip():
+            offset = end
+            continue
+        try:
+            record = _validate(line, i + 1)
+        except JournalError as exc:
+            if is_last:
+                torn = True
+                _TORN.inc()
+                _LOG.warning("journal_torn_tail", path=str(path),
+                             line=i + 1, error=str(exc))
+                break
+            raise JournalCorruptError(
+                f"{path}: corrupt record before the tail — {exc}"
+            ) from exc
+        records.append(record)
+        valid_bytes = min(end, len(data))
+        offset = end
+    return records, valid_bytes, torn
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Replay a journal file; skips a torn final line with a warning."""
+    records, _, _ = _scan(path)
+    return records
+
+
+def journal_path(journal_dir: str | Path, run_id: str) -> Path:
+    """The canonical journal file of one run."""
+    return Path(journal_dir) / f"{run_id}.jsonl"
+
+
+def list_journals(journal_dir: str | Path) -> list[Path]:
+    """Every run journal under a directory, sorted by modification time."""
+    root = Path(journal_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+
+
+def plan_payload(plan: MaterializedPlan, *, digest: str = "",
+                 library_epoch: int | None = None,
+                 model_epoch: int | None = None,
+                 planning_seconds: float = 0.0,
+                 cached: bool = False) -> dict:
+    """The ``plan_chosen`` record body for one planning pass."""
+    return {
+        "cost": plan.cost,
+        "digest": digest,
+        "libraryEpoch": library_epoch,
+        "modelEpoch": model_epoch,
+        "planningSeconds": round(planning_seconds, 6),
+        "cached": cached,
+        "steps": [
+            {
+                "abstract": step.abstract_name,
+                "operator": step.operator.name,
+                "engine": "move" if step.is_move else (step.engine or ""),
+                "isMove": step.is_move,
+            }
+            for step in plan.steps
+        ],
+    }
+
+
+def dataset_payload(dataset: Dataset) -> dict:
+    """A JSON-able descriptor from which the dataset can be rebuilt."""
+    return {"name": dataset.name,
+            "properties": dataset.metadata.to_properties()}
+
+
+class RunJournal:
+    """The write-ahead journal of one workflow run.
+
+    Opening an existing journal (a resume) truncates any torn tail line
+    first, so appended records always follow a valid prefix.  Every append
+    is flushed and — unless ``fsync=False`` — fsync'd before returning.
+
+    ``crash_after_steps`` is the crash-test hook used by the recovery smoke
+    suite: after journaling that many ``step_finished`` records the process
+    SIGKILLs itself, simulating a scheduler crash at an exact step boundary.
+    """
+
+    def __init__(self, path: str | Path, run_id: str = "",
+                 fsync: bool = True,
+                 crash_after_steps: int | None = None) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.fsync = fsync
+        self.crash_after_steps = crash_after_steps
+        self._seq = 0
+        self._steps_journaled = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            records, valid_bytes, torn = _scan(self.path)
+            if torn:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+            if records:
+                self._seq = int(records[-1].get("seq", len(records) - 1)) + 1
+                self._steps_journaled = sum(
+                    1 for r in records if r.get("kind") == STEP_FINISHED)
+                if not run_id:
+                    self.run_id = str(records[0].get("runId", ""))
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- writing -------------------------------------------------------------
+    def append(self, kind: str, **payload: object) -> dict:
+        """Durably append one record; returns the record as written."""
+        record: dict = {"seq": self._seq, "kind": kind,
+                        "runId": self.run_id,
+                        "wallTime": round(time.time(), 6)}
+        record.update(payload)
+        started = time.perf_counter()
+        self._handle.write(_stamp(record) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        _APPEND_SECONDS.observe(time.perf_counter() - started)
+        self._seq += 1
+        _RECORDS.inc(kind=kind)
+        if kind == STEP_FINISHED:
+            self._steps_journaled += 1
+            if (self.crash_after_steps is not None
+                    and self._steps_journaled >= self.crash_after_steps):
+                # the crash-test hook: die *after* the record hit the disk
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                os.kill(os.getpid(), signal.SIGKILL)
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file handle (appends after this reopen)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class RecoveredRun:
+    """Everything a crashed (or finished) journal says about its run."""
+
+    run_id: str
+    path: Path
+    workflow: str = ""
+    strategy: str = ""
+    #: dataset name -> materialized Dataset, from successful step_finished
+    #: records — the dpTable / plan-cache seed of a resumed run
+    completed: dict[str, Dataset] = field(default_factory=dict)
+    #: successful ``step_finished`` payloads, in journal order
+    finished_steps: list[dict] = field(default_factory=list)
+    #: terminal state from ``run_finished`` (None = interrupted mid-run)
+    terminal: str | None = None
+    plans: int = 0
+    replans: int = 0
+    resumes: int = 0
+    records: int = 0
+    torn_tail: bool = False
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the run stopped without finishing and can be resumed.
+
+        Covers both a hard crash (no terminal record at all — a ``kill -9``)
+        and a graceful interruption (SIGINT journals an ``interrupted``
+        terminal state before the process exits).
+        """
+        return self.terminal is None or self.terminal == "interrupted"
+
+    def finished_step_keys(self) -> set[tuple[str, str]]:
+        """The ``(abstract, operator)`` identities journaled as finished."""
+        return {(str(s.get("abstract", "")), str(s.get("operator", "")))
+                for s in self.finished_steps}
+
+    def to_dict(self) -> dict:
+        """JSON-able summary for the CLI / REST surfaces."""
+        return {
+            "runId": self.run_id,
+            "workflow": self.workflow,
+            "strategy": self.strategy,
+            "state": self.terminal or "interrupted",
+            "finishedSteps": len(self.finished_steps),
+            "completedDatasets": sorted(self.completed),
+            "plans": self.plans,
+            "replans": self.replans,
+            "resumes": self.resumes,
+            "records": self.records,
+            "tornTail": self.torn_tail,
+        }
+
+
+def recover(path: str | Path) -> RecoveredRun:
+    """Replay one journal into the state a resumed run starts from.
+
+    Completed steps' outputs come back as materialized datasets; the caller
+    hands them to the enforcer as ``resume_from`` so planning skips the
+    finished prefix entirely (zero re-execution).
+    """
+    path = Path(path)
+    records, _, torn = _scan(path)
+    run = RecoveredRun(run_id=path.stem, path=path, torn_tail=torn,
+                       records=len(records))
+    for record in records:
+        kind = record.get("kind")
+        if record.get("runId"):
+            run.run_id = str(record["runId"])
+        if kind == RUN_ADMITTED:
+            run.workflow = str(record.get("workflow", ""))
+            run.strategy = str(record.get("strategy", ""))
+        elif kind == RUN_RESUMED:
+            run.resumes += 1
+            run.workflow = str(record.get("workflow", run.workflow))
+        elif kind == PLAN_CHOSEN:
+            run.plans += 1
+        elif kind == REPLAN:
+            run.replans += 1
+        elif kind == STEP_FINISHED and record.get("success"):
+            run.finished_steps.append(record)
+            for out in record.get("outputs", ()):
+                dataset = Dataset(out["name"], dict(out.get("properties", {})),
+                                  materialized=True)
+                run.completed[dataset.name] = dataset
+        elif kind == RUN_FINISHED:
+            run.terminal = str(record.get("state", "failed"))
+    _RECOVERIES.inc(state=run.terminal or "interrupted")
+    return run

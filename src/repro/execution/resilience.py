@@ -17,10 +17,17 @@ module provides the policy objects the executor layer wires in:
   engine, computes per-step timeouts, counts retries / breaker transitions
   / speculation outcomes, and emits resilience events into the metrics
   collector so the §2.2.1 monitoring plane sees them.
+- :class:`RunControl` — per-run cooperative cancellation and wall-clock
+  deadline.  The enforcer checks it at every step boundary *and inside the
+  retry loop*, so a cancel or an expired deadline interrupts a retry/backoff
+  sequence instead of letting it run its full budget; the service layer
+  (:mod:`repro.api.service`) drives it from another thread.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -28,6 +35,64 @@ from dataclasses import dataclass, field
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+
+class RunCancelled(RuntimeError):
+    """The run was cancelled (operator action or service shutdown).
+
+    Deliberately *not* an :class:`~repro.engines.errors.EngineError`: the
+    replanning loop must not treat a cancellation as a step failure.
+    """
+
+
+class RunDeadlineExceeded(RuntimeError):
+    """The run overran its wall-clock deadline."""
+
+
+class RunControl:
+    """Cooperative cancellation + wall-clock deadline for one run.
+
+    Thread-safe: the service layer cancels from the event-loop thread while
+    the enforcer runs in a worker thread.  The enforcer calls :meth:`check`
+    at step boundaries and before every retry attempt; a set cancel flag
+    raises :class:`RunCancelled`, an expired deadline raises
+    :class:`RunDeadlineExceeded`.  Both leave the journal in a resumable
+    state (the terminal record says why the run stopped).
+    """
+
+    def __init__(self, deadline_seconds: float | None = None,
+                 clock=time.monotonic) -> None:
+        self.deadline_seconds = deadline_seconds
+        self._clock = clock
+        self.started_at = clock()
+        self._cancelled = threading.Event()
+        self.cancel_reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; takes effect at the next enforcer check."""
+        self.cancel_reason = reason or "cancelled"
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancelled.is_set()
+
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock seconds left before the deadline (None = unbounded)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - (self._clock() - self.started_at)
+
+    def check(self) -> None:
+        """Raise if the run should stop (cancelled or past its deadline)."""
+        if self._cancelled.is_set():
+            raise RunCancelled(self.cancel_reason or "run cancelled")
+        remaining = self.remaining_seconds()
+        if remaining is not None and remaining <= 0:
+            raise RunDeadlineExceeded(
+                f"run exceeded its {self.deadline_seconds:.1f}s deadline"
+            )
 
 
 @dataclass(frozen=True)

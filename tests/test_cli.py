@@ -360,3 +360,106 @@ def test_explain_bad_ledger_exits(library_dir, tmp_path):
 def test_explain_unknown_workflow_exits(library_dir):
     with pytest.raises(SystemExit):
         main(["explain", library_dir, "NoSuchWorkflow"])
+
+
+# -- journaling, crash recovery and the runs commands ------------------------
+
+def _journaled_run_id(library_dir, journal_dir, capsys) -> str:
+    assert main(["execute", library_dir, "CountWorkflow",
+                 "--journal-dir", str(journal_dir)]) == 0
+    out = capsys.readouterr().out
+    (run_id,) = [token.split("runId=")[1] for token in out.splitlines()
+                 if "runId=" in token]
+    return run_id
+
+
+def test_execute_journal_dir_writes_journal(library_dir, tmp_path, capsys):
+    journal_dir = tmp_path / "journals"
+    run_id = _journaled_run_id(library_dir, journal_dir, capsys)
+    assert (journal_dir / f"{run_id}.jsonl").exists()
+
+
+def test_runs_list_and_status_from_journals(library_dir, tmp_path, capsys):
+    import json
+
+    journal_dir = tmp_path / "journals"
+    run_id = _journaled_run_id(library_dir, journal_dir, capsys)
+    assert main(["runs", "list", "--journal-dir", str(journal_dir)]) == 0
+    out = capsys.readouterr().out
+    assert run_id in out and "succeeded" in out
+    assert main(["runs", "status", run_id,
+                 "--journal-dir", str(journal_dir)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["state"] == "succeeded"
+    assert payload["workflow"] == "CountWorkflow"
+
+
+def test_runs_list_without_source_exits():
+    with pytest.raises(SystemExit, match="journal-dir"):
+        main(["runs", "list"])
+
+
+def test_runs_status_unknown_run_exits(tmp_path):
+    (tmp_path / "journals").mkdir()
+    with pytest.raises(SystemExit, match="no journal"):
+        main(["runs", "status", "deadbeef",
+              "--journal-dir", str(tmp_path / "journals")])
+
+
+def test_runs_recover_resumes_interrupted_run(library_dir, tmp_path, capsys):
+    import json
+
+    journal_dir = tmp_path / "journals"
+    run_id = _journaled_run_id(library_dir, journal_dir, capsys)
+    # cut the journal after its first finished step: an interrupted run
+    path = journal_dir / f"{run_id}.jsonl"
+    kept = []
+    for line in path.read_text().splitlines():
+        kept.append(line)
+        if json.loads(line).get("kind") == "step_finished":
+            break
+    path.write_text("\n".join(kept) + "\n")
+    assert main(["runs", "list", "--journal-dir", str(journal_dir)]) == 0
+    assert "interrupted" in capsys.readouterr().out
+    assert main(["runs", "recover", library_dir, run_id,
+                 "--journal-dir", str(journal_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "recoveredSteps=1" in out
+    assert "executedSteps=0" in out  # nothing journaled-finished ran again
+
+
+def test_runs_recover_missing_journal_exits(library_dir, tmp_path):
+    with pytest.raises(SystemExit, match="no journal"):
+        main(["runs", "recover", library_dir, "deadbeef",
+              "--journal-dir", str(tmp_path)])
+
+
+def test_execute_crash_after_step_requires_journal_dir(library_dir):
+    with pytest.raises(SystemExit, match="journal-dir"):
+        main(["execute", library_dir, "CountWorkflow",
+              "--crash-after-step", "1"])
+
+
+def test_execute_sigint_prints_recover_hint(library_dir, tmp_path, capsys,
+                                            monkeypatch):
+    from repro.core.platform import IReS
+
+    def interrupt(self, workflow, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(IReS, "execute", interrupt)
+    journal_dir = tmp_path / "journals"
+    code = main(["execute", library_dir, "CountWorkflow",
+                 "--journal-dir", str(journal_dir)])
+    assert code == 130
+    out = capsys.readouterr().out
+    assert "interrupted: run" in out
+    assert "ires runs recover" in out
+    assert str(journal_dir) in out
+
+
+def test_execute_failed_run_exits_nonzero(library_dir, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["execute", library_dir, "CountWorkflow",
+              "--fail-rate", "1.0", "--chaos-seed", "3"])
+    assert excinfo.value.code != 0

@@ -1,0 +1,283 @@
+"""Tests for the write-ahead run journal and crash recovery."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IReS
+from repro.execution.journal import (
+    RUN_ADMITTED,
+    RUN_FINISHED,
+    STEP_FINISHED,
+    JournalCorruptError,
+    RunJournal,
+    journal_path,
+    list_journals,
+    read_journal,
+    recover,
+)
+from repro.scenarios import setup_helloworld
+
+
+def _run_with_journal(tmp_path, **ires_kwargs):
+    """Execute the helloworld chain with journaling; returns (ires, report)."""
+    ires = IReS(journal_dir=tmp_path, **ires_kwargs)
+    make = setup_helloworld(ires)
+    workflow = make()
+    ires.workflows[workflow.name] = workflow
+    report = ires.execute(workflow)
+    return ires, report
+
+
+# -- record plumbing ---------------------------------------------------------
+
+def test_append_and_read_round_trip(tmp_path):
+    path = tmp_path / "r1.jsonl"
+    with RunJournal(path, run_id="r1") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf", strategy="IResReplan")
+        journal.append(STEP_FINISHED, index=0, success=True, outputs=[])
+        journal.append(RUN_FINISHED, state="succeeded")
+    records = read_journal(path)
+    assert [r["kind"] for r in records] == [
+        RUN_ADMITTED, STEP_FINISHED, RUN_FINISHED]
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert all(r["runId"] == "r1" for r in records)
+
+
+def test_every_line_is_crc_stamped(tmp_path):
+    path = tmp_path / "r2.jsonl"
+    with RunJournal(path, run_id="r2") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf")
+    line = path.read_text().strip()
+    assert '"crc":' in line
+    assert json.loads(line)["kind"] == RUN_ADMITTED
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    path = tmp_path / "r3.jsonl"
+    with RunJournal(path, run_id="r3") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf")
+        journal.append(STEP_FINISHED, index=0, success=True, outputs=[])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 2, "kind": "run_fin')  # the crash
+    records = read_journal(path)
+    assert len(records) == 2  # torn tail dropped, valid prefix kept
+
+
+def test_tampered_record_is_detected_by_crc(tmp_path):
+    path = tmp_path / "r4.jsonl"
+    with RunJournal(path, run_id="r4") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf")
+        journal.append(RUN_FINISHED, state="succeeded")
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0].replace('"wf"', '"evil"')  # valid JSON, wrong crc
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalCorruptError):
+        read_journal(path)
+
+
+def test_resume_truncates_torn_tail_before_appending(tmp_path):
+    path = tmp_path / "r5.jsonl"
+    with RunJournal(path, run_id="r5") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("garbage-not-json")
+    with RunJournal(path) as journal:  # reopen = resume
+        assert journal.run_id == "r5"  # recovered from the first record
+        journal.append(RUN_FINISHED, state="succeeded")
+    records = read_journal(path)  # appended after a valid prefix, no tears
+    assert [r["kind"] for r in records] == [RUN_ADMITTED, RUN_FINISHED]
+    assert [r["seq"] for r in records] == [0, 1]
+
+
+def test_list_journals_and_path_helpers(tmp_path):
+    assert list_journals(tmp_path / "nope") == []
+    for run_id in ("a1", "b2"):
+        with RunJournal(journal_path(tmp_path, run_id), run_id=run_id) as j:
+            j.append(RUN_ADMITTED, workflow="wf")
+    assert {p.stem for p in list_journals(tmp_path)} == {"a1", "b2"}
+
+
+# -- enforcer integration ----------------------------------------------------
+
+def test_successful_run_journals_full_lifecycle(tmp_path):
+    ires, report = _run_with_journal(tmp_path)
+    records = read_journal(journal_path(tmp_path, report.run_id))
+    kinds = [r["kind"] for r in records]
+    assert kinds[0] == RUN_ADMITTED
+    assert kinds[1] == "plan_chosen"
+    assert kinds[-1] == RUN_FINISHED
+    finished = [r for r in records if r["kind"] == STEP_FINISHED]
+    assert len(finished) == len(report.executions)
+    assert all(r["success"] for r in finished)
+    # step_finished carries the materialized outputs recovery rebuilds from
+    assert all(r["outputs"] for r in finished if r.get("engine") != "move")
+    assert records[-1]["state"] == "succeeded"
+    assert records[-1]["steps"] == len(report.executions)
+
+
+def test_recover_of_finished_run(tmp_path):
+    _, report = _run_with_journal(tmp_path)
+    run = recover(journal_path(tmp_path, report.run_id))
+    assert run.terminal == "succeeded"
+    assert not run.interrupted
+    assert run.workflow == report.workflow
+    assert len(run.finished_steps) == len(report.executions)
+    assert "dd3" in run.completed  # the chain's target dataset
+    assert all(ds.materialized for ds in run.completed.values())
+
+
+def _truncate_after_steps(path, n_steps: int, garbage: str = "") -> None:
+    """Cut a journal right after its n-th ``step_finished`` record."""
+    lines = path.read_text().splitlines()
+    kept, seen = [], 0
+    for line in lines:
+        kept.append(line)
+        if json.loads(line).get("kind") == STEP_FINISHED:
+            seen += 1
+            if seen >= n_steps:
+                break
+    assert seen >= n_steps, f"journal has only {seen} finished steps"
+    path.write_text("\n".join(kept) + "\n" + garbage)
+
+
+def test_crash_recovery_resumes_without_reexecution(tmp_path):
+    _, report = _run_with_journal(tmp_path)
+    total_steps = len(report.executions)
+    assert total_steps >= 3
+    path = journal_path(tmp_path, report.run_id)
+    _truncate_after_steps(path, 2, garbage='{"seq": 99, "torn')
+
+    run = recover(path)
+    assert run.interrupted and run.torn_tail
+    assert len(run.finished_steps) == 2
+    done_before = run.finished_step_keys()
+
+    fresh = IReS(journal_dir=tmp_path)
+    make = setup_helloworld(fresh)
+    workflow = make()
+    fresh.workflows[workflow.name] = workflow
+    resumed = fresh.executor.resume(workflow, run)
+    assert resumed.succeeded
+    assert resumed.run_id == report.run_id
+    assert resumed.recovered_steps == 2
+    # zero re-execution: nothing journaled as finished ran again
+    executed = {(e.step.abstract_name, e.step.operator.name)
+                for e in resumed.executions}
+    assert not executed & done_before
+    assert len(resumed.executions) == total_steps - 2
+    # the journal now tells the whole story, crash included
+    records = read_journal(path)
+    kinds = [r["kind"] for r in records]
+    assert "run_resumed" in kinds
+    assert records[-1]["kind"] == RUN_FINISHED
+    assert records[-1]["state"] == "succeeded"
+    assert recover(path).resumes == 1
+
+
+def test_recover_run_platform_entry_point(tmp_path):
+    _, report = _run_with_journal(tmp_path)
+    path = journal_path(tmp_path, report.run_id)
+    _truncate_after_steps(path, 1)
+    fresh = IReS(journal_dir=tmp_path)
+    make = setup_helloworld(fresh)
+    workflow = make()
+    fresh.workflows[workflow.name] = workflow
+    resumed = fresh.recover_run(report.run_id)
+    assert resumed.succeeded
+    assert resumed.recovered_steps == 1
+
+
+def test_recover_run_requires_journal_dir():
+    ires = IReS()
+    with pytest.raises(ValueError, match="journal_dir"):
+        ires.recover_run("deadbeef")
+
+
+def test_recover_run_unknown_workflow_lists_available(tmp_path):
+    _, report = _run_with_journal(tmp_path)
+    fresh = IReS(journal_dir=tmp_path)  # no workflows registered
+    with pytest.raises(KeyError, match="available"):
+        fresh.recover_run(report.run_id)
+
+
+def test_journal_disabled_by_default(tmp_path):
+    ires = IReS()
+    make = setup_helloworld(ires)
+    report = ires.execute(make())
+    assert report.succeeded
+    assert ires.executor.journal_dir is None
+    assert list_journals(tmp_path) == []
+
+
+def test_sigint_terminal_state_counts_as_interrupted(tmp_path):
+    path = tmp_path / "s1.jsonl"
+    with RunJournal(path, run_id="s1") as journal:
+        journal.append(RUN_ADMITTED, workflow="wf", strategy="IResReplan")
+        journal.append(RUN_FINISHED, state="interrupted", error="SIGINT")
+    run = recover(path)
+    assert run.terminal == "interrupted"
+    assert run.interrupted  # resumable, unlike failed/cancelled
+
+
+# -- replay-idempotence property (hypothesis) --------------------------------
+
+_JOURNAL_CACHE: dict = {}
+
+
+def _reference_run(tmp_path_factory):
+    """One journaled helloworld run, executed once per test session."""
+    if "run" not in _JOURNAL_CACHE:
+        root = tmp_path_factory.mktemp("journal-prop")
+        _, report = _run_with_journal(root)
+        path = journal_path(root, report.run_id)
+        steps = [(e.step.abstract_name, e.step.operator.name)
+                 for e in report.executions]
+        _JOURNAL_CACHE["run"] = (path.read_text().splitlines(),
+                                 report.run_id, set(steps))
+    return _JOURNAL_CACHE["run"]
+
+
+@pytest.fixture(scope="module")
+def reference_run(tmp_path_factory):
+    return _reference_run(tmp_path_factory)
+
+
+@settings(max_examples=12, deadline=None)
+@given(prefix_seed=st.integers(min_value=1, max_value=10_000),
+       torn=st.booleans())
+def test_replaying_any_prefix_converges(reference_run, tmp_path_factory,
+                                        prefix_seed, torn):
+    """Resuming from any journal prefix reaches the same final step set,
+    and never re-executes a step the prefix journaled as finished."""
+    lines, run_id, full_steps = reference_run
+    # every prefix must contain run_admitted (line 0) to name the workflow
+    keep = 1 + prefix_seed % len(lines)
+    root = tmp_path_factory.mktemp("prefix")
+    path = journal_path(root, run_id)
+    body = "\n".join(lines[:keep]) + "\n"
+    if torn:
+        body += '{"seq": 999, "kind": "step_fin'  # a torn tail on top
+    path.write_text(body)
+
+    run = recover(path)
+    done_before = run.finished_step_keys()
+
+    ires = IReS(journal_dir=root)
+    make = setup_helloworld(ires)
+    workflow = make()
+    ires.workflows[workflow.name] = workflow
+    if run.terminal == "succeeded":
+        # the prefix includes the terminal record: nothing left to resume
+        assert run.finished_step_keys() == full_steps
+        return
+    resumed = ires.executor.resume(workflow, run)
+    assert resumed.succeeded
+    executed = {(e.step.abstract_name, e.step.operator.name)
+                for e in resumed.executions}
+    # convergence: recovered prefix + resumed suffix == the full run
+    assert done_before | executed == full_steps
+    # idempotence: a journaled-finished step is never re-executed
+    assert not executed & done_before

@@ -154,6 +154,57 @@ class TestCollectorPersistence:
         assert collector.for_operator("retry") == []
 
 
+class TestTornTailTolerance:
+    """load() must skip a torn final line, but still raise on corruption."""
+
+    def _save_three(self, tmp_path):
+        collector = MetricsCollector()
+        for i in range(3):
+            collector.record(MetricRecord(f"op{i}", "alg", "E", 1.0 + i, 0.0))
+        path = tmp_path / "runs.jsonl"
+        assert collector.save(path) == 3
+        return path
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = self._save_three(tmp_path)
+        text = path.read_text()
+        # tear the last record mid-write, like a crashed saver would
+        path.write_text(text[: text.rindex('"exec_time"') + 5])
+        restored = MetricsCollector()
+        assert restored.load(path) == 2
+        assert [r.operator for r in restored.all()] == ["op0", "op1"]
+
+    def test_garbage_appended_line_is_skipped(self, tmp_path):
+        path = self._save_three(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json at all")
+        restored = MetricsCollector()
+        assert restored.load(path) == 3
+
+    def test_torn_tail_followed_by_blank_lines_is_skipped(self, tmp_path):
+        path = self._save_three(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"operator": "op3"\n\n\n')
+        restored = MetricsCollector()
+        assert restored.load(path) == 3
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        import pytest
+
+        path = self._save_three(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:20]  # mid-file damage is not a torn tail
+        path.write_text("\n".join(lines) + "\n")
+        restored = MetricsCollector()
+        with pytest.raises(ValueError, match="line 2"):
+            restored.load(path)
+
+    def test_intact_file_loads_fully(self, tmp_path):
+        path = self._save_three(tmp_path)
+        restored = MetricsCollector()
+        assert restored.load(path) == 3
+
+
 class TestNonFiniteRoundtrip:
     """save()/load() must preserve every non-finite exec_time, not just +inf."""
 
