@@ -44,18 +44,24 @@ def make_http_server(server: IResServer, host: str = "127.0.0.1",
                             "application/json")
                 return
             path = self.path.split("?", 1)[0]
+            # HEAD routes exactly like GET; only the response body is elided
             response = server.handle(
-                method, path, body if isinstance(body, dict) else {})
+                "GET" if method == "HEAD" else method, path,
+                body if isinstance(body, dict) else {})
             extra = {}
             if response.status in (429, 503) and "retryAfter" in response.body:
                 extra["Retry-After"] = str(response.body["retryAfter"])
+            if not response.content_type.startswith("application/json"):
+                # /dashboard and /metrics are live views — never cache them
+                extra["Cache-Control"] = "no-store"
             self._write(response.status, response.payload(),
-                        response.content_type, extra)
+                        response.content_type, extra,
+                        head_only=method == "HEAD")
             _LOG.debug("request", method=method, path=path,
                        status=response.status)
 
         def _write(self, status: int, payload: str, content_type: str,
-                   extra: dict | None = None) -> None:
+                   extra: dict | None = None, head_only: bool = False) -> None:
             data = payload.encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", content_type)
@@ -63,10 +69,14 @@ def make_http_server(server: IResServer, host: str = "127.0.0.1",
             for name, value in (extra or {}).items():
                 self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(data)
+            if not head_only:
+                self.wfile.write(data)
 
         def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
             self._dispatch("GET")
+
+        def do_HEAD(self) -> None:  # noqa: N802
+            self._dispatch("HEAD")
 
         def do_POST(self) -> None:  # noqa: N802
             self._dispatch("POST")

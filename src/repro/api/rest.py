@@ -44,7 +44,11 @@ GET    /runs                                              list submitted runs
 GET    /runs/{run_id}                                     one run's status
 POST   /runs/{run_id}/cancel                              cancel queued/running
 POST   /runs/{run_id}/recover                             resume from journal
+GET    /runs/{run_id}/timeline                            merged run timeline
 GET    /service                                           service stats
+GET    /tenants                                           per-tenant accounting
+GET    /slo                                               SLO burn-rate status
+GET    /dashboard                                         live HTML dashboard
 ====== ================================================= =====================
 
 The ``/runs`` and ``/service`` resources need an attached
@@ -395,9 +399,13 @@ class IResServer:
             rec = service.status(run_id)
             self._expect(rec is not None, 404, f"no run {run_id!r}")
             return Response(200, rec.to_dict())
+        action = rest[1] if len(rest) == 2 else ""
+        if action == "timeline":
+            self._expect(method == "GET", 405, "use GET")
+            return self._run_timeline(service, run_id)
         self._expect(len(rest) == 2 and method == "POST", 405,
-                     "use POST /runs/{run_id}/cancel|recover")
-        action = rest[1]
+                     "use POST /runs/{run_id}/cancel|recover or "
+                     "GET /runs/{run_id}/timeline")
         if action == "cancel":
             try:
                 return Response(200, service.cancel(run_id).to_dict())
@@ -424,6 +432,71 @@ class IResServer:
         self._expect(method == "GET", 405, "use GET")
         self._expect(not rest, 404, "use /service")
         return Response(200, service.stats())
+
+    # -- /tenants ------------------------------------------------------------
+    def _tenants(self, method, rest, body) -> Response:
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /tenants")
+        self._expect(service.accounts is not None, 404,
+                     "tenant accounting disabled (accounts=False)")
+        return Response(200, service.accounts.snapshot())
+
+    # -- /slo ----------------------------------------------------------------
+    def _slo(self, method, rest, body) -> Response:
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /slo")
+        self._expect(service.slo is not None, 404,
+                     "SLO tracking disabled (slo=False)")
+        return Response(200, service.slo.status())
+
+    # -- /dashboard ----------------------------------------------------------
+    def _dashboard(self, method, rest, body) -> Response:
+        from repro.obs.dashboard import render_dashboard
+
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /dashboard")
+        html = render_dashboard(
+            service=service.stats(),
+            slo=service.slo.status() if service.slo is not None else {},
+            tenants=(service.accounts.snapshot()
+                     if service.accounts is not None else {}),
+            runs={"runs": [rec.to_dict() for rec in service.runs()]},
+        )
+        return Response(200, text=html,
+                        content_type="text/html; charset=utf-8")
+
+    def _run_timeline(self, service, run_id: str) -> Response:
+        """Merge one run's journal, spans, logs and record (GET .../timeline)."""
+        from repro.execution.journal import JournalError, read_journal
+        from repro.obs.logging import recent as recent_logs
+        from repro.obs.timeline import build_timeline, timeline_to_dict
+
+        rec = service.status(run_id)
+        journal_records: list[dict] = []
+        if service.journal_dir is not None:
+            from repro.execution.journal import journal_path
+
+            path = journal_path(service.journal_dir, run_id)
+            if path.exists():
+                try:
+                    journal_records = read_journal(path)
+                except JournalError:
+                    journal_records = []
+        spans: list = []
+        for platform in [self.ires, *service.platforms()]:
+            spans.extend(platform.tracer.spans(run_id))
+        events = build_timeline(
+            run_id,
+            journal_records=journal_records,
+            spans=spans,
+            logs=recent_logs(n=2000, run_id=run_id),
+            record=rec,
+        )
+        self._expect(bool(events), 404, f"no telemetry for run {run_id!r}")
+        return Response(200, timeline_to_dict(run_id, events))
 
     # -- /models -------------------------------------------------------------
     def _models(self, method, rest, body) -> Response:

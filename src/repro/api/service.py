@@ -52,9 +52,11 @@ from repro.execution.resilience import (
     RunControl,
     RunDeadlineExceeded,
 )
-from repro.obs.context import new_run_id
+from repro.obs.accounting import TenantAccounts, usage_from_report
+from repro.obs.context import bind_run_id, bind_tenant, new_run_id
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.slo import SLOTracker
 
 _LOG = get_logger("service")
 
@@ -66,7 +68,7 @@ _SUBMISSIONS = REGISTRY.counter(
 _RUNS = REGISTRY.counter(
     "ires_service_runs_total",
     "Service runs reaching a terminal state",
-    labels=("status",),
+    labels=("status", "tenant"),
 )
 _QUEUE_DEPTH = REGISTRY.gauge(
     "ires_service_queue_depth",
@@ -80,6 +82,14 @@ _RUN_SECONDS = REGISTRY.histogram(
     "ires_service_run_seconds",
     "Wall seconds from submission to terminal state",
     labels=("status",),
+)
+_QUEUE_WAIT = REGISTRY.histogram(
+    "ires_service_queue_wait_seconds",
+    "Wall seconds from admission to execution start",
+)
+_TELEMETRY_SECONDS = REGISTRY.histogram(
+    "ires_service_telemetry_seconds",
+    "Wall seconds the service spent on accounting + SLO evaluation per run",
 )
 
 #: run lifecycle states
@@ -119,6 +129,8 @@ class RunRecord:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: wall seconds spent queued before execution started
+    queued_wait_seconds: float | None = None
     deadline_seconds: float | None = None
     control: RunControl | None = None
     #: recovered journal state when this is a resumed run
@@ -142,6 +154,9 @@ class RunRecord:
             "submittedAt": round(self.submitted_at, 6),
             "startedAt": self.started_at,
             "finishedAt": self.finished_at,
+            "queuedWaitSeconds": (
+                None if self.queued_wait_seconds is None
+                else round(self.queued_wait_seconds, 6)),
             "deadlineSeconds": self.deadline_seconds,
             "resumed": self.resume is not None,
         }
@@ -171,6 +186,8 @@ class IResService:
         journal_dir: str | Path | None = None,
         default_deadline_seconds: float | None = None,
         history_limit: int = 1024,
+        accounts: "TenantAccounts | bool" = True,
+        slo: "SLOTracker | bool" = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -197,6 +214,27 @@ class IResService:
         self._platforms: dict[int, IReS] = {}
         #: EWMA of completed-run wall latency, feeding the retry-after hint
         self._latency_ewma: float | None = None
+        #: EWMA of measured queue wait (admission → start) — the primary
+        #: signal behind the 429 retry-after estimate
+        self._queue_wait_ewma: float | None = None
+        #: EWMA of execution duration (start → terminal), projecting the
+        #: extra wait each queued run ahead of a new submission adds
+        self._exec_seconds_ewma: float | None = None
+        #: per-tenant cost attribution (GET /tenants); pass accounts=False
+        #: to disable, or a TenantAccounts instance to share one
+        if accounts is True:
+            self.accounts: TenantAccounts | None = TenantAccounts()
+        elif accounts is False:
+            self.accounts = None
+        else:
+            self.accounts = accounts
+        #: SLO tracking with burn-rate alarms (GET /slo); slo=False disables
+        if slo is True:
+            self.slo: SLOTracker | None = SLOTracker()
+        elif slo is False:
+            self.slo = None
+        else:
+            self.slo = slo
         self.peak_active = 0
         self._active = 0
 
@@ -236,10 +274,7 @@ class IResService:
             self._ring.clear()
             _QUEUE_DEPTH.set(0)
         for rec in leftovers:
-            rec.state = INTERRUPTED
-            rec.finished_at = time.time()
-            rec.done.set()
-            _RUNS.inc(status=INTERRUPTED)
+            self._finish(rec, INTERRUPTED, error="service shutdown")
         with self._lock:
             running = [rec for rec in self._runs.values()
                        if rec.state == RUNNING]
@@ -315,10 +350,21 @@ class IResService:
         return rec
 
     def _retry_after_locked(self) -> float:
-        latency = self._latency_ewma or 5.0
         depth = sum(len(q) for q in self._pending.values())
-        return round(min(max(latency * (depth + 1) / self.workers, 1.0),
-                         60.0), 2)
+        if self._queue_wait_ewma is not None:
+            # anchor on what recent submissions *actually* waited, then
+            # project the backlog ahead of a new submission from the
+            # execution-duration EWMA
+            per_run = (self._exec_seconds_ewma
+                       if self._exec_seconds_ewma is not None
+                       else (self._latency_ewma or 5.0))
+            estimate = self._queue_wait_ewma + per_run * depth / self.workers
+        else:
+            # cold start: no completed runs yet, fall back to the
+            # latency-model guess
+            latency = self._latency_ewma or 5.0
+            estimate = latency * (depth + 1) / self.workers
+        return round(min(max(estimate, 1.0), 60.0), 2)
 
     def _trim_history_locked(self) -> None:
         if len(self._runs) <= self.history_limit:
@@ -344,17 +390,16 @@ class IResService:
             rec = self._runs.get(run_id)
             if rec is None:
                 raise KeyError(f"unknown run {run_id!r}")
-            if rec.state == QUEUED:
+            queued = rec.state == QUEUED
+            if queued:
                 queue = self._pending.get(rec.tenant)
                 if queue is not None and rec in queue:
                     queue.remove(rec)
                     _QUEUE_DEPTH.set(
                         sum(len(q) for q in self._pending.values()))
-                rec.state = CANCELLED
-                rec.finished_at = time.time()
-                rec.done.set()
-                _RUNS.inc(status=CANCELLED)
-                return rec
+        if queued:
+            self._finish(rec, CANCELLED, error="cancelled while queued")
+            return rec
         if rec.state == RUNNING and rec.control is not None:
             rec.control.cancel("cancelled by request")
         return rec
@@ -425,7 +470,16 @@ class IResService:
                 "queuedByTenant": tenants,
                 "journalDir": str(self.journal_dir) if self.journal_dir else None,
                 "retryAfterHint": self._retry_after_locked(),
+                "queueWaitEwmaSeconds": (
+                    None if self._queue_wait_ewma is None
+                    else round(self._queue_wait_ewma, 6)),
+                "sloActiveAlarms": (
+                    self.slo.active_alarms() if self.slo is not None else []),
             }
+
+    def platforms(self) -> "list[IReS]":
+        """The worker platform instances built so far (tracers, journals)."""
+        return list(self._platforms.values())
 
     # -- workers -------------------------------------------------------------
     def _wake_workers(self) -> None:
@@ -481,15 +535,29 @@ class IResService:
         rec.control = RunControl(deadline_seconds=rec.deadline_seconds)
         rec.state = RUNNING
         rec.started_at = time.time()
+        rec.queued_wait_seconds = max(rec.started_at - rec.submitted_at, 0.0)
+        _QUEUE_WAIT.observe(rec.queued_wait_seconds)
         with self._lock:
             self._active += 1
             self.peak_active = max(self.peak_active, self._active)
+            self._queue_wait_ewma = (
+                rec.queued_wait_seconds if self._queue_wait_ewma is None
+                else 0.7 * self._queue_wait_ewma
+                + 0.3 * rec.queued_wait_seconds
+            )
         _ACTIVE.set(self._active)
+
+        def _execute() -> object:
+            # bind the service-assigned correlation ids in the worker
+            # thread: enforcer spans, metrics, logs and journal records
+            # then share the submission's run_id and tenant
+            with bind_run_id(rec.run_id), bind_tenant(rec.tenant):
+                return platform.execute(
+                    workflow, control=rec.control, run_id=rec.run_id,
+                    resume_from=rec.resume)
+
         try:
-            report = await asyncio.to_thread(
-                platform.execute, workflow,
-                control=rec.control, run_id=rec.run_id,
-                resume_from=rec.resume)
+            report = await asyncio.to_thread(_execute)
         except RunCancelled as exc:
             self._finish(rec, CANCELLED, error=str(exc))
         except RunDeadlineExceeded as exc:
@@ -507,13 +575,14 @@ class IResService:
                 "recoveredSteps": report.recovered_steps,
                 "cachedPlans": report.cached_plans,
             }
-            self._finish(rec, SUCCEEDED)
+            self._finish(rec, SUCCEEDED, report=report)
         finally:
             with self._lock:
                 self._active -= 1
             _ACTIVE.set(self._active)
 
-    def _finish(self, rec: RunRecord, state: str, error: str = "") -> None:
+    def _finish(self, rec: RunRecord, state: str, error: str = "",
+                report=None) -> None:
         rec.state = state
         rec.error = error
         rec.finished_at = time.time()
@@ -523,8 +592,46 @@ class IResService:
                 latency if self._latency_ewma is None
                 else 0.7 * self._latency_ewma + 0.3 * latency
             )
-        _RUNS.inc(status=state)
+            if rec.started_at is not None:
+                exec_seconds = rec.finished_at - rec.started_at
+                self._exec_seconds_ewma = (
+                    exec_seconds if self._exec_seconds_ewma is None
+                    else 0.7 * self._exec_seconds_ewma + 0.3 * exec_seconds
+                )
+        _RUNS.inc(status=state, tenant=rec.tenant)
         _RUN_SECONDS.observe(latency, status=state)
+        self._record_telemetry(rec, state, latency, report)
         _LOG.info("run_terminal", run_id=rec.run_id, state=state,
-                  latency_seconds=round(latency, 4), error=error or None)
+                  tenant=rec.tenant, latency_seconds=round(latency, 4),
+                  error=error or None)
         rec.done.set()
+
+    def _record_telemetry(self, rec: RunRecord, state: str, latency: float,
+                          report) -> None:
+        """Feed accounting and the SLO tracker; self-measure the cost."""
+        if self.accounts is None and self.slo is None:
+            return
+        telemetry_start = time.perf_counter()
+        if self.accounts is not None:
+            journal_bytes = 0
+            if self.journal_dir is not None:
+                try:
+                    journal_bytes = journal_path(
+                        self.journal_dir, rec.run_id).stat().st_size
+                except OSError:
+                    journal_bytes = 0
+            self.accounts.record(usage_from_report(
+                run_id=rec.run_id, tenant=rec.tenant, workflow=rec.workflow,
+                state=state, report=report,
+                queued_wait_seconds=rec.queued_wait_seconds or 0.0,
+                journal_bytes=journal_bytes))
+        if self.slo is not None and state in (SUCCEEDED, FAILED, DEADLINE):
+            # cancellations/interruptions are operator actions, not
+            # service failures — they stay out of the error budget
+            self.slo.record_run(
+                succeeded=state == SUCCEEDED,
+                latency_seconds=latency,
+                queue_wait_seconds=rec.queued_wait_seconds or 0.0,
+                at=rec.finished_at, tenant=rec.tenant)
+            self.slo.evaluate(now=rec.finished_at)
+        _TELEMETRY_SECONDS.observe(time.perf_counter() - telemetry_start)

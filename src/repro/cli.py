@@ -12,6 +12,10 @@ Works against an on-disk ``asapLibrary/`` directory (see
     ires explain   <library_dir> <workflow>   # why each engine was chosen
     ires accuracy report <ledger_file>        # prediction-error statistics
     ires trace summarize <trace_file>         # per-phase trace summary
+    ires serve     <library_dir>              # async execution service
+    ires top       --server URL               # live service terminal view
+    ires tenants   --server URL               # per-tenant usage accounting
+    ires timeline  <run_id> --server URL      # one run's merged timeline
 
 ``ires lint`` runs the multi-pass static analyzer of :mod:`repro.analysis`
 (schema, match, dataflow, model-readiness, config) and prints located
@@ -250,12 +254,20 @@ def cmd_serve(args) -> int:
     from repro.api.httpd import make_http_server
     from repro.api.rest import IResServer
     from repro.api.service import IResService
+    from repro.obs.slo import SLOTracker, load_slo_config
 
     def factory() -> IReS:
         ires = IReS()
         load_asap_library(args.library, ires)
         return ires
 
+    slo: SLOTracker | bool = True
+    if args.slo_config:
+        try:
+            slo = SLOTracker(load_slo_config(args.slo_config))
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot load SLO config {args.slo_config!r}: "
+                     f"{exc}")
     service = IResService(
         factory,
         workers=args.workers,
@@ -263,6 +275,7 @@ def cmd_serve(args) -> int:
         tenant_quota=args.tenant_quota,
         journal_dir=args.journal_dir,
         default_deadline_seconds=args.deadline,
+        slo=slo,
     )
     server = IResServer(factory(), service=service)
     httpd = make_http_server(server, args.host, args.port)
@@ -414,6 +427,156 @@ def cmd_runs_recover(args) -> int:
           f"executedSteps={len(report.executions)} "
           f"simTime={report.sim_time:.2f}s replans={report.replans}")
     return 0 if report.succeeded else 1
+
+
+def cmd_tenants(args) -> int:
+    """``ires tenants``: per-tenant usage accounting from a live service."""
+    import json
+
+    snapshot = _http_json("GET", args.server, "/tenants")
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    tenants = snapshot.get("tenants", [])
+    if not tenants:
+        print("no tenant activity yet")
+        return 0
+    print(f"  {'tenant':<16} {'runs':>5} {'ok':>4} {'fail':>4} "
+          f"{'core-s':>9} {'queued-s':>9} {'retries':>7} {'replans':>7} "
+          f"{'journal-B':>9}")
+    for tenant in tenants:
+        by_state = tenant.get("runsByState", {})
+        print(f"  {tenant['tenant']:<16} {tenant['runs']:>5} "
+              f"{by_state.get('succeeded', 0):>4} "
+              f"{by_state.get('failed', 0):>4} "
+              f"{tenant['totalCoreSeconds']:>9.2f} "
+              f"{tenant['queuedWaitSeconds']:>9.3f} "
+              f"{tenant['retries']:>7} {tenant['replans']:>7} "
+              f"{tenant['journalBytes']:>9}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """``ires timeline``: one run's merged event timeline.
+
+    Against ``--server`` the service merges journal records, trace spans,
+    structured logs and the run record; with ``--journal-dir`` only the
+    on-disk journal skeleton is shown (works without a live service).
+    """
+    import json
+
+    from repro.obs.timeline import TimelineEvent, build_timeline, render_text
+
+    if args.server:
+        payload = _http_json(
+            "GET", args.server, f"/runs/{args.run_id}/timeline")
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        events = [TimelineEvent(kind=e["kind"], source=e["source"],
+                                wall=e.get("wall"), sim=e.get("sim"),
+                                detail=e.get("detail", {}))
+                  for e in payload.get("events", [])]
+        print(render_text(args.run_id, events))
+        return 0
+    if not args.journal_dir:
+        sys.exit("error: pass --server URL or --journal-dir DIR")
+    from repro.execution.journal import (
+        JournalError,
+        journal_path,
+        read_journal,
+    )
+
+    path = journal_path(args.journal_dir, args.run_id)
+    try:
+        records = read_journal(path)
+    except FileNotFoundError:
+        sys.exit(f"error: no journal for run {args.run_id!r} under "
+                 f"{args.journal_dir}")
+    except JournalError as exc:
+        sys.exit(f"error: {exc}")
+    events = build_timeline(args.run_id, journal_records=records)
+    if args.format == "json":
+        from repro.obs.timeline import timeline_to_dict
+
+        print(json.dumps(timeline_to_dict(args.run_id, events),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_text(args.run_id, events))
+    return 0
+
+
+def _render_top(base: str) -> str:
+    """One ``ires top`` frame polled from a live service."""
+    from repro.obs.metrics import parse_exposition
+
+    stats = _http_json("GET", base, "/service")
+    lines = [
+        f"ires service {base}  "
+        f"accepting={'yes' if stats.get('accepting') else 'NO'}",
+        f"  queue={stats.get('queueDepth', 0)} "
+        f"active={stats.get('active', 0)}/{stats.get('workers', '?')} "
+        f"peak={stats.get('peakActive', 0)} "
+        f"queueWaitEwma={stats.get('queueWaitEwmaSeconds') or 0:.3f}s "
+        f"retryAfterHint={stats.get('retryAfterHint', 0):.1f}s",
+    ]
+    by_state = stats.get("runsByState") or {}
+    if by_state:
+        states = " ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
+        lines.append(f"  runs: {states}")
+    try:
+        slo = _http_json("GET", base, "/slo")
+    except SystemExit:
+        slo = {}
+    for status in slo.get("slos", []):
+        flag = "ALARM" if status["state"] == "alarming" else "ok"
+        lines.append(
+            f"  slo {status['slo']:<16} {flag:<5} "
+            f"compliance={status['compliance']:.4f} "
+            f"burn={status['burnRateShort']:.2f}/{status['burnRateLong']:.2f}"
+            f" ({status['eventsShort']} events)")
+    try:
+        tenants = _http_json("GET", base, "/tenants")
+    except SystemExit:
+        tenants = {}
+    for tenant in tenants.get("tenants", []):
+        lines.append(
+            f"  tenant {tenant['tenant']:<14} runs={tenant['runs']:<4} "
+            f"core-s={tenant['totalCoreSeconds']:<9.2f} "
+            f"queued-s={tenant['queuedWaitSeconds']:.3f}")
+    # the runs-total counter (status x tenant) comes from /metrics text
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(base.rstrip("/") + "/metrics") as resp:
+            parsed = parse_exposition(resp.read().decode())
+        finished = sum(
+            value for name, labels, value in parsed["samples"]
+            if name == "ires_service_runs_total")
+        lines.append(f"  finished runs (metrics): {finished:.0f}")
+    except (urllib.error.URLError, ValueError, KeyError):
+        pass
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """``ires top``: a refreshing terminal view of a live service."""
+    import time as _time
+
+    if args.once:
+        print(_render_top(args.server))
+        return 0
+    try:
+        while True:
+            frame = _render_top(args.server)
+            # clear screen + home, then one frame
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def cmd_frontier(args) -> int:
@@ -737,7 +900,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    metavar="SECONDS",
                    help="graceful-drain budget on shutdown (default 30)")
+    p.add_argument("--slo-config", default=None, metavar="FILE",
+                   help="JSON file of SLO specs ({\"slos\": [...]}); "
+                        "default: built-in availability/latency/queue-wait "
+                        "objectives")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("tenants", help="per-tenant usage accounting "
+                                       "from a live service")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="a running `ires serve` base URL")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.set_defaults(func=cmd_tenants)
+
+    p = sub.add_parser("timeline", help="one run's merged event timeline")
+    p.add_argument("run_id")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="a running `ires serve` base URL (full merge)")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="build the timeline from the on-disk journal only")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("top", help="refreshing terminal view of a live "
+                                   "service (queue, SLOs, tenants)")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="a running `ires serve` base URL")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh period (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scripts/CI)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("runs", help="inspect, cancel and recover runs")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

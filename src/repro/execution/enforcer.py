@@ -66,7 +66,12 @@ from repro.execution.resilience import (
     RunDeadlineExceeded,
 )
 from repro.obs.accuracy import NULL_LEDGER, AccuracyLedger
-from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.context import (
+    bind_run_id,
+    current_run_id,
+    current_tenant,
+    new_run_id,
+)
 from repro.obs.drift import DriftDetector
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
@@ -117,6 +122,9 @@ class StepExecution:
     success: bool
     error: str | None = None
     attempt: int = 1  # 1 = first try; >1 = a resilience-layer retry
+    #: engine cores the step ran with (0 for data moves) — the accounting
+    #: layer charges engine-core-seconds = sim_seconds * cores per tenant
+    cores: int = 0
 
 
 @dataclass
@@ -280,19 +288,22 @@ class WorkflowExecutor:
         if run_id is None:
             run_id = resume_from.run_id if resume_from is not None else new_run_id()
         journal = self._open_journal(run_id)
+        tenant = current_tenant() or ""
         with bind_run_id(run_id):
             with self.tracer.span(
                 f"execute:{workflow.name}", category="executor",
                 workflow=workflow.name, strategy=self.strategy,
+                tenant=tenant,
             ) as span:
                 if journal is not None:
                     if resume_from is not None:
                         journal.append(
                             RUN_RESUMED, workflow=workflow.name,
-                            recoveredSteps=len(resume_from.finished_steps))
+                            recoveredSteps=len(resume_from.finished_steps),
+                            tenant=tenant)
                     else:
                         journal.append(RUN_ADMITTED, workflow=workflow.name,
-                                       strategy=self.strategy)
+                                       strategy=self.strategy, tenant=tenant)
                 try:
                     report = self._execute_inner(
                         workflow, cache, run_id, journal=journal,
@@ -758,7 +769,8 @@ class WorkflowExecutor:
             self.cloud.clock.advance(detect)
             report.executions.append(
                 StepExecution(step, engine.name, detect, started, success=False,
-                              error=str(exc), attempt=attempt)
+                              error=str(exc), attempt=attempt,
+                              cores=resources.cores)
             )
             _STEPS.inc(engine=engine.name, status="failed",
                        run_id=current_run_id() or "")
@@ -777,7 +789,7 @@ class WorkflowExecutor:
                 payload_paths[out.name] = path
         report.executions.append(
             StepExecution(step, engine.name, sim_seconds, started,
-                          success=True, attempt=attempt)
+                          success=True, attempt=attempt, cores=resources.cores)
         )
         _STEPS.inc(engine=engine.name, status="ok",
                    run_id=current_run_id() or "")
@@ -830,7 +842,8 @@ class WorkflowExecutor:
         ))
         report.executions.append(
             StepExecution(step, engine_name, sim_seconds, started,
-                          success=False, error=error, attempt=attempt)
+                          success=False, error=error, attempt=attempt,
+                          cores=resources.cores)
         )
         _STEPS.inc(engine=engine_name, status="failed",
                    run_id=current_run_id() or "")

@@ -7,15 +7,35 @@ Three pillars, one correlation key (the per-run ``run_id``):
 - :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
   and fixed-bucket histograms with Prometheus text exposition;
 - :mod:`repro.obs.logging` — structured JSON log lines.
+
+Service-level telemetry (DESIGN §12) builds on those pillars:
+
+- :mod:`repro.obs.accounting` — per-tenant cost attribution;
+- :mod:`repro.obs.slo` — declarative SLOs with burn-rate alarms;
+- :mod:`repro.obs.timeline` — one merged per-run event timeline;
+- :mod:`repro.obs.dashboard` — the self-contained ``GET /dashboard`` page.
 """
 
+from repro.obs.accounting import (
+    RunUsage,
+    TenantAccounts,
+    TenantUsage,
+    usage_from_report,
+)
 from repro.obs.accuracy import (
     NULL_LEDGER,
     AccuracyLedger,
     LedgerEntry,
     PairStats,
 )
-from repro.obs.context import bind_run_id, current_run_id, new_run_id
+from repro.obs.context import (
+    bind_run_id,
+    bind_tenant,
+    current_run_id,
+    current_tenant,
+    new_run_id,
+)
+from repro.obs.dashboard import render_dashboard
 from repro.obs.drift import DriftAlarm, DriftDetector
 from repro.obs.logging import StructuredLogger, configure as configure_logging
 from repro.obs.logging import get_logger, recent as recent_logs
@@ -28,6 +48,20 @@ from repro.obs.metrics import (
     get_registry,
     parse_exposition,
 )
+from repro.obs.slo import (
+    SLOAlarm,
+    SLOSpec,
+    SLOStatus,
+    SLOTracker,
+    default_slos,
+    load_slo_config,
+)
+from repro.obs.timeline import (
+    TimelineEvent,
+    build_timeline,
+    render_text as render_timeline_text,
+    timeline_to_dict,
+)
 from repro.obs.tracing import (
     NULL_TRACER,
     Span,
@@ -39,7 +73,8 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
-    "bind_run_id", "current_run_id", "new_run_id",
+    "bind_run_id", "bind_tenant", "current_run_id", "current_tenant",
+    "new_run_id",
     "StructuredLogger", "configure_logging", "get_logger", "recent_logs",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
     "get_registry", "parse_exposition",
@@ -47,4 +82,10 @@ __all__ = [
     "spans_to_chrome", "summarize_spans",
     "NULL_LEDGER", "AccuracyLedger", "LedgerEntry", "PairStats",
     "DriftAlarm", "DriftDetector",
+    "RunUsage", "TenantAccounts", "TenantUsage", "usage_from_report",
+    "SLOAlarm", "SLOSpec", "SLOStatus", "SLOTracker", "default_slos",
+    "load_slo_config",
+    "TimelineEvent", "build_timeline", "render_timeline_text",
+    "timeline_to_dict",
+    "render_dashboard",
 ]

@@ -3,6 +3,10 @@
 Every workflow execution gets a ``run_id``; binding it here lets the tracer,
 the metrics registry and the structured logger stamp the same identifier on
 everything they emit without threading it through every call signature.
+
+Service-submitted runs additionally carry a ``tenant``: the execution
+service binds it around the worker-thread execution, so enforcer spans and
+journal records can attribute cost to the submitting tenant.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from contextvars import ContextVar
 from typing import Iterator
 
 _RUN_ID: ContextVar[str | None] = ContextVar("ires_run_id", default=None)
+_TENANT: ContextVar[str | None] = ContextVar("ires_tenant", default=None)
 
 
 def new_run_id() -> str:
@@ -33,3 +38,18 @@ def bind_run_id(run_id: str) -> Iterator[str]:
         yield run_id
     finally:
         _RUN_ID.reset(token)
+
+
+def current_tenant() -> str | None:
+    """The tenant bound to the current context, or None outside a run."""
+    return _TENANT.get()
+
+
+@contextmanager
+def bind_tenant(tenant: str) -> Iterator[str]:
+    """Bind ``tenant`` for the duration of the block (re-entrant)."""
+    token = _TENANT.set(tenant)
+    try:
+        yield tenant
+    finally:
+        _TENANT.reset(token)

@@ -1,0 +1,174 @@
+"""Self-contained live service dashboard (no dependencies, DESIGN §12).
+
+``GET /dashboard`` renders one portable HTML document — same approach as
+:mod:`repro.obs.htmlreport`: inline styles, an embedded JSON snapshot, no
+external assets — showing queue depth, active runs, per-tenant throughput
+and cost, SLO burn rates and recent runs.  A small inline script re-polls
+``/service``, ``/slo``, ``/tenants`` and ``/runs`` every few seconds when
+the page is served by a live ``ires serve``; opened from a file (a CI
+artifact), it simply renders the embedded snapshot.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { text-align: left; padding: .35rem .6rem;
+         border-bottom: 1px solid #ddd; }
+th { background: #f4f4f8; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.meta { color: #666; font-size: .8rem; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+.tile { background: #fbfbfd; border: 1px solid #e2e2ea; border-radius: 6px;
+        padding: .7rem 1.1rem; min-width: 8.5rem; }
+.tile .v { font-size: 1.5rem; font-weight: 600;
+           font-variant-numeric: tabular-nums; }
+.tile .k { color: #666; font-size: .75rem; text-transform: uppercase;
+           letter-spacing: .04em; }
+.ok { color: #1e8e3e; font-weight: 600; }
+.bad { color: #c0392b; font-weight: 600; }
+.state-succeeded { color: #1e8e3e; } .state-failed { color: #c0392b; }
+.state-running { color: #2d6cdf; } .state-queued { color: #8a6d1a; }
+"""
+
+_SCRIPT = """
+function esc(s) {
+  return String(s).replace(/[&<>"]/g,
+    c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+}
+function fmt(v, digits) {
+  if (v === null || v === undefined) return '-';
+  if (typeof v !== 'number') return esc(v);
+  return v.toFixed(digits === undefined ? 2 : digits);
+}
+function tiles(svc) {
+  const accepting = svc.accepting
+    ? '<span class="ok">yes</span>' : '<span class="bad">no</span>';
+  const pairs = [
+    ['queue depth', fmt(svc.queueDepth, 0)],
+    ['active runs', fmt(svc.active, 0)],
+    ['peak active', fmt(svc.peakActive, 0)],
+    ['workers', fmt(svc.workers, 0)],
+    ['queue wait ewma (s)', fmt(svc.queueWaitEwmaSeconds, 3)],
+    ['retry-after hint (s)', fmt(svc.retryAfterHint, 1)],
+    ['accepting', accepting],
+  ];
+  return pairs.map(([k, v]) =>
+    `<div class="tile"><div class="v">${v}</div>` +
+    `<div class="k">${esc(k)}</div></div>`).join('');
+}
+function sloRows(slo) {
+  return (slo.slos || []).map(s => {
+    const cls = s.state === 'ok' ? 'ok' : 'bad';
+    return `<tr><td>${esc(s.slo)}</td><td>${esc(s.kind)}</td>` +
+      `<td class="num">${fmt(s.target, 3)}</td>` +
+      `<td class="num">${fmt(s.compliance, 4)}</td>` +
+      `<td class="num">${fmt(s.burnRateShort)}</td>` +
+      `<td class="num">${fmt(s.burnRateLong)}</td>` +
+      `<td class="num">${fmt(s.eventsShort, 0)}</td>` +
+      `<td class="${cls}">${esc(s.state)}</td></tr>`;
+  }).join('');
+}
+function tenantRows(tenants) {
+  return (tenants.tenants || []).map(t =>
+    `<tr><td>${esc(t.tenant)}</td>` +
+    `<td class="num">${fmt(t.runs, 0)}</td>` +
+    `<td class="num">${fmt((t.runsByState || {}).succeeded || 0, 0)}</td>` +
+    `<td class="num">${fmt((t.runsByState || {}).failed || 0, 0)}</td>` +
+    `<td class="num">${fmt(t.totalCoreSeconds)}</td>` +
+    `<td class="num">${fmt(t.queuedWaitSeconds, 3)}</td>` +
+    `<td class="num">${fmt(t.retries, 0)}</td>` +
+    `<td class="num">${fmt(t.replans, 0)}</td>` +
+    `<td class="num">${fmt(t.journalBytes, 0)}</td></tr>`).join('');
+}
+function runRows(runs) {
+  const rows = (runs.runs || []).slice(-25).reverse();
+  return rows.map(r =>
+    `<tr><td><code>${esc(r.runId)}</code></td>` +
+    `<td>${esc(r.workflow)}</td><td>${esc(r.tenant)}</td>` +
+    `<td class="state-${esc(r.state)}">${esc(r.state)}</td>` +
+    `<td class="num">${fmt(r.queuedWaitSeconds, 3)}</td>` +
+    `<td>${esc(r.error || '')}</td></tr>`).join('');
+}
+function render(data) {
+  document.getElementById('tiles').innerHTML = tiles(data.service || {});
+  document.getElementById('slo-body').innerHTML = sloRows(data.slo || {});
+  document.getElementById('tenant-body').innerHTML =
+    tenantRows(data.tenants || {});
+  document.getElementById('run-body').innerHTML = runRows(data.runs || {});
+  const active = ((data.slo || {}).activeAlarms || []);
+  document.getElementById('alarm-line').innerHTML = active.length
+    ? `<span class="bad">ALARMING: ${active.map(esc).join(', ')}</span>`
+    : '<span class="ok">no active SLO alarms</span>';
+}
+async function poll() {
+  try {
+    const [service, slo, tenants, runs] = await Promise.all(
+      ['/service', '/slo', '/tenants', '/runs'].map(
+        p => fetch(p).then(r => r.json())));
+    render({service, slo, tenants, runs});
+    document.getElementById('freshness').textContent =
+      'live, refreshed ' + new Date().toLocaleTimeString();
+  } catch (err) {
+    document.getElementById('freshness').textContent =
+      'static snapshot (no live service reachable)';
+  }
+}
+const seed = JSON.parse(
+  document.getElementById('dashboard-data').textContent);
+render(seed);
+if (location.protocol.startsWith('http')) {
+  poll();
+  setInterval(poll, 3000);
+}
+"""
+
+
+def render_dashboard(
+    service: dict[str, Any],
+    slo: dict[str, Any],
+    tenants: dict[str, Any],
+    runs: dict[str, Any],
+    title: str = "IReS service dashboard",
+) -> str:
+    """The full self-contained dashboard document for one snapshot."""
+    snapshot = {"service": service, "slo": slo, "tenants": tenants,
+                "runs": runs}
+    # </script> inside the data island would end it early; escape the slash
+    data = json.dumps(snapshot).replace("</", "<\\/")
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{_html.escape(title)}</h1>"
+        "<p class='meta' id='freshness'>embedded snapshot</p>"
+        "<p id='alarm-line'></p>"
+        "<div class='tiles' id='tiles'></div>"
+        "<h2>Service-level objectives</h2>"
+        "<table><thead><tr><th>SLO</th><th>kind</th>"
+        "<th class='num'>target</th><th class='num'>compliance</th>"
+        "<th class='num'>burn (short)</th><th class='num'>burn (long)</th>"
+        "<th class='num'>events</th><th>state</th></tr></thead>"
+        "<tbody id='slo-body'></tbody></table>"
+        "<h2>Tenants</h2>"
+        "<table><thead><tr><th>tenant</th><th class='num'>runs</th>"
+        "<th class='num'>ok</th><th class='num'>failed</th>"
+        "<th class='num'>core-seconds</th><th class='num'>queued wait (s)</th>"
+        "<th class='num'>retries</th><th class='num'>replans</th>"
+        "<th class='num'>journal bytes</th></tr></thead>"
+        "<tbody id='tenant-body'></tbody></table>"
+        "<h2>Recent runs</h2>"
+        "<table><thead><tr><th>run</th><th>workflow</th><th>tenant</th>"
+        "<th>state</th><th class='num'>queued wait (s)</th><th>error</th>"
+        "</tr></thead><tbody id='run-body'></tbody></table>"
+        "<script type='application/json' id='dashboard-data'>"
+        + data
+        + f"</script><script>{_SCRIPT}</script></body></html>"
+    )

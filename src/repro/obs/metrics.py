@@ -267,9 +267,15 @@ class Histogram(Metric):
     def __init__(self, name: str, help: str = "", labels: tuple = (),
                  buckets: tuple | None = None) -> None:
         super().__init__(name, help, labels)
-        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        # Drop non-finite bounds: render_into always appends the implicit
+        # cumulative +Inf bucket, so an explicit inf bound would emit a
+        # duplicate le="+Inf" series (and NaN never sorts meaningfully).
+        bounds = tuple(sorted(
+            b for b in (buckets if buckets is not None else DEFAULT_BUCKETS)
+            if math.isfinite(b)
+        ))
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         self.buckets = bounds
 
     def observe(self, value: float, **labels: str) -> None:

@@ -1,0 +1,372 @@
+"""Declarative SLOs with multi-window burn-rate alarms (DESIGN §12).
+
+An :class:`SLOSpec` states an objective over service runs — availability,
+p-quantile plan+execute latency, or max queue wait — as a *good-event
+fraction*: ``target`` is the fraction of runs that must be good, so the
+error budget is ``1 - target``.  A run is good when
+
+- ``availability``: it reached a successful terminal state,
+- ``latency``: its submission→terminal latency was ≤ ``threshold_seconds``
+  (``target=0.99`` therefore reads "p99 latency ≤ threshold"),
+- ``queue_wait``: it waited ≤ ``threshold_seconds`` before starting.
+
+:class:`SLOTracker` keeps the raw run events in sliding windows and, per
+spec, computes the **burn rate** — bad-fraction / error-budget — over a
+short and a long window (the Google SRE multi-window pattern: the short
+window makes alarms fast, the long window keeps them from flapping on a
+single bad run).  When both windows burn faster than
+``burn_rate_threshold``, the spec enters the ``alarming`` state: a
+structured ``slo_alarm`` log line is emitted, ``ires_slo_alarms_total``
+increments, and the alarm is kept until the short-window burn drops back
+under the threshold (hysteresis).
+
+The clock is injectable so window math is testable under a simulated
+clock; the service feeds :meth:`SLOTracker.record_run` with wall-clock
+events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+
+_LOG = get_logger("slo")
+
+_BURN_RATE = REGISTRY.gauge(
+    "ires_slo_burn_rate",
+    "Error-budget burn rate per SLO and evaluation window",
+    labels=("slo", "window"),
+)
+_COMPLIANCE = REGISTRY.gauge(
+    "ires_slo_compliance",
+    "Good-event fraction per SLO over the long window",
+    labels=("slo",),
+)
+_ALARM_ACTIVE = REGISTRY.gauge(
+    "ires_slo_alarm_active",
+    "1 while an SLO's multi-window burn-rate alarm is firing",
+    labels=("slo",),
+)
+_ALARMS = REGISTRY.counter(
+    "ires_slo_alarms_total",
+    "Burn-rate alarm activations per SLO",
+    labels=("slo",),
+)
+
+#: supported objective kinds
+KINDS = ("availability", "latency", "queue_wait")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over service runs."""
+
+    name: str
+    kind: str
+    #: required good-event fraction; the error budget is ``1 - target``
+    target: float = 0.99
+    #: latency / queue-wait cutoff defining a good event (those kinds only)
+    threshold_seconds: float | None = None
+    short_window_seconds: float = 300.0
+    long_window_seconds: float = 3600.0
+    #: both windows must burn the budget this many times faster than
+    #: sustainable before the alarm fires
+    burn_rate_threshold: float = 2.0
+    #: short-window events needed before the alarm may fire (noise floor)
+    min_events: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"SLO kind must be one of {KINDS}, "
+                             f"got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), "
+                             f"got {self.target}")
+        if self.kind in ("latency", "queue_wait") \
+                and self.threshold_seconds is None:
+            raise ValueError(f"SLO {self.name!r} ({self.kind}) needs "
+                             "threshold_seconds")
+        if self.short_window_seconds <= 0 \
+                or self.long_window_seconds < self.short_window_seconds:
+            raise ValueError("windows must satisfy 0 < short <= long")
+        if self.burn_rate_threshold <= 0:
+            raise ValueError("burn_rate_threshold must be > 0")
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad-event fraction."""
+        return 1.0 - self.target
+
+    def is_good(self, event: "RunEvent") -> bool:
+        """Whether one run event meets this objective."""
+        if self.kind == "availability":
+            return event.succeeded
+        if self.kind == "latency":
+            assert self.threshold_seconds is not None
+            return event.latency_seconds <= self.threshold_seconds
+        assert self.threshold_seconds is not None
+        return event.queue_wait_seconds <= self.threshold_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able spec view (the config schema, camel-cased)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "thresholdSeconds": self.threshold_seconds,
+            "shortWindowSeconds": self.short_window_seconds,
+            "longWindowSeconds": self.long_window_seconds,
+            "burnRateThreshold": self.burn_rate_threshold,
+            "minEvents": self.min_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SLOSpec":
+        """Build a spec from its (camel-cased) config dict."""
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            target=float(payload.get("target", 0.99)),
+            threshold_seconds=(
+                None if payload.get("thresholdSeconds") is None
+                else float(payload["thresholdSeconds"])),
+            short_window_seconds=float(
+                payload.get("shortWindowSeconds", 300.0)),
+            long_window_seconds=float(
+                payload.get("longWindowSeconds", 3600.0)),
+            burn_rate_threshold=float(
+                payload.get("burnRateThreshold", 2.0)),
+            min_events=int(payload.get("minEvents", 3)),
+        )
+
+
+def default_slos() -> list[SLOSpec]:
+    """The out-of-the-box objectives ``ires serve`` tracks."""
+    return [
+        SLOSpec("availability", "availability", target=0.99),
+        SLOSpec("latency-p99", "latency", target=0.99,
+                threshold_seconds=30.0),
+        SLOSpec("queue-wait", "queue_wait", target=0.95,
+                threshold_seconds=10.0),
+    ]
+
+
+def load_slo_config(path: str | Path) -> list[SLOSpec]:
+    """Load ``{"slos": [{...}, ...]}`` from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    slos = payload.get("slos")
+    if not isinstance(slos, list) or not slos:
+        raise ValueError(f"{path}: config needs a non-empty 'slos' list")
+    specs = [SLOSpec.from_dict(entry) for entry in slos]
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{path}: duplicate SLO names in {names}")
+    return specs
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One terminal run, as the SLO layer sees it."""
+
+    at: float
+    succeeded: bool
+    latency_seconds: float
+    queue_wait_seconds: float
+    tenant: str = ""
+
+
+@dataclass(frozen=True)
+class SLOAlarm:
+    """One burn-rate alarm activation."""
+
+    slo: str
+    at: float
+    burn_rate_short: float
+    burn_rate_long: float
+    short_window_seconds: float
+    long_window_seconds: float
+    events_short: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able alarm view."""
+        return {
+            "slo": self.slo,
+            "at": round(self.at, 6),
+            "burnRateShort": round(self.burn_rate_short, 4),
+            "burnRateLong": round(self.burn_rate_long, 4),
+            "shortWindowSeconds": self.short_window_seconds,
+            "longWindowSeconds": self.long_window_seconds,
+            "eventsShort": self.events_short,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One spec's evaluation at a point in time."""
+
+    spec: SLOSpec
+    at: float
+    burn_rate_short: float = 0.0
+    burn_rate_long: float = 0.0
+    compliance: float = 1.0
+    events_short: int = 0
+    events_long: int = 0
+    alarming: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able status view (one ``GET /slo`` row)."""
+        return {
+            "slo": self.spec.name,
+            "kind": self.spec.kind,
+            "target": self.spec.target,
+            "thresholdSeconds": self.spec.threshold_seconds,
+            "burnRateShort": round(self.burn_rate_short, 4),
+            "burnRateLong": round(self.burn_rate_long, 4),
+            "burnRateThreshold": self.spec.burn_rate_threshold,
+            "compliance": round(self.compliance, 6),
+            "eventsShort": self.events_short,
+            "eventsLong": self.events_long,
+            "state": "alarming" if self.alarming else "ok",
+        }
+
+
+class SLOTracker:
+    """Sliding-window SLO evaluation with multi-window burn-rate alarms."""
+
+    def __init__(
+        self,
+        specs: Iterable[SLOSpec] | None = None,
+        clock: Callable[[], float] | None = None,
+        max_alarms: int = 256,
+    ) -> None:
+        self.specs = list(specs) if specs is not None else default_slos()
+        if not self.specs:
+            raise ValueError("SLOTracker needs at least one spec")
+        import time as _time
+
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else _time.time)
+        self.max_alarms = max_alarms
+        self._lock = threading.Lock()
+        self._events: list[RunEvent] = []
+        self._active: set[str] = set()
+        self.alarms: list[SLOAlarm] = []
+        self._horizon = max(s.long_window_seconds for s in self.specs)
+
+    # -- ingestion -----------------------------------------------------------
+    def record_run(
+        self,
+        succeeded: bool,
+        latency_seconds: float,
+        queue_wait_seconds: float = 0.0,
+        at: float | None = None,
+        tenant: str = "",
+    ) -> None:
+        """Record one terminal run (``at`` defaults to the tracker clock)."""
+        event = RunEvent(
+            at=self._clock() if at is None else at,
+            succeeded=succeeded,
+            latency_seconds=max(latency_seconds, 0.0),
+            queue_wait_seconds=max(queue_wait_seconds, 0.0),
+            tenant=tenant,
+        )
+        with self._lock:
+            self._events.append(event)
+            self._prune_locked(event.at)
+
+    def _prune_locked(self, now: float) -> None:
+        cutoff = now - self._horizon
+        if self._events and self._events[0].at < cutoff:
+            self._events = [e for e in self._events if e.at >= cutoff]
+
+    # -- evaluation ----------------------------------------------------------
+    @staticmethod
+    def _burn(spec: SLOSpec, events: list[RunEvent]) -> tuple[float, int]:
+        """(burn rate, event count) of one spec over a window's events."""
+        if not events:
+            return 0.0, 0
+        bad = sum(1 for e in events if not spec.is_good(e))
+        bad_fraction = bad / len(events)
+        return bad_fraction / max(spec.error_budget, 1e-9), len(events)
+
+    def evaluate(self, now: float | None = None) -> list[SLOStatus]:
+        """Evaluate every spec, updating gauges and firing alarm edges."""
+        at = self._clock() if now is None else now
+        with self._lock:
+            events = list(self._events)
+        statuses: list[SLOStatus] = []
+        fired: list[SLOAlarm] = []
+        for spec in self.specs:
+            short = [e for e in events
+                     if at - spec.short_window_seconds <= e.at <= at]
+            long = [e for e in events
+                    if at - spec.long_window_seconds <= e.at <= at]
+            burn_short, n_short = self._burn(spec, short)
+            burn_long, n_long = self._burn(spec, long)
+            compliance = (
+                sum(1 for e in long if spec.is_good(e)) / n_long
+                if n_long else 1.0)
+            status = SLOStatus(
+                spec=spec, at=at,
+                burn_rate_short=burn_short, burn_rate_long=burn_long,
+                compliance=compliance,
+                events_short=n_short, events_long=n_long,
+            )
+            over = (burn_short >= spec.burn_rate_threshold
+                    and burn_long >= spec.burn_rate_threshold
+                    and n_short >= spec.min_events)
+            with self._lock:
+                was_active = spec.name in self._active
+                if over and not was_active:
+                    self._active.add(spec.name)
+                    alarm = SLOAlarm(
+                        slo=spec.name, at=at,
+                        burn_rate_short=burn_short, burn_rate_long=burn_long,
+                        short_window_seconds=spec.short_window_seconds,
+                        long_window_seconds=spec.long_window_seconds,
+                        events_short=n_short,
+                    )
+                    self.alarms.append(alarm)
+                    if len(self.alarms) > self.max_alarms:
+                        del self.alarms[:len(self.alarms) - self.max_alarms]
+                    fired.append(alarm)
+                elif was_active and burn_short < spec.burn_rate_threshold:
+                    # hysteresis: clear only once the fast window recovers
+                    self._active.discard(spec.name)
+                status.alarming = spec.name in self._active
+            _BURN_RATE.set(burn_short, slo=spec.name, window="short")
+            _BURN_RATE.set(burn_long, slo=spec.name, window="long")
+            _COMPLIANCE.set(compliance, slo=spec.name)
+            _ALARM_ACTIVE.set(1.0 if status.alarming else 0.0, slo=spec.name)
+            statuses.append(status)
+        for alarm in fired:
+            _ALARMS.inc(slo=alarm.slo)
+            _LOG.warning(
+                "slo_alarm", slo=alarm.slo,
+                burn_rate_short=round(alarm.burn_rate_short, 3),
+                burn_rate_long=round(alarm.burn_rate_long, 3),
+                events_short=alarm.events_short,
+            )
+        return statuses
+
+    def active_alarms(self) -> list[str]:
+        """Names of the specs currently in the alarming state."""
+        with self._lock:
+            return sorted(self._active)
+
+    def status(self, now: float | None = None) -> dict[str, Any]:
+        """JSON-able tracker snapshot (the ``GET /slo`` body)."""
+        statuses = self.evaluate(now)
+        with self._lock:
+            alarms = [a.to_dict() for a in self.alarms[-50:]]
+        return {
+            "slos": [s.to_dict() for s in statuses],
+            "alarms": alarms,
+            "activeAlarms": self.active_alarms(),
+        }

@@ -1,0 +1,202 @@
+"""Unified per-run timelines: journal + spans + logs in one ordered view.
+
+"Why was this run slow" needs one merged, time-ordered story from queue
+admission through every step, retry and replan — but that story is spread
+over three stores with two clocks: the write-ahead journal stamps epoch
+wall time (``time.time``), trace spans stamp ``time.perf_counter``, and
+the structured-log ring stamps epoch again.  :func:`build_timeline` merges
+them for one ``run_id``, converting perf-counter timestamps to the epoch
+axis via the in-process offset (valid whenever the spans were produced by
+this process — the live-service case), and returns ordered
+:class:`TimelineEvent` rows.
+
+Offline (``ires timeline <run_id> --journal-dir``), the journal alone
+still yields the admission → plan → step → replan → finish skeleton.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: journal bookkeeping keys that are not event detail
+_JOURNAL_META = ("seq", "kind", "runId", "wallTime")
+
+
+def perf_epoch_offset() -> float:
+    """Seconds to add to a ``perf_counter`` stamp to get epoch time."""
+    return time.time() - time.perf_counter()
+
+
+@dataclass
+class TimelineEvent:
+    """One merged event on a run's timeline."""
+
+    kind: str
+    #: producing store: journal | span | span-event | log | service
+    source: str
+    wall: float | None = None
+    sim: float | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+    #: merge-stable tiebreak for identical timestamps
+    seq: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able event view (one ``GET /runs/{id}/timeline`` row)."""
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "wall": None if self.wall is None else round(self.wall, 6),
+            "sim": None if self.sim is None else round(self.sim, 6),
+            "detail": self.detail,
+        }
+
+
+def _journal_events(records: Iterable[dict[str, Any]],
+                    run_id: str) -> list[TimelineEvent]:
+    events = []
+    for record in records:
+        if record.get("runId") not in (None, run_id):
+            continue
+        detail = {k: v for k, v in record.items() if k not in _JOURNAL_META}
+        events.append(TimelineEvent(
+            kind=str(record.get("kind", "?")), source="journal",
+            wall=record.get("wallTime"),
+            sim=detail.get("simStart"),
+            detail=detail, seq=int(record.get("seq", 0))))
+    return events
+
+
+def _span_events(spans: Iterable[Any], run_id: str,
+                 offset: float) -> list[TimelineEvent]:
+    events = []
+    for span in spans:
+        if getattr(span, "run_id", None) != run_id:
+            continue
+        events.append(TimelineEvent(
+            kind=f"span:{span.name}", source="span",
+            wall=span.start_wall + offset, sim=span.start_sim,
+            detail={
+                "category": span.category,
+                "status": span.status,
+                "wallSeconds": round(span.wall_seconds, 6),
+                "simSeconds": round(span.sim_seconds, 6),
+                **{k: v for k, v in span.attributes.items()
+                   if isinstance(v, (str, int, float, bool))},
+            }))
+        for point in span.events:
+            wall = point.get("wall")
+            events.append(TimelineEvent(
+                kind=str(point.get("name", "?")), source="span-event",
+                wall=(span.start_wall if wall is None else wall) + offset,
+                sim=point.get("sim"),
+                detail={"span": span.name, **point.get("attributes", {})}))
+    return events
+
+
+def _log_events(lines: Iterable[dict[str, Any]],
+                run_id: str) -> list[TimelineEvent]:
+    events = []
+    for line in lines:
+        if line.get("run_id") != run_id:
+            continue
+        detail = {k: v for k, v in line.items()
+                  if k not in ("ts", "event", "run_id", "level", "logger")}
+        detail["logger"] = line.get("logger")
+        detail["level"] = line.get("level")
+        events.append(TimelineEvent(
+            kind=str(line.get("event", "?")), source="log",
+            wall=line.get("ts"), detail=detail))
+    return events
+
+
+def _service_events(record: Any) -> list[TimelineEvent]:
+    events = [TimelineEvent(
+        kind="run_submitted", source="service",
+        wall=getattr(record, "submitted_at", None),
+        detail={"tenant": getattr(record, "tenant", ""),
+                "workflow": getattr(record, "workflow", "")})]
+    started = getattr(record, "started_at", None)
+    if started is not None:
+        detail: dict[str, Any] = {}
+        queued = getattr(record, "queued_wait_seconds", None)
+        if queued is not None:
+            detail["queuedWaitSeconds"] = round(queued, 6)
+        events.append(TimelineEvent(
+            kind="run_started", source="service", wall=started,
+            detail=detail))
+    finished = getattr(record, "finished_at", None)
+    if finished is not None:
+        detail = {"state": getattr(record, "state", "")}
+        error = getattr(record, "error", "")
+        if error:
+            detail["error"] = error
+        events.append(TimelineEvent(
+            kind="run_finished", source="service", wall=finished,
+            detail=detail))
+    return events
+
+
+def build_timeline(
+    run_id: str,
+    journal_records: Iterable[dict[str, Any]] | None = None,
+    spans: Iterable[Any] | None = None,
+    logs: Iterable[dict[str, Any]] | None = None,
+    record: Any = None,
+    perf_offset: float | None = None,
+) -> list[TimelineEvent]:
+    """Merge one run's telemetry into a single ordered timeline.
+
+    ``journal_records`` are parsed journal dicts (see
+    :func:`repro.execution.journal.read_journal`); ``spans`` are
+    :class:`~repro.obs.tracing.Span` objects from a live tracer;
+    ``logs`` are structured-log ring lines; ``record`` is the service's
+    ``RunRecord`` (duck-typed).  ``perf_offset`` overrides the
+    perf-counter→epoch conversion (tests); live callers leave it None.
+    """
+    offset = perf_epoch_offset() if perf_offset is None else perf_offset
+    events: list[TimelineEvent] = []
+    if journal_records is not None:
+        events.extend(_journal_events(journal_records, run_id))
+    if spans is not None:
+        events.extend(_span_events(spans, run_id, offset))
+    if logs is not None:
+        events.extend(_log_events(logs, run_id))
+    if record is not None:
+        events.extend(_service_events(record))
+    events.sort(key=lambda e: (
+        e.wall if e.wall is not None else float("inf"), e.seq))
+    return events
+
+
+def timeline_to_dict(run_id: str,
+                     events: list[TimelineEvent]) -> dict[str, Any]:
+    """The ``GET /runs/{id}/timeline`` body."""
+    return {
+        "runId": run_id,
+        "events": [e.to_dict() for e in events],
+        "sources": sorted({e.source for e in events}),
+    }
+
+
+def render_text(run_id: str, events: list[TimelineEvent]) -> str:
+    """Human-readable timeline (the ``ires timeline`` output)."""
+    if not events:
+        return f"run {run_id}: no telemetry found"
+    origin = next((e.wall for e in events if e.wall is not None), 0.0)
+    lines = [f"run {run_id}: {len(events)} events "
+             f"({', '.join(sorted({e.source for e in events}))})"]
+    for event in events:
+        if event.wall is None:
+            stamp = "        ?"
+        else:
+            stamp = f"{event.wall - origin:+9.3f}s"
+        detail = " ".join(
+            f"{k}={v}" for k, v in sorted(event.detail.items())
+            if v not in (None, "", {}) and not isinstance(v, (dict, list)))
+        if len(detail) > 120:
+            detail = detail[:117] + "..."
+        lines.append(f"  {stamp} [{event.source:<10}] "
+                     f"{event.kind:<24} {detail}".rstrip())
+    return "\n".join(lines)

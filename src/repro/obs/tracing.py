@@ -88,10 +88,15 @@ class Span:
 
     def add_event(self, name: str, wall: float | None = None,
                   sim: float | None = None, **attributes: object) -> None:
-        """Record a point-in-time event inside this span."""
+        """Record a point-in-time event inside this span.
+
+        ``wall`` defaults to ``time.perf_counter()`` at call time, so point
+        events (retries, breaker trips) interleave correctly with other
+        wall-stamped telemetry on the unified run timeline.
+        """
         self.events.append({
             "name": name,
-            "wall": wall,
+            "wall": time.perf_counter() if wall is None else wall,
             "sim": sim,
             "attributes": attributes,
         })

@@ -463,3 +463,44 @@ def test_execute_failed_run_exits_nonzero(library_dir, capsys):
         main(["execute", library_dir, "CountWorkflow",
               "--fail-rate", "1.0", "--chaos-seed", "3"])
     assert excinfo.value.code != 0
+
+
+def test_timeline_from_journal(library_dir, tmp_path, capsys):
+    journal_dir = tmp_path / "journals"
+    run_id = _journaled_run_id(library_dir, journal_dir, capsys)
+    assert main(["timeline", run_id, "--journal-dir", str(journal_dir)]) == 0
+    out = capsys.readouterr().out
+    assert f"run {run_id}:" in out
+    assert "journal" in out
+    assert "run_finished" in out or "run_admitted" in out
+
+
+def test_timeline_json_from_journal(library_dir, tmp_path, capsys):
+    import json
+
+    journal_dir = tmp_path / "journals"
+    run_id = _journaled_run_id(library_dir, journal_dir, capsys)
+    assert main(["timeline", run_id, "--journal-dir", str(journal_dir),
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runId"] == run_id
+    assert payload["sources"] == ["journal"]
+    assert payload["events"]
+
+
+def test_timeline_without_source_exits():
+    with pytest.raises(SystemExit, match="journal-dir"):
+        main(["timeline", "deadbeef"])
+
+
+def test_timeline_unknown_run_exits(tmp_path):
+    with pytest.raises(SystemExit, match="no journal"):
+        main(["timeline", "deadbeef", "--journal-dir", str(tmp_path)])
+
+
+def test_serve_rejects_bad_slo_config(library_dir, tmp_path):
+    bad = tmp_path / "slo.json"
+    bad.write_text("{\"slos\": []}")
+    with pytest.raises(SystemExit, match="SLO config"):
+        main(["serve", library_dir, "--port", "0",
+              "--slo-config", str(bad)])

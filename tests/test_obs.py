@@ -78,6 +78,21 @@ class TestMetricsRegistry:
         assert "lat_seconds_count 4" in text
         assert "lat_seconds_sum 55.55" in text
 
+    def test_histogram_filters_non_finite_bounds(self):
+        import math
+
+        reg = MetricsRegistry()
+        # an explicit +Inf bound must not yield a second le="+Inf" line:
+        # the implicit one (== _count) is always appended by render
+        h = reg.histogram("inf_seconds", "lat", buckets=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(99.0)
+        text = reg.render()
+        assert text.count('inf_seconds_bucket{le="+Inf"}') == 1
+        assert 'inf_seconds_bucket{le="+Inf"} 2' in text
+        with pytest.raises(ValueError, match="finite"):
+            reg.histogram("bad_seconds", "bad", buckets=(math.inf,))
+
     def test_get_or_create_is_idempotent(self):
         reg = MetricsRegistry()
         a = reg.counter("x_total", "x")
@@ -146,6 +161,19 @@ class TestTracer:
                 pass
         assert tracer.spans()[0].run_id == "runA"
         assert tracer.run_ids() == ["runA"]
+
+    def test_add_event_stamps_wall_time(self):
+        import time
+
+        tracer = Tracer()
+        before = time.perf_counter()
+        with tracer.span("a") as span:
+            span.add_event("retry", attempt=1)
+            span.add_event("pinned", wall=123.0)
+        events = tracer.spans()[0].events
+        # default stamp: taken at call time, so timelines can interleave it
+        assert before <= events[0]["wall"] <= time.perf_counter()
+        assert events[1]["wall"] == 123.0
 
     def test_record_span_retro(self):
         tracer = Tracer()
@@ -419,6 +447,30 @@ class TestExpositionRoundTrip:
         buckets = {labels["le"]: v for name, labels, v in parsed["samples"]
                    if name == "lat_seconds_bucket"}
         assert buckets == {"0.1": 0.0, "1": 1.0, "+Inf": 1.0}
+
+    @given(bounds=st.lists(st.floats(0.001, 1e6), min_size=1, max_size=6,
+                           unique=True),
+           with_inf=st.booleans(),
+           values=st.lists(st.floats(0.0, 2e6), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_inf_bucket_roundtrip(self, bounds, with_inf, values):
+        import math
+
+        reg = MetricsRegistry()
+        buckets = tuple(bounds) + ((math.inf,) if with_inf else ())
+        hist = reg.histogram("rt_seconds", "round trip", buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        parsed = parse_exposition(reg.render())
+        series = {}
+        for name, labels, value in parsed["samples"]:
+            if name == "rt_seconds_bucket":
+                series[labels["le"]] = value
+        # exactly one +Inf bucket, always equal to the total count
+        assert list(series).count("+Inf") == 1
+        assert series["+Inf"] == float(len(values))
+        # cumulative counts are monotone in bound order (render order)
+        assert list(series.values()) == sorted(series.values())
 
     def test_malformed_label_block_raises(self):
         with pytest.raises(ValueError, match="label value must be quoted"):

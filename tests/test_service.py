@@ -397,11 +397,115 @@ def test_http_transport_end_to_end():
             status, payload = await asyncio.to_thread(get, "/metrics")
             assert status == 200
             assert b"ires_service_runs_total" in payload
+            assert b"ires_service_queue_wait_seconds" in payload
         finally:
             httpd.shutdown()
             await service.shutdown()
 
     asyncio.run(main())
+
+
+def test_http_telemetry_surfaces_and_cli_top():
+    from repro.api.httpd import make_http_server
+    from repro.cli import _render_top
+
+    async def main():
+        service = IResService(_factory(), workers=1)
+        await service.start()
+        server = IResServer(_factory()(), service=service)
+        httpd = make_http_server(server, "127.0.0.1", 0)
+        port = httpd.server_address[1]
+        base = f"http://127.0.0.1:{port}"
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            rec = service.submit("helloworld-chain", tenant="http-t")
+            await service.wait(rec.run_id, timeout=120)
+
+            def get(path, method="GET"):
+                request = urllib.request.Request(base + path, method=method)
+                with urllib.request.urlopen(request) as resp:
+                    return (resp.status, resp.read(),
+                            dict(resp.headers.items()))
+
+            status, payload, _ = await asyncio.to_thread(get, "/tenants")
+            assert status == 200
+            assert json.loads(payload)["tenants"][0]["tenant"] == "http-t"
+            status, payload, _ = await asyncio.to_thread(get, "/slo")
+            assert status == 200
+            assert json.loads(payload)["activeAlarms"] == []
+            status, payload, headers = await asyncio.to_thread(
+                get, "/dashboard")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+            assert headers["Cache-Control"] == "no-store"
+            assert b"dashboard-data" in payload
+            # HEAD routes like GET but elides the body
+            status, payload, headers = await asyncio.to_thread(
+                get, "/dashboard", "HEAD")
+            assert status == 200 and payload == b""
+            assert int(headers["Content-Length"]) > 0
+            status, payload, _ = await asyncio.to_thread(
+                get, f"/runs/{rec.run_id}/timeline")
+            assert status == 200
+            assert json.loads(payload)["runId"] == rec.run_id
+            frame = await asyncio.to_thread(_render_top, base)
+            assert "queue=" in frame and "tenant http-t" in frame
+            return base
+        finally:
+            httpd.shutdown()
+            await service.shutdown()
+
+    asyncio.run(main())
+
+
+def test_cli_tenants_and_top_unreachable_server_exit():
+    from repro.cli import main as cli_main
+
+    with pytest.raises(SystemExit, match="cannot reach"):
+        cli_main(["tenants", "--server", "http://127.0.0.1:1"])
+    with pytest.raises(SystemExit, match="cannot reach"):
+        cli_main(["top", "--server", "http://127.0.0.1:1", "--once"])
+
+
+def test_queue_wait_metrics_and_tenant_label():
+    from repro.obs.metrics import REGISTRY
+
+    service = IResService(_factory(), workers=1)
+
+    async def main():
+        await service.start()
+        rec = service.submit("helloworld-chain", tenant="metrics-tenant")
+        await service.wait(rec.run_id, timeout=120)
+
+    asyncio.run(main())
+    hist = REGISTRY.get("ires_service_queue_wait_seconds")
+    assert hist is not None and hist.value() >= 1
+    runs = REGISTRY.get("ires_service_runs_total")
+    assert runs.value(status=SUCCEEDED, tenant="metrics-tenant") >= 1
+    telemetry = REGISTRY.get("ires_service_telemetry_seconds")
+    assert telemetry is not None and telemetry.value() >= 1
+
+
+def test_retry_after_uses_measured_queue_wait_ewma():
+    service = IResService(_factory(), workers=2, queue_limit=4)
+    # cold start: no completed runs, only the latency-model fallback
+    with service._lock:
+        cold = service._retry_after_locked()
+    assert 1.0 <= cold <= 60.0
+    # warm: a measured queue-wait EWMA anchors the estimate and the
+    # execution EWMA projects the backlog in front of a new submission
+    service._queue_wait_ewma = 3.0
+    service._exec_seconds_ewma = 10.0
+    service._pending["t"] = __import__("collections").deque(
+        [object(), object(), object(), object()])
+    with service._lock:
+        warm = service._retry_after_locked()
+    assert warm == pytest.approx(3.0 + 10.0 * 4 / 2)
+    service._queue_wait_ewma = 0.0
+    with service._lock:
+        floored = service._retry_after_locked()
+    assert floored >= 1.0  # clamped to the [1, 60] hint range
 
 
 def test_run_record_to_dict_is_json_able():

@@ -1,0 +1,463 @@
+"""Tests for service-level telemetry: accounting, SLOs, timelines, dashboard.
+
+Covers the DESIGN §12 stack: per-tenant cost attribution
+(:mod:`repro.obs.accounting`), burn-rate SLO alarms under a simulated
+clock (:mod:`repro.obs.slo`), merged per-run timelines
+(:mod:`repro.obs.timeline`), the self-contained dashboard, and the
+end-to-end run_id/tenant propagation across the asyncio→thread boundary.
+"""
+
+import asyncio
+import json
+import types
+
+import pytest
+
+from repro.api.rest import IResServer
+from repro.api.service import FAILED, SUCCEEDED, IResService
+from repro.core import IReS
+from repro.execution.journal import RUN_ADMITTED, journal_path, read_journal
+from repro.obs.accounting import TenantAccounts, usage_from_report
+from repro.obs.context import bind_tenant, current_tenant
+from repro.obs.slo import (
+    SLOSpec,
+    SLOTracker,
+    default_slos,
+    load_slo_config,
+)
+from repro.obs.timeline import TimelineEvent, build_timeline, render_text
+from repro.scenarios import setup_helloworld
+
+
+def _factory(journal_dir=None):
+    def build():
+        ires = IReS(journal_dir=journal_dir)
+        make = setup_helloworld(ires)
+        workflow = make()
+        ires.workflows[workflow.name] = workflow
+        return ires
+    return build
+
+
+# -- tenant context ----------------------------------------------------------
+
+def test_bind_tenant_scopes_and_restores():
+    assert current_tenant() is None
+    with bind_tenant("acme"):
+        assert current_tenant() == "acme"
+        with bind_tenant("beta"):
+            assert current_tenant() == "beta"
+        assert current_tenant() == "acme"
+    assert current_tenant() is None
+
+
+# -- accounting --------------------------------------------------------------
+
+def _report(sim=10.0, retries=1, replans=2, executions=()):
+    return types.SimpleNamespace(
+        sim_time=sim, retries=retries, replans=replans,
+        executions=list(executions))
+
+
+def _execution(engine="Spark", sim_seconds=4.0, cores=8):
+    return types.SimpleNamespace(
+        engine=engine, sim_seconds=sim_seconds, cores=cores)
+
+
+def test_usage_from_report_charges_core_seconds_per_engine():
+    usage = usage_from_report(
+        "r1", "acme", "wf", SUCCEEDED,
+        report=_report(executions=[
+            _execution("Spark", 4.0, 8),
+            _execution("Spark", 1.0, 8),
+            _execution("Hadoop", 2.0, 4),
+            _execution("Hadoop", 3.0, 0),  # a move: no cores, no charge
+        ]),
+        queued_wait_seconds=0.5, journal_bytes=100)
+    assert usage.engine_core_seconds == {"Spark": 40.0, "Hadoop": 8.0}
+    assert usage.total_core_seconds == 48.0
+    assert usage.engine_sim_seconds == {"Spark": 5.0, "Hadoop": 5.0}
+    assert usage.steps == 4
+    assert usage.retries == 1 and usage.replans == 2
+    assert usage.queued_wait_seconds == 0.5
+    assert usage.journal_bytes == 100
+
+
+def test_usage_from_report_without_report_is_zeroed():
+    usage = usage_from_report("r2", "acme", "wf", FAILED)
+    assert usage.total_core_seconds == 0.0
+    assert usage.steps == 0
+    assert usage.state == FAILED
+
+
+def test_tenant_accounts_aggregate_and_snapshot():
+    accounts = TenantAccounts()
+    for i in range(3):
+        accounts.record(usage_from_report(
+            f"r{i}", "acme", "wf", SUCCEEDED,
+            report=_report(executions=[_execution()]),
+            queued_wait_seconds=0.25))
+    accounts.record(usage_from_report("r9", "beta", "wf", FAILED))
+    snapshot = accounts.snapshot()
+    by_name = {t["tenant"]: t for t in snapshot["tenants"]}
+    assert by_name["acme"]["runs"] == 3
+    assert by_name["acme"]["runsByState"] == {SUCCEEDED: 3}
+    assert by_name["acme"]["totalCoreSeconds"] == pytest.approx(96.0)
+    assert by_name["acme"]["queuedWaitSeconds"] == pytest.approx(0.75)
+    assert by_name["beta"]["runsByState"] == {FAILED: 1}
+    assert len(snapshot["recentRuns"]) == 4
+    # everything must be JSON-able (it is a REST body)
+    json.dumps(snapshot)
+
+
+def test_tenant_accounts_history_limit_bounds_memory():
+    accounts = TenantAccounts(history_limit=5)
+    for i in range(20):
+        accounts.record(usage_from_report(f"r{i}", "t", "wf", SUCCEEDED))
+    assert len(accounts.recent(50)) == 5
+    assert accounts.tenant("t").runs == 20  # aggregates keep counting
+
+
+# -- SLO burn-rate math under a simulated clock ------------------------------
+
+class _Clock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def _latency_spec(**overrides):
+    spec = dict(name="lat", kind="latency", target=0.9,
+                threshold_seconds=1.0, short_window_seconds=60,
+                long_window_seconds=600, burn_rate_threshold=2.0,
+                min_events=3)
+    spec.update(overrides)
+    return SLOSpec(**spec)
+
+
+def test_slo_spec_validation():
+    with pytest.raises(ValueError, match="target"):
+        SLOSpec(name="x", kind="availability", target=1.5)
+    with pytest.raises(ValueError, match="kind"):
+        SLOSpec(name="x", kind="nonsense")
+    with pytest.raises(ValueError, match="threshold_seconds"):
+        SLOSpec(name="x", kind="latency", threshold_seconds=None)
+    with pytest.raises(ValueError, match="window"):
+        SLOSpec(name="x", kind="availability",
+                short_window_seconds=600, long_window_seconds=60)
+
+
+def test_slo_spec_round_trips_through_dict():
+    spec = _latency_spec()
+    assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    clock = _Clock()
+    tracker = SLOTracker([_latency_spec()], clock=clock)
+    # 10 runs, 2 breach the 1s threshold: bad fraction .2, budget .1 → burn 2
+    for i in range(10):
+        tracker.record_run(True, latency_seconds=5.0 if i < 2 else 0.1)
+    (status,) = tracker.evaluate()
+    assert status.burn_rate_short == pytest.approx(2.0)
+    assert status.burn_rate_long == pytest.approx(2.0)
+    assert status.compliance == pytest.approx(0.8)
+
+
+def test_alarm_needs_both_windows_burning():
+    clock = _Clock()
+    tracker = SLOTracker([_latency_spec()], clock=clock)
+    # long window: lots of good history, so the long burn stays low
+    for _ in range(100):
+        tracker.record_run(True, latency_seconds=0.1)
+    clock.now += 500  # past the short window, inside the long one
+    for _ in range(5):
+        tracker.record_run(True, latency_seconds=5.0)
+    (status,) = tracker.evaluate()
+    assert status.burn_rate_short > 2.0  # short window is all-bad
+    assert status.burn_rate_long < 2.0   # diluted by history
+    assert not status.alarming            # needs BOTH windows
+
+
+def test_alarm_fires_once_and_clears_with_hysteresis():
+    clock = _Clock()
+    tracker = SLOTracker([_latency_spec()], clock=clock)
+    for _ in range(10):
+        tracker.record_run(True, latency_seconds=5.0)  # all breach
+    (status,) = tracker.evaluate()
+    assert status.alarming
+    assert tracker.active_alarms() == ["lat"]
+    n_alarms = len(tracker.alarms)
+    tracker.evaluate()  # still burning: no duplicate alarm edge
+    assert len(tracker.alarms) == n_alarms
+    # recovery: the bad events age out of the short window
+    clock.now += 120
+    for _ in range(10):
+        tracker.record_run(True, latency_seconds=0.1)
+    (status,) = tracker.evaluate()
+    assert not status.alarming
+    assert tracker.active_alarms() == []
+
+
+def test_min_events_noise_floor_suppresses_alarms():
+    clock = _Clock()
+    tracker = SLOTracker([_latency_spec(min_events=5)], clock=clock)
+    for _ in range(3):  # burning, but too few events to trust
+        tracker.record_run(True, latency_seconds=9.0)
+    (status,) = tracker.evaluate()
+    assert status.burn_rate_short > 2.0
+    assert not status.alarming
+
+
+def test_availability_and_queue_wait_kinds():
+    clock = _Clock()
+    tracker = SLOTracker([
+        SLOSpec(name="avail", kind="availability", target=0.5, min_events=1),
+        SLOSpec(name="qw", kind="queue_wait", target=0.5,
+                threshold_seconds=2.0, min_events=1),
+    ], clock=clock)
+    tracker.record_run(False, latency_seconds=0.1, queue_wait_seconds=5.0)
+    tracker.record_run(True, latency_seconds=0.1, queue_wait_seconds=0.1)
+    by_name = {s.spec.name: s for s in tracker.evaluate()}
+    assert by_name["avail"].compliance == pytest.approx(0.5)
+    assert by_name["qw"].compliance == pytest.approx(0.5)
+
+
+def test_status_payload_is_json_able():
+    tracker = SLOTracker(default_slos())
+    tracker.record_run(True, latency_seconds=0.2)
+    json.dumps(tracker.status())
+
+
+def test_load_slo_config(tmp_path):
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps({"slos": [
+        {"name": "lat", "kind": "latency", "target": 0.95,
+         "thresholdSeconds": 2.0},
+    ]}))
+    (spec,) = load_slo_config(path)
+    assert spec.name == "lat" and spec.threshold_seconds == 2.0
+    path.write_text(json.dumps({"slos": []}))
+    with pytest.raises(ValueError, match="non-empty"):
+        load_slo_config(path)
+    path.write_text(json.dumps({"slos": [
+        {"name": "a", "kind": "availability"},
+        {"name": "a", "kind": "availability"},
+    ]}))
+    with pytest.raises(ValueError, match="duplicate"):
+        load_slo_config(path)
+
+
+# -- timeline merge ----------------------------------------------------------
+
+class _FakeSpan:
+    def __init__(self, name, run_id, start_wall, events=(), **attributes):
+        self.name = name
+        self.category = "executor"
+        self.run_id = run_id
+        self.start_wall = start_wall
+        self.end_wall = start_wall + 1.0
+        self.start_sim = 0.0
+        self.end_sim = 1.0
+        self.attributes = attributes
+        self.events = list(events)
+        self.status = "ok"
+        self.error = ""
+
+    @property
+    def wall_seconds(self):
+        return self.end_wall - self.start_wall
+
+    @property
+    def sim_seconds(self):
+        return self.end_sim - self.start_sim
+
+
+def test_timeline_interleaves_replans_and_retries_in_order():
+    # journal records on the epoch clock; spans on perf_counter with a
+    # known offset of +1000 (epoch = perf + 1000)
+    journal = [
+        {"seq": 1, "kind": "RUN_ADMITTED", "runId": "r1", "wallTime": 1010.0},
+        {"seq": 2, "kind": "STEP_STARTED", "runId": "r1", "wallTime": 1020.0,
+         "operator": "op_a"},
+        {"seq": 3, "kind": "REPLAN", "runId": "r1", "wallTime": 1040.0,
+         "reason": "engine down"},
+        {"seq": 4, "kind": "RUN_FINISHED", "runId": "r1", "wallTime": 1060.0,
+         "outcome": "success"},
+    ]
+    spans = [_FakeSpan(
+        "step:op_a", "r1", start_wall=25.0,
+        events=[{"name": "retry", "wall": 30.0, "sim": 0.5,
+                 "attributes": {"attempt": 1}}],
+        engine="Spark")]
+    events = build_timeline("r1", journal_records=journal, spans=spans,
+                            perf_offset=1000.0)
+    kinds = [e.kind for e in events]
+    # retry (perf 30 → epoch 1030) lands between STEP_STARTED and REPLAN
+    assert kinds == ["RUN_ADMITTED", "STEP_STARTED", "span:step:op_a",
+                     "retry", "REPLAN", "RUN_FINISHED"]
+    retry = events[3]
+    assert retry.source == "span-event"
+    assert retry.wall == pytest.approx(1030.0)
+    assert retry.detail["attempt"] == 1
+
+
+def test_timeline_filters_other_runs_and_sorts_stably():
+    journal = [
+        {"seq": 2, "kind": "B", "runId": "r1", "wallTime": 5.0},
+        {"seq": 1, "kind": "A", "runId": "r1", "wallTime": 5.0},
+        {"seq": 3, "kind": "X", "runId": "other", "wallTime": 1.0},
+    ]
+    events = build_timeline("r1", journal_records=journal)
+    assert [e.kind for e in events] == ["A", "B"]  # seq breaks the tie
+
+
+def test_timeline_merges_logs_and_service_record():
+    record = types.SimpleNamespace(
+        submitted_at=10.0, started_at=11.0, finished_at=15.0,
+        queued_wait_seconds=1.0, tenant="acme", workflow="wf",
+        state=SUCCEEDED, error="")
+    logs = [
+        {"ts": 12.0, "event": "resilience_retry", "run_id": "r1",
+         "logger": "resilience", "level": "warning", "engine": "Spark"},
+        {"ts": 12.5, "event": "noise", "run_id": "other",
+         "logger": "x", "level": "info"},
+    ]
+    events = build_timeline("r1", logs=logs, record=record)
+    kinds = [e.kind for e in events]
+    assert kinds == ["run_submitted", "run_started", "resilience_retry",
+                     "run_finished"]
+    assert events[1].detail["queuedWaitSeconds"] == pytest.approx(1.0)
+    assert events[2].detail["engine"] == "Spark"
+    assert events[3].detail["state"] == SUCCEEDED
+
+
+def test_render_text_has_relative_stamps_and_sources():
+    events = [
+        TimelineEvent(kind="RUN_ADMITTED", source="journal", wall=100.0),
+        TimelineEvent(kind="RUN_FINISHED", source="journal", wall=102.5,
+                      detail={"outcome": "success"}),
+    ]
+    text = render_text("r1", events)
+    assert "run r1: 2 events" in text
+    assert "+0.000s" in text and "+2.500s" in text
+    assert "outcome=success" in text
+    assert render_text("r1", []) == "run r1: no telemetry found"
+
+
+# -- dashboard ---------------------------------------------------------------
+
+def test_dashboard_embeds_snapshot_and_escapes_script_end():
+    from repro.obs.dashboard import render_dashboard
+
+    html = render_dashboard(
+        service={"queueDepth": 1, "workers": 2, "accepting": True},
+        slo={"slos": [], "activeAlarms": []},
+        tenants={"tenants": [{"tenant": "</script><b>x"}]},
+        runs={"runs": []})
+    assert html.startswith("<!DOCTYPE html>")
+    assert "dashboard-data" in html
+    # the data island must not terminate the script block early
+    assert "</script><b>x" not in html
+    assert "<\\/script>" in html
+    island = html.split("id='dashboard-data'>", 1)[1].split("</script>", 1)[0]
+    snapshot = json.loads(island.replace("<\\/", "</"))
+    assert snapshot["service"]["queueDepth"] == 1
+
+
+# -- end-to-end propagation and REST surface ---------------------------------
+
+def test_run_id_and_tenant_propagate_across_thread_boundary(tmp_path):
+    """One id end-to-end: RunRecord == journal runId == enforcer span run_id,
+    and the tenant rides along into span attributes and accounting."""
+    service = IResService(_factory(), workers=1, journal_dir=tmp_path)
+    server = IResServer(_factory()(), service=service)
+
+    async def main():
+        await service.start()
+        rec = service.submit("helloworld-chain", tenant="acme")
+        await service.wait(rec.run_id, timeout=120)
+        return rec
+
+    rec = asyncio.run(main())
+    assert rec.state == SUCCEEDED
+
+    # journal on disk is keyed by the service-assigned id
+    records = read_journal(journal_path(tmp_path, rec.run_id))
+    assert {r["runId"] for r in records} == {rec.run_id}
+    admitted = next(r for r in records if r["kind"] == RUN_ADMITTED)
+    assert admitted["tenant"] == "acme"
+
+    # enforcer spans carry the same id and the tenant attribute
+    spans = []
+    for platform in service.platforms():
+        spans.extend(platform.tracer.spans(rec.run_id))
+    assert spans, "no spans recorded under the service-assigned run id"
+    root = next(s for s in spans if s.name.startswith("execute:"))
+    assert root.attributes["tenant"] == "acme"
+
+    # accounting attributed the run to the tenant with real core-seconds
+    snapshot = service.accounts.snapshot()
+    (tenant,) = snapshot["tenants"]
+    assert tenant["tenant"] == "acme"
+    assert tenant["totalCoreSeconds"] > 0
+
+    # the merged timeline sees all sources through REST
+    response = server.handle("GET", f"/runs/{rec.run_id}/timeline")
+    assert response.status == 200
+    assert set(response.body["sources"]) >= {"journal", "service", "span"}
+    assert response.body["runId"] == rec.run_id
+
+
+def test_rest_tenants_slo_dashboard_routes():
+    service = IResService(_factory(), workers=1)
+    server = IResServer(_factory()(), service=service)
+
+    async def main():
+        await service.start()
+        rec = service.submit("helloworld-chain", tenant="t1")
+        await service.wait(rec.run_id, timeout=120)
+
+    asyncio.run(main())
+    tenants = server.handle("GET", "/tenants")
+    assert tenants.status == 200
+    assert tenants.body["tenants"][0]["tenant"] == "t1"
+    slo = server.handle("GET", "/slo")
+    assert slo.status == 200
+    assert {s["slo"] for s in slo.body["slos"]} \
+        == {s.name for s in default_slos()}
+    dash = server.handle("GET", "/dashboard")
+    assert dash.status == 200
+    assert dash.content_type.startswith("text/html")
+    assert "IReS service dashboard" in dash.text
+    # method and disabled-feature errors
+    assert server.handle("POST", "/tenants").status == 405
+    assert server.handle("POST", "/slo").status == 405
+    assert server.handle("POST", "/dashboard").status == 405
+    bare = IResServer(_factory()(),
+                      service=IResService(_factory(), accounts=False,
+                                          slo=False))
+    assert bare.handle("GET", "/tenants").status == 404
+    assert bare.handle("GET", "/slo").status == 404
+    assert bare.handle("GET", "/runs/nope/timeline").status == 404
+
+
+def test_service_stats_expose_queue_wait_and_slo_fields():
+    service = IResService(_factory(), workers=1)
+
+    async def main():
+        await service.start()
+        rec = service.submit("helloworld-chain")
+        await service.wait(rec.run_id, timeout=120)
+
+    asyncio.run(main())
+    stats = service.stats()
+    assert stats["queueWaitEwmaSeconds"] is not None
+    assert stats["queueWaitEwmaSeconds"] >= 0
+    assert stats["sloActiveAlarms"] == []
+    (rec,) = service.runs()
+    assert rec.queued_wait_seconds is not None
+    assert rec.to_dict()["queuedWaitSeconds"] == pytest.approx(
+        rec.queued_wait_seconds, abs=1e-6)
