@@ -1,49 +1,100 @@
-"""Static analysis over the IReS artifact layer (``ires lint``).
+"""Static analysis over the IReS artifact layer (``ires lint``) plus
+concurrency-correctness tooling (``ires analyze``).
 
 A multi-pass analyzer with a reusable diagnostics core: stable ``IRES0xx``
 codes, error/warning/info severities, ``file:line`` or dotted-key
 locations and fix hints, aggregated by a collector instead of raising on
-the first defect.  See DESIGN.md §8 for the pass catalogue and code table.
+the first defect.  See DESIGN.md §8 for the pass catalogue and code table
+and §13 for the concurrency codes.
+
+Exports resolve lazily (PEP 562): the lint passes import ``repro.core``,
+whose modules import :mod:`repro.analysis.runtime_check` for their lock
+factories — an eager ``__init__`` would turn that into an import cycle.
 """
 
-from repro.analysis.config import ConfigPass
-from repro.analysis.dataflow import DataflowPass
-from repro.analysis.diagnostics import (
-    CODES,
-    Diagnostic,
-    DiagnosticCollector,
-    LintFailure,
-    code_table,
-)
-from repro.analysis.lint import (
-    default_passes,
-    lint_library,
-    lint_platform,
-    preflight_workflow,
-    run_passes,
-)
-from repro.analysis.match import MatchPass, first_divergence
-from repro.analysis.model_readiness import ModelReadinessPass
-from repro.analysis.passes import LintContext, Pass
-from repro.analysis.schema import SchemaPass
+from typing import TYPE_CHECKING, Any
 
-__all__ = [
-    "CODES",
-    "ConfigPass",
-    "DataflowPass",
-    "Diagnostic",
-    "DiagnosticCollector",
-    "LintContext",
-    "LintFailure",
-    "MatchPass",
-    "ModelReadinessPass",
-    "Pass",
-    "SchemaPass",
-    "code_table",
-    "default_passes",
-    "first_divergence",
-    "lint_library",
-    "lint_platform",
-    "preflight_workflow",
-    "run_passes",
-]
+#: export name -> defining submodule
+_EXPORTS: dict[str, str] = {
+    "CODES": "repro.analysis.diagnostics",
+    "Diagnostic": "repro.analysis.diagnostics",
+    "DiagnosticCollector": "repro.analysis.diagnostics",
+    "LintFailure": "repro.analysis.diagnostics",
+    "code_table": "repro.analysis.diagnostics",
+    "ConfigPass": "repro.analysis.config",
+    "DataflowPass": "repro.analysis.dataflow",
+    "default_passes": "repro.analysis.lint",
+    "lint_library": "repro.analysis.lint",
+    "lint_platform": "repro.analysis.lint",
+    "preflight_workflow": "repro.analysis.lint",
+    "run_passes": "repro.analysis.lint",
+    "MatchPass": "repro.analysis.match",
+    "first_divergence": "repro.analysis.match",
+    "ModelReadinessPass": "repro.analysis.model_readiness",
+    "LintContext": "repro.analysis.passes",
+    "Pass": "repro.analysis.passes",
+    "SchemaPass": "repro.analysis.schema",
+    "AsyncHygienePass": "repro.analysis.concurrency",
+    "ThreadSafetyPass": "repro.analysis.concurrency",
+    "analyze_paths": "repro.analysis.concurrency",
+    "ConcurrencyChecker": "repro.analysis.runtime_check",
+    "InstrumentedLock": "repro.analysis.runtime_check",
+    "InstrumentedRLock": "repro.analysis.runtime_check",
+    "make_lock": "repro.analysis.runtime_check",
+    "make_rlock": "repro.analysis.runtime_check",
+    "note_access": "repro.analysis.runtime_check",
+    "register_shared": "repro.analysis.runtime_check",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.concurrency import (  # noqa: F401
+        AsyncHygienePass,
+        ThreadSafetyPass,
+        analyze_paths,
+    )
+    from repro.analysis.config import ConfigPass  # noqa: F401
+    from repro.analysis.dataflow import DataflowPass  # noqa: F401
+    from repro.analysis.diagnostics import (  # noqa: F401
+        CODES,
+        Diagnostic,
+        DiagnosticCollector,
+        LintFailure,
+        code_table,
+    )
+    from repro.analysis.lint import (  # noqa: F401
+        default_passes,
+        lint_library,
+        lint_platform,
+        preflight_workflow,
+        run_passes,
+    )
+    from repro.analysis.match import MatchPass, first_divergence  # noqa: F401
+    from repro.analysis.model_readiness import ModelReadinessPass  # noqa: F401
+    from repro.analysis.passes import LintContext, Pass  # noqa: F401
+    from repro.analysis.runtime_check import (  # noqa: F401
+        ConcurrencyChecker,
+        InstrumentedLock,
+        InstrumentedRLock,
+        make_lock,
+        make_rlock,
+        note_access,
+        register_shared,
+    )
+    from repro.analysis.schema import SchemaPass  # noqa: F401
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve exports on first access (PEP 562)."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

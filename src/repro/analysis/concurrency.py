@@ -1,0 +1,727 @@
+"""Static concurrency-correctness passes (``ires analyze``).
+
+Where :mod:`repro.analysis.lint` analyzes *user libraries*, this module
+points the same :class:`~repro.analysis.diagnostics.Diagnostic` machinery
+at Python source — primarily our own — and enforces the shared-state
+annotation convention documented in DESIGN.md §13:
+
+- ``# guarded-by: <lock>`` on a field assignment (same line or the line
+  above) declares that every later write to ``self.<field>`` must happen
+  inside ``with self.<lock>:``.
+- ``# thread-shared`` on a ``class`` line (same line or the line above)
+  declares instances are reached from multiple threads, so the class must
+  own a lock and must not share mutable class-level attributes.
+
+Two passes consume the per-module model built by :func:`build_model`:
+
+- :class:`ThreadSafetyPass` — IRES050–055: guarded writes outside (or
+  under the wrong) lock, mutable class attributes on thread-shared
+  classes, statically inconsistent nested lock order, guards that name a
+  lock the class never creates, and lock-less thread-shared classes.
+- :class:`AsyncHygienePass` — IRES060–063: event-loop-blocking calls in
+  ``async def``, coroutines called but never awaited,
+  ``asyncio.to_thread`` targets that touch guarded state without its
+  lock, and ``await`` while holding a lock.
+
+Conventions the passes respect: writes inside ``__init__``/``__new__``
+are construction, not sharing, and are skipped; methods whose name ends
+in ``_locked`` assert the caller already holds the guard and are skipped
+by IRES050/051 (but are prime IRES062 targets).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence
+
+from repro.analysis.diagnostics import DiagnosticCollector
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+_SHARED_RE = re.compile(r"#\s*thread-shared\b")
+
+#: method calls that mutate a container in place
+_MUTATORS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "move_to_end", "pop", "popitem", "popleft", "remove", "rotate",
+    "setdefault", "sort", "update",
+})
+
+#: constructor names whose result is a lock-like guard
+_LOCK_CTORS = frozenset({
+    "BoundedSemaphore", "Condition", "Lock", "RLock", "Semaphore",
+    "make_lock", "make_rlock",
+})
+
+#: constructor names whose result is shared-mutable if hung on a class
+_MUTABLE_CTORS = frozenset({
+    "Counter", "OrderedDict", "defaultdict", "deque", "dict", "list", "set",
+})
+
+#: dotted call names that block the event loop inside ``async def``
+_BLOCKING_CALLS = frozenset({
+    "os.fdatasync", "os.fsync", "socket.create_connection",
+    "subprocess.Popen", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.run", "time.sleep",
+    "urllib.request.urlopen",
+})
+
+#: dotted prefixes that are blocking wholesale (sync HTTP clients)
+_BLOCKING_PREFIXES = ("requests.", "http.client.")
+
+#: methods exempt from IRES050/051 (construction or caller-holds-lock)
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+
+@dataclass(frozen=True)
+class GuardedField:
+    """One ``# guarded-by:`` declaration."""
+
+    name: str
+    guard: str
+    line: int
+
+
+@dataclass
+class ClassModel:
+    """Concurrency-relevant facts about one class."""
+
+    name: str
+    line: int
+    thread_shared: bool
+    node: ast.ClassDef
+    locks: dict[str, int] = field(default_factory=dict)
+    guarded: dict[str, GuardedField] = field(default_factory=dict)
+    methods: list[ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=list)
+    mutable_init_fields: list[tuple[str, int]] = field(default_factory=list)
+
+    def method(self, name: str) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The method named ``name``, if the class defines one."""
+        for fn in self.methods:
+            if fn.name == name:
+                return fn
+        return None
+
+    def async_method_names(self) -> set[str]:
+        """Names of the class's ``async def`` methods."""
+        return {fn.name for fn in self.methods
+                if isinstance(fn, ast.AsyncFunctionDef)}
+
+
+@dataclass
+class ModuleModel:
+    """Parsed source file plus the facts both passes need."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    comments: dict[int, str]
+    classes: list[ClassModel] = field(default_factory=list)
+    functions: list[ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=list)
+
+    def async_function_names(self) -> set[str]:
+        """Names of module-level ``async def`` functions."""
+        return {fn.name for fn in self.functions
+                if isinstance(fn, ast.AsyncFunctionDef)}
+
+
+@dataclass
+class SourceContext:
+    """Everything a source pass sees: the parsed modules under analysis."""
+
+    modules: list[ModuleModel]
+    root: Path
+
+    def location(self, module: ModuleModel, line: int) -> str:
+        """``relpath:line`` for reports."""
+        return f"{module.rel}:{line}"
+
+
+class SourcePass(Protocol):
+    """A concurrency pass: reads a :class:`SourceContext`, reports findings."""
+
+    name: str
+
+    def run(self, ctx: SourceContext, out: DiagnosticCollector) -> None:
+        """Analyze ``ctx`` and report into ``out``."""
+        ...  # pragma: no cover - protocol
+
+
+# -- model construction -------------------------------------------------------
+
+def _comment_map(source: str) -> dict[int, str]:
+    """Line number -> comment text (tokenize-accurate, string-safe)."""
+    comments: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except tokenize.TokenError:  # torn source: best-effort map
+        pass
+    return comments
+
+
+def _marked(comments: dict[int, str], line: int,
+            pattern: re.Pattern[str],
+            end_line: int | None = None) -> re.Match[str] | None:
+    """Match ``pattern`` against the comment on the line above ``line`` or
+    any line of the statement's span (multi-line assignments carry the
+    annotation on an inner line)."""
+    for candidate in range(line - 1, (end_line or line) + 1):
+        text = comments.get(candidate)
+        if text is not None:
+            found = pattern.search(text)
+            if found is not None:
+                return found
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``X`` (one level only)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Resolve ``a.b.c`` / ``name`` call targets to a dotted string."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    """Whether ``value`` constructs a lock-like object."""
+    if not isinstance(value, ast.Call):
+        return False
+    name = _dotted(value.func)
+    if name is None:
+        return False
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf in _LOCK_CTORS or leaf.endswith(("Lock", "RLock"))
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    """Whether ``value`` evaluates to a shared-mutable container."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CTORS:
+            return True
+    return False
+
+
+def _build_class(node: ast.ClassDef, comments: dict[int, str]) -> ClassModel:
+    """Extract locks, guards and class-level state from one class."""
+    model = ClassModel(
+        name=node.name,
+        line=node.lineno,
+        thread_shared=_marked(comments, node.lineno, _SHARED_RE) is not None,
+        node=node,
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            model.methods.append(stmt)
+    for fn in model.methods:
+        for sub in ast.walk(fn):
+            targets: list[ast.expr]
+            value: ast.expr | None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets, value = [sub.target], sub.value
+            else:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if value is not None and _is_lock_ctor(value):
+                    model.locks.setdefault(attr, sub.lineno)
+                guard = _marked(comments, sub.lineno, _GUARDED_RE,
+                                sub.end_lineno)
+                if guard is not None:
+                    model.guarded.setdefault(attr, GuardedField(
+                        name=attr, guard=guard.group(1), line=sub.lineno))
+                if (fn.name == "__init__" and value is not None
+                        and _is_mutable_value(value)):
+                    model.mutable_init_fields.append((attr, sub.lineno))
+    return model
+
+
+def build_model(path: Path, rel: str, source: str) -> ModuleModel:
+    """Parse one file into the shared per-module model."""
+    tree = ast.parse(source, filename=str(path))
+    model = ModuleModel(path=path, rel=rel, tree=tree,
+                        comments=_comment_map(source))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            model.functions.append(node)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            model.classes.append(_build_class(node, model.comments))
+    return model
+
+
+# -- write / lock-scope walking ----------------------------------------------
+
+@dataclass(frozen=True)
+class Write:
+    """One write to ``self.<field>`` and the locks held when it happens."""
+
+    attr: str
+    line: int
+    kind: str
+    held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class AwaitUnderLock:
+    """One ``await`` while at least one lock is held."""
+
+    line: int
+    locks: frozenset[str]
+
+
+@dataclass
+class MethodScan:
+    """Result of walking one function body with lock-scope tracking."""
+
+    writes: list[Write] = field(default_factory=list)
+    edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    awaits_under_lock: list[AwaitUnderLock] = field(default_factory=list)
+
+
+def _write_targets(node: ast.AST) -> Iterable[tuple[str, int, str]]:
+    """Yield ``(field, line, kind)`` for writes expressed by ``node``."""
+    targets: list[ast.expr] = []
+    kind = "assignment"
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets, kind = list(node.targets), "delete"
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                yield attr, node.lineno, f".{func.attr}() call"
+        return
+    for target in targets:
+        stack = [target]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, (ast.Tuple, ast.List)):
+                stack.extend(item.elts)
+                continue
+            if isinstance(item, (ast.Subscript, ast.Starred)):
+                stack.append(item.value)
+                continue
+            attr = _self_attr(item)
+            if attr is not None:
+                store_kind = kind
+                if isinstance(target, ast.Subscript):
+                    store_kind = "subscript store"
+                yield attr, item.lineno, store_kind
+
+
+def scan_body(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+              lock_names: set[str]) -> MethodScan:
+    """Walk ``fn``'s body tracking which of ``lock_names`` are held."""
+    scan = MethodScan()
+
+    def visit(node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested callables run under their own discipline
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: set[str] = set()
+            for item in node.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None and lock in lock_names:
+                    acquired.add(lock)
+                else:
+                    visit(item.context_expr, held)
+                    if item.optional_vars is not None:
+                        visit(item.optional_vars, held)
+            for holder in held:
+                for lock in acquired:
+                    if holder != lock:
+                        scan.edges.setdefault((holder, lock), node.lineno)
+            inner = held | acquired
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Await) and held:
+            scan.awaits_under_lock.append(
+                AwaitUnderLock(line=node.lineno, locks=held))
+        for attr, line, kind in _write_targets(node):
+            scan.writes.append(Write(attr=attr, line=line, kind=kind,
+                                     held=held))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in fn.body:
+        visit(stmt, frozenset())
+    return scan
+
+
+def _find_cycle(edges: dict[tuple[str, str], int]) -> list[str] | None:
+    """Shortest-first DFS for a cycle in the lock-order graph."""
+    graph: dict[str, set[str]] = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, set()).add(dst)
+    for start in sorted(graph):
+        path = [start]
+        seen = {start}
+
+        def visit(node: str) -> list[str] | None:
+            for nxt in sorted(graph.get(node, ())):
+                if nxt == start:
+                    return list(path)
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                found = visit(nxt)
+                if found is not None:
+                    return found
+                path.pop()
+            return None
+
+        cycle = visit(start)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+# -- passes -------------------------------------------------------------------
+
+class ThreadSafetyPass:
+    """IRES050–055: guarded-write and lock-discipline checks."""
+
+    name = "thread-safety"
+
+    def run(self, ctx: SourceContext, out: DiagnosticCollector) -> None:
+        """Check every class in every module."""
+        for module in ctx.modules:
+            for cls in module.classes:
+                self._check_class(ctx, module, cls, out)
+
+    def _check_class(self, ctx: SourceContext, module: ModuleModel,
+                     cls: ClassModel, out: DiagnosticCollector) -> None:
+        artifact = f"class:{cls.name}"
+        for guarded in cls.guarded.values():
+            if guarded.guard not in cls.locks:
+                out.report(
+                    "IRES054",
+                    f"field '{guarded.name}' is declared guarded-by "
+                    f"'{guarded.guard}' but {cls.name} never creates that "
+                    "lock",
+                    artifact=artifact,
+                    location=ctx.location(module, guarded.line),
+                    hint=(f"assign self.{guarded.guard} = make_lock(...) in "
+                          "__init__ or fix the annotation"),
+                )
+        if cls.thread_shared and not cls.locks:
+            if cls.guarded or cls.mutable_init_fields:
+                out.report(
+                    "IRES055",
+                    f"class '{cls.name}' is marked thread-shared but "
+                    "defines no lock for its mutable state",
+                    artifact=artifact,
+                    location=ctx.location(module, cls.line),
+                    hint=("create self._lock = make_lock(...) and guard "
+                          "the mutable fields with it"),
+                )
+        if cls.thread_shared:
+            for stmt in cls.node.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if value is None or not _is_mutable_value(value):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        out.report(
+                            "IRES052",
+                            f"class attribute '{target.id}' on thread-shared "
+                            f"class '{cls.name}' is a mutable container "
+                            "shared by every instance and thread",
+                            artifact=artifact,
+                            location=ctx.location(module, stmt.lineno),
+                            hint=("move it into __init__ as instance state "
+                                  "and guard it with the class lock"),
+                        )
+        class_edges: dict[tuple[str, str], int] = {}
+        lock_names = set(cls.locks)
+        for fn in cls.methods:
+            scan = scan_body(fn, lock_names)
+            for edge, line in scan.edges.items():
+                class_edges.setdefault(edge, line)
+            if fn.name in _EXEMPT_METHODS or fn.name.endswith("_locked"):
+                continue
+            for write in scan.writes:
+                guarded_field = cls.guarded.get(write.attr)
+                if guarded_field is None:
+                    continue
+                if guarded_field.guard in write.held:
+                    continue
+                location = ctx.location(module, write.line)
+                if write.held:
+                    held = ", ".join(sorted(write.held))
+                    out.report(
+                        "IRES051",
+                        f"field '{write.attr}' ({write.kind} in "
+                        f"{cls.name}.{fn.name}) is written under "
+                        f"'{held}' but is declared guarded-by "
+                        f"'{guarded_field.guard}'",
+                        artifact=artifact,
+                        location=location,
+                        hint=(f"acquire self.{guarded_field.guard} for this "
+                              "write (or fix the guarded-by annotation)"),
+                    )
+                else:
+                    out.report(
+                        "IRES050",
+                        f"field '{write.attr}' ({write.kind} in "
+                        f"{cls.name}.{fn.name}) is written without holding "
+                        f"its declared guard '{guarded_field.guard}'",
+                        artifact=artifact,
+                        location=location,
+                        hint=(f"wrap the write in 'with "
+                              f"self.{guarded_field.guard}:' or rename the "
+                              "method with a _locked suffix if the caller "
+                              "holds it"),
+                    )
+        cycle = _find_cycle(class_edges)
+        if cycle is not None:
+            ordering = " -> ".join(cycle + [cycle[0]])
+            first_line = min(
+                line for edge, line in class_edges.items()
+                if edge[0] in cycle and edge[1] in cycle)
+            out.report(
+                "IRES053",
+                f"methods of '{cls.name}' acquire locks in inconsistent "
+                f"order: {ordering} (potential deadlock)",
+                artifact=artifact,
+                location=ctx.location(module, first_line),
+                hint="pick one global acquisition order for these locks",
+            )
+
+
+class AsyncHygienePass:
+    """IRES060–063: event-loop and coroutine hygiene checks."""
+
+    name = "async-hygiene"
+
+    def run(self, ctx: SourceContext, out: DiagnosticCollector) -> None:
+        """Check every function in every module."""
+        for module in ctx.modules:
+            module_coroutines = module.async_function_names()
+            for fn in module.functions:
+                self._check_function(ctx, module, None, fn,
+                                     module_coroutines, out)
+            for cls in module.classes:
+                for fn in cls.methods:
+                    self._check_function(ctx, module, cls, fn,
+                                         module_coroutines, out)
+
+    def _check_function(self, ctx: SourceContext, module: ModuleModel,
+                        cls: ClassModel | None,
+                        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                        module_coroutines: set[str],
+                        out: DiagnosticCollector) -> None:
+        owner = f"{cls.name}.{fn.name}" if cls is not None else fn.name
+        artifact = f"function:{owner}"
+        is_async = isinstance(fn, ast.AsyncFunctionDef)
+        awaited_calls = {
+            id(node.value) for node in ast.walk(fn)
+            if isinstance(node, ast.Await)
+        }
+        class_coroutines = cls.async_method_names() if cls is not None else set()
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                name: str | None = None
+                if (isinstance(call.func, ast.Name)
+                        and call.func.id in module_coroutines):
+                    name = call.func.id
+                else:
+                    attr = _self_attr(call.func)
+                    if attr is not None and attr in class_coroutines:
+                        name = f"self.{attr}"
+                if name is not None and id(call) not in awaited_calls:
+                    out.report(
+                        "IRES061",
+                        f"coroutine '{name}' is called in {owner} but its "
+                        "result is never awaited or scheduled",
+                        artifact=artifact,
+                        location=ctx.location(module, node.lineno),
+                        hint=("await it, or hand it to "
+                              "asyncio.create_task(...) to run concurrently"),
+                    )
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted in ("asyncio.to_thread", "to_thread") and node.args:
+                    self._check_to_thread(ctx, module, cls, owner, node, out)
+                if is_async:
+                    self._check_blocking(ctx, module, owner, node,
+                                         awaited_calls, out)
+
+        if is_async and cls is not None and cls.locks:
+            scan = scan_body(fn, set(cls.locks))
+            for entry in scan.awaits_under_lock:
+                locks = ", ".join(sorted(entry.locks))
+                out.report(
+                    "IRES063",
+                    f"'async def {owner}' awaits while holding lock "
+                    f"'{locks}' — other coroutines on this loop will "
+                    "block on it",
+                    artifact=artifact,
+                    location=ctx.location(module, entry.line),
+                    hint=("copy what you need under the lock, release it, "
+                          "then await"),
+                )
+
+    def _check_blocking(self, ctx: SourceContext, module: ModuleModel,
+                        owner: str, node: ast.Call,
+                        awaited_calls: set[int],
+                        out: DiagnosticCollector) -> None:
+        artifact = f"function:{owner}"
+        dotted = _dotted(node.func)
+        if dotted is not None and (
+                dotted in _BLOCKING_CALLS
+                or dotted.startswith(_BLOCKING_PREFIXES)):
+            out.report(
+                "IRES060",
+                f"'{dotted}(...)' blocks the event loop inside "
+                f"'async def {owner}'",
+                artifact=artifact,
+                location=ctx.location(module, node.lineno),
+                hint=("use the asyncio equivalent (asyncio.sleep, "
+                      "asyncio.to_thread, aiohttp) instead"),
+            )
+            return
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "acquire"
+                and id(node) not in awaited_calls):
+            target = _dotted(func.value) or "<lock>"
+            out.report(
+                "IRES060",
+                f"'{target}.acquire()' is a synchronous lock acquisition "
+                f"inside 'async def {owner}' — it can block the event loop",
+                artifact=artifact,
+                location=ctx.location(module, node.lineno),
+                hint=("use asyncio.Lock with 'async with', or move the "
+                      "critical section to asyncio.to_thread"),
+            )
+
+    def _check_to_thread(self, ctx: SourceContext, module: ModuleModel,
+                         cls: ClassModel | None, owner: str,
+                         node: ast.Call, out: DiagnosticCollector) -> None:
+        if cls is None:
+            return
+        attr = _self_attr(node.args[0])
+        if attr is None:
+            return
+        target = cls.method(attr)
+        if target is None:
+            return
+        scan = scan_body(target, set(cls.locks))
+        unguarded = [
+            write for write in scan.writes
+            if write.attr in cls.guarded
+            and cls.guarded[write.attr].guard not in write.held
+        ]
+        if unguarded or (target.name.endswith("_locked") and cls.guarded):
+            fields = ", ".join(sorted({w.attr for w in unguarded})) or \
+                "caller-must-hold-lock state"
+            out.report(
+                "IRES062",
+                f"asyncio.to_thread target 'self.{attr}' (from {owner}) "
+                f"writes guarded state ({fields}) without holding its lock",
+                artifact=f"function:{owner}",
+                location=ctx.location(module, node.lineno),
+                hint=("make the target take its own lock — to_thread runs "
+                      "it on a worker thread concurrent with the loop"),
+            )
+
+
+# -- entry point --------------------------------------------------------------
+
+def default_source_passes() -> list[SourcePass]:
+    """The passes ``ires analyze`` runs, in order."""
+    return [ThreadSafetyPass(), AsyncHygienePass()]
+
+
+def _collect_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out
+
+
+def analyze_paths(paths: Sequence[Path | str], *,
+                  root: Path | None = None,
+                  passes: Sequence[SourcePass] | None = None,
+                  ) -> DiagnosticCollector:
+    """Run the concurrency passes over ``paths`` (files or directories)."""
+    base = (root or Path.cwd()).resolve()
+    out = DiagnosticCollector()
+    modules: list[ModuleModel] = []
+    for path in _collect_files(paths):
+        try:
+            rel = str(path.resolve().relative_to(base))
+        except ValueError:
+            rel = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(build_model(path, rel, source))
+        except (OSError, SyntaxError, ValueError) as exc:
+            out.report(
+                "IRES001",
+                f"source file cannot be parsed: {exc}",
+                artifact=f"module:{rel}",
+                location=rel,
+            )
+    ctx = SourceContext(modules=modules, root=base)
+    for source_pass in (passes if passes is not None
+                        else default_source_passes()):
+        source_pass.run(ctx, out)
+    return out

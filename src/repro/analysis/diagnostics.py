@@ -53,6 +53,18 @@ CODES: dict[str, tuple[str, str]] = {
     "IRES041": (ERROR, "retry backoff budget exceeds the step timeout"),
     "IRES042": (ERROR, "retry policy is malformed"),
     "IRES043": (WARNING, "breaker recovery timeout is not positive"),
+    # thread-safety pass (IRES05x) — `ires analyze`
+    "IRES050": (ERROR, "guarded field written outside its declared lock"),
+    "IRES051": (ERROR, "guarded field written under the wrong lock"),
+    "IRES052": (ERROR, "mutable class attribute on a thread-shared class"),
+    "IRES053": (ERROR, "inconsistent lock acquisition order across methods"),
+    "IRES054": (ERROR, "guarded-by names a lock the class never defines"),
+    "IRES055": (WARNING, "thread-shared class defines no lock"),
+    # asyncio hygiene pass (IRES06x) — `ires analyze`
+    "IRES060": (ERROR, "blocking call inside async def"),
+    "IRES061": (ERROR, "coroutine called but never awaited"),
+    "IRES062": (ERROR, "asyncio.to_thread target touches guarded state"),
+    "IRES063": (WARNING, "await while holding a lock"),
 }
 
 

@@ -1,0 +1,405 @@
+"""Dynamic concurrency checker: lock-order graph + TSan-lite access tracking.
+
+The static passes of :mod:`repro.analysis.concurrency` catch what the AST
+can prove; this module catches what only execution shows.  It is
+deliberately dependency-free (stdlib only, no other ``repro`` imports) so
+the deepest shared-state modules — :mod:`repro.obs.metrics`,
+:mod:`repro.core.plancache`, :mod:`repro.execution.journal` — can import
+it without creating a cycle through the ``repro.analysis`` package (whose
+``__init__`` resolves its exports lazily for exactly this reason).
+
+Three instruments, all owned by one :class:`ConcurrencyChecker`:
+
+- **Instrumented locks** (:class:`InstrumentedLock` /
+  :class:`InstrumentedRLock`): drop-in ``threading`` wrappers that record,
+  per thread, the stack of held locks.  Every acquisition while another
+  lock is held adds a *lock-order edge* ``held -> acquired`` to a global
+  graph; a cycle in that graph is a potential deadlock and is recorded as
+  a ``lock_order_cycle`` violation the first time it closes.
+- **Hold-time tracking**: each release observes how long the lock was
+  held; holds above ``hold_time_threshold`` seconds are recorded as
+  outliers (a report entry, not a violation — long holds are a smell, not
+  a bug).
+- **TSan-lite shared-object tracking**: hardened classes register their
+  shared instances (:func:`register_shared`) with the lock that guards
+  them and call :func:`note_access` at mutation/exposition points.  An
+  access without the guard held is recorded; at report time an object is
+  a violation when it saw unguarded accesses *and* was touched by more
+  than one thread (single-threaded unguarded use is fine by definition).
+
+Activation: the module-level :data:`CHECKER` starts enabled when the
+``IRES_CONCURRENCY_CHECK=1`` environment variable is set (how the CI job
+and the conftest plugin switch the whole suite over); :func:`make_lock` /
+:func:`make_rlock` return instrumented wrappers only while the checker is
+enabled, plain ``threading`` primitives otherwise, so the production hot
+path pays nothing.  Everything is also constructible standalone for
+tests that *want* violations without poisoning the global checker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Union
+
+#: what :func:`make_lock` / :func:`make_rlock` may hand back
+LockLike = Union["InstrumentedLock", "InstrumentedRLock",
+                 threading.Lock, threading.RLock]
+
+
+@dataclass
+class Violation:
+    """One recorded concurrency violation."""
+
+    kind: str          #: ``lock_order_cycle`` or ``unguarded_access``
+    detail: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view."""
+        return {"kind": self.kind, "detail": self.detail, **self.data}
+
+
+@dataclass
+class _SharedObject:
+    """Tracking record of one registered shared object."""
+
+    name: str
+    ref: "weakref.ref[Any] | None"
+    guard: "InstrumentedLock | InstrumentedRLock | None"
+    #: every thread ident that ever touched the object
+    threads: set[int] = field(default_factory=set)
+    #: (thread ident, op) pairs seen without the guard held
+    unguarded: list[tuple[int, str]] = field(default_factory=list)
+    accesses: int = 0
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of (lock, acquired_at) currently held."""
+
+    def __init__(self) -> None:
+        self.stack: list[tuple[Any, float]] = []
+
+
+class ConcurrencyChecker:
+    """Records lock acquisition order, hold times and shared-state access.
+
+    All internal state is guarded by a *plain* ``threading.Lock`` — the
+    checker must never route through its own instrumented primitives.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 hold_time_threshold: float = 0.25) -> None:
+        self.enabled = enabled
+        self.hold_time_threshold = hold_time_threshold
+        self._lock = threading.Lock()
+        self._held = _HeldStack()
+        #: lock-order graph: lock name -> set of lock names acquired under it
+        self._edges: dict[str, set[str]] = {}
+        #: edge -> example (thread, holder stack) for reports
+        self._edge_examples: dict[tuple[str, str], dict[str, Any]] = {}
+        self._violations: list[Violation] = []
+        self._reported_cycles: set[tuple[str, ...]] = set()
+        self._hold_outliers: list[dict[str, Any]] = []
+        self._shared: dict[int, _SharedObject] = {}
+        self._max_hold: dict[str, float] = {}
+
+    # -- lock events ---------------------------------------------------------
+    def on_acquired(self, lock: "InstrumentedLock | InstrumentedRLock") -> None:
+        """A lock was acquired (first acquisition only for RLocks)."""
+        stack = self._held.stack
+        if stack:
+            with self._lock:
+                for held, _ in stack:
+                    if held.name == lock.name:
+                        continue
+                    self._edges.setdefault(held.name, set()).add(lock.name)
+                    self._edge_examples.setdefault(
+                        (held.name, lock.name),
+                        {"thread": threading.current_thread().name,
+                         "held": [h.name for h, _ in stack]})
+                    self._check_cycle_locked(lock.name)
+        stack.append((lock, time.perf_counter()))
+
+    def on_released(self, lock: "InstrumentedLock | InstrumentedRLock") -> None:
+        """A lock was fully released; record its hold time."""
+        stack = self._held.stack
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] is lock:
+                _, acquired_at = stack.pop(i)
+                held_for = time.perf_counter() - acquired_at
+                with self._lock:
+                    self._max_hold[lock.name] = max(
+                        self._max_hold.get(lock.name, 0.0), held_for)
+                    if held_for > self.hold_time_threshold:
+                        self._hold_outliers.append({
+                            "lock": lock.name,
+                            "heldSeconds": round(held_for, 6),
+                            "thread": threading.current_thread().name,
+                        })
+                return
+
+    def held_by_current_thread(self, lock: object) -> bool:
+        """Whether the calling thread currently holds ``lock``."""
+        return any(held is lock for held, _ in self._held.stack)
+
+    def _check_cycle_locked(self, start: str) -> None:
+        """DFS from ``start``; a path back to ``start`` is a cycle."""
+        path: list[str] = [start]
+        seen: set[str] = set()
+
+        def visit(node: str) -> tuple[str, ...] | None:
+            for nxt in sorted(self._edges.get(node, ())):
+                if nxt == start:
+                    return tuple(path)
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                found = visit(nxt)
+                if found is not None:
+                    return found
+                path.pop()
+            return None
+
+        cycle = visit(start)
+        if cycle is None:
+            return
+        canonical = tuple(sorted(cycle))
+        if canonical in self._reported_cycles:
+            return
+        self._reported_cycles.add(canonical)
+        self._violations.append(Violation(
+            kind="lock_order_cycle",
+            detail=("inconsistent lock acquisition order: "
+                    + " -> ".join(cycle + (cycle[0],))),
+            data={"cycle": list(cycle)},
+        ))
+
+    # -- shared-object tracking ----------------------------------------------
+    def register_shared(self, obj: object, name: str,
+                        guard: object = None) -> None:
+        """Track cross-thread access to ``obj``, expected under ``guard``."""
+        if not self.enabled:
+            return
+        try:
+            ref: "weakref.ref[Any] | None" = weakref.ref(obj)
+        except TypeError:
+            ref = None
+        instrumented = guard if isinstance(
+            guard, (InstrumentedLock, InstrumentedRLock)) else None
+        with self._lock:
+            self._shared[id(obj)] = _SharedObject(
+                name=name, ref=ref, guard=instrumented)
+
+    def note_access(self, obj: object, op: str = "write") -> None:
+        """One access to a registered shared object from the calling thread."""
+        if not self.enabled:
+            return
+        ident = threading.get_ident()
+        with self._lock:
+            record = self._shared.get(id(obj))
+            if record is None:
+                return
+            record.accesses += 1
+            record.threads.add(ident)
+            guard = record.guard
+            if guard is not None and not self.held_by_current_thread(guard):
+                record.unguarded.append((ident, op))
+
+    # -- reporting -----------------------------------------------------------
+    def unguarded_shared_accesses(self) -> list[dict[str, Any]]:
+        """Registered objects with unguarded access from >1 total threads."""
+        out: list[dict[str, Any]] = []
+        with self._lock:
+            for record in self._shared.values():
+                if record.unguarded and len(record.threads) > 1:
+                    out.append({
+                        "object": record.name,
+                        "guard": record.guard.name if record.guard else None,
+                        "threads": len(record.threads),
+                        "unguardedAccesses": len(record.unguarded),
+                        "ops": sorted({op for _, op in record.unguarded}),
+                    })
+        return sorted(out, key=lambda r: str(r["object"]))
+
+    def violations(self) -> list[Violation]:
+        """Lock-order cycles plus unguarded cross-thread accesses."""
+        with self._lock:
+            found = list(self._violations)
+        found.extend(
+            Violation(
+                kind="unguarded_access",
+                detail=(f"shared object {rec['object']!r} accessed by "
+                        f"{rec['threads']} thread(s) with "
+                        f"{rec['unguardedAccesses']} access(es) not holding "
+                        f"its guard {rec['guard']!r}"),
+                data=rec,
+            )
+            for rec in self.unguarded_shared_accesses()
+        )
+        return found
+
+    def report(self) -> dict[str, Any]:
+        """JSON-able checker state: graph, cycles, holds, shared objects."""
+        violations = self.violations()
+        with self._lock:
+            edges = sorted(
+                (a, b) for a, outs in self._edges.items() for b in outs)
+            shared = [
+                {
+                    "object": rec.name,
+                    "guard": rec.guard.name if rec.guard else None,
+                    "threads": len(rec.threads),
+                    "accesses": rec.accesses,
+                    "unguardedAccesses": len(rec.unguarded),
+                }
+                for rec in sorted(self._shared.values(),
+                                  key=lambda r: r.name)
+            ]
+            holds = {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self._max_hold.items())
+            }
+            outliers = list(self._hold_outliers)
+        return {
+            "enabled": self.enabled,
+            "lockOrderEdges": [{"from": a, "to": b} for a, b in edges],
+            "violations": [v.to_dict() for v in violations],
+            "holdTimeOutliers": outliers,
+            "maxHoldSeconds": holds,
+            "sharedObjects": shared,
+        }
+
+    def export_json(self, path: str | Path) -> Path:
+        """Write :meth:`report` (the lock-order-graph artifact) to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.report(), indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+        return target
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing every violation, if any."""
+        found = self.violations()
+        if found:
+            lines = [f"  {v.kind}: {v.detail}" for v in found]
+            raise AssertionError(
+                "concurrency checker found "
+                f"{len(found)} violation(s):\n" + "\n".join(lines))
+
+    def reset(self) -> None:
+        """Drop recorded state (graph, violations, shared objects)."""
+        with self._lock:
+            self._edges.clear()
+            self._edge_examples.clear()
+            self._violations.clear()
+            self._reported_cycles.clear()
+            self._hold_outliers.clear()
+            self._shared.clear()
+            self._max_hold.clear()
+
+
+class InstrumentedLock:
+    """A ``threading.Lock`` that reports acquisitions to a checker."""
+
+    _factory = staticmethod(threading.Lock)
+    reentrant = False
+
+    def __init__(self, name: str,
+                 checker: ConcurrencyChecker | None = None) -> None:
+        self.name = name
+        self.checker = checker if checker is not None else CHECKER
+        self._inner = self._factory()
+        self._depth = threading.local()
+
+    def _enter_depth(self) -> int:
+        depth = getattr(self._depth, "value", 0)
+        self._depth.value = depth + 1
+        return depth
+
+    def _exit_depth(self) -> int:
+        depth = getattr(self._depth, "value", 1) - 1
+        self._depth.value = depth
+        return depth
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock, recording the event on success."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and self._enter_depth() == 0:
+            self.checker.on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release the underlying lock, recording hold time when fully out."""
+        if self._exit_depth() == 0:
+            self.checker.on_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held by anyone."""
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        """Whether the calling thread holds this lock."""
+        return self.checker.held_by_current_thread(self)
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"Instrumented{kind}({self.name!r})"
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """A ``threading.RLock`` wrapper; only the outermost acquire/release
+    hit the checker, so reentrancy adds no spurious graph edges."""
+
+    _factory = staticmethod(threading.RLock)
+    reentrant = True
+
+
+#: the process-wide checker; enabled by ``IRES_CONCURRENCY_CHECK=1``
+CHECKER = ConcurrencyChecker(
+    enabled=os.environ.get("IRES_CONCURRENCY_CHECK", "") == "1")
+
+
+def checking_enabled() -> bool:
+    """Whether the process-wide checker is recording."""
+    return CHECKER.enabled
+
+
+def make_lock(name: str) -> "LockLike":
+    """A mutex for ``name``: instrumented while checking, plain otherwise."""
+    if CHECKER.enabled:
+        return InstrumentedLock(name, CHECKER)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> "LockLike":
+    """A reentrant mutex: instrumented while checking, plain otherwise."""
+    if CHECKER.enabled:
+        return InstrumentedRLock(name, CHECKER)
+    return threading.RLock()
+
+
+def register_shared(obj: object, name: str, guard: object = None) -> None:
+    """Register ``obj`` with the process-wide checker (no-op when off)."""
+    CHECKER.register_shared(obj, name, guard)
+
+
+def note_access(obj: object, op: str = "write") -> None:
+    """Record one access to ``obj`` on the process-wide checker (cheap
+    single attribute check when checking is off)."""
+    if CHECKER.enabled:
+        CHECKER.note_access(obj, op)

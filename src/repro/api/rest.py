@@ -302,6 +302,37 @@ class IResServer:
         collector = self.ires.lint(workflow=workflow)
         return Response(200, collector.to_json(strict=strict))
 
+    # -- /analyze ------------------------------------------------------------
+    def _analyze(self, method, rest, body) -> Response:
+        """Concurrency-correctness passes (IRES050–063) over Python source.
+
+        ``POST /analyze`` with ``{"paths": [...], "strict": bool}``; paths
+        default to the installed ``repro`` package, so a bare POST audits
+        the scheduler's own code.
+        """
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.concurrency import analyze_paths
+
+        self._expect(method == "POST", 405, "use POST")
+        self._expect(not rest, 404, "use /analyze")
+        raw_paths = body.get("paths")
+        if raw_paths is None:
+            paths = [Path(repro.__file__).parent]
+        else:
+            self._expect(
+                isinstance(raw_paths, list)
+                and all(isinstance(p, str) for p in raw_paths),
+                400, "body 'paths' must be a list of strings")
+            missing = [p for p in raw_paths if not Path(p).exists()]
+            self._expect(not missing, 404,
+                         f"no such path(s): {', '.join(missing)}")
+            paths = [Path(p) for p in raw_paths]
+        strict = bool(body.get("strict", False))
+        collector = analyze_paths(paths)
+        return Response(200, collector.to_json(strict=strict))
+
     # -- /metrics ------------------------------------------------------------
     def _metrics(self, method, rest, body) -> Response:
         self._expect(method == "GET", 405, "use GET")

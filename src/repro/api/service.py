@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.analysis.runtime_check import LockLike, make_lock
 from repro.core.platform import IReS
 from repro.execution.enforcer import ExecutionFailed
 from repro.execution.journal import (
@@ -202,24 +203,26 @@ class IResService:
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.default_deadline_seconds = default_deadline_seconds
         self.history_limit = history_limit
-        self._lock = threading.Lock()
-        self._pending: dict[str, deque[RunRecord]] = {}
-        self._ring: deque[str] = deque()
-        self._runs: dict[str, RunRecord] = {}
-        self._accepting = True
-        self._stopping = False
+        self._lock: LockLike = make_lock("service")
+        self._pending: dict[str, deque[RunRecord]] = {}  # guarded-by: _lock
+        self._ring: deque[str] = deque()  # guarded-by: _lock
+        self._runs: dict[str, RunRecord] = {}  # guarded-by: _lock
+        self._accepting = True  # guarded-by: _lock
+        self._stopping = False  # guarded-by: _lock
+        # loop-affine state (_loop/_wake/_tasks) is touched only from the
+        # event-loop thread and needs no lock
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wake: asyncio.Event | None = None
         self._tasks: list[asyncio.Task] = []
-        self._platforms: dict[int, IReS] = {}
+        self._platforms: dict[int, IReS] = {}  # guarded-by: _lock
         #: EWMA of completed-run wall latency, feeding the retry-after hint
-        self._latency_ewma: float | None = None
+        self._latency_ewma: float | None = None  # guarded-by: _lock
         #: EWMA of measured queue wait (admission → start) — the primary
         #: signal behind the 429 retry-after estimate
-        self._queue_wait_ewma: float | None = None
+        self._queue_wait_ewma: float | None = None  # guarded-by: _lock
         #: EWMA of execution duration (start → terminal), projecting the
         #: extra wait each queued run ahead of a new submission adds
-        self._exec_seconds_ewma: float | None = None
+        self._exec_seconds_ewma: float | None = None  # guarded-by: _lock
         #: per-tenant cost attribution (GET /tenants); pass accounts=False
         #: to disable, or a TenantAccounts instance to share one
         if accounts is True:
@@ -235,8 +238,8 @@ class IResService:
             self.slo = None
         else:
             self.slo = slo
-        self.peak_active = 0
-        self._active = 0
+        self.peak_active = 0  # guarded-by: _lock
+        self._active = 0  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> list[RunRecord]:
@@ -281,7 +284,8 @@ class IResService:
         for rec in running:
             if rec.control is not None:
                 rec.control.cancel("service shutdown")
-        self._stopping = True
+        with self._lock:
+            self._stopping = True
         self._wake_workers()
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -479,7 +483,8 @@ class IResService:
 
     def platforms(self) -> "list[IReS]":
         """The worker platform instances built so far (tracers, journals)."""
-        return list(self._platforms.values())
+        with self._lock:
+            return list(self._platforms.values())
 
     # -- workers -------------------------------------------------------------
     def _wake_workers(self) -> None:
@@ -503,12 +508,16 @@ class IResService:
             return None
 
     def _platform_for(self, worker: int) -> IReS:
-        platform = self._platforms.get(worker)
+        with self._lock:
+            platform = self._platforms.get(worker)
         if platform is None:
+            # build outside the lock (factories can be slow); each worker
+            # only asks for its own index, so the slot cannot be contended
             platform = self._factory()
             if self.journal_dir is not None:
                 platform.executor.journal_dir = self.journal_dir
-            self._platforms[worker] = platform
+            with self._lock:
+                self._platforms[worker] = platform
         return platform
 
     async def _worker(self, index: int) -> None:
@@ -545,7 +554,8 @@ class IResService:
                 else 0.7 * self._queue_wait_ewma
                 + 0.3 * rec.queued_wait_seconds
             )
-        _ACTIVE.set(self._active)
+            active = self._active
+        _ACTIVE.set(active)
 
         def _execute() -> object:
             # bind the service-assigned correlation ids in the worker
@@ -579,7 +589,8 @@ class IResService:
         finally:
             with self._lock:
                 self._active -= 1
-            _ACTIVE.set(self._active)
+                active = self._active
+            _ACTIVE.set(active)
 
     def _finish(self, rec: RunRecord, state: str, error: str = "",
                 report=None) -> None:

@@ -111,6 +111,34 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_analyze(args) -> int:
+    """``ires analyze``: concurrency-correctness passes over Python source.
+
+    Runs the IRES050–063 thread-safety and asyncio-hygiene passes
+    (DESIGN.md §13) over the given files/directories.  Exit code 0 when
+    clean (``--strict``: no warnings either), 1 when the gate fails.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.analysis.concurrency import analyze_paths
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        sys.exit(f"error: no such path(s): {', '.join(missing)}")
+    collector = analyze_paths(args.paths)
+    failed = collector.failed(strict=args.strict)
+    if args.format == "json":
+        print(json.dumps(collector.to_json(strict=args.strict),
+                         indent=2, sort_keys=True))
+    else:
+        print(collector.render_text())
+        print(f"analyze {'FAILED' if failed else 'OK'}: "
+              + " ".join(str(p) for p in args.paths)
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
+
+
 def cmd_engines(args) -> int:
     """``ires engines``: list the deployed engines and their operators."""
     ires = IReS()
@@ -561,22 +589,44 @@ def _render_top(base: str) -> str:
 
 
 def cmd_top(args) -> int:
-    """``ires top``: a refreshing terminal view of a live service."""
-    import time as _time
+    """``ires top``: a refreshing terminal view of a live service.
+
+    The poll loop sleeps on an Event a SIGINT/SIGTERM handler sets, so
+    Ctrl-C lands immediately instead of waiting out a blocking
+    ``time.sleep`` — and the old sleep-based loop lives on as the seeded
+    IRES060 fixture.
+    """
+    import signal
+    import threading
 
     if args.once:
         print(_render_top(args.server))
         return 0
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 — signal signature
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
     try:
-        while True:
+        while not stop.is_set():
             frame = _render_top(args.server)
             # clear screen + home, then one frame
             sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
             sys.stdout.flush()
-            _time.sleep(args.interval)
+            stop.wait(args.interval)  # interruptible: handler sets the event
     except KeyboardInterrupt:
-        print()
-        return 0
+        pass  # a second Ctrl-C while rendering still exits cleanly
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print()
+    return 0
 
 
 def cmd_frontier(args) -> int:
@@ -791,6 +841,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="also fail on warnings")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("analyze", help="concurrency-correctness passes "
+                       "(IRES050–063) over Python source")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on warnings")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("engines", help="list deployed engines")
     p.set_defaults(func=cmd_engines)

@@ -37,6 +37,12 @@ import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
+from repro.analysis.runtime_check import (
+    LockLike,
+    make_rlock,
+    note_access,
+    register_shared,
+)
 from repro.core.dataset import Dataset
 from repro.core.workflow import AbstractWorkflow, MaterializedPlan
 from repro.obs.logging import get_logger
@@ -109,8 +115,15 @@ def _materialized_token(
     ))
 
 
-class PlanCache:
-    """LRU + TTL cache of finished plans, invalidated by epoch bumps."""
+class PlanCache:  # thread-shared
+    """LRU + TTL cache of finished plans, invalidated by epoch bumps.
+
+    Reachable from every service worker thread at once: lookups mutate LRU
+    order and TTL expiry deletes entries, so the store, the hit/miss/eviction
+    counters and the model epoch all live under one reentrant lock
+    (reentrant because ``bump_model_epoch`` calls ``invalidate`` and both
+    take it).
+    """
 
     def __init__(
         self,
@@ -123,15 +136,17 @@ class PlanCache:
         self.capacity = capacity
         self.ttl_seconds = ttl_seconds
         self._clock = clock
+        self._lock: LockLike = make_rlock("plancache")
         self._entries: "OrderedDict[tuple, tuple[float, MaterializedPlan]]" = (
-            OrderedDict()
+            OrderedDict()  # guarded-by: _lock
         )
         #: bumped by model refits / drift alarms; part of every key
-        self.model_epoch = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self.model_epoch = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
+        register_shared(self, "core:plancache", self._lock)
 
     # -- key construction ---------------------------------------------------
     def key(
@@ -159,40 +174,60 @@ class PlanCache:
             policy_token,
             planner_token,
             int(library_epoch),
-            self.model_epoch,
+            self._model_epoch_snapshot(),
         )
+
+    def _model_epoch_snapshot(self) -> int:
+        with self._lock:
+            return self.model_epoch
 
     # -- store --------------------------------------------------------------
     def get(self, key: tuple) -> MaterializedPlan | None:
         """Look a plan up; counts a hit or a miss, expires TTL'd entries."""
-        record = self._entries.get(key)
-        if record is not None and self.ttl_seconds is not None:
-            inserted_at = record[0]
-            if self._clock() - inserted_at > self.ttl_seconds:
-                del self._entries[key]
-                self.evictions += 1
-                _EVICTIONS.inc(reason="ttl")
-                record = None
+        expired = False
+        with self._lock:
+            note_access(self, "get")
+            record = self._entries.get(key)
+            if record is not None and self.ttl_seconds is not None:
+                inserted_at = record[0]
+                if self._clock() - inserted_at > self.ttl_seconds:
+                    del self._entries[key]
+                    self.evictions += 1
+                    expired = True
+                    record = None
+            if record is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        # metric increments happen outside the lock: the registry has its
+        # own guard and keeping it out of this critical section keeps the
+        # lock-order graph a tree (plancache -> metrics only)
+        if expired:
+            _EVICTIONS.inc(reason="ttl")
         if record is None:
-            self.misses += 1
             _MISSES.inc()
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
         _HITS.inc()
         return record[1]
 
     def put(self, key: tuple, plan: MaterializedPlan) -> None:
         """Store a freshly computed plan, evicting LRU entries over capacity."""
-        self._entries[key] = (self._clock(), plan)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            note_access(self, "put")
+            self._entries[key] = (self._clock(), plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             _EVICTIONS.inc(reason="capacity")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- invalidation -------------------------------------------------------
     def invalidate(self, reason: str = "explicit", *, force: bool = False) -> int:
@@ -203,10 +238,14 @@ class PlanCache:
         so wiring the cache up before bulk-loading a library does not inflate
         the metric with no-op bumps.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        if dropped or force:
-            self.invalidations += 1
+        with self._lock:
+            note_access(self, "invalidate")
+            dropped = len(self._entries)
+            self._entries.clear()
+            counted = bool(dropped or force)
+            if counted:
+                self.invalidations += 1
+        if counted:
             _INVALIDATIONS.inc(reason=reason)
         if dropped:
             _LOG.info("plancache_invalidated", reason=reason, dropped=dropped)
@@ -214,8 +253,10 @@ class PlanCache:
 
     def bump_model_epoch(self, reason: str = "model_refit") -> None:
         """Model outputs changed: new epoch (new keys) + drop old entries."""
-        self.model_epoch += 1
-        self.invalidate(reason=reason)
+        with self._lock:
+            note_access(self, "bump_model_epoch")
+            self.model_epoch += 1
+            self.invalidate(reason=reason)
 
     # -- hook wiring --------------------------------------------------------
     def attach_library(self, library: "OperatorLibrary") -> "PlanCache":
@@ -244,18 +285,21 @@ class PlanCache:
 
     # -- introspection ------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Counters + configuration, as served by ``GET /plancache``."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "ttlSeconds": self.ttl_seconds,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "modelEpoch": self.model_epoch,
-        }
+        """Counters + configuration, one consistent snapshot under the lock
+        (as served by ``GET /plancache``)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "ttlSeconds": self.ttl_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "modelEpoch": self.model_epoch,
+            }
 
     def __repr__(self) -> str:
-        return (f"PlanCache(size={len(self._entries)}, hits={self.hits}, "
-                f"misses={self.misses})")
+        with self._lock:
+            return (f"PlanCache(size={len(self._entries)}, hits={self.hits}, "
+                    f"misses={self.misses})")

@@ -36,6 +36,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.runtime_check import LockLike, make_lock
 from repro.core.dataset import Dataset
 from repro.core.workflow import MaterializedPlan
 from repro.obs.logging import get_logger
@@ -216,8 +217,11 @@ class RunJournal:
         self.run_id = run_id
         self.fsync = fsync
         self.crash_after_steps = crash_after_steps
-        self._seq = 0
-        self._steps_journaled = 0
+        # one journal can be shared by enforcer + service threads; the lock
+        # serializes appends so seq numbers and the file itself stay ordered
+        self._lock: LockLike = make_lock("journal")
+        self._seq = 0  # guarded-by: _lock
+        self._steps_journaled = 0  # guarded-by: _lock
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if self.path.exists():
             records, valid_bytes, torn = _scan(self.path)
@@ -235,26 +239,29 @@ class RunJournal:
     # -- writing -------------------------------------------------------------
     def append(self, kind: str, **payload: object) -> dict:
         """Durably append one record; returns the record as written."""
-        record: dict = {"seq": self._seq, "kind": kind,
-                        "runId": self.run_id,
-                        "wallTime": round(time.time(), 6)}
-        record.update(payload)
         started = time.perf_counter()
-        self._handle.write(_stamp(record) + "\n")
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        _APPEND_SECONDS.observe(time.perf_counter() - started)
-        self._seq += 1
-        _RECORDS.inc(kind=kind)
-        if kind == STEP_FINISHED:
-            self._steps_journaled += 1
-            if (self.crash_after_steps is not None
-                    and self._steps_journaled >= self.crash_after_steps):
-                # the crash-test hook: die *after* the record hit the disk
-                self._handle.flush()
+        with self._lock:
+            record: dict = {"seq": self._seq, "kind": kind,
+                            "runId": self.run_id,
+                            "wallTime": round(time.time(), 6)}
+            record.update(payload)
+            self._handle.write(_stamp(record) + "\n")
+            self._handle.flush()
+            if self.fsync:
                 os.fsync(self._handle.fileno())
-                os.kill(os.getpid(), signal.SIGKILL)
+            self._seq += 1
+            crash = False
+            if kind == STEP_FINISHED:
+                self._steps_journaled += 1
+                crash = (self.crash_after_steps is not None
+                         and self._steps_journaled >= self.crash_after_steps)
+        _APPEND_SECONDS.observe(time.perf_counter() - started)
+        _RECORDS.inc(kind=kind)
+        if crash:
+            # the crash-test hook: die *after* the record hit the disk
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
         return record
 
     def close(self) -> None:

@@ -16,10 +16,15 @@ produced one) and feeds the result to a process-shared
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.analysis.runtime_check import (
+    LockLike,
+    make_lock,
+    note_access,
+    register_shared,
+)
 from repro.obs.metrics import REGISTRY
 
 _CORE_SECONDS = REGISTRY.counter(
@@ -177,7 +182,7 @@ class TenantUsage:
         }
 
 
-class TenantAccounts:
+class TenantAccounts:  # thread-shared
     """Thread-safe per-tenant aggregation of :class:`RunUsage` samples.
 
     ``history_limit`` bounds the retained per-run samples (newest kept);
@@ -186,13 +191,15 @@ class TenantAccounts:
 
     def __init__(self, history_limit: int = 256) -> None:
         self.history_limit = history_limit
-        self._lock = threading.Lock()
-        self._tenants: dict[str, TenantUsage] = {}
-        self._recent: list[RunUsage] = []
+        self._lock: LockLike = make_lock("accounts")
+        self._tenants: dict[str, TenantUsage] = {}  # guarded-by: _lock
+        self._recent: list[RunUsage] = []  # guarded-by: _lock
+        register_shared(self, "obs:accounts", self._lock)
 
     def record(self, usage: RunUsage) -> None:
         """Fold one run into the tenant's totals and the metrics registry."""
         with self._lock:
+            note_access(self, "record")
             agg = self._tenants.get(usage.tenant)
             if agg is None:
                 agg = self._tenants[usage.tenant] = TenantUsage(usage.tenant)

@@ -23,6 +23,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.analysis.runtime_check import (
+    LockLike,
+    make_rlock,
+    note_access,
+    register_shared,
+)
 from repro.obs.metrics import REGISTRY
 
 #: relative errors are computed against max(|actual|, EPS) to stay finite
@@ -178,7 +184,7 @@ class PairStats:
 Listener = Callable[[LedgerEntry, PairStats], None]
 
 
-class AccuracyLedger:
+class AccuracyLedger:  # thread-shared
     """Append-only predicted-vs-actual ledger with rolling pair statistics.
 
     ``path`` (optional) appends every entry as one JSON line as it is
@@ -196,24 +202,34 @@ class AccuracyLedger:
         self.alpha = alpha
         self.recent_window = recent_window
         self.max_entries = max_entries
-        self.entries: list[LedgerEntry] = []
+        # concurrent service workers record steps through one shared ledger
+        self._lock: LockLike = make_rlock("accuracy")
+        self.entries: list[LedgerEntry] = []  # guarded-by: _lock
         self.listeners: list[Listener] = []
-        self._stats: dict[tuple[str, str], PairStats] = {}
+        self._stats: dict[tuple[str, str], PairStats] = {}  # guarded-by: _lock
+        if enabled:
+            register_shared(self, "obs:accuracy-ledger", self._lock)
 
     # -- recording -----------------------------------------------------------
     def record(self, entry: LedgerEntry) -> PairStats | None:
         """Append one entry, update statistics/gauges, notify listeners."""
         if not self.enabled:
             return None
-        self.entries.append(entry)
-        if len(self.entries) > self.max_entries:
-            # keep the newest half; stats already folded the older entries in
-            del self.entries[: len(self.entries) // 2]
-        if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(entry.to_dict()) + "\n")
-        stats = self._fold(entry)
-        for listener in self.listeners:
+        with self._lock:
+            note_access(self, "record")
+            self.entries.append(entry)
+            if len(self.entries) > self.max_entries:
+                # keep the newest half; stats already folded the older
+                # entries in
+                del self.entries[: len(self.entries) // 2]
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry.to_dict()) + "\n")
+            stats = self._fold_locked(entry)
+            listeners = list(self.listeners)
+        # listeners (drift detectors, cache invalidation) run outside the
+        # lock: they may take their own locks and must not nest under ours
+        for listener in listeners:
             listener(entry, stats)
         return stats
 
@@ -240,7 +256,7 @@ class AccuracyLedger:
             index=index, attempt=attempt, success=success,
         ))
 
-    def _fold(self, entry: LedgerEntry) -> PairStats:
+    def _fold_locked(self, entry: LedgerEntry) -> PairStats:
         key = (entry.operator, entry.engine)
         stats = self._stats.get(key)
         if stats is None:
@@ -261,29 +277,35 @@ class AccuracyLedger:
 
     # -- queries -------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
     def __iter__(self) -> Iterator[LedgerEntry]:
-        return iter(self.entries)
+        with self._lock:
+            return iter(list(self.entries))
 
     def pairs(self) -> list[tuple[str, str]]:
         """Sorted (operator, engine) pairs the ledger has seen."""
-        return sorted(self._stats)
+        with self._lock:
+            return sorted(self._stats)
 
     def stats_for(self, operator: str, engine: str) -> PairStats | None:
         """Rolling statistics of one pair, or None when never recorded."""
-        return self._stats.get((operator, engine))
+        with self._lock:
+            return self._stats.get((operator, engine))
 
     def entries_for(self, operator: str, engine: str) -> list[LedgerEntry]:
         """The (bounded) retained entries of one pair, oldest first."""
-        return [e for e in self.entries
-                if e.operator == operator and e.engine == engine]
+        with self._lock:
+            return [e for e in self.entries
+                    if e.operator == operator and e.engine == engine]
 
     def report(self) -> dict:
         """JSON-able accuracy report: per-pair statistics + error trends."""
         pairs = []
         for operator, engine in self.pairs():
-            stats = self._stats[(operator, engine)]
+            stats = self.stats_for(operator, engine)
+            assert stats is not None
             trend = [
                 {"at": e.at, "error": e.relative_error("execTime")}
                 for e in self.entries_for(operator, engine)
@@ -299,10 +321,12 @@ class AccuracyLedger:
     # -- persistence ---------------------------------------------------------
     def save(self, path: str | Path) -> int:
         """Write every retained entry as JSONL; returns the entry count."""
+        with self._lock:
+            entries = list(self.entries)
         with open(path, "w", encoding="utf-8") as handle:
-            for entry in self.entries:
+            for entry in entries:
                 handle.write(json.dumps(entry.to_dict()) + "\n")
-        return len(self.entries)
+        return len(entries)
 
     def load(self, path: str | Path) -> int:
         """Append entries from a JSONL file (rebuilding statistics).
@@ -326,15 +350,19 @@ class AccuracyLedger:
                     raise ValueError(
                         f"line {line_no}: not a ledger entry object")
                 entry = LedgerEntry.from_dict(payload)
-                self.entries.append(entry)
-                self._fold(entry)
+                with self._lock:
+                    note_access(self, "load")
+                    self.entries.append(entry)
+                    self._fold_locked(entry)
                 count += 1
         return count
 
     def clear(self) -> None:
         """Drop every entry and statistic (tests, new sessions)."""
-        self.entries.clear()
-        self._stats.clear()
+        with self._lock:
+            note_access(self, "clear")
+            self.entries.clear()
+            self._stats.clear()
 
 
 #: shared disabled ledger — the default for un-wired components

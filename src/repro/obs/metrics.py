@@ -15,6 +15,13 @@ from __future__ import annotations
 import math
 from typing import Any, TypeVar, cast
 
+from repro.analysis.runtime_check import (
+    LockLike,
+    make_rlock,
+    note_access,
+    register_shared,
+)
+
 #: default latency buckets (seconds) — spans µs-scale planning to sim hours
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
@@ -179,7 +186,14 @@ def _fmt(value: float) -> str:
 
 
 class Metric:
-    """Base class: a named instrument with a fixed label-name tuple."""
+    """Base class: a named instrument with a fixed label-name tuple.
+
+    Worker threads mutate series while scrape threads render them, so every
+    value access happens under ``_lock`` — a reentrant lock the owning
+    :class:`MetricsRegistry` replaces with its own at registration time (one
+    lock guards the whole registry; reentrancy lets :meth:`render_into` run
+    under :meth:`MetricsRegistry.render`).
+    """
 
     kind = "untyped"
 
@@ -187,7 +201,8 @@ class Metric:
         self.name = name
         self.help = help
         self.label_names = tuple(labels)
-        self._values: dict[tuple, object] = {}
+        self._lock: LockLike = make_rlock("metrics")
+        self._values: dict[tuple, object] = {}  # guarded-by: _lock
 
     def _key(self, labels: dict) -> tuple:
         unknown = set(labels) - set(self.label_names)
@@ -209,22 +224,30 @@ class Metric:
 
     def clear(self) -> None:
         """Drop every recorded sample (the instrument itself survives)."""
-        self._values.clear()
+        with self._lock:
+            note_access(self, "clear")
+            self._values.clear()
 
     # -- introspection -------------------------------------------------------
     def value(self, **labels: str) -> float:
         """Current value of one series (0.0 when never touched)."""
-        return float(self._values.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+        with self._lock:
+            note_access(self, "read")
+            return float(self._values.get(self._key(labels), 0.0))  # type: ignore[arg-type]
 
     def series(self) -> dict[tuple, object]:
-        """Raw (label values → state) mapping (copy)."""
-        return dict(self._values)
+        """Raw (label values → state) mapping (snapshot under the lock)."""
+        with self._lock:
+            note_access(self, "read")
+            return dict(self._values)
 
     def render_into(self, lines: list[str]) -> None:
-        """Append this metric's exposition lines."""
-        for key in sorted(self._values):
-            lines.append(
-                f"{self._series_name(key)} {_fmt(float(self._values[key]))}")  # type: ignore[arg-type]
+        """Append this metric's exposition lines (snapshot under the lock)."""
+        with self._lock:
+            note_access(self, "read")
+            for key in sorted(self._values):
+                value = float(self._values[key])  # type: ignore[arg-type]
+                lines.append(f"{self._series_name(key)} {_fmt(value)}")
 
 
 class Counter(Metric):
@@ -237,7 +260,9 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         key = self._key(labels)
-        self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
+        with self._lock:
+            note_access(self, "write")
+            self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
 
 
 class Gauge(Metric):
@@ -247,12 +272,17 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels: str) -> None:
         """Set the labelled series to ``value``."""
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            note_access(self, "write")
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` (may be negative) to the labelled series."""
         key = self._key(labels)
-        self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
+        with self._lock:
+            note_access(self, "write")
+            self._values[key] = float(self._values.get(key, 0.0)) + amount  # type: ignore[arg-type]
 
     def dec(self, amount: float = 1.0, **labels: str) -> None:
         """Subtract ``amount`` from the labelled series."""
@@ -281,29 +311,40 @@ class Histogram(Metric):
     def observe(self, value: float, **labels: str) -> None:
         """Record one observation into the labelled series."""
         key = self._key(labels)
-        state = self._values.get(key)
-        if state is None:
-            state = [[0] * len(self.buckets), 0.0, 0]  # counts, sum, total
-            self._values[key] = state
-        counts, _, _ = state
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        state[1] += value
-        state[2] += 1
+        with self._lock:
+            note_access(self, "write")
+            state = self._values.get(key)
+            if state is None:
+                state = [[0] * len(self.buckets), 0.0, 0]  # counts, sum, total
+                self._values[key] = state
+            counts, _, _ = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            state[1] += value
+            state[2] += 1
 
     def value(self, **labels: str) -> float:
         """Observation count of one series."""
-        state = self._values.get(self._key(labels))
-        return float(state[2]) if state is not None else 0.0  # type: ignore[index]
+        with self._lock:
+            note_access(self, "read")
+            state = self._values.get(self._key(labels))
+            return float(state[2]) if state is not None else 0.0  # type: ignore[index]
 
     def sum(self, **labels: str) -> float:
         """Sum of observed values of one series."""
-        state = self._values.get(self._key(labels))
-        return float(state[1]) if state is not None else 0.0  # type: ignore[index]
+        with self._lock:
+            note_access(self, "read")
+            state = self._values.get(self._key(labels))
+            return float(state[1]) if state is not None else 0.0  # type: ignore[index]
 
     def render_into(self, lines: list[str]) -> None:
         """Append cumulative ``_bucket``/``_sum``/``_count`` lines."""
+        with self._lock:
+            note_access(self, "read")
+            self._render_series_locked(lines)
+
+    def _render_series_locked(self, lines: list[str]) -> None:
         for key in sorted(self._values):
             counts, total, count = self._values[key]  # type: ignore[misc]
             running = 0
@@ -320,25 +361,36 @@ class Histogram(Metric):
             lines.append(f"{self._series_name(key, '_count')} {count}")
 
 
-class MetricsRegistry:
-    """Named instruments, get-or-create, rendered as Prometheus text."""
+class MetricsRegistry:  # thread-shared
+    """Named instruments, get-or-create, rendered as Prometheus text.
+
+    One reentrant lock guards both the instrument map and (shared into each
+    instrument at registration time) every series mutation, so a ``/metrics``
+    scrape renders a consistent snapshot while worker threads keep counting.
+    """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Metric] = {}
+        self._lock: LockLike = make_rlock("metrics")
+        self._metrics: dict[str, Metric] = {}  # guarded-by: _lock
+        register_shared(self, "metrics:registry", self._lock)
 
     def _register(self, cls: "type[_M]", name: str, help: str, labels: tuple,
                   **kwargs: Any) -> "_M":
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if type(existing) is not cls or existing.label_names != tuple(labels):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}{existing.label_names}"
-                )
-            return cast("_M", existing)
-        created = cls(name, help, tuple(labels), **kwargs)
-        self._metrics[name] = created
-        return created
+        with self._lock:
+            note_access(self, "register")
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (type(existing) is not cls
+                        or existing.label_names != tuple(labels)):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.label_names}"
+                    )
+                return cast("_M", existing)
+            created = cls(name, help, tuple(labels), **kwargs)
+            created._lock = self._lock  # one lock guards the whole registry
+            self._metrics[name] = created
+            return created
 
     def counter(self, name: str, help: str = "", labels: tuple = ()) -> Counter:
         """Get or create a counter."""
@@ -355,27 +407,37 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Metric | None:
         """Look an instrument up by name."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> list[str]:
         """Sorted names of every registered instrument."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def reset(self) -> None:
         """Zero every series; instruments stay registered (tests, new runs)."""
-        for metric in self._metrics.values():
-            metric.clear()
+        with self._lock:
+            note_access(self, "reset")
+            for metric in self._metrics.values():
+                metric.clear()
 
     def render(self) -> str:
-        """The Prometheus text exposition of every instrument."""
+        """The Prometheus text exposition of every instrument.
+
+        The whole walk happens under the registry lock, so the scrape is one
+        consistent snapshot even while workers mutate series concurrently.
+        """
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
-            if metric.help:
-                lines.append(
-                    f"# HELP {metric.name} {_escape_help(metric.help)}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            metric.render_into(lines)
+        with self._lock:
+            note_access(self, "render")
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(
+                        f"# HELP {metric.name} {_escape_help(metric.help)}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+                metric.render_into(lines)
         return "\n".join(lines) + "\n"
 
 

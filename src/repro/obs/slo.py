@@ -28,11 +28,16 @@ events.
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro.analysis.runtime_check import (
+    LockLike,
+    make_lock,
+    note_access,
+    register_shared,
+)
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 
@@ -236,7 +241,7 @@ class SLOStatus:
         }
 
 
-class SLOTracker:
+class SLOTracker:  # thread-shared
     """Sliding-window SLO evaluation with multi-window burn-rate alarms."""
 
     def __init__(
@@ -253,11 +258,12 @@ class SLOTracker:
         self._clock: Callable[[], float] = (
             clock if clock is not None else _time.time)
         self.max_alarms = max_alarms
-        self._lock = threading.Lock()
-        self._events: list[RunEvent] = []
-        self._active: set[str] = set()
-        self.alarms: list[SLOAlarm] = []
+        self._lock: LockLike = make_lock("slo")
+        self._events: list[RunEvent] = []  # guarded-by: _lock
+        self._active: set[str] = set()  # guarded-by: _lock
+        self.alarms: list[SLOAlarm] = []  # guarded-by: _lock
         self._horizon = max(s.long_window_seconds for s in self.specs)
+        register_shared(self, "obs:slo", self._lock)
 
     # -- ingestion -----------------------------------------------------------
     def record_run(
@@ -277,6 +283,7 @@ class SLOTracker:
             tenant=tenant,
         )
         with self._lock:
+            note_access(self, "record_run")
             self._events.append(event)
             self._prune_locked(event.at)
 

@@ -1,0 +1,74 @@
+"""Suite-wide concurrency plugins (DESIGN.md §13).
+
+Two gates, both cheap when idle:
+
+- Uncaught exceptions on worker threads — which ``threading.excepthook``
+  normally just prints to stderr — are promoted to a failure of the test
+  that was running when they fired.  During a test's run phase pytest's
+  own ``threadexception`` plugin owns the hook and reports a warning, so
+  that warning is escalated to an error; outside the run phase (import
+  time, session teardown) our replacement hook records the crash and the
+  autouse fixture fails the next test to observe it.
+- When ``IRES_CONCURRENCY_CHECK=1`` the process-wide dynamic checker
+  (:data:`repro.analysis.runtime_check.CHECKER`) records every
+  instrumented lock acquisition and shared-object access across the whole
+  suite; at session end any lock-order cycle or unguarded cross-thread
+  access fails the run.  The lock-order-graph report is exported to
+  ``$IRES_LOCK_GRAPH_OUT`` when set (CI uploads it as an artifact).
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis.runtime_check import CHECKER
+
+_thread_errors: list[str] = []
+_original_excepthook = threading.excepthook
+
+
+def _recording_excepthook(args):
+    thread = args.thread.name if args.thread is not None else "<unknown>"
+    _thread_errors.append(
+        f"{args.exc_type.__name__} in thread {thread!r}: {args.exc_value}")
+    _original_excepthook(args)
+
+
+threading.excepthook = _recording_excepthook
+
+
+def pytest_configure(config):
+    """Escalate pytest's unhandled-thread-exception warning to a failure."""
+    config.addinivalue_line(
+        "filterwarnings",
+        "error::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+@pytest.fixture(autouse=True)
+def _promote_thread_exceptions():
+    """Fail the current test if a thread died with an uncaught exception."""
+    before = len(_thread_errors)
+    yield
+    fresh = _thread_errors[before:]
+    if fresh:
+        pytest.fail("uncaught exception(s) on worker thread(s):\n"
+                    + "\n".join(f"  {line}" for line in fresh))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Gate the run on the dynamic checker and export the lock graph."""
+    if not CHECKER.enabled:
+        return
+    out = os.environ.get("IRES_LOCK_GRAPH_OUT")
+    if out:
+        CHECKER.export_json(out)
+    found = CHECKER.violations()
+    if found:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        lines = [f"  {v.kind}: {v.detail}" for v in found]
+        message = (f"concurrency checker found {len(found)} violation(s):\n"
+                   + "\n".join(lines))
+        if reporter is not None:
+            reporter.write_line(message, red=True)
+        session.exitstatus = 1

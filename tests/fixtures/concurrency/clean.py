@@ -1,0 +1,26 @@
+"""No seeded defects: the annotation convention applied correctly."""
+
+import asyncio
+import threading
+
+
+class Store:  # thread-shared
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[str] = []  # guarded-by: _lock
+
+    def add(self, item: str) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def snapshot(self) -> list[str]:
+        with self._lock:
+            return list(self._items)
+
+
+async def tick() -> None:
+    await asyncio.sleep(0)
+
+
+async def run_once() -> None:
+    await tick()

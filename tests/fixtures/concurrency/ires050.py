@@ -1,0 +1,12 @@
+"""Seeded defect: IRES050 — guarded field written outside its lock."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[str] = []  # guarded-by: _lock
+
+    def bad_append(self, item: str) -> None:
+        self._items.append(item)

@@ -1,0 +1,14 @@
+"""Seeded defect: IRES051 — guarded field written under the wrong lock."""
+
+import threading
+
+
+class Router:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self._routes: dict[str, str] = {}  # guarded-by: _lock
+
+    def wrong_lock(self, key: str, value: str) -> None:
+        with self._aux:
+            self._routes[key] = value

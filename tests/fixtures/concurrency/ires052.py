@@ -1,0 +1,10 @@
+"""Seeded defect: IRES052 — mutable class attribute on a thread-shared class."""
+
+import threading
+
+
+class Registry:  # thread-shared
+    cache: dict[str, str] = {}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()

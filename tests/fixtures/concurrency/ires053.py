@@ -1,0 +1,19 @@
+"""Seeded defect: IRES053 — inconsistent lock acquisition order."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._debit = threading.Lock()
+        self._credit = threading.Lock()
+
+    def forward(self) -> None:
+        with self._debit:
+            with self._credit:
+                pass
+
+    def backward(self) -> None:
+        with self._credit:
+            with self._debit:
+                pass

@@ -1,0 +1,6 @@
+"""Seeded defect: IRES054 — guarded-by names a lock that does not exist."""
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._entries: list[str] = []  # guarded-by: _missing

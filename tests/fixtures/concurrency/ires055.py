@@ -1,0 +1,6 @@
+"""Seeded defect: IRES055 — thread-shared class that defines no lock."""
+
+
+class HitCounter:  # thread-shared
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}

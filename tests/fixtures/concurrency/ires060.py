@@ -1,0 +1,21 @@
+"""Seeded defect: IRES060 — blocking call inside ``async def``.
+
+Modeled on the ``ires top`` polling loop before it grew an
+interruptible wait: render the screen, then sleep the interval —
+except here the sleep is a synchronous ``time.sleep`` parked on the
+event loop.
+"""
+
+import time
+
+
+def render_screen(tick: int) -> str:
+    return f"tick={tick}"
+
+
+async def top_loop(interval: float) -> None:
+    tick = 0
+    while True:
+        render_screen(tick)
+        tick += 1
+        time.sleep(interval)

@@ -1,0 +1,11 @@
+"""Seeded defect: IRES061 — coroutine called but never awaited."""
+
+import asyncio
+
+
+async def refresh() -> None:
+    await asyncio.sleep(0)
+
+
+def kick_off() -> None:
+    refresh()

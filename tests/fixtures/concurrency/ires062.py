@@ -1,0 +1,18 @@
+"""Seeded defect: IRES062 — ``asyncio.to_thread`` target touches guarded state."""
+
+import asyncio
+import threading
+
+
+class Spool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[str] = []  # guarded-by: _lock
+
+    def _drain_locked(self) -> list[str]:
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
+
+    async def flush(self) -> list[str]:
+        return await asyncio.to_thread(self._drain_locked)

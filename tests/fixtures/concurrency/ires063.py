@@ -1,0 +1,13 @@
+"""Seeded defect: IRES063 — ``await`` while holding a lock."""
+
+import asyncio
+import threading
+
+
+class Publisher:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    async def publish(self) -> None:
+        with self._lock:
+            await asyncio.sleep(0)

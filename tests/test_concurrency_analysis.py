@@ -1,0 +1,212 @@
+"""Golden tests for ``ires analyze`` — the IRES050–063 source passes.
+
+The fixture tree under ``tests/fixtures/concurrency`` seeds exactly one
+defect per stable code (and ``clean.py`` seeds none); these tests pin the
+rendered text line for every code, the JSON report shape, and the
+``--strict`` gate semantics, and hold the repo's own ``src/`` tree clean
+under the same passes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import analyze_paths, build_model, scan_body
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "concurrency"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: fixture file -> the exact rendered diagnostic it must produce
+GOLDEN = {
+    "ires050.py": (
+        "tests/fixtures/concurrency/ires050.py:12: error IRES050: "
+        "field '_items' (.append() call in Buffer.bad_append) is written "
+        "without holding its declared guard '_lock' [class:Buffer]"),
+    "ires051.py": (
+        "tests/fixtures/concurrency/ires051.py:14: error IRES051: "
+        "field '_routes' (subscript store in Router.wrong_lock) is written "
+        "under '_aux' but is declared guarded-by '_lock' [class:Router]"),
+    "ires052.py": (
+        "tests/fixtures/concurrency/ires052.py:7: error IRES052: "
+        "class attribute 'cache' on thread-shared class 'Registry' is a "
+        "mutable container shared by every instance and thread "
+        "[class:Registry]"),
+    "ires053.py": (
+        "tests/fixtures/concurrency/ires053.py:13: error IRES053: "
+        "methods of 'Transfer' acquire locks in inconsistent order: "
+        "_credit -> _debit -> _credit (potential deadlock) "
+        "[class:Transfer]"),
+    "ires054.py": (
+        "tests/fixtures/concurrency/ires054.py:6: error IRES054: "
+        "field '_entries' is declared guarded-by '_missing' but Ledger "
+        "never creates that lock [class:Ledger]"),
+    "ires055.py": (
+        "tests/fixtures/concurrency/ires055.py:4: warning IRES055: "
+        "class 'HitCounter' is marked thread-shared but defines no lock "
+        "for its mutable state [class:HitCounter]"),
+    "ires060.py": (
+        "tests/fixtures/concurrency/ires060.py:21: error IRES060: "
+        "'time.sleep(...)' blocks the event loop inside "
+        "'async def top_loop' [function:top_loop]"),
+    "ires061.py": (
+        "tests/fixtures/concurrency/ires061.py:11: error IRES061: "
+        "coroutine 'refresh' is called in kick_off but its result is "
+        "never awaited or scheduled [function:kick_off]"),
+    "ires062.py": (
+        "tests/fixtures/concurrency/ires062.py:18: error IRES062: "
+        "asyncio.to_thread target 'self._drain_locked' (from Spool.flush) "
+        "writes guarded state (_pending) without holding its lock "
+        "[function:Spool.flush]"),
+    "ires063.py": (
+        "tests/fixtures/concurrency/ires063.py:13: warning IRES063: "
+        "'async def Publisher.publish' awaits while holding lock '_lock' "
+        "\u2014 other coroutines on this loop will block on it "
+        "[function:Publisher.publish]"),
+}
+
+ALL_CODES = ["IRES050", "IRES051", "IRES052", "IRES053", "IRES054",
+             "IRES055", "IRES060", "IRES061", "IRES062", "IRES063"]
+
+
+# -- per-fixture golden lines -------------------------------------------------
+
+@pytest.mark.parametrize("fixture", sorted(GOLDEN))
+def test_each_seeded_fixture_produces_exactly_its_diagnostic(fixture):
+    collector = analyze_paths([FIXTURES / fixture], root=REPO_ROOT)
+    rendered = [d.render() for d in collector]
+    assert rendered == [GOLDEN[fixture]]
+
+
+def test_clean_fixture_produces_no_diagnostics():
+    collector = analyze_paths([FIXTURES / "clean.py"], root=REPO_ROOT)
+    assert len(collector) == 0
+    assert not collector.failed(strict=True)
+
+
+# -- whole-tree report shape --------------------------------------------------
+
+def test_fixture_tree_json_report_covers_every_code():
+    collector = analyze_paths([FIXTURES], root=REPO_ROOT)
+    report = collector.to_json(strict=True)
+    assert report["ok"] is False
+    assert report["strict"] is True
+    assert report["codes"] == ALL_CODES
+    assert report["counts"] == {"error": 8, "warning": 2, "info": 0}
+    assert len(report["diagnostics"]) == 10
+    for entry in report["diagnostics"]:
+        assert entry["hint"], f"{entry['code']} ships without a fix hint"
+
+
+def test_fixture_tree_text_report_ends_with_summary_line():
+    collector = analyze_paths([FIXTURES], root=REPO_ROOT)
+    text = collector.render_text(verbose_hints=False)
+    lines = text.splitlines()
+    assert lines[-1] == "8 error(s), 2 warning(s), 0 info"
+    assert set(lines[:-1]) == set(GOLDEN.values())
+
+
+def test_strict_gate_promotes_warnings_only():
+    warnings_only = analyze_paths([FIXTURES / "ires055.py"], root=REPO_ROOT)
+    assert not warnings_only.failed(strict=False)
+    assert warnings_only.failed(strict=True)
+
+
+# -- conventions and edge cases ----------------------------------------------
+
+def test_unparseable_file_reports_ires001(tmp_path):
+    bad = tmp_path / "torn.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    collector = analyze_paths([bad], root=tmp_path)
+    (diag,) = list(collector)
+    assert diag.code == "IRES001"
+    assert diag.artifact == "module:torn.py"
+
+
+def test_init_and_locked_suffix_methods_are_exempt(tmp_path):
+    source = (
+        "import threading\n"
+        "\n"
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._free = []  # guarded-by: _lock\n"
+        "\n"
+        "    def _give_back_locked(self, conn):\n"
+        "        self._free.append(conn)\n"
+    )
+    path = tmp_path / "pool.py"
+    path.write_text(source, encoding="utf-8")
+    collector = analyze_paths([path], root=tmp_path)
+    assert len(collector) == 0
+
+
+def test_scan_body_tracks_nested_lock_scopes():
+    source = (
+        "class C:\n"
+        "    def m(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                self.x = 1\n"
+    )
+    module = build_model(Path("mem.py"), "mem.py", source)
+    (cls,) = module.classes
+    scan = scan_body(cls.methods[0], {"_a", "_b"})
+    (write,) = scan.writes
+    assert write.attr == "x" and write.held == frozenset({"_a", "_b"})
+    assert list(scan.edges) == [("_a", "_b")]
+
+
+# -- the repo's own tree is the first customer --------------------------------
+
+def test_repo_src_tree_is_clean_under_strict_analyze():
+    collector = analyze_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    offending = [d.render() for d in collector]
+    assert not collector.failed(strict=True), "\n".join(offending)
+
+
+# -- CLI surface --------------------------------------------------------------
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_analyze_json_reports_every_seeded_code():
+    result = _run_cli(str(FIXTURES), "--format", "json", "--strict")
+    assert result.returncode == 1
+    report = json.loads(result.stdout)
+    assert report["codes"] == ALL_CODES
+    assert report["ok"] is False
+
+
+def test_cli_analyze_exits_zero_on_clean_input():
+    result = _run_cli(str(FIXTURES / "clean.py"), "--strict")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "analyze OK" in result.stdout
+
+
+# -- REST surface -------------------------------------------------------------
+
+def test_rest_analyze_endpoint():
+    from repro.api.rest import IResServer
+    from repro.core import IReS
+
+    server = IResServer(IReS())
+    ok = server.handle("POST", "/analyze",
+                       {"paths": [str(FIXTURES / "clean.py")]})
+    assert ok.status == 200 and ok.body["ok"] is True
+    seeded = server.handle("POST", "/analyze",
+                           {"paths": [str(FIXTURES)], "strict": True})
+    assert seeded.status == 200 and seeded.body["ok"] is False
+    assert seeded.body["codes"] == ALL_CODES
+    assert server.handle("GET", "/analyze").status == 405
+    missing = server.handle("POST", "/analyze", {"paths": ["/nope/missing"]})
+    assert missing.status == 404
+    malformed = server.handle("POST", "/analyze", {"paths": "src"})
+    assert malformed.status == 400

@@ -1,0 +1,130 @@
+"""Service stress under the concurrency tooling (DESIGN.md §13).
+
+Eight workers, submissions racing in from four threads, cancels landing
+on every third run, a journal-recovery leg, and background scrapers
+hammering ``/metrics`` and ``/dashboard`` the whole time.  The suite
+conftest promotes any uncaught worker-thread exception to a failure, and
+when ``IRES_CONCURRENCY_CHECK=1`` the dynamic checker must stay clean
+across all of it.
+"""
+
+import asyncio
+import json
+import threading
+
+from repro.analysis.runtime_check import CHECKER
+from repro.api.rest import IResServer
+from repro.api.service import CANCELLED, SUCCEEDED, IResService
+from repro.obs.metrics import REGISTRY
+
+from tests.test_service import _factory, _interrupt_journal
+
+SUBMITTERS = 4
+RUNS_PER_SUBMITTER = 6
+
+
+def _runs_total_by_status(metrics_text: str) -> dict[str, int]:
+    """Sum the ``ires_service_runs_total`` family by its status label."""
+    out: dict[str, int] = {}
+    for line in metrics_text.splitlines():
+        if not line.startswith("ires_service_runs_total{"):
+            continue
+        labels, value = line.rsplit(" ", 1)
+        status = labels.split('status="', 1)[1].split('"', 1)[0]
+        out[status] = out.get(status, 0) + int(float(value))
+    return out
+
+
+def test_stress_eight_workers_submit_cancel_recover_scrape(tmp_path):
+    REGISTRY.reset()
+    interrupted_id = _interrupt_journal(tmp_path)
+
+    async def main():
+        service = IResService(_factory(), workers=8, queue_limit=256,
+                              journal_dir=tmp_path)
+        server = IResServer(_factory()(), service=service)
+        recovered = await service.start()  # picks up the torn journal
+        assert [r.run_id for r in recovered] == [interrupted_id]
+
+        stop = threading.Event()
+        scrape_errors: list[tuple[str, int]] = []
+
+        def scrape(path: str) -> None:
+            while not stop.is_set():
+                response = server.handle("GET", path)
+                if response.status != 200:
+                    scrape_errors.append((path, response.status))
+
+        scrapers = [
+            threading.Thread(target=scrape, args=(path,), daemon=True)
+            for path in ("/metrics", "/dashboard")
+            for _ in range(2)
+        ]
+        for thread in scrapers:
+            thread.start()
+
+        records = []
+        record_sink = threading.Lock()
+
+        def submit_batch(worker: int) -> None:
+            for i in range(RUNS_PER_SUBMITTER):
+                rec = service.submit("helloworld-chain",
+                                     tenant=f"t{worker}")
+                with record_sink:
+                    records.append(rec)
+
+        submitters = [
+            threading.Thread(target=submit_batch, args=(n,), daemon=True)
+            for n in range(SUBMITTERS)
+        ]
+        for thread in submitters:
+            thread.start()
+        for thread in submitters:
+            await asyncio.to_thread(thread.join)
+
+        assert len(records) == SUBMITTERS * RUNS_PER_SUBMITTER
+        for rec in records[::3]:  # races queued, running and finished runs
+            service.cancel(rec.run_id)
+        for rec in records + recovered:
+            await service.wait(rec.run_id, timeout=120)
+
+        stop.set()
+        for thread in scrapers:
+            await asyncio.to_thread(thread.join)
+        metrics = server.handle("GET", "/metrics")
+        dashboard = server.handle("GET", "/dashboard")
+        await service.shutdown()
+        return (service, records, recovered, scrape_errors,
+                metrics, dashboard)
+
+    (service, records, recovered, scrape_errors,
+     metrics, dashboard) = asyncio.run(main())
+
+    assert scrape_errors == []
+    assert metrics.status == 200 and dashboard.status == 200
+    for rec in records:
+        assert rec.done.is_set()
+        assert rec.state in (SUCCEEDED, CANCELLED), rec.state
+    assert recovered[0].state == SUCCEEDED
+    assert any(rec.state == SUCCEEDED for rec in records)
+
+    # the metrics snapshot agrees with the records we hold
+    by_status = _runs_total_by_status(metrics.text)
+    terminal = len(records) + len(recovered)
+    assert sum(by_status.values()) == terminal
+    want = {SUCCEEDED: 0, CANCELLED: 0}
+    for rec in records + recovered:
+        want[rec.state] += 1
+    assert by_status.get(SUCCEEDED, 0) == want[SUCCEEDED]
+    assert by_status.get(CANCELLED, 0) == want[CANCELLED]
+
+    stats = service.stats()
+    assert stats["queueDepth"] == 0 and not stats["accepting"]
+    assert service.peak_active > 1  # the eight workers genuinely overlapped
+
+    if CHECKER.enabled:  # the dynamic checker watched all of this
+        CHECKER.assert_clean()
+        report = CHECKER.report()
+        assert report["lockOrderEdges"], "instrumented locks saw no nesting"
+        exported = CHECKER.export_json(tmp_path / "lock-graph.json")
+        assert json.loads(exported.read_text())["enabled"] is True

@@ -1,0 +1,219 @@
+"""Unit tests for the dynamic concurrency checker (TSan-lite + lock graph).
+
+Every test that wants violations builds its *own*
+:class:`ConcurrencyChecker` — the process-wide ``CHECKER`` is gated by
+the suite conftest and must stay clean.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.runtime_check import (
+    CHECKER,
+    ConcurrencyChecker,
+    InstrumentedLock,
+    InstrumentedRLock,
+    make_lock,
+    make_rlock,
+)
+
+
+def _locks(checker, *names, rlock=False):
+    cls = InstrumentedRLock if rlock else InstrumentedLock
+    return tuple(cls(name, checker) for name in names)
+
+
+# -- lock-order graph ---------------------------------------------------------
+
+def test_consistent_nesting_builds_edges_but_no_cycle():
+    checker = ConcurrencyChecker(enabled=True)
+    a, b = _locks(checker, "a", "b")
+    with a:
+        with b:
+            pass
+    report = checker.report()
+    assert report["lockOrderEdges"] == [{"from": "a", "to": "b"}]
+    assert checker.violations() == []
+    checker.assert_clean()
+
+
+def test_inverted_nesting_records_one_cycle_violation():
+    checker = ConcurrencyChecker(enabled=True)
+    a, b = _locks(checker, "a", "b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    with b:  # closing the same cycle again must not duplicate the report
+        with a:
+            pass
+    (violation,) = checker.violations()
+    assert violation.kind == "lock_order_cycle"
+    assert "a" in violation.detail and "->" in violation.detail
+    with pytest.raises(AssertionError, match="1 violation"):
+        checker.assert_clean()
+
+
+def test_rlock_reentrancy_adds_no_self_edges():
+    checker = ConcurrencyChecker(enabled=True)
+    (r,) = _locks(checker, "r", rlock=True)
+    with r:
+        with r:
+            assert r.held_by_current_thread()
+    assert not r.held_by_current_thread()
+    assert checker.report()["lockOrderEdges"] == []
+    checker.assert_clean()
+
+
+def test_held_stack_is_per_thread():
+    checker = ConcurrencyChecker(enabled=True)
+    (lock,) = _locks(checker, "l")
+    seen_in_thread = []
+    with lock:
+        worker = threading.Thread(
+            target=lambda: seen_in_thread.append(
+                checker.held_by_current_thread(lock)))
+        worker.start()
+        worker.join()
+        assert checker.held_by_current_thread(lock)
+    assert seen_in_thread == [False]
+
+
+# -- hold-time tracking -------------------------------------------------------
+
+def test_long_holds_become_outliers_not_violations():
+    checker = ConcurrencyChecker(enabled=True, hold_time_threshold=0.01)
+    (slow,) = _locks(checker, "slow")
+    with slow:
+        time.sleep(0.05)
+    report = checker.report()
+    (outlier,) = report["holdTimeOutliers"]
+    assert outlier["lock"] == "slow"
+    assert outlier["heldSeconds"] >= 0.01
+    assert report["maxHoldSeconds"]["slow"] >= 0.04
+    checker.assert_clean()  # a smell, not a bug
+
+
+# -- shared-object tracking ---------------------------------------------------
+
+def test_cross_thread_unguarded_access_is_a_violation():
+    checker = ConcurrencyChecker(enabled=True)
+    (guard,) = _locks(checker, "guard")
+    shared = {"hits": 0}
+    checker.register_shared(shared, "test:shared", guard)
+
+    def touch():
+        checker.note_access(shared, "write")
+
+    touch()  # main thread, no guard
+    worker = threading.Thread(target=touch)
+    worker.start()
+    worker.join()
+    (record,) = checker.unguarded_shared_accesses()
+    assert record["object"] == "test:shared"
+    assert record["threads"] == 2
+    assert record["unguardedAccesses"] == 2
+    kinds = {v.kind for v in checker.violations()}
+    assert kinds == {"unguarded_access"}
+
+
+def test_guarded_access_and_single_thread_use_are_clean():
+    checker = ConcurrencyChecker(enabled=True)
+    (guard,) = _locks(checker, "guard")
+    disciplined = {"hits": 0}
+    checker.register_shared(disciplined, "test:disciplined", guard)
+
+    def touch():
+        with guard:
+            checker.note_access(disciplined, "write")
+
+    touch()
+    worker = threading.Thread(target=touch)
+    worker.start()
+    worker.join()
+    solo = {"hits": 0}
+    checker.register_shared(solo, "test:solo", guard)
+    checker.note_access(solo, "write")  # unguarded but single-threaded
+    assert checker.unguarded_shared_accesses() == []
+    checker.assert_clean()
+
+
+def test_disabled_checker_records_nothing():
+    checker = ConcurrencyChecker(enabled=False)
+    obj = {"hits": 0}
+    checker.register_shared(obj, "test:off")
+    checker.note_access(obj)
+    assert checker.report()["sharedObjects"] == []
+    checker.assert_clean()
+
+
+def test_reset_drops_all_recorded_state():
+    checker = ConcurrencyChecker(enabled=True)
+    a, b = _locks(checker, "a", "b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert checker.violations()
+    checker.reset()
+    assert checker.violations() == []
+    assert checker.report()["lockOrderEdges"] == []
+
+
+# -- factories and the process-wide checker -----------------------------------
+
+def test_make_lock_matches_global_checker_state(monkeypatch):
+    monkeypatch.setattr(CHECKER, "enabled", True)
+    instrumented = make_lock("test:on")
+    reentrant = make_rlock("test:on-r")
+    assert isinstance(instrumented, InstrumentedLock)
+    assert isinstance(reentrant, InstrumentedRLock)
+    assert reentrant.reentrant and not instrumented.reentrant
+    monkeypatch.setattr(CHECKER, "enabled", False)
+    plain = make_lock("test:off")
+    plain_r = make_rlock("test:off-r")
+    assert not isinstance(plain, InstrumentedLock)
+    assert not isinstance(plain_r, InstrumentedLock)
+    assert plain.acquire(blocking=False) and plain.release() is None
+
+
+def test_instrumented_lock_mirrors_threading_api():
+    checker = ConcurrencyChecker(enabled=True)
+    lock = InstrumentedLock("api", checker)
+    assert lock.acquire(blocking=False)
+    assert lock.locked()
+    contender = []
+    worker = threading.Thread(
+        target=lambda: contender.append(lock.acquire(blocking=False)))
+    worker.start()
+    worker.join()
+    assert contender == [False]
+    lock.release()
+    assert not lock.locked()
+    assert repr(lock) == "InstrumentedLock('api')"
+    assert repr(InstrumentedRLock("r", checker)) == "InstrumentedRLock('r')"
+
+
+# -- report export ------------------------------------------------------------
+
+def test_export_json_writes_the_lock_graph_artifact(tmp_path):
+    checker = ConcurrencyChecker(enabled=True)
+    a, b = _locks(checker, "a", "b")
+    with a:
+        with b:
+            pass
+    target = tmp_path / "artifacts" / "lock-graph.json"
+    written = checker.export_json(target)
+    assert written == target
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["enabled"] is True
+    assert payload["lockOrderEdges"] == [{"from": "a", "to": "b"}]
+    assert payload["violations"] == []
+    assert "maxHoldSeconds" in payload and "sharedObjects" in payload
