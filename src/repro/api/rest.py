@@ -45,6 +45,9 @@ GET    /runs/{run_id}                                     one run's status
 POST   /runs/{run_id}/cancel                              cancel queued/running
 POST   /runs/{run_id}/recover                             resume from journal
 GET    /runs/{run_id}/timeline                            merged run timeline
+GET    /runs/{run_id}/profile                             one run's profile
+GET    /profile                                           live service profile
+GET    /profile/flamegraph                                profile as HTML
 GET    /service                                           service stats
 GET    /tenants                                           per-tenant accounting
 GET    /slo                                               SLO burn-rate status
@@ -434,9 +437,16 @@ class IResServer:
         if action == "timeline":
             self._expect(method == "GET", 405, "use GET")
             return self._run_timeline(service, run_id)
+        if action == "profile":
+            self._expect(method == "GET", 405, "use GET")
+            profile = service.run_profile(run_id)
+            self._expect(profile is not None, 404,
+                         f"no profile for run {run_id!r} (profiler off, "
+                         "run unknown, or profile evicted)")
+            return Response(200, profile.speedscope(name=f"run {run_id}"))
         self._expect(len(rest) == 2 and method == "POST", 405,
                      "use POST /runs/{run_id}/cancel|recover or "
-                     "GET /runs/{run_id}/timeline")
+                     "GET /runs/{run_id}/timeline|profile")
         if action == "cancel":
             try:
                 return Response(200, service.cancel(run_id).to_dict())
@@ -456,6 +466,25 @@ class IResServer:
                     "error": str(exc), "retryAfter": exc.retry_after})
             return Response(202, rec.to_dict())
         raise ApiError(404, f"unknown run action {action!r}")
+
+    # -- /profile ------------------------------------------------------------
+    def _profile(self, method, rest, body) -> Response:
+        """Live speedscope snapshot of the service's always-on profiler."""
+        from repro.obs.profiling import flamegraph_html
+
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest or rest == ["flamegraph"], 404,
+                     "use /profile or /profile/flamegraph")
+        profile = service.profile_snapshot()
+        self._expect(profile is not None, 404,
+                     "profiler disabled (construct the service with "
+                     "profiler=True)")
+        doc = profile.speedscope(name="ires service")
+        if rest:
+            return Response(200, text=flamegraph_html(doc),
+                            content_type="text/html; charset=utf-8")
+        return Response(200, doc)
 
     # -- /service ------------------------------------------------------------
     def _service(self, method, rest, body) -> Response:
@@ -489,12 +518,15 @@ class IResServer:
         service = self._require_service()
         self._expect(method == "GET", 405, "use GET")
         self._expect(not rest, 404, "use /dashboard")
+        profile = service.profile_snapshot()
         html = render_dashboard(
             service=service.stats(),
             slo=service.slo.status() if service.slo is not None else {},
             tenants=(service.accounts.snapshot()
                      if service.accounts is not None else {}),
             runs={"runs": [rec.to_dict() for rec in service.runs()]},
+            profile=(profile.speedscope(name="ires service")
+                     if profile is not None else None),
         )
         return Response(200, text=html,
                         content_type="text/html; charset=utf-8")
@@ -519,12 +551,21 @@ class IResServer:
         spans: list = []
         for platform in [self.ires, *service.platforms()]:
             spans.extend(platform.tracer.spans(run_id))
+        span_self = None
+        profile = service.run_profile(run_id)
+        if profile is not None:
+            span_self = {
+                span: seconds for span, seconds in
+                profile.run_breakdown()
+                .get(run_id, {}).get("selfSecondsBySpan", {}).items()
+            }
         events = build_timeline(
             run_id,
             journal_records=journal_records,
             spans=spans,
             logs=recent_logs(n=2000, run_id=run_id),
             record=rec,
+            span_self=span_self,
         )
         self._expect(bool(events), 404, f"no telemetry for run {run_id!r}")
         return Response(200, timeline_to_dict(run_id, events))

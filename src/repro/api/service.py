@@ -57,6 +57,7 @@ from repro.obs.accounting import TenantAccounts, usage_from_report
 from repro.obs.context import bind_run_id, bind_tenant, new_run_id
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.profiling import SERVICE_HZ, Profile, SamplingProfiler
 from repro.obs.slo import SLOTracker
 
 _LOG = get_logger("service")
@@ -189,6 +190,8 @@ class IResService:
         history_limit: int = 1024,
         accounts: "TenantAccounts | bool" = True,
         slo: "SLOTracker | bool" = True,
+        profiler: "SamplingProfiler | bool" = True,
+        profile_history: int = 32,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -238,6 +241,19 @@ class IResService:
             self.slo = None
         else:
             self.slo = slo
+        #: always-on low-rate sampling profiler (GET /profile); pass
+        #: profiler=False to disable, or a configured SamplingProfiler
+        if profiler is True:
+            self.profiler: SamplingProfiler | None = SamplingProfiler(
+                hz=SERVICE_HZ)
+        elif profiler is False:
+            self.profiler = None
+        else:
+            self.profiler = profiler
+        self.profile_history = profile_history
+        self._profiles: dict[str, Profile] = {}  # guarded-by: _lock
+        #: eviction order for _profiles  # guarded-by: _lock
+        self._profile_ring: deque[str] = deque()
         self.peak_active = 0  # guarded-by: _lock
         self._active = 0  # guarded-by: _lock
 
@@ -250,6 +266,8 @@ class IResService:
         """
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
+        if self.profiler is not None:
+            self.profiler.start()
         recovered = self.recover_interrupted()
         self._tasks = [
             asyncio.create_task(self._worker(i), name=f"ires-worker-{i}")
@@ -290,6 +308,8 @@ class IResService:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        if self.profiler is not None:
+            self.profiler.stop()
 
     async def _wait_idle(self, timeout: float | None) -> bool:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -479,6 +499,9 @@ class IResService:
                     else round(self._queue_wait_ewma, 6)),
                 "sloActiveAlarms": (
                     self.slo.active_alarms() if self.slo is not None else []),
+                "profiler": (
+                    self.profiler.status()
+                    if self.profiler is not None else None),
             }
 
     def platforms(self) -> "list[IReS]":
@@ -611,11 +634,38 @@ class IResService:
                 )
         _RUNS.inc(status=state, tenant=rec.tenant)
         _RUN_SECONDS.observe(latency, status=state)
+        self._capture_profile(rec)
         self._record_telemetry(rec, state, latency, report)
         _LOG.info("run_terminal", run_id=rec.run_id, state=state,
                   tenant=rec.tenant, latency_seconds=round(latency, 4),
                   error=error or None)
         rec.done.set()
+
+    def _capture_profile(self, rec: RunRecord) -> None:
+        """Bank the run's samples from the always-on profiler ring."""
+        if self.profiler is None:
+            return
+        # take_run snapshots under the profiler's own lock; only the
+        # bounded-ring bookkeeping below needs the service lock
+        profile = self.profiler.take_run(rec.run_id)
+        with self._lock:
+            if rec.run_id not in self._profiles:
+                self._profile_ring.append(rec.run_id)
+            self._profiles[rec.run_id] = profile
+            while len(self._profile_ring) > self.profile_history:
+                evicted = self._profile_ring.popleft()
+                self._profiles.pop(evicted, None)
+
+    def run_profile(self, run_id: str) -> Profile | None:
+        """The banked per-run profile, or None when unknown/evicted."""
+        with self._lock:
+            return self._profiles.get(run_id)
+
+    def profile_snapshot(self) -> Profile | None:
+        """A live snapshot of the service-wide profiler ring."""
+        if self.profiler is None:
+            return None
+        return self.profiler.snapshot()
 
     def _record_telemetry(self, rec: RunRecord, state: str, latency: float,
                           report) -> None:

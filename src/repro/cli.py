@@ -192,6 +192,14 @@ def cmd_execute(args) -> int:
         ires.fault_injector.seed = args.chaos_seed
         ires.fault_injector.make_all_flaky(args.fail_rate)
         print(f"chaos: fail_rate={args.fail_rate} seed={args.chaos_seed}")
+    profiler = None
+    if args.profile:
+        from repro.obs.profiling import DEFAULT_HZ, SamplingProfiler
+
+        profiler = SamplingProfiler(hz=DEFAULT_HZ,
+                                    track_allocations=True).start()
+        if profiler.allocation_tracker is not None:
+            ires.tracer.add_hook(profiler.allocation_tracker)
     report = None
     for run in range(args.repeat):
         # a known run id up front keeps the journal addressable after SIGINT
@@ -209,6 +217,7 @@ def cmd_execute(args) -> int:
             return 130
         except ExecutionFailed as exc:
             _export_trace(ires, args.trace)
+            _export_profile(profiler, args.profile)
             _print_resilience(ires)
             sys.exit(f"error: {exc}")
         prefix = f"run {run + 1}/{args.repeat}: " if args.repeat > 1 else ""
@@ -223,6 +232,7 @@ def cmd_execute(args) -> int:
     _print_resilience(ires)
     _print_plancache(ires)
     _export_trace(ires, args.trace)
+    _export_profile(profiler, args.profile)
     if ledger is not None:
         alarms = len(drift.alarms) if drift is not None else 0
         print(f"ledger: {len(ledger)} entries -> {args.ledger} "
@@ -237,6 +247,25 @@ def _export_trace(ires: IReS, path: str | None) -> None:
     count = ires.tracer.export_chrome(path)
     print(f"trace: wrote {count} spans to {path} "
           "(load in Perfetto / chrome://tracing)")
+
+
+def _export_profile(profiler, path: str | None) -> None:
+    """Stop a --profile sampler; write speedscope JSON + HTML flamegraph."""
+    if profiler is None or not path:
+        return
+    from repro.obs.profiling import flamegraph_html
+
+    profile = profiler.stop()
+    profile.save(path)
+    html_path = path.rsplit(".", 1)[0] + ".html" if "." in path \
+        else path + ".html"
+    with open(html_path, "w", encoding="utf-8") as fh:
+        fh.write(flamegraph_html(profile.speedscope(),
+                                 title=f"IReS profile: {path}"))
+    dropped = sum(profile.dropped.values())
+    print(f"profile: {len(profile.samples)} samples at {profile.hz:.0f} Hz "
+          f"(dropped={dropped}, overhead={profile.overhead:.3f}s) "
+          f"-> {path}, {html_path}")
 
 
 def _print_plancache(ires: IReS) -> None:
@@ -552,6 +581,14 @@ def _render_top(base: str) -> str:
     if by_state:
         states = " ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
         lines.append(f"  runs: {states}")
+    profiler = stats.get("profiler")
+    if profiler:
+        dropped = sum((profiler.get("dropped") or {}).values())
+        lines.append(
+            f"  profiler: {'on' if profiler.get('running') else 'OFF'} "
+            f"{profiler.get('hz', 0):.0f}Hz ({profiler.get('mode', '?')}) "
+            f"samples={profiler.get('samples', 0)} dropped={dropped} "
+            f"overhead={profiler.get('overheadSeconds', 0):.3f}s")
     try:
         slo = _http_json("GET", base, "/slo")
     except SystemExit:
@@ -662,7 +699,18 @@ def cmd_sql(args) -> int:
 
 
 def cmd_trace_summarize(args) -> int:
-    """``ires trace summarize``: per-run, per-phase totals + critical path."""
+    """``ires trace summarize``: per-run, per-phase totals + critical path.
+
+    With ``--self-time`` a ``self (s)`` column of profiler-attributed CPU
+    joins the table, sourced from ``--profile FILE`` or, by default, a
+    ``<trace>.profile.json`` written by ``ires execute --profile`` next
+    to the trace.
+    """
+    from repro.obs.profiling import (
+        find_profile_for_trace,
+        load_profile,
+        self_times_from_speedscope,
+    )
     from repro.obs.tracing import load_trace, summarize_spans
 
     try:
@@ -671,15 +719,37 @@ def cmd_trace_summarize(args) -> int:
         sys.exit(f"error: cannot load trace {args.trace_file!r}: {exc}")
     if not spans:
         sys.exit(f"error: no spans in {args.trace_file!r}")
-    summary = summarize_spans(spans)
+    self_times = None
+    want_self = getattr(args, "self_time", False)
+    profile_path = getattr(args, "profile", None)
+    if want_self or profile_path:
+        path = profile_path or find_profile_for_trace(args.trace_file)
+        if path is None:
+            sys.exit("error: --self-time needs a profile: pass --profile "
+                     "FILE or keep a <trace>.profile.json next to the "
+                     "trace (ires execute --profile writes one)")
+        try:
+            self_times = self_times_from_speedscope(load_profile(path))
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot load profile {path!r}: {exc}")
+    summary = summarize_spans(spans, self_times=self_times)
+    show_self = self_times is not None
     for run in summary["runs"]:
         print(f"run {run['run_id']}: {run['spans']} spans")
-        print(f"  {'phase':<12} {'spans':>5} {'wall (s)':>10} {'sim (s)':>10} "
-              f"{'errors':>6}")
+        header = (f"  {'phase':<12} {'spans':>5} {'wall (s)':>10} "
+                  f"{'sim (s)':>10} {'errors':>6}")
+        if show_self:
+            header += f" {'self (s)':>10}"
+        print(header)
         for phase, totals in sorted(run["phases"].items()):
-            print(f"  {phase:<12} {totals['spans']:>5} "
-                  f"{totals['wall_seconds']:>10.4f} "
-                  f"{totals['sim_seconds']:>10.2f} {totals['errors']:>6}")
+            line = (f"  {phase:<12} {totals['spans']:>5} "
+                    f"{totals['wall_seconds']:>10.4f} "
+                    f"{totals['sim_seconds']:>10.2f} {totals['errors']:>6}")
+            if show_self:
+                self_s = totals.get("self_seconds")
+                line += (f" {self_s:>10.4f}" if self_s is not None
+                         else f" {'-':>10}")
+            print(line)
         chain = run["critical_path"]
         if chain:
             print(f"  critical path ({run['critical_path_seconds']:.2f} "
@@ -802,6 +872,107 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_profile_record(args) -> int:
+    """``ires profile record``: profile a plan+execute of one workflow.
+
+    Runs the workflow under a high-rate sampler and writes speedscope
+    JSON (plus an HTML flamegraph) — the explicit-profiling counterpart
+    of the service's always-on low-rate profiler.
+    """
+    from repro.execution.enforcer import ExecutionFailed
+    from repro.obs.profiling import SamplingProfiler
+
+    if args.hz <= 0:
+        sys.exit(f"error: --hz must be positive, got {args.hz}")
+    ires, _ = _load(args.library)
+    workflow = _workflow(ires, args.workflow)
+    profiler = SamplingProfiler(
+        hz=args.hz, mode=args.mode,
+        track_allocations=args.allocations).start()
+    if profiler.allocation_tracker is not None:
+        ires.tracer.add_hook(profiler.allocation_tracker)
+    try:
+        report = ires.execute(workflow)
+    except ExecutionFailed as exc:
+        _export_profile(profiler, args.out)
+        sys.exit(f"error: {exc}")
+    print(f"run {report.run_id}: succeeded={report.succeeded} "
+          f"simTime={report.sim_time:.2f}s")
+    _export_profile(profiler, args.out)
+    return 0
+
+
+def cmd_profile_report(args) -> int:
+    """``ires profile report``: hot functions and per-run attribution."""
+    import json
+
+    from repro.obs.profiling import (
+        hot_functions_from_speedscope,
+        load_profile,
+    )
+
+    try:
+        doc = load_profile(args.profile_file)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot load profile {args.profile_file!r}: {exc}")
+    meta = doc.get("ires", {})
+    hot = hot_functions_from_speedscope(doc, limit=args.limit)
+    if args.format == "json":
+        print(json.dumps({"meta": meta, "hotFunctions": hot},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"profile {args.profile_file}: mode={meta.get('mode', '?')} "
+          f"hz={meta.get('hz', '?')} samples={meta.get('sampleCount', '?')} "
+          f"duration={meta.get('durationSeconds', '?')}s "
+          f"overhead={meta.get('overheadSeconds', '?')}s")
+    dropped = meta.get("dropped") or {}
+    if dropped:
+        drops = " ".join(f"{k}={v}" for k, v in sorted(dropped.items()))
+        print(f"  dropped: {drops}")
+    print(f"  {'self (s)':>10} {'total (s)':>10}  function")
+    for row in hot:
+        print(f"  {row['selfSeconds']:>10.4f} {row['totalSeconds']:>10.4f}  "
+              f"{row['function']}")
+    runs = meta.get("runs") or {}
+    if runs:
+        print("  runs:")
+        for run_id, entry in sorted(runs.items()):
+            cats = entry.get("selfSecondsByCategory") or {}
+            top = ", ".join(f"{k}={v:.3f}s" for k, v in
+                            sorted(cats.items(), key=lambda kv: -kv[1])[:4])
+            print(f"    {run_id}: {entry.get('samples', 0)} samples"
+                  + (f" ({top})" if top else ""))
+    allocations = meta.get("allocations") or {}
+    by_cat = allocations.get("netBytesByCategory") or {}
+    if by_cat:
+        cats = ", ".join(f"{k}={v:+d}B" for k, v in sorted(by_cat.items()))
+        print(f"  allocations: {cats}")
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """``ires profile diff``: self-time deltas between two profiles."""
+    from repro.obs.profiling import diff_speedscope, load_profile
+
+    docs = []
+    for path in (args.base, args.other):
+        try:
+            docs.append(load_profile(path))
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot load profile {path!r}: {exc}")
+    rows = diff_speedscope(docs[0], docs[1], limit=args.limit)
+    if not rows:
+        print("no samples in either profile")
+        return 0
+    print(f"self-time deltas ({args.other} - {args.base}), "
+          "largest magnitude first:")
+    print(f"  {'base (s)':>10} {'other (s)':>10} {'delta (s)':>10}  function")
+    for row in rows:
+        print(f"  {row['baseSeconds']:>10.4f} {row['otherSeconds']:>10.4f} "
+              f"{row['deltaSeconds']:>+10.4f}  {row['function']}")
+    return 0
+
+
 def cmd_report(args) -> int:
     """``ires report``: aggregate benchmark result tables into one markdown."""
     from pathlib import Path
@@ -879,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace", default=None, metavar="FILE",
                            help="write a Chrome trace-event JSON of the run "
                                 "(Perfetto-loadable)")
+            p.add_argument("--profile", default=None, metavar="FILE",
+                           help="sample the run with the statistical "
+                                "profiler; write speedscope JSON to FILE "
+                                "and an HTML flamegraph next to it")
             p.add_argument("--fail-rate", type=float, default=0.0,
                            help="inject transient faults into every engine "
                                 "with this probability")
@@ -931,7 +1106,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = trace_sub.add_parser("summarize",
                              help="per-phase totals and the critical path")
     p.add_argument("trace_file")
+    p.add_argument("--self-time", action="store_true", dest="self_time",
+                   help="add a profiler-attributed self-CPU column "
+                        "(needs a profile next to the trace or --profile)")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="speedscope profile supplying the self-time "
+                        "column (default: <trace>.profile.json)")
     p.set_defaults(func=cmd_trace_summarize)
+
+    p = sub.add_parser("profile", help="statistical sampling profiler "
+                                       "(record, report, diff)")
+    prof_sub = p.add_subparsers(dest="profile_command", required=True)
+    p = prof_sub.add_parser("record",
+                            help="profile a plan+execute of one workflow")
+    p.add_argument("library")
+    p.add_argument("workflow")
+    p.add_argument("--out", default="profile.json", metavar="FILE",
+                   help="speedscope JSON output (default profile.json); "
+                        "an HTML flamegraph lands next to it")
+    p.add_argument("--hz", type=float, default=199.0,
+                   help="sampling rate (default 199)")
+    p.add_argument("--mode", choices=("wall", "cpu"), default="wall",
+                   help="wall samples every tick; cpu skips idle ticks")
+    p.add_argument("--allocations", action="store_true",
+                   help="also track tracemalloc allocations per span")
+    p.set_defaults(func=cmd_profile_record)
+    p = prof_sub.add_parser("report",
+                            help="hot functions + attribution of a profile")
+    p.add_argument("profile_file")
+    p.add_argument("--limit", type=int, default=15,
+                   help="hot functions to show (default 15)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.set_defaults(func=cmd_profile_report)
+    p = prof_sub.add_parser("diff",
+                            help="self-time deltas between two profiles")
+    p.add_argument("base")
+    p.add_argument("other")
+    p.add_argument("--limit", type=int, default=20,
+                   help="rows to show (default 20)")
+    p.set_defaults(func=cmd_profile_diff)
 
     p = sub.add_parser("report", help="collect benchmark results into one file")
     p.add_argument("--results", default="benchmarks/results",

@@ -13,7 +13,9 @@ Service-level telemetry (DESIGN §12) builds on those pillars:
 - :mod:`repro.obs.accounting` — per-tenant cost attribution;
 - :mod:`repro.obs.slo` — declarative SLOs with burn-rate alarms;
 - :mod:`repro.obs.timeline` — one merged per-run event timeline;
-- :mod:`repro.obs.dashboard` — the self-contained ``GET /dashboard`` page.
+- :mod:`repro.obs.dashboard` — the self-contained ``GET /dashboard`` page;
+- :mod:`repro.obs.profiling` — span-attributed sampling profiler with
+  speedscope / flamegraph exports (DESIGN §14).
 """
 
 from repro.obs.accounting import (
@@ -47,6 +49,17 @@ from repro.obs.metrics import (
     REGISTRY,
     get_registry,
     parse_exposition,
+)
+from repro.obs.profiling import (
+    AllocationTracker,
+    DEFAULT_HZ,
+    Profile,
+    SERVICE_HZ,
+    SamplingProfiler,
+    flamegraph_html,
+    folded_from_speedscope,
+    self_times_from_speedscope,
+    validate_speedscope,
 )
 from repro.obs.slo import (
     SLOAlarm,
@@ -88,4 +101,7 @@ __all__ = [
     "TimelineEvent", "build_timeline", "render_timeline_text",
     "timeline_to_dict",
     "render_dashboard",
+    "AllocationTracker", "DEFAULT_HZ", "Profile", "SERVICE_HZ",
+    "SamplingProfiler", "flamegraph_html", "folded_from_speedscope",
+    "self_times_from_speedscope", "validate_speedscope",
 ]

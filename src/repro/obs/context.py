@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator
 
+from repro.obs.profiling import ATTRIBUTION
+
 _RUN_ID: ContextVar[str | None] = ContextVar("ires_run_id", default=None)
 _TENANT: ContextVar[str | None] = ContextVar("ires_tenant", default=None)
 
@@ -32,11 +34,19 @@ def current_run_id() -> str | None:
 
 @contextmanager
 def bind_run_id(run_id: str) -> Iterator[str]:
-    """Bind ``run_id`` for the duration of the block (re-entrant)."""
+    """Bind ``run_id`` for the duration of the block (re-entrant).
+
+    Besides the ContextVar, the id is published to the profiler's
+    cross-thread attribution registry so a sampling profiler on another
+    thread can attribute this thread's stacks to the run (ContextVars
+    are invisible across threads).
+    """
     token = _RUN_ID.set(run_id)
+    ATTRIBUTION.push_run(run_id)
     try:
         yield run_id
     finally:
+        ATTRIBUTION.pop_run()
         _RUN_ID.reset(token)
 
 

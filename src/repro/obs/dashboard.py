@@ -88,6 +88,31 @@ function tenantRows(tenants) {
     `<td class="num">${fmt(t.replans, 0)}</td>` +
     `<td class="num">${fmt(t.journalBytes, 0)}</td></tr>`).join('');
 }
+function hotRows(profile) {
+  if (!profile || !profile.shared) return '';
+  const frames = profile.shared.frames || [];
+  const self = new Map(), total = new Map();
+  for (const prof of (profile.profiles || [])) {
+    const samples = prof.samples || [], weights = prof.weights || [];
+    for (let i = 0; i < samples.length; i++) {
+      const stack = samples[i], w = weights[i] || 0;
+      if (!stack.length) continue;
+      const leaf = stack[stack.length - 1];
+      self.set(leaf, (self.get(leaf) || 0) + w);
+      for (const fi of new Set(stack))
+        total.set(fi, (total.get(fi) || 0) + w);
+    }
+  }
+  const label = fi => {
+    const f = frames[fi] || {};
+    return f.file ? `${f.name} (${f.file}:${f.line})` : (f.name || '?');
+  };
+  return [...self.entries()].sort((a, b) => b[1] - a[1]).slice(0, 12)
+    .map(([fi, s]) =>
+      `<tr><td><code>${esc(label(fi))}</code></td>` +
+      `<td class="num">${fmt(s, 4)}</td>` +
+      `<td class="num">${fmt(total.get(fi) || s, 4)}</td></tr>`).join('');
+}
 function runRows(runs) {
   const rows = (runs.runs || []).slice(-25).reverse();
   return rows.map(r =>
@@ -103,6 +128,13 @@ function render(data) {
   document.getElementById('tenant-body').innerHTML =
     tenantRows(data.tenants || {});
   document.getElementById('run-body').innerHTML = runRows(data.runs || {});
+  document.getElementById('hot-body').innerHTML = hotRows(data.profile);
+  const prof = ((data.profile || {}).ires || {});
+  document.getElementById('profiler-line').textContent = prof.hz
+    ? `sampling at ${prof.hz} Hz (${prof.mode}), `
+      + `${prof.sampleCount} samples, `
+      + `overhead ${fmt(prof.overheadSeconds, 3)}s`
+    : 'profiler disabled';
   const active = ((data.slo || {}).activeAlarms || []);
   document.getElementById('alarm-line').innerHTML = active.length
     ? `<span class="bad">ALARMING: ${active.map(esc).join(', ')}</span>`
@@ -113,7 +145,14 @@ async function poll() {
     const [service, slo, tenants, runs] = await Promise.all(
       ['/service', '/slo', '/tenants', '/runs'].map(
         p => fetch(p).then(r => r.json())));
-    render({service, slo, tenants, runs});
+    // the profile endpoint 404s when the profiler is off — fetch it
+    // separately and tolerate failure
+    let profile = null;
+    try {
+      const r = await fetch('/profile');
+      if (r.ok) profile = await r.json();
+    } catch (e) { /* keep the seed profile */ }
+    render({service, slo, tenants, runs, profile});
     document.getElementById('freshness').textContent =
       'live, refreshed ' + new Date().toLocaleTimeString();
   } catch (err) {
@@ -137,10 +176,15 @@ def render_dashboard(
     tenants: dict[str, Any],
     runs: dict[str, Any],
     title: str = "IReS service dashboard",
+    profile: dict[str, Any] | None = None,
 ) -> str:
-    """The full self-contained dashboard document for one snapshot."""
+    """The full self-contained dashboard document for one snapshot.
+
+    ``profile`` is an optional speedscope document from the service's
+    always-on profiler; when present it feeds the hot-functions panel.
+    """
     snapshot = {"service": service, "slo": slo, "tenants": tenants,
-                "runs": runs}
+                "runs": runs, "profile": profile}
     # </script> inside the data island would end it early; escape the slash
     data = json.dumps(snapshot).replace("</", "<\\/")
     return (
@@ -164,6 +208,11 @@ def render_dashboard(
         "<th class='num'>retries</th><th class='num'>replans</th>"
         "<th class='num'>journal bytes</th></tr></thead>"
         "<tbody id='tenant-body'></tbody></table>"
+        "<h2>Hot functions (profiler)</h2>"
+        "<p class='meta' id='profiler-line'></p>"
+        "<table><thead><tr><th>function</th>"
+        "<th class='num'>self (s)</th><th class='num'>total (s)</th>"
+        "</tr></thead><tbody id='hot-body'></tbody></table>"
         "<h2>Recent runs</h2>"
         "<table><thead><tr><th>run</th><th>workflow</th><th>tenant</th>"
         "<th>state</th><th class='num'>queued wait (s)</th><th>error</th>"

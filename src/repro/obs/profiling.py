@@ -1,0 +1,1043 @@
+"""Span-attributed statistical sampling profiler (DESIGN.md §14).
+
+A dependency-free continuous profiler for the IReS runtime.  A daemon
+thread walks :func:`sys._current_frames` at a configurable rate and
+attributes every sample to the run / span that the sampled thread was
+executing, using a cross-thread attribution registry fed by
+``obs/context.py`` (run ids) and the tracer's span stack.
+
+Design notes
+------------
+- **Attribution.**  ContextVars are invisible from a foreign thread, so
+  :class:`_ThreadAttribution` keeps an explicit ``thread ident -> stack``
+  map.  ``bind_run_id`` always publishes (cheap: one dict op per run);
+  the tracer only publishes spans while at least one profiler is running
+  (the lock-free ``active`` flag), because spans are orders of magnitude
+  more frequent.
+- **Overhead.**  One pass per tick: grab frames, snapshot attribution,
+  unwind, append to a bounded ring under a single lock.  The ≤5% budget
+  at the default service rate is enforced by
+  ``benchmarks/bench_extension_profile.py``.
+- **Formats.**  The on-disk format is speedscope-compatible JSON with an
+  ``"ires"`` extension block; folded stacks and the self-contained HTML
+  flamegraph are derived views.  ``validate_speedscope`` structurally
+  checks documents without needing a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from collections import OrderedDict, deque
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.analysis.runtime_check import make_lock, note_access, register_shared
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ATTRIBUTION",
+    "AllocationTracker",
+    "CPU",
+    "DEFAULT_HZ",
+    "Profile",
+    "Sample",
+    "SERVICE_HZ",
+    "SamplingProfiler",
+    "WALL",
+    "flamegraph_html",
+    "folded_from_speedscope",
+    "self_times_from_speedscope",
+    "validate_speedscope",
+]
+
+WALL = "wall"
+CPU = "cpu"
+
+#: Default rate for explicit recordings (``ires profile record``,
+#: ``ires execute --profile``): high enough that short CI runs still
+#: collect a useful number of samples.
+DEFAULT_HZ = 199.0
+
+#: Default rate for the always-on service profiler — the rate at which
+#: the ≤5% overhead budget is enforced.
+SERVICE_HZ = 19.0
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+_MAX_STACK_DEPTH = 128
+
+#: (file basename, function name) pairs whose presence at the leaf of a
+#: stack marks the thread as idle (blocked in a wait primitive); such
+#: stacks are skipped unless ``include_idle`` is set.
+_IDLE_LEAVES = frozenset({
+    ("threading.py", "wait"),
+    ("threading.py", "_wait_for_tstate_lock"),
+    ("selectors.py", "select"),
+    ("selectors.py", "_poll"),
+    ("queue.py", "get"),
+    ("queue.py", "put"),
+    ("socket.py", "accept"),
+    ("socketserver.py", "serve_forever"),
+    ("base_events.py", "_run_once"),
+    ("base_events.py", "run_forever"),
+    ("thread.py", "_worker"),
+    ("connection.py", "wait"),
+    ("profiling.py", "_loop"),
+})
+
+_REGISTRY = get_registry()
+_SAMPLES = _REGISTRY.counter(
+    "ires_profiler_samples_total",
+    help="Stack samples collected by the sampling profiler.",
+    labels=("mode",))
+_DROPPED = _REGISTRY.counter(
+    "ires_profiler_dropped_total",
+    help="Profiler samples dropped, by reason.",
+    labels=("reason",))
+_OVERHEAD = _REGISTRY.counter(
+    "ires_profiler_overhead_seconds_total",
+    help="Wall seconds the profiler spent collecting samples.")
+
+# A frame is (function name, short file path, line number).
+Frame = tuple[str, str, int]
+
+
+def _short_path(path: str) -> str:
+    """Collapse an absolute path to its last two components."""
+    parts = path.replace("\\", "/").rsplit("/", 2)
+    return "/".join(parts[-2:]) if len(parts) > 1 else path
+
+
+class _ThreadAttribution:
+    """Cross-thread run-id / span registry read by the sampler thread.
+
+    ContextVars set inside worker threads cannot be read from the
+    sampler thread, so ``bind_run_id`` and ``Tracer.span`` publish their
+    state here keyed by thread ident.  Reads and writes are tiny
+    critical sections; the sampler snapshots the whole map once per
+    tick.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("profiler_attribution")
+        # guarded-by: _lock
+        self._runs: dict[int, list[str]] = {}
+        # guarded-by: _lock
+        self._spans: dict[int, list[tuple[str, str]]] = {}
+        # guarded-by: _lock
+        self._profilers = 0
+        #: Lock-free fast-path flag: True while >=1 profiler is running.
+        #: Written under ``_lock``; read without it (a stale read only
+        #: means one span push is skipped or wasted, never corruption).
+        self.active = False
+        register_shared(self, "profiler_attribution", guard=self._lock)
+
+    def push_run(self, run_id: str) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            note_access(self, "write")
+            self._runs.setdefault(ident, []).append(run_id)
+
+    def pop_run(self) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            note_access(self, "write")
+            stack = self._runs.get(ident)
+            if stack:
+                stack.pop()
+                if not stack:
+                    del self._runs[ident]
+
+    def push_span(self, name: str, category: str) -> bool:
+        """Publish a span for this thread; returns False when inactive.
+
+        The caller must balance a True return with :meth:`pop_span`.
+        """
+        if not self.active:
+            return False
+        ident = threading.get_ident()
+        with self._lock:
+            note_access(self, "write")
+            self._spans.setdefault(ident, []).append((name, category))
+        return True
+
+    def pop_span(self) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            note_access(self, "write")
+            stack = self._spans.get(ident)
+            if stack:
+                stack.pop()
+                if not stack:
+                    del self._spans[ident]
+
+    def profiler_started(self) -> None:
+        with self._lock:
+            note_access(self, "write")
+            self._profilers += 1
+            self.active = True
+
+    def profiler_stopped(self) -> None:
+        with self._lock:
+            note_access(self, "write")
+            self._profilers = max(0, self._profilers - 1)
+            if self._profilers == 0:
+                self.active = False
+                # Span stacks are only pushed while active; drop any
+                # leftovers so a future profiler starts from a clean map.
+                self._spans.clear()
+
+    def snapshot(self) -> tuple[dict[int, str], dict[int, tuple[str, str]]]:
+        """Return ``{ident: run_id}`` and ``{ident: (span, category)}``."""
+        with self._lock:
+            note_access(self, "read")
+            runs = {i: s[-1] for i, s in self._runs.items() if s}
+            spans = {i: s[-1] for i, s in self._spans.items() if s}
+        return runs, spans
+
+
+#: Process-wide singleton used by ``obs/context.py`` and the tracer.
+ATTRIBUTION = _ThreadAttribution()
+
+
+class Sample:
+    """One stack sample from one thread at one tick."""
+
+    __slots__ = ("wall_time", "thread_name", "run_id", "span", "category",
+                 "frames", "weight")
+
+    def __init__(self, wall_time: float, thread_name: str,
+                 run_id: str | None, span: str | None, category: str | None,
+                 frames: tuple[Frame, ...], weight: float) -> None:
+        self.wall_time = wall_time
+        self.thread_name = thread_name
+        self.run_id = run_id
+        self.span = span
+        self.category = category
+        self.frames = frames  # root-first
+        self.weight = weight  # seconds represented by this sample
+
+
+class Profile:
+    """An immutable bag of samples plus recording metadata."""
+
+    def __init__(self, samples: Sequence[Sample], *, mode: str, hz: float,
+                 started_at: float, duration: float, overhead: float,
+                 dropped: Mapping[str, int] | None = None,
+                 allocations: Mapping[str, Any] | None = None) -> None:
+        self.samples = tuple(samples)
+        self.mode = mode
+        self.hz = hz
+        self.started_at = started_at
+        self.duration = duration
+        self.overhead = overhead
+        self.dropped = dict(dropped or {})
+        self.allocations = dict(allocations or {})
+
+    # -- derived views -------------------------------------------------
+
+    def filter_run(self, run_id: str) -> "Profile":
+        """A new profile containing only samples for ``run_id``."""
+        kept = [s for s in self.samples if s.run_id == run_id]
+        return Profile(kept, mode=self.mode, hz=self.hz,
+                       started_at=self.started_at, duration=self.duration,
+                       overhead=self.overhead, dropped=self.dropped,
+                       allocations=self.allocations)
+
+    def folded(self) -> str:
+        """Brendan-Gregg folded stacks: ``a;b;c <weight-ms>`` lines."""
+        merged: dict[str, float] = {}
+        for sample in self.samples:
+            key = ";".join(f"{f[0]} ({f[1]}:{f[2]})" for f in sample.frames)
+            merged[key] = merged.get(key, 0.0) + sample.weight
+        lines = [f"{stack} {weight * 1000.0:.3f}"
+                 for stack, weight in sorted(merged.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def self_seconds(self) -> dict[str, float]:
+        """Self (leaf) seconds per function, ``name (file:line)`` keyed."""
+        out: dict[str, float] = {}
+        for sample in self.samples:
+            if not sample.frames:
+                continue
+            f = sample.frames[-1]
+            key = f"{f[0]} ({f[1]}:{f[2]})"
+            out[key] = out.get(key, 0.0) + sample.weight
+        return out
+
+    def total_seconds(self) -> dict[str, float]:
+        """Total seconds per function (counted once per stack)."""
+        out: dict[str, float] = {}
+        for sample in self.samples:
+            seen = set()
+            for f in sample.frames:
+                key = f"{f[0]} ({f[1]}:{f[2]})"
+                if key in seen:
+                    continue
+                seen.add(key)
+                out[key] = out.get(key, 0.0) + sample.weight
+        return out
+
+    def hot_functions(self, limit: int = 15) -> list[dict[str, Any]]:
+        """Top functions by self time, with total time alongside."""
+        self_s = self.self_seconds()
+        total_s = self.total_seconds()
+        ranked = sorted(self_s.items(), key=lambda kv: -kv[1])[:limit]
+        return [{"function": name,
+                 "selfSeconds": round(secs, 6),
+                 "totalSeconds": round(total_s.get(name, secs), 6)}
+                for name, secs in ranked]
+
+    def run_breakdown(self) -> dict[str, dict[str, Any]]:
+        """Per-run sample counts and per-category / per-span self time."""
+        runs: dict[str, dict[str, Any]] = {}
+        for sample in self.samples:
+            key = sample.run_id or "(unattributed)"
+            entry = runs.setdefault(key, {
+                "samples": 0,
+                "selfSecondsByCategory": {},
+                "selfSecondsBySpan": {},
+            })
+            entry["samples"] += 1
+            if sample.category:
+                cats = entry["selfSecondsByCategory"]
+                cats[sample.category] = (
+                    cats.get(sample.category, 0.0) + sample.weight)
+            if sample.span:
+                spans = entry["selfSecondsBySpan"]
+                spans[sample.span] = spans.get(sample.span, 0.0) + sample.weight
+        for entry in runs.values():
+            for field in ("selfSecondsByCategory", "selfSecondsBySpan"):
+                entry[field] = {k: round(v, 6)
+                                for k, v in entry[field].items()}
+        return runs
+
+    def speedscope(self, *, name: str = "ires profile") -> dict[str, Any]:
+        """Speedscope-compatible document with an ``ires`` extension."""
+        frame_index: dict[Frame, int] = {}
+        frames: list[dict[str, Any]] = []
+        stacks: list[list[int]] = []
+        weights: list[float] = []
+        for sample in self.samples:
+            stack = []
+            for frame in sample.frames:
+                idx = frame_index.get(frame)
+                if idx is None:
+                    idx = len(frames)
+                    frame_index[frame] = idx
+                    frames.append({"name": frame[0], "file": frame[1],
+                                   "line": frame[2]})
+                stack.append(idx)
+            stacks.append(stack)
+            weights.append(round(sample.weight, 9))
+        end_value = round(sum(weights), 9)
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "name": name,
+            "activeProfileIndex": 0,
+            "exporter": "ires-profiler",
+            "shared": {"frames": frames},
+            "profiles": [{
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": end_value,
+                "samples": stacks,
+                "weights": weights,
+            }],
+            "ires": {
+                "mode": self.mode,
+                "hz": self.hz,
+                "startedAt": self.started_at,
+                "durationSeconds": round(self.duration, 6),
+                "overheadSeconds": round(self.overhead, 6),
+                "sampleCount": len(self.samples),
+                "dropped": dict(self.dropped),
+                "runs": self.run_breakdown(),
+                "allocations": dict(self.allocations),
+            },
+        }
+
+    def save(self, path: str, *, name: str = "ires profile") -> None:
+        doc = self.speedscope(name=name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=None, separators=(",", ":"))
+            fh.write("\n")
+
+
+class SamplingProfiler:
+    """Background statistical sampler over ``sys._current_frames``.
+
+    ``start()`` spawns a daemon thread that ticks at ``hz``; each tick
+    walks every thread's stack, attributes it via :data:`ATTRIBUTION`,
+    and appends to a bounded ring.  ``snapshot()`` materialises a
+    :class:`Profile` at any time; ``stop()`` returns the final one.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, *, mode: str = WALL,
+                 max_samples: int = 200_000, include_idle: bool = False,
+                 run_history: int = 64, run_samples_limit: int = 50_000,
+                 track_allocations: bool = False) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        if mode not in (WALL, CPU):
+            raise ValueError(f"mode must be {WALL!r} or {CPU!r}, got {mode!r}")
+        self.hz = float(hz)
+        self.mode = mode
+        self.include_idle = include_idle
+        self._interval = 1.0 / self.hz
+        self._max_samples = max_samples
+        self._run_history = run_history
+        self._run_samples_limit = run_samples_limit
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = make_lock("profiler")
+        # guarded-by: _lock
+        self._ring: deque[Sample] = deque(maxlen=max_samples)
+        # guarded-by: _lock
+        self._by_run: OrderedDict[str, list[Sample]] = OrderedDict()
+        # guarded-by: _lock
+        self._dropped: dict[str, int] = {}
+        # guarded-by: _lock
+        self._overhead = 0.0
+        # guarded-by: _lock
+        self._collected = 0
+        # guarded-by: _lock
+        self._started_at = 0.0
+        # guarded-by: _lock
+        self._stopped_at: float | None = None
+        self._alloc: AllocationTracker | None = (
+            AllocationTracker() if track_allocations else None)
+        register_shared(self, "profiler", guard=self._lock)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def allocation_tracker(self) -> "AllocationTracker | None":
+        """The span-boundary tracker when ``track_allocations`` is on.
+
+        Register it as a tracer hook (``tracer.add_hook(...)``) so span
+        finishes stamp ``allocNetBytes`` and feed the per-category table.
+        """
+        return self._alloc
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop_event.clear()
+        with self._lock:
+            note_access(self, "write")
+            self._started_at = time.time()
+            self._stopped_at = None
+        ATTRIBUTION.profiler_started()
+        if self._alloc is not None:
+            self._alloc.start()
+        self._thread = threading.Thread(
+            target=self._loop, name="ires-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            ATTRIBUTION.profiler_stopped()
+        allocations = (
+            self._alloc.stop() if self._alloc is not None else None)
+        with self._lock:
+            note_access(self, "write")
+            if self._stopped_at is None:
+                self._stopped_at = time.time()
+        return self.snapshot(allocations=allocations)
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- views ---------------------------------------------------------
+
+    def snapshot(self, run_id: str | None = None,
+                 allocations: Mapping[str, Any] | None = None) -> Profile:
+        """Materialise a :class:`Profile` of what the ring holds now."""
+        with self._lock:
+            note_access(self, "read")
+            if run_id is not None:
+                samples: list[Sample] = list(self._by_run.get(run_id, ()))
+            else:
+                samples = list(self._ring)
+            dropped = dict(self._dropped)
+            overhead = self._overhead
+            started = self._started_at
+            stopped = self._stopped_at
+        duration = (stopped if stopped is not None else time.time()) - started
+        allocs = allocations
+        if allocs is None and self._alloc is not None:
+            allocs = self._alloc.summary()
+        return Profile(samples, mode=self.mode, hz=self.hz,
+                       started_at=started, duration=max(0.0, duration),
+                       overhead=overhead, dropped=dropped,
+                       allocations=allocs)
+
+    def take_run(self, run_id: str) -> Profile:
+        """Snapshot and release the per-run sample bucket for ``run_id``."""
+        with self._lock:
+            note_access(self, "write")
+            samples = self._by_run.pop(run_id, [])
+            dropped = dict(self._dropped)
+            overhead = self._overhead
+            started = self._started_at
+        duration = time.time() - started
+        return Profile(samples, mode=self.mode, hz=self.hz,
+                       started_at=started, duration=max(0.0, duration),
+                       overhead=overhead, dropped=dropped)
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            note_access(self, "read")
+            collected = self._collected
+            ring_size = len(self._ring)
+            dropped = dict(self._dropped)
+            overhead = self._overhead
+        return {
+            "running": self.running,
+            "mode": self.mode,
+            "hz": self.hz,
+            "samples": collected,
+            "ringSize": ring_size,
+            "dropped": dropped,
+            "overheadSeconds": round(overhead, 6),
+        }
+
+    # -- sampler thread ------------------------------------------------
+
+    def _loop(self) -> None:
+        interval = self._interval
+        next_tick = time.perf_counter() + interval
+        last_cpu = time.process_time()
+        while not self._stop_event.is_set():
+            delay = next_tick - time.perf_counter()
+            if delay > 0:
+                if self._stop_event.wait(delay):
+                    break
+            else:
+                # We are behind schedule; count overruns and resync so
+                # a long GC pause does not trigger a burst of ticks.
+                missed = int(-delay / interval)
+                if missed > 0:
+                    self._note_dropped("overrun", missed)
+                    next_tick += missed * interval
+            next_tick += interval
+            tick_start = time.perf_counter()
+            try:
+                cpu_now = time.process_time()
+                cpu_busy = (cpu_now - last_cpu) >= 0.1 * interval
+                last_cpu = cpu_now
+                if self.mode == CPU and not cpu_busy:
+                    continue
+                self._sample_once(tick_start)
+            except Exception:
+                # The conftest promotes uncaught worker-thread exceptions
+                # to test failures; the sampler must never take the
+                # process (or suite) down because one tick went wrong.
+                self._note_dropped("error", 1)
+            finally:
+                elapsed = time.perf_counter() - tick_start
+                with self._lock:
+                    note_access(self, "write")
+                    self._overhead += elapsed
+                _OVERHEAD.inc(elapsed)
+
+    def _sample_once(self, tick_start: float) -> None:
+        my_ident = threading.get_ident()
+        frames_by_ident = sys._current_frames()
+        runs, spans = ATTRIBUTION.snapshot()
+        names = {t.ident: t.name for t in threading.enumerate()
+                 if t.ident is not None}
+        now = time.time()
+        weight = self._interval
+        batch: list[Sample] = []
+        for ident, frame in frames_by_ident.items():
+            if ident == my_ident:
+                continue
+            stack = self._unwind(frame)
+            if not stack:
+                continue
+            if not self.include_idle:
+                leaf = stack[-1]
+                base = leaf[1].rsplit("/", 1)[-1]
+                if (base, leaf[0]) in _IDLE_LEAVES:
+                    continue
+            span, category = spans.get(ident, (None, None))
+            batch.append(Sample(
+                wall_time=now,
+                thread_name=names.get(ident, f"thread-{ident}"),
+                run_id=runs.get(ident),
+                span=span,
+                category=category,
+                frames=tuple(stack),
+                weight=weight,
+            ))
+        del frames_by_ident
+        if not batch:
+            return
+        evicted = 0
+        with self._lock:
+            note_access(self, "write")
+            for sample in batch:
+                if len(self._ring) == self._ring.maxlen:
+                    evicted += 1
+                self._ring.append(sample)
+                self._collected += 1
+                if sample.run_id is not None:
+                    bucket = self._by_run.get(sample.run_id)
+                    if bucket is None:
+                        bucket = []
+                        self._by_run[sample.run_id] = bucket
+                        while len(self._by_run) > self._run_history:
+                            self._by_run.popitem(last=False)
+                    if len(bucket) < self._run_samples_limit:
+                        bucket.append(sample)
+            if evicted:
+                self._dropped["ring_full"] = (
+                    self._dropped.get("ring_full", 0) + evicted)
+        _SAMPLES.inc(len(batch), mode=self.mode)
+        if evicted:
+            _DROPPED.inc(evicted, reason="ring_full")
+
+    def _note_dropped(self, reason: str, count: int) -> None:
+        with self._lock:
+            note_access(self, "write")
+            self._dropped[reason] = self._dropped.get(reason, 0) + count
+        _DROPPED.inc(count, reason=reason)
+
+    @staticmethod
+    def _unwind(frame: Any) -> list[Frame]:
+        stack: list[Frame] = []
+        depth = 0
+        while frame is not None and depth < _MAX_STACK_DEPTH:
+            code = frame.f_code
+            stack.append((code.co_name, _short_path(code.co_filename),
+                          frame.f_lineno))
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()  # root first
+        return stack
+
+
+class AllocationTracker:
+    """Opt-in tracemalloc accounting at span boundaries.
+
+    Installed as a tracer hook (``tracer.add_hook(tracker)``): on span
+    start it records the current traced-memory figure, on span finish it
+    stamps the net allocated bytes onto the span as ``allocNetBytes``
+    and folds the delta into a per-category table.  ``summary()`` also
+    reports the top allocation sites from a final tracemalloc snapshot.
+    """
+
+    def __init__(self, top: int = 10) -> None:
+        self._top = top
+        self._lock = make_lock("profiler_alloc")
+        # guarded-by: _lock
+        self._open_spans: dict[int, int] = {}
+        # guarded-by: _lock
+        self._by_category: dict[str, int] = {}
+        # guarded-by: _lock
+        self._started = False
+        self._was_tracing = False
+        register_shared(self, "profiler_alloc", guard=self._lock)
+
+    def start(self) -> None:
+        with self._lock:
+            note_access(self, "write")
+            if self._started:
+                return
+            self._started = True
+            self._was_tracing = tracemalloc.is_tracing()
+        if not self._was_tracing:
+            tracemalloc.start()
+
+    def stop(self) -> dict[str, Any]:
+        summary = self.summary()
+        with self._lock:
+            note_access(self, "write")
+            started = self._started
+            self._started = False
+            self._open_spans.clear()
+        if started and not self._was_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        return summary
+
+    # -- tracer hook interface ----------------------------------------
+
+    def span_started(self, span: Any) -> None:
+        if not tracemalloc.is_tracing():
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        with self._lock:
+            note_access(self, "write")
+            if self._started:
+                self._open_spans[id(span)] = current
+
+    def span_finished(self, span: Any) -> None:
+        if not tracemalloc.is_tracing():
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        with self._lock:
+            note_access(self, "write")
+            baseline = self._open_spans.pop(id(span), None)
+            if baseline is None:
+                return
+            net = current - baseline
+            category = getattr(span, "category", None) or "uncategorized"
+            self._by_category[category] = (
+                self._by_category.get(category, 0) + net)
+        try:
+            span.attributes["allocNetBytes"] = net
+        except Exception:
+            pass
+
+    def summary(self) -> dict[str, Any]:
+        with self._lock:
+            note_access(self, "read")
+            by_category = dict(self._by_category)
+            started = self._started
+        top_sites: list[dict[str, Any]] = []
+        if started and tracemalloc.is_tracing():
+            snapshot = tracemalloc.take_snapshot()
+            stats = snapshot.statistics("lineno")[:self._top]
+            for stat in stats:
+                frame = stat.traceback[0]
+                top_sites.append({
+                    "site": f"{_short_path(frame.filename)}:{frame.lineno}",
+                    "sizeBytes": stat.size,
+                    "count": stat.count,
+                })
+        return {
+            "netBytesByCategory": by_category,
+            "topSites": top_sites,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers over saved speedscope documents
+# ---------------------------------------------------------------------------
+
+
+def validate_speedscope(doc: Any) -> list[str]:
+    """Structurally validate a speedscope document; return problems.
+
+    A pure-stdlib stand-in for jsonschema validation against the
+    speedscope file-format schema: checks the fields the speedscope app
+    actually requires to load a sampled profile.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("$schema") != SPEEDSCOPE_SCHEMA:
+        problems.append(f"$schema != {SPEEDSCOPE_SCHEMA}")
+    shared = doc.get("shared")
+    if not isinstance(shared, dict) or not isinstance(
+            shared.get("frames"), list):
+        problems.append("shared.frames missing or not a list")
+        frames: list[Any] = []
+    else:
+        frames = shared["frames"]
+        for i, frame in enumerate(frames):
+            if not isinstance(frame, dict) or "name" not in frame:
+                problems.append(f"shared.frames[{i}] lacks a name")
+                break
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        problems.append("profiles missing or empty")
+        return problems
+    for p, prof in enumerate(profiles):
+        if not isinstance(prof, dict):
+            problems.append(f"profiles[{p}] is not an object")
+            continue
+        if prof.get("type") != "sampled":
+            problems.append(f"profiles[{p}].type != 'sampled'")
+        for field in ("name", "unit", "startValue", "endValue",
+                      "samples", "weights"):
+            if field not in prof:
+                problems.append(f"profiles[{p}].{field} missing")
+        samples = prof.get("samples")
+        weights = prof.get("weights")
+        if isinstance(samples, list) and isinstance(weights, list):
+            if len(samples) != len(weights):
+                problems.append(
+                    f"profiles[{p}]: {len(samples)} samples"
+                    f" vs {len(weights)} weights")
+            nframes = len(frames)
+            for s, stack in enumerate(samples):
+                if not isinstance(stack, list) or any(
+                        not isinstance(i, int) or i < 0 or i >= nframes
+                        for i in stack):
+                    problems.append(
+                        f"profiles[{p}].samples[{s}] has frame index"
+                        " out of range")
+                    break
+    return problems
+
+
+def _frame_label(frame: Mapping[str, Any]) -> str:
+    name = frame.get("name", "?")
+    file = frame.get("file")
+    line = frame.get("line")
+    if file:
+        return f"{name} ({file}:{line})"
+    return str(name)
+
+
+def _iter_stacks(doc: Mapping[str, Any]) -> Iterator[tuple[list[str], float]]:
+    frames = [_frame_label(f) for f in doc.get("shared", {}).get("frames", [])]
+    for prof in doc.get("profiles", []):
+        samples = prof.get("samples", [])
+        weights = prof.get("weights", [])
+        for stack, weight in zip(samples, weights):
+            yield [frames[i] for i in stack], float(weight)
+
+
+def folded_from_speedscope(doc: Mapping[str, Any]) -> str:
+    """Recover folded stacks from a saved speedscope document."""
+    merged: dict[str, float] = {}
+    for labels, weight in _iter_stacks(doc):
+        key = ";".join(labels)
+        merged[key] = merged.get(key, 0.0) + weight
+    lines = [f"{stack} {weight * 1000.0:.3f}"
+             for stack, weight in sorted(merged.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def self_times_from_speedscope(
+        doc: Mapping[str, Any]) -> dict[str, dict[str, float]]:
+    """Per-run per-category self seconds from the ``ires`` extension.
+
+    Keyed ``{run_id: {category: seconds}}`` — the shape consumed by
+    ``summarize_spans(..., self_times=...)`` and ``build_timeline``.
+    """
+    out: dict[str, dict[str, float]] = {}
+    runs = doc.get("ires", {}).get("runs", {})
+    if not isinstance(runs, Mapping):
+        return out
+    for run_id, entry in runs.items():
+        cats = entry.get("selfSecondsByCategory", {})
+        if isinstance(cats, Mapping):
+            out[str(run_id)] = {str(k): float(v) for k, v in cats.items()}
+    return out
+
+
+def span_self_times_from_speedscope(
+        doc: Mapping[str, Any]) -> dict[str, dict[str, float]]:
+    """Per-run per-span-name self seconds from the ``ires`` extension."""
+    out: dict[str, dict[str, float]] = {}
+    runs = doc.get("ires", {}).get("runs", {})
+    if not isinstance(runs, Mapping):
+        return out
+    for run_id, entry in runs.items():
+        spans = entry.get("selfSecondsBySpan", {})
+        if isinstance(spans, Mapping):
+            out[str(run_id)] = {str(k): float(v) for k, v in spans.items()}
+    return out
+
+
+def hot_functions_from_speedscope(
+        doc: Mapping[str, Any], limit: int = 15) -> list[dict[str, Any]]:
+    """Top functions by self (leaf) time from a saved document."""
+    self_s: dict[str, float] = {}
+    total_s: dict[str, float] = {}
+    for labels, weight in _iter_stacks(doc):
+        if not labels:
+            continue
+        leaf = labels[-1]
+        self_s[leaf] = self_s.get(leaf, 0.0) + weight
+        for label in set(labels):
+            total_s[label] = total_s.get(label, 0.0) + weight
+    ranked = sorted(self_s.items(), key=lambda kv: -kv[1])[:limit]
+    return [{"function": name,
+             "selfSeconds": round(secs, 6),
+             "totalSeconds": round(total_s.get(name, secs), 6)}
+            for name, secs in ranked]
+
+
+def diff_speedscope(base: Mapping[str, Any], other: Mapping[str, Any],
+                    limit: int = 20) -> list[dict[str, Any]]:
+    """Self-time deltas (other - base) per function, largest |delta| first."""
+
+    def _self(doc: Mapping[str, Any]) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for labels, weight in _iter_stacks(doc):
+            if labels:
+                out[labels[-1]] = out.get(labels[-1], 0.0) + weight
+        return out
+
+    a, b = _self(base), _self(other)
+    rows = []
+    for name in set(a) | set(b):
+        delta = b.get(name, 0.0) - a.get(name, 0.0)
+        rows.append({"function": name,
+                     "baseSeconds": round(a.get(name, 0.0), 6),
+                     "otherSeconds": round(b.get(name, 0.0), 6),
+                     "deltaSeconds": round(delta, 6)})
+    rows.sort(key=lambda r: -abs(r["deltaSeconds"]))
+    return rows[:limit]
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph HTML (self-contained, no external assets — dashboard.py idiom)
+# ---------------------------------------------------------------------------
+
+
+def _merge_tree(doc: Mapping[str, Any]) -> dict[str, Any]:
+    root: dict[str, Any] = {"name": "all", "value": 0.0, "children": {}}
+    for labels, weight in _iter_stacks(doc):
+        root["value"] += weight
+        node = root
+        for label in labels:
+            child = node["children"].get(label)
+            if child is None:
+                child = {"name": label, "value": 0.0, "children": {}}
+                node["children"][label] = child
+            child["value"] += weight
+            node = child
+
+    def _finish(node: dict[str, Any]) -> dict[str, Any]:
+        children = [_finish(c) for c in node["children"].values()]
+        children.sort(key=lambda c: -c["value"])
+        return {"name": node["name"], "value": round(node["value"], 6),
+                "children": children}
+
+    return _finish(root)
+
+
+_FLAME_CSS = """
+  body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 0;
+         background: #10141a; color: #d8dee9; }
+  header { padding: 12px 20px; border-bottom: 1px solid #2a3038; }
+  header h1 { font-size: 16px; margin: 0 0 4px; }
+  header .meta { font-size: 12px; color: #7b8794; }
+  #flame { margin: 12px 20px; }
+  .frame { position: absolute; box-sizing: border-box; height: 18px;
+           overflow: hidden; white-space: nowrap; font-size: 11px;
+           line-height: 18px; padding: 0 3px; cursor: pointer;
+           border-radius: 2px; border: 1px solid #10141a; color: #1c2128; }
+  .frame:hover { filter: brightness(1.15); }
+  #detail { padding: 6px 20px; font-size: 12px; color: #a3b1bf;
+            min-height: 18px; }
+"""
+
+_FLAME_JS = """
+  const data = JSON.parse(
+      document.getElementById('flame-data').textContent);
+  const container = document.getElementById('flame');
+  const detail = document.getElementById('detail');
+  const palette = t => `hsl(${20 + 35 * t}, 75%, ${62 - 12 * t}%)`;
+  let zoomed = data.tree;
+
+  function depthOf(node) {
+    let d = 1;
+    for (const c of node.children) d = Math.max(d, 1 + depthOf(c));
+    return d;
+  }
+
+  function render() {
+    container.innerHTML = '';
+    const width = container.clientWidth || 960;
+    const total = zoomed.value || 1;
+    container.style.position = 'relative';
+    container.style.height = (depthOf(zoomed) * 19 + 4) + 'px';
+    const walk = (node, x, depth) => {
+      const w = node.value / total * width;
+      if (w < 1.2) return;
+      const div = document.createElement('div');
+      div.className = 'frame';
+      div.style.left = x + 'px';
+      div.style.top = (depth * 19) + 'px';
+      div.style.width = Math.max(1, w - 1) + 'px';
+      div.style.background = palette((node.name.length % 13) / 13);
+      div.textContent = node.name;
+      div.title = `${node.name} — ${node.value.toFixed(4)}s`
+          + ` (${(100 * node.value / (data.tree.value || 1)).toFixed(1)}%)`;
+      div.onclick = (ev) => { ev.stopPropagation(); zoomed = node; render(); };
+      div.onmouseenter = () => { detail.textContent = div.title; };
+      container.appendChild(div);
+      let cx = x;
+      for (const child of node.children) {
+        walk(child, cx, depth + 1);
+        cx += child.value / total * width;
+      }
+    };
+    walk(zoomed, 0, 0);
+  }
+  document.body.onclick = () => { zoomed = data.tree; render(); };
+  window.onresize = render;
+  render();
+"""
+
+
+def flamegraph_html(doc: Mapping[str, Any], *,
+                    title: str = "IReS flamegraph") -> str:
+    """Render a saved speedscope document as a standalone HTML page."""
+    tree = _merge_tree(doc)
+    meta = doc.get("ires", {})
+    payload = {"tree": tree}
+    island = json.dumps(payload, separators=(",", ":")).replace("</", "<\\/")
+    bits = [
+        f"mode={meta.get('mode', '?')}",
+        f"hz={meta.get('hz', '?')}",
+        f"samples={meta.get('sampleCount', '?')}",
+        f"duration={meta.get('durationSeconds', '?')}s",
+        f"overhead={meta.get('overheadSeconds', '?')}s",
+    ]
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_html.escape(title)}</title>
+<style>{_FLAME_CSS}</style>
+</head>
+<body>
+<header>
+  <h1>{_html.escape(title)}</h1>
+  <div class="meta">{_html.escape(" · ".join(bits))}</div>
+</header>
+<div id="detail">click a frame to zoom; click the background to reset</div>
+<div id="flame"></div>
+<script type="application/json" id="flame-data">{island}</script>
+<script>{_FLAME_JS}</script>
+</body>
+</html>
+"""
+
+
+def load_profile(path: str) -> dict[str, Any]:
+    """Load and structurally validate a saved profile document."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = validate_speedscope(doc)
+    if problems:
+        raise ValueError(
+            f"{path} is not a valid speedscope document: {problems[0]}")
+    return doc
+
+
+def find_profile_for_trace(trace_path: str) -> str | None:
+    """Locate ``<trace>.profile.json`` next to a trace file, if present."""
+    base, _ext = os.path.splitext(trace_path)
+    candidate = base + ".profile.json"
+    return candidate if os.path.exists(candidate) else None

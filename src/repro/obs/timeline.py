@@ -25,8 +25,28 @@ _JOURNAL_META = ("seq", "kind", "runId", "wallTime")
 
 
 def perf_epoch_offset() -> float:
-    """Seconds to add to a ``perf_counter`` stamp to get epoch time."""
-    return time.time() - time.perf_counter()
+    """Seconds to add to a ``perf_counter`` stamp to get epoch time.
+
+    The naive ``time.time() - time.perf_counter()`` is skewed by
+    whatever runs between the two clock reads (a GC pause, a context
+    switch), and recomputing it per event used to land merged events on
+    slightly different epochs and reorder them.  Two fixes: the offset
+    is sampled by bracketing ``time.time()`` between two
+    ``perf_counter`` reads (best of three attempts, tightest bracket
+    wins), and :func:`build_timeline` computes it exactly once per build
+    and threads it through every converter.
+    """
+    best_offset = 0.0
+    best_width = float("inf")
+    for _ in range(3):
+        p0 = time.perf_counter()
+        t = time.time()
+        p1 = time.perf_counter()
+        width = p1 - p0
+        if width < best_width:
+            best_width = width
+            best_offset = t - (p0 + p1) / 2.0
+    return best_offset
 
 
 @dataclass
@@ -68,23 +88,27 @@ def _journal_events(records: Iterable[dict[str, Any]],
     return events
 
 
-def _span_events(spans: Iterable[Any], run_id: str,
-                 offset: float) -> list[TimelineEvent]:
+def _span_events(spans: Iterable[Any], run_id: str, offset: float,
+                 span_self: dict[str, float] | None = None,
+                 ) -> list[TimelineEvent]:
     events = []
     for span in spans:
         if getattr(span, "run_id", None) != run_id:
             continue
+        detail = {
+            "category": span.category,
+            "status": span.status,
+            "wallSeconds": round(span.wall_seconds, 6),
+            "simSeconds": round(span.sim_seconds, 6),
+            **{k: v for k, v in span.attributes.items()
+               if isinstance(v, (str, int, float, bool))},
+        }
+        if span_self and span.name in span_self:
+            detail["profileSelfSeconds"] = round(span_self[span.name], 6)
         events.append(TimelineEvent(
             kind=f"span:{span.name}", source="span",
             wall=span.start_wall + offset, sim=span.start_sim,
-            detail={
-                "category": span.category,
-                "status": span.status,
-                "wallSeconds": round(span.wall_seconds, 6),
-                "simSeconds": round(span.sim_seconds, 6),
-                **{k: v for k, v in span.attributes.items()
-                   if isinstance(v, (str, int, float, bool))},
-            }))
+            detail=detail))
         for point in span.events:
             wall = point.get("wall")
             events.append(TimelineEvent(
@@ -145,6 +169,7 @@ def build_timeline(
     logs: Iterable[dict[str, Any]] | None = None,
     record: Any = None,
     perf_offset: float | None = None,
+    span_self: dict[str, float] | None = None,
 ) -> list[TimelineEvent]:
     """Merge one run's telemetry into a single ordered timeline.
 
@@ -153,14 +178,18 @@ def build_timeline(
     :class:`~repro.obs.tracing.Span` objects from a live tracer;
     ``logs`` are structured-log ring lines; ``record`` is the service's
     ``RunRecord`` (duck-typed).  ``perf_offset`` overrides the
-    perf-counter→epoch conversion (tests); live callers leave it None.
+    perf-counter→epoch conversion (tests); live callers leave it None —
+    it is computed exactly once here so every span in one build shares
+    one epoch.  ``span_self`` is an optional ``{span name: seconds}``
+    table of profiler-attributed self time; matching span events gain a
+    ``profileSelfSeconds`` detail.
     """
     offset = perf_epoch_offset() if perf_offset is None else perf_offset
     events: list[TimelineEvent] = []
     if journal_records is not None:
         events.extend(_journal_events(journal_records, run_id))
     if spans is not None:
-        events.extend(_span_events(spans, run_id, offset))
+        events.extend(_span_events(spans, run_id, offset, span_self))
     if logs is not None:
         events.extend(_log_events(logs, run_id))
     if record is not None:

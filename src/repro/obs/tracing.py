@@ -28,12 +28,13 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Protocol
 
 if TYPE_CHECKING:
     from repro.engines.clock import SimClock
 
 from repro.obs.context import current_run_id
+from repro.obs.profiling import ATTRIBUTION
 
 #: Perfetto thread rows, one per instrumented subsystem
 CATEGORY_TIDS = {
@@ -152,6 +153,14 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class SpanHook(Protocol):
+    """Span-boundary observer contract (see :meth:`Tracer.add_hook`)."""
+
+    def span_started(self, span: Span) -> None: ...
+
+    def span_finished(self, span: Span) -> None: ...
+
+
 class Tracer:
     """Produces, collects and exports hierarchical spans.
 
@@ -169,6 +178,20 @@ class Tracer:
         self._ids = itertools.count(1)
         self._active: ContextVar[tuple] = ContextVar("ires_span_stack",
                                                      default=())
+        #: Observers notified at span boundaries (``span_started(span)``
+        #: / ``span_finished(span)``), e.g. the allocation tracker.
+        self._hooks: list[SpanHook] = []
+
+    # -- hooks --------------------------------------------------------------
+    def add_hook(self, hook: "SpanHook") -> None:
+        """Register a span-boundary observer (idempotent)."""
+        if hook not in self._hooks:
+            self._hooks.append(hook)
+
+    def remove_hook(self, hook: "SpanHook") -> None:
+        """Unregister a span-boundary observer (missing is fine)."""
+        if hook in self._hooks:
+            self._hooks.remove(hook)
 
     # -- clocks -------------------------------------------------------------
     def _wall(self) -> float:
@@ -190,6 +213,12 @@ class Tracer:
         span = Span(name, category, next(self._ids), parent_id,
                     current_run_id(), self._wall(), self._sim(), attributes)
         token = self._active.set(stack + (span,))
+        # Publish to the profiler's cross-thread registry only while a
+        # profiler is sampling (push_span returns False otherwise, so
+        # the pop stays balanced).
+        published = ATTRIBUTION.push_span(name, category)
+        for hook in self._hooks:
+            hook.span_started(span)
         try:
             yield span
         except BaseException as exc:
@@ -197,11 +226,15 @@ class Tracer:
             span.error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
+            if published:
+                ATTRIBUTION.pop_span()
             self._active.reset(token)
             span.end_wall = self._wall()
             span.end_sim = self._sim()
             if span.status == IN_PROGRESS:
                 span.status = OK
+            for hook in self._hooks:
+                hook.span_finished(span)
             self._store(span)
 
     def record_span(self, name: str, category: str, start_sim: float,
@@ -481,13 +514,22 @@ def critical_path(spans: list[dict]) -> tuple[float, list[dict]]:
     return makespan, chain
 
 
-def summarize_spans(spans: list[dict]) -> dict:
-    """Aggregate a trace: per-run, per-phase totals plus the critical path."""
+def summarize_spans(spans: list[dict],
+                    self_times: dict[str, dict[str, float]] | None = None,
+                    ) -> dict:
+    """Aggregate a trace: per-run, per-phase totals plus the critical path.
+
+    ``self_times`` is an optional ``{run_id: {category: seconds}}`` table
+    of profiler-attributed self CPU (see
+    :func:`repro.obs.profiling.self_times_from_speedscope`); when given,
+    each phase gains a ``self_seconds`` figure.
+    """
     runs: dict[str, list[dict]] = {}
     for span in spans:
         runs.setdefault(span.get("run_id") or "-", []).append(span)
     summary: dict = {"runs": []}
     for run_id, run_spans in runs.items():
+        run_self = (self_times or {}).get(run_id, {})
         phases: dict[str, dict] = {}
         for span in run_spans:
             phase = phases.setdefault(
@@ -502,6 +544,9 @@ def summarize_spans(spans: list[dict]) -> dict:
                 span["end_sim"] - span["start_sim"], 0.0)
             if span.get("status") == ERROR:
                 phase["errors"] += 1
+        for category, phase in phases.items():
+            if category in run_self:
+                phase["self_seconds"] = round(run_self[category], 6)
         makespan, chain = critical_path(run_spans)
         summary["runs"].append({
             "run_id": run_id,
