@@ -49,6 +49,7 @@ GET    /runs/{run_id}/profile                             one run's profile
 GET    /profile                                           live service profile
 GET    /profile/flamegraph                                profile as HTML
 GET    /service                                           service stats
+GET    /cluster                                           shared-cluster state
 GET    /tenants                                           per-tenant accounting
 GET    /slo                                               SLO burn-rate status
 GET    /dashboard                                         live HTML dashboard
@@ -492,6 +493,16 @@ class IResServer:
         self._expect(method == "GET", 405, "use GET")
         self._expect(not rest, 404, "use /service")
         return Response(200, service.stats())
+
+    # -- /cluster ------------------------------------------------------------
+    def _cluster(self, method, rest, body) -> Response:
+        service = self._require_service()
+        self._expect(method == "GET", 405, "use GET")
+        self._expect(not rest, 404, "use /cluster")
+        self._expect(service.cluster is not None, 404,
+                     "shared-cluster scheduling disabled "
+                     "(start with `ires serve --cluster`)")
+        return Response(200, service.cluster.snapshot())
 
     # -- /tenants ------------------------------------------------------------
     def _tenants(self, method, rest, body) -> Response:

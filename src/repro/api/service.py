@@ -22,7 +22,13 @@ module puts a production-shaped service in front of the platform:
   re-execution of journaled-finished steps;
 - **graceful drain**: :meth:`IResService.shutdown` stops admitting, lets
   in-flight runs finish (they are journaled throughout), and cancels the
-  stragglers after the drain timeout.
+  stragglers after the drain timeout;
+- **shared-cluster execution** (``cluster="fifo"|"fair"|"dagps"``): workers
+  plan on their own platform but submit the materialized plan to one
+  :class:`~repro.execution.cluster.ClusterScheduler` over a single shared
+  cluster, so K concurrent runs genuinely contend for containers instead of
+  each simulating against the cluster alone.  ``GET /cluster`` exposes the
+  loop's queue/placement state.
 
 All submission/status/cancel entry points are plain synchronous methods
 guarded by a lock, so the in-process REST router (and any thread-based HTTP
@@ -41,6 +47,7 @@ from typing import Callable
 
 from repro.analysis.runtime_check import LockLike, make_lock
 from repro.core.platform import IReS
+from repro.execution.cluster import POLICIES, ClusterScheduler
 from repro.execution.enforcer import ExecutionFailed
 from repro.execution.journal import (
     RecoveredRun,
@@ -192,11 +199,15 @@ class IResService:
         slo: "SLOTracker | bool" = True,
         profiler: "SamplingProfiler | bool" = True,
         profile_history: int = 32,
+        cluster: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if cluster is not None and cluster not in POLICIES:
+            raise ValueError(
+                f"cluster policy must be one of {POLICIES}, got {cluster!r}")
         self._factory: Callable[[], IReS] = (
             platform if callable(platform) else (lambda: platform)
         )
@@ -250,6 +261,13 @@ class IResService:
             self.profiler = None
         else:
             self.profiler = profiler
+        #: shared-cluster policy name, or None for isolated per-run clusters.
+        #: Cluster runs contend on one simulated cluster; note that per-run
+        #: deadlines/cancellation do not preempt steps already admitted to
+        #: the shared loop (its virtual event loop is not cooperative).
+        self.cluster_policy = cluster
+        #: the shared ClusterScheduler; built (with its platform) in start()
+        self.cluster: ClusterScheduler | None = None
         self.profile_history = profile_history
         self._profiles: dict[str, Profile] = {}  # guarded-by: _lock
         #: eviction order for _profiles  # guarded-by: _lock
@@ -268,6 +286,14 @@ class IResService:
         self._wake = asyncio.Event()
         if self.profiler is not None:
             self.profiler.start()
+        if self.cluster_policy is not None and self.cluster is None:
+            # the shared loop lives on its own platform instance (slot -1,
+            # so platforms()/trace surfaces include it); workers still plan
+            # on their own platforms and only execution contends here
+            platform = await asyncio.to_thread(self._platform_for, -1)
+            self.cluster = ClusterScheduler(
+                platform.cloud, policy=self.cluster_policy,
+                tracer=platform.tracer)
         recovered = self.recover_interrupted()
         self._tasks = [
             asyncio.create_task(self._worker(i), name=f"ires-worker-{i}")
@@ -493,6 +519,7 @@ class IResService:
                 "runsByState": by_state,
                 "queuedByTenant": tenants,
                 "journalDir": str(self.journal_dir) if self.journal_dir else None,
+                "clusterPolicy": self.cluster_policy,
                 "retryAfterHint": self._retry_after_locked(),
                 "queueWaitEwmaSeconds": (
                     None if self._queue_wait_ewma is None
@@ -585,6 +612,11 @@ class IResService:
             # thread: enforcer spans, metrics, logs and journal records
             # then share the submission's run_id and tenant
             with bind_run_id(rec.run_id), bind_tenant(rec.tenant):
+                if self.cluster is not None:
+                    # plan locally, execute on the shared contended cluster
+                    plan = platform.plan(workflow)
+                    return self.cluster.execute(
+                        plan, run_id=rec.run_id, tenant=rec.tenant)
                 return platform.execute(
                     workflow, control=rec.control, run_id=rec.run_id,
                     resume_from=rec.resume)
@@ -600,15 +632,32 @@ class IResService:
         except Exception as exc:  # noqa: BLE001 — any worker crash fails the run
             self._finish(rec, FAILED, error=f"{type(exc).__name__}: {exc}")
         else:
-            rec.summary = {
-                "simTime": report.sim_time,
-                "replans": report.replans,
-                "retries": report.retries,
-                "steps": len(report.executions),
-                "recoveredSteps": report.recovered_steps,
-                "cachedPlans": report.cached_plans,
-            }
-            self._finish(rec, SUCCEEDED, report=report)
+            if self.cluster is not None:
+                rec.summary = {
+                    "makespan": report.makespan,
+                    "speedup": round(report.speedup, 4),
+                    "steps": len(report.schedule),
+                    "failures": len(report.failures),
+                    "speculations": len(report.speculations),
+                    "sharedCluster": True,
+                    "clusterPolicy": self.cluster_policy,
+                }
+                if report.succeeded:
+                    self._finish(rec, SUCCEEDED, report=report)
+                else:
+                    self._finish(
+                        rec, FAILED, report=report,
+                        error=report.failures[0].error)
+            else:
+                rec.summary = {
+                    "simTime": report.sim_time,
+                    "replans": report.replans,
+                    "retries": report.retries,
+                    "steps": len(report.executions),
+                    "recoveredSteps": report.recovered_steps,
+                    "cachedPlans": report.cached_plans,
+                }
+                self._finish(rec, SUCCEEDED, report=report)
         finally:
             with self._lock:
                 self._active -= 1

@@ -333,6 +333,7 @@ def cmd_serve(args) -> int:
         journal_dir=args.journal_dir,
         default_deadline_seconds=args.deadline,
         slo=slo,
+        cluster=args.cluster_policy if args.cluster else None,
     )
     server = IResServer(factory(), service=service)
     httpd = make_http_server(server, args.host, args.port)
@@ -345,7 +346,8 @@ def cmd_serve(args) -> int:
                   f"({rec.workflow}); resuming")
         print(f"ires service on http://{host}:{port} "
               f"(workers={args.workers} queueLimit={args.queue_limit} "
-              f"journal={args.journal_dir or 'off'})", flush=True)
+              f"journal={args.journal_dir or 'off'} "
+              f"cluster={service.cluster_policy or 'off'})", flush=True)
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -589,6 +591,28 @@ def _render_top(base: str) -> str:
             f"{profiler.get('hz', 0):.0f}Hz ({profiler.get('mode', '?')}) "
             f"samples={profiler.get('samples', 0)} dropped={dropped} "
             f"overhead={profiler.get('overheadSeconds', 0):.3f}s")
+    try:
+        cluster = _http_json("GET", base, "/cluster")
+    except SystemExit:
+        cluster = {}
+    if cluster:
+        util = cluster.get("utilization") or {}
+        lines.append(
+            f"  cluster [{cluster.get('policy', '?')}] "
+            f"inFlight={cluster.get('inFlight', 0)} "
+            f"placed={cluster.get('stepsPlaced', 0)} "
+            f"done={cluster.get('completed', 0)}/"
+            f"{cluster.get('admitted', 0)} "
+            f"cores={util.get('cores', 0.0):.0%} "
+            f"mem={util.get('memory', 0.0):.0%}")
+        for run in cluster.get("runs", [])[:8]:
+            lines.append(
+                f"    run {str(run.get('runId'))[:12]:<12} "
+                f"{run.get('workflow', '?'):<14} "
+                f"steps={run.get('stepsDone', 0)}/"
+                f"{run.get('stepsTotal', 0)} "
+                f"running={run.get('stepsRunning', 0)} "
+                f"failed={run.get('stepsFailed', 0)}")
     try:
         slo = _http_json("GET", base, "/slo")
     except SystemExit:
@@ -1178,6 +1202,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON file of SLO specs ({\"slos\": [...]}); "
                         "default: built-in availability/latency/queue-wait "
                         "objectives")
+    p.add_argument("--cluster", action="store_true",
+                   help="execute runs on one shared contended cluster "
+                        "instead of isolated per-run clusters")
+    p.add_argument("--cluster-policy", default="dagps",
+                   choices=["fifo", "fair", "dagps"],
+                   help="shared-cluster step dequeueing policy "
+                        "(default dagps)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("tenants", help="per-tenant usage accounting "

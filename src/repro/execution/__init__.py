@@ -1,6 +1,7 @@
 """Executor layer: plan enforcement, monitoring, resilience and replanning."""
 
 from repro.execution.cache import ResultCache, step_key
+from repro.execution.cluster import POLICIES, ClusterRun, ClusterScheduler
 from repro.execution.enforcer import (
     ExecutionReport,
     StepExecution,
@@ -25,6 +26,7 @@ from repro.execution.parallel import (
     SchedulingError,
     SpeculationRecord,
     StepFailure,
+    StepResolver,
 )
 from repro.execution.resilience import (
     CircuitBreaker,
@@ -37,6 +39,9 @@ from repro.execution.resilience import (
 
 __all__ = [
     "CircuitBreaker",
+    "ClusterRun",
+    "ClusterScheduler",
+    "POLICIES",
     "ExecutionReport",
     "IRES_REPLAN",
     "JournalCorruptError",
@@ -61,6 +66,7 @@ __all__ = [
     "SpeculationRecord",
     "StepExecution",
     "StepFailure",
+    "StepResolver",
     "TRIVIAL_REPLAN",
     "WorkflowExecutor",
 ]

@@ -10,10 +10,21 @@ its containers; the makespan is the resulting parallel completion time.
 The event loop is fault-aware: a step whose engine fails (OOM, killed
 service, injected transient fault) no longer aborts the whole simulation —
 the failing step and everything downstream of it are surfaced in the
-report's ``failures`` while independent branches still complete.  Detected
-stragglers (injected slowdowns beyond ``straggler_threshold``) are
-speculatively re-executed on the best alternative engine, Hadoop-style:
-whichever copy finishes first wins, and the outcome is recorded.
+report's ``failures`` while independent branches still complete.  A step
+whose container request exceeds what the cluster could ever grant is the
+same kind of fault: it (and its downstream) fails, the rest of the plan
+runs; :class:`SchedulingError` is raised only when *no* compute step of the
+plan can ever be placed.  Detected stragglers (injected slowdowns beyond
+``straggler_threshold``) are speculatively re-executed on the best
+alternative engine, Hadoop-style: whichever copy finishes first wins, and
+the outcome is recorded.
+
+The event loop itself lives in :mod:`repro.execution.cluster` — a
+:class:`~repro.execution.cluster.ClusterScheduler` interleaves steps from
+many in-flight plans over one shared cluster.  :class:`ParallelSimulator`
+is the single-plan view of it: one run, a private cluster clone, the
+paper-era report.  :class:`StepResolver` (durations, transient faults,
+straggler speculation) is the per-run machinery both share.
 
 Used to quantify how much the plan's dataflow parallelism buys on a given
 cluster, and how makespan degrades as the cluster shrinks or faults rise.
@@ -27,10 +38,9 @@ import numpy as np
 
 from repro.core.estimators import resources_for, workload_from_inputs
 from repro.core.workflow import MaterializedPlan, PlanStep
-from repro.engines.containers import ContainerRequest, ContainerScheduler
-from repro.engines.errors import EngineError, InsufficientResourcesError
+from repro.engines.containers import ContainerRequest
+from repro.engines.errors import EngineError
 from repro.engines.faults import TransientOutcome
-from repro.engines.monitoring import resilience_event
 from repro.engines.registry import MultiEngineCloud
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
@@ -49,7 +59,7 @@ _SIM_MAKESPAN = REGISTRY.histogram(
 
 
 class SchedulingError(RuntimeError):
-    """The plan cannot be scheduled (a step exceeds total cluster capacity)."""
+    """The plan cannot be scheduled (no compute step fits the cluster)."""
 
 
 @dataclass
@@ -117,38 +127,66 @@ class ParallelReport:
         return self.serial_time / self.makespan if self.makespan > 0 else 1.0
 
     def concurrency_at(self, t: float) -> int:
-        """Number of steps running at simulated time ``t``."""
-        return sum(1 for s in self.schedule if s.start <= t < s.finish)
+        """Number of steps running at simulated time ``t``.
+
+        Zero-duration steps (e.g. free moves between co-located stores)
+        count at their instant: they did run at ``t``, even though
+        ``start <= t < finish`` is unsatisfiable for them.
+        """
+        return sum(
+            1 for s in self.schedule
+            if (s.start <= t < s.finish) or (s.start == t == s.finish)
+        )
 
     @property
     def max_concurrency(self) -> int:
-        """Peak number of concurrently running steps."""
-        times = sorted({s.start for s in self.schedule})
-        return max((self.concurrency_at(t) for t in times), default=0)
+        """Peak number of concurrently running steps.
+
+        A single sweep over start/finish events — O(n log n), not the
+        former O(n²) per-start-time rescan, which 64-workflow cluster
+        schedules made noticeable.  At any event time the finishes of
+        positive-duration steps are applied first (a step ending exactly
+        when another starts does not overlap it), then starts, and
+        zero-duration steps at that instant are counted on top.
+        """
+        starts: dict[float, int] = {}
+        finishes: dict[float, int] = {}
+        zeros: dict[float, int] = {}
+        for s in self.schedule:
+            if s.finish <= s.start:
+                zeros[s.start] = zeros.get(s.start, 0) + 1
+            else:
+                starts[s.start] = starts.get(s.start, 0) + 1
+                finishes[s.finish] = finishes.get(s.finish, 0) + 1
+        peak = running = 0
+        for t in sorted(set(starts) | set(finishes) | set(zeros)):
+            running -= finishes.get(t, 0)
+            running += starts.get(t, 0)
+            peak = max(peak, running + zeros.get(t, 0))
+        return peak
 
 
-class ParallelSimulator:
-    """Event-driven, fault-aware scheduler for one materialized plan."""
+class StepResolver:
+    """Per-run resolution of step durations, faults and speculation.
 
-    def __init__(self, cloud: MultiEngineCloud, seed: int = 0,
-                 charge_clock: bool = True, fault_injector=None,
-                 speculation: bool = True,
-                 straggler_threshold: float = 2.0,
-                 tracer: Tracer | None = None) -> None:
+    One instance per simulated run: it owns the run's RNG stream, so
+    resolving the same plan with the same seed always yields the same
+    durations — whether the run is simulated alone
+    (:class:`ParallelSimulator`) or packed onto a shared cluster
+    (:class:`~repro.execution.cluster.ClusterScheduler`).
+    """
+
+    def __init__(self, cloud: MultiEngineCloud, rng: np.random.Generator,
+                 fault_injector=None, speculation: bool = True,
+                 straggler_threshold: float = 2.0) -> None:
         self.cloud = cloud
-        self.seed = seed
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        #: advance the cloud's simulated clock by the makespan afterwards
-        self.charge_clock = charge_clock
-        #: optional FaultInjector supplying transient outcomes per execution
+        self.rng = rng
         self.fault_injector = fault_injector
-        #: speculatively re-execute stragglers slower than threshold × nominal
         self.speculation = speculation
         self.straggler_threshold = straggler_threshold
 
-    # -- durations -----------------------------------------------------------
-    def _resolve(
-        self, step: PlanStep, rng: np.random.Generator
+    def resolve(
+        self, step: PlanStep
     ) -> tuple[float | None, StepFailure | None, SpeculationRecord | None]:
         """One step's effective duration, or its failure, plus speculation."""
         if step.is_move:
@@ -169,7 +207,7 @@ class ParallelSimulator:
         except EngineError as exc:
             return None, StepFailure(
                 step, f"{step.operator.name}@{engine.name}: {exc}"), None
-        noise = float(np.exp(rng.normal(0.0, engine.noise_sigma)))
+        noise = float(np.exp(self.rng.normal(0.0, engine.noise_sigma)))
         base = truth * noise
         outcome = (
             self.fault_injector.transient_outcome(engine.name)
@@ -186,13 +224,19 @@ class ParallelSimulator:
         if not self.speculation or outcome.slowdown <= self.straggler_threshold:
             return slowed, None, None
         # straggler detected at threshold × nominal: launch a backup copy
-        spec = self._speculate(step, engine, workload, resources, rng,
-                               base, slowed)
+        spec = self._speculate(step, engine, workload, resources, base, slowed)
         if spec is None:
             return slowed, None, None
         return spec.effective_seconds, None, spec
 
-    def _speculate(self, step, engine, workload, resources, rng,
+    def request(self, step: PlanStep) -> ContainerRequest | None:
+        """The container request the step asks the shared scheduler for."""
+        if step.is_move:
+            return None
+        engine = self.cloud.engines[step.engine]
+        return engine.request_for(resources_for(step.operator, self.cloud))
+
+    def _speculate(self, step, engine, workload, resources,
                    base: float, slowed: float) -> SpeculationRecord | None:
         backup = self._backup_engine(step, engine)
         if backup is None:
@@ -202,7 +246,7 @@ class ParallelSimulator:
                                                workload, resources)
         except EngineError:
             return None
-        backup_noise = float(np.exp(rng.normal(0.0, backup.noise_sigma)))
+        backup_noise = float(np.exp(self.rng.normal(0.0, backup.noise_sigma)))
         detect = base * self.straggler_threshold
         effective = min(slowed, detect + backup_truth * backup_noise)
         return SpeculationRecord(
@@ -232,11 +276,32 @@ class ParallelSimulator:
                 best, best_seconds = candidate, seconds
         return best
 
-    def _request(self, step: PlanStep) -> ContainerRequest | None:
-        if step.is_move:
-            return None
-        engine = self.cloud.engines[step.engine]
-        return engine.request_for(resources_for(step.operator, self.cloud))
+
+class ParallelSimulator:
+    """Event-driven, fault-aware scheduler for one materialized plan.
+
+    A thin single-run view over the shared cluster event loop: each
+    ``simulate`` call admits the plan to a fresh
+    :class:`~repro.execution.cluster.ClusterScheduler` over a *clone* of
+    the cloud's cluster, so isolated what-if simulations never contend
+    with (or mutate) the live placement state.
+    """
+
+    def __init__(self, cloud: MultiEngineCloud, seed: int = 0,
+                 charge_clock: bool = True, fault_injector=None,
+                 speculation: bool = True,
+                 straggler_threshold: float = 2.0,
+                 tracer: Tracer | None = None) -> None:
+        self.cloud = cloud
+        self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: advance the cloud's simulated clock by the makespan afterwards
+        self.charge_clock = charge_clock
+        #: optional FaultInjector supplying transient outcomes per execution
+        self.fault_injector = fault_injector
+        #: speculatively re-execute stragglers slower than threshold × nominal
+        self.speculation = speculation
+        self.straggler_threshold = straggler_threshold
 
     # -- main loop --------------------------------------------------------------
     def simulate(self, plan: MaterializedPlan) -> ParallelReport:
@@ -262,6 +327,24 @@ class ParallelSimulator:
                   makespan=report.makespan, speedup=report.speedup,
                   failures=len(report.failures),
                   speculations=len(report.speculations))
+        return report
+
+    def _simulate_inner(self, plan: MaterializedPlan) -> ParallelReport:
+        # one private shared-loop instance over a cluster clone: isolated
+        # what-if simulation, identical event-loop semantics
+        from repro.execution.cluster import ClusterScheduler
+
+        loop = ClusterScheduler(
+            self.cloud, policy="fifo",
+            cluster=self.cloud.cluster.clone(),
+            seed=self.seed,
+            speculation=self.speculation,
+            straggler_threshold=self.straggler_threshold,
+            fault_injector=self.fault_injector,
+        )
+        report = loop.execute(plan, seed=self.seed)
+        if self.charge_clock:
+            self.cloud.clock.advance(report.makespan)
         return report
 
     def _trace_report(self, report: ParallelReport, span,
@@ -292,107 +375,3 @@ class ParallelSimulator:
                            engine=spec.engine,
                            backup_engine=spec.backup_engine,
                            won=spec.won, saved_seconds=spec.saved_seconds)
-
-    def _simulate_inner(self, plan: MaterializedPlan) -> ParallelReport:
-        rng = np.random.default_rng(self.seed)
-        steps = list(plan.steps)
-        durations: dict[int, float] = {}
-        failures: dict[int, StepFailure] = {}
-        speculations: list[SpeculationRecord] = []
-        for step in steps:
-            seconds, failure, spec = self._resolve(step, rng)
-            if failure is not None:
-                failures[id(step)] = failure
-                continue
-            durations[id(step)] = seconds
-            if spec is not None:
-                speculations.append(spec)
-                self.cloud.collector.record(resilience_event(
-                    "speculation", spec.engine, self.cloud.clock.now,
-                    success=spec.won,
-                    detail=f"{spec.operator}: backup on {spec.backup_engine} "
-                           f"saved {spec.saved_seconds:.1f}s"))
-
-        # dependencies by dataset-object identity (the planner shares them)
-        producer_of: dict[int, PlanStep] = {}
-        for step in steps:
-            for out in step.outputs:
-                producer_of[id(out)] = step
-        deps: dict[int, set[int]] = {
-            id(s): {
-                id(producer_of[id(d)]) for d in s.inputs if id(d) in producer_of
-            }
-            for s in steps
-        }
-
-        # cascade failures to every (transitive) downstream consumer
-        changed = True
-        while changed:
-            changed = False
-            for step in steps:
-                if id(step) in failures:
-                    continue
-                upstream = next((f for f in deps[id(step)] if f in failures), None)
-                if upstream is not None:
-                    failures[id(step)] = StepFailure(
-                        step,
-                        f"upstream failure: "
-                        f"{failures[upstream].step.operator.name}",
-                        cascaded=True)
-                    changed = True
-
-        runnable = [s for s in steps if id(s) not in failures]
-        requests = {id(s): self._request(s) for s in runnable}
-
-        scheduler = ContainerScheduler(self.cloud.cluster.clone())
-        done: set[int] = set()
-        running: list[tuple[float, PlanStep, list]] = []  # (finish, step, grants)
-        scheduled: dict[int, ScheduledStep] = {}
-        now = 0.0
-        remaining = list(runnable)
-
-        while remaining or running:
-            progressed = True
-            while progressed:
-                progressed = False
-                for step in list(remaining):
-                    if deps[id(step)] - done:
-                        continue  # inputs not ready yet
-                    request = requests[id(step)]
-                    grants: list = []
-                    if request is not None:
-                        try:
-                            grants = scheduler.allocate(request)
-                        except InsufficientResourcesError:
-                            if not running:
-                                raise SchedulingError(
-                                    f"step {step.operator.name} needs {request} "
-                                    "which exceeds the (empty) cluster"
-                                ) from None
-                            continue  # wait for capacity
-                    finish = now + durations[id(step)]
-                    running.append((finish, step, grants))
-                    scheduled[id(step)] = ScheduledStep(step, now, finish)
-                    remaining.remove(step)
-                    progressed = True
-            if not running:
-                if remaining:
-                    raise SchedulingError("plan has a dependency the schedule "
-                                          "cannot satisfy")
-                break
-            running.sort(key=lambda item: item[0])
-            finish, step, grants = running.pop(0)
-            now = finish
-            done.add(id(step))
-            scheduler.release_all_of(grants)
-
-        makespan = max((s.finish for s in scheduled.values()), default=0.0)
-        serial = sum(durations.values())
-        if self.charge_clock:
-            self.cloud.clock.advance(makespan)
-        return ParallelReport(
-            makespan=makespan, serial_time=serial,
-            schedule=sorted(scheduled.values(), key=lambda s: s.start),
-            failures=[failures[id(s)] for s in steps if id(s) in failures],
-            speculations=speculations,
-        )

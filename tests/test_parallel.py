@@ -93,6 +93,88 @@ def test_oversized_step_raises():
         ParallelSimulator(cloud, seed=5, charge_clock=False).simulate(plan)
 
 
+def test_oversized_step_fails_but_other_branches_complete():
+    """Regression: one unplaceable step is a fault, not a simulation abort.
+
+    Only q1's PostgreSQL request is blown up past cluster capacity; q2 on
+    MemSQL still fits, so the report must carry the oversized step (plus
+    its downstream cascade) as failures while the healthy branch runs.
+    """
+    from repro.engines import ContainerRequest
+
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    plan = ires.plan(make(10))
+    engines = {s.engine for s in plan.steps if not s.is_move}
+    assert len(engines) >= 2  # the plan genuinely spans engines
+    victim = next(s.engine for s in plan.steps if not s.is_move)
+    ires.cloud.engines[victim].default_request = ContainerRequest(
+        cores=4, memory_gb=8.0, instances=500)
+    report = ParallelSimulator(ires.cloud, seed=5,
+                               charge_clock=False).simulate(plan)
+    assert not report.succeeded
+    direct = [f for f in report.failures if not f.cascaded]
+    assert direct and all("exceeds" in f.error for f in direct)
+    assert any(f.cascaded for f in report.failures)  # downstream skipped
+    assert report.schedule  # the other branch still completed
+    assert report.makespan > 0
+
+
+def test_speculation_events_stamped_at_step_finish():
+    """Regression: resilience events carry the step's simulated finish
+    time, not the run's start time (all events used to pile up at t0)."""
+    ires = IReS()
+    make = setup_helloworld(ires)
+    plan = ires.plan(make())
+    victim = plan.step_for_operator("HelloWorld2").engine
+    ires.fault_injector.make_straggler(victim, slowdown=10.0)
+    start = ires.cloud.clock.now
+    report = ParallelSimulator(
+        ires.cloud, seed=2, charge_clock=False,
+        fault_injector=ires.fault_injector).simulate(plan)
+    assert report.speculations
+    events = ires.cloud.collector.resilience_events("speculation")
+    assert len(events) == len(report.speculations) == 1
+    (event,), (spec,) = events, report.speculations
+    finish = next(s.finish for s in report.schedule
+                  if s.step.operator.name == spec.operator)
+    assert event.started_at == pytest.approx(start + finish)
+    assert event.started_at > start  # NOT stamped at run start
+
+
+def test_concurrency_counts_zero_duration_steps():
+    """Regression: instantaneous steps (free co-located moves) vanished
+    from concurrency_at and max_concurrency."""
+    from repro.execution.parallel import ParallelReport, ScheduledStep
+
+    report = ParallelReport(
+        makespan=3.0, serial_time=3.0,
+        schedule=[
+            ScheduledStep(None, 0.0, 2.0),
+            ScheduledStep(None, 1.0, 3.0),
+            ScheduledStep(None, 1.0, 1.0),  # zero-duration at t=1
+            ScheduledStep(None, 2.0, 2.0),  # zero-duration at a boundary
+        ])
+    assert report.concurrency_at(0.0) == 1
+    assert report.concurrency_at(1.0) == 3  # two running + one instant
+    # at t=2 the first step has finished, the boundary instant counts
+    assert report.concurrency_at(2.0) == 2
+    assert report.concurrency_at(3.0) == 0
+    assert report.max_concurrency == 3
+
+
+def test_max_concurrency_sweep_matches_pointwise_scan():
+    """The O(n log n) event sweep agrees with brute-force sampling."""
+    ires = IReS()
+    make = setup_relational_analytics(ires)
+    plan = ires.plan(make(10))
+    report = ParallelSimulator(ires.cloud, seed=9,
+                               charge_clock=False).simulate(plan)
+    probes = {s.start for s in report.schedule}
+    assert report.max_concurrency == max(
+        report.concurrency_at(t) for t in probes)
+
+
 def test_clock_charged_with_makespan(relational):
     ires, plan = relational
     before = ires.cloud.clock.now
